@@ -1,0 +1,272 @@
+(* The dnsv command-line interface.
+
+     dnsv verify    — verify an engine version against the top-level spec
+     dnsv layers    — verify the dependency layers against manual specs
+     dnsv summarize — summarize TreeSearch (Table-1 style output)
+     dnsv bugs      — list the Table-2 bug registry
+     dnsv zonegen   — generate random zone configurations
+     dnsv replay    — run one concrete query on engine and spec *)
+
+module Name = Dns.Name
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Message = Dns.Message
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let version_arg =
+  let doc = "Engine version: 1.0, 2.0, 3.0, dev, or <v>-fixed." in
+  Arg.(value & opt string "3.0-fixed" & info [ "e"; "engine" ] ~docv:"VERSION" ~doc)
+
+let config_of_version v =
+  match Engine.Versions.find v with
+  | Some cfg -> cfg
+  | None ->
+      Printf.eprintf "unknown engine version %s\n" v;
+      exit 2
+
+let zone_file_arg =
+  let doc = "Zone file (master-file format with $ORIGIN). Defaults to the built-in reference zone." in
+  Arg.(value & opt (some file) None & info [ "z"; "zone" ] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "Seed for generated zones." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let load_zone = function
+  | None -> Spec.Fixtures.reference_zone
+  | Some file -> (
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      match Dns.Zonefile.parse text with
+      | Ok z ->
+          (match Zone.validate z with
+          | [] -> z
+          | errs ->
+              List.iter
+                (fun e -> Format.eprintf "zone error: %a@." Zone.pp_error e)
+                errs;
+              exit 2)
+      | Error m ->
+          Printf.eprintf "cannot parse %s: %s\n" file m;
+          exit 2)
+
+let qtype_arg =
+  let parse s =
+    match Rr.rtype_of_string (String.uppercase_ascii s) with
+    | Some t -> Ok t
+    | None -> Error (`Msg ("unknown query type " ^ s))
+  in
+  let print fmt t = Format.pp_print_string fmt (Rr.rtype_to_string t) in
+  Arg.conv (parse, print)
+
+let qtypes_arg =
+  let doc = "Query types to verify (comma separated)." in
+  Arg.(
+    value
+    & opt (list qtype_arg) [ Rr.A; Rr.MX; Rr.NS ]
+    & info [ "t"; "qtypes" ] ~docv:"TYPES" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let run version zone_file qtypes inline no_layers =
+    let cfg = config_of_version version in
+    let zone = load_zone zone_file in
+    let mode =
+      if inline then Refine.Check.Inline_all else Refine.Check.With_summaries
+    in
+    let verdict =
+      Dnsv.Pipeline.verify ~qtypes ~mode ~check_layers:(not no_layers) cfg zone
+    in
+    print_string (Dnsv.Pipeline.verdict_to_string verdict);
+    if Dnsv.Pipeline.clean verdict then exit 0 else exit 1
+  in
+  let inline =
+    Arg.(value & flag & info [ "inline" ] ~doc:"Inline all layers instead of summarizing.")
+  in
+  let no_layers =
+    Arg.(value & flag & info [ "no-layers" ] ~doc:"Skip the dependency-layer checks.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify an engine version against the top-level specification")
+    Term.(const run $ version_arg $ zone_file_arg $ qtypes_arg $ inline $ no_layers)
+
+(* ------------------------------------------------------------------ *)
+(* layers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let layers_cmd =
+  let run version =
+    let cfg = config_of_version version in
+    let prog = Engine.Versions.compiled cfg in
+    let reports = Refine.Layers.check_all prog in
+    List.iter
+      (fun (r : Refine.Layers.layer_report) ->
+        Printf.printf "%-18s code=%3d spec=%3d  %.3fs  %s\n"
+          r.Refine.Layers.layer r.Refine.Layers.code_paths
+          r.Refine.Layers.spec_paths r.Refine.Layers.elapsed
+          (if Refine.Layers.layer_ok r then "ok"
+           else String.concat "; " r.Refine.Layers.mismatches))
+      reports;
+    if List.for_all Refine.Layers.layer_ok reports then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "layers"
+       ~doc:"Verify the dependency layers against their manual specifications")
+    Term.(const run $ version_arg)
+
+(* ------------------------------------------------------------------ *)
+(* summarize                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let summarize_cmd =
+  let run zone_file =
+    let zone =
+      match zone_file with
+      | None -> Spec.Fixtures.figure11_zone
+      | some -> load_zone some
+    in
+    Dnsv.Table1.print (Dnsv.Table1.run ~zone ())
+  in
+  Cmd.v
+    (Cmd.info "summarize"
+       ~doc:"Summarize TreeSearch over a concrete domain tree (Table 1)")
+    Term.(const run $ zone_file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bugs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bugs_cmd =
+  let run () =
+    Printf.printf "%-3s %-8s %-20s %s\n" "#" "Version" "Classification"
+      "Description";
+    List.iter
+      (fun (i : Engine.Bugs.info) ->
+        Printf.printf "%-3d %-8s %-20s %s\n" i.Engine.Bugs.index
+          i.Engine.Bugs.version i.Engine.Bugs.classification
+          i.Engine.Bugs.description)
+      Engine.Bugs.table2
+  in
+  Cmd.v
+    (Cmd.info "bugs" ~doc:"List the Table-2 bug registry")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* zonegen                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let zonegen_cmd =
+  let run seed origin =
+    let origin = Name.of_string_exn origin in
+    let zone = Dns.Zonegen.generate ~seed origin in
+    print_string (Dns.Zonefile.render zone)
+  in
+  let origin =
+    Arg.(
+      value & opt string "gen.example"
+      & info [ "o"; "origin" ] ~docv:"NAME" ~doc:"Zone origin.")
+  in
+  Cmd.v
+    (Cmd.info "zonegen" ~doc:"Generate a random zone configuration (§6.5)")
+    Term.(const run $ seed_arg $ origin)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let run version zone_file qname qtype =
+    let cfg = config_of_version version in
+    let zone = load_zone zone_file in
+    let q = Message.query (Name.of_string_exn qname) qtype in
+    Format.printf "query: %a@.@." Message.pp_query q;
+    (match Engine.Versions.run cfg zone q with
+    | Engine.Versions.Response r ->
+        Format.printf "engine %s:@.%a@." version Message.pp_response r
+    | Engine.Versions.Engine_panic m ->
+        Format.printf "engine %s: PANIC (%s)@." version m);
+    Format.printf "@.specification:@.%a@." Message.pp_response
+      (Spec.Rrlookup.resolve zone q)
+  in
+  let qname =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "q"; "qname" ] ~docv:"NAME" ~doc:"Query name.")
+  in
+  let qtype =
+    Arg.(value & opt qtype_arg Rr.A & info [ "qtype" ] ~docv:"TYPE" ~doc:"Query type.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Run one concrete query on the engine and the specification")
+    Term.(const run $ version_arg $ zone_file_arg $ qname $ qtype)
+
+(* ------------------------------------------------------------------ *)
+(* source                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let source_cmd =
+  let run version ir =
+    let cfg = config_of_version version in
+    if ir then
+      print_string
+        (Minir.Pretty.program_to_string (Engine.Versions.compiled cfg))
+    else
+      print_string
+        (Golite.Print.program_to_string (Engine.Builder.golite_program cfg))
+  in
+  let ir =
+    Arg.(
+      value & flag
+      & info [ "ir" ] ~doc:"Print the compiled Minir IR instead of the Golite source.")
+  in
+  Cmd.v
+    (Cmd.info "source"
+       ~doc:"Print an engine version's Golite source (or its compiled IR)")
+    Term.(const run $ version_arg $ ir)
+
+(* ------------------------------------------------------------------ *)
+(* rawname                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rawname_cmd =
+  let run () =
+    let r = Refine.Raw_name.check () in
+    Refine.Raw_name.print r;
+    if Refine.Raw_name.ok r then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "rawname"
+       ~doc:
+         "Verify the byte-level compareRaw against the word-level compareAbs \
+          (the paper's section 6.3)")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "dnsv" ~version:"1.0.0"
+      ~doc:
+        "DNS-V: automated verification of an in-production DNS authoritative \
+         engine"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            verify_cmd; layers_cmd; summarize_cmd; bugs_cmd; zonegen_cmd;
+            replay_cmd; source_cmd; rawname_cmd;
+          ]))

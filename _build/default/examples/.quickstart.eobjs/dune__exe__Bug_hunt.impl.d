@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Dns Dnsv Engine Format List Printf Refine Spec String

@@ -1,0 +1,1 @@
+examples/differential_fuzz.ml: Dns Dnstree Engine Format List Option Printf Random Spec

@@ -1,0 +1,1 @@
+examples/differential_fuzz.mli:

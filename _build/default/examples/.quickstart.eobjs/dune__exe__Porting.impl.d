@@ -1,0 +1,1 @@
+examples/porting.ml: Dns Dnsv Engine Format List Printf Refine Spec

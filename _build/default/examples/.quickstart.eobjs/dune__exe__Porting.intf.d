@@ -1,0 +1,1 @@
+examples/porting.mli:

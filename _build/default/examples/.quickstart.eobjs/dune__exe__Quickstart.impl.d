@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dns Dnsv Engine Format Spec

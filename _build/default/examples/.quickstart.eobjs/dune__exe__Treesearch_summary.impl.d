@@ -1,0 +1,1 @@
+examples/treesearch_summary.ml: Dnsv List Printf

@@ -1,0 +1,1 @@
+examples/treesearch_summary.mli:

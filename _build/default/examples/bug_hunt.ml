@@ -1,0 +1,50 @@
+(* Bug hunt: reproduce the paper's Table-2 experience end to end.
+
+   For every seeded production bug, DNS-V verifies the affected engine
+   version, produces a counterexample query, and we *replay* that query
+   concretely on the engine interpreter and the executable
+   specification, printing the diverging responses side by side — the
+   workflow a developer sees when verification fails.
+
+     dune exec examples/bug_hunt.exe *)
+
+module Message = Dns.Message
+
+let () =
+  List.iter
+    (fun (info : Engine.Bugs.info) ->
+      let w = Spec.Fixtures.witness info.Engine.Bugs.index in
+      let cfg = Dnsv.Table2.config_for_bug info.Engine.Bugs.index in
+      Printf.printf "%s\n" (String.make 74 '-');
+      Printf.printf "Bug %d (v%s, %s): %s\n" info.Engine.Bugs.index
+        info.Engine.Bugs.version info.Engine.Bugs.classification
+        info.Engine.Bugs.description;
+      let report =
+        Refine.Check.check_version cfg w.Spec.Fixtures.zone
+          ~qtype:w.Spec.Fixtures.query.Message.qtype
+      in
+      match (report.Refine.Check.panics, report.Refine.Check.mismatches) with
+      | p :: _, _ ->
+          Format.printf "verification found a reachable runtime error:@.";
+          Format.printf "  query: %a@.  reason: %s@." Message.pp_query
+            p.Refine.Check.panic_query p.Refine.Check.reason;
+          (match
+             Engine.Versions.run cfg w.Spec.Fixtures.zone
+               p.Refine.Check.panic_query
+           with
+          | Engine.Versions.Engine_panic m ->
+              Format.printf "  concrete replay panics: %s@." m
+          | Engine.Versions.Response _ ->
+              Format.printf "  (replay did not panic?!)@.")
+      | [], m :: _ ->
+          Format.printf "verification found a functional mismatch:@.";
+          Format.printf "  query:  %a@.  detail: %s@." Message.pp_query
+            m.Refine.Check.query m.Refine.Check.detail;
+          Format.printf "@.  engine says:@.%s@.  specification says:@.%s@."
+            m.Refine.Check.engine_replay m.Refine.Check.spec_replay
+      | [], [] -> Format.printf "NOT CAUGHT — this should never happen@.")
+    Engine.Bugs.table2;
+  Printf.printf "%s\n" (String.make 74 '-');
+  Printf.printf
+    "All nine issues are caught before reaching production; the corrected\n\
+     versions verify clean (run `dune exec bench/main.exe -- table2`).\n"

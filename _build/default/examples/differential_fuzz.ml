@@ -1,0 +1,60 @@
+(* Differential testing at scale (the SCALE-style baseline the paper
+   compares against in §10): run engine versions concretely against the
+   executable specification on thousands of generated zone/query pairs.
+
+   Differential testing catches a bug only if a generated input trips
+   it; verification proves the absence of bugs per zone snapshot. This
+   example shows both sides: the corrected engine survives the fuzzing,
+   and the buggy versions are (only sometimes!) caught — wildcard bugs
+   in particular need specific shapes that random queries rarely hit,
+   which is the paper's argument for verification.
+
+     dune exec examples/differential_fuzz.exe *)
+
+module Message = Dns.Message
+module Layout = Dnstree.Layout
+
+let trials = 2_000
+
+let fuzz cfg ~seed =
+  let caught = ref 0 and ran = ref 0 in
+  let first_witness = ref None in
+  for i = 0 to trials - 1 do
+    let zone =
+      Dns.Zonegen.generate ~seed:(seed + (i / 10))
+        (Dns.Name.of_string_exn "fuzz.example")
+    in
+    let rng = Random.State.make [| seed + i |] in
+    let q = Dns.Zonegen.random_query ~rng zone in
+    if Dns.Name.label_count q.Message.qname <= Layout.max_labels then begin
+      incr ran;
+      let spec = Spec.Rrlookup.resolve zone q in
+      let diverges =
+        match Engine.Versions.run cfg zone q with
+        | Engine.Versions.Response r -> not (Message.equal_response r spec)
+        | Engine.Versions.Engine_panic _ -> true
+      in
+      if diverges then begin
+        incr caught;
+        if !first_witness = None then
+          first_witness := Some (Format.asprintf "%a" Message.pp_query q)
+      end
+    end
+  done;
+  (!ran, !caught, !first_witness)
+
+let () =
+  Printf.printf "%d random zone/query trials per engine version:\n\n" trials;
+  Printf.printf "%-12s %8s %10s   %s\n" "version" "queries" "divergent"
+    "first witness";
+  List.iter
+    (fun cfg ->
+      let ran, caught, witness = fuzz cfg ~seed:7 in
+      Printf.printf "%-12s %8d %10d   %s\n" cfg.Engine.Builder.version ran
+        caught
+        (Option.value ~default:"-" witness))
+    (Engine.Versions.all @ [ Engine.Versions.fixed Engine.Versions.v3_0 ]);
+  Printf.printf
+    "\nRandom testing misses what verification proves absent: compare with\n\
+     `dune exec bench/main.exe -- table2`, where every bug is caught with a\n\
+     counterexample in under a second per version.\n"

@@ -1,0 +1,1 @@
+lib/dns/label.ml: Format Hashtbl Printf String

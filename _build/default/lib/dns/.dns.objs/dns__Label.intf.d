@@ -1,0 +1,1 @@
+lib/dns/label.mli: Format Hashtbl String

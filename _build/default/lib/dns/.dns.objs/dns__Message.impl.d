@@ -1,0 +1,1 @@
+lib/dns/message.ml: Format List Name Rr

@@ -1,0 +1,1 @@
+lib/dns/message.mli: Format Name Rr

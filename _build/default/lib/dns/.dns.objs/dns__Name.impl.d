@@ -1,0 +1,1 @@
+lib/dns/name.ml: Array Char Format Label List String

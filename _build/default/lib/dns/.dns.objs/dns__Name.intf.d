@@ -1,0 +1,1 @@
+lib/dns/name.mli: Format Label String

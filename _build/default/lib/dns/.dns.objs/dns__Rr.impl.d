@@ -1,0 +1,1 @@
+lib/dns/rr.ml: Format Name String

@@ -1,0 +1,1 @@
+lib/dns/rr.mli: Format Name

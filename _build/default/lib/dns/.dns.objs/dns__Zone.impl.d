@@ -1,0 +1,1 @@
+lib/dns/zone.ml: Format Label List Name Rr

@@ -1,0 +1,1 @@
+lib/dns/zone.mli: Format Name Rr

@@ -1,0 +1,1 @@
+lib/dns/zonefile.ml: Buffer Format List Name Printf Rr Scanf String Zone

@@ -1,0 +1,1 @@
+lib/dns/zonefile.mli: Format Zone

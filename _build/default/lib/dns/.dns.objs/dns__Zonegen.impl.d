@@ -1,0 +1,1 @@
+lib/dns/zonegen.ml: Array Format Label List Message Name Random Rr Zone

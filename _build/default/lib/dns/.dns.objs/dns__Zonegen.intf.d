@@ -1,0 +1,1 @@
+lib/dns/zonegen.mli: Message Name Random Rr Zone

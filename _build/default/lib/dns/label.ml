@@ -1,0 +1,91 @@
+(* DNS labels and their integer coding.
+
+   A label is one dot-separated component of a domain name, at most 63
+   octets (RFC 1035 §2.3.4). Verification maps labels to integers
+   (paper §6.3): any injective map works because the engine only ever
+   compares labels for equality and order. The [Coder] below interns
+   labels to dense codes, shared between the heap encoder (which lays
+   node names out as code arrays) and the specification (which constrains
+   symbolic qname label variables against the same codes). *)
+
+type t = string
+
+let max_length = 63
+
+(* The wildcard label. Interned first so its code is the reserved
+   smallest value, which keeps wildcard nodes leftmost in sibling
+   ordering. *)
+let wildcard = "*"
+let is_wildcard l = String.equal l wildcard
+
+let valid_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+let validate (s : string) : (t, string) result =
+  if String.length s = 0 then Error "empty label"
+  else if String.length s > max_length then Error ("label too long: " ^ s)
+  else if String.equal s wildcard then Ok s
+  else if String.for_all valid_char (String.lowercase_ascii s) then
+    Ok (String.lowercase_ascii s)
+  else Error ("invalid label: " ^ s)
+
+let of_string_exn s =
+  match validate s with Ok l -> l | Error m -> invalid_arg m
+
+let to_string (l : t) : string = l
+let equal (a : t) (b : t) = String.equal a b
+let compare (a : t) (b : t) = String.compare a b
+let pp fmt l = Format.pp_print_string fmt l
+
+(* ------------------------------------------------------------------ *)
+(* Integer coding                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Coder = struct
+  type label = t
+
+  type t = {
+    by_label : (label, int) Hashtbl.t;
+    by_code : (int, label) Hashtbl.t;
+    mutable next : int;
+  }
+
+  (* Code 0 is reserved as "no label" (padding in fixed arrays);
+     code 1 is the wildcard. Real labels start at 2. *)
+  let padding_code = 0
+  let wildcard_code = 1
+
+  let create () =
+    let t =
+      { by_label = Hashtbl.create 64; by_code = Hashtbl.create 64; next = 2 }
+    in
+    Hashtbl.replace t.by_label wildcard wildcard_code;
+    Hashtbl.replace t.by_code wildcard_code wildcard;
+    t
+
+  let code t (l : label) : int =
+    match Hashtbl.find_opt t.by_label l with
+    | Some c -> c
+    | None ->
+        let c = t.next in
+        t.next <- c + 1;
+        Hashtbl.replace t.by_label l c;
+        Hashtbl.replace t.by_code c l;
+        c
+
+  let label_of_code t (c : int) : label option = Hashtbl.find_opt t.by_code c
+
+  (* For counterexample concretization: any integer the solver invents
+     that is not an interned code becomes a fresh synthetic label, so a
+     model always maps back to a concrete query. *)
+  let label_of_code_or_fresh t (c : int) : label =
+    match label_of_code t c with
+    | Some l -> l
+    | None ->
+        let l = Printf.sprintf "x%d" c in
+        Hashtbl.replace t.by_label l c;
+        Hashtbl.replace t.by_code c l;
+        l
+
+  let max_code t = t.next - 1
+end

@@ -1,0 +1,37 @@
+(* DNS labels and their integer coding.
+
+   A label is one dot-separated component of a domain name, at most 63
+   octets (RFC 1035 §2.3.4). Verification maps labels to integers
+   (paper §6.3): any injective map works because the engine only ever
+   compares labels for equality and order. The [Coder] below interns
+   labels to dense codes, shared between the heap encoder (which lays
+   node names out as code arrays) and the specification (which constrains
+   symbolic qname label variables against the same codes). *)
+
+type t = string
+val max_length : int
+val wildcard : string
+val is_wildcard : String.t -> bool
+val valid_char : char -> bool
+val validate : string -> (t, string) result
+val of_string_exn : string -> t
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> string -> unit
+module Coder :
+  sig
+    type label = t
+    type t = {
+      by_label : (label, int) Hashtbl.t;
+      by_code : (int, label) Hashtbl.t;
+      mutable next : int;
+    }
+    val padding_code : int
+    val wildcard_code : int
+    val create : unit -> t
+    val code : t -> label -> int
+    val label_of_code : t -> int -> label option
+    val label_of_code_or_fresh : t -> int -> label
+    val max_code : t -> int
+  end

@@ -1,0 +1,78 @@
+(* DNS query and response messages, restricted to what authoritative
+   resolution computes (§2): rcode, AA flag, and the three record
+   sections. *)
+
+type query = { qname : Name.t; qtype : Rr.rtype }
+
+let query qname qtype = { qname; qtype }
+
+let pp_query fmt q =
+  Format.fprintf fmt "%a %a?" Name.pp q.qname Rr.pp_rtype q.qtype
+
+type rcode = NoError | NXDomain | Refused | ServFail
+
+let rcode_code = function
+  | NoError -> 0
+  | ServFail -> 2
+  | NXDomain -> 3
+  | Refused -> 5
+
+let rcode_of_code = function
+  | 0 -> Some NoError
+  | 2 -> Some ServFail
+  | 3 -> Some NXDomain
+  | 5 -> Some Refused
+  | _ -> None
+
+let rcode_to_string = function
+  | NoError -> "NOERROR"
+  | NXDomain -> "NXDOMAIN"
+  | Refused -> "REFUSED"
+  | ServFail -> "SERVFAIL"
+
+let pp_rcode fmt rc = Format.pp_print_string fmt (rcode_to_string rc)
+
+type response = {
+  rcode : rcode;
+  aa : bool;
+  answer : Rr.t list;
+  authority : Rr.t list;
+  additional : Rr.t list;
+}
+
+let response ?(aa = false) ?(answer = []) ?(authority = []) ?(additional = [])
+    rcode =
+  { rcode; aa; answer; authority; additional }
+
+(* Section equality is order-insensitive: record order within a DNS
+   section carries no meaning, and the engine's traversal order may
+   legitimately differ from the specification's filtering order. *)
+let equal_section (a : Rr.t list) (b : Rr.t list) =
+  let subset xs ys =
+    List.for_all
+      (fun x ->
+        let count l = List.length (List.filter (Rr.equal x) l) in
+        count xs <= count ys)
+      xs
+  in
+  List.length a = List.length b && subset a b && subset b a
+
+let equal_response (a : response) (b : response) =
+  a.rcode = b.rcode && a.aa = b.aa
+  && equal_section a.answer b.answer
+  && equal_section a.authority b.authority
+  && equal_section a.additional b.additional
+
+let pp_section fmt (title, rs) =
+  if rs <> [] then begin
+    Format.fprintf fmt ";; %s@." title;
+    List.iter (fun r -> Format.fprintf fmt "%a@." Rr.pp r) rs
+  end
+
+let pp_response fmt (r : response) =
+  Format.fprintf fmt ";; status: %a, aa: %b@." pp_rcode r.rcode r.aa;
+  pp_section fmt ("ANSWER", r.answer);
+  pp_section fmt ("AUTHORITY", r.authority);
+  pp_section fmt ("ADDITIONAL", r.additional)
+
+let response_to_string r = Format.asprintf "%a" pp_response r

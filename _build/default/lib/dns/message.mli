@@ -1,0 +1,28 @@
+(* DNS query and response messages, restricted to what authoritative
+   resolution computes (§2): rcode, AA flag, and the three record
+   sections. *)
+
+type query = { qname : Name.t; qtype : Rr.rtype; }
+val query : Name.t -> Rr.rtype -> query
+val pp_query : Format.formatter -> query -> unit
+type rcode = NoError | NXDomain | Refused | ServFail
+val rcode_code : rcode -> int
+val rcode_of_code : int -> rcode option
+val rcode_to_string : rcode -> string
+val pp_rcode : Format.formatter -> rcode -> unit
+type response = {
+  rcode : rcode;
+  aa : bool;
+  answer : Rr.t list;
+  authority : Rr.t list;
+  additional : Rr.t list;
+}
+val response :
+  ?aa:bool ->
+  ?answer:Rr.t list ->
+  ?authority:Rr.t list -> ?additional:Rr.t list -> rcode -> response
+val equal_section : Rr.t list -> Rr.t list -> bool
+val equal_response : response -> response -> bool
+val pp_section : Format.formatter -> string * Rr.t list -> unit
+val pp_response : Format.formatter -> response -> unit
+val response_to_string : response -> string

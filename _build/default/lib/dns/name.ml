@@ -1,0 +1,135 @@
+(* Domain names.
+
+   Stored in presentation order (["www"; "example"; "com"]). The tree /
+   verification side works with the *reversed* order (com first), which
+   is how the paper encodes names as integer lists (Figure 10), and the
+   wire form is the raw length-prefixed byte representation that
+   compareRaw iterates over (Figure 4). *)
+
+type t = Label.t list (* presentation order; [] is the root *)
+
+let root : t = []
+let of_labels labels : t = labels
+
+let of_string_exn (s : string) : t =
+  match s with
+  | "" | "." -> []
+  | s ->
+      let s =
+        if String.length s > 0 && s.[String.length s - 1] = '.' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      List.map Label.of_string_exn (String.split_on_char '.' s)
+
+let of_string (s : string) : (t, string) result =
+  match of_string_exn s with
+  | n -> Ok n
+  | exception Invalid_argument m -> Error m
+
+let to_string = function
+  | [] -> "."
+  | labels -> String.concat "." (List.map Label.to_string labels)
+
+let pp fmt n = Format.pp_print_string fmt (to_string n)
+let labels (n : t) : Label.t list = n
+let reversed (n : t) : Label.t list = List.rev n
+let label_count (n : t) = List.length n
+let equal (a : t) (b : t) = List.equal Label.equal a b
+
+(* Canonical DNS ordering: compare label-by-label from the rightmost
+   (top) label. *)
+let compare (a : t) (b : t) =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: a, y :: b ->
+        let c = Label.compare x y in
+        if c <> 0 then c else go a b
+  in
+  go (reversed a) (reversed b)
+
+(* "www.example.com" is under "example.com" (strictly). *)
+let is_strictly_under ~(ancestor : t) (n : t) =
+  let ra = reversed ancestor and rn = reversed n in
+  let rec prefix p l =
+    match (p, l) with
+    | [], _ :: _ -> true
+    | [], [] -> false
+    | _, [] -> false
+    | x :: p, y :: l -> Label.equal x y && prefix p l
+  in
+  prefix ra rn
+
+let is_under ~(ancestor : t) (n : t) =
+  equal ancestor n || is_strictly_under ~ancestor n
+
+(* The parent of a name (drop the leftmost label). *)
+let parent = function [] -> None | _ :: rest -> Some rest
+
+(* Prepend a label: child "www" of "example.com". *)
+let child (l : Label.t) (n : t) : t = l :: n
+
+let leftmost = function [] -> None | l :: _ -> Some l
+let is_wildcard n = match leftmost n with Some l -> Label.is_wildcard l | None -> false
+
+(* Replace the wildcard owner's leftmost label(s) by the query name —
+   i.e. the name synthesized for a wildcard match is the query name
+   itself (RFC 1034 §4.3.3). *)
+let wildcard_parent = parent
+
+(* The suffix of [n] of length [k] (topmost k labels), presentation
+   order. *)
+let suffix (n : t) k =
+  let len = label_count n in
+  if k >= len then n
+  else
+    let rec drop i = function
+      | l when i = 0 -> l
+      | _ :: rest -> drop (i - 1) rest
+      | [] -> []
+    in
+    drop (len - k) n
+
+(* ------------------------------------------------------------------ *)
+(* Integer coding (§6.3): a name as reversed label codes.             *)
+(* ------------------------------------------------------------------ *)
+
+let codes (coder : Label.Coder.t) (n : t) : int list =
+  List.map (Label.Coder.code coder) (reversed n)
+
+let of_codes (coder : Label.Coder.t) (cs : int list) : t =
+  List.rev_map (Label.Coder.label_of_code_or_fresh coder) cs
+
+(* ------------------------------------------------------------------ *)
+(* Raw wire bytes (Figure 4's representation): length-prefixed labels,
+   terminated by a zero octet, e.g. "\003www\007example\003com\000".  *)
+(* ------------------------------------------------------------------ *)
+
+let to_wire (n : t) : int list =
+  List.concat_map
+    (fun l ->
+      let s = Label.to_string l in
+      String.length s :: List.map Char.code (List.init (String.length s) (String.get s)))
+    n
+  @ [ 0 ]
+
+let of_wire (bytes : int list) : (t, string) result =
+  let buf = Array.of_list bytes in
+  let n = Array.length buf in
+  let rec go i acc =
+    if i >= n then Error "wire name: missing terminator"
+    else
+      let len = buf.(i) in
+      if len = 0 then Ok (List.rev acc)
+      else if i + len >= n then Error "wire name: truncated label"
+      else
+        let chars = Array.to_list (Array.sub buf (i + 1) len) in
+        let s = String.init len (fun k -> Char.chr (List.nth chars k)) in
+        match Label.validate s with
+        | Ok l -> go (i + 1 + len) (l :: acc)
+        | Error m -> Error m
+  in
+  go 0 []

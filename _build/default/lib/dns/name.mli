@@ -1,0 +1,32 @@
+(* Domain names.
+
+   Stored in presentation order (["www"; "example"; "com"]). The tree /
+   verification side works with the *reversed* order (com first), which
+   is how the paper encodes names as integer lists (Figure 10), and the
+   wire form is the raw length-prefixed byte representation that
+   compareRaw iterates over (Figure 4). *)
+
+type t = Label.t list
+val root : t
+val of_labels : t -> t
+val of_string_exn : string -> t
+val of_string : string -> (t, string) result
+val to_string : Label.t list -> string
+val pp : Format.formatter -> Label.t list -> unit
+val labels : t -> Label.t list
+val reversed : t -> Label.t list
+val label_count : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_strictly_under : ancestor:t -> t -> bool
+val is_under : ancestor:t -> t -> bool
+val parent : 'a list -> 'a list option
+val child : Label.t -> t -> t
+val leftmost : 'a list -> 'a option
+val is_wildcard : String.t list -> bool
+val wildcard_parent : 'a list -> 'a list option
+val suffix : t -> int -> t
+val codes : Label.Coder.t -> t -> int list
+val of_codes : Label.Coder.t -> int list -> t
+val to_wire : t -> int list
+val of_wire : int list -> (t, string) result

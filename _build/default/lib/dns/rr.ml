@@ -1,0 +1,159 @@
+(* Resource records: types, rdata, and the record itself (§2).
+
+   Rdata is modelled at the granularity the authoritative engine needs:
+   addresses are opaque integers (the engine never interprets them), and
+   name-valued rdata (NS / CNAME / MX exchange / SRV target) carries a
+   real domain name because resolution logic chases those. *)
+
+type rtype = A | AAAA | NS | CNAME | SOA | MX | TXT | PTR | SRV
+
+let all_rtypes = [ A; AAAA; NS; CNAME; SOA; MX; TXT; PTR; SRV ]
+
+(* Stable numeric codes, used for qtype symbols in verification. These
+   match the real DNS type codes for familiarity. *)
+let rtype_code = function
+  | A -> 1
+  | NS -> 2
+  | CNAME -> 5
+  | SOA -> 6
+  | PTR -> 12
+  | MX -> 15
+  | TXT -> 16
+  | AAAA -> 28
+  | SRV -> 33
+
+let rtype_of_code = function
+  | 1 -> Some A
+  | 2 -> Some NS
+  | 5 -> Some CNAME
+  | 6 -> Some SOA
+  | 12 -> Some PTR
+  | 15 -> Some MX
+  | 16 -> Some TXT
+  | 28 -> Some AAAA
+  | 33 -> Some SRV
+  | _ -> None
+
+let rtype_to_string = function
+  | A -> "A"
+  | AAAA -> "AAAA"
+  | NS -> "NS"
+  | CNAME -> "CNAME"
+  | SOA -> "SOA"
+  | MX -> "MX"
+  | TXT -> "TXT"
+  | PTR -> "PTR"
+  | SRV -> "SRV"
+
+let rtype_of_string = function
+  | "A" -> Some A
+  | "AAAA" -> Some AAAA
+  | "NS" -> Some NS
+  | "CNAME" -> Some CNAME
+  | "SOA" -> Some SOA
+  | "MX" -> Some MX
+  | "TXT" -> Some TXT
+  | "PTR" -> Some PTR
+  | "SRV" -> Some SRV
+  | _ -> None
+
+let pp_rtype fmt t = Format.pp_print_string fmt (rtype_to_string t)
+let equal_rtype (a : rtype) (b : rtype) = a = b
+
+type soa = {
+  mname : Name.t; (* primary nameserver *)
+  rname : Name.t; (* responsible mailbox *)
+  serial : int;
+  refresh : int;
+  retry : int;
+  expire : int;
+  minimum : int;
+}
+
+type rdata =
+  | Addr of int (* A / AAAA: opaque address id *)
+  | Host of Name.t (* NS / CNAME / PTR target *)
+  | Mx of int * Name.t (* preference, exchange *)
+  | Srv of int * int * int * Name.t (* priority, weight, port, target *)
+  | Text of string
+  | Soa_data of soa
+
+type t = { rname : Name.t; rtype : rtype; ttl : int; rdata : rdata }
+
+let make ?(ttl = 300) rname rtype rdata = { rname; rtype; ttl; rdata }
+
+(* The rdata shape allowed for each record type. *)
+let rdata_matches_rtype rtype rdata =
+  match (rtype, rdata) with
+  | (A | AAAA), Addr _ -> true
+  | (NS | CNAME | PTR), Host _ -> true
+  | MX, Mx _ -> true
+  | SRV, Srv _ -> true
+  | TXT, Text _ -> true
+  | SOA, Soa_data _ -> true
+  | _ -> false
+
+(* The target name embedded in rdata, if any — what glue lookup and
+   CNAME chasing chase. *)
+let rdata_target = function
+  | Host n -> Some n
+  | Mx (_, n) -> Some n
+  | Srv (_, _, _, n) -> Some n
+  | Addr _ | Text _ | Soa_data _ -> None
+
+let equal_rdata (a : rdata) (b : rdata) =
+  match (a, b) with
+  | Addr x, Addr y -> x = y
+  | Host x, Host y -> Name.equal x y
+  | Mx (p, x), Mx (q, y) -> p = q && Name.equal x y
+  | Srv (a1, b1, c1, x), Srv (a2, b2, c2, y) ->
+      a1 = a2 && b1 = b2 && c1 = c2 && Name.equal x y
+  | Text x, Text y -> String.equal x y
+  | Soa_data x, Soa_data y ->
+      Name.equal x.mname y.mname && Name.equal x.rname y.rname
+      && x.serial = y.serial && x.refresh = y.refresh && x.retry = y.retry
+      && x.expire = y.expire && x.minimum = y.minimum
+  | (Addr _ | Host _ | Mx _ | Srv _ | Text _ | Soa_data _), _ -> false
+
+(* TTL is irrelevant to resolution correctness; record equality used by
+   the differential tests ignores it. *)
+let equal (a : t) (b : t) =
+  Name.equal a.rname b.rname && equal_rtype a.rtype b.rtype
+  && equal_rdata a.rdata b.rdata
+
+let pp_rdata fmt = function
+  | Addr a -> Format.fprintf fmt "addr#%d" a
+  | Host n -> Name.pp fmt n
+  | Mx (p, n) -> Format.fprintf fmt "%d %a" p Name.pp n
+  | Srv (p, w, port, n) -> Format.fprintf fmt "%d %d %d %a" p w port Name.pp n
+  | Text s -> Format.fprintf fmt "%S" s
+  | Soa_data s ->
+      Format.fprintf fmt "%a %a %d %d %d %d %d" Name.pp s.mname Name.pp s.rname
+        s.serial s.refresh s.retry s.expire s.minimum
+
+let pp fmt (r : t) =
+  Format.fprintf fmt "%a %d %a %a" Name.pp r.rname r.ttl pp_rtype r.rtype
+    pp_rdata r.rdata
+
+let to_string r = Format.asprintf "%a" pp r
+
+(* Convenience constructors. *)
+let a ?ttl rname addr = make ?ttl rname A (Addr addr)
+let aaaa ?ttl rname addr = make ?ttl rname AAAA (Addr addr)
+let ns ?ttl rname target = make ?ttl rname NS (Host target)
+let cname ?ttl rname target = make ?ttl rname CNAME (Host target)
+let mx ?ttl rname pref target = make ?ttl rname MX (Mx (pref, target))
+let txt ?ttl rname text = make ?ttl rname TXT (Text text)
+
+let soa ?ttl rname ~mname ~serial =
+  make ?ttl rname SOA
+    (Soa_data
+       {
+         mname;
+         rname = Name.of_string_exn "hostmaster.invalid";
+         serial;
+         refresh = 3600;
+         retry = 600;
+         expire = 86400;
+         minimum = 300;
+       })

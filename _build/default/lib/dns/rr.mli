@@ -1,0 +1,47 @@
+(* Resource records: types, rdata, and the record itself (§2).
+
+   Rdata is modelled at the granularity the authoritative engine needs:
+   addresses are opaque integers (the engine never interprets them), and
+   name-valued rdata (NS / CNAME / MX exchange / SRV target) carries a
+   real domain name because resolution logic chases those. *)
+
+type rtype = A | AAAA | NS | CNAME | SOA | MX | TXT | PTR | SRV
+val all_rtypes : rtype list
+val rtype_code : rtype -> int
+val rtype_of_code : int -> rtype option
+val rtype_to_string : rtype -> string
+val rtype_of_string : string -> rtype option
+val pp_rtype : Format.formatter -> rtype -> unit
+val equal_rtype : rtype -> rtype -> bool
+type soa = {
+  mname : Name.t;
+  rname : Name.t;
+  serial : int;
+  refresh : int;
+  retry : int;
+  expire : int;
+  minimum : int;
+}
+type rdata =
+    Addr of int
+  | Host of Name.t
+  | Mx of int * Name.t
+  | Srv of int * int * int * Name.t
+  | Text of string
+  | Soa_data of soa
+type t = { rname : Name.t; rtype : rtype; ttl : int; rdata : rdata; }
+val make : ?ttl:int -> Name.t -> rtype -> rdata -> t
+val rdata_matches_rtype : rtype -> rdata -> bool
+val rdata_target : rdata -> Name.t option
+val equal_rdata : rdata -> rdata -> bool
+val equal : t -> t -> bool
+val pp_rdata : Format.formatter -> rdata -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val a : ?ttl:int -> Name.t -> int -> t
+val aaaa : ?ttl:int -> Name.t -> int -> t
+val ns : ?ttl:int -> Name.t -> Name.t -> t
+val cname : ?ttl:int -> Name.t -> Name.t -> t
+val mx : ?ttl:int -> Name.t -> int -> Name.t -> t
+val txt : ?ttl:int -> Name.t -> string -> t
+val soa : ?ttl:int -> Name.t -> mname:Name.t -> serial:int -> t

@@ -1,0 +1,26 @@
+(* Zone configurations: an origin plus its resource records, with the
+   structural validation the control plane performs before handing a
+   zone to the engine (§6.5). *)
+
+type t = { origin : Name.t; records : Rr.t list; }
+val make : Name.t -> Rr.t list -> t
+val origin : t -> Name.t
+val records : t -> Rr.t list
+val record_count : t -> int
+val records_at : t -> Name.t -> Rr.t list
+val records_at_typed : t -> Name.t -> Rr.rtype -> Rr.t list
+val owner_names : t -> Name.t list
+val soa_record : t -> Rr.t option
+val is_delegation : t -> Name.t -> bool
+val covering_delegation : t -> Name.t -> Name.t option
+val node_exists : t -> Name.t -> bool
+type error =
+    No_soa
+  | Out_of_zone of Rr.t
+  | Rdata_shape of Rr.t
+  | Cname_conflict of Name.t
+  | Wildcard_position of Rr.t
+val pp_error : Format.formatter -> error -> unit
+val validate : t -> error list
+val is_valid : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,131 @@
+(* A minimal master-file style textual zone format, for the CLI, the
+   examples, and golden tests.
+
+   Line format (whitespace-separated):
+     <owner> <ttl> <TYPE> <rdata...>
+   Comments start with ';'. The first line must be a $ORIGIN directive:
+     $ORIGIN example.com.
+   Owner names may be written relative to the origin or fully qualified
+   with a trailing dot. '@' denotes the origin. *)
+
+let render (z : Zone.t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "$ORIGIN %s.\n" (Name.to_string (Zone.origin z)));
+  List.iter
+    (fun (r : Rr.t) ->
+      let owner =
+        if Name.equal r.Rr.rname (Zone.origin z) then "@"
+        else Name.to_string r.Rr.rname ^ "."
+      in
+      let rdata =
+        match r.Rr.rdata with
+        | Rr.Addr a -> string_of_int a
+        | Rr.Host n -> Name.to_string n ^ "."
+        | Rr.Mx (p, n) -> Printf.sprintf "%d %s." p (Name.to_string n)
+        | Rr.Srv (p, w, port, n) ->
+            Printf.sprintf "%d %d %d %s." p w port (Name.to_string n)
+        | Rr.Text s -> Printf.sprintf "%S" s
+        | Rr.Soa_data s ->
+            Printf.sprintf "%s. %s. %d %d %d %d %d" (Name.to_string s.Rr.mname)
+              (Name.to_string s.Rr.rname) s.Rr.serial s.Rr.refresh s.Rr.retry
+              s.Rr.expire s.Rr.minimum
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d %s %s\n" owner r.Rr.ttl
+           (Rr.rtype_to_string r.Rr.rtype)
+           rdata))
+    (Zone.records z);
+  Buffer.contents buf
+
+exception Parse_error of int * string
+
+let parse_error line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let parse (text : string) : (Zone.t, string) result =
+  let lines = String.split_on_char '\n' text in
+  let origin = ref None in
+  let records = ref [] in
+  let resolve_name lineno s =
+    match s with
+    | "@" -> (
+        match !origin with
+        | Some o -> o
+        | None -> parse_error lineno "@ before $ORIGIN")
+    | s when String.length s > 0 && s.[String.length s - 1] = '.' ->
+        Name.of_string_exn s
+    | s -> (
+        match !origin with
+        | Some o -> Name.of_string_exn s @ o
+        | None -> parse_error lineno "relative name before $ORIGIN")
+  in
+  try
+    List.iteri
+      (fun idx line ->
+        let lineno = idx + 1 in
+        let line =
+          match String.index_opt line ';' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let tokens =
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun t -> t <> "")
+        in
+        match tokens with
+        | [] -> ()
+        | [ "$ORIGIN"; o ] -> origin := Some (Name.of_string_exn o)
+        | "$ORIGIN" :: _ -> parse_error lineno "malformed $ORIGIN"
+        | owner :: ttl :: rtype :: rdata_tokens -> (
+            let rname = resolve_name lineno owner in
+            let ttl =
+              match int_of_string_opt ttl with
+              | Some t -> t
+              | None -> parse_error lineno "bad TTL %s" ttl
+            in
+            let rtype =
+              match Rr.rtype_of_string rtype with
+              | Some t -> t
+              | None -> parse_error lineno "unknown type %s" rtype
+            in
+            let int_tok t =
+              match int_of_string_opt t with
+              | Some n -> n
+              | None -> parse_error lineno "expected integer, got %s" t
+            in
+            let rdata =
+              match (rtype, rdata_tokens) with
+              | (Rr.A | Rr.AAAA), [ a ] -> Rr.Addr (int_tok a)
+              | (Rr.NS | Rr.CNAME | Rr.PTR), [ n ] ->
+                  Rr.Host (resolve_name lineno n)
+              | Rr.MX, [ p; n ] -> Rr.Mx (int_tok p, resolve_name lineno n)
+              | Rr.SRV, [ p; w; port; n ] ->
+                  Rr.Srv (int_tok p, int_tok w, int_tok port, resolve_name lineno n)
+              | Rr.TXT, [ s ] when String.length s >= 2 && s.[0] = '"' ->
+                  Rr.Text (Scanf.sscanf s "%S" (fun x -> x))
+              | Rr.TXT, toks -> Rr.Text (String.concat " " toks)
+              | Rr.SOA, [ mname; rn; serial; refresh; retry; expire; minimum ]
+                ->
+                  Rr.Soa_data
+                    {
+                      Rr.mname = resolve_name lineno mname;
+                      rname = resolve_name lineno rn;
+                      serial = int_tok serial;
+                      refresh = int_tok refresh;
+                      retry = int_tok retry;
+                      expire = int_tok expire;
+                      minimum = int_tok minimum;
+                    }
+              | _ -> parse_error lineno "malformed rdata for %s" (Rr.rtype_to_string rtype)
+            in
+            records := Rr.make ~ttl rname rtype rdata :: !records)
+        | _ -> parse_error lineno "malformed record line")
+      lines;
+    match !origin with
+    | None -> Error "no $ORIGIN directive"
+    | Some o -> Ok (Zone.make o (List.rev !records))
+  with
+  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Invalid_argument msg -> Error msg

@@ -1,0 +1,14 @@
+(* A minimal master-file style textual zone format, for the CLI, the
+   examples, and golden tests.
+
+   Line format (whitespace-separated):
+     <owner> <ttl> <TYPE> <rdata...>
+   Comments start with ';'. The first line must be a $ORIGIN directive:
+     $ORIGIN example.com.
+   Owner names may be written relative to the origin or fully qualified
+   with a trailing dot. '@' denotes the origin. *)
+
+val render : Zone.t -> string
+exception Parse_error of int * string
+val parse_error : int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val parse : string -> (Zone.t, string) result

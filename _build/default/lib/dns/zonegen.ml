@@ -1,0 +1,213 @@
+(* Random zone-configuration generation (§6.5, §9).
+
+   The paper's control-plane scripts generate tens of thousands of zones,
+   favouring complex names (wildcards at various positions) and
+   intertwined records (sub-domains, NS referrals, glue, CNAME chains),
+   so the concrete domain tree exercises diverse matching scenarios.
+   This module reproduces that distribution with an explicit seeded RNG
+   so every experiment is replayable. *)
+
+type config = {
+  max_depth : int; (* label depth below the origin *)
+  max_children : int; (* fanout per interior node *)
+  wildcard_prob : float;
+  delegation_prob : float;
+  cname_prob : float;
+  mx_prob : float;
+  txt_prob : float;
+  max_rrs_per_node : int;
+}
+
+let default_config =
+  {
+    max_depth = 3;
+    max_children = 3;
+    wildcard_prob = 0.25;
+    delegation_prob = 0.2;
+    cname_prob = 0.2;
+    mx_prob = 0.25;
+    txt_prob = 0.15;
+    max_rrs_per_node = 3;
+  }
+
+let label_pool =
+  [|
+    "www"; "mail"; "ns1"; "ns2"; "api"; "cdn"; "dev"; "web"; "cs"; "zoo";
+    "app"; "ftp"; "db"; "eu"; "us"; "blog"; "shop"; "login"; "m"; "a"; "b";
+  |]
+
+let pick_label rng = label_pool.(Random.State.int rng (Array.length label_pool))
+
+type gen_state = {
+  rng : Random.State.t;
+  cfg : config;
+  mutable records : Rr.t list;
+  mutable next_addr : int;
+  mutable host_names : Name.t list; (* names that got A records *)
+  mutable owners : Name.t list; (* every owner name emitted so far *)
+}
+
+let fresh_addr st =
+  let a = st.next_addr in
+  st.next_addr <- a + 1;
+  a
+
+let add st (r : Rr.t) =
+  st.records <- r :: st.records;
+  if not (List.exists (Name.equal r.Rr.rname) st.owners) then
+    st.owners <- r.Rr.rname :: st.owners
+
+let taken st name = List.exists (Name.equal name) st.owners
+let flip st p = Random.State.float st.rng 1.0 < p
+
+(* Emit data records for one node. *)
+let populate_node st name ~allow_cname =
+  let emitted = ref 0 in
+  let emit r =
+    add st r;
+    incr emitted
+  in
+  if
+    allow_cname
+    && (not (taken st name))
+    && flip st st.cfg.cname_prob
+    && st.host_names <> []
+  then
+    (* CNAME owners hold nothing else (validated exclusivity). *)
+    let target =
+      List.nth st.host_names (Random.State.int st.rng (List.length st.host_names))
+    in
+    emit (Rr.cname name target)
+  else begin
+    emit (Rr.a name (fresh_addr st));
+    st.host_names <- name :: st.host_names;
+    if flip st 0.3 && !emitted < st.cfg.max_rrs_per_node then
+      emit (Rr.aaaa name (fresh_addr st));
+    if flip st st.cfg.mx_prob && !emitted < st.cfg.max_rrs_per_node then begin
+      (* Wildcard owners cannot have children ('*' must stay leftmost),
+         so their MX exchange hangs off the wildcard's parent. *)
+      let exchange_base =
+        match Name.labels name with
+        | l :: rest when Label.is_wildcard l -> Name.of_labels rest
+        | _ -> name
+      in
+      let exchange = Name.child (Label.of_string_exn "mail") exchange_base in
+      emit (Rr.mx name (10 * (1 + Random.State.int st.rng 3)) exchange);
+      (* Sometimes provide the exchange's address (additional-section
+         material), sometimes not. *)
+      if flip st 0.7 && not (taken st exchange) then begin
+        emit (Rr.a exchange (fresh_addr st));
+        st.host_names <- exchange :: st.host_names
+      end
+    end;
+    if flip st st.cfg.txt_prob && !emitted < st.cfg.max_rrs_per_node then
+      emit (Rr.txt name "generated")
+  end
+
+(* Emit a delegation at [name]: NS records plus in-zone glue. *)
+let delegate st name =
+  let ns1 = Name.child (Label.of_string_exn "ns1") name in
+  add st (Rr.ns name (Name.of_string_exn "ns-out.other-org"));
+  add st (Rr.ns name ns1);
+  (* Glue for the in-bailiwick server. *)
+  add st (Rr.a ns1 (fresh_addr st))
+
+let rec gen_subtree st name depth =
+  if depth < st.cfg.max_depth then begin
+    let n_children = Random.State.int st.rng (st.cfg.max_children + 1) in
+    let used = ref [] in
+    for _ = 1 to n_children do
+      let l = pick_label st.rng in
+      if not (List.mem l !used) then begin
+        used := l :: !used;
+        let child = Name.child (Label.of_string_exn l) name in
+        if flip st st.cfg.delegation_prob && depth > 0 && not (taken st child)
+        then delegate st child
+        else begin
+          populate_node st child ~allow_cname:true;
+          gen_subtree st child (depth + 1)
+        end
+      end
+    done;
+    (* Wildcards at various positions (§9 favours them). *)
+    if flip st st.cfg.wildcard_prob then begin
+      let wc = Name.child Label.wildcard name in
+      populate_node st wc ~allow_cname:(flip st 0.3)
+    end
+  end
+
+(* Generate one pseudo-random zone for [origin] from [seed]. *)
+let generate ?(config = default_config) ~seed origin : Zone.t =
+  let rng = Random.State.make [| seed |] in
+  let st =
+    {
+      rng;
+      cfg = config;
+      records = [];
+      next_addr = 1;
+      host_names = [];
+      owners = [];
+    }
+  in
+  add st (Rr.soa origin ~mname:(Name.child (Label.of_string_exn "ns1") origin) ~serial:seed);
+  add st (Rr.ns origin (Name.child (Label.of_string_exn "ns1") origin));
+  add st (Rr.a (Name.child (Label.of_string_exn "ns1") origin) (fresh_addr st));
+  populate_node st origin ~allow_cname:false;
+  gen_subtree st origin 0;
+  let z = Zone.make origin (List.rev st.records) in
+  (* The generator must only produce valid zones; a validation failure
+     here is a generator bug. *)
+  if not (Zone.is_valid z) then begin
+    List.iter (fun e -> Format.eprintf "zonegen: %a@." Zone.pp_error e)
+      (Zone.validate z);
+    assert false
+  end;
+  z
+
+(* A batch of zones with distinct seeds. *)
+let generate_many ?config ~seed ~count origin =
+  List.init count (fun i -> generate ?config ~seed:(seed + i) origin)
+
+(* ------------------------------------------------------------------ *)
+(* Random queries against a zone: a mix of existing names, subdomains
+   of existing names, wildcard-covered names and garbage.             *)
+(* ------------------------------------------------------------------ *)
+
+let random_query ~rng (z : Zone.t) : Message.query =
+  let owners = Array.of_list (Zone.owner_names z) in
+  let qtype =
+    match Random.State.int rng 6 with
+    | 0 -> Rr.A
+    | 1 -> Rr.AAAA
+    | 2 -> Rr.MX
+    | 3 -> Rr.NS
+    | 4 -> Rr.CNAME
+    | _ -> Rr.TXT
+  in
+  let base =
+    if Array.length owners = 0 then Zone.origin z
+    else owners.(Random.State.int rng (Array.length owners))
+  in
+  (* Replace a wildcard owner by a random concrete label so wildcard
+     synthesis is exercised. *)
+  let base =
+    match Name.labels base with
+    | l :: rest when Label.is_wildcard l ->
+        Name.of_labels (Label.of_string_exn (pick_label rng) :: rest)
+    | _ -> base
+  in
+  let qname =
+    match Random.State.int rng 4 with
+    | 0 -> base
+    | 1 -> Name.child (Label.of_string_exn (pick_label rng)) base
+    | 2 ->
+        Name.child
+          (Label.of_string_exn (pick_label rng))
+          (Name.child (Label.of_string_exn (pick_label rng)) base)
+    | _ -> (
+        (* A sibling that likely does not exist. *)
+        match Name.parent base with
+        | Some p -> Name.child (Label.of_string_exn (pick_label rng)) p
+        | None -> base)
+  in
+  Message.query qname qtype

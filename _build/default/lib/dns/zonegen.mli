@@ -1,0 +1,41 @@
+(* Random zone-configuration generation (§6.5, §9).
+
+   The paper's control-plane scripts generate tens of thousands of zones,
+   favouring complex names (wildcards at various positions) and
+   intertwined records (sub-domains, NS referrals, glue, CNAME chains),
+   so the concrete domain tree exercises diverse matching scenarios.
+   This module reproduces that distribution with an explicit seeded RNG
+   so every experiment is replayable. *)
+
+type config = {
+  max_depth : int;
+  max_children : int;
+  wildcard_prob : float;
+  delegation_prob : float;
+  cname_prob : float;
+  mx_prob : float;
+  txt_prob : float;
+  max_rrs_per_node : int;
+}
+val default_config : config
+val label_pool : string array
+val pick_label : Random.State.t -> string
+type gen_state = {
+  rng : Random.State.t;
+  cfg : config;
+  mutable records : Rr.t list;
+  mutable next_addr : int;
+  mutable host_names : Name.t list;
+  mutable owners : Name.t list;
+}
+val fresh_addr : gen_state -> int
+val add : gen_state -> Rr.t -> unit
+val taken : gen_state -> Name.t -> bool
+val flip : gen_state -> float -> bool
+val populate_node : gen_state -> Name.t -> allow_cname:bool -> unit
+val delegate : gen_state -> Name.t -> unit
+val gen_subtree : gen_state -> Name.t -> int -> unit
+val generate : ?config:config -> seed:int -> Name.t -> Zone.t
+val generate_many :
+  ?config:config -> seed:int -> count:int -> Name.t -> Zone.t list
+val random_query : rng:Random.State.t -> Zone.t -> Message.query

@@ -1,0 +1,1 @@
+lib/dnstree/encode.ml: Array Dns Format Layout List Minir Printf Tree

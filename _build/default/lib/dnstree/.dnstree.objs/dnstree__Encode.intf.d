@@ -1,0 +1,1 @@
+lib/dnstree/encode.mli: Dns Format Layout Minir Tree

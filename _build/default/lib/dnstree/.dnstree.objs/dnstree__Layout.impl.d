@@ -1,0 +1,1 @@
+lib/dnstree/layout.ml: Array Dns Golite List Minir Option Printf

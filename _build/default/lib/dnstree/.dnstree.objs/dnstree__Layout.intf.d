@@ -1,0 +1,1 @@
+lib/dnstree/layout.mli: Dns Golite Minir

@@ -1,0 +1,1 @@
+lib/dnstree/tree.ml: Array Dns Format List

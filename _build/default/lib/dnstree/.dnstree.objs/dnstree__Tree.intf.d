@@ -1,0 +1,1 @@
+lib/dnstree/tree.mli: Dns

@@ -1,0 +1,158 @@
+(* The shared data layout between the control plane (heap encoder), the
+   engine source (Golite structs) and the verifier (decoding).
+
+   Names are fixed-capacity arrays of label codes in *reversed* order
+   (top label first, Figure 10), padded with code 0. Rdata is carried as
+   an opaque interned id plus the embedded target name (the only rdata
+   component resolution logic interprets: CNAME/NS/MX/SRV chasing and
+   glue). *)
+
+module Ty = Minir.Ty
+
+(* Capacities. Kept small: they bound the symbolic path space (§6.5). *)
+let max_labels = 6 (* labels per name *)
+let max_rdatas = 3 (* rdatas per rrset *)
+let max_rrsets = 6 (* rrsets per node *)
+let max_rrs = 16 (* records per answer/authority section *)
+let max_additional = 8 (* additional-section cap (best-effort, like UDP) *)
+let max_stack = 8 (* NodeStack depth *)
+
+(* Match kinds returned by TreeSearch. *)
+let k_closest = 0 (* no exact node; result is the closest encloser *)
+let k_exact = 1
+let k_delegation = 2 (* walk stopped at a delegation cut *)
+
+(* compareNames results (Figure 4 / Figure 10). *)
+let nomatch = 0
+let exactmatch = 1
+let partialmatch = 2
+
+(* Golite struct definitions (the engine's own data structures). *)
+let name_array = Golite.Ast.Tarray (Golite.Ast.Tint, max_labels)
+
+let structs : Golite.Ast.struct_def list =
+  let open Golite.Ast in
+  [
+    {
+      sname = "Rdata";
+      fields =
+        [
+          ("target", name_array);
+          ("targetLen", Tint);
+          ("hasTarget", Tbool);
+          ("dataId", Tint);
+        ];
+    };
+    {
+      sname = "RRSet";
+      fields =
+        [
+          ("rtype", Tint);
+          ("count", Tint);
+          ("rdatas", Tarray (Tstruct "Rdata", max_rdatas));
+        ];
+    };
+    {
+      sname = "TreeNode";
+      fields =
+        [
+          ("labels", name_array);
+          ("labelsLen", Tint);
+          ("left", Tptr (Tstruct "TreeNode"));
+          ("right", Tptr (Tstruct "TreeNode"));
+          ("down", Tptr (Tstruct "TreeNode"));
+          ("nsets", Tint);
+          ("rrsets", Tarray (Tstruct "RRSet", max_rrsets));
+          ("isWildcard", Tbool);
+          ("hasData", Tbool);
+        ];
+    };
+    {
+      sname = "RR";
+      fields =
+        [
+          ("rname", name_array);
+          ("rnameLen", Tint);
+          ("rtype", Tint);
+          ("target", name_array);
+          ("targetLen", Tint);
+          ("hasTarget", Tbool);
+          ("dataId", Tint);
+        ];
+    };
+    {
+      sname = "Response";
+      fields =
+        [
+          ("rcode", Tint);
+          ("aa", Tbool);
+          ("nanswer", Tint);
+          ("answer", Tarray (Tstruct "RR", max_rrs));
+          ("nauthority", Tint);
+          ("authority", Tarray (Tstruct "RR", max_rrs));
+          ("nadditional", Tint);
+          ("additional", Tarray (Tstruct "RR", max_additional));
+        ];
+    };
+    {
+      sname = "NodeStack";
+      fields =
+        [ ("nodes", Tarray (Tptr (Tstruct "TreeNode"), max_stack)); ("level", Tint) ];
+    };
+    {
+      sname = "SearchResult";
+      fields = [ ("node", Tptr (Tstruct "TreeNode")); ("kind", Tint) ];
+    };
+  ]
+
+let tenv : Ty.tenv = Golite.Ast.lower_structs structs
+
+(* Field indices, used by the heap encoder and decoder. Computed from
+   the single definition above so they can never drift. *)
+let struct_def name = Ty.find_struct tenv name
+let field_index sname fname = fst (Ty.field_index (struct_def sname) fname)
+
+(* ------------------------------------------------------------------ *)
+(* Rdata interning                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Rr = Dns.Rr
+
+type interner = {
+  coder : Dns.Label.Coder.t;
+  mutable data_by_id : (int * Rr.rdata) list;
+  mutable next_id : int;
+}
+
+let create_interner () =
+  { coder = Dns.Label.Coder.create (); data_by_id = []; next_id = 1 }
+
+let intern_rdata (it : interner) (rd : Rr.rdata) : int =
+  match
+    List.find_opt (fun (_, rd') -> Rr.equal_rdata rd rd') it.data_by_id
+  with
+  | Some (id, _) -> id
+  | None ->
+      let id = it.next_id in
+      it.next_id <- id + 1;
+      it.data_by_id <- (id, rd) :: it.data_by_id;
+      id
+
+let rdata_of_id (it : interner) id : Rr.rdata option =
+  Option.map snd (List.find_opt (fun (i, _) -> i = id) it.data_by_id)
+
+(* A name as a padded reversed code array plus its length. *)
+let encode_name (it : interner) (n : Dns.Name.t) : int array * int =
+  let codes = Dns.Name.codes it.coder n in
+  let len = List.length codes in
+  if len > max_labels then
+    invalid_arg
+      (Printf.sprintf "name %s exceeds max depth %d" (Dns.Name.to_string n)
+         max_labels);
+  let arr = Array.make max_labels 0 in
+  List.iteri (fun i c -> arr.(i) <- c) codes;
+  (arr, len)
+
+let decode_name (it : interner) (codes : int array) (len : int) : Dns.Name.t =
+  let cs = Array.to_list (Array.sub codes 0 len) in
+  Dns.Name.of_codes it.coder cs

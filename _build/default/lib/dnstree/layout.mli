@@ -1,0 +1,38 @@
+(* The shared data layout between the control plane (heap encoder), the
+   engine source (Golite structs) and the verifier (decoding).
+
+   Names are fixed-capacity arrays of label codes in *reversed* order
+   (top label first, Figure 10), padded with code 0. Rdata is carried as
+   an opaque interned id plus the embedded target name (the only rdata
+   component resolution logic interprets: CNAME/NS/MX/SRV chasing and
+   glue). *)
+
+module Ty = Minir.Ty
+val max_labels : int
+val max_rdatas : int
+val max_rrsets : int
+val max_rrs : int
+val max_additional : int
+val max_stack : int
+val k_closest : int
+val k_exact : int
+val k_delegation : int
+val nomatch : int
+val exactmatch : int
+val partialmatch : int
+val name_array : Golite.Ast.ty
+val structs : Golite.Ast.struct_def list
+val tenv : Ty.tenv
+val struct_def : string -> Ty.struct_def
+val field_index : string -> string -> int
+module Rr = Dns.Rr
+type interner = {
+  coder : Dns.Label.Coder.t;
+  mutable data_by_id : (int * Rr.rdata) list;
+  mutable next_id : int;
+}
+val create_interner : unit -> interner
+val intern_rdata : interner -> Rr.rdata -> int
+val rdata_of_id : interner -> int -> Rr.rdata option
+val encode_name : interner -> Dns.Name.t -> int array * int
+val decode_name : interner -> int array -> int -> Dns.Name.t

@@ -1,0 +1,184 @@
+(* The control-plane domain tree (§6.5).
+
+   Built from a validated zone configuration: one node per owner name
+   *and* per implied empty non-terminal, each carrying its full name.
+   Siblings form a binary search tree ordered by the canonical label
+   order (wildcard label smallest), threaded through left/right, with
+   the parent's [down] pointing at the BST root — the left/right/down
+   shape of Figure 11. *)
+
+module Name = Dns.Name
+module Label = Dns.Label
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+
+type rrset = { set_rtype : Rr.rtype; rdatas : Rr.rdata list }
+
+type node = {
+  name : Name.t;
+  mutable left : node option;
+  mutable right : node option;
+  mutable down : node option;
+  rrsets : rrset list;
+  is_wildcard : bool;
+  has_data : bool; (* owns records (not a pure empty non-terminal) *)
+}
+
+type t = { root : node; zone : Zone.t }
+
+(* Group records at [name] into rrsets (stable order: first appearance
+   of each type). *)
+let rrsets_at (z : Zone.t) name : rrset list =
+  let records = Zone.records_at z name in
+  let types =
+    List.fold_left
+      (fun acc (r : Rr.t) ->
+        if List.exists (Rr.equal_rtype r.Rr.rtype) acc then acc
+        else acc @ [ r.Rr.rtype ])
+      [] records
+  in
+  List.map
+    (fun ty ->
+      {
+        set_rtype = ty;
+        rdatas =
+          List.filter_map
+            (fun (r : Rr.t) ->
+              if Rr.equal_rtype r.Rr.rtype ty then Some r.Rr.rdata else None)
+            records;
+      })
+    types
+
+(* All node names: owners plus every ancestor down to the origin (the
+   empty non-terminals), deduplicated. *)
+let node_names (z : Zone.t) : Name.t list =
+  let origin = Zone.origin z in
+  let add acc name = if List.exists (Name.equal name) acc then acc else name :: acc in
+  let rec ancestors acc name =
+    let acc = add acc name in
+    if Name.equal name origin then acc
+    else
+      match Name.parent name with
+      | Some p when Name.is_under ~ancestor:origin p -> ancestors acc p
+      | _ -> acc
+  in
+  List.fold_left
+    (fun acc (r : Rr.t) ->
+      if Name.is_under ~ancestor:origin r.Rr.rname then
+        ancestors acc r.Rr.rname
+      else acc)
+    [ origin ] (Zone.records z)
+
+(* Build a balanced BST from a sorted list of sibling nodes. Balance
+   matters for realism (and it places the wildcard away from the BST
+   root, which is what makes the v2.0 wildcard-search bug reachable). *)
+let rec build_bst (sorted : node array) lo hi : node option =
+  if lo > hi then None
+  else
+    let mid = (lo + hi) / 2 in
+    let n = sorted.(mid) in
+    n.left <- build_bst sorted lo (mid - 1);
+    n.right <- build_bst sorted (mid + 1) hi;
+    Some n
+
+(* Sibling order: canonical order of the distinguishing (leftmost)
+   label, wildcard first. *)
+let sibling_compare (a : node) (b : node) =
+  match (Name.leftmost a.name, Name.leftmost b.name) with
+  | Some la, Some lb ->
+      let wa = Label.is_wildcard la and wb = Label.is_wildcard lb in
+      if wa && not wb then -1
+      else if wb && not wa then 1
+      else Label.compare la lb
+  | _ -> compare a.name b.name
+
+let build (z : Zone.t) : t =
+  let names = node_names z in
+  let mk name =
+    let rrsets = rrsets_at z name in
+    {
+      name;
+      left = None;
+      right = None;
+      down = None;
+      rrsets;
+      is_wildcard = Name.is_wildcard name;
+      has_data = rrsets <> [];
+    }
+  in
+  let nodes = List.map mk names in
+  let find name = List.find (fun n -> Name.equal n.name name) nodes in
+  let origin = Zone.origin z in
+  (* Children of each node, linked as balanced BSTs. *)
+  List.iter
+    (fun parent_node ->
+      let children =
+        List.filter
+          (fun n ->
+            match Name.parent n.name with
+            | Some p -> Name.equal p parent_node.name
+            | None -> false)
+          nodes
+      in
+      let sorted = Array.of_list (List.sort sibling_compare children) in
+      parent_node.down <- build_bst sorted 0 (Array.length sorted - 1))
+    nodes;
+  { root = find origin; zone = z }
+
+let root t = t.root
+
+(* Depth-first traversal (down, then left/right of each BST). *)
+let fold (f : 'a -> node -> 'a) (acc : 'a) (t : t) : 'a =
+  let rec go acc = function
+    | None -> acc
+    | Some n ->
+        let acc = f acc n in
+        let acc = go acc n.left in
+        let acc = go acc n.right in
+        go acc n.down
+  in
+  go acc (Some t.root)
+
+let node_count t = fold (fun n _ -> n + 1) 0 t
+
+let find_node t name =
+  fold (fun acc n -> if Name.equal n.name name then Some n else acc) None t
+
+(* Invariant checks, used by property tests: BST order within each
+   sibling level, parent prefixes, wildcard flags. *)
+let check_invariants (t : t) : string list =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let rec bst_ok (n : node option) ~(lo : node option) ~(hi : node option) =
+    match n with
+    | None -> ()
+    | Some n ->
+        (match lo with
+        | Some l when sibling_compare n l <= 0 ->
+            err "BST order violated at %s" (Name.to_string n.name)
+        | _ -> ());
+        (match hi with
+        | Some h when sibling_compare n h >= 0 ->
+            err "BST order violated at %s" (Name.to_string n.name)
+        | _ -> ());
+        bst_ok n.left ~lo ~hi:(Some n);
+        bst_ok n.right ~lo:(Some n) ~hi
+  in
+  let rec walk (n : node) =
+    bst_ok n.down ~lo:None ~hi:None;
+    let rec each = function
+      | None -> ()
+      | Some (c : node) ->
+          (match Name.parent c.name with
+          | Some p when Name.equal p n.name -> ()
+          | _ -> err "child %s not under %s" (Name.to_string c.name) (Name.to_string n.name));
+          if Name.is_wildcard c.name <> c.is_wildcard then
+            err "wildcard flag wrong at %s" (Name.to_string c.name);
+          each c.left;
+          each c.right;
+          walk c
+    in
+    each n.down
+  in
+  walk t.root;
+  List.rev !errs

@@ -1,0 +1,34 @@
+(* The control-plane domain tree (§6.5).
+
+   Built from a validated zone configuration: one node per owner name
+   *and* per implied empty non-terminal, each carrying its full name.
+   Siblings form a binary search tree ordered by the canonical label
+   order (wildcard label smallest), threaded through left/right, with
+   the parent's [down] pointing at the BST root — the left/right/down
+   shape of Figure 11. *)
+
+module Name = Dns.Name
+module Label = Dns.Label
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+type rrset = { set_rtype : Rr.rtype; rdatas : Rr.rdata list; }
+type node = {
+  name : Name.t;
+  mutable left : node option;
+  mutable right : node option;
+  mutable down : node option;
+  rrsets : rrset list;
+  is_wildcard : bool;
+  has_data : bool;
+}
+type t = { root : node; zone : Zone.t; }
+val rrsets_at : Zone.t -> Dns.Name.t -> rrset list
+val node_names : Zone.t -> Name.t list
+val build_bst : node array -> int -> int -> node option
+val sibling_compare : node -> node -> int
+val build : Zone.t -> t
+val root : t -> node
+val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+val node_count : t -> int
+val find_node : t -> Name.t -> node option
+val check_invariants : t -> string list

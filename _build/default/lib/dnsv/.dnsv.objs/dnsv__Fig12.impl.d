@@ -1,0 +1,1 @@
+lib/dnsv/fig12.ml: Dns Engine Hashtbl List Option Printf Refine Spec Unix

@@ -1,0 +1,1 @@
+lib/dnsv/fig12.mli: Dns Engine Refine Spec

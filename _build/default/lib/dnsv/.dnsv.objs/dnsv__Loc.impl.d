@@ -1,0 +1,1 @@
+lib/dnsv/loc.ml: Filename Golite List String Sys

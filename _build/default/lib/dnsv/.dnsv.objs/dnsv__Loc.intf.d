@@ -1,0 +1,1 @@
+lib/dnsv/loc.mli: Golite

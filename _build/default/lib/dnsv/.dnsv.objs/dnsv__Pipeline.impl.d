@@ -1,0 +1,1 @@
+lib/dnsv/pipeline.ml: Dns Engine Format List Printf Refine String Unix

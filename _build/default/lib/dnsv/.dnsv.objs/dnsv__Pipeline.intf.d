@@ -1,0 +1,1 @@
+lib/dnsv/pipeline.mli: Dns Engine Format Refine

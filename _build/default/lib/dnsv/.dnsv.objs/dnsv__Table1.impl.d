@@ -1,0 +1,1 @@
+lib/dnsv/table1.ml: Array Dns Dnstree Engine List Minir Printf Refine Smt Spec String Symex Unix

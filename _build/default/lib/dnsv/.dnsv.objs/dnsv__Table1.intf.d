@@ -1,0 +1,1 @@
+lib/dnsv/table1.mli: Dns Dnstree Refine Smt Spec Symex

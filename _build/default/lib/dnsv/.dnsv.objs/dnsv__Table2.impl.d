@@ -1,0 +1,1 @@
+lib/dnsv/table2.ml: Dns Engine Format List Printf Refine Spec Unix

@@ -1,0 +1,1 @@
+lib/dnsv/table2.mli: Dns Engine Refine Spec

@@ -1,0 +1,1 @@
+lib/dnsv/table3.ml: Engine List Loc Option Printf Refine

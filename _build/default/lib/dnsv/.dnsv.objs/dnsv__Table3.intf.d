@@ -1,0 +1,1 @@
+lib/dnsv/table3.mli: Engine

@@ -1,0 +1,26 @@
+(* Experiment: Figure 12 (§7) — per-layer symbolic execution and
+   summarization time.
+
+   The paper reports that DNS-V finishes each layer in under a minute.
+   We verify v2.0 end-to-end on the reference zone and report, per
+   layer: manual layers with their specification-equivalence check
+   time, summarized layers with their total summarization time and the
+   number of summary cases, and the top layer (Resolve) with the
+   whole-engine refinement time. *)
+
+module Rr = Dns.Rr
+module Check = Refine.Check
+module Layers = Refine.Layers
+module Versions = Engine.Versions
+module Builder = Engine.Builder
+type row = {
+  layer : string;
+  kind : string;
+  seconds : float;
+  detail : string;
+}
+type result = { rows : row list; total : float; }
+val run :
+  ?cfg:Engine.Builder.config ->
+  ?zone:Spec.Fixtures.Zone.t -> ?qtypes:Check.Rr.rtype list -> unit -> result
+val print : result -> unit

@@ -1,0 +1,70 @@
+(* Size accounting for the Table-3 porting-cost experiment.
+
+   The implementation is measured directly on the Golite AST (statement
+   counts per function); version deltas are computed by comparing
+   function bodies across two versions. Specification and harness sizes
+   are read from the OCaml sources when the repository is available at
+   run time, with self-reported fallbacks otherwise. *)
+
+module Ast = Golite.Ast
+
+let rec stmt_size (s : Ast.stmt) : int =
+  match s with
+  | Ast.Declare _ | Ast.Assign _ | Ast.Return _ | Ast.Expr_stmt _ | Ast.Break
+  | Ast.Continue | Ast.Panic _ ->
+      1
+  | Ast.If (_, a, b) -> 1 + stmts_size a + stmts_size b
+  | Ast.While (_, body) -> 1 + stmts_size body
+
+and stmts_size body = List.fold_left (fun acc s -> acc + stmt_size s) 0 body
+
+let func_size (f : Ast.func) = 1 + stmts_size f.Ast.body
+
+let program_size (p : Ast.program) =
+  List.fold_left (fun acc f -> acc + func_size f) 0 p.Ast.funcs
+  + List.fold_left
+      (fun acc (s : Ast.struct_def) -> acc + 1 + List.length s.Ast.fields)
+      0 p.Ast.structs
+
+let func_sizes (p : Ast.program) =
+  List.map (fun f -> (f.Ast.fn_name, func_size f)) p.Ast.funcs
+
+(* Functions whose bodies differ between two versions, with the size of
+   the new body (a coarse measure of the changed code, like a diff). *)
+let changed_functions (old_p : Ast.program) (new_p : Ast.program) :
+    (string * int) list =
+  List.filter_map
+    (fun (f : Ast.func) ->
+      match
+        List.find_opt (fun g -> g.Ast.fn_name = f.Ast.fn_name) old_p.Ast.funcs
+      with
+      | Some g when g.Ast.body = f.Ast.body -> None
+      | Some _ -> Some (f.Ast.fn_name, func_size f)
+      | None -> Some (f.Ast.fn_name, func_size f))
+    new_p.Ast.funcs
+
+let changed_size old_p new_p =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (changed_functions old_p new_p)
+
+(* Count the non-empty, non-comment lines of an OCaml source file if the
+   repository sources are reachable from the working directory. *)
+let source_lines ?(fallback : int option) (relpath : string) : int option =
+  let candidates = [ relpath; Filename.concat ".." relpath ] in
+  let count file =
+    let ic = open_in file in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if
+           line <> ""
+           && not (String.length line >= 2 && String.sub line 0 2 = "(*")
+         then incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some file -> ( try Some (count file) with Sys_error _ -> fallback)
+  | None -> fallback

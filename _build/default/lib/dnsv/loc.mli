@@ -1,0 +1,17 @@
+(* Size accounting for the Table-3 porting-cost experiment.
+
+   The implementation is measured directly on the Golite AST (statement
+   counts per function); version deltas are computed by comparing
+   function bodies across two versions. Specification and harness sizes
+   are read from the OCaml sources when the repository is available at
+   run time, with self-reported fallbacks otherwise. *)
+
+module Ast = Golite.Ast
+val stmt_size : Ast.stmt -> int
+val stmts_size : Ast.stmt list -> int
+val func_size : Ast.func -> int
+val program_size : Ast.program -> int
+val func_sizes : Ast.program -> (string * int) list
+val changed_functions : Ast.program -> Ast.program -> (string * int) list
+val changed_size : Ast.program -> Ast.program -> int
+val source_lines : ?fallback:int -> string -> int option

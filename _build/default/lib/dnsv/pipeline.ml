@@ -1,0 +1,99 @@
+(* The DNS-V pipeline facade (Figure 6): end-to-end verification of one
+   engine version — dependency layers against their manual
+   specifications, then the whole engine (with automatic summaries at
+   the resolution layers) against the top-level specification, for a
+   set of query types over one or many zone configurations. *)
+
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Name = Dns.Name
+module Check = Refine.Check
+module Layers = Refine.Layers
+module Versions = Engine.Versions
+module Builder = Engine.Builder
+
+(* The query types exercised by full verification; PTR/SRV behave like
+   the others and are included for completeness. *)
+let all_qtypes = [ Rr.A; Rr.AAAA; Rr.NS; Rr.CNAME; Rr.SOA; Rr.MX; Rr.TXT ]
+
+type verdict = {
+  version : string;
+  zone_origin : string;
+  layer_reports : Layers.layer_report list;
+  reports : Check.report list; (* one per query type *)
+  elapsed : float;
+}
+
+let clean (v : verdict) =
+  List.for_all Layers.layer_ok v.layer_reports
+  && List.for_all Check.ok v.reports
+
+let issues (v : verdict) =
+  List.concat_map
+    (fun (r : Check.report) ->
+      List.map
+        (fun (m : Check.mismatch) ->
+          Printf.sprintf "[%s] functional mismatch on %s: %s"
+            (Rr.rtype_to_string r.Check.qtype)
+            (Format.asprintf "%a" Dns.Message.pp_query m.Check.query)
+            m.Check.detail)
+        r.Check.mismatches
+      @ List.map
+          (fun (p : Check.panic_report) ->
+            Printf.sprintf "[%s] runtime error on %s: %s"
+              (Rr.rtype_to_string r.Check.qtype)
+              (Format.asprintf "%a" Dns.Message.pp_query p.Check.panic_query)
+              p.Check.reason)
+          r.Check.panics)
+    v.reports
+
+(* Verify [cfg] on [zone] for [qtypes]. *)
+let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
+    ?(check_layers = true) (cfg : Builder.config) (zone : Zone.t) : verdict =
+  let t0 = Unix.gettimeofday () in
+  let prog = Versions.compiled cfg in
+  let layer_reports = if check_layers then Layers.check_all ~zone prog else [] in
+  let reports =
+    List.map (fun qtype -> Check.check_version ~mode cfg zone ~qtype) qtypes
+  in
+  {
+    version = cfg.Builder.version;
+    zone_origin = Name.to_string (Zone.origin zone);
+    layer_reports;
+    reports;
+    elapsed = Unix.gettimeofday () -. t0;
+  }
+
+(* Verify over a batch of generated zone configurations (§6.5: each run
+   proves correctness for one concrete zone snapshot). Stops at the
+   first zone exposing an issue, or verifies them all. *)
+type batch_outcome =
+  | All_clean of int (* zones verified *)
+  | Failed of { zone_index : int; verdict : verdict }
+
+let verify_batch ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
+    (cfg : Builder.config) (origin : Name.t) : batch_outcome =
+  let zones = Dns.Zonegen.generate_many ~seed ~count origin in
+  let rec go i = function
+    | [] -> All_clean count
+    | zone :: rest ->
+        let v = verify ~qtypes ~check_layers:(i = 0) cfg zone in
+        if clean v then go (i + 1) rest
+        else Failed { zone_index = i; verdict = v }
+  in
+  go 0 zones
+
+let pp_verdict fmt (v : verdict) =
+  Format.fprintf fmt "@[<v>engine %s on zone %s: %s (%.2fs)@," v.version
+    v.zone_origin
+    (if clean v then "VERIFIED" else "ISSUES FOUND")
+    v.elapsed;
+  List.iter
+    (fun (r : Layers.layer_report) ->
+      Format.fprintf fmt "  layer %-18s %s@," r.Layers.layer
+        (if Layers.layer_ok r then "ok" else String.concat "; " r.Layers.mismatches))
+    v.layer_reports;
+  List.iter (fun i -> Format.fprintf fmt "  %s@," i) (issues v);
+  Format.fprintf fmt "@]"
+
+let verdict_to_string v = Format.asprintf "%a" pp_verdict v

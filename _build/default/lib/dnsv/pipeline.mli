@@ -1,0 +1,35 @@
+(* The DNS-V pipeline facade (Figure 6): end-to-end verification of one
+   engine version — dependency layers against their manual
+   specifications, then the whole engine (with automatic summaries at
+   the resolution layers) against the top-level specification, for a
+   set of query types over one or many zone configurations. *)
+
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Name = Dns.Name
+module Check = Refine.Check
+module Layers = Refine.Layers
+module Versions = Engine.Versions
+module Builder = Engine.Builder
+val all_qtypes : Rr.rtype list
+type verdict = {
+  version : string;
+  zone_origin : string;
+  layer_reports : Layers.layer_report list;
+  reports : Check.report list;
+  elapsed : float;
+}
+val clean : verdict -> bool
+val issues : verdict -> string list
+val verify :
+  ?qtypes:Check.Rr.rtype list ->
+  ?mode:Check.mode ->
+  ?check_layers:bool -> Builder.config -> Zone.t -> verdict
+type batch_outcome =
+    All_clean of int
+  | Failed of { zone_index : int; verdict : verdict; }
+val verify_batch :
+  ?qtypes:Check.Rr.rtype list ->
+  ?count:int -> ?seed:int -> Builder.config -> Name.t -> batch_outcome
+val pp_verdict : Format.formatter -> verdict -> unit
+val verdict_to_string : verdict -> string

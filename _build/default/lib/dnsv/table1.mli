@@ -1,0 +1,36 @@
+(* Experiment: Table 1 (§6.4) — the execution paths of TreeSearch
+   walking the Figure-11 example domain tree.
+
+   We summarize TreeSearch with a symbolic qname constrained under the
+   zone origin and report, for each input-effect pair: the path
+   condition, a satisfying example qname (like the paper's table), and
+   the recorded effect (match kind and result node). The paper lists
+   exactly 14 paths (P0–P13). *)
+
+module Term = Smt.Term
+module Solver = Smt.Solver
+module Name = Dns.Name
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Layout = Dnstree.Layout
+module Encode = Dnstree.Encode
+module Tree = Dnstree.Tree
+module Sval = Symex.Sval
+module Exec = Symex.Exec
+module Specsym = Refine.Specsym
+type row = {
+  path_id : int;
+  condition : string;
+  example_qname : string;
+  kind : string;
+  result_node : string;
+}
+type result = {
+  rows : row list;
+  zone : Zone.t;
+  elapsed : float;
+  solver_calls : int;
+}
+val kind_name : int -> string
+val run : ?zone:Spec.Fixtures.Zone.t -> unit -> result
+val print : result -> unit

@@ -1,0 +1,17 @@
+(* Experiment: Table 3 (§7) — cost of verifying one version of the DNS
+   authoritative engine and porting the verification to a newer one.
+
+   Paper's shape: the implementation is O(2000) lines with O(200)
+   changing between v2.0 and v3.0 (~10:1); dependency specifications,
+   interface configuration and the top-level specification are each one
+   to two orders of magnitude smaller than the implementation, and their
+   deltas are near zero; the safety property is O(1) (panic blocks are
+   unreachable) and never changes. We measure the same quantities on
+   our artifacts. *)
+
+module Builder = Engine.Builder
+module Versions = Engine.Versions
+type row = { artifact : string; v2_size : string; delta_v2_v3 : string; }
+type result = { rows : row list; impl_sizes : (string * int) list; }
+val run : unit -> result
+val print : result -> unit

@@ -1,0 +1,1 @@
+lib/engine/builder.ml: Bugs Dnstree Golite Minir

@@ -1,0 +1,1 @@
+lib/engine/builder.mli: Bugs Dnstree Golite Minir

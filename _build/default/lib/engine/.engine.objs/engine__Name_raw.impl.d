@@ -1,0 +1,1 @@
+lib/engine/name_raw.ml: Array Dns Dnstree Golite Lazy List Minir Stdlib

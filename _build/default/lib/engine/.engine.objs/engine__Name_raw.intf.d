@@ -1,0 +1,1 @@
+lib/engine/name_raw.mli: Dns Dnstree Golite Lazy Minir

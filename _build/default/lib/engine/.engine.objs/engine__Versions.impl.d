@@ -1,0 +1,1 @@
+lib/engine/versions.ml: Bugs Builder Dns Dnstree Hashtbl List Minir Option String

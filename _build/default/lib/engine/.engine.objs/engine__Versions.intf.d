@@ -1,0 +1,1 @@
+lib/engine/versions.mli: Builder Dns Dnstree Hashtbl Minir

@@ -1,0 +1,142 @@
+(* The Table-2 bug registry: the nine production issues DNS-V found and
+   prevented, reproduced as individually toggleable code-generation
+   flags in the engine builder.
+
+   Each flag corresponds to one Table-2 row; a version's historical flag
+   set is defined in [Versions]. Turning every flag off yields the
+   corrected engine, which must verify cleanly. *)
+
+type flags = {
+  bug1_missing_aa_on_nodata : bool;
+      (* v1.0 — Wrong Flag: AA flag missing for certain authoritative
+         answers (NODATA responses never set AA). *)
+  bug2_extraneous_authority : bool;
+      (* v1.0 — Wrong Authority: extraneous NS/SOA authority (apex NS
+         records appended to the authority section of positive
+         answers). *)
+  bug3_mx_type_confusion : bool;
+      (* v1.0 — Wrong Answer: incorrect resource record matching on MX
+         (wrong type constant: MX queries match TXT rrsets). *)
+  bug4_glue_first_only : bool;
+      (* v2.0 — Wrong Additional: incomplete glue for certain queries
+         (referral glue loop only visits the first NS target). *)
+  bug5_wildcard_no_additional : bool;
+      (* v2.0 — Wrong Additional: incomplete glue when handling wildcard
+         (additional-section processing skipped for wildcard-synthesized
+         answers). *)
+  bug6_wildcard_scan_shallow : bool;
+      (* v2.0 — Wrong Answer/rcode: incorrect domain tree search for
+         certain wildcard domains (wildcard child scan inspects only the
+         sibling-BST root instead of walking to the leftmost node). *)
+  bug7_glue_ignores_cuts : bool;
+      (* v2.0 — Wrong Additional: extraneous records in the additional
+         section (glue emitted for targets occluded by a delegation
+         cut). *)
+  bug8_ent_wildcard_judgment : bool;
+      (* v3.0/dev — Wrong Answer/rcode: incorrect judgments on certain
+         wildcard domains (empty non-terminal exact matches treated as
+         nonexistent, falling through to wildcard synthesis /
+         NXDOMAIN). *)
+  bug9_stack_peek_nil : bool;
+      (* dev — Runtime Error: incomplete bug fix may cause invalid
+         memory access (the bug-8 fix peeks at the traversal stack with
+         an off-by-one index, dereferencing a nil node pointer on
+         multi-label wildcard expansions). *)
+}
+
+let none =
+  {
+    bug1_missing_aa_on_nodata = false;
+    bug2_extraneous_authority = false;
+    bug3_mx_type_confusion = false;
+    bug4_glue_first_only = false;
+    bug5_wildcard_no_additional = false;
+    bug6_wildcard_scan_shallow = false;
+    bug7_glue_ignores_cuts = false;
+    bug8_ent_wildcard_judgment = false;
+    bug9_stack_peek_nil = false;
+  }
+
+(* Table-2 metadata for reporting. *)
+type info = {
+  index : int;
+  version : string;
+  classification : string;
+  description : string;
+}
+
+let table2 : info list =
+  [
+    {
+      index = 1;
+      version = "1.0";
+      classification = "Wrong Flag";
+      description = "AA flag missing for certain authoritative answers";
+    };
+    {
+      index = 2;
+      version = "1.0";
+      classification = "Wrong Authority";
+      description = "Extraneous NS/SOA authority";
+    };
+    {
+      index = 3;
+      version = "1.0";
+      classification = "Wrong Answer";
+      description = "Incorrect resource record matching on MX";
+    };
+    {
+      index = 4;
+      version = "2.0";
+      classification = "Wrong Additional";
+      description = "Incomplete glue for certain queries";
+    };
+    {
+      index = 5;
+      version = "2.0";
+      classification = "Wrong Additional";
+      description = "Incomplete glue when handling wildcard";
+    };
+    {
+      index = 6;
+      version = "2.0";
+      classification = "Wrong Answer/rcode";
+      description = "Incorrect domain tree search for certain wildcard domains";
+    };
+    {
+      index = 7;
+      version = "2.0";
+      classification = "Wrong Additional";
+      description = "Extraneous records in the additional section";
+    };
+    {
+      index = 8;
+      version = "3.0/dev";
+      classification = "Wrong Answer/rcode";
+      description = "Incorrect judgments on certain wildcard domains";
+    };
+    {
+      index = 9;
+      version = "dev";
+      classification = "Runtime Error";
+      description = "Incomplete bug fix may cause invalid memory access";
+    };
+  ]
+
+let info index = List.find (fun i -> i.index = index) table2
+
+(* The indices active in a flag set. *)
+let active (f : flags) : int list =
+  List.filter_map
+    (fun (i, b) -> if b then Some i else None)
+    [
+      (1, f.bug1_missing_aa_on_nodata);
+      (2, f.bug2_extraneous_authority);
+      (3, f.bug3_mx_type_confusion);
+      (4, f.bug4_glue_first_only);
+      (5, f.bug5_wildcard_no_additional);
+      (6, f.bug6_wildcard_scan_shallow);
+      (7, f.bug7_glue_ignores_cuts);
+      (8, f.bug8_ent_wildcard_judgment);
+      (9, f.bug9_stack_peek_nil);
+    ]

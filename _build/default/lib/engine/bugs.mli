@@ -1,0 +1,29 @@
+(* The Table-2 bug registry: the nine production issues DNS-V found and
+   prevented, reproduced as individually toggleable code-generation
+   flags in the engine builder.
+
+   Each flag corresponds to one Table-2 row; a version's historical flag
+   set is defined in [Versions]. Turning every flag off yields the
+   corrected engine, which must verify cleanly. *)
+
+type flags = {
+  bug1_missing_aa_on_nodata : bool;
+  bug2_extraneous_authority : bool;
+  bug3_mx_type_confusion : bool;
+  bug4_glue_first_only : bool;
+  bug5_wildcard_no_additional : bool;
+  bug6_wildcard_scan_shallow : bool;
+  bug7_glue_ignores_cuts : bool;
+  bug8_ent_wildcard_judgment : bool;
+  bug9_stack_peek_nil : bool;
+}
+val none : flags
+type info = {
+  index : int;
+  version : string;
+  classification : string;
+  description : string;
+}
+val table2 : info list
+val info : int -> info
+val active : flags -> int list

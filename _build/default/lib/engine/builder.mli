@@ -1,0 +1,55 @@
+
+module Layout = Dnstree.Layout
+type config = { version : string; bugs : Bugs.flags; has_srv : bool; }
+val manual_layers : string list
+val summarized_layers : string list
+val maxl : int
+val maxrr : int
+val maxadd : int
+val c_a : int
+val c_ns : int
+val c_cname : int
+val c_soa : int
+val c_mx : int
+val c_txt : int
+val c_aaaa : int
+val c_srv : int
+val rc_noerror : int
+val rc_servfail : int
+val rc_nxdomain : int
+val rc_refused : int
+val cname_chain_budget : int
+val tnode : Golite.Dsl.ty
+val pnode : Golite.Dsl.ty
+val tname : Golite.Dsl.ty
+val presp : Golite.Dsl.ty
+val prdata : Golite.Dsl.ty
+val prrset : Golite.Dsl.ty
+val pstack : Golite.Dsl.ty
+val pres : Golite.Dsl.ty
+val fn_compare_names : Golite.Dsl.func
+val fn_name_order : Golite.Dsl.func
+val fn_copy_name_into : Golite.Dsl.func
+val fn_stack_push : Golite.Dsl.func
+val fn_find_rrset : Golite.Dsl.func
+val fn_find_rrset_for_query : config -> Golite.Dsl.func
+val fn_is_delegation : Golite.Dsl.func
+val fn_tree_search : Golite.Dsl.func
+val fn_find_wildcard_child : config -> Golite.Dsl.func
+val append_fn :
+  string ->
+  count_field:string -> section_field:string -> cap:int -> Golite.Dsl.func
+val fn_append_answer : Golite.Dsl.func
+val fn_append_authority : Golite.Dsl.func
+val fn_append_additional : Golite.Dsl.func
+val fn_append_set_as_answers : Golite.Dsl.func
+val fn_append_soa_authority : Golite.Dsl.func
+val fn_append_apex_ns : Golite.Dsl.func
+val fn_glue_for_target : Golite.Dsl.func
+val fn_additional_for_set : config -> Golite.Dsl.func
+val fn_build_referral : config -> Golite.Dsl.func
+val fn_answer_at : config -> Golite.Dsl.func
+val fn_wildcard_lookup : config -> Golite.Dsl.func
+val fn_resolve : config -> Golite.Dsl.func
+val golite_program : config -> Golite.Ast.program
+val compile : config -> Minir.Instr.program

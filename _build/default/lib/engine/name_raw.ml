@@ -1,0 +1,96 @@
+(* The raw byte-level Name module (§3.4, Figure 4).
+
+   Production code represents domain names as raw wire bytes
+   (length-prefixed labels, zero-terminated: "\003www\007example\003com\000")
+   and compares them byte by byte from the last position. This is the
+   low-level implementation the paper's §6.3 lifts to the word-level
+   compareAbs (Figure 10): the byte grinding below is verified
+   equivalent to the label-integer comparison by Refine.Raw_name.
+
+   The whole-engine verification then works over the abstract label-code
+   representation — justified by exactly this refinement. *)
+
+module Layout = Dnstree.Layout
+open Golite.Dsl
+
+(* Wire-name capacity: enough for max_labels short labels. *)
+let max_bytes = 24
+let tbytes = tarray tint max_bytes
+let toffsets = tarray tint Layout.max_labels
+
+(* Scan the length bytes and record each label's offset. Returns the
+   label count, or -1 for malformed names (overlong / unterminated) —
+   the defensive check in-production code carries. *)
+let fn_label_offsets =
+  func "labelOffsets"
+    ~params:[ ("name", tbytes); ("offs", toffsets) ]
+    ~ret:(Some tint)
+    [
+      decl_init "i" tint (i 0);
+      decl_init "count" tint (i 0);
+      while_ (b true)
+        [
+          decl_init "len" tint (v "name" %@ v "i");
+          when_ (v "len" == i 0) [ return (v "count") ];
+          when_ (v "len" < i 0) [ return (i (-1)) ];
+          when_ (v "count" >= i Layout.max_labels) [ return (i (-1)) ];
+          set_index (v "offs") (v "count") (v "i");
+          set "count" (v "count" + i 1);
+          set "i" (v "i" + v "len" + i 1);
+          when_ (v "i" >= i max_bytes) [ return (i (-1)) ];
+        ];
+      return (i (-1));
+    ]
+
+(* compareRaw (Figure 4): classify two wire names by comparing labels
+   from the last position, byte by byte within each label. Returns
+   NOMATCH / EXACTMATCH / PARTIALMATCH (n2 a proper ancestor of n1). *)
+let fn_compare_raw =
+  func "compareRaw"
+    ~params:[ ("n1", tbytes); ("n2", tbytes) ]
+    ~ret:(Some tint)
+    [
+      decl "offs1" toffsets;
+      decl "offs2" toffsets;
+      decl_init "c1" tint (call "labelOffsets" [ v "n1"; v "offs1" ]);
+      decl_init "c2" tint (call "labelOffsets" [ v "n2"; v "offs2" ]);
+      when_ (v "c1" < i 0 || v "c2" < i 0) [ return (i Layout.nomatch) ];
+      decl_init "k" tint (i 0);
+      while_ (v "k" < v "c1" && v "k" < v "c2")
+        [
+          (* The k-th labels from the end. *)
+          decl_init "o1" tint (v "offs1" %@ (v "c1" - i 1 - v "k"));
+          decl_init "o2" tint (v "offs2" %@ (v "c2" - i 1 - v "k"));
+          decl_init "l1" tint (v "n1" %@ v "o1");
+          decl_init "l2" tint (v "n2" %@ v "o2");
+          when_ (v "l1" != v "l2") [ return (i Layout.nomatch) ];
+          decl_init "j" tint (i 1);
+          while_ (v "j" <= v "l1")
+            [
+              when_
+                (v "n1" %@ (v "o1" + v "j") != v "n2" %@ (v "o2" + v "j"))
+                [ return (i Layout.nomatch) ];
+              set "j" (v "j" + i 1);
+            ];
+          set "k" (v "k" + i 1);
+        ];
+      when_ (v "c1" == v "c2") [ return (i Layout.exactmatch) ];
+      when_ (v "c1" > v "c2") [ return (i Layout.partialmatch) ];
+      return (i Layout.nomatch);
+    ]
+
+let golite_program : Golite.Ast.program =
+  program [] [ fn_label_offsets; fn_compare_raw ]
+
+let compiled : Minir.Instr.program Lazy.t =
+  lazy (Golite.Compile.compile golite_program)
+
+(* Encode a concrete domain name as a padded wire-byte array. *)
+let wire_bytes (name : Dns.Name.t) : int array =
+  Stdlib.(
+    let bytes = Dns.Name.to_wire name in
+    if List.length bytes > max_bytes then
+      invalid_arg "Name_raw.wire_bytes: name too long";
+    let arr = Array.make max_bytes 0 in
+    List.iteri (fun k byte -> arr.(k) <- byte) bytes;
+    arr)

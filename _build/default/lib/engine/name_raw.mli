@@ -1,0 +1,21 @@
+(* The raw byte-level Name module (§3.4, Figure 4).
+
+   Production code represents domain names as raw wire bytes
+   (length-prefixed labels, zero-terminated: "\003www\007example\003com\000")
+   and compares them byte by byte from the last position. This is the
+   low-level implementation the paper's §6.3 lifts to the word-level
+   compareAbs (Figure 10): the byte grinding below is verified
+   equivalent to the label-integer comparison by Refine.Raw_name.
+
+   The whole-engine verification then works over the abstract label-code
+   representation — justified by exactly this refinement. *)
+
+module Layout = Dnstree.Layout
+val max_bytes : int
+val tbytes : Golite.Dsl.ty
+val toffsets : Golite.Dsl.ty
+val fn_label_offsets : Golite.Dsl.func
+val fn_compare_raw : Golite.Dsl.func
+val golite_program : Golite.Ast.program
+val compiled : Minir.Instr.program Lazy.t
+val wire_bytes : Dns.Name.t -> int array

@@ -1,0 +1,18 @@
+
+module Layout = Dnstree.Layout
+val v1_0 : Builder.config
+val v2_0 : Builder.config
+val v3_0 : Builder.config
+val dev : Builder.config
+val all : Builder.config list
+val fixed : Builder.config -> Builder.config
+val find : string -> Builder.config option
+module Value = Minir.Value
+module Message = Dns.Message
+module Rr = Dns.Rr
+type run_outcome = Response of Message.response | Engine_panic of string
+val run_compiled :
+  Minir.Instr.program -> Dnstree.Encode.t -> Message.query -> run_outcome
+val compiled_cache : (string, Minir.Instr.program) Hashtbl.t
+val compiled : Builder.config -> Minir.Instr.program
+val run : Builder.config -> Dns.Zone.t -> Message.query -> run_outcome

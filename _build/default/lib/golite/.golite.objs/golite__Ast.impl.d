@@ -1,0 +1,1 @@
+lib/golite/ast.ml: Format List Minir

@@ -1,0 +1,1 @@
+lib/golite/ast.mli: Format Minir

@@ -1,0 +1,1 @@
+lib/golite/compile.ml: Ast List Minir Option Printf Typecheck

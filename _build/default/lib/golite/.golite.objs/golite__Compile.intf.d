@@ -1,0 +1,1 @@
+lib/golite/compile.mli: Ast Minir Typecheck

@@ -1,0 +1,1 @@
+lib/golite/dsl.ml: Ast

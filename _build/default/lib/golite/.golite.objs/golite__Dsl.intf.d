@@ -1,0 +1,1 @@
+lib/golite/dsl.mli: Ast Format Minir

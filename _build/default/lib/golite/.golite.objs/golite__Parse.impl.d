@@ -1,0 +1,1 @@
+lib/golite/parse.ml: Ast Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/golite/parse.mli: Ast Format

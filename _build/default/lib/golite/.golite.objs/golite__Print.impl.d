@@ -1,0 +1,1 @@
+lib/golite/print.ml: Ast Format List String

@@ -1,0 +1,1 @@
+lib/golite/print.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/golite/typecheck.ml: Ast List

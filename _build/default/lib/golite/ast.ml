@@ -1,0 +1,135 @@
+module Ty = Minir.Ty
+
+(* Golite: the Go-like surface language the "production" DNS engine is
+   written in.
+
+   Deliberately small but idiomatic for systems code: integers, booleans,
+   fixed-capacity arrays, structs, pointers, `new`, loops with
+   break/continue, short-circuit booleans. Aggregates are manipulated
+   through pointers (declaring a struct/array local allocates a stack
+   slot and the variable denotes its address), matching the flavour of
+   the Go engine the paper verifies — raw index arithmetic, control
+   flags, and data structures mutated through pointers (§3.3, §3.4). *)
+
+type ty =
+  | Tint
+  | Tbool
+  | Tptr of ty
+  | Tstruct of string
+  | Tarray of ty * int
+
+type unop = Not | Neg
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And (* short-circuit *)
+  | Or (* short-circuit *)
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Nil of ty (* typed nil pointer *)
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Field of expr * string (* p.f through a struct pointer (nil-checked) *)
+  | Index of expr * expr (* a[i] through an array pointer (bounds-checked) *)
+  | Call of string * expr list
+  | New of ty (* heap allocation, zero-initialized *)
+
+type lvalue =
+  | Lvar of string
+  | Lfield of expr * string
+  | Lindex of expr * expr
+
+type stmt =
+  | Declare of string * ty * expr option
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Expr_stmt of expr (* a call evaluated for effect *)
+  | Break
+  | Continue
+  | Panic of string (* explicit programmer panic *)
+
+type func = {
+  fn_name : string;
+  params : (string * ty) list;
+  ret : ty option;
+  body : stmt list;
+}
+
+type struct_def = { sname : string; fields : (string * ty) list }
+type program = { structs : struct_def list; funcs : func list }
+
+exception Golite_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Golite_error s)) fmt
+
+let find_struct (p : program) name =
+  match List.find_opt (fun s -> s.sname = name) p.structs with
+  | Some s -> s
+  | None -> error "unknown struct %s" name
+
+let find_func (p : program) name =
+  match List.find_opt (fun f -> f.fn_name = name) p.funcs with
+  | Some f -> f
+  | None -> error "unknown function %s" name
+
+let field_ty (p : program) sname fname =
+  let s = find_struct p sname in
+  match List.assoc_opt fname s.fields with
+  | Some ty -> ty
+  | None -> error "struct %s has no field %s" sname fname
+
+let rec pp_ty fmt = function
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tbool -> Format.pp_print_string fmt "bool"
+  | Tptr t -> Format.fprintf fmt "*%a" pp_ty t
+  | Tstruct s -> Format.pp_print_string fmt s
+  | Tarray (t, n) -> Format.fprintf fmt "[%d]%a" n pp_ty t
+
+let ty_to_string t = Format.asprintf "%a" pp_ty t
+
+let rec equal_ty a b =
+  match (a, b) with
+  | Tint, Tint | Tbool, Tbool -> true
+  | Tptr a, Tptr b -> equal_ty a b
+  | Tstruct a, Tstruct b -> a = b
+  | Tarray (a, n), Tarray (b, m) -> n = m && equal_ty a b
+  | (Tint | Tbool | Tptr _ | Tstruct _ | Tarray _), _ -> false
+
+let is_aggregate = function
+  | Tstruct _ | Tarray _ -> true
+  | Tint | Tbool | Tptr _ -> false
+
+(* Lowering of surface types to Minir types. *)
+let rec lower_ty = function
+  | Tint -> Ty.I64
+  | Tbool -> Ty.I1
+  | Tptr t -> Ty.Ptr (lower_ty t)
+  | Tstruct s -> Ty.Struct s
+  | Tarray (t, n) -> Ty.Array (lower_ty t, n)
+
+let lower_structs (structs : struct_def list) : Ty.tenv =
+  List.map
+    (fun s ->
+      {
+        Ty.sname = s.sname;
+        Ty.fields =
+          List.map
+            (fun (fname, ty) -> { Ty.fname; Ty.fty = lower_ty ty })
+            s.fields;
+      })
+    structs

@@ -1,0 +1,62 @@
+
+module Ty = Minir.Ty
+type ty = Tint | Tbool | Tptr of ty | Tstruct of string | Tarray of ty * int
+type unop = Not | Neg
+type binop =
+    Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+type expr =
+    Int of int
+  | Bool of bool
+  | Nil of ty
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Field of expr * string
+  | Index of expr * expr
+  | Call of string * expr list
+  | New of ty
+type lvalue =
+    Lvar of string
+  | Lfield of expr * string
+  | Lindex of expr * expr
+type stmt =
+    Declare of string * ty * expr option
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Expr_stmt of expr
+  | Break
+  | Continue
+  | Panic of string
+type func = {
+  fn_name : string;
+  params : (string * ty) list;
+  ret : ty option;
+  body : stmt list;
+}
+type struct_def = { sname : string; fields : (string * ty) list; }
+type program = { structs : struct_def list; funcs : func list; }
+exception Golite_error of string
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val find_struct : program -> string -> struct_def
+val find_func : program -> string -> func
+val field_ty : program -> string -> string -> ty
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+val equal_ty : ty -> ty -> bool
+val is_aggregate : ty -> bool
+val lower_ty : ty -> Ty.t
+val lower_structs : struct_def list -> Ty.tenv

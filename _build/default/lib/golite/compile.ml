@@ -1,0 +1,356 @@
+(* Golite → Minir compilation.
+
+   clang -O0 shape: one stack slot per variable, loads/stores for every
+   access, short-circuit booleans via control flow. Crucially — mirroring
+   GoLLVM (§4.1) — every array index is bounds-checked and every pointer
+   dereference nil-checked, with failures branching to explicit [Panic]
+   blocks. Verifying safety downstream means proving those blocks
+   unreachable. *)
+
+module Ty = Minir.Ty
+module Instr = Minir.Instr
+module Wellform = Minir.Wellform
+open Ast
+
+type slot =
+  | Direct_aggregate of ty (* the alloca IS the aggregate; Var = its address *)
+  | Cell of ty (* the alloca holds a scalar/pointer value; Var = load *)
+
+type ctx = {
+  prog : program;
+  fn : func;
+  tenv : Ty.tenv;
+  mutable temp : int;
+  mutable label : int;
+  mutable done_blocks : (Instr.label * Instr.block) list; (* reversed *)
+  mutable cur_label : Instr.label;
+  mutable cur_insns : Instr.instr list; (* reversed *)
+  mutable vars : (string * (Instr.reg * slot)) list;
+  mutable loops : (Instr.label * Instr.label) list; (* (break, continue) *)
+}
+
+let fresh_temp ctx =
+  let n = ctx.temp in
+  ctx.temp <- n + 1;
+  Printf.sprintf "t%d" n
+
+let fresh_label ctx prefix =
+  let n = ctx.label in
+  ctx.label <- n + 1;
+  Printf.sprintf "%s.%d" prefix n
+
+let emit ctx i = ctx.cur_insns <- i :: ctx.cur_insns
+
+let assign ctx rv =
+  let r = fresh_temp ctx in
+  emit ctx (Instr.Assign (r, rv));
+  Instr.Reg r
+
+(* Close the current block with [term] and open a new one at [label]. *)
+let seal ctx term ~next =
+  ctx.done_blocks <-
+    (ctx.cur_label, { Instr.insns = List.rev ctx.cur_insns; term })
+    :: ctx.done_blocks;
+  ctx.cur_label <- next;
+  ctx.cur_insns <- []
+
+(* Emit a fresh panic block for [reason] and return its label. *)
+let panic_block ctx reason =
+  let l = fresh_label ctx "panic" in
+  ctx.done_blocks <- (l, { Instr.insns = []; term = Instr.Panic reason }) :: ctx.done_blocks;
+  l
+
+let typing_env ctx = { Typecheck.vars = []; prog = ctx.prog; fn = ctx.fn }
+
+(* A typing view that tracks the compiler's scope (the compiler threads
+   declared variables through ctx.vars). *)
+let type_of ctx e =
+  let vars =
+    List.map
+      (fun (x, (_, s)) ->
+        (x, match s with Direct_aggregate ty -> ty | Cell ty -> ty))
+      ctx.vars
+  in
+  Typecheck.type_of_expr { (typing_env ctx) with Typecheck.vars } e
+
+(* Insert a nil-pointer check on [p] (§4.1's automatic safety checks). *)
+let nil_check ctx (p : Instr.operand) (ptr_ty : Ty.t) =
+  let c = assign ctx (Instr.Icmp (Instr.Eq, ptr_ty, p, Instr.Null ptr_ty)) in
+  let bad = panic_block ctx "nil pointer dereference" in
+  let ok = fresh_label ctx "nonnil" in
+  seal ctx (Instr.Cond_br (c, bad, ok)) ~next:ok
+
+(* Insert a bounds check of [i] against capacity [n]. *)
+let bounds_check ctx (i : Instr.operand) n =
+  let lo = assign ctx (Instr.Icmp (Instr.Slt, Ty.I64, i, Instr.Const_int 0)) in
+  let hi = assign ctx (Instr.Icmp (Instr.Sge, Ty.I64, i, Instr.Const_int n)) in
+  let bad_cond = assign ctx (Instr.Binop (Instr.Or_, lo, hi)) in
+  let bad = panic_block ctx "index out of range" in
+  let ok = fresh_label ctx "inbounds" in
+  seal ctx (Instr.Cond_br (bad_cond, bad, ok)) ~next:ok
+
+let lookup_var ctx x =
+  match List.assoc_opt x ctx.vars with
+  | Some v -> v
+  | None -> error "%s: unbound variable %s" ctx.fn.fn_name x
+
+let binop_table = function
+  | Add -> Instr.Add
+  | Sub -> Instr.Sub
+  | Mul -> Instr.Mul
+  | Div -> Instr.Sdiv
+  | Rem -> Instr.Srem
+  | _ -> assert false
+
+let icmp_table = function
+  | Eq -> Instr.Eq
+  | Ne -> Instr.Ne
+  | Lt -> Instr.Slt
+  | Le -> Instr.Sle
+  | Gt -> Instr.Sgt
+  | Ge -> Instr.Sge
+  | _ -> assert false
+
+(* Compile an expression to an operand. *)
+let rec compile_expr ctx (e : expr) : Instr.operand =
+  match e with
+  | Int n -> Instr.Const_int n
+  | Bool b -> Instr.Const_bool b
+  | Nil ty -> Instr.Null (lower_ty ty)
+  | Var x -> (
+      let slot_reg, slot = lookup_var ctx x in
+      match slot with
+      | Direct_aggregate _ -> Instr.Reg slot_reg
+      | Cell ty ->
+          let value_ty = lower_ty (Typecheck.eval_ty_of_var ty) in
+          assign ctx (Instr.Load (value_ty, Instr.Reg slot_reg)))
+  | Unop (Not, e) -> assign ctx (Instr.Not (compile_expr ctx e))
+  | Unop (Neg, e) ->
+      assign ctx (Instr.Binop (Instr.Sub, Instr.Const_int 0, compile_expr ctx e))
+  | Binop ((Add | Sub | Mul | Div | Rem) as op, a, b) ->
+      let va = compile_expr ctx a in
+      let vb = compile_expr ctx b in
+      (match op with
+      | Div | Rem ->
+          (* Division panics on a zero divisor, like Go. *)
+          let z =
+            assign ctx (Instr.Icmp (Instr.Eq, Ty.I64, vb, Instr.Const_int 0))
+          in
+          let bad = panic_block ctx "integer divide by zero" in
+          let ok = fresh_label ctx "nonzero" in
+          seal ctx (Instr.Cond_br (z, bad, ok)) ~next:ok
+      | _ -> ());
+      assign ctx (Instr.Binop (binop_table op, va, vb))
+  | Binop ((Lt | Le | Gt | Ge) as op, a, b) ->
+      let va = compile_expr ctx a in
+      let vb = compile_expr ctx b in
+      assign ctx (Instr.Icmp (icmp_table op, Ty.I64, va, vb))
+  | Binop ((Eq | Ne) as op, a, b) ->
+      let cmp_ty = lower_ty (type_of ctx a) in
+      let va = compile_expr ctx a in
+      let vb = compile_expr ctx b in
+      assign ctx (Instr.Icmp (icmp_table op, cmp_ty, va, vb))
+  | Binop (And, a, b) -> compile_short_circuit ctx ~is_and:true a b
+  | Binop (Or, a, b) -> compile_short_circuit ctx ~is_and:false a b
+  | Field (_, _) | Index (_, _) -> (
+      let addr, elem_ty = compile_access ctx e in
+      match elem_ty with
+      | Tstruct _ | Tarray _ -> addr (* aggregates evaluate to their address *)
+      | _ -> assign ctx (Instr.Load (lower_ty elem_ty, addr)))
+  | Call (name, args) ->
+      let vargs = List.map (compile_expr ctx) args in
+      assign ctx (Instr.Call (name, vargs))
+  | New ty -> assign ctx (Instr.Newobject (lower_ty ty))
+
+(* Compile a Field/Index chain to the address of the accessed element,
+   returning (address operand, element surface type). *)
+and compile_access ctx (e : expr) : Instr.operand * ty =
+  match e with
+  | Field (base, f) -> (
+      match type_of ctx base with
+      | Tptr (Tstruct s) ->
+          let p = compile_expr ctx base in
+          nil_check ctx p (lower_ty (Tptr (Tstruct s)));
+          let def = Ty.find_struct ctx.tenv s in
+          let idx, _ = Ty.field_index def f in
+          let fty = field_ty ctx.prog s f in
+          let addr =
+            assign ctx
+              (Instr.Gep (Ty.Struct s, p, [ Instr.Const_int idx ]))
+          in
+          (addr, fty)
+      | ty -> error "%s: field through %s" ctx.fn.fn_name (ty_to_string ty))
+  | Index (base, i) -> (
+      match type_of ctx base with
+      | Tptr (Tarray (elt, n)) ->
+          let p = compile_expr ctx base in
+          nil_check ctx p (lower_ty (Tptr (Tarray (elt, n))));
+          let vi = compile_expr ctx i in
+          bounds_check ctx vi n;
+          let addr =
+            assign ctx (Instr.Gep (lower_ty (Tarray (elt, n)), p, [ vi ]))
+          in
+          (addr, elt)
+      | ty -> error "%s: index through %s" ctx.fn.fn_name (ty_to_string ty))
+  | _ -> error "%s: not an access path" ctx.fn.fn_name
+
+and compile_short_circuit ctx ~is_and a b =
+  let slot = assign ctx (Instr.Alloca Ty.I1) in
+  let va = compile_expr ctx a in
+  let rhs = fresh_label ctx "sc.rhs" in
+  let short = fresh_label ctx "sc.short" in
+  let join = fresh_label ctx "sc.join" in
+  let br =
+    if is_and then Instr.Cond_br (va, rhs, short)
+    else Instr.Cond_br (va, short, rhs)
+  in
+  seal ctx br ~next:short;
+  emit ctx (Instr.Store (Ty.I1, Instr.Const_bool (not is_and), slot));
+  seal ctx (Instr.Br join) ~next:rhs;
+  let vb = compile_expr ctx b in
+  emit ctx (Instr.Store (Ty.I1, vb, slot));
+  seal ctx (Instr.Br join) ~next:join;
+  assign ctx (Instr.Load (Ty.I1, slot))
+
+let compile_lvalue_addr ctx (lv : lvalue) : Instr.operand * ty =
+  match lv with
+  | Lvar x -> (
+      let slot_reg, slot = lookup_var ctx x in
+      match slot with
+      | Cell ty -> (Instr.Reg slot_reg, ty)
+      | Direct_aggregate _ ->
+          error "%s: cannot assign whole aggregate %s" ctx.fn.fn_name x)
+  | Lfield (base, f) -> compile_access ctx (Field (base, f))
+  | Lindex (base, i) -> compile_access ctx (Index (base, i))
+
+let rec compile_stmts ctx stmts = List.iter (compile_stmt ctx) stmts
+
+and compile_stmt ctx (s : stmt) =
+  match s with
+  | Declare (x, ty, init) ->
+      if is_aggregate ty then begin
+        let slot = fresh_temp ctx in
+        (* Aggregate locals are zero-initialized slots (Go semantics);
+           Newobject guarantees the zeroing. *)
+        emit ctx (Instr.Assign (slot, Instr.Newobject (lower_ty ty)));
+        ctx.vars <- (x, (slot, Direct_aggregate ty)) :: ctx.vars
+      end
+      else begin
+        let slot = fresh_temp ctx in
+        emit ctx (Instr.Assign (slot, Instr.Alloca (lower_ty ty)));
+        (match init with
+        | Some e ->
+            let v = compile_expr ctx e in
+            emit ctx (Instr.Store (lower_ty ty, v, Instr.Reg slot))
+        | None -> ());
+        ctx.vars <- (x, (slot, Cell ty)) :: ctx.vars
+      end
+  | Assign (lv, e) ->
+      let v = compile_expr ctx e in
+      let addr, ty = compile_lvalue_addr ctx lv in
+      let value_ty = lower_ty (Typecheck.eval_ty_of_var ty) in
+      emit ctx (Instr.Store (value_ty, v, addr))
+  | If (c, then_, else_) ->
+      let vc = compile_expr ctx c in
+      let lt = fresh_label ctx "if.then" in
+      let lf = fresh_label ctx "if.else" in
+      let lj = fresh_label ctx "if.join" in
+      seal ctx (Instr.Cond_br (vc, lt, lf)) ~next:lt;
+      let saved = ctx.vars in
+      compile_stmts ctx then_;
+      ctx.vars <- saved;
+      seal ctx (Instr.Br lj) ~next:lf;
+      compile_stmts ctx else_;
+      ctx.vars <- saved;
+      seal ctx (Instr.Br lj) ~next:lj
+  | While (c, body) ->
+      let lc = fresh_label ctx "loop.cond" in
+      let lb = fresh_label ctx "loop.body" in
+      let lx = fresh_label ctx "loop.exit" in
+      seal ctx (Instr.Br lc) ~next:lc;
+      let vc = compile_expr ctx c in
+      seal ctx (Instr.Cond_br (vc, lb, lx)) ~next:lb;
+      ctx.loops <- (lx, lc) :: ctx.loops;
+      let saved = ctx.vars in
+      compile_stmts ctx body;
+      ctx.vars <- saved;
+      ctx.loops <- List.tl ctx.loops;
+      seal ctx (Instr.Br lc) ~next:lx
+  | Return None ->
+      seal ctx (Instr.Ret None) ~next:(fresh_label ctx "dead")
+  | Return (Some e) ->
+      let v = compile_expr ctx e in
+      seal ctx (Instr.Ret (Some v)) ~next:(fresh_label ctx "dead")
+  | Expr_stmt (Call (name, args)) ->
+      let callee = find_func ctx.prog name in
+      let vargs = List.map (compile_expr ctx) args in
+      if callee.ret = None then emit ctx (Instr.Call_void (name, vargs))
+      else ignore (assign ctx (Instr.Call (name, vargs)))
+  | Expr_stmt e -> ignore (compile_expr ctx e)
+  | Break -> (
+      match ctx.loops with
+      | (brk, _) :: _ -> seal ctx (Instr.Br brk) ~next:(fresh_label ctx "dead")
+      | [] -> error "%s: break outside loop" ctx.fn.fn_name)
+  | Continue -> (
+      match ctx.loops with
+      | (_, cont) :: _ -> seal ctx (Instr.Br cont) ~next:(fresh_label ctx "dead")
+      | [] -> error "%s: continue outside loop" ctx.fn.fn_name)
+  | Panic reason ->
+      seal ctx (Instr.Panic reason) ~next:(fresh_label ctx "dead")
+
+let compile_func prog tenv (f : func) : Instr.func =
+  let ctx =
+    {
+      prog;
+      fn = f;
+      tenv;
+      temp = 0;
+      label = 0;
+      done_blocks = [];
+      cur_label = "entry";
+      cur_insns = [];
+      vars = [];
+      loops = [];
+    }
+  in
+  (* Params arrive as registers; copy each into a slot so the body can
+     reassign them like locals. Aggregate params are pointers already. *)
+  let params =
+    List.map
+      (fun (x, ty) ->
+        let value_ty = Typecheck.eval_ty_of_var ty in
+        (x ^ ".arg", lower_ty value_ty))
+      f.params
+  in
+  List.iter
+    (fun (x, ty) ->
+      let value_ty = Typecheck.eval_ty_of_var ty in
+      let slot = fresh_temp ctx in
+      emit ctx (Instr.Assign (slot, Instr.Alloca (lower_ty value_ty)));
+      emit ctx
+        (Instr.Store (lower_ty value_ty, Instr.Reg (x ^ ".arg"), Instr.Reg slot));
+      ctx.vars <- (x, (slot, Cell ty)) :: ctx.vars)
+    f.params;
+  compile_stmts ctx f.body;
+  (* Fall-through at the end of the body. *)
+  (match f.ret with
+  | None -> seal ctx (Instr.Ret None) ~next:"unused"
+  | Some _ -> seal ctx (Instr.Panic "missing return") ~next:"unused");
+  {
+    Instr.fn_name = f.fn_name;
+    params;
+    ret_ty = Option.map (fun t -> lower_ty (Typecheck.eval_ty_of_var t)) f.ret;
+    entry = "entry";
+    blocks = List.rev ctx.done_blocks;
+  }
+
+(* Compile a full program. Type checking runs first; the emitted Minir is
+   then validated by the well-formedness checker, so a compiler bug
+   cannot silently reach the verifier. *)
+let compile (p : program) : Instr.program =
+  Typecheck.check p;
+  let tenv = lower_structs p.structs in
+  let funcs = List.map (compile_func p tenv) p.funcs in
+  let prog = { Instr.tenv; funcs } in
+  Wellform.check_exn prog;
+  prog

@@ -1,0 +1,49 @@
+(* Golite → Minir compilation.
+
+   clang -O0 shape: one stack slot per variable, loads/stores for every
+   access, short-circuit booleans via control flow. Crucially — mirroring
+   GoLLVM (§4.1) — every array index is bounds-checked and every pointer
+   dereference nil-checked, with failures branching to explicit [Panic]
+   blocks. Verifying safety downstream means proving those blocks
+   unreachable. *)
+
+module Ty = Minir.Ty
+module Instr = Minir.Instr
+module Wellform = Minir.Wellform
+type slot = Direct_aggregate of Ast.ty | Cell of Ast.ty
+type ctx = {
+  prog : Ast.program;
+  fn : Ast.func;
+  tenv : Ast.Ty.tenv;
+  mutable temp : int;
+  mutable label : int;
+  mutable done_blocks : (Instr.label * Instr.block) list;
+  mutable cur_label : Instr.label;
+  mutable cur_insns : Instr.instr list;
+  mutable vars : (string * (Instr.reg * slot)) list;
+  mutable loops : (Instr.label * Instr.label) list;
+}
+val fresh_temp : ctx -> string
+val fresh_label : ctx -> string -> string
+val emit : ctx -> Instr.instr -> unit
+val assign : ctx -> Instr.rvalue -> Instr.operand
+val seal : ctx -> Instr.terminator -> next:Instr.label -> unit
+val panic_block : ctx -> string -> string
+val typing_env : ctx -> Typecheck.env
+val type_of : ctx -> Ast.expr -> Ast.ty
+val nil_check : ctx -> Instr.operand -> Ast.Ty.t -> unit
+val bounds_check : ctx -> Instr.operand -> int -> unit
+val lookup_var : ctx -> string -> Instr.reg * slot
+val binop_table : Ast.binop -> Instr.binop
+val icmp_table : Ast.binop -> Instr.icmp
+val compile_expr : ctx -> Ast.expr -> Instr.operand
+val compile_access : ctx -> Ast.expr -> Instr.operand * Ast.ty
+val compile_short_circuit :
+  ctx -> is_and:bool -> Ast.expr -> Ast.expr -> Instr.operand
+val compile_lvalue_addr :
+  ctx -> Ast.lvalue -> Instr.operand * Ast.ty
+val compile_stmts : ctx -> Ast.stmt list -> unit
+val compile_stmt : ctx -> Ast.stmt -> unit
+val compile_func :
+  Ast.program -> Ast.Ty.tenv -> Ast.func -> Instr.func
+val compile : Ast.program -> Instr.program

@@ -1,0 +1,73 @@
+(* Builder combinators for writing Golite programs in OCaml.
+
+   The engine versions under lib/engine are written against this API, so
+   their source reads close to the Go pseudo-code in the paper (Figures
+   3, 4). *)
+
+include Ast
+
+(* Types *)
+let tint = Tint
+let tbool = Tbool
+let tptr t = Tptr t
+let tstruct s = Tstruct s
+let tarray t n = Tarray (t, n)
+
+(* Expressions *)
+let i n = Int n
+let b v = Bool v
+let v x = Var x
+let nil t = Nil (Tptr t)
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( % ) a b = Binop (Rem, a, b)
+let ( == ) a b = Binop (Eq, a, b)
+let ( != ) a b = Binop (Ne, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)
+let ( && ) a b = Binop (And, a, b)
+let ( || ) a b = Binop (Or, a, b)
+let not_ e = Unop (Not, e)
+let neg e = Unop (Neg, e)
+
+(* `%`-class operators share `*`'s precedence (left-associative): tighter
+   than `+` and comparisons, looser than function application. So
+   `v "p" %. "x" + v "p" %. "y"` parses as expected. Caveat: they tie
+   with `*` / `/`, so parenthesize when multiplying a field access. *)
+let ( %. ) e f = Field (e, f) (* p %. "field" *)
+let ( %@ ) e idx = Index (e, idx) (* arr %@ index *)
+let call f args = Call (f, args)
+let new_ t = New t
+
+(* Statements *)
+let decl x ty = Declare (x, ty, None)
+let decl_init x ty e = Declare (x, ty, Some e)
+let set x e = Assign (Lvar x, e)
+let set_field p f e = Assign (Lfield (p, f), e)
+let set_index a idx e = Assign (Lindex (a, idx), e)
+let if_ c then_ else_ = If (c, then_, else_)
+let when_ c then_ = If (c, then_, [])
+let while_ c body = While (c, body)
+let return e = Return (Some e)
+let return_void = Return None
+let expr e = Expr_stmt e
+let break_ = Break
+let continue_ = Continue
+let panic msg = Panic msg
+
+(* A C-style for loop:  for (x = init; cond; x = x + step) body *)
+let for_ x ~init ~cond ~step body =
+  [
+    decl_init x tint init;
+    while_ cond (body @ [ set x (Binop (Add, Var x, Int step)) ]);
+  ]
+
+(* Declarations *)
+let func fn_name ~params ~ret body = { fn_name; params; ret; body }
+let struct_ sname fields = { sname; fields }
+let program structs funcs = { structs; funcs }

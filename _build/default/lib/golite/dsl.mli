@@ -1,0 +1,134 @@
+(* Builder combinators for writing Golite programs in OCaml.
+
+   The engine versions under lib/engine are written against this API, so
+   their source reads close to the Go pseudo-code in the paper (Figures
+   3, 4). *)
+
+module Ty = Minir.Ty
+type ty =
+  Ast.ty =
+    Tint
+  | Tbool
+  | Tptr of ty
+  | Tstruct of string
+  | Tarray of ty * int
+type unop = Ast.unop = Not | Neg
+type binop =
+  Ast.binop =
+    Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+type expr =
+  Ast.expr =
+    Int of int
+  | Bool of bool
+  | Nil of ty
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Field of expr * string
+  | Index of expr * expr
+  | Call of string * expr list
+  | New of ty
+type lvalue =
+  Ast.lvalue =
+    Lvar of string
+  | Lfield of expr * string
+  | Lindex of expr * expr
+type stmt =
+  Ast.stmt =
+    Declare of string * ty * expr option
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Expr_stmt of expr
+  | Break
+  | Continue
+  | Panic of string
+type func =
+  Ast.func = {
+  fn_name : string;
+  params : (string * ty) list;
+  ret : ty option;
+  body : stmt list;
+}
+type struct_def =
+  Ast.struct_def = {
+  sname : string;
+  fields : (string * ty) list;
+}
+type program =
+  Ast.program = {
+  structs : struct_def list;
+  funcs : func list;
+}
+exception Golite_error of string
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val find_struct : program -> string -> struct_def
+val find_func : program -> string -> func
+val field_ty : program -> string -> string -> ty
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+val equal_ty : ty -> ty -> bool
+val is_aggregate : ty -> bool
+val lower_ty : ty -> Ty.t
+val lower_structs : struct_def list -> Ty.tenv
+val tint : ty
+val tbool : ty
+val tptr : ty -> ty
+val tstruct : string -> ty
+val tarray : ty -> int -> ty
+val i : int -> expr
+val b : bool -> expr
+val v : string -> expr
+val nil : ty -> expr
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( % ) : expr -> expr -> expr
+val ( == ) : expr -> expr -> expr
+val ( != ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+val ( && ) : expr -> expr -> expr
+val ( || ) : expr -> expr -> expr
+val not_ : expr -> expr
+val neg : expr -> expr
+val ( %. ) : expr -> string -> expr
+val ( %@ ) : expr -> expr -> expr
+val call : string -> expr list -> expr
+val new_ : ty -> expr
+val decl : string -> ty -> stmt
+val decl_init : string -> ty -> expr -> stmt
+val set : string -> expr -> stmt
+val set_field : expr -> string -> expr -> stmt
+val set_index : expr -> expr -> expr -> stmt
+val if_ : expr -> stmt list -> stmt list -> stmt
+val when_ : expr -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+val return : expr -> stmt
+val return_void : stmt
+val expr : expr -> stmt
+val break_ : stmt
+val continue_ : stmt
+val panic : string -> stmt
+val for_ :
+  string -> init:expr -> cond:expr -> step:int -> stmt list -> stmt list
+val func :
+  string -> params:(string * ty) list -> ret:ty option -> stmt list -> func
+val struct_ : string -> (string * ty) list -> struct_def
+val program : struct_def list -> func list -> program

@@ -1,0 +1,486 @@
+(* Parsing Golite concrete syntax (the Go-like text Print emits).
+
+   Hand-rolled lexer + recursive-descent parser with precedence
+   climbing. Statements are newline-terminated; blocks are braced.
+   The grammar is exactly what [Print] produces, and the round trip
+   parse ∘ print = id is property-tested over the engine sources. *)
+
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | PUNCT of string (* operators and delimiters *)
+  | NEWLINE
+  | EOF
+
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let keywords =
+  [ "func"; "struct"; "var"; "if"; "else"; "while"; "return"; "break";
+    "continue"; "panic"; "new"; "nil"; "true"; "false" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      emit NEWLINE;
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      emit (IDENT (String.sub src start (!i - start)))
+    end
+    else if c = '"' then begin
+      (* String literal with the usual escapes (as produced by %S). *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        if c = '"' then begin
+          closed := true;
+          incr i
+        end
+        else if c = '\\' && !i + 1 < n then begin
+          (match src.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | c -> Buffer.add_char buf c);
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      if not !closed then parse_error !line "unterminated string literal";
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      (* punctuation; longest match first *)
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "==" | "!=" | "<=" | ">=" | "&&" | "||" ->
+          emit (PUNCT two);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' | '!' | '(' | ')'
+          | '{' | '}' | '[' | ']' | ',' | '.' ->
+              emit (PUNCT (String.make 1 c));
+              incr i
+          | c -> parse_error !line "unexpected character %C" c)
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
+let line_of st = match st.toks with (_, l) :: _ -> l | [] -> 0
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let skip_newlines st =
+  while peek st = NEWLINE do
+    advance st
+  done
+
+let expect_punct st p =
+  match peek st with
+  | PUNCT q when q = p -> advance st
+  | t ->
+      parse_error (line_of st) "expected %S, found %s" p
+        (match t with
+        | IDENT s -> s
+        | INT n -> string_of_int n
+        | STRING _ -> "<string>"
+        | PUNCT q -> q
+        | NEWLINE -> "<newline>"
+        | EOF -> "<eof>")
+
+let expect_ident st =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      s
+  | _ -> parse_error (line_of st) "expected an identifier"
+
+let expect_keyword st kw =
+  match peek st with
+  | IDENT s when s = kw -> advance st
+  | _ -> parse_error (line_of st) "expected %S" kw
+
+let end_of_stmt st =
+  match peek st with
+  | NEWLINE ->
+      skip_newlines st
+  | PUNCT "}" | EOF -> () (* closing brace may follow directly *)
+  | _ -> parse_error (line_of st) "expected end of statement"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_ty st : ty =
+  match peek st with
+  | PUNCT "*" ->
+      advance st;
+      Tptr (parse_ty st)
+  | PUNCT "[" ->
+      advance st;
+      let n =
+        match peek st with
+        | INT n ->
+            advance st;
+            n
+        | _ -> parse_error (line_of st) "expected an array capacity"
+      in
+      expect_punct st "]";
+      Tarray (parse_ty st, n)
+  | IDENT "int" ->
+      advance st;
+      Tint
+  | IDENT "bool" ->
+      advance st;
+      Tbool
+  | IDENT s when not (List.mem s keywords) ->
+      advance st;
+      Tstruct s
+  | _ -> parse_error (line_of st) "expected a type"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing, matching Print's table)          *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_token = function
+  | "||" -> Some (Or, 1)
+  | "&&" -> Some (And, 2)
+  | "==" -> Some (Eq, 3)
+  | "!=" -> Some (Ne, 3)
+  | "<" -> Some (Lt, 3)
+  | "<=" -> Some (Le, 3)
+  | ">" -> Some (Gt, 3)
+  | ">=" -> Some (Ge, 3)
+  | "+" -> Some (Add, 4)
+  | "-" -> Some (Sub, 4)
+  | "*" -> Some (Mul, 5)
+  | "/" -> Some (Div, 5)
+  | "%" -> Some (Rem, 5)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec : expr =
+  let left = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | PUNCT p -> (
+        match binop_of_token p with
+        | Some (op, prec) when prec >= min_prec ->
+            advance st;
+            let right = parse_binary st (prec + 1) in
+            left := Binop (op, !left, right)
+        | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !left
+
+and parse_unary st : expr =
+  match peek st with
+  | PUNCT "!" ->
+      advance st;
+      Unop (Not, parse_unary st)
+  | PUNCT "-" -> (
+      advance st;
+      (* Negative integer literals fold immediately, so that printed
+         literals like (-1) round-trip to [Int (-1)]. *)
+      match parse_unary st with
+      | Int n -> Int (-n)
+      | e -> Unop (Neg, e))
+  | _ -> parse_postfix st
+
+and parse_postfix st : expr =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | PUNCT "." ->
+        advance st;
+        let f = expect_ident st in
+        e := Field (!e, f)
+    | PUNCT "[" ->
+        advance st;
+        let idx = parse_expr st in
+        expect_punct st "]";
+        e := Index (!e, idx)
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_primary st : expr =
+  match peek st with
+  | INT n ->
+      advance st;
+      Int n
+  | IDENT "true" ->
+      advance st;
+      Bool true
+  | IDENT "false" ->
+      advance st;
+      Bool false
+  | IDENT "nil" ->
+      advance st;
+      expect_punct st "(";
+      let ty = parse_ty st in
+      expect_punct st ")";
+      (match ty with
+      | Tptr _ -> Nil ty
+      | _ -> parse_error (line_of st) "nil requires a pointer type")
+  | IDENT "new" ->
+      advance st;
+      expect_punct st "(";
+      let ty = parse_ty st in
+      expect_punct st ")";
+      New ty
+  | IDENT name when not (List.mem name keywords) -> (
+      advance st;
+      match peek st with
+      | PUNCT "(" ->
+          advance st;
+          let args = parse_call_args st in
+          Call (name, args)
+      | _ -> Var name)
+  | PUNCT "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | _ -> parse_error (line_of st) "expected an expression"
+
+and parse_call_args st : expr list =
+  match peek st with
+  | PUNCT ")" ->
+      advance st;
+      []
+  | _ ->
+      let rec more acc =
+        let acc = parse_expr st :: acc in
+        match peek st with
+        | PUNCT "," ->
+            advance st;
+            more acc
+        | PUNCT ")" ->
+            advance st;
+            List.rev acc
+        | _ -> parse_error (line_of st) "expected ',' or ')'"
+      in
+      more []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lvalue_of_expr st = function
+  | Var x -> Lvar x
+  | Field (e, f) -> Lfield (e, f)
+  | Index (e, idx) -> Lindex (e, idx)
+  | _ -> parse_error (line_of st) "this expression cannot be assigned to"
+
+let rec parse_block st : stmt list =
+  expect_punct st "{";
+  skip_newlines st;
+  let rec go acc =
+    match peek st with
+    | PUNCT "}" ->
+        advance st;
+        List.rev acc
+    | EOF -> parse_error (line_of st) "unterminated block"
+    | _ ->
+        let s = parse_stmt st in
+        end_of_stmt st;
+        go (s :: acc)
+  in
+  go []
+
+and parse_stmt st : stmt =
+  match peek st with
+  | IDENT "var" ->
+      advance st;
+      let x = expect_ident st in
+      let ty = parse_ty st in
+      let init =
+        match peek st with
+        | PUNCT "=" ->
+            advance st;
+            Some (parse_expr st)
+        | _ -> None
+      in
+      Declare (x, ty, init)
+  | IDENT "if" ->
+      advance st;
+      let c = parse_expr st in
+      let then_ = parse_block st in
+      let else_ =
+        match peek st with
+        | IDENT "else" ->
+            advance st;
+            parse_block st
+        | _ -> []
+      in
+      If (c, then_, else_)
+  | IDENT "while" ->
+      advance st;
+      let c = parse_expr st in
+      While (c, parse_block st)
+  | IDENT "return" -> (
+      advance st;
+      match peek st with
+      | NEWLINE | PUNCT "}" | EOF -> Return None
+      | _ -> Return (Some (parse_expr st)))
+  | IDENT "break" ->
+      advance st;
+      Break
+  | IDENT "continue" ->
+      advance st;
+      Continue
+  | IDENT "panic" -> (
+      advance st;
+      expect_punct st "(";
+      match peek st with
+      | STRING msg ->
+          advance st;
+          expect_punct st ")";
+          Panic msg
+      | _ -> parse_error (line_of st) "panic expects a string literal")
+  | _ -> (
+      (* assignment or expression statement *)
+      let e = parse_expr st in
+      match peek st with
+      | PUNCT "=" ->
+          advance st;
+          let rhs = parse_expr st in
+          Assign (lvalue_of_expr st e, rhs)
+      | _ -> Expr_stmt e)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_struct st : struct_def =
+  expect_keyword st "struct";
+  let sname = expect_ident st in
+  expect_punct st "{";
+  skip_newlines st;
+  let rec fields acc =
+    match peek st with
+    | PUNCT "}" ->
+        advance st;
+        List.rev acc
+    | IDENT _ ->
+        let fname = expect_ident st in
+        let ty = parse_ty st in
+        end_of_stmt st;
+        fields ((fname, ty) :: acc)
+    | _ -> parse_error (line_of st) "expected a field or '}'"
+  in
+  { sname; fields = fields [] }
+
+let parse_func st : func =
+  expect_keyword st "func";
+  let fn_name = expect_ident st in
+  expect_punct st "(";
+  let params =
+    match peek st with
+    | PUNCT ")" ->
+        advance st;
+        []
+    | _ ->
+        let rec more acc =
+          let x = expect_ident st in
+          let ty = parse_ty st in
+          match peek st with
+          | PUNCT "," ->
+              advance st;
+              more ((x, ty) :: acc)
+          | PUNCT ")" ->
+              advance st;
+              List.rev ((x, ty) :: acc)
+          | _ -> parse_error (line_of st) "expected ',' or ')'"
+        in
+        more []
+  in
+  let ret = match peek st with PUNCT "{" -> None | _ -> Some (parse_ty st) in
+  let body = parse_block st in
+  { fn_name; params; ret; body }
+
+let program_of_string (src : string) : (program, string) result =
+  try
+    let st = { toks = tokenize src } in
+    let structs = ref [] and funcs = ref [] in
+    skip_newlines st;
+    let rec go () =
+      match peek st with
+      | EOF -> ()
+      | IDENT "struct" ->
+          structs := parse_struct st :: !structs;
+          skip_newlines st;
+          go ()
+      | IDENT "func" ->
+          funcs := parse_func st :: !funcs;
+          skip_newlines st;
+          go ()
+      | _ -> parse_error (line_of st) "expected 'struct' or 'func'"
+    in
+    go ();
+    Ok { structs = List.rev !structs; funcs = List.rev !funcs }
+  with Parse_error { line; message } ->
+    Error (Printf.sprintf "line %d: %s" line message)
+
+let program_of_string_exn src =
+  match program_of_string src with
+  | Ok p -> p
+  | Error m -> invalid_arg ("Golite.Parse: " ^ m)

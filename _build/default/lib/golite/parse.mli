@@ -1,0 +1,45 @@
+(* Parsing Golite concrete syntax (the Go-like text Print emits).
+
+   Hand-rolled lexer + recursive-descent parser with precedence
+   climbing. Statements are newline-terminated; blocks are braced.
+   The grammar is exactly what [Print] produces, and the round trip
+   parse ∘ print = id is property-tested over the engine sources. *)
+
+type token =
+    IDENT of string
+  | INT of int
+  | STRING of string
+  | PUNCT of string
+  | NEWLINE
+  | EOF
+exception Parse_error of { line : int; message : string; }
+val parse_error : int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val keywords : string list
+val is_ident_start : char -> bool
+val is_ident_char : char -> bool
+val is_digit : char -> bool
+val tokenize : string -> (token * int) list
+type state = { mutable toks : (token * int) list; }
+val peek : state -> token
+val line_of : state -> int
+val advance : state -> unit
+val skip_newlines : state -> unit
+val expect_punct : state -> string -> unit
+val expect_ident : state -> string
+val expect_keyword : state -> string -> unit
+val end_of_stmt : state -> unit
+val parse_ty : state -> Ast.ty
+val binop_of_token : string -> (Ast.binop * int) option
+val parse_expr : state -> Ast.expr
+val parse_binary : state -> int -> Ast.expr
+val parse_unary : state -> Ast.expr
+val parse_postfix : state -> Ast.expr
+val parse_primary : state -> Ast.expr
+val parse_call_args : state -> Ast.expr list
+val lvalue_of_expr : state -> Ast.expr -> Ast.lvalue
+val parse_block : state -> Ast.stmt list
+val parse_stmt : state -> Ast.stmt
+val parse_struct : state -> Ast.struct_def
+val parse_func : state -> Ast.func
+val program_of_string : string -> (Ast.program, string) result
+val program_of_string_exn : string -> Ast.program

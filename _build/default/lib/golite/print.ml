@@ -1,0 +1,130 @@
+(* Pretty-printing of Golite programs to their Go-like concrete syntax.
+
+   The output parses back to the identical AST (Parse.program_of_string;
+   the round trip is property-tested), which is how engine sources can
+   be stored and reviewed as text, like the Go sources the paper's
+   pipeline consumes. *)
+
+open Ast
+
+let rec pp_ty fmt = function
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tbool -> Format.pp_print_string fmt "bool"
+  | Tptr t -> Format.fprintf fmt "*%a" pp_ty t
+  | Tstruct s -> Format.pp_print_string fmt s
+  | Tarray (t, n) -> Format.fprintf fmt "[%d]%a" n pp_ty t
+
+(* Operator precedence, loosest to tightest. *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Rem -> 5
+
+let binop_token = function
+  | Or -> "||"
+  | And -> "&&"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+
+let rec pp_expr_prec prec fmt (e : expr) =
+  match e with
+  | Int n ->
+      if n < 0 then Format.fprintf fmt "(%d)" n else Format.fprintf fmt "%d" n
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Nil ty -> Format.fprintf fmt "nil(%a)" pp_ty ty
+  | Var x -> Format.pp_print_string fmt x
+  | Unop (Not, e) -> Format.fprintf fmt "!%a" (pp_expr_prec 6) e
+  | Unop (Neg, e) -> Format.fprintf fmt "-%a" (pp_expr_prec 6) e
+  | Binop (op, a, b) ->
+      let p = binop_prec op in
+      let body fmt () =
+        (* Left-associative: the right operand needs a strictly higher
+           precedence context. *)
+        Format.fprintf fmt "%a %s %a" (pp_expr_prec p) a (binop_token op)
+          (pp_expr_prec (p + 1)) b
+      in
+      if p < prec then Format.fprintf fmt "(%a)" body ()
+      else body fmt ()
+  | Field (e, f) -> Format.fprintf fmt "%a.%s" (pp_expr_prec 7) e f
+  | Index (e, idx) ->
+      Format.fprintf fmt "%a[%a]" (pp_expr_prec 7) e (pp_expr_prec 0) idx
+  | Call (f, args) ->
+      Format.fprintf fmt "%s(%a)" f pp_args args
+  | New ty -> Format.fprintf fmt "new(%a)" pp_ty ty
+
+and pp_args fmt args =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    (pp_expr_prec 0) fmt args
+
+let pp_expr = pp_expr_prec 0
+
+let pp_lvalue fmt = function
+  | Lvar x -> Format.pp_print_string fmt x
+  | Lfield (e, f) -> Format.fprintf fmt "%a.%s" (pp_expr_prec 7) e f
+  | Lindex (e, idx) ->
+      Format.fprintf fmt "%a[%a]" (pp_expr_prec 7) e pp_expr idx
+
+let rec pp_stmt indent fmt (s : stmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Declare (x, ty, None) -> Format.fprintf fmt "%svar %s %a" pad x pp_ty ty
+  | Declare (x, ty, Some e) ->
+      Format.fprintf fmt "%svar %s %a = %a" pad x pp_ty ty pp_expr e
+  | Assign (lv, e) -> Format.fprintf fmt "%s%a = %a" pad pp_lvalue lv pp_expr e
+  | If (c, then_, []) ->
+      Format.fprintf fmt "%sif %a {@\n%a%s}" pad pp_expr c (pp_block indent)
+        then_ pad
+  | If (c, then_, else_) ->
+      Format.fprintf fmt "%sif %a {@\n%a%s} else {@\n%a%s}" pad pp_expr c
+        (pp_block indent) then_ pad (pp_block indent) else_ pad
+  | While (c, body) ->
+      Format.fprintf fmt "%swhile %a {@\n%a%s}" pad pp_expr c (pp_block indent)
+        body pad
+  | Return None -> Format.fprintf fmt "%sreturn" pad
+  | Return (Some e) -> Format.fprintf fmt "%sreturn %a" pad pp_expr e
+  | Expr_stmt e -> Format.fprintf fmt "%s%a" pad pp_expr e
+  | Break -> Format.fprintf fmt "%sbreak" pad
+  | Continue -> Format.fprintf fmt "%scontinue" pad
+  | Panic msg -> Format.fprintf fmt "%spanic(%S)" pad msg
+
+and pp_block indent fmt body =
+  List.iter (fun s -> Format.fprintf fmt "%a@\n" (pp_stmt (indent + 2)) s) body
+
+let pp_func fmt (f : func) =
+  Format.fprintf fmt "func %s(" f.fn_name;
+  List.iteri
+    (fun k (x, ty) ->
+      if k > 0 then Format.pp_print_string fmt ", ";
+      Format.fprintf fmt "%s %a" x pp_ty ty)
+    f.params;
+  Format.pp_print_string fmt ")";
+  (match f.ret with
+  | Some ty -> Format.fprintf fmt " %a" pp_ty ty
+  | None -> ());
+  Format.fprintf fmt " {@\n%a}@\n" (pp_block 0) f.body
+
+let pp_struct fmt (s : struct_def) =
+  Format.fprintf fmt "struct %s {@\n" s.sname;
+  List.iter
+    (fun (fname, ty) -> Format.fprintf fmt "  %s %a@\n" fname pp_ty ty)
+    s.fields;
+  Format.fprintf fmt "}@\n"
+
+let pp_program fmt (p : program) =
+  List.iter (fun s -> Format.fprintf fmt "%a@\n" pp_struct s) p.structs;
+  List.iter (fun f -> Format.fprintf fmt "%a@\n" pp_func f) p.funcs
+
+let program_to_string (p : program) = Format.asprintf "%a" pp_program p
+let func_to_string (f : func) = Format.asprintf "%a" pp_func f

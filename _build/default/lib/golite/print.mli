@@ -1,0 +1,21 @@
+(* Pretty-printing of Golite programs to their Go-like concrete syntax.
+
+   The output parses back to the identical AST (Parse.program_of_string;
+   the round trip is property-tested), which is how engine sources can
+   be stored and reviewed as text, like the Go sources the paper's
+   pipeline consumes. *)
+
+val pp_ty : Format.formatter -> Ast.ty -> unit
+val binop_prec : Ast.binop -> int
+val binop_token : Ast.binop -> string
+val pp_expr_prec : int -> Format.formatter -> Ast.expr -> unit
+val pp_args : Format.formatter -> Ast.expr list -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_lvalue : Format.formatter -> Ast.lvalue -> unit
+val pp_stmt : int -> Format.formatter -> Ast.stmt -> unit
+val pp_block : int -> Format.formatter -> Ast.stmt list -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_struct : Format.formatter -> Ast.struct_def -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string
+val func_to_string : Ast.func -> string

@@ -1,0 +1,224 @@
+(* Golite type rules — the single source of truth shared by the checker
+   entry point and the compiler.
+
+   Variables of aggregate type denote the *address* of their stack slot,
+   so `Var x` where x : [4]int has type *[4]int. Field and index access
+   go through pointers and auto-wrap aggregate results as pointers. *)
+
+open Ast
+
+type env = { vars : (string * ty) list; prog : program; fn : func }
+
+let lookup env x =
+  match List.assoc_opt x env.vars with
+  | Some ty -> Some ty
+  | None -> List.assoc_opt x env.fn.params
+
+(* The type a variable *evaluates to*: aggregates evaluate to their
+   address. *)
+let eval_ty_of_var declared =
+  if is_aggregate declared then Tptr declared else declared
+
+let rec type_of_expr env (e : expr) : ty =
+  match e with
+  | Int _ -> Tint
+  | Bool _ -> Tbool
+  | Nil ty -> (
+      match ty with
+      | Tptr _ -> ty
+      | _ -> error "nil must have a pointer type, got %s" (ty_to_string ty))
+  | Var x -> (
+      match lookup env x with
+      | Some ty -> eval_ty_of_var ty
+      | None -> error "%s: unknown variable %s" env.fn.fn_name x)
+  | Unop (Not, e) ->
+      expect env e Tbool;
+      Tbool
+  | Unop (Neg, e) ->
+      expect env e Tint;
+      Tint
+  | Binop ((Add | Sub | Mul | Div | Rem), a, b) ->
+      expect env a Tint;
+      expect env b Tint;
+      Tint
+  | Binop ((Lt | Le | Gt | Ge), a, b) ->
+      expect env a Tint;
+      expect env b Tint;
+      Tbool
+  | Binop ((And | Or), a, b) ->
+      expect env a Tbool;
+      expect env b Tbool;
+      Tbool
+  | Binop ((Eq | Ne), a, b) ->
+      let ta = type_of_expr env a and tb = type_of_expr env b in
+      if not (equal_ty ta tb) then
+        error "%s: comparing %s with %s" env.fn.fn_name (ty_to_string ta)
+          (ty_to_string tb);
+      (match ta with
+      | Tint | Tbool | Tptr _ -> ()
+      | Tstruct _ | Tarray _ ->
+          error "%s: aggregate equality is not supported" env.fn.fn_name);
+      Tbool
+  | Field (e, f) -> (
+      match type_of_expr env e with
+      | Tptr (Tstruct s) ->
+          let fty = field_ty env.prog s f in
+          if is_aggregate fty then Tptr fty else fty
+      | ty ->
+          error "%s: field access .%s through non-struct-pointer %s"
+            env.fn.fn_name f (ty_to_string ty))
+  | Index (e, i) -> (
+      expect env i Tint;
+      match type_of_expr env e with
+      | Tptr (Tarray (elt, _)) -> if is_aggregate elt then Tptr elt else elt
+      | ty ->
+          error "%s: indexing through non-array-pointer %s" env.fn.fn_name
+            (ty_to_string ty))
+  | Call (name, args) -> (
+      let callee = find_func env.prog name in
+      if List.length callee.params <> List.length args then
+        error "%s: wrong arity calling %s" env.fn.fn_name name;
+      List.iter2
+        (fun (pname, pty) arg ->
+          let want = eval_ty_of_var pty in
+          let got = type_of_expr env arg in
+          if not (equal_ty want got) then
+            error "%s: argument %s of %s expects %s, got %s" env.fn.fn_name
+              pname name (ty_to_string want) (ty_to_string got))
+        callee.params args;
+      match callee.ret with
+      | Some ty -> ty
+      | None -> error "%s: void call %s used as a value" env.fn.fn_name name)
+  | New ty ->
+      if not (is_aggregate ty) then
+        error "%s: new of non-aggregate %s" env.fn.fn_name (ty_to_string ty);
+      Tptr ty
+
+and expect env e want =
+  let got = type_of_expr env e in
+  if not (equal_ty got want) then
+    error "%s: expected %s, got %s" env.fn.fn_name (ty_to_string want)
+      (ty_to_string got)
+
+let type_of_lvalue env = function
+  | Lvar x -> (
+      match lookup env x with
+      | Some ty ->
+          if is_aggregate ty then
+            error "%s: cannot assign whole aggregate %s" env.fn.fn_name x
+          else ty
+      | None -> error "%s: unknown variable %s" env.fn.fn_name x)
+  | Lfield (e, f) -> (
+      match type_of_expr env e with
+      | Tptr (Tstruct s) ->
+          let fty = field_ty env.prog s f in
+          if is_aggregate fty then
+            error "%s: cannot assign whole aggregate field %s" env.fn.fn_name f
+          else fty
+      | ty ->
+          error "%s: field assignment through %s" env.fn.fn_name
+            (ty_to_string ty))
+  | Lindex (e, i) -> (
+      expect env i Tint;
+      match type_of_expr env e with
+      | Tptr (Tarray (elt, _)) ->
+          if is_aggregate elt then
+            error "%s: cannot assign whole aggregate element" env.fn.fn_name
+          else elt
+      | ty ->
+          error "%s: index assignment through %s" env.fn.fn_name
+            (ty_to_string ty))
+
+(* Full-program checking: every statement of every function. *)
+let rec check_stmts env (in_loop : bool) (stmts : stmt list) : env =
+  List.fold_left (fun env s -> check_stmt env in_loop s) env stmts
+
+and check_stmt env in_loop (s : stmt) : env =
+  match s with
+  | Declare (x, ty, init) ->
+      (match init with
+      | Some e ->
+          if is_aggregate ty then
+            error "%s: aggregate %s cannot have an initializer" env.fn.fn_name x
+          else expect env e ty
+      | None -> ());
+      { env with vars = (x, ty) :: env.vars }
+  | Assign (lv, e) ->
+      let want = type_of_lvalue env lv in
+      expect env e want;
+      env
+  | If (c, then_, else_) ->
+      expect env c Tbool;
+      ignore (check_stmts env in_loop then_);
+      ignore (check_stmts env in_loop else_);
+      env
+  | While (c, body) ->
+      expect env c Tbool;
+      ignore (check_stmts env true body);
+      env
+  | Return None ->
+      if env.fn.ret <> None then
+        error "%s: missing return value" env.fn.fn_name;
+      env
+  | Return (Some e) -> (
+      match env.fn.ret with
+      | Some ty ->
+          let want = eval_ty_of_var ty in
+          expect env e want;
+          env
+      | None -> error "%s: return with value in void function" env.fn.fn_name)
+  | Expr_stmt (Call (name, _) as e) ->
+      let callee = find_func env.prog name in
+      (match callee.ret with
+      | None ->
+          (* Re-run argument checking without demanding a value. *)
+          let env' = env in
+          (match e with
+          | Call (_, args) ->
+              List.iter2
+                (fun (pname, pty) arg ->
+                  let want = eval_ty_of_var pty in
+                  let got = type_of_expr env' arg in
+                  if not (equal_ty want got) then
+                    error "%s: argument %s of %s expects %s, got %s"
+                      env.fn.fn_name pname name (ty_to_string want)
+                      (ty_to_string got))
+                callee.params args
+          | _ -> ())
+      | Some _ -> ignore (type_of_expr env e));
+      env
+  | Expr_stmt e ->
+      ignore (type_of_expr env e);
+      env
+  | Break | Continue ->
+      if not in_loop then error "%s: break/continue outside loop" env.fn.fn_name;
+      env
+  | Panic _ -> env
+
+let check_func prog (f : func) =
+  let env = { vars = []; prog; fn = f } in
+  (* Duplicate parameter names are a frontend bug. *)
+  let rec dup = function
+    | [] -> ()
+    | (x, _) :: rest ->
+        if List.mem_assoc x rest then error "%s: duplicate parameter %s" f.fn_name x
+        else dup rest
+  in
+  dup f.params;
+  ignore (check_stmts env false f.body)
+
+let check (p : program) =
+  List.iter
+    (fun (s : struct_def) ->
+      List.iter
+        (fun (_, ty) ->
+          let rec known = function
+            | Tstruct name ->
+                ignore (find_struct p name)
+            | Tptr t | Tarray (t, _) -> known t
+            | Tint | Tbool -> ()
+          in
+          known ty)
+        s.fields)
+    p.structs;
+  List.iter (check_func p) p.funcs

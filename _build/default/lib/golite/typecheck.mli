@@ -1,0 +1,21 @@
+(* Golite type rules — the single source of truth shared by the checker
+   entry point and the compiler.
+
+   Variables of aggregate type denote the *address* of their stack slot,
+   so `Var x` where x : [4]int has type *[4]int. Field and index access
+   go through pointers and auto-wrap aggregate results as pointers. *)
+
+type env = {
+  vars : (string * Ast.ty) list;
+  prog : Ast.program;
+  fn : Ast.func;
+}
+val lookup : env -> string -> Ast.ty option
+val eval_ty_of_var : Ast.ty -> Ast.ty
+val type_of_expr : env -> Ast.expr -> Ast.ty
+val expect : env -> Ast.expr -> Ast.ty -> unit
+val type_of_lvalue : env -> Ast.lvalue -> Ast.ty
+val check_stmts : env -> bool -> Ast.stmt list -> env
+val check_stmt : env -> bool -> Ast.stmt -> env
+val check_func : Ast.program -> Ast.func -> unit
+val check : Ast.program -> unit

@@ -1,0 +1,1 @@
+lib/minir/instr.ml: List Printf Ty

@@ -1,0 +1,1 @@
+lib/minir/instr.mli: Ty

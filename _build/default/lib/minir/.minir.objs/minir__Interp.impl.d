@@ -1,0 +1,1 @@
+lib/minir/interp.ml: Hashtbl Instr List Value

@@ -1,0 +1,1 @@
+lib/minir/interp.mli: Hashtbl Instr Value

@@ -1,0 +1,1 @@
+lib/minir/opaque.ml: Hashtbl Instr List Printf Ty Typing

@@ -1,0 +1,1 @@
+lib/minir/opaque.mli: Instr Ty

@@ -1,0 +1,1 @@
+lib/minir/pretty.ml: Format Instr List Ty

@@ -1,0 +1,1 @@
+lib/minir/pretty.mli: Format Instr

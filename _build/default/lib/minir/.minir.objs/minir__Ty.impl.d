@@ -1,0 +1,1 @@
+lib/minir/ty.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/minir/ty.mli: Format

@@ -1,0 +1,1 @@
+lib/minir/typing.ml: Format Hashtbl Instr List Ty

@@ -1,0 +1,1 @@
+lib/minir/typing.mli: Format Hashtbl Instr Ty

@@ -1,0 +1,1 @@
+lib/minir/value.ml: Array Format Int List Map Printf String Ty

@@ -1,0 +1,1 @@
+lib/minir/value.mli: Format Int Map Seq Ty

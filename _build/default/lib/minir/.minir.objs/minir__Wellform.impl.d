@@ -1,0 +1,1 @@
+lib/minir/wellform.ml: Format Hashtbl Instr List Ty Typing

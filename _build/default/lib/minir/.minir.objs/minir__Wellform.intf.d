@@ -1,0 +1,1 @@
+lib/minir/wellform.mli: Format Instr

@@ -1,0 +1,56 @@
+(* The Minir instruction set: a register-based CFG IR in the style of
+   clang -O0 LLVM output.
+
+   No SSA/phi nodes: the Golite frontend allocates one stack slot per
+   local variable and compiles reads/writes to load/store, which is the
+   code shape GoLLVM emits at the optimization level the paper verifies.
+   Safety checks appear as explicit [Panic] terminators on dedicated
+   blocks, mirroring the GoLLVM panic blocks of §4.1: verifying safety is
+   verifying those blocks unreachable. *)
+
+type reg = string
+type label = string
+type operand =
+    Reg of reg
+  | Const_int of int
+  | Const_bool of bool
+  | Null of Ty.t
+type binop = Add | Sub | Mul | Sdiv | Srem | And_ | Or_ | Xor
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge
+type rvalue =
+    Binop of binop * operand * operand
+  | Icmp of icmp * Ty.t * operand * operand
+  | Not of operand
+  | Alloca of Ty.t
+  | Load of Ty.t * operand
+  | Gep of Ty.t * operand * operand list
+  | Call of string * operand list
+  | Newobject of Ty.t
+  | Bitcast of operand
+  | Byte_gep of operand * operand
+  | Opaque_load of Ty.t * operand
+type instr =
+    Assign of reg * rvalue
+  | Store of Ty.t * operand * operand
+  | Opaque_store of Ty.t * operand * operand
+  | Call_void of string * operand list
+type terminator =
+    Br of label
+  | Cond_br of operand * label * label
+  | Ret of operand option
+  | Panic of string
+  | Unreachable
+type block = { insns : instr list; term : terminator; }
+type func = {
+  fn_name : string;
+  params : (reg * Ty.t) list;
+  ret_ty : Ty.t option;
+  entry : label;
+  blocks : (label * block) list;
+}
+type program = { tenv : Ty.tenv; funcs : func list; }
+val find_func : program -> string -> func
+val find_block : func -> label -> block
+val func_instruction_count : func -> int
+val program_instruction_count : program -> int
+val panic_count : func -> int

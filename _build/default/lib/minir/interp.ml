@@ -1,0 +1,159 @@
+(* Concrete Minir interpreter.
+
+   The reference executor: it replays counterexample queries produced by
+   the refinement checker against the real engine code, and it powers the
+   differential tests (engine vs. top-level specification on random
+   zones). Opaque-pointer instructions must be resolved by [Opaque] first;
+   the interpreter rejects them. *)
+
+type outcome =
+  | Returned of Value.t option * Value.memory
+  | Panicked of string
+
+exception Out_of_fuel
+
+let default_fuel = 2_000_000
+
+type frame = { regs : (Instr.reg, Value.t) Hashtbl.t }
+
+let operand_value (fr : frame) : Instr.operand -> Value.t = function
+  | Instr.Const_int n -> Value.VInt n
+  | Instr.Const_bool b -> Value.VBool b
+  | Instr.Null _ -> Value.VNull
+  | Instr.Reg r -> (
+      match Hashtbl.find_opt fr.regs r with
+      | Some v -> v
+      | None -> Value.panic "read of unassigned register %%%s" r)
+
+let as_int = function
+  | Value.VInt n -> n
+  | v -> Value.panic "expected integer, got %a" Value.pp v
+
+let as_bool = function
+  | Value.VBool b -> b
+  | v -> Value.panic "expected boolean, got %a" Value.pp v
+
+let as_ptr = function
+  | Value.VPtr p -> p
+  | Value.VNull -> Value.panic "nil pointer dereference"
+  | v -> Value.panic "expected pointer, got %a" Value.pp v
+
+let eval_binop op a b =
+  match op with
+  | Instr.Add -> Value.VInt (as_int a + as_int b)
+  | Instr.Sub -> Value.VInt (as_int a - as_int b)
+  | Instr.Mul -> Value.VInt (as_int a * as_int b)
+  | Instr.Sdiv ->
+      let d = as_int b in
+      if d = 0 then Value.panic "integer divide by zero"
+      else Value.VInt (as_int a / d)
+  | Instr.Srem ->
+      let d = as_int b in
+      if d = 0 then Value.panic "integer divide by zero"
+      else Value.VInt (as_int a mod d)
+  | Instr.And_ -> Value.VBool (as_bool a && as_bool b)
+  | Instr.Or_ -> Value.VBool (as_bool a || as_bool b)
+  | Instr.Xor -> Value.VBool (as_bool a <> as_bool b)
+
+let rec eval_icmp op a b =
+  let open Value in
+  match op with
+  | Instr.Eq -> (
+      match (a, b) with
+      | VInt x, VInt y -> VBool (x = y)
+      | VBool x, VBool y -> VBool (x = y)
+      | VPtr x, VPtr y -> VBool (x = y)
+      | VNull, VNull -> VBool true
+      | (VPtr _, VNull | VNull, VPtr _) -> VBool false
+      | _ -> Value.panic "icmp eq: incomparable values")
+  | Instr.Ne -> (
+      match eval_icmp Instr.Eq a b with
+      | VBool r -> VBool (not r)
+      | _ -> assert false)
+  | Instr.Slt -> VBool (as_int a < as_int b)
+  | Instr.Sle -> VBool (as_int a <= as_int b)
+  | Instr.Sgt -> VBool (as_int a > as_int b)
+  | Instr.Sge -> VBool (as_int a >= as_int b)
+
+(* Execute [fn] on [args] in [memory]. Fuel bounds the total instruction
+   count, turning accidental non-termination into an exception rather
+   than a hang. *)
+let run ?(fuel = default_fuel) (p : Instr.program) ~(memory : Value.memory)
+    ~(fn : string) ~(args : Value.t list) : outcome =
+  let mem = ref memory in
+  let fuel = ref fuel in
+  let tick () =
+    decr fuel;
+    if !fuel <= 0 then raise Out_of_fuel
+  in
+  let rec call fn_name args : Value.t option =
+    let f = Instr.find_func p fn_name in
+    if List.length args <> List.length f.Instr.params then
+      Value.panic "arity mismatch calling %s" fn_name;
+    let fr = { regs = Hashtbl.create 32 } in
+    List.iter2
+      (fun (r, _ty) v -> Hashtbl.replace fr.regs r v)
+      f.Instr.params args;
+    exec_block f fr (Instr.find_block f f.Instr.entry)
+  and exec_block f fr (b : Instr.block) : Value.t option =
+    List.iter (exec_instr fr) b.Instr.insns;
+    tick ();
+    match b.Instr.term with
+    | Instr.Br l -> exec_block f fr (Instr.find_block f l)
+    | Instr.Cond_br (c, l1, l2) ->
+        let target = if as_bool (operand_value fr c) then l1 else l2 in
+        exec_block f fr (Instr.find_block f target)
+    | Instr.Ret None -> None
+    | Instr.Ret (Some o) -> Some (operand_value fr o)
+    | Instr.Panic reason -> Value.panic "%s" reason
+    | Instr.Unreachable -> Value.panic "reached unreachable block"
+  and exec_instr fr = function
+    | Instr.Assign (r, rv) ->
+        tick ();
+        let v = eval_rvalue fr rv in
+        Hashtbl.replace fr.regs r v
+    | Instr.Store (_ty, v, ptr) ->
+        tick ();
+        let p = as_ptr (operand_value fr ptr) in
+        mem := Value.store !mem p (Value.mval_of_value (operand_value fr v))
+    | Instr.Opaque_store _ ->
+        Value.panic "opaque store not resolved (run the Opaque pass)"
+    | Instr.Call_void (name, args) ->
+        tick ();
+        let vs = List.map (operand_value fr) args in
+        ignore (call name vs)
+  and eval_rvalue fr = function
+    | Instr.Binop (op, a, b) ->
+        eval_binop op (operand_value fr a) (operand_value fr b)
+    | Instr.Icmp (op, _ty, a, b) ->
+        eval_icmp op (operand_value fr a) (operand_value fr b)
+    | Instr.Not a -> Value.VBool (not (as_bool (operand_value fr a)))
+    | Instr.Alloca ty ->
+        (* Go zero-initializes locals, so stack slots start at their
+           type's default rather than undef. *)
+        let mem', ptr = Value.alloc !mem (Value.mval_default p.Instr.tenv ty) in
+        mem := mem';
+        Value.VPtr ptr
+    | Instr.Newobject ty ->
+        let mem', ptr = Value.alloc !mem (Value.mval_default p.Instr.tenv ty) in
+        mem := mem';
+        Value.VPtr ptr
+    | Instr.Load (_ty, ptr) -> Value.load !mem (as_ptr (operand_value fr ptr))
+    | Instr.Gep (_pointee, base, indices) ->
+        let bp = as_ptr (operand_value fr base) in
+        let idx =
+          List.map (fun o -> as_int (operand_value fr o)) indices
+        in
+        Value.VPtr { bp with Value.path = bp.Value.path @ idx }
+    | Instr.Call (name, args) -> (
+        let vs = List.map (operand_value fr) args in
+        match call name vs with
+        | Some v -> v
+        | None -> Value.VUnit)
+    | Instr.Bitcast _ | Instr.Byte_gep _ | Instr.Opaque_load _ ->
+        Value.panic "opaque pointer op not resolved (run the Opaque pass)"
+  in
+  match call fn args with
+  | Some v -> Returned (Some v, !mem)
+  | None -> Returned (None, !mem)
+  | exception Value.Runtime_panic msg -> Panicked msg

@@ -1,0 +1,27 @@
+(* Concrete Minir interpreter.
+
+   The reference executor: it replays counterexample queries produced by
+   the refinement checker against the real engine code, and it powers the
+   differential tests (engine vs. top-level specification on random
+   zones). Opaque-pointer instructions must be resolved by [Opaque] first;
+   the interpreter rejects them. *)
+
+type outcome =
+    Returned of Value.t option * Value.memory
+  | Panicked of string
+exception Out_of_fuel
+val default_fuel : int
+type frame = { regs : (Instr.reg, Value.t) Hashtbl.t; }
+val operand_value : frame -> Instr.operand -> Value.t
+val as_int : Value.t -> int
+val as_bool : Value.t -> bool
+val as_ptr : Value.t -> Value.ptr
+val eval_binop :
+  Instr.binop -> Value.t -> Value.t -> Value.t
+val eval_icmp :
+  Instr.icmp -> Value.t -> Value.t -> Value.t
+val run :
+  ?fuel:int ->
+  Instr.program ->
+  memory:Value.memory ->
+  fn:string -> args:Value.t list -> outcome

@@ -1,0 +1,155 @@
+(* Opaque-pointer and bitcast resolution (paper §5.5).
+
+   In-production code casts typed pointers to raw byte pointers and
+   addresses fields by byte offsets. The verifier wants typed pointers
+   with index paths, so this pass tracks each chain of opaque pointers
+   from the bitcast that introduced it, accumulates constant byte
+   offsets, and — using the data layout — rewrites opaque loads/stores
+   back into typed GEP + load/store.
+
+   Registers are statically single-assignment in Minir, so a single
+   global scan per function discovers every chain. Chains with
+   non-constant offsets are reported as resolution failures: the
+   code patterns of our engine (struct-field addressing) never produce
+   them. *)
+
+type failure = { fn : string; reg : string; reason : string }
+
+exception Unresolvable of failure
+
+let unresolvable fn reg reason = raise (Unresolvable { fn; reg; reason })
+
+(* An opaque pointer's provenance: a typed base operand (with its pointee
+   type) plus a constant byte offset from it. *)
+type origin = { base : Instr.operand; pointee : Ty.t; offset : int }
+
+let resolve_func (p : Instr.program) (f : Instr.func) : Instr.func =
+  let tenv = p.Instr.tenv in
+  let reg_types = Typing.infer p f in
+  let origins : (Instr.reg, origin) Hashtbl.t = Hashtbl.create 16 in
+  (* Pass 1: collect origins of opaque registers. *)
+  List.iter
+    (fun (_, b) ->
+      List.iter
+        (function
+          | Instr.Assign (r, Instr.Bitcast src) ->
+              let src_ty =
+                Typing.operand_ty reg_types f.Instr.params src
+              in
+              (match src_ty with
+              | Ty.Ptr pointee ->
+                  Hashtbl.replace origins r { base = src; pointee; offset = 0 }
+              | Ty.Opaque_ptr -> (
+                  match src with
+                  | Instr.Reg sr -> (
+                      match Hashtbl.find_opt origins sr with
+                      | Some o -> Hashtbl.replace origins r o
+                      | None ->
+                          unresolvable f.Instr.fn_name r
+                            "bitcast of untracked opaque pointer")
+                  | _ ->
+                      unresolvable f.Instr.fn_name r
+                        "bitcast of non-register opaque pointer")
+              | _ ->
+                  unresolvable f.Instr.fn_name r
+                    ("bitcast of non-pointer type " ^ Ty.to_string src_ty))
+          | Instr.Assign (r, Instr.Byte_gep (src, off)) -> (
+              let delta =
+                match off with
+                | Instr.Const_int n -> n
+                | _ ->
+                    unresolvable f.Instr.fn_name r
+                      "byte_gep with non-constant offset"
+              in
+              match src with
+              | Instr.Reg sr -> (
+                  match Hashtbl.find_opt origins sr with
+                  | Some o ->
+                      Hashtbl.replace origins r
+                        { o with offset = o.offset + delta }
+                  | None ->
+                      unresolvable f.Instr.fn_name r
+                        "byte_gep of untracked opaque pointer")
+              | _ ->
+                  unresolvable f.Instr.fn_name r
+                    "byte_gep of non-register pointer")
+          | Instr.Assign _ | Instr.Store _ | Instr.Opaque_store _
+          | Instr.Call_void _ ->
+              ())
+        b.Instr.insns)
+    f.Instr.blocks;
+  (* Pass 2: rewrite opaque memory operations to typed ones. Resolved
+     bitcast/byte_gep definitions become typed GEPs so the registers stay
+     defined (later passes may drop them if unused). *)
+  let typed_gep r o =
+    let path = Ty.path_of_offset tenv o.pointee o.offset in
+    Instr.Assign
+      (r, Instr.Gep (o.pointee, o.base, List.map (fun i -> Instr.Const_int i) path))
+  in
+  let origin_of_operand where = function
+    | Instr.Reg r -> (
+        match Hashtbl.find_opt origins r with
+        | Some o -> o
+        | None -> unresolvable f.Instr.fn_name r ("untracked opaque pointer at " ^ where))
+    | _ -> unresolvable f.Instr.fn_name "<const>" ("non-register opaque pointer at " ^ where)
+  in
+  let fresh_counter = ref 0 in
+  let fresh_reg base =
+    incr fresh_counter;
+    Printf.sprintf "%s.oq%d" base !fresh_counter
+  in
+  let rewrite_block (label, b) =
+    let insns =
+      List.concat_map
+        (fun insn ->
+          match insn with
+          | Instr.Assign (r, Instr.Bitcast _) | Instr.Assign (r, Instr.Byte_gep _)
+            ->
+              [ typed_gep r (Hashtbl.find origins r) ]
+          | Instr.Assign (r, Instr.Opaque_load (ty, src)) ->
+              let o = origin_of_operand "load" src in
+              let path = Ty.path_of_offset tenv o.pointee o.offset in
+              let target_ty = Ty.ty_at tenv o.pointee path in
+              if not (Ty.equal target_ty ty) then
+                unresolvable f.Instr.fn_name r "opaque load type mismatch";
+              if path = [] then [ Instr.Assign (r, Instr.Load (ty, o.base)) ]
+              else
+                let addr = fresh_reg r in
+                [
+                  Instr.Assign
+                    ( addr,
+                      Instr.Gep
+                        ( o.pointee,
+                          o.base,
+                          List.map (fun i -> Instr.Const_int i) path ) );
+                  Instr.Assign (r, Instr.Load (ty, Instr.Reg addr));
+                ]
+          | Instr.Opaque_store (ty, v, dst) ->
+              let o = origin_of_operand "store" dst in
+              let path = Ty.path_of_offset tenv o.pointee o.offset in
+              let target_ty = Ty.ty_at tenv o.pointee path in
+              if not (Ty.equal target_ty ty) then
+                unresolvable f.Instr.fn_name "<store>" "opaque store type mismatch";
+              if path = [] then [ Instr.Store (ty, v, o.base) ]
+              else
+                let addr = fresh_reg "st" in
+                [
+                  Instr.Assign
+                    ( addr,
+                      Instr.Gep
+                        ( o.pointee,
+                          o.base,
+                          List.map (fun i -> Instr.Const_int i) path ) );
+                  Instr.Store (ty, v, Instr.Reg addr);
+                ]
+          | insn -> [ insn ])
+        b.Instr.insns
+    in
+    (label, { b with Instr.insns })
+  in
+  { f with Instr.blocks = List.map rewrite_block f.Instr.blocks }
+
+(* Resolve every opaque-pointer operation in [p]. Programs without such
+   operations pass through unchanged. *)
+let resolve (p : Instr.program) : Instr.program =
+  { p with Instr.funcs = List.map (resolve_func p) p.Instr.funcs }

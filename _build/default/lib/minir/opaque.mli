@@ -1,0 +1,26 @@
+(* Opaque-pointer and bitcast resolution (paper §5.5).
+
+   In-production code casts typed pointers to raw byte pointers and
+   addresses fields by byte offsets. The verifier wants typed pointers
+   with index paths, so this pass tracks each chain of opaque pointers
+   from the bitcast that introduced it, accumulates constant byte
+   offsets, and — using the data layout — rewrites opaque loads/stores
+   back into typed GEP + load/store.
+
+   Registers are statically single-assignment in Minir, so a single
+   global scan per function discovers every chain. Chains with
+   non-constant offsets are reported as resolution failures: the
+   code patterns of our engine (struct-field addressing) never produce
+   them. *)
+
+type failure = { fn : string; reg : string; reason : string; }
+exception Unresolvable of failure
+val unresolvable : string -> string -> string -> 'a
+type origin = {
+  base : Instr.operand;
+  pointee : Ty.t;
+  offset : int;
+}
+val resolve_func :
+  Instr.program -> Instr.func -> Instr.func
+val resolve : Instr.program -> Instr.program

@@ -1,0 +1,117 @@
+(* LLVM-flavoured textual rendering of Minir programs, for logs, reports
+   and golden tests. *)
+
+open Instr
+
+let pp_operand fmt = function
+  | Reg r -> Format.fprintf fmt "%%%s" r
+  | Const_int n -> Format.fprintf fmt "%d" n
+  | Const_bool b -> Format.fprintf fmt "%b" b
+  | Null ty -> Format.fprintf fmt "null:%a" Ty.pp ty
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Srem -> "srem"
+  | And_ -> "and"
+  | Or_ -> "or"
+  | Xor -> "xor"
+
+let icmp_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+
+let pp_rvalue fmt = function
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "%s %a, %a" (binop_name op) pp_operand a pp_operand b
+  | Icmp (op, ty, a, b) ->
+      Format.fprintf fmt "icmp %s %a %a, %a" (icmp_name op) Ty.pp ty pp_operand
+        a pp_operand b
+  | Not a -> Format.fprintf fmt "not %a" pp_operand a
+  | Alloca ty -> Format.fprintf fmt "alloca %a" Ty.pp ty
+  | Load (ty, p) -> Format.fprintf fmt "load %a, %a" Ty.pp ty pp_operand p
+  | Gep (ty, base, indices) ->
+      Format.fprintf fmt "getelementptr %a, %a" Ty.pp ty pp_operand base;
+      List.iter (fun i -> Format.fprintf fmt ", %a" pp_operand i) indices
+  | Call (name, args) ->
+      Format.fprintf fmt "call @%s(" name;
+      List.iteri
+        (fun i a ->
+          if i > 0 then Format.pp_print_string fmt ", ";
+          pp_operand fmt a)
+        args;
+      Format.pp_print_string fmt ")"
+  | Newobject ty -> Format.fprintf fmt "newobject %a" Ty.pp ty
+  | Bitcast o -> Format.fprintf fmt "bitcast %a to i8*" pp_operand o
+  | Byte_gep (p, off) ->
+      Format.fprintf fmt "byte_gep %a, %a" pp_operand p pp_operand off
+  | Opaque_load (ty, p) ->
+      Format.fprintf fmt "opaque_load %a, %a" Ty.pp ty pp_operand p
+
+let pp_instr fmt = function
+  | Assign (r, rv) -> Format.fprintf fmt "  %%%s = %a" r pp_rvalue rv
+  | Store (ty, v, p) ->
+      Format.fprintf fmt "  store %a %a, %a" Ty.pp ty pp_operand v pp_operand p
+  | Opaque_store (ty, v, p) ->
+      Format.fprintf fmt "  opaque_store %a %a, %a" Ty.pp ty pp_operand v
+        pp_operand p
+  | Call_void (name, args) ->
+      Format.fprintf fmt "  call void @%s(" name;
+      List.iteri
+        (fun i a ->
+          if i > 0 then Format.pp_print_string fmt ", ";
+          pp_operand fmt a)
+        args;
+      Format.pp_print_string fmt ")"
+
+let pp_terminator fmt = function
+  | Br l -> Format.fprintf fmt "  br label %%%s" l
+  | Cond_br (c, l1, l2) ->
+      Format.fprintf fmt "  br %a, label %%%s, label %%%s" pp_operand c l1 l2
+  | Ret None -> Format.pp_print_string fmt "  ret void"
+  | Ret (Some o) -> Format.fprintf fmt "  ret %a" pp_operand o
+  | Panic reason -> Format.fprintf fmt "  panic \"%s\"" reason
+  | Unreachable -> Format.pp_print_string fmt "  unreachable"
+
+let pp_func fmt (f : func) =
+  Format.fprintf fmt "define @%s(" f.fn_name;
+  List.iteri
+    (fun i (r, ty) ->
+      if i > 0 then Format.pp_print_string fmt ", ";
+      Format.fprintf fmt "%a %%%s" Ty.pp ty r)
+    f.params;
+  Format.fprintf fmt ")";
+  (match f.ret_ty with
+  | Some ty -> Format.fprintf fmt " : %a" Ty.pp ty
+  | None -> Format.fprintf fmt " : void");
+  Format.fprintf fmt " {@\n";
+  List.iter
+    (fun (label, b) ->
+      Format.fprintf fmt "%s:@\n" label;
+      List.iter (fun i -> Format.fprintf fmt "%a@\n" pp_instr i) b.insns;
+      Format.fprintf fmt "%a@\n" pp_terminator b.term)
+    f.blocks;
+  Format.fprintf fmt "}@\n"
+
+let pp_program fmt (p : program) =
+  List.iter
+    (fun (d : Ty.struct_def) ->
+      Format.fprintf fmt "%%%s = type {" d.Ty.sname;
+      List.iteri
+        (fun i (fl : Ty.field) ->
+          if i > 0 then Format.pp_print_string fmt ", ";
+          Format.fprintf fmt "%a %s" Ty.pp fl.Ty.fty fl.Ty.fname)
+        d.Ty.fields;
+      Format.fprintf fmt "}@\n")
+    p.tenv;
+  Format.pp_print_newline fmt ();
+  List.iter (fun f -> Format.fprintf fmt "%a@\n" pp_func f) p.funcs
+
+let program_to_string p = Format.asprintf "%a" pp_program p
+let func_to_string f = Format.asprintf "%a" pp_func f

@@ -1,0 +1,13 @@
+(* LLVM-flavoured textual rendering of Minir programs, for logs, reports
+   and golden tests. *)
+
+val pp_operand : Format.formatter -> Instr.operand -> unit
+val binop_name : Instr.binop -> string
+val icmp_name : Instr.icmp -> string
+val pp_rvalue : Format.formatter -> Instr.rvalue -> unit
+val pp_instr : Format.formatter -> Instr.instr -> unit
+val pp_terminator : Format.formatter -> Instr.terminator -> unit
+val pp_func : Format.formatter -> Instr.func -> unit
+val pp_program : Format.formatter -> Instr.program -> unit
+val program_to_string : Instr.program -> string
+val func_to_string : Instr.func -> string

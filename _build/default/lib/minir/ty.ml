@@ -1,0 +1,121 @@
+(* Minir types — the miniature LLVM type system the verifier reasons over.
+
+   Named structs give us the circular types the domain tree needs
+   (a TreeNode holds pointers to TreeNodes, §5.1). [Opaque_ptr] is the
+   untyped `i8*`-style pointer produced by bitcasts; the [Opaque] pass
+   retypes it before verification (§5.5). *)
+
+type t =
+  | I1 (* booleans / flags *)
+  | I64 (* integers; labels, lengths, codes *)
+  | Ptr of t
+  | Opaque_ptr
+  | Struct of string (* named struct, resolved in the type environment *)
+  | Array of t * int (* fixed-capacity array *)
+
+type field = { fname : string; fty : t }
+type struct_def = { sname : string; fields : field list }
+
+(* The type environment: named struct definitions of a program. *)
+type tenv = struct_def list
+
+let find_struct (tenv : tenv) name =
+  match List.find_opt (fun d -> d.sname = name) tenv with
+  | Some d -> d
+  | None -> invalid_arg ("Ty.find_struct: unknown struct " ^ name)
+
+let field_index (def : struct_def) fname =
+  let rec go i = function
+    | [] -> invalid_arg ("Ty.field_index: no field " ^ fname ^ " in " ^ def.sname)
+    | f :: rest -> if f.fname = fname then (i, f.fty) else go (i + 1) rest
+  in
+  go 0 def.fields
+
+let field_at (def : struct_def) i =
+  match List.nth_opt def.fields i with
+  | Some f -> f
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ty.field_at: struct %s has no field %d" def.sname i)
+
+let rec equal a b =
+  match (a, b) with
+  | I1, I1 | I64, I64 | Opaque_ptr, Opaque_ptr -> true
+  | Ptr a, Ptr b -> equal a b
+  | Struct a, Struct b -> a = b
+  | Array (a, n), Array (b, m) -> n = m && equal a b
+  | (I1 | I64 | Ptr _ | Opaque_ptr | Struct _ | Array _), _ -> false
+
+let rec pp fmt = function
+  | I1 -> Format.pp_print_string fmt "i1"
+  | I64 -> Format.pp_print_string fmt "i64"
+  | Ptr t -> Format.fprintf fmt "%a*" pp t
+  | Opaque_ptr -> Format.pp_print_string fmt "i8*"
+  | Struct name -> Format.fprintf fmt "%%%s" name
+  | Array (t, n) -> Format.fprintf fmt "[%d x %a]" n pp t
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Data layout: byte sizes and offsets, used by the opaque-pointer
+   resolution pass. Every scalar (i1, i64, pointers) occupies one
+   8-byte slot; aggregates are packed without padding. *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_size = 8
+
+let rec size_of tenv = function
+  | I1 | I64 | Ptr _ | Opaque_ptr -> scalar_size
+  | Array (t, n) -> n * size_of tenv t
+  | Struct name ->
+      let def = find_struct tenv name in
+      List.fold_left (fun acc f -> acc + size_of tenv f.fty) 0 def.fields
+
+let field_offset tenv (def : struct_def) index =
+  let rec go i off = function
+    | [] -> invalid_arg "Ty.field_offset: index out of range"
+    | f :: rest -> if i = index then off else go (i + 1) (off + size_of tenv f.fty) rest
+  in
+  go 0 0 def.fields
+
+(* Resolve a byte offset within [ty] to an index path (GEP-style), the
+   §5.5 translation from opaque to typed pointers. *)
+let rec path_of_offset tenv ty offset : int list =
+  if offset = 0 then
+    match ty with
+    | I1 | I64 | Ptr _ | Opaque_ptr -> []
+    | Struct _ | Array _ -> descend tenv ty 0
+  else descend tenv ty offset
+
+and descend tenv ty offset =
+  match ty with
+  | I1 | I64 | Ptr _ | Opaque_ptr ->
+      if offset = 0 then []
+      else invalid_arg "Ty.path_of_offset: offset into scalar"
+  | Array (elt, n) ->
+      let esz = size_of tenv elt in
+      let i = offset / esz in
+      if i >= n then invalid_arg "Ty.path_of_offset: offset past array end";
+      i :: path_of_offset tenv elt (offset mod esz)
+  | Struct name ->
+      let def = find_struct tenv name in
+      let rec pick i off fields =
+        match fields with
+        | [] -> invalid_arg "Ty.path_of_offset: offset past struct end"
+        | f :: rest ->
+            let sz = size_of tenv f.fty in
+            if offset < off + sz then i :: path_of_offset tenv f.fty (offset - off)
+            else pick (i + 1) (off + sz) rest
+      in
+      pick 0 0 def.fields
+
+(* Type reached by following an index path. *)
+let rec ty_at tenv ty path =
+  match (ty, path) with
+  | ty, [] -> ty
+  | Array (elt, _), _ :: rest -> ty_at tenv elt rest
+  | Struct name, i :: rest ->
+      let def = find_struct tenv name in
+      ty_at tenv (field_at def i).fty rest
+  | (I1 | I64 | Ptr _ | Opaque_ptr), _ :: _ ->
+      invalid_arg "Ty.ty_at: path into scalar"

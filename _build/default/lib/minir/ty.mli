@@ -1,0 +1,29 @@
+(* Minir types — the miniature LLVM type system the verifier reasons over.
+
+   Named structs give us the circular types the domain tree needs
+   (a TreeNode holds pointers to TreeNodes, §5.1). [Opaque_ptr] is the
+   untyped `i8*`-style pointer produced by bitcasts; the [Opaque] pass
+   retypes it before verification (§5.5). *)
+
+type t =
+    I1
+  | I64
+  | Ptr of t
+  | Opaque_ptr
+  | Struct of string
+  | Array of t * int
+type field = { fname : string; fty : t; }
+type struct_def = { sname : string; fields : field list; }
+type tenv = struct_def list
+val find_struct : tenv -> string -> struct_def
+val field_index : struct_def -> string -> int * t
+val field_at : struct_def -> int -> field
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val scalar_size : int
+val size_of : tenv -> t -> int
+val field_offset : tenv -> struct_def -> int -> int
+val path_of_offset : tenv -> t -> int -> int list
+val descend : tenv -> t -> int -> int list
+val ty_at : tenv -> t -> int list -> t

@@ -1,0 +1,75 @@
+(* Register type inference for Minir functions.
+
+   Every register has exactly one static definition (the Golite frontend
+   emits fresh temporaries), so types are computed by a single scan.
+   Used by the well-formedness checker and the opaque-pointer pass. *)
+
+type env = (Instr.reg, Ty.t) Hashtbl.t
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+(* Result type of a GEP: walk [ty] by the indices. Struct indices must be
+   constant; array indices may be dynamic. *)
+let rec ty_after_gep tenv (ty : Ty.t) (indices : Instr.operand list) : Ty.t =
+  match (ty, indices) with
+  | ty, [] -> ty
+  | Ty.Array (elt, _), _ :: rest -> ty_after_gep tenv elt rest
+  | Ty.Struct name, Instr.Const_int i :: rest ->
+      let def = Ty.find_struct tenv name in
+      ty_after_gep tenv (Ty.field_at def i).Ty.fty rest
+  | Ty.Struct name, _ :: _ ->
+      type_error "gep: non-constant field index into struct %s" name
+  | (Ty.I1 | Ty.I64 | Ty.Ptr _ | Ty.Opaque_ptr), _ :: _ ->
+      type_error "gep: indexing into scalar %s" (Ty.to_string ty)
+
+let operand_ty (env : env) (params : (Instr.reg * Ty.t) list) = function
+  | Instr.Const_int _ -> Ty.I64
+  | Instr.Const_bool _ -> Ty.I1
+  | Instr.Null ty -> ty
+  | Instr.Reg r -> (
+      match Hashtbl.find_opt env r with
+      | Some ty -> ty
+      | None -> (
+          match List.assoc_opt r params with
+          | Some ty -> ty
+          | None -> type_error "unknown register %%%s" r))
+
+(* Infer the types of all registers in [f], given the signatures of the
+   whole program (for calls). *)
+let infer (p : Instr.program) (f : Instr.func) : env =
+  let env : env = Hashtbl.create 64 in
+  List.iter (fun (r, ty) -> Hashtbl.replace env r ty) f.Instr.params;
+  let tenv = p.Instr.tenv in
+  let rvalue_ty = function
+    | Instr.Binop ((Instr.Add | Instr.Sub | Instr.Mul | Instr.Sdiv | Instr.Srem), _, _)
+      ->
+        Ty.I64
+    | Instr.Binop ((Instr.And_ | Instr.Or_ | Instr.Xor), _, _) -> Ty.I1
+    | Instr.Icmp _ -> Ty.I1
+    | Instr.Not _ -> Ty.I1
+    | Instr.Alloca ty | Instr.Newobject ty -> Ty.Ptr ty
+    | Instr.Load (ty, _) -> ty
+    | Instr.Gep (pointee, _, indices) ->
+        Ty.Ptr (ty_after_gep tenv pointee indices)
+    | Instr.Call (name, _) -> (
+        let callee = Instr.find_func p name in
+        match callee.Instr.ret_ty with
+        | Some ty -> ty
+        | None -> type_error "call of void function %s in value position" name)
+    | Instr.Bitcast _ -> Ty.Opaque_ptr
+    | Instr.Byte_gep _ -> Ty.Opaque_ptr
+    | Instr.Opaque_load (ty, _) -> ty
+  in
+  (* A single scan suffices: every rvalue's type is determined by its own
+     shape (loads and GEPs carry their types explicitly). *)
+  List.iter
+    (fun (_, b) ->
+      List.iter
+        (function
+          | Instr.Assign (r, rv) -> Hashtbl.replace env r (rvalue_ty rv)
+          | Instr.Store _ | Instr.Opaque_store _ | Instr.Call_void _ -> ())
+        b.Instr.insns)
+    f.Instr.blocks;
+  env

@@ -1,0 +1,15 @@
+(* Register type inference for Minir functions.
+
+   Every register has exactly one static definition (the Golite frontend
+   emits fresh temporaries), so types are computed by a single scan.
+   Used by the well-formedness checker and the opaque-pointer pass. *)
+
+type env = (Instr.reg, Ty.t) Hashtbl.t
+exception Type_error of string
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val ty_after_gep :
+  Ty.tenv -> Ty.t -> Instr.operand list -> Ty.t
+val operand_ty :
+  env ->
+  (Instr.reg * Ty.t) list -> Instr.operand -> Ty.t
+val infer : Instr.program -> Instr.func -> env

@@ -1,0 +1,157 @@
+(* Static well-formedness checking for Minir programs.
+
+   Run before any verification or interpretation: a malformed program is
+   a bug in the frontend, and rejecting it early keeps both executors
+   free of defensive cases. *)
+
+type error = { fn : string; where : string; message : string }
+
+let pp_error fmt e =
+  Format.fprintf fmt "%s/%s: %s" e.fn e.where e.message
+
+type result = Ok | Errors of error list
+
+let check_func (p : Instr.program) (f : Instr.func) : error list =
+  let errors = ref [] in
+  let err where fmt =
+    Format.kasprintf
+      (fun message ->
+        errors := { fn = f.Instr.fn_name; where; message } :: !errors)
+      fmt
+  in
+  let labels = List.map fst f.Instr.blocks in
+  (* Unique labels and a valid entry. *)
+  let rec dup = function
+    | [] -> None
+    | l :: rest -> if List.mem l rest then Some l else dup rest
+  in
+  (match dup labels with
+  | Some l -> err l "duplicate block label"
+  | None -> ());
+  if not (List.mem f.Instr.entry labels) then
+    err "entry" "entry label %s not defined" f.Instr.entry;
+  (* Unique parameter and register names; single static assignment of
+     each register (one defining instruction program-wide). *)
+  (match dup (List.map fst f.Instr.params) with
+  | Some r -> err "params" "duplicate parameter %%%s" r
+  | None -> ());
+  let defined = Hashtbl.create 64 in
+  List.iter (fun (r, _) -> Hashtbl.replace defined r "param") f.Instr.params;
+  List.iter
+    (fun (label, b) ->
+      List.iter
+        (function
+          | Instr.Assign (r, _) ->
+              if Hashtbl.mem defined r then
+                err label "register %%%s assigned more than once" r
+              else Hashtbl.replace defined r label
+          | Instr.Store _ | Instr.Opaque_store _ | Instr.Call_void _ -> ())
+        b.Instr.insns)
+    f.Instr.blocks;
+  (* Operand references resolve; branch targets exist; calls resolve with
+     the right arity. *)
+  let check_operand label = function
+    | Instr.Reg r ->
+        if not (Hashtbl.mem defined r) then
+          err label "use of undefined register %%%s" r
+    | Instr.Const_int _ | Instr.Const_bool _ | Instr.Null _ -> ()
+  in
+  List.iter
+    (fun (label, b) ->
+      List.iter
+        (fun insn ->
+          let operands =
+            match insn with
+            | Instr.Assign (_, rv) -> (
+                match rv with
+                | Instr.Binop (_, a, b) -> [ a; b ]
+                | Instr.Icmp (_, _, a, b) -> [ a; b ]
+                | Instr.Not a -> [ a ]
+                | Instr.Alloca _ -> []
+                | Instr.Load (_, p) -> [ p ]
+                | Instr.Gep (_, base, idx) -> base :: idx
+                | Instr.Call (name, args) ->
+                    (match List.find_opt (fun g -> g.Instr.fn_name = name) p.Instr.funcs with
+                    | None -> err label "call of undefined function %s" name
+                    | Some callee ->
+                        if List.length callee.Instr.params <> List.length args
+                        then err label "arity mismatch calling %s" name);
+                    args
+                | Instr.Newobject _ -> []
+                | Instr.Bitcast o -> [ o ]
+                | Instr.Byte_gep (a, b) -> [ a; b ]
+                | Instr.Opaque_load (_, o) -> [ o ])
+            | Instr.Store (_, v, ptr) -> [ v; ptr ]
+            | Instr.Opaque_store (_, v, ptr) -> [ v; ptr ]
+            | Instr.Call_void (name, args) ->
+                (match
+                   List.find_opt (fun g -> g.Instr.fn_name = name) p.Instr.funcs
+                 with
+                | None -> err label "call of undefined function %s" name
+                | Some callee ->
+                    if List.length callee.Instr.params <> List.length args then
+                      err label "arity mismatch calling %s" name);
+                args
+          in
+          List.iter (check_operand label) operands)
+        b.Instr.insns;
+      match b.Instr.term with
+      | Instr.Br l ->
+          if not (List.mem l labels) then err label "branch to unknown %s" l
+      | Instr.Cond_br (c, l1, l2) ->
+          check_operand label c;
+          List.iter
+            (fun l ->
+              if not (List.mem l labels) then err label "branch to unknown %s" l)
+            [ l1; l2 ]
+      | Instr.Ret (Some o) ->
+          check_operand label o;
+          if f.Instr.ret_ty = None then err label "value return in void function"
+      | Instr.Ret None ->
+          if f.Instr.ret_ty <> None then err label "void return in non-void function"
+      | Instr.Panic _ | Instr.Unreachable -> ())
+    f.Instr.blocks;
+  (* Register types must infer without error. *)
+  (try ignore (Typing.infer p f)
+   with Typing.Type_error m -> err "typing" "%s" m);
+  List.rev !errors
+
+let check (p : Instr.program) : result =
+  let errors = List.concat_map (check_func p) p.Instr.funcs in
+  (* Struct definitions must be unique and reference known structs. *)
+  let struct_errors = ref [] in
+  let known = List.map (fun d -> d.Ty.sname) p.Instr.tenv in
+  let rec dup = function
+    | [] -> None
+    | l :: rest -> if List.mem l rest then Some l else dup rest
+  in
+  (match dup known with
+  | Some s ->
+      struct_errors :=
+        { fn = "<tenv>"; where = s; message = "duplicate struct definition" }
+        :: !struct_errors
+  | None -> ());
+  let rec check_ty where = function
+    | Ty.I1 | Ty.I64 | Ty.Opaque_ptr -> ()
+    | Ty.Ptr t -> check_ty where t
+    | Ty.Array (t, n) ->
+        if n <= 0 then
+          struct_errors :=
+            { fn = "<tenv>"; where; message = "non-positive array capacity" }
+            :: !struct_errors;
+        check_ty where t
+    | Ty.Struct name ->
+        if not (List.mem name known) then
+          struct_errors :=
+            { fn = "<tenv>"; where; message = "unknown struct " ^ name }
+            :: !struct_errors
+  in
+  List.iter
+    (fun d -> List.iter (fun f -> check_ty d.Ty.sname f.Ty.fty) d.Ty.fields)
+    p.Instr.tenv;
+  match !struct_errors @ errors with [] -> Ok | es -> Errors es
+
+exception Ill_formed of error list
+
+let check_exn p =
+  match check p with Ok -> () | Errors es -> raise (Ill_formed es)

@@ -1,0 +1,13 @@
+(* Static well-formedness checking for Minir programs.
+
+   Run before any verification or interpretation: a malformed program is
+   a bug in the frontend, and rejecting it early keeps both executors
+   free of defensive cases. *)
+
+type error = { fn : string; where : string; message : string; }
+val pp_error : Format.formatter -> error -> unit
+type result = Ok | Errors of error list
+val check_func : Instr.program -> Instr.func -> error list
+val check : Instr.program -> result
+exception Ill_formed of error list
+val check_exn : Instr.program -> unit

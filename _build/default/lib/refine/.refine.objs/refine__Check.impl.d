@@ -1,0 +1,1 @@
+lib/refine/check.ml: Array Dns Dnstree Engine Format Hashtbl List Minir Option Printf Smt Spec Specsym Symex Unix

@@ -1,0 +1,1 @@
+lib/refine/check.mli: Dns Dnstree Engine Format Hashtbl Minir Smt Spec Specsym Symex

@@ -1,0 +1,1 @@
+lib/refine/layers.ml: Array Dnstree Format List Minir Option Printf Smt Spec String Symex Unix

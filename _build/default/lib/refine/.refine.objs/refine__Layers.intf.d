@@ -1,0 +1,1 @@
+lib/refine/layers.mli: Dnstree Minir Smt Spec Symex

@@ -1,0 +1,1 @@
+lib/refine/raw_name.ml: Array Char Dns Dnstree Engine Format Lazy List Minir Printf Smt String Symex Unix

@@ -1,0 +1,1 @@
+lib/refine/raw_name.mli: Dns Dnstree Engine Smt Symex

@@ -1,0 +1,1 @@
+lib/refine/specsym.ml: Dns Dnstree List Printf Smt Spec

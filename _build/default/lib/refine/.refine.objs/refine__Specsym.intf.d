@@ -1,0 +1,1 @@
+lib/refine/specsym.mli: Dns Dnstree Smt Spec

@@ -1,0 +1,488 @@
+(* The refinement checker (§4.3, Figure 6).
+
+   Engine side: full-path symbolic execution of `resolve` over the
+   concrete in-heap domain tree with a symbolic query, yielding path
+   conditions and the final Response memory image per path.
+   Specification side: Specsym's partition of the same query space.
+
+   For every overlapping (engine path, spec path) pair the checker
+   discharges equality of the response images with the SMT solver;
+   failures concretize into a real query via the model, which is
+   replayed concretely on both the engine interpreter and the concrete
+   specification (so every reported bug comes with a confirmed
+   counterexample). Reachable panic paths are safety violations
+   (§4.1). *)
+
+module Term = Smt.Term
+module Solver = Smt.Solver
+module Model = Smt.Model
+module Value = Minir.Value
+module Name = Dns.Name
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Message = Dns.Message
+module Layout = Dnstree.Layout
+module Encode = Dnstree.Encode
+module Rrlookup = Spec.Rrlookup
+module Sval = Symex.Sval
+module Exec = Symex.Exec
+module Summary = Symex.Summary
+
+(* Execution mode for the engine side: plain inlining, or applying
+   automatically generated summaries at the summarized layers (§5.3) —
+   the paper's configuration. *)
+type mode = Inline_all | With_summaries
+
+type mismatch = {
+  query : Message.query;
+  detail : string;
+  engine_replay : string; (* rendered engine response / panic *)
+  spec_replay : string;
+}
+
+type panic_report = { panic_query : Message.query; reason : string }
+
+type report = {
+  version : string;
+  qtype : Rr.rtype;
+  engine_paths : int;
+  spec_paths : int;
+  pairs_checked : int;
+  solver_calls : int;
+  summary_cases : (string * int) list; (* per summary instance *)
+  summary_times : (string * float) list; (* per layer, total summarization s *)
+  mismatches : mismatch list;
+  panics : panic_report list;
+  stateless : bool;
+  elapsed : float;
+}
+
+let ok (r : report) = r.mismatches = [] && r.panics = []
+
+(* ------------------------------------------------------------------ *)
+(* Engine-side harness                                                *)
+(* ------------------------------------------------------------------ *)
+
+let qname_cells () =
+  Sval.CArray (Array.init Layout.max_labels (fun j -> Sval.CInt (Specsym.qsym_label j)))
+
+type harness = {
+  exec_ctx : Exec.ctx;
+  resp_ptr : Value.ptr;
+  init_mem : Sval.memory;
+  frozen_below : int;
+  store : Summary.store;
+}
+
+let prepare ?store (prog : Minir.Instr.program) (enc : Encode.t) (mode : mode)
+    : harness =
+  let frozen_below = enc.Encode.memory.Value.next_block in
+  let store =
+    match store with Some s -> s | None -> Summary.create_store ()
+  in
+  let intercepts =
+    match mode with
+    | Inline_all -> []
+    | With_summaries ->
+        List.filter_map
+          (fun fn ->
+            if fn = "resolve" then None
+            else Some (fn, Summary.intercept_for ~frozen_below store fn))
+          Engine.Builder.summarized_layers
+  in
+  let exec_ctx = Exec.create ~intercepts prog in
+  let mem0 = Sval.memory_of_concrete enc.Encode.memory in
+  let mem0, resp_ptr =
+    Sval.alloc mem0
+      (Sval.scell_default prog.Minir.Instr.tenv (Minir.Ty.Struct "Response"))
+  in
+  { exec_ctx; resp_ptr; init_mem = mem0; frozen_below; store }
+
+let run_engine (h : harness) (enc : Encode.t) ~(qtype : Rr.rtype) : Exec.result
+    =
+  let mem, qname_ptr = Sval.alloc h.init_mem (qname_cells ()) in
+  let args =
+    [
+      Sval.SPtr enc.Encode.root;
+      Sval.SPtr h.resp_ptr;
+      Sval.SPtr qname_ptr;
+      Sval.SInt Specsym.qsym_len;
+      Sval.SInt (Term.int (Rr.rtype_code qtype));
+    ]
+  in
+  Exec.run h.exec_ctx ~memory:mem
+    ~pc:(Specsym.domain_constraints ~max_labels:Layout.max_labels)
+    ~fn:"resolve" ~args
+
+(* ------------------------------------------------------------------ *)
+(* Response images                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type slot = {
+  s_rname : Term.t array;
+  s_rname_len : Term.t;
+  s_rtype : Term.t;
+  s_data_id : Term.t;
+  s_target : Term.t array;
+  s_target_len : Term.t;
+  s_has_target : Term.t;
+}
+
+type image = {
+  i_rcode : Term.t;
+  i_aa : Term.t;
+  i_counts : Term.t array; (* answer, authority, additional *)
+  i_slots : slot array array;
+}
+
+let as_int_cell = function
+  | Sval.CInt t -> t
+  | c -> Sval.error "expected int cell, got %a" Sval.pp_scell c
+
+let as_bool_cell = function
+  | Sval.CBool t -> t
+  | c -> Sval.error "expected bool cell, got %a" Sval.pp_scell c
+
+let slot_of_cell (c : Sval.scell) : slot =
+  match c with
+  | Sval.CStruct [| rname; rlen; rtype; target; tlen; has; did |] ->
+      let arr = function
+        | Sval.CArray cells -> Array.map as_int_cell cells
+        | c -> Sval.error "expected name array, got %a" Sval.pp_scell c
+      in
+      {
+        s_rname = arr rname;
+        s_rname_len = as_int_cell rlen;
+        s_rtype = as_int_cell rtype;
+        s_data_id = as_int_cell did;
+        s_target = arr target;
+        s_target_len = as_int_cell tlen;
+        s_has_target = as_bool_cell has;
+      }
+  | c -> Sval.error "malformed RR cell %a" Sval.pp_scell c
+
+let image_of_mem (mem : Sval.memory) (resp : Value.ptr) : image =
+  match Sval.block_value mem resp.Value.block with
+  | Sval.CStruct [| rc; aa; na; ans; nu; auth; nd; add |] ->
+      let slots = function
+        | Sval.CArray cells -> Array.map slot_of_cell cells
+        | c -> Sval.error "malformed section %a" Sval.pp_scell c
+      in
+      {
+        i_rcode = as_int_cell rc;
+        i_aa = as_bool_cell aa;
+        i_counts = [| as_int_cell na; as_int_cell nu; as_int_cell nd |];
+        i_slots = [| slots ans; slots auth; slots add |];
+      }
+  | c -> Sval.error "malformed Response %a" Sval.pp_scell c
+
+(* The expected slot terms for a specification record. [qlen_pin] is the
+   concrete query length entailed by the combined path condition (only
+   needed for symbolic owners). *)
+let expected_slot (it : Layout.interner) (qlen_pin : int option)
+    (s : Specsym.srr) : slot =
+  let name_terms (codes : int list) =
+    Array.init Layout.max_labels (fun j ->
+        match List.nth_opt codes j with
+        | Some c -> Term.int c
+        | None -> Term.int 0)
+  in
+  let rname, rlen =
+    match s.Specsym.owner with
+    | Specsym.Concrete n ->
+        let codes = Name.codes it.Layout.coder n in
+        (name_terms codes, Term.int (List.length codes))
+    | Specsym.Sym_query ->
+        let k =
+          match qlen_pin with
+          | Some k -> k
+          | None -> Sval.error "symbolic owner with unpinned query length"
+        in
+        ( Array.init Layout.max_labels (fun j ->
+              if j < k then Specsym.qsym_label j else Term.int 0),
+          Term.int k )
+  in
+  let data_id = Layout.intern_rdata it s.Specsym.srdata in
+  let target, tlen, has =
+    match Rr.rdata_target s.Specsym.srdata with
+    | Some t ->
+        let codes = Name.codes it.Layout.coder t in
+        (name_terms codes, Term.int (List.length codes), Term.true_)
+    | None ->
+        (Array.make Layout.max_labels (Term.int 0), Term.int 0, Term.false_)
+  in
+  {
+    s_rname = rname;
+    s_rname_len = rlen;
+    s_rtype = Term.int (Rr.rtype_code s.Specsym.srtype);
+    s_data_id = Term.int data_id;
+    s_target = target;
+    s_target_len = tlen;
+    s_has_target = has;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Quick syntactic refutation of path-pair overlap                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Refuted
+
+let rec collect_eqs env (t : Term.t) =
+  match t with
+  | Term.And ts -> List.iter (collect_eqs env) ts
+  | Term.Eq (Term.Var v, Term.Int_const n) | Term.Eq (Term.Int_const n, Term.Var v)
+    -> (
+      match Hashtbl.find_opt env v.Term.name with
+      | Some n' when n' <> n -> raise Refuted
+      | Some _ -> ()
+      | None -> Hashtbl.replace env v.Term.name n)
+  | _ -> ()
+
+let partial_eval env (t : Term.t) : bool option =
+  let lookup name =
+    match Hashtbl.find_opt env name with
+    | Some n -> Some (Term.VInt n)
+    | None -> None
+  in
+  match Term.eval lookup t with
+  | Term.VBool b -> Some b
+  | Term.VInt _ -> None
+  | exception Term.Unassigned _ -> None
+  | exception Term.Sort_error _ -> None
+
+(* Cheap check: do the constant equalities of [a] contradict any
+   conjunct of [b] (or vice versa)? *)
+let quick_refute (a : Term.t list) (b : Term.t list) : bool =
+  let env = Hashtbl.create 16 in
+  try
+    List.iter (collect_eqs env) a;
+    List.iter (collect_eqs env) b;
+    List.exists (fun t -> partial_eval env t = Some false) b
+    || List.exists (fun t -> partial_eval env t = Some false) a
+  with Refuted -> true
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_eq ~(pc : Term.t list) (a : Term.t) (b : Term.t) : bool =
+  a = b
+  ||
+  match (a, b) with
+  | Term.Int_const x, Term.Int_const y -> x = y
+  | _ -> (
+      match Solver.entails ~hyps:pc (Term.eq a b) with
+      | Solver.Valid -> true
+      | Solver.Counterexample _ | Solver.Unknown_validity -> false)
+
+let check_slot ~pc ~(where : string) (eng : slot) (exp : slot) :
+    (unit, string) result =
+  let checks =
+    [
+      ("rnameLen", eng.s_rname_len, exp.s_rname_len);
+      ("rtype", eng.s_rtype, exp.s_rtype);
+      ("dataId", eng.s_data_id, exp.s_data_id);
+      ("targetLen", eng.s_target_len, exp.s_target_len);
+    ]
+    @ List.init Layout.max_labels (fun j ->
+          (Printf.sprintf "rname[%d]" j, eng.s_rname.(j), exp.s_rname.(j)))
+    @ List.init Layout.max_labels (fun j ->
+          (Printf.sprintf "target[%d]" j, eng.s_target.(j), exp.s_target.(j)))
+  in
+  let bad =
+    List.find_opt (fun (_, a, b) -> not (check_eq ~pc a b)) checks
+  in
+  match bad with
+  | Some (field, a, b) ->
+      Error
+        (Format.asprintf "%s.%s: engine %a vs spec %a" where field Term.pp a
+           Term.pp b)
+  | None ->
+      if check_eq ~pc eng.s_has_target exp.s_has_target then Ok ()
+      else Error (where ^ ".hasTarget differs")
+
+let section_names = [| "answer"; "authority"; "additional" |]
+
+let check_images ~pc (it : Layout.interner) (eng : image)
+    (spec : Specsym.sresponse) ~(qlen_pin : int option) : (unit, string) result
+    =
+  let expected_sections =
+    [| spec.Specsym.sanswer; spec.Specsym.sauthority; spec.Specsym.sadditional |]
+  in
+  let rc = Term.int (Message.rcode_code spec.Specsym.srcode) in
+  if not (check_eq ~pc eng.i_rcode rc) then
+    Error
+      (Format.asprintf "rcode: engine %a vs spec %s" Term.pp eng.i_rcode
+         (Message.rcode_to_string spec.Specsym.srcode))
+  else if not (check_eq ~pc eng.i_aa (Term.of_bool spec.Specsym.saa)) then
+    Error
+      (Format.asprintf "aa: engine %a vs spec %b" Term.pp eng.i_aa
+         spec.Specsym.saa)
+  else
+    let rec sections k =
+      if k >= 3 then Ok ()
+      else
+        let expected = expected_sections.(k) in
+        let count = List.length expected in
+        if not (check_eq ~pc eng.i_counts.(k) (Term.int count)) then
+          Error
+            (Format.asprintf "%s count: engine %a vs spec %d"
+               section_names.(k) Term.pp eng.i_counts.(k) count)
+        else
+          let rec slots i = function
+            | [] -> sections (k + 1)
+            | srr :: rest -> (
+                let exp = expected_slot it qlen_pin srr in
+                match
+                  check_slot ~pc
+                    ~where:(Printf.sprintf "%s[%d]" section_names.(k) i)
+                    eng.i_slots.(k).(i) exp
+                with
+                | Ok () -> slots (i + 1) rest
+                | Error e -> Error e)
+          in
+          slots 0 expected
+    in
+    sections 0
+
+(* Try to pin the query length under [pc]: take the model's value and
+   confirm entailment. *)
+let pin_qlen (pc : Term.t list) (m : Model.t) : int option =
+  let k = Model.get_int "q.len" m in
+  match Solver.entails ~hyps:pc (Term.eq Specsym.qsym_len (Term.int k)) with
+  | Solver.Valid -> Some k
+  | _ -> None
+
+let replay_engine (cfg : Engine.Builder.config) (zone : Zone.t)
+    (q : Message.query) : string =
+  match Engine.Versions.run cfg zone q with
+  | Engine.Versions.Response r -> Message.response_to_string r
+  | Engine.Versions.Engine_panic m -> "panic: " ^ m
+
+let replay_spec (zone : Zone.t) (q : Message.query) : string =
+  Message.response_to_string (Rrlookup.resolve zone q)
+
+(* Verify one engine version against the top-level specification for
+   one query type over one zone. *)
+let check_version ?(mode = With_summaries) ?store
+    (cfg : Engine.Builder.config) (zone : Zone.t) ~(qtype : Rr.rtype) : report =
+  let t0 = Unix.gettimeofday () in
+  Solver.reset_stats ();
+  let prog = Engine.Versions.compiled cfg in
+  let tree = Dnstree.Tree.build zone in
+  let enc = Encode.encode tree in
+  let h = prepare ?store prog enc mode in
+  let engine_results = run_engine h enc ~qtype in
+  let spec_paths, spec_solver_calls =
+    Specsym.paths zone enc.Encode.interner.Layout.coder ~qtype
+      ~max_labels:Layout.max_labels
+  in
+  let mismatches = ref [] in
+  let panics = ref [] in
+  let pairs = ref 0 in
+  let stateless = ref true in
+  let record_mismatch q detail =
+    mismatches :=
+      {
+        query = q;
+        detail;
+        engine_replay = replay_engine cfg zone q;
+        spec_replay = replay_spec zone q;
+      }
+      :: !mismatches
+  in
+  List.iter
+    (fun ((path : Exec.path), outcome) ->
+      match outcome with
+      | Exec.Panicked reason -> (
+          match Solver.check path.Exec.pc with
+          | Solver.Sat m ->
+              let q =
+                Specsym.query_of_model enc.Encode.interner.Layout.coder m ~qtype
+              in
+              panics := { panic_query = q; reason } :: !panics
+          | _ -> () (* infeasible panic path: pruned conservatively *))
+      | Exec.Returned _ ->
+          (* Statelessness: the engine must not modify the domain tree. *)
+          Sval.Int_map.iter
+            (fun b cell ->
+              if b < h.frozen_below then
+                match Sval.Int_map.find_opt b path.Exec.mem.Sval.blocks with
+                | Some cell' when cell' == cell || cell' = cell -> ()
+                | _ -> stateless := false)
+            h.init_mem.Sval.blocks;
+          let eng_image = image_of_mem path.Exec.mem h.resp_ptr in
+          List.iter
+            (fun (sp : Specsym.spath) ->
+              if not (quick_refute path.Exec.pc sp.Specsym.cond) then begin
+                let combined = sp.Specsym.cond @ path.Exec.pc in
+                let handle_overlap (m : Model.t) =
+                  incr pairs;
+                  let qlen_pin = pin_qlen combined m in
+                  match
+                    check_images ~pc:combined enc.Encode.interner eng_image
+                      sp.Specsym.resp ~qlen_pin
+                  with
+                  | Ok () -> ()
+                  | Error detail ->
+                      (* Concretize a witness for the mismatch. *)
+                      let q =
+                        Specsym.query_of_model
+                          enc.Encode.interner.Layout.coder m ~qtype
+                      in
+                      record_mismatch q detail
+                in
+                match Solver.check combined with
+                | Solver.Unsat -> ()
+                | Solver.Sat m -> handle_overlap m
+                | Solver.Unknown -> handle_overlap Model.empty
+              end)
+            spec_paths)
+    engine_results;
+  {
+    version = cfg.Engine.Builder.version;
+    qtype;
+    engine_paths = List.length engine_results;
+    spec_paths = List.length spec_paths;
+    pairs_checked = !pairs;
+    solver_calls = h.exec_ctx.Exec.solver_calls + spec_solver_calls;
+    summary_cases =
+      List.map
+        (fun (s : Summary.t) -> (s.Summary.fn, Summary.case_count s))
+        (Summary.store_summaries h.store);
+    summary_times =
+      List.fold_left
+        (fun acc (s : Summary.t) ->
+          let prev = Option.value ~default:0.0 (List.assoc_opt s.Summary.fn acc) in
+          (s.Summary.fn, prev +. s.Summary.elapsed)
+          :: List.remove_assoc s.Summary.fn acc)
+        []
+        (Summary.store_summaries h.store);
+    mismatches = List.rev !mismatches;
+    panics = List.rev !panics;
+    stateless = !stateless;
+    elapsed = Unix.gettimeofday () -. t0;
+  }
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt
+    "@[<v>version %s qtype %s: %d engine paths, %d spec paths, %d pairs, %d \
+     solver calls, %.3fs%s@,%a%a@]"
+    r.version
+    (Rr.rtype_to_string r.qtype)
+    r.engine_paths r.spec_paths r.pairs_checked r.solver_calls r.elapsed
+    (if r.stateless then "" else " [NOT STATELESS]")
+    (fun fmt ms ->
+      List.iter
+        (fun m ->
+          Format.fprintf fmt "MISMATCH on %a: %s@," Message.pp_query m.query
+            m.detail)
+        ms)
+    r.mismatches
+    (fun fmt ps ->
+      List.iter
+        (fun p ->
+          Format.fprintf fmt "PANIC on %a: %s@," Message.pp_query p.panic_query
+            p.reason)
+        ps)
+    r.panics

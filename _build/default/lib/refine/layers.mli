@@ -1,0 +1,68 @@
+(* Manual specifications for the stable dependency layers (the yellow
+   boxes of Figure 5) and the refinement check that each layer's code
+   is equivalent to its specification (§5.2, §6.3).
+
+   Specifications are written in the executable AbsLLVM style (§6.1):
+   OCaml functions over symbolic values that fork on abstract,
+   word-level conditions — e.g. compareAbs (Figure 10) compares whole
+   labels as integers where compareRaw grinds through bytes. They serve
+   two purposes:
+
+   - each is *verified* against the corresponding Golite code by
+     full-path product checking (code paths × spec paths, SMT-discharged
+     equivalence of return values and memory effects);
+   - they can then be installed as intercepts during whole-engine
+     verification, which is the layered-verification configuration.
+
+   These layers are stable across engine versions (Table 3): the same
+   specifications verify against every version's code. *)
+
+module Term = Smt.Term
+module Solver = Smt.Solver
+module Value = Minir.Value
+module Ty = Minir.Ty
+module Layout = Dnstree.Layout
+module Sval = Symex.Sval
+module Exec = Symex.Exec
+module Summary = Symex.Summary
+val maxl : int
+val ret : Exec.path -> Symex.Sval.sval -> Exec.result
+val ret_int : Exec.path -> int -> Exec.result
+val ret_void : Exec.path -> Exec.result
+val read_name_cells : Sval.memory -> Value.ptr -> Term.t array
+val fork_length :
+  Exec.ctx ->
+  Exec.path -> Term.t -> (Exec.path -> int -> Exec.result) -> Exec.result
+val prefix_eq : Term.t array -> Term.t array -> int -> Term.t
+val compare_names_spec : Exec.intercept
+val name_order_spec : Exec.intercept
+val copy_name_spec : Exec.intercept
+val stack_push_spec : Exec.intercept
+val find_rrset_spec : Exec.intercept
+val append_spec :
+  count_field:int -> section_field:int -> cap:int -> Exec.intercept
+val specs : (string * (Exec.intercept * int)) list
+val spec_for : string -> Exec.intercept option
+val spec_loc : string -> int option
+type layer_report = {
+  layer : string;
+  code_paths : int;
+  spec_paths : int;
+  pairs : int;
+  mismatches : string list;
+  elapsed : float;
+}
+val layer_ok : layer_report -> bool
+val compare_results :
+  Sval.memory -> Exec.result -> Exec.result -> int * string list
+val sym_name_block : Sval.memory -> string -> Sval.memory * Sval.Value.ptr
+val len_var : string -> Term.t
+val len_bounds : Term.t -> Term.t list
+val layer_setup :
+  Minir.Instr.program ->
+  Dnstree.Encode.t option ->
+  string -> Sval.memory * Sval.sval list * Term.t list
+val check_layer :
+  ?zone:Spec.Fixtures.Zone.t -> Minir.Instr.program -> string -> layer_report
+val check_all :
+  ?zone:Spec.Fixtures.Zone.t -> Minir.Instr.program -> layer_report list

@@ -1,0 +1,216 @@
+(* The §6.3 refinement: compareRaw (raw wire bytes, Figure 4) is
+   equivalent to the word-level label classification that compareAbs
+   (Figure 10) computes.
+
+   The abstraction relation maps a wire-byte name to its label vector;
+   two labels are abstractly equal iff their bytes are. As in the paper,
+   the second argument is always a *concrete* name from the domain tree,
+   and the total length of the symbolic name is bounded; we additionally
+   concretize the symbolic name's label *structure* (the sequence of
+   label lengths) and leave every content byte symbolic — the
+   concretization technique §5.1 describes for the few functions that
+   index arrays with data-dependent offsets. For each structure,
+   full-path symbolic execution of compareRaw must classify exactly as
+   the abstract comparison does, for all byte contents. *)
+
+module Term = Smt.Term
+module Solver = Smt.Solver
+module Name = Dns.Name
+module Layout = Dnstree.Layout
+module Name_raw = Engine.Name_raw
+module Sval = Symex.Sval
+module Exec = Symex.Exec
+
+type case_report = {
+  structure : int list; (* label lengths of the symbolic name *)
+  against : Name.t; (* the concrete second argument *)
+  paths : int;
+  failures : string list;
+}
+
+type report = {
+  cases : case_report list;
+  total_paths : int;
+  elapsed : float;
+}
+
+let ok (r : report) = List.for_all (fun c -> c.failures = []) r.cases
+
+(* Byte variable for position [i] of the symbolic name. *)
+let byte_var i = Term.int_var (Printf.sprintf "raw.b%d" i)
+
+(* Build the wire cells for a symbolic name with concrete label
+   structure [lens]: length bytes concrete, content bytes symbolic. *)
+let symbolic_wire (lens : int list) : Sval.scell * Term.t array option array =
+  let cells = Array.make Name_raw.max_bytes (Sval.CInt (Term.int 0)) in
+  let groups = Array.make (List.length lens) None in
+  let pos = ref 0 in
+  List.iteri
+    (fun li len ->
+      cells.(!pos) <- Sval.CInt (Term.int len);
+      incr pos;
+      let label_bytes =
+        Array.init len (fun j ->
+            let t = byte_var (!pos + j) in
+            cells.(!pos + j) <- Sval.CInt t;
+            t)
+      in
+      groups.(li) <- Some label_bytes;
+      pos := !pos + len)
+    lens;
+  (Sval.CArray cells, groups)
+
+(* Abstract equality of the k-th-from-the-end labels. *)
+let label_eq (sym_lens : int list) (groups : Term.t array option array)
+    (conc : Name.t) (k : int) : Term.t =
+  let c1 = List.length sym_lens and conc_labels = Name.labels conc in
+  let c2 = List.length conc_labels in
+  let sym_idx = c1 - 1 - k in
+  (* presentation order: last label = topmost *)
+  let conc_label =
+    Dns.Label.to_string (List.nth conc_labels (c2 - 1 - k))
+  in
+  let sym_len = List.nth sym_lens sym_idx in
+  if sym_len <> String.length conc_label then Term.false_
+  else
+    match groups.(sym_idx) with
+    | Some bytes ->
+        Term.and_
+          (List.init sym_len (fun j ->
+               Term.eq bytes.(j) (Term.int (Char.code conc_label.[j]))))
+    | None -> Term.false_
+
+(* Check one (structure, concrete name) case. *)
+let check_case (lens : int list) (conc : Name.t) : case_report =
+  let prog = Lazy.force Name_raw.compiled in
+  let ctx = Exec.create prog in
+  let mem = Sval.memory_of_concrete Minir.Value.empty_memory in
+  let sym_cells, groups = symbolic_wire lens in
+  let mem, n1 = Sval.alloc mem sym_cells in
+  let conc_cells =
+    Sval.CArray
+      (Array.map (fun b -> Sval.CInt (Term.int b)) (Name_raw.wire_bytes conc))
+  in
+  let mem, n2 = Sval.alloc mem conc_cells in
+  let results =
+    Exec.run ctx ~memory:mem ~pc:[] ~fn:"compareRaw"
+      ~args:[ Sval.SPtr n1; Sval.SPtr n2 ]
+  in
+  let c1 = List.length lens and c2 = Name.label_count conc in
+  let common = min c1 c2 in
+  let all_eq =
+    Term.and_ (List.init common (fun k -> label_eq lens groups conc k))
+  in
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun ((path : Exec.path), outcome) ->
+      match outcome with
+      | Exec.Panicked m -> fail "compareRaw panicked: %s" m
+      | Exec.Returned (Some (Sval.SInt ret)) -> (
+          let entails goal =
+            match Solver.entails ~hyps:path.Exec.pc goal with
+            | Solver.Valid -> true
+            | _ -> false
+          in
+          match ret with
+          | Term.Int_const v when v = Layout.exactmatch ->
+              if c1 <> c2 then fail "EXACT with different label counts";
+              if not (entails all_eq) then
+                fail "EXACT path does not entail abstract equality"
+          | Term.Int_const v when v = Layout.partialmatch ->
+              if c1 <= c2 then fail "PARTIAL without proper ancestry";
+              if not (entails all_eq) then
+                fail "PARTIAL path does not entail abstract equality"
+          | Term.Int_const v when v = Layout.nomatch ->
+              (* NOMATCH must imply the abstraction disagrees, unless the
+                 counts alone decide it. *)
+              if c1 >= c2 && common > 0 && not (entails (Term.not_ all_eq))
+              then fail "NOMATCH path does not refute abstract equality"
+              else if c1 >= c2 && common = 0 then
+                fail "NOMATCH with trivially-equal empty prefix"
+          | t -> fail "non-constant return %s" (Term.to_string t))
+      | Exec.Returned _ -> fail "compareRaw returned a non-integer")
+    results;
+  {
+    structure = lens;
+    against = conc;
+    paths = List.length results;
+    failures = List.rev !failures;
+  }
+
+(* All label structures with at most [max_labels] labels of length at
+   most [max_len] whose wire form fits the byte capacity. *)
+let structures ~max_labels ~max_len : int list list =
+  let rec go depth =
+    if depth = 0 then [ [] ]
+    else
+      let shorter = go (depth - 1) in
+      shorter
+      @ List.concat_map
+          (fun tail ->
+            List.init max_len (fun l -> (l + 1) :: tail))
+          (List.filter (fun t -> List.length t = depth - 1) shorter)
+  in
+  List.filter
+    (fun lens ->
+      List.fold_left (fun a l -> a + l + 1) 1 lens <= Name_raw.max_bytes)
+    (go max_labels)
+
+(* A zone with short labels, so that bounded symbolic structures
+   actually align with concrete labels and the byte-level comparison
+   loops run on symbolic content. *)
+let short_label_zone =
+  let n = Name.of_string_exn in
+  let origin = n "ex.co" in
+  Dns.Zone.make origin
+    [
+      Dns.Rr.soa origin ~mname:(n "ns.ex.co") ~serial:63;
+      Dns.Rr.a (n "ns.ex.co") 1;
+      Dns.Rr.a (n "ab.ex.co") 2;
+      Dns.Rr.a (n "cde.ex.co") 3;
+      Dns.Rr.a (n "x.ab.ex.co") 4;
+    ]
+
+(* The full §6.3 experiment: every bounded structure against every node
+   name of [zone]'s domain tree. *)
+let check ?(zone = short_label_zone) ?(max_labels = 4) ?(max_len = 3) () :
+    report =
+  let t0 = Unix.gettimeofday () in
+  let tree = Dnstree.Tree.build zone in
+  let node_names =
+    List.rev (Dnstree.Tree.fold (fun acc n -> n.Dnstree.Tree.name :: acc) [] tree)
+  in
+  (* Keep the concrete side within the structural bound too. *)
+  let node_names =
+    List.filter
+      (fun n ->
+        List.length (Name.to_wire n) <= Name_raw.max_bytes
+        && Name.label_count n <= Layout.max_labels)
+      node_names
+  in
+  let cases =
+    List.concat_map
+      (fun lens -> List.map (fun conc -> check_case lens conc) node_names)
+      (structures ~max_labels ~max_len)
+  in
+  {
+    cases;
+    total_paths = List.fold_left (fun a c -> a + c.paths) 0 cases;
+    elapsed = Unix.gettimeofday () -. t0;
+  }
+
+let print (r : report) =
+  Printf.printf
+    "compareRaw ≡ compareAbs (§6.3): %d (structure, tree-name) cases, %d \
+     byte-level paths, %.2fs — %s\n"
+    (List.length r.cases) r.total_paths r.elapsed
+    (if ok r then "VERIFIED" else "FAILED");
+  List.iter
+    (fun c ->
+      if c.failures <> [] then
+        Printf.printf "  structure [%s] vs %s: %s\n"
+          (String.concat ";" (List.map string_of_int c.structure))
+          (Name.to_string c.against)
+          (String.concat " | " c.failures))
+    r.cases

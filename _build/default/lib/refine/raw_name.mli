@@ -1,0 +1,44 @@
+(* The §6.3 refinement: compareRaw (raw wire bytes, Figure 4) is
+   equivalent to the word-level label classification that compareAbs
+   (Figure 10) computes.
+
+   The abstraction relation maps a wire-byte name to its label vector;
+   two labels are abstractly equal iff their bytes are. As in the paper,
+   the second argument is always a *concrete* name from the domain tree,
+   and the total length of the symbolic name is bounded; we additionally
+   concretize the symbolic name's label *structure* (the sequence of
+   label lengths) and leave every content byte symbolic — the
+   concretization technique §5.1 describes for the few functions that
+   index arrays with data-dependent offsets. For each structure,
+   full-path symbolic execution of compareRaw must classify exactly as
+   the abstract comparison does, for all byte contents. *)
+
+module Term = Smt.Term
+module Solver = Smt.Solver
+module Name = Dns.Name
+module Layout = Dnstree.Layout
+module Name_raw = Engine.Name_raw
+module Sval = Symex.Sval
+module Exec = Symex.Exec
+type case_report = {
+  structure : int list;
+  against : Name.t;
+  paths : int;
+  failures : string list;
+}
+type report = {
+  cases : case_report list;
+  total_paths : int;
+  elapsed : float;
+}
+val ok : report -> bool
+val byte_var : int -> Term.t
+val symbolic_wire : int list -> Sval.scell * Term.t array option array
+val label_eq :
+  int list -> Term.t array option array -> Name.t -> int -> Term.t
+val check_case : int list -> Name.t -> case_report
+val structures : max_labels:int -> max_len:int -> int list list
+val short_label_zone : Dns.Zone.t
+val check :
+  ?zone:Dns.Zone.t -> ?max_labels:int -> ?max_len:int -> unit -> report
+val print : report -> unit

@@ -1,0 +1,365 @@
+(* The top-level specification, evaluated against a *symbolic* query.
+
+   The concrete executable spec is Spec.Rrlookup; this module is the
+   same RFC resolution logic restructured as a decision procedure over a
+   symbolic qname (per-label integer variables plus a length variable,
+   §5.4) and a concrete zone. The result is a finite set of
+   (path condition, abstract response) pairs that partition the query
+   space — the specification side of the refinement check (§4.3).
+
+   Record owners distinguish [Sym_query] (the original, symbolic qname —
+   e.g. wildcard-synthesized owners) from [Concrete] names (everything
+   reached through CNAME chasing), matching exactly which engine memory
+   cells hold symbolic terms. *)
+
+module Term = Smt.Term
+module Solver = Smt.Solver
+module Name = Dns.Name
+module Label = Dns.Label
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Message = Dns.Message
+module Rrlookup = Spec.Rrlookup
+module Layout = Dnstree.Layout
+
+(* The canonical symbolic query variables, shared with the engine-side
+   harness. *)
+let qsym_label j = Term.int_var (Printf.sprintf "q.n%d" j)
+let qsym_len = Term.int_var "q.len"
+
+let domain_constraints ~max_labels =
+  [ Term.ge qsym_len (Term.int 0); Term.le qsym_len (Term.int max_labels) ]
+
+type owner = Sym_query | Concrete of Name.t
+
+type srr = { owner : owner; srtype : Rr.rtype; srdata : Rr.rdata }
+
+type sresponse = {
+  srcode : Message.rcode;
+  saa : bool;
+  sanswer : srr list;
+  sauthority : srr list;
+  sadditional : srr list;
+}
+
+type spath = { cond : Term.t list; resp : sresponse }
+
+(* ------------------------------------------------------------------ *)
+(* Name conditions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let codes_of coder name = Name.codes coder name
+
+(* qname = [name] *)
+let eq_name coder name : Term.t =
+  let cs = codes_of coder name in
+  Term.and_
+    (Term.eq qsym_len (Term.int (List.length cs))
+    :: List.mapi (fun j c -> Term.eq (qsym_label j) (Term.int c)) cs)
+
+(* qname strictly under [name] *)
+let strictly_under coder name : Term.t =
+  let cs = codes_of coder name in
+  Term.and_
+    (Term.gt qsym_len (Term.int (List.length cs))
+    :: List.mapi (fun j c -> Term.eq (qsym_label j) (Term.int c)) cs)
+
+let under coder name : Term.t =
+  let cs = codes_of coder name in
+  Term.and_
+    (Term.ge qsym_len (Term.int (List.length cs))
+    :: List.mapi (fun j c -> Term.eq (qsym_label j) (Term.int c)) cs)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration context                                                *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  zone : Zone.t;
+  coder : Label.Coder.t;
+  qtype : Rr.rtype;
+  mutable solver_calls : int;
+}
+
+let feasible ctx pc =
+  ctx.solver_calls <- ctx.solver_calls + 1;
+  match Solver.check pc with
+  | Solver.Sat _ | Solver.Unknown -> true
+  | Solver.Unsat -> false
+
+(* Fork on [cond]; prune infeasible branches. *)
+let branch ctx pc cond ~(then_ : Term.t list -> spath list)
+    ~(else_ : Term.t list -> spath list) : spath list =
+  match cond with
+  | Term.True -> then_ pc
+  | Term.False -> else_ pc
+  | cond -> (
+      let ncond = Term.not_ cond in
+      let sat_t = feasible ctx (cond :: pc) in
+      let sat_f = feasible ctx (ncond :: pc) in
+      match (sat_t, sat_f) with
+      | true, false -> then_ pc
+      | false, true -> else_ pc
+      | true, true -> then_ (cond :: pc) @ else_ (ncond :: pc)
+      | false, false -> [])
+
+(* ------------------------------------------------------------------ *)
+(* Concrete continuation (after CNAME chasing reaches a concrete name):
+   mirrors Spec.Rrlookup.step with an explicit budget and accumulated
+   (possibly symbolic-owner) answers.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let srr_concrete (r : Rr.t) = { owner = Concrete r.Rr.rname; srtype = r.Rr.rtype; srdata = r.Rr.rdata }
+
+let response ?(aa = false) ?(answer = []) ?(authority = []) ?(additional = [])
+    srcode =
+  {
+    srcode;
+    saa = aa;
+    sanswer = answer;
+    sauthority = authority;
+    sadditional = additional;
+  }
+
+let referral_resp z cut ~answer =
+  let r = Rrlookup.referral z cut ~answer:[] in
+  {
+    srcode = Message.NoError;
+    saa = answer <> [];
+    sanswer = answer;
+    sauthority = List.map srr_concrete r.Message.authority;
+    sadditional = List.map srr_concrete r.Message.additional;
+  }
+
+let soa_auth z = List.map srr_concrete (Rrlookup.soa_authority z)
+
+let rec conc_step (ctx : ctx) (qname : Name.t) (acc : srr list) (budget : int)
+    : sresponse =
+  let z = ctx.zone in
+  if budget = 0 then { (response Message.ServFail) with sanswer = acc }
+  else
+    match Rrlookup.highest_cut z qname with
+    | Some cut -> referral_resp z cut ~answer:acc
+    | None -> (
+        let positive answers =
+          let concrete = List.map (fun (r : Rr.t) -> { r with Rr.rname = qname }) answers in
+          {
+            srcode = Message.NoError;
+            saa = true;
+            sanswer = acc @ List.map srr_concrete concrete;
+            sauthority = [];
+            sadditional =
+              List.map srr_concrete (Rrlookup.additional_for_answers z concrete);
+          }
+        in
+        let nodata () =
+          response Message.NoError ~aa:true ~answer:acc ~authority:(soa_auth z)
+        in
+        let follow (c : Rr.t) =
+          let c = { c with Rr.rname = qname } in
+          match Rr.rdata_target c.Rr.rdata with
+          | Some target when Name.is_under ~ancestor:(Zone.origin z) target ->
+              conc_step ctx target (acc @ [ srr_concrete c ]) (budget - 1)
+          | _ ->
+              response Message.NoError ~aa:true
+                ~answer:(acc @ [ srr_concrete c ])
+        in
+        match Rrlookup.inspect_node z qname ctx.qtype with
+        | Rrlookup.Answer rs -> positive rs
+        | Rrlookup.Cname c -> follow c
+        | Rrlookup.Nodata -> nodata ()
+        | Rrlookup.Nonexistent -> (
+            let ce = Rrlookup.closest_encloser z qname in
+            let wc = Name.child Label.wildcard ce in
+            match Rrlookup.inspect_node z wc ctx.qtype with
+            | Rrlookup.Answer rs -> positive rs
+            | Rrlookup.Cname c -> follow c
+            | Rrlookup.Nodata -> nodata ()
+            | Rrlookup.Nonexistent ->
+                response Message.NXDomain ~aa:true ~answer:acc
+                  ~authority:(soa_auth z)))
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic first step                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Answer records at a concrete source node, owned by the symbolic
+   qname (exact match or wildcard synthesis: in both cases the engine
+   writes the query-name cells). *)
+let positive_sym ctx (source : Name.t) (answers : Rr.t list) : sresponse =
+  let z = ctx.zone in
+  ignore source;
+  (* Additional processing keys on the rdata targets, which are
+     concrete regardless of the owner. *)
+  {
+    srcode = Message.NoError;
+    saa = true;
+    sanswer =
+      List.map
+        (fun (r : Rr.t) -> { owner = Sym_query; srtype = r.Rr.rtype; srdata = r.Rr.rdata })
+        answers;
+    sauthority = [];
+    sadditional =
+      List.map srr_concrete (Rrlookup.additional_for_answers z answers);
+  }
+
+let nodata_sym ctx : sresponse =
+  response Message.NoError ~aa:true ~authority:(soa_auth ctx.zone)
+
+let nxdomain_sym ctx : sresponse =
+  response Message.NXDomain ~aa:true ~authority:(soa_auth ctx.zone)
+
+(* Follow a CNAME found at the symbolic step: the CNAME record itself is
+   owned by the symbolic qname; the chase continues concretely. *)
+let follow_sym ctx (c : Rr.t) (budget : int) : sresponse =
+  let z = ctx.zone in
+  let cname_rr = { owner = Sym_query; srtype = Rr.CNAME; srdata = c.Rr.rdata } in
+  match Rr.rdata_target c.Rr.rdata with
+  | Some target when Name.is_under ~ancestor:(Zone.origin z) target ->
+      conc_step ctx target [ cname_rr ] (budget - 1)
+  | _ -> response Message.NoError ~aa:true ~answer:[ cname_rr ]
+
+(* Handle the symbolic query landing exactly on concrete node [m]. *)
+let at_node ctx (m : Name.t) (budget : int) : sresponse =
+  match Rrlookup.inspect_node ctx.zone m ctx.qtype with
+  | Rrlookup.Answer rs -> positive_sym ctx m rs
+  | Rrlookup.Cname c -> follow_sym ctx c budget
+  | Rrlookup.Nodata -> nodata_sym ctx
+  | Rrlookup.Nonexistent ->
+      (* records_at m = [] and yet m is in the node list: impossible,
+         node lists come from owner names + ancestors. *)
+      nodata_sym ctx
+
+(* Wildcard handling at closest encloser [ce]. *)
+let wildcard_at ctx (ce : Name.t) (budget : int) : sresponse =
+  let wc = Name.child Label.wildcard ce in
+  match Rrlookup.inspect_node ctx.zone wc ctx.qtype with
+  | Rrlookup.Answer rs -> positive_sym ctx wc rs
+  | Rrlookup.Cname c -> follow_sym ctx c budget
+  | Rrlookup.Nodata -> nodata_sym ctx
+  | Rrlookup.Nonexistent -> nxdomain_sym ctx
+
+(* All node names (owners + empty non-terminals), and helpers. *)
+let all_nodes (z : Zone.t) : Name.t list =
+  let tree = Dnstree.Tree.build z in
+  List.rev (Dnstree.Tree.fold (fun acc n -> n.Dnstree.Tree.name :: acc) [] tree)
+
+let by_depth_asc names =
+  List.sort (fun a b -> compare (Name.label_count a) (Name.label_count b)) names
+
+let by_depth_desc names = List.rev (by_depth_asc names)
+
+(* Enumerate all specification paths for zone/qtype.
+
+   Structured as a label-by-label walk of the concrete domain tree, so
+   every branch condition is a single literal (n_j = c, len = d, …) and
+   path conditions stay conjunctions of literals — the simple linear
+   integer arithmetic shape the paper relies on (§4.2, Table 1). *)
+let paths (z : Zone.t) (coder : Label.Coder.t) ~(qtype : Rr.rtype)
+    ~(max_labels : int) : spath list * int =
+  let ctx = { zone = z; coder; qtype; solver_calls = 0 } in
+  let budget = Rrlookup.max_cname_chain in
+  let tree = Dnstree.Tree.build z in
+  let finish pc resp = [ { cond = List.rev pc; resp } ] in
+  (* Children of a node, flattened out of the sibling BST. *)
+  let children (node : Dnstree.Tree.node) : Dnstree.Tree.node list =
+    let rec bst acc = function
+      | None -> acc
+      | Some (n : Dnstree.Tree.node) ->
+          bst (n :: bst acc n.Dnstree.Tree.right) n.Dnstree.Tree.left
+    in
+    bst [] node.Dnstree.Tree.down
+  in
+  let label_code (node : Dnstree.Tree.node) =
+    match Name.leftmost node.Dnstree.Tree.name with
+    | Some l -> Label.Coder.code coder l
+    | None -> invalid_arg "specsym: node without a label"
+  in
+  (* Invariant at [at_depth node depth]: pc entails len ≥ depth and
+     labels 0..depth-1 equal node's name. *)
+  let rec at_depth (node : Dnstree.Tree.node) (depth : int) pc : spath list =
+    let name = node.Dnstree.Tree.name in
+    (* Delegation cuts shadow everything at or below them (RFC descent
+       stops at the first cut). *)
+    if Zone.is_delegation z name then
+      finish pc (referral_resp z name ~answer:[])
+    else
+      branch ctx pc
+        (Term.eq qsym_len (Term.int depth))
+        ~then_:(fun pc -> finish pc (at_node ctx name budget))
+        ~else_:(fun pc -> descend node depth pc)
+  and descend node depth pc : spath list =
+    (* len > depth: qname is strictly under [node]. *)
+    let rec try_kids pc = function
+      | [] ->
+          (* No existing child matches the next label: [node] is the
+             closest encloser; wildcard synthesis or NXDOMAIN. *)
+          finish pc (wildcard_at ctx node.Dnstree.Tree.name budget)
+      | child :: rest ->
+          branch ctx pc
+            (Term.eq (qsym_label depth) (Term.int (label_code child)))
+            ~then_:(fun pc -> at_depth child (depth + 1) pc)
+            ~else_:(fun pc -> try_kids pc rest)
+    in
+    try_kids pc (children node)
+  in
+  (* Descend through the apex labels; any divergence or early end is an
+     out-of-zone query (REFUSED). *)
+  let apex_codes = codes_of coder (Zone.origin z) in
+  let apex_len = List.length apex_codes in
+  let rec match_apex j pc : spath list =
+    if j = apex_len then at_depth (Dnstree.Tree.root tree) apex_len pc
+    else
+      branch ctx pc
+        (Term.eq qsym_len (Term.int j))
+        ~then_:(fun pc -> finish pc (response Message.Refused))
+        ~else_:(fun pc ->
+          branch ctx pc
+            (Term.eq (qsym_label j) (Term.int (List.nth apex_codes j)))
+            ~then_:(fun pc -> match_apex (j + 1) pc)
+            ~else_:(fun pc -> finish pc (response Message.Refused)))
+  in
+  let pc0 = List.rev (domain_constraints ~max_labels) in
+  let result = match_apex 0 pc0 in
+  (result, ctx.solver_calls)
+
+(* ------------------------------------------------------------------ *)
+(* Concrete evaluation of a symbolic path/response against a model —
+   used to validate Specsym against Spec.Rrlookup and to concretize
+   counterexamples.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let query_of_model (coder : Label.Coder.t) (m : Smt.Model.t) ~(qtype : Rr.rtype)
+    : Message.query =
+  let len = Smt.Model.get_int "q.len" m in
+  let len = if len < 0 then 0 else if len > Layout.max_labels then Layout.max_labels else len in
+  let codes =
+    List.init len (fun j -> Smt.Model.get_int (Printf.sprintf "q.n%d" j) m)
+  in
+  Message.query (Name.of_codes coder codes) qtype
+
+let cond_holds (m : Smt.Model.t) (cond : Term.t list) : bool =
+  List.for_all (fun t -> Smt.Model.satisfies m t) cond
+
+(* Concretize an abstract response under a model. *)
+let concretize_response (coder : Label.Coder.t) (m : Smt.Model.t)
+    (r : sresponse) : Message.response =
+  let qname =
+    let len = Smt.Model.get_int "q.len" m in
+    let codes =
+      List.init (max 0 len) (fun j ->
+          Smt.Model.get_int (Printf.sprintf "q.n%d" j) m)
+    in
+    Name.of_codes coder codes
+  in
+  let rr (s : srr) : Rr.t =
+    let rname = match s.owner with Sym_query -> qname | Concrete n -> n in
+    Rr.make rname s.srtype s.srdata
+  in
+  {
+    Message.rcode = r.srcode;
+    aa = r.saa;
+    answer = List.map rr r.sanswer;
+    authority = List.map rr r.sauthority;
+    additional = List.map rr r.sadditional;
+  }

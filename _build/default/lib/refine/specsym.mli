@@ -1,0 +1,79 @@
+(* The top-level specification, evaluated against a *symbolic* query.
+
+   The concrete executable spec is Spec.Rrlookup; this module is the
+   same RFC resolution logic restructured as a decision procedure over a
+   symbolic qname (per-label integer variables plus a length variable,
+   §5.4) and a concrete zone. The result is a finite set of
+   (path condition, abstract response) pairs that partition the query
+   space — the specification side of the refinement check (§4.3).
+
+   Record owners distinguish [Sym_query] (the original, symbolic qname —
+   e.g. wildcard-synthesized owners) from [Concrete] names (everything
+   reached through CNAME chasing), matching exactly which engine memory
+   cells hold symbolic terms. *)
+
+module Term = Smt.Term
+module Solver = Smt.Solver
+module Name = Dns.Name
+module Label = Dns.Label
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Message = Dns.Message
+module Rrlookup = Spec.Rrlookup
+module Layout = Dnstree.Layout
+val qsym_label : int -> Term.t
+val qsym_len : Term.t
+val domain_constraints : max_labels:int -> Term.t list
+type owner = Sym_query | Concrete of Name.t
+type srr = { owner : owner; srtype : Rr.rtype; srdata : Rr.rdata; }
+type sresponse = {
+  srcode : Message.rcode;
+  saa : bool;
+  sanswer : srr list;
+  sauthority : srr list;
+  sadditional : srr list;
+}
+type spath = { cond : Term.t list; resp : sresponse; }
+val codes_of : Dns.Label.Coder.t -> Name.t -> int list
+val eq_name : Dns.Label.Coder.t -> Name.t -> Term.t
+val strictly_under : Dns.Label.Coder.t -> Name.t -> Term.t
+val under : Dns.Label.Coder.t -> Name.t -> Term.t
+type ctx = {
+  zone : Zone.t;
+  coder : Label.Coder.t;
+  qtype : Rr.rtype;
+  mutable solver_calls : int;
+}
+val feasible : ctx -> Smt.Term.t list -> bool
+val branch :
+  ctx ->
+  Term.t list ->
+  Term.t ->
+  then_:(Term.t list -> spath list) ->
+  else_:(Term.t list -> spath list) -> spath list
+val srr_concrete : Rr.t -> srr
+val response :
+  ?aa:bool ->
+  ?answer:srr list ->
+  ?authority:srr list -> ?additional:srr list -> Message.rcode -> sresponse
+val referral_resp :
+  Rrlookup.Zone.t -> Rrlookup.Name.t -> answer:srr list -> sresponse
+val soa_auth : Rrlookup.Zone.t -> srr list
+val conc_step : ctx -> Name.t -> srr list -> int -> sresponse
+val positive_sym : ctx -> Name.t -> Rr.t list -> sresponse
+val nodata_sym : ctx -> sresponse
+val nxdomain_sym : ctx -> sresponse
+val follow_sym : ctx -> Rr.t -> int -> sresponse
+val at_node : ctx -> Name.t -> int -> sresponse
+val wildcard_at : ctx -> Name.t -> int -> sresponse
+val all_nodes : Zone.t -> Name.t list
+val by_depth_asc : Name.t list -> Name.t list
+val by_depth_desc : Name.t list -> Name.t list
+val paths :
+  Zone.t ->
+  Label.Coder.t -> qtype:Rr.rtype -> max_labels:int -> spath list * int
+val query_of_model :
+  Label.Coder.t -> Smt.Model.t -> qtype:Rr.rtype -> Message.query
+val cond_holds : Smt.Model.t -> Term.t list -> bool
+val concretize_response :
+  Label.Coder.t -> Smt.Model.t -> sresponse -> Message.response

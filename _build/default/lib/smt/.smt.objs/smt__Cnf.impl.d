@@ -1,0 +1,1 @@
+lib/smt/cnf.ml: Hashtbl List Term

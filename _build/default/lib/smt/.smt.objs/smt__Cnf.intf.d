@@ -1,0 +1,1 @@
+lib/smt/cnf.mli: Hashtbl Term

@@ -1,0 +1,1 @@
+lib/smt/lia.ml: Array Format Hashtbl Linear List Map Q Seq Simplex String

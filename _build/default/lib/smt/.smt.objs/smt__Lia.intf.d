@@ -1,0 +1,1 @@
+lib/smt/lia.mli: Format Linear Map Seq String

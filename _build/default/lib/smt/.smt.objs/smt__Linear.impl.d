@@ -1,0 +1,1 @@
+lib/smt/linear.ml: Format List Map Option String Term

@@ -1,0 +1,1 @@
+lib/smt/linear.mli: Format Map Seq String Term

@@ -1,0 +1,1 @@
+lib/smt/model.ml: Format Map String Term

@@ -1,0 +1,1 @@
+lib/smt/model.mli: Format Map Seq String Term

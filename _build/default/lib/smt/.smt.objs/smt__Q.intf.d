@@ -1,0 +1,1 @@
+lib/smt/q.mli: Format

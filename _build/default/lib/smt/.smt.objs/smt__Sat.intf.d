@@ -1,0 +1,1 @@
+lib/smt/sat.mli: Cnf

@@ -1,0 +1,1 @@
+lib/smt/simplex.mli: Q

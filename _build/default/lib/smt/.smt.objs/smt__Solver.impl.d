@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Cnf Lia Linear List Model Sat Term

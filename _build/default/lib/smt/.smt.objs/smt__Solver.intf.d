@@ -1,0 +1,1 @@
+lib/smt/solver.mli: Lia Linear Model Term

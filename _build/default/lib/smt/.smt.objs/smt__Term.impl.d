@@ -1,0 +1,1 @@
+lib/smt/term.ml: Format List Set

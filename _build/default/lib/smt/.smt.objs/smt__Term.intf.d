@@ -1,0 +1,1 @@
+lib/smt/term.mli: Format Seq

@@ -1,0 +1,163 @@
+(* Propositional skeleton extraction: Tseitin CNF over theory atoms.
+
+   Boolean structure is compiled to clauses; the leaves are either boolean
+   variables or integer comparisons (the theory atoms), each mapped to a
+   positive propositional variable recorded in the atom table. Integer
+   `ite` is hoisted to the boolean level first so that every atom is
+   purely linear. *)
+
+type lit = int
+(* Positive literal = variable id (1-based); negative = negation. *)
+
+type clause = lit list
+
+type atom_kind = Bool_atom of string (* boolean variable name *) | Theory_atom of Term.t
+
+type t = {
+  clauses : clause list;
+  nvars : int;
+  atoms : (int * atom_kind) list; (* var id → leaf meaning *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Preprocessing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Hoist integer-sorted [ite] out of a term: produce the list of
+   (path condition, ite-free integer term) alternatives. *)
+let rec int_branches (t : Term.t) : (Term.t * Term.t) list =
+  match t with
+  | Term.Ite (c, a, b) ->
+      let c = preprocess c in
+      List.map (fun (g, t') -> (Term.and_ [ c; g ], t')) (int_branches a)
+      @ List.map
+          (fun (g, t') -> (Term.and_ [ Term.not_ c; g ], t'))
+          (int_branches b)
+  | Term.Add ts ->
+      List.fold_left
+        (fun acc t ->
+          List.concat_map
+            (fun (g, sum) ->
+              List.map
+                (fun (g', t') -> (Term.and_ [ g; g' ], Term.add [ sum; t' ]))
+                (int_branches t))
+            acc)
+        [ (Term.true_, Term.int 0) ]
+        ts
+  | Term.Sub (a, b) ->
+      combine2 a b (fun x y -> Term.sub x y)
+  | Term.Neg a -> List.map (fun (g, x) -> (g, Term.neg x)) (int_branches a)
+  | Term.Mul_const (k, a) ->
+      List.map (fun (g, x) -> (g, Term.mul_const k x)) (int_branches a)
+  | t -> [ (Term.true_, t) ]
+
+and combine2 a b f =
+  List.concat_map
+    (fun (ga, xa) ->
+      List.map (fun (gb, xb) -> (Term.and_ [ ga; gb ], f xa xb)) (int_branches b))
+    (int_branches a)
+
+(* Normalize a boolean term: Eq over booleans becomes Iff; comparisons
+   over integer ite-terms are expanded into guarded disjunctions. *)
+and preprocess (t : Term.t) : Term.t =
+  match t with
+  | Term.True | Term.False | Term.Var _ -> t
+  | Term.Not a -> Term.not_ (preprocess a)
+  | Term.And ts -> Term.and_ (List.map preprocess ts)
+  | Term.Or ts -> Term.or_ (List.map preprocess ts)
+  | Term.Implies (a, b) -> Term.implies (preprocess a) (preprocess b)
+  | Term.Iff (a, b) -> Term.iff (preprocess a) (preprocess b)
+  | Term.Ite (c, a, b) ->
+      (* boolean-sorted ite *)
+      let c = preprocess c in
+      Term.or_
+        [
+          Term.and_ [ c; preprocess a ];
+          Term.and_ [ Term.not_ c; preprocess b ];
+        ]
+  | Term.Eq (a, b) when Term.is_bool a -> Term.iff (preprocess a) (preprocess b)
+  | Term.Eq (a, b) -> expand_cmp (fun x y -> Term.eq x y) a b
+  | Term.Le (a, b) -> expand_cmp Term.le a b
+  | Term.Lt (a, b) -> expand_cmp Term.lt a b
+  | Term.Int_const _ | Term.Add _ | Term.Sub _ | Term.Neg _ | Term.Mul_const _
+    ->
+      Term.sort_error "preprocess: integer term at boolean position"
+
+and expand_cmp cmp a b =
+  match combine2 a b cmp with
+  | [ (g, atom) ] when g = Term.True -> atom
+  | branches ->
+      Term.or_ (List.map (fun (g, atom) -> Term.and_ [ g; atom ]) branches)
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin encoding                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable next : int;
+  mutable acc_clauses : clause list;
+  leaf_ids : (Term.t, int) Hashtbl.t;
+  mutable acc_atoms : (int * atom_kind) list;
+}
+
+let fresh b =
+  let v = b.next in
+  b.next <- v + 1;
+  v
+
+let emit b c = b.acc_clauses <- c :: b.acc_clauses
+
+let leaf b (t : Term.t) (kind : atom_kind) : lit =
+  match Hashtbl.find_opt b.leaf_ids t with
+  | Some v -> v
+  | None ->
+      let v = fresh b in
+      Hashtbl.add b.leaf_ids t v;
+      b.acc_atoms <- (v, kind) :: b.acc_atoms;
+      v
+
+(* Translate a preprocessed boolean term to a defining literal. *)
+let rec lit_of b (t : Term.t) : lit =
+  match t with
+  | Term.True ->
+      let v = leaf b Term.True (Bool_atom "$true") in
+      emit b [ v ];
+      v
+  | Term.False ->
+      let v = leaf b Term.True (Bool_atom "$true") in
+      emit b [ v ];
+      -v
+  | Term.Var { name; sort = Term.Bool } -> leaf b t (Bool_atom name)
+  | Term.Eq _ | Term.Le _ | Term.Lt _ -> leaf b t (Theory_atom t)
+  | Term.Not a -> -lit_of b a
+  | Term.And ts ->
+      let lits = List.map (lit_of b) ts in
+      let v = fresh b in
+      List.iter (fun l -> emit b [ -v; l ]) lits;
+      emit b (v :: List.map (fun l -> -l) lits);
+      v
+  | Term.Or ts ->
+      let lits = List.map (lit_of b) ts in
+      let v = fresh b in
+      List.iter (fun l -> emit b [ v; -l ]) lits;
+      emit b (-v :: lits);
+      v
+  | Term.Implies (x, y) -> lit_of b (Term.Or [ Term.Not x; y ])
+  | Term.Iff (x, y) ->
+      let lx = lit_of b x and ly = lit_of b y in
+      let v = fresh b in
+      emit b [ -v; -lx; ly ];
+      emit b [ -v; lx; -ly ];
+      emit b [ v; lx; ly ];
+      emit b [ v; -lx; -ly ];
+      v
+  | _ -> Term.sort_error "cnf: unexpected term shape after preprocessing"
+
+let of_term (t : Term.t) : t =
+  let t = preprocess t in
+  let b =
+    { next = 1; acc_clauses = []; leaf_ids = Hashtbl.create 64; acc_atoms = [] }
+  in
+  let root = lit_of b t in
+  emit b [ root ];
+  { clauses = b.acc_clauses; nvars = b.next - 1; atoms = b.acc_atoms }

@@ -1,0 +1,36 @@
+(* Propositional skeleton extraction: Tseitin CNF over theory atoms.
+
+   Boolean structure is compiled to clauses; the leaves are either boolean
+   variables or integer comparisons (the theory atoms), each mapped to a
+   positive propositional variable recorded in the atom table. Integer
+   `ite` is hoisted to the boolean level first so that every atom is
+   purely linear. *)
+
+type lit = int
+type clause = lit list
+type atom_kind = Bool_atom of string | Theory_atom of Term.t
+type t = {
+  clauses : clause list;
+  nvars : int;
+  atoms : (int * atom_kind) list;
+}
+val int_branches : Term.t -> (Term.t * Term.t) list
+val combine2 :
+  Term.t ->
+  Term.t ->
+  (Term.t -> Term.t -> Term.t) -> (Term.t * Term.t) list
+val preprocess : Term.t -> Term.t
+val expand_cmp :
+  (Term.t -> Term.t -> Term.t) ->
+  Term.t -> Term.t -> Term.t
+type builder = {
+  mutable next : int;
+  mutable acc_clauses : clause list;
+  leaf_ids : (Term.t, int) Hashtbl.t;
+  mutable acc_atoms : (int * atom_kind) list;
+}
+val fresh : builder -> int
+val emit : builder -> clause -> unit
+val leaf : builder -> Term.t -> atom_kind -> lit
+val lit_of : builder -> Term.t -> lit
+val of_term : Term.t -> t

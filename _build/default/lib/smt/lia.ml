@@ -1,0 +1,165 @@
+(* Linear integer arithmetic decision procedure: branch-and-bound over the
+   rational simplex, plus disequality splitting.
+
+   Conjunctions of `Linear.atom`s are decided here. Integrality is
+   enforced by branching  x ≤ ⌊v⌋ ∨ x ≥ ⌈v⌉  on a fractional variable of
+   the relaxation; disequalities split as  lin ≤ −1 ∨ lin ≥ 1. A depth cap
+   returns [Unknown] rather than diverging on adversarial unbounded
+   instances (never reached by DNS-V's bounded-list encodings). *)
+
+module String_map = Map.Make (String)
+
+type model = int String_map.t
+type result = Sat of model | Unsat | Unknown
+
+let max_depth = 10_000
+
+(* A constraint row: Σ ci·xi ≤ b or Σ ci·xi = b with named variables. *)
+type row = { coeffs : (int * string) list; rhs : int; is_eq : bool }
+
+let pp_model fmt m =
+  String_map.iter (fun v n -> Format.fprintf fmt "%s=%d " v n) m
+
+exception Trivially_unsat
+
+let check (atoms : Linear.atom list) : result =
+  (* Partition atoms; constant atoms decide immediately. *)
+  let rows = ref [] and neqs = ref [] in
+  let add_row is_eq lin =
+    match Linear.const_value lin with
+    | Some c -> if (is_eq && c <> 0) || ((not is_eq) && c > 0) then raise Trivially_unsat
+    | None ->
+        let coeffs = Linear.fold_coeffs (fun acc v c -> (c, v) :: acc) [] lin in
+        rows := { coeffs; rhs = -Linear.coeff_free lin; is_eq } :: !rows
+  in
+  try
+    List.iter
+      (function
+        | Linear.Le_zero lin -> add_row false lin
+        | Linear.Eq_zero lin -> add_row true lin
+        | Linear.Neq_zero lin -> (
+            match Linear.const_value lin with
+            | Some 0 -> raise Trivially_unsat
+            | Some _ -> ()
+            | None -> neqs := lin :: !neqs))
+      atoms;
+    let rows = !rows and neqs = !neqs in
+    (* Variable index assignment. *)
+    let index = Hashtbl.create 16 in
+    let names = ref [] in
+    let intern v =
+      match Hashtbl.find_opt index v with
+      | Some i -> i
+      | None ->
+          let i = Hashtbl.length index in
+          Hashtbl.add index v i;
+          names := v :: !names;
+          i
+    in
+    List.iter (fun r -> List.iter (fun (_, v) -> ignore (intern v)) r.coeffs) rows;
+    List.iter (fun lin -> List.iter (fun v -> ignore (intern v)) (Linear.vars lin)) neqs;
+    let nvars = Hashtbl.length index in
+    let names = Array.of_list (List.rev !names) in
+    (* Branch state: per-variable integer bounds plus extra ≤-rows from
+       disequality splits. *)
+    let merge_bound (b : Simplex.bound) ~lo ~hi : Simplex.bound option =
+      let lower =
+        match (b.lower, lo) with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (Q.max a b)
+      and upper =
+        match (b.upper, hi) with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (Q.min a b)
+      in
+      match (lower, upper) with
+      | Some l, Some u when Q.gt l u -> None
+      | lower, upper -> Some { Simplex.lower; upper }
+    in
+    let solve_relaxation var_bounds extra_rows =
+      let all_rows = extra_rows @ rows in
+      let simplex_rows =
+        List.map
+          (fun r -> List.map (fun (c, v) -> (Q.of_int c, intern v)) r.coeffs)
+          all_rows
+      in
+      let bound_of i =
+        if i < nvars then var_bounds.(i)
+        else
+          let r = List.nth all_rows (i - nvars) in
+          let rhs = Q.of_int r.rhs in
+          if r.is_eq then { Simplex.lower = Some rhs; upper = Some rhs }
+          else { Simplex.lower = None; upper = Some rhs }
+      in
+      let s = Simplex.create ~nvars ~rows:simplex_rows ~bound_of in
+      Simplex.check s
+    in
+    let rec branch var_bounds extra_rows pending_neqs depth =
+      if depth > max_depth then Unknown
+      else
+        match solve_relaxation var_bounds extra_rows with
+        | Simplex.Infeasible -> Unsat
+        | Simplex.Feasible beta -> (
+            (* Find a fractional original variable. *)
+            let frac = ref None in
+            for i = 0 to nvars - 1 do
+              if !frac = None && not (Q.is_integer beta.(i)) then frac := Some i
+            done;
+            match !frac with
+            | Some i -> (
+                let v = beta.(i) in
+                let left = Array.copy var_bounds in
+                let right = Array.copy var_bounds in
+                match
+                  ( merge_bound left.(i) ~lo:None ~hi:(Some (Q.of_int (Q.floor v))),
+                    merge_bound right.(i) ~lo:(Some (Q.of_int (Q.ceil v))) ~hi:None )
+                with
+                | None, None -> Unsat
+                | Some bl, None ->
+                    left.(i) <- bl;
+                    branch left extra_rows pending_neqs (depth + 1)
+                | None, Some br ->
+                    right.(i) <- br;
+                    branch right extra_rows pending_neqs (depth + 1)
+                | Some bl, Some br -> (
+                    left.(i) <- bl;
+                    right.(i) <- br;
+                    match branch left extra_rows pending_neqs (depth + 1) with
+                    | Unsat -> branch right extra_rows pending_neqs (depth + 1)
+                    | (Sat _ | Unknown) as r -> r))
+            | None -> (
+                (* Integral; validate disequalities. *)
+                let env v = Q.to_int_exn beta.(Hashtbl.find index v) in
+                match
+                  List.find_opt (fun lin -> Linear.eval env lin = 0) pending_neqs
+                with
+                | None ->
+                    let m =
+                      Array.to_seq (Array.sub beta 0 nvars)
+                      |> Seq.mapi (fun i q -> (names.(i), Q.to_int_exn q))
+                      |> String_map.of_seq
+                    in
+                    Sat m
+                | Some lin -> (
+                    (* lin ≠ 0 over ℤ: lin ≤ −1 ∨ −lin ≤ −1 *)
+                    let remaining =
+                      List.filter (fun l -> not (l == lin)) pending_neqs
+                    in
+                    let mk lin' =
+                      let coeffs =
+                        Linear.fold_coeffs (fun acc v c -> (c, v) :: acc) [] lin'
+                      in
+                      { coeffs; rhs = -Linear.coeff_free lin' - 1; is_eq = false }
+                    in
+                    match
+                      branch var_bounds (mk lin :: extra_rows) remaining (depth + 1)
+                    with
+                    | Unsat ->
+                        branch var_bounds
+                          (mk (Linear.neg lin) :: extra_rows)
+                          remaining (depth + 1)
+                    | (Sat _ | Unknown) as r -> r)))
+    in
+    let init_bounds = Array.make nvars Simplex.no_bound in
+    branch init_bounds [] neqs 0
+  with Trivially_unsat -> Unsat

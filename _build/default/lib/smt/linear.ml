@@ -1,0 +1,130 @@
+(* Linear normal form for integer terms and atomic constraints.
+
+   A linear form is  c0 + Σ ci·xi  with integer coefficients over named
+   integer variables. Every integer term of the restricted logic (§4.2)
+   normalizes into this shape, except `ite`-valued integers, which the
+   upstream layers eliminate by path splitting before terms reach the
+   solver. *)
+
+module Coeffs = Map.Make (String)
+
+type t = { const : int; coeffs : int Coeffs.t }
+(* Invariant: no zero coefficient is stored. *)
+
+let const n = { const = n; coeffs = Coeffs.empty }
+let zero = const 0
+
+let var ?(coeff = 1) name =
+  if coeff = 0 then zero
+  else { const = 0; coeffs = Coeffs.singleton name coeff }
+
+let coeff name t = Option.value ~default:0 (Coeffs.find_opt name t.coeffs)
+
+let add_coeff name k coeffs =
+  if k = 0 then coeffs
+  else
+    Coeffs.update name
+      (fun prev ->
+        let c = Option.value ~default:0 prev + k in
+        if c = 0 then None else Some c)
+      coeffs
+
+let add a b =
+  {
+    const = a.const + b.const;
+    coeffs = Coeffs.fold add_coeff b.coeffs a.coeffs;
+  }
+
+let scale k t =
+  if k = 0 then zero
+  else { const = k * t.const; coeffs = Coeffs.map (fun c -> k * c) t.coeffs }
+
+let neg t = scale (-1) t
+let sub a b = add a (neg b)
+let is_const t = Coeffs.is_empty t.coeffs
+let coeff_free t = t.const
+let const_value t = if is_const t then Some t.const else None
+let equal a b = a.const = b.const && Coeffs.equal ( = ) a.coeffs b.coeffs
+let vars t = List.map fst (Coeffs.bindings t.coeffs)
+let fold_coeffs f acc t = Coeffs.fold (fun v c acc -> f acc v c) t.coeffs acc
+
+exception Nonlinear of string
+
+(* Normalize an integer-sorted term. Raises [Nonlinear] on `ite`, which
+   callers must split on beforehand, and on boolean-sorted terms. *)
+let rec of_term (t : Term.t) : t =
+  match t with
+  | Term.Int_const n -> const n
+  | Term.Var v ->
+      if v.Term.sort <> Term.Int then raise (Nonlinear "boolean variable");
+      var v.Term.name
+  | Term.Add ts -> List.fold_left (fun acc t -> add acc (of_term t)) zero ts
+  | Term.Sub (a, b) -> sub (of_term a) (of_term b)
+  | Term.Neg t -> neg (of_term t)
+  | Term.Mul_const (k, t) -> scale k (of_term t)
+  | Term.Ite _ -> raise (Nonlinear "ite")
+  | _ -> raise (Nonlinear "boolean term in integer position")
+
+let to_term t : Term.t =
+  let monomials =
+    Coeffs.fold
+      (fun name c acc -> Term.mul_const c (Term.int_var name) :: acc)
+      t.coeffs []
+  in
+  let parts = if t.const = 0 && monomials <> [] then monomials
+    else Term.int t.const :: monomials
+  in
+  Term.add parts
+
+let eval env t =
+  Coeffs.fold (fun name c acc -> acc + (c * env name)) t.coeffs t.const
+
+let pp fmt t =
+  let first = ref true in
+  let sep () = if !first then first := false else Format.fprintf fmt " + " in
+  Coeffs.iter
+    (fun name c ->
+      sep ();
+      if c = 1 then Format.fprintf fmt "%s" name
+      else Format.fprintf fmt "%d*%s" c name)
+    t.coeffs;
+  if t.const <> 0 || !first then begin
+    sep ();
+    Format.fprintf fmt "%d" t.const
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Atoms: the theory literals handed to the LIA solver.               *)
+(* ------------------------------------------------------------------ *)
+
+type atom =
+  | Le_zero of t  (* lin ≤ 0 *)
+  | Eq_zero of t  (* lin = 0 *)
+  | Neq_zero of t (* lin ≠ 0 *)
+
+(* Build an atom from a comparison term. Over the integers a strict
+   inequality  lin < 0  tightens to  lin + 1 ≤ 0. *)
+let atom_of_term (t : Term.t) : atom option =
+  match t with
+  | Term.Eq (a, b) when Term.is_int a -> Some (Eq_zero (sub (of_term a) (of_term b)))
+  | Term.Le (a, b) -> Some (Le_zero (sub (of_term a) (of_term b)))
+  | Term.Lt (a, b) ->
+      Some (Le_zero (add (sub (of_term a) (of_term b)) (const 1)))
+  | _ -> None
+
+let negate_atom = function
+  | Le_zero lin ->
+      (* ¬(lin ≤ 0)  ⇔  lin ≥ 1  ⇔  1 - lin ≤ 0 *)
+      Le_zero (sub (const 1) lin)
+  | Eq_zero lin -> Neq_zero lin
+  | Neq_zero lin -> Eq_zero lin
+
+let eval_atom env = function
+  | Le_zero lin -> eval env lin <= 0
+  | Eq_zero lin -> eval env lin = 0
+  | Neq_zero lin -> eval env lin <> 0
+
+let pp_atom fmt = function
+  | Le_zero lin -> Format.fprintf fmt "%a <= 0" pp lin
+  | Eq_zero lin -> Format.fprintf fmt "%a = 0" pp lin
+  | Neq_zero lin -> Format.fprintf fmt "%a != 0" pp lin

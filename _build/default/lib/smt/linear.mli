@@ -1,0 +1,83 @@
+(* Linear normal form for integer terms and atomic constraints.
+
+   A linear form is  c0 + Σ ci·xi  with integer coefficients over named
+   integer variables. Every integer term of the restricted logic (§4.2)
+   normalizes into this shape, except `ite`-valued integers, which the
+   upstream layers eliminate by path splitting before terms reach the
+   solver. *)
+
+module Coeffs :
+  sig
+    type key = String.t
+    type 'a t = 'a Map.Make(String).t
+    val empty : 'a t
+    val add : key -> 'a -> 'a t -> 'a t
+    val add_to_list : key -> 'a -> 'a list t -> 'a list t
+    val update : key -> ('a option -> 'a option) -> 'a t -> 'a t
+    val singleton : key -> 'a -> 'a t
+    val remove : key -> 'a t -> 'a t
+    val merge :
+      (key -> 'a option -> 'b option -> 'c option) -> 'a t -> 'b t -> 'c t
+    val union : (key -> 'a -> 'a -> 'a option) -> 'a t -> 'a t -> 'a t
+    val cardinal : 'a t -> int
+    val bindings : 'a t -> (key * 'a) list
+    val min_binding : 'a t -> key * 'a
+    val min_binding_opt : 'a t -> (key * 'a) option
+    val max_binding : 'a t -> key * 'a
+    val max_binding_opt : 'a t -> (key * 'a) option
+    val choose : 'a t -> key * 'a
+    val choose_opt : 'a t -> (key * 'a) option
+    val find : key -> 'a t -> 'a
+    val find_opt : key -> 'a t -> 'a option
+    val find_first : (key -> bool) -> 'a t -> key * 'a
+    val find_first_opt : (key -> bool) -> 'a t -> (key * 'a) option
+    val find_last : (key -> bool) -> 'a t -> key * 'a
+    val find_last_opt : (key -> bool) -> 'a t -> (key * 'a) option
+    val iter : (key -> 'a -> unit) -> 'a t -> unit
+    val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+    val map : ('a -> 'b) -> 'a t -> 'b t
+    val mapi : (key -> 'a -> 'b) -> 'a t -> 'b t
+    val filter : (key -> 'a -> bool) -> 'a t -> 'a t
+    val filter_map : (key -> 'a -> 'b option) -> 'a t -> 'b t
+    val partition : (key -> 'a -> bool) -> 'a t -> 'a t * 'a t
+    val split : key -> 'a t -> 'a t * 'a option * 'a t
+    val is_empty : 'a t -> bool
+    val mem : key -> 'a t -> bool
+    val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+    val compare : ('a -> 'a -> int) -> 'a t -> 'a t -> int
+    val for_all : (key -> 'a -> bool) -> 'a t -> bool
+    val exists : (key -> 'a -> bool) -> 'a t -> bool
+    val to_list : 'a t -> (key * 'a) list
+    val of_list : (key * 'a) list -> 'a t
+    val to_seq : 'a t -> (key * 'a) Seq.t
+    val to_rev_seq : 'a t -> (key * 'a) Seq.t
+    val to_seq_from : key -> 'a t -> (key * 'a) Seq.t
+    val add_seq : (key * 'a) Seq.t -> 'a t -> 'a t
+    val of_seq : (key * 'a) Seq.t -> 'a t
+  end
+type t = { const : int; coeffs : int Coeffs.t; }
+val const : int -> t
+val zero : t
+val var : ?coeff:int -> Coeffs.key -> t
+val coeff : Coeffs.key -> t -> int
+val add_coeff : Coeffs.key -> int -> int Coeffs.t -> int Coeffs.t
+val add : t -> t -> t
+val scale : int -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val is_const : t -> bool
+val coeff_free : t -> int
+val const_value : t -> int option
+val equal : t -> t -> bool
+val vars : t -> Coeffs.key list
+val fold_coeffs : ('a -> Coeffs.key -> int -> 'a) -> 'a -> t -> 'a
+exception Nonlinear of string
+val of_term : Term.t -> t
+val to_term : t -> Term.t
+val eval : (Coeffs.key -> int) -> t -> int
+val pp : Format.formatter -> t -> unit
+type atom = Le_zero of t | Eq_zero of t | Neq_zero of t
+val atom_of_term : Term.t -> atom option
+val negate_atom : atom -> atom
+val eval_atom : (Coeffs.key -> int) -> atom -> bool
+val pp_atom : Format.formatter -> atom -> unit

@@ -1,0 +1,69 @@
+(* Satisfying assignments returned by the solver.
+
+   Variables absent from the assignment are unconstrained; they default to
+   0 / false, which callers rely on when concretizing counterexample
+   queries. *)
+
+module String_map = Map.Make (String)
+
+type t = Term.value String_map.t
+
+let empty = String_map.empty
+let add name v t = String_map.add name v t
+let add_int name n t = add name (Term.VInt n) t
+let add_bool name b t = add name (Term.VBool b) t
+let find_opt name t = String_map.find_opt name t
+
+let get_int ?(default = 0) name t =
+  match find_opt name t with
+  | Some (Term.VInt n) -> n
+  | Some (Term.VBool _) -> Term.sort_error "Model.get_int: %s is boolean" name
+  | None -> default
+
+let get_bool ?(default = false) name t =
+  match find_opt name t with
+  | Some (Term.VBool b) -> b
+  | Some (Term.VInt _) -> Term.sort_error "Model.get_bool: %s is integer" name
+  | None -> default
+
+let bindings t = String_map.bindings t
+
+(* Partial evaluation against the assignment. *)
+let eval t term = Term.eval (fun name -> find_opt name t) term
+
+(* Substitute every variable by its model value (sort default when free);
+   the result is variable-free. *)
+let eval_total t term =
+  Term.map_vars
+    (fun v ->
+      match find_opt v.Term.name t with
+      | Some (Term.VInt n) -> Term.int n
+      | Some (Term.VBool b) -> Term.of_bool b
+      | None -> (
+          match v.Term.sort with
+          | Term.Int -> Term.int 0
+          | Term.Bool -> Term.false_))
+    term
+
+let satisfies t term =
+  match eval_total t term with
+  | Term.True -> true
+  | Term.False -> false
+  | reduced -> (
+      match Term.eval (fun _ -> None) reduced with
+      | Term.VBool b -> b
+      | Term.VInt _ -> Term.sort_error "Model.satisfies: non-boolean term"
+      | exception Term.Unassigned _ ->
+          Term.sort_error "Model.satisfies: incomplete evaluation")
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hv 2>{";
+  String_map.iter
+    (fun name v ->
+      match v with
+      | Term.VInt n -> Format.fprintf fmt "@ %s = %d;" name n
+      | Term.VBool b -> Format.fprintf fmt "@ %s = %b;" name b)
+    t;
+  Format.fprintf fmt "@ }@]"
+
+let to_string t = Format.asprintf "%a" pp t

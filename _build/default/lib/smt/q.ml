@@ -1,0 +1,80 @@
+(* Exact rational arithmetic over native integers.
+
+   The simplex core needs exact rationals. Coefficients in DNS-V path
+   conditions are tiny (label codes, array indices, lengths), so native
+   63-bit integers with eager gcd normalization are ample. We still guard
+   multiplication overflow with a checked multiply so that a silent wrap
+   can never turn an UNSAT answer into SAT. *)
+
+type t = { num : int; den : int }
+(* Invariant: den > 0 and gcd(|num|, den) = 1. *)
+
+exception Overflow
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let c = a * b in
+    if c / b <> a then raise Overflow else c
+
+let make num den =
+  if den = 0 then invalid_arg "Q.make: zero denominator";
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  if num = 0 then { num = 0; den = 1 }
+  else
+    let g = gcd (abs num) den in
+    { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num t = t.num
+let den t = t.den
+let is_zero t = t.num = 0
+let is_integer t = t.den = 1
+
+let add a b =
+  let g = gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  make (checked_mul a.num db + checked_mul b.num da) (checked_mul a.den db)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+let mul a b = make (checked_mul a.num b.num) (checked_mul a.den b.den)
+
+let inv a =
+  if a.num = 0 then invalid_arg "Q.inv: zero";
+  make a.den a.num
+
+let div a b = mul a (inv b)
+let compare a b = compare (sub a b).num 0
+let equal a b = a.num = b.num && a.den = b.den
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let gt a b = compare a b > 0
+let ge a b = compare a b >= 0
+let min a b = if le a b then a else b
+let max a b = if ge a b then a else b
+let sign a = compare a zero
+
+(* Floor and ceiling as integers; used by branch-and-bound. *)
+let floor a =
+  if a.num >= 0 then a.num / a.den
+  else if a.num mod a.den = 0 then a.num / a.den
+  else (a.num / a.den) - 1
+
+let ceil a = -floor (neg a)
+
+let to_int_exn a =
+  if a.den <> 1 then invalid_arg "Q.to_int_exn: not an integer";
+  a.num
+
+let pp fmt a =
+  if a.den = 1 then Format.fprintf fmt "%d" a.num
+  else Format.fprintf fmt "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,41 @@
+(* Exact rational arithmetic over native integers.
+
+   The simplex core needs exact rationals. Coefficients in DNS-V path
+   conditions are tiny (label codes, array indices, lengths), so native
+   63-bit integers with eager gcd normalization are ample. We still guard
+   multiplication overflow with a checked multiply so that a silent wrap
+   can never turn an UNSAT answer into SAT. *)
+
+type t = { num : int; den : int; }
+exception Overflow
+val gcd : int -> int -> int
+val checked_mul : int -> int -> int
+val make : int -> int -> t
+val of_int : int -> t
+val zero : t
+val one : t
+val minus_one : t
+val num : t -> int
+val den : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val inv : t -> t
+val div : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val sign : t -> int
+val floor : t -> int
+val ceil : t -> int
+val to_int_exn : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

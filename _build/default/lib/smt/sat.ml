@@ -1,0 +1,111 @@
+(* A small DPLL SAT core with unit propagation and chronological
+   backtracking.
+
+   The propositional skeletons DNS-V produces are modest — summaries keep
+   branch structure explicit but conditions simple (§4.2) — so a lean DPLL
+   with a trail beats the complexity of CDCL here. The solver supports
+   adding blocking clauses between calls, which is how the DPLL(T) loop in
+   [Solver] refutes theory-inconsistent assignments. *)
+
+type assignment = bool array
+(* index by variable id; valid between 1 and nvars *)
+
+type result = Sat of assignment | Unsat
+
+type t = {
+  nvars : int;
+  mutable clauses : Cnf.clause list;
+}
+
+let create ~nvars clauses = { nvars; clauses }
+let add_clause t c = t.clauses <- c :: t.clauses
+
+(* value: 0 unassigned, 1 true, -1 false *)
+let lit_value values lit =
+  let v = values.(abs lit) in
+  if v = 0 then 0 else if (v > 0) = (lit > 0) then 1 else -1
+
+exception Conflict
+
+let solve t : result =
+  let values = Array.make (t.nvars + 1) 0 in
+  let trail = ref [] in
+  let assign lit =
+    values.(abs lit) <- (if lit > 0 then 1 else -1);
+    trail := lit :: !trail
+  in
+  let unassign lit = values.(abs lit) <- 0 in
+  (* Unit propagation to fixpoint; returns the list of literals assigned
+     by this round (for backtracking) or raises [Conflict]. *)
+  let propagate () =
+    let assigned = ref [] in
+    let changed = ref true in
+    (try
+       while !changed do
+         changed := false;
+         List.iter
+           (fun clause ->
+             let unassigned = ref [] and satisfied = ref false in
+             List.iter
+               (fun lit ->
+                 match lit_value values lit with
+                 | 1 -> satisfied := true
+                 | 0 -> unassigned := lit :: !unassigned
+                 | _ -> ())
+               clause;
+             if not !satisfied then
+               match !unassigned with
+               | [] -> raise Conflict
+               | [ lit ] ->
+                   assign lit;
+                   assigned := lit :: !assigned;
+                   changed := true
+               | _ -> ())
+           t.clauses
+       done;
+       Ok !assigned
+     with Conflict -> Error !assigned)
+  in
+  let rec decide () =
+    match propagate () with
+    | Error assigned ->
+        List.iter unassign assigned;
+        false
+    | Ok assigned -> (
+        (* Pick the first unassigned variable. *)
+        let pick = ref 0 in
+        (try
+           for v = 1 to t.nvars do
+             if values.(v) = 0 then begin
+               pick := v;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        match !pick with
+        | 0 -> true (* full assignment, all clauses satisfied *)
+        | v ->
+            let try_branch lit =
+              assign lit;
+              if decide () then true
+              else begin
+                unassign lit;
+                trail := List.tl !trail;
+                false
+              end
+            in
+            if try_branch v then true
+            else if try_branch (-v) then true
+            else begin
+              List.iter unassign assigned;
+              false
+            end)
+  in
+  if decide () then begin
+    let out = Array.make (t.nvars + 1) false in
+    for v = 1 to t.nvars do
+      out.(v) <- values.(v) > 0
+    done;
+    Sat out
+  end
+  else Unsat

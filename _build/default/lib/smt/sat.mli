@@ -1,0 +1,17 @@
+(* A small DPLL SAT core with unit propagation and chronological
+   backtracking.
+
+   The propositional skeletons DNS-V produces are modest — summaries keep
+   branch structure explicit but conditions simple (§4.2) — so a lean DPLL
+   with a trail beats the complexity of CDCL here. The solver supports
+   adding blocking clauses between calls, which is how the DPLL(T) loop in
+   [Solver] refutes theory-inconsistent assignments. *)
+
+type assignment = bool array
+type result = Sat of assignment | Unsat
+type t = { nvars : int; mutable clauses : Cnf.clause list; }
+val create : nvars:int -> Cnf.clause list -> t
+val add_clause : t -> Cnf.clause -> unit
+val lit_value : int array -> int -> int
+exception Conflict
+val solve : t -> result

@@ -1,0 +1,177 @@
+(* General simplex for linear rational arithmetic, after Dutertre & de
+   Moura (CAV'06) — the decision core under the LIA branch-and-bound.
+
+   The problem is presented as a set of *rows* defining slack variables as
+   linear combinations of the original variables, plus lower/upper bounds
+   on any variable. `check` decides feasibility over the rationals and
+   produces a satisfying assignment. Bland's pivoting rule guarantees
+   termination. Problems are small (path conditions over a few dozen
+   label/length variables), so a dense tableau is the simple, fast
+   choice. *)
+
+type bound = { lower : Q.t option; upper : Q.t option }
+
+let no_bound = { lower = None; upper = None }
+
+type t = {
+  nvars : int; (* total variables: originals ++ slacks *)
+  tableau : Q.t array array; (* row r: basic_of_row.(r) = Σ tableau.(r).(j)·x_j *)
+  basic_of_row : int array;
+  row_of_var : int option array; (* Some r iff var is basic in row r *)
+  bounds : bound array;
+  beta : Q.t array; (* current assignment *)
+}
+
+type result = Feasible of Q.t array | Infeasible
+
+let get_bound t v = t.bounds.(v)
+
+(* Build a solver instance.
+   [nvars] original variables (indices 0..nvars-1).
+   [rows]: each row is a list of (coefficient, original var index) defining
+   one fresh slack variable. Slacks get indices nvars, nvars+1, ...
+   [bounds]: fn from var index (originals and slacks) to its bound. *)
+let create ~nvars ~(rows : (Q.t * int) list list) ~(bound_of : int -> bound) =
+  let nslack = List.length rows in
+  let total = nvars + nslack in
+  let tableau = Array.make_matrix nslack total Q.zero in
+  List.iteri
+    (fun r row ->
+      List.iter
+        (fun (c, v) ->
+          if v < 0 || v >= nvars then invalid_arg "Simplex.create: bad var";
+          tableau.(r).(v) <- Q.add tableau.(r).(v) c)
+        row)
+    rows;
+  let basic_of_row = Array.init nslack (fun r -> nvars + r) in
+  let row_of_var = Array.make total None in
+  Array.iteri (fun r v -> row_of_var.(v) <- Some r) basic_of_row;
+  let bounds = Array.init total bound_of in
+  let beta = Array.make total Q.zero in
+  (* Initial assignment: nonbasic originals sit inside their bounds, at 0
+     when possible; basics are the row evaluations. *)
+  for v = 0 to nvars - 1 do
+    let b = bounds.(v) in
+    let ok_low = match b.lower with None -> true | Some l -> Q.le l Q.zero in
+    let ok_up = match b.upper with None -> true | Some u -> Q.ge u Q.zero in
+    beta.(v) <-
+      (if ok_low && ok_up then Q.zero
+       else match b.lower with Some l -> l | None -> Option.get b.upper)
+  done;
+  for r = 0 to nslack - 1 do
+    let acc = ref Q.zero in
+    for v = 0 to nvars - 1 do
+      if not (Q.is_zero tableau.(r).(v)) then
+        acc := Q.add !acc (Q.mul tableau.(r).(v) beta.(v))
+    done;
+    beta.(nvars + r) <- !acc
+  done;
+  { nvars = total; tableau; basic_of_row; row_of_var; bounds; beta }
+
+let below_lower t v =
+  match t.bounds.(v).lower with None -> false | Some l -> Q.lt t.beta.(v) l
+
+let above_upper t v =
+  match t.bounds.(v).upper with None -> false | Some u -> Q.gt t.beta.(v) u
+
+let violated t v = below_lower t v || above_upper t v
+
+(* Pivot: basic variable of row [r] leaves, nonbasic [xj] enters. *)
+let pivot t r xj =
+  let xi = t.basic_of_row.(r) in
+  let a_rj = t.tableau.(r).(xj) in
+  assert (not (Q.is_zero a_rj));
+  let inv = Q.inv a_rj in
+  (* Rewrite row r to define xj:  xj = (xi − Σ_{k≠j} a_rk·x_k) / a_rj *)
+  let row = t.tableau.(r) in
+  for k = 0 to t.nvars - 1 do
+    if k = xj then row.(k) <- Q.zero
+    else row.(k) <- Q.neg (Q.mul row.(k) inv)
+  done;
+  row.(xi) <- inv;
+  t.basic_of_row.(r) <- xj;
+  t.row_of_var.(xi) <- None;
+  t.row_of_var.(xj) <- Some r;
+  (* Substitute xj out of every other row. *)
+  Array.iteri
+    (fun r' row' ->
+      if r' <> r && not (Q.is_zero row'.(xj)) then begin
+        let c = row'.(xj) in
+        row'.(xj) <- Q.zero;
+        for k = 0 to t.nvars - 1 do
+          if not (Q.is_zero row.(k)) then
+            row'.(k) <- Q.add row'.(k) (Q.mul c row.(k))
+        done
+      end)
+    t.tableau
+
+let pivot_and_update t r xj v =
+  let xi = t.basic_of_row.(r) in
+  let a_ij = t.tableau.(r).(xj) in
+  let theta = Q.div (Q.sub v t.beta.(xi)) a_ij in
+  t.beta.(xi) <- v;
+  t.beta.(xj) <- Q.add t.beta.(xj) theta;
+  Array.iteri
+    (fun r' row' ->
+      if r' <> r then
+        let xk = t.basic_of_row.(r') in
+        if not (Q.is_zero row'.(xj)) then
+          t.beta.(xk) <- Q.add t.beta.(xk) (Q.mul row'.(xj) theta))
+    t.tableau;
+  pivot t r xj
+
+(* Bland's rule: always the smallest-index candidate. *)
+let find_violating_basic t =
+  let best = ref None in
+  Array.iter
+    (fun v ->
+      if violated t v then
+        match !best with
+        | Some b when b <= v -> ()
+        | _ -> best := Some v)
+    t.basic_of_row;
+  !best
+
+let check t =
+  let rec loop () =
+    match find_violating_basic t with
+    | None -> Feasible (Array.copy t.beta)
+    | Some xi -> (
+        let r = Option.get t.row_of_var.(xi) in
+        let row = t.tableau.(r) in
+        let need_increase = below_lower t xi in
+        (* Candidate entering variable: smallest nonbasic xj that can move
+           the basic value in the required direction. *)
+        let candidate = ref None in
+        for xj = 0 to t.nvars - 1 do
+          if !candidate = None && t.row_of_var.(xj) = None then begin
+            let a = row.(xj) in
+            if not (Q.is_zero a) then
+              let can_up =
+                match t.bounds.(xj).upper with
+                | None -> true
+                | Some u -> Q.lt t.beta.(xj) u
+              and can_down =
+                match t.bounds.(xj).lower with
+                | None -> true
+                | Some l -> Q.gt t.beta.(xj) l
+              in
+              let ok =
+                if need_increase then
+                  (Q.gt a Q.zero && can_up) || (Q.lt a Q.zero && can_down)
+                else (Q.gt a Q.zero && can_down) || (Q.lt a Q.zero && can_up)
+              in
+              if ok then candidate := Some xj
+          end
+        done;
+        match !candidate with
+        | None -> Infeasible
+        | Some xj ->
+            let target =
+              if need_increase then Option.get t.bounds.(xi).lower
+              else Option.get t.bounds.(xi).upper
+            in
+            pivot_and_update t r xj target;
+            loop ())
+  in
+  loop ()

@@ -1,0 +1,32 @@
+(* General simplex for linear rational arithmetic, after Dutertre & de
+   Moura (CAV'06) — the decision core under the LIA branch-and-bound.
+
+   The problem is presented as a set of *rows* defining slack variables as
+   linear combinations of the original variables, plus lower/upper bounds
+   on any variable. `check` decides feasibility over the rationals and
+   produces a satisfying assignment. Bland's pivoting rule guarantees
+   termination. Problems are small (path conditions over a few dozen
+   label/length variables), so a dense tableau is the simple, fast
+   choice. *)
+
+type bound = { lower : Q.t option; upper : Q.t option; }
+val no_bound : bound
+type t = {
+  nvars : int;
+  tableau : Q.t array array;
+  basic_of_row : int array;
+  row_of_var : int option array;
+  bounds : bound array;
+  beta : Q.t array;
+}
+type result = Feasible of Q.t array | Infeasible
+val get_bound : t -> int -> bound
+val create :
+  nvars:int -> rows:(Q.t * int) list list -> bound_of:(int -> bound) -> t
+val below_lower : t -> int -> bool
+val above_upper : t -> int -> bool
+val violated : t -> int -> bool
+val pivot : t -> int -> int -> unit
+val pivot_and_update : t -> int -> int -> Q.t -> unit
+val find_violating_basic : t -> int option
+val check : t -> result

@@ -1,0 +1,155 @@
+(* The solver facade: lazy DPLL(T) over the SAT core and the LIA theory.
+
+   This plays the role Z3 plays in the paper (§5.2): every branch decision
+   of the symbolic executor and every refinement obligation lands here.
+   Two paths:
+
+   - conjunctions of literals (the overwhelmingly common case — path
+     conditions) go straight to the LIA procedure;
+   - arbitrary boolean structure goes through Tseitin CNF + DPLL, with
+     theory-refuted assignments blocked by clauses until convergence. *)
+
+type result = Sat of Model.t | Unsat | Unknown
+
+(* Statistics for the Figure-12 style reporting. *)
+type stats = {
+  mutable checks : int;
+  mutable fast_path : int;
+  mutable dpllt_iterations : int;
+}
+
+let stats = { checks = 0; fast_path = 0; dpllt_iterations = 0 }
+
+let reset_stats () =
+  stats.checks <- 0;
+  stats.fast_path <- 0;
+  stats.dpllt_iterations <- 0
+
+exception Not_conjunctive
+
+(* Try to read a term as a conjunction of literals:
+   returns (theory atoms, boolean literal list). *)
+let literals_of_conjunction (ts : Term.t list) =
+  let atoms = ref [] and bools = ref [] in
+  let rec literal positive (t : Term.t) =
+    match t with
+    | Term.True -> if not positive then raise Not_conjunctive
+    | Term.False -> if positive then raise Not_conjunctive
+    | Term.Not t -> literal (not positive) t
+    | Term.Var { name; sort = Term.Bool } -> bools := (name, positive) :: !bools
+    | Term.And ts when positive -> List.iter (literal true) ts
+    | Term.Eq (a, _) when Term.is_bool a -> raise Not_conjunctive
+    | Term.Eq _ | Term.Le _ | Term.Lt _ -> (
+        match Linear.atom_of_term t with
+        | Some atom ->
+            !atoms
+            |> fun acc ->
+            atoms := (if positive then atom else Linear.negate_atom atom) :: acc
+        | None -> raise Not_conjunctive)
+    | _ -> raise Not_conjunctive
+  in
+  List.iter (literal true) ts;
+  (!atoms, !bools)
+
+let model_of_lia_model (m : Lia.model) bools =
+  let base =
+    Lia.String_map.fold (fun name n acc -> Model.add_int name n acc) m
+      Model.empty
+  in
+  List.fold_left
+    (fun acc (name, positive) -> Model.add_bool name positive acc)
+    base bools
+
+let check_fast (ts : Term.t list) : result option =
+  match literals_of_conjunction ts with
+  | exception Not_conjunctive -> None
+  | exception Linear.Nonlinear _ -> None
+  | atoms, bools ->
+      stats.fast_path <- stats.fast_path + 1;
+      (* Contradictory boolean literals? *)
+      let contradictory =
+        List.exists
+          (fun (name, pos) ->
+            List.exists (fun (n, p) -> n = name && p <> pos) bools)
+          bools
+      in
+      if contradictory then Some Unsat
+      else
+        Some
+          (match Lia.check atoms with
+          | Lia.Sat m -> Sat (model_of_lia_model m bools)
+          | Lia.Unsat -> Unsat
+          | Lia.Unknown -> Unknown)
+
+let max_dpllt_iterations = 100_000
+
+let check_dpllt (t : Term.t) : result =
+  match Cnf.of_term t with
+  | exception Linear.Nonlinear _ -> Unknown
+  | cnf -> (
+      let sat = Sat.create ~nvars:cnf.Cnf.nvars cnf.Cnf.clauses in
+      let rec loop n =
+        if n > max_dpllt_iterations then Unknown
+        else begin
+          stats.dpllt_iterations <- stats.dpllt_iterations + 1;
+          match Sat.solve sat with
+          | Sat.Unsat -> Unsat
+          | Sat.Sat assignment -> (
+              (* Gather theory literals implied by this assignment. *)
+              let theory_lits = ref [] and bools = ref [] in
+              List.iter
+                (fun (v, kind) ->
+                  match kind with
+                  | Cnf.Bool_atom name ->
+                      if name <> "$true" then bools := (name, assignment.(v)) :: !bools
+                  | Cnf.Theory_atom term -> (
+                      match Linear.atom_of_term term with
+                      | Some atom ->
+                          let atom =
+                            if assignment.(v) then atom else Linear.negate_atom atom
+                          in
+                          theory_lits := (v, assignment.(v), atom) :: !theory_lits
+                      | None -> Term.sort_error "solver: non-linear theory atom"))
+                cnf.Cnf.atoms;
+              let atoms = List.map (fun (_, _, a) -> a) !theory_lits in
+              match Lia.check atoms with
+              | Lia.Sat m -> Sat (model_of_lia_model m !bools)
+              | Lia.Unknown -> Unknown
+              | Lia.Unsat ->
+                  (* Block this theory-level assignment and retry. *)
+                  let blocking =
+                    List.map
+                      (fun (v, value, _) -> if value then -v else v)
+                      !theory_lits
+                  in
+                  if blocking = [] then Unsat
+                  else begin
+                    Sat.add_clause sat blocking;
+                    loop (n + 1)
+                  end)
+        end
+      in
+      loop 0)
+
+(* Decide satisfiability of the conjunction of [ts]. *)
+let check (ts : Term.t list) : result =
+  stats.checks <- stats.checks + 1;
+  match Term.and_ ts with
+  | Term.True -> Sat Model.empty
+  | Term.False -> Unsat
+  | conj -> (
+      match check_fast ts with
+      | Some r -> r
+      | None -> check_dpllt conj)
+
+let is_sat ts = match check ts with Sat _ -> true | Unsat | Unknown -> false
+let is_unsat ts = match check ts with Unsat -> true | Sat _ | Unknown -> false
+
+type entailment = Valid | Counterexample of Model.t | Unknown_validity
+
+(* hyps ⊢ goal  iff  hyps ∧ ¬goal is unsatisfiable. *)
+let entails ~hyps goal =
+  match check (Term.not_ goal :: hyps) with
+  | Unsat -> Valid
+  | Sat m -> Counterexample m
+  | Unknown -> Unknown_validity

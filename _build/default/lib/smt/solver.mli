@@ -1,0 +1,34 @@
+(* The solver facade: lazy DPLL(T) over the SAT core and the LIA theory.
+
+   This plays the role Z3 plays in the paper (§5.2): every branch decision
+   of the symbolic executor and every refinement obligation lands here.
+   Two paths:
+
+   - conjunctions of literals (the overwhelmingly common case — path
+     conditions) go straight to the LIA procedure;
+   - arbitrary boolean structure goes through Tseitin CNF + DPLL, with
+     theory-refuted assignments blocked by clauses until convergence. *)
+
+type result = Sat of Model.t | Unsat | Unknown
+type stats = {
+  mutable checks : int;
+  mutable fast_path : int;
+  mutable dpllt_iterations : int;
+}
+val stats : stats
+val reset_stats : unit -> unit
+exception Not_conjunctive
+val literals_of_conjunction :
+  Term.t list -> Linear.atom list * (string * bool) list
+val model_of_lia_model :
+  Lia.model ->
+  (Model.String_map.key * bool) list ->
+  Term.value Model.String_map.t
+val check_fast : Term.t list -> result option
+val max_dpllt_iterations : int
+val check_dpllt : Term.t -> result
+val check : Term.t list -> result
+val is_sat : Term.t list -> bool
+val is_unsat : Term.t list -> bool
+type entailment = Valid | Counterexample of Model.t | Unknown_validity
+val entails : hyps:Term.t list -> Term.t -> entailment

@@ -1,0 +1,123 @@
+(* First-order terms over booleans and integers — the verifier's logic.
+
+   DNS-V restricts specification branch conditions to linear integer
+   arithmetic (paper §4.2, §6.3): comparisons between integer variables and
+   constants, composed with boolean connectives. This module is the shared
+   term language between the symbolic executor, the summarizer and the
+   solver. Variable-length lists (domain names, sections) are *not* a term
+   sort: per §5.4 they are encoded upstream as one integer variable per
+   active element plus a symbolic length variable. *)
+
+type sort = Bool | Int
+val pp_sort : Format.formatter -> sort -> unit
+val equal_sort : sort -> sort -> bool
+type t =
+    True
+  | False
+  | Int_const of int
+  | Var of var
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | Ite of t * t * t
+  | Add of t list
+  | Sub of t * t
+  | Neg of t
+  | Mul_const of int * t
+  | Eq of t * t
+  | Le of t * t
+  | Lt of t * t
+and var = { name : string; sort : sort; }
+exception Sort_error of string
+val sort_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val sort_of : t -> sort
+val is_bool : t -> bool
+val is_int : t -> bool
+val true_ : t
+val false_ : t
+val int : int -> t
+val var : string -> sort -> t
+val bool_var : string -> t
+val int_var : string -> t
+val of_bool : bool -> t
+val check_bool : string -> t -> unit
+val check_int : string -> t -> unit
+val not_ : t -> t
+val and_ : t list -> t
+val or_ : t list -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+val ite : t -> t -> t -> t
+val add : t list -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul_const : int -> t -> t
+val eq : t -> t -> t
+val le : t -> t -> t
+val lt : t -> t -> t
+val ge : t -> t -> t
+val gt : t -> t -> t
+val neq : t -> t -> t
+module Var_set :
+  sig
+    type elt = var
+    type t
+    val empty : t
+    val add : elt -> t -> t
+    val singleton : elt -> t
+    val remove : elt -> t -> t
+    val union : t -> t -> t
+    val inter : t -> t -> t
+    val disjoint : t -> t -> bool
+    val diff : t -> t -> t
+    val cardinal : t -> int
+    val elements : t -> elt list
+    val min_elt : t -> elt
+    val min_elt_opt : t -> elt option
+    val max_elt : t -> elt
+    val max_elt_opt : t -> elt option
+    val choose : t -> elt
+    val choose_opt : t -> elt option
+    val find : elt -> t -> elt
+    val find_opt : elt -> t -> elt option
+    val find_first : (elt -> bool) -> t -> elt
+    val find_first_opt : (elt -> bool) -> t -> elt option
+    val find_last : (elt -> bool) -> t -> elt
+    val find_last_opt : (elt -> bool) -> t -> elt option
+    val iter : (elt -> unit) -> t -> unit
+    val fold : (elt -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+    val map : (elt -> elt) -> t -> t
+    val filter : (elt -> bool) -> t -> t
+    val filter_map : (elt -> elt option) -> t -> t
+    val partition : (elt -> bool) -> t -> t * t
+    val split : elt -> t -> t * bool * t
+    val is_empty : t -> bool
+    val mem : elt -> t -> bool
+    val equal : t -> t -> bool
+    val compare : t -> t -> int
+    val subset : t -> t -> bool
+    val for_all : (elt -> bool) -> t -> bool
+    val exists : (elt -> bool) -> t -> bool
+    val to_list : t -> elt list
+    val of_list : elt list -> t
+    val to_seq_from : elt -> t -> elt Seq.t
+    val to_seq : t -> elt Seq.t
+    val to_rev_seq : t -> elt Seq.t
+    val add_seq : elt Seq.t -> t -> t
+    val of_seq : elt Seq.t -> t
+  end
+val fold_vars : ('a -> var -> 'a) -> 'a -> t -> 'a
+val vars : t -> Var_set.t
+val map_vars : (var -> t) -> t -> t
+val subst : (string * t) list -> t -> t
+val size : t -> int
+type value = VBool of bool | VInt of int
+exception Unassigned of string
+val eval : (string -> value option) -> t -> value
+val eval_bool : (string -> value option) -> t -> bool
+val eval_int : (string -> value option) -> t -> int
+val pp : Format.formatter -> t -> unit
+val pp_nary : Format.formatter -> string -> t list -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/spec/fixtures.ml: Dns List

@@ -1,0 +1,1 @@
+lib/spec/rrlookup.ml: Dns List

@@ -1,0 +1,1 @@
+lib/spec/rrlookup.mli: Dns

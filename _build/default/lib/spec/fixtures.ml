@@ -1,0 +1,187 @@
+(* Shared zone fixtures.
+
+   [figure11_zone] materialises the example domain tree of the paper's
+   Figure 11 (used by the Table-1 experiment); [reference_zone] is the
+   kitchen-sink zone exercising every resolution scenario; the bug_*
+   zones are the minimal witnesses for each Table-2 bug. *)
+
+module Name = Dns.Name
+module Label = Dns.Label
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+
+let n = Name.of_string_exn
+
+(* Figure 11: example.com with children www and cs, and cs's children
+   web and zoo. *)
+let figure11_origin = n "example.com"
+
+let figure11_zone =
+  Zone.make figure11_origin
+    [
+      Rr.soa figure11_origin ~mname:(n "ns1.example.com") ~serial:11;
+      Rr.a (n "www.example.com") 1;
+      Rr.a (n "cs.example.com") 2;
+      Rr.a (n "web.cs.example.com") 3;
+      Rr.a (n "zoo.cs.example.com") 4;
+    ]
+
+let reference_origin = n "example.com"
+
+let reference_zone =
+  Zone.make reference_origin
+    [
+      Rr.soa reference_origin ~mname:(n "ns1.example.com") ~serial:1;
+      Rr.ns reference_origin (n "ns1.example.com");
+      Rr.a (n "ns1.example.com") 100;
+      Rr.a (n "www.example.com") 1;
+      Rr.aaaa (n "www.example.com") 2;
+      Rr.mx reference_origin 10 (n "mail.example.com");
+      Rr.a (n "mail.example.com") 3;
+      Rr.a (n "deep.a.example.com") 4;
+      Rr.a (n "*.wild.example.com") 5;
+      Rr.mx (n "*.wild.example.com") 20 (n "mail.example.com");
+      Rr.cname (n "*.alias.example.com") (n "www.example.com");
+      Rr.cname (n "c1.example.com") (n "c2.example.com");
+      Rr.cname (n "c2.example.com") (n "www.example.com");
+      Rr.cname (n "l1.example.com") (n "l2.example.com");
+      Rr.cname (n "l2.example.com") (n "l1.example.com");
+      Rr.cname (n "ext.example.com") (n "cdn.other.net");
+      Rr.ns (n "sub.example.com") (n "ns.sub.example.com");
+      Rr.ns (n "sub.example.com") (n "ns-ext.other.net");
+      Rr.a (n "ns.sub.example.com") 6;
+      Rr.a (n "host.sub.example.com") 7;
+      Rr.cname (n "intocut.example.com") (n "host.sub.example.com");
+      Rr.txt (n "www.example.com") "hello";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Minimal bug-witness zones and queries (Table 2)                    *)
+(* ------------------------------------------------------------------ *)
+
+type witness = {
+  bug_index : int;
+  zone : Zone.t;
+  query : Dns.Message.query;
+  note : string;
+}
+
+let q name qtype = Dns.Message.query (n name) qtype
+
+let base_records origin =
+  [
+    Rr.soa origin ~mname:(n "ns1.example.com") ~serial:2;
+    Rr.ns origin (n "ns1.example.com");
+    Rr.a (n "ns1.example.com") 100;
+  ]
+
+let witnesses : witness list =
+  let origin = reference_origin in
+  [
+    {
+      bug_index = 1;
+      zone =
+        Zone.make origin (base_records origin @ [ Rr.a (n "www.example.com") 1 ]);
+      query = q "www.example.com" Rr.MX;
+      note = "NODATA response must carry AA";
+    };
+    {
+      bug_index = 2;
+      zone =
+        Zone.make origin (base_records origin @ [ Rr.a (n "www.example.com") 1 ]);
+      query = q "www.example.com" Rr.A;
+      note = "positive answer must not carry apex NS authority";
+    };
+    {
+      bug_index = 3;
+      zone =
+        Zone.make origin
+          (base_records origin
+          @ [
+              Rr.mx (n "www.example.com") 10 (n "mail.example.com");
+              Rr.txt (n "www.example.com") "decoy";
+              Rr.a (n "mail.example.com") 3;
+            ]);
+      query = q "www.example.com" Rr.MX;
+      note = "MX query must match the MX rrset, not TXT";
+    };
+    {
+      bug_index = 4;
+      zone =
+        Zone.make origin
+          (base_records origin
+          @ [
+              Rr.ns (n "sub.example.com") (n "ns1.sub.example.com");
+              Rr.ns (n "sub.example.com") (n "ns2.sub.example.com");
+              Rr.a (n "ns1.sub.example.com") 6;
+              Rr.a (n "ns2.sub.example.com") 7;
+            ]);
+      query = q "host.sub.example.com" Rr.A;
+      note = "referral glue must cover every NS target";
+    };
+    {
+      bug_index = 5;
+      zone =
+        Zone.make origin
+          (base_records origin
+          @ [
+              Rr.mx (n "*.wild.example.com") 20 (n "mail.example.com");
+              Rr.a (n "mail.example.com") 3;
+            ]);
+      query = q "x.wild.example.com" Rr.MX;
+      note = "wildcard MX answers must get additional glue";
+    };
+    {
+      bug_index = 6;
+      zone =
+        Zone.make origin
+          (base_records origin
+          @ [
+              (* Three children of wild.example.com: the balanced sibling
+                 BST roots at a concrete child, so a shallow wildcard scan
+                 misses '*'. *)
+              Rr.a (n "*.wild.example.com") 5;
+              Rr.a (n "aa.wild.example.com") 6;
+              Rr.a (n "bb.wild.example.com") 7;
+            ]);
+      query = q "zz.wild.example.com" Rr.A;
+      note = "wildcard must be found among several siblings";
+    };
+    {
+      bug_index = 7;
+      zone =
+        Zone.make origin
+          (base_records origin
+          @ [
+              Rr.mx origin 10 (n "mail.sub.example.com");
+              Rr.ns (n "sub.example.com") (n "ns1.sub.example.com");
+              Rr.a (n "ns1.sub.example.com") 6;
+              Rr.a (n "mail.sub.example.com") 7;
+            ]);
+      query = q "example.com" Rr.MX;
+      note = "no glue for targets occluded by a delegation cut";
+    };
+    {
+      bug_index = 8;
+      zone =
+        Zone.make origin
+          (base_records origin
+          @ [
+              (* wild.example.com is an empty non-terminal with a
+                 wildcard child. *)
+              Rr.a (n "*.wild.example.com") 5;
+            ]);
+      query = q "wild.example.com" Rr.A;
+      note = "empty non-terminal is NODATA, not wildcard synthesis";
+    };
+    {
+      bug_index = 9;
+      zone =
+        Zone.make origin
+          (base_records origin @ [ Rr.a (n "*.wild.example.com") 5 ]);
+      query = q "a.b.wild.example.com" Rr.A;
+      note = "multi-label wildcard expansion must not crash";
+    };
+  ]
+
+let witness bug_index = List.find (fun w -> w.bug_index = bug_index) witnesses

@@ -1,0 +1,26 @@
+(* Shared zone fixtures.
+
+   [figure11_zone] materialises the example domain tree of the paper's
+   Figure 11 (used by the Table-1 experiment); [reference_zone] is the
+   kitchen-sink zone exercising every resolution scenario; the bug_*
+   zones are the minimal witnesses for each Table-2 bug. *)
+
+module Name = Dns.Name
+module Label = Dns.Label
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+val n : string -> Name.t
+val figure11_origin : Name.t
+val figure11_zone : Zone.t
+val reference_origin : Name.t
+val reference_zone : Zone.t
+type witness = {
+  bug_index : int;
+  zone : Zone.t;
+  query : Dns.Message.query;
+  note : string;
+}
+val q : string -> Dns.Rr.rtype -> Dns.Message.query
+val base_records : Dns.Name.t -> Rr.t list
+val witnesses : witness list
+val witness : int -> witness

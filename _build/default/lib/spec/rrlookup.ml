@@ -1,0 +1,216 @@
+(* The top-level specification of authoritative resolution (§6.1).
+
+   `resolve` is the executable ground truth every engine version is
+   verified (and differentially tested) against. It follows RFC 1034
+   §4.3.2 resolution — delegation cuts, exact matches, CNAME chasing,
+   wildcard synthesis, NODATA vs NXDOMAIN — in the GRoot/SCALE style of
+   iterative filtering over the zone's record list (Figure 9), never
+   touching the engine's domain-tree data structures.
+
+   Conventions fixed by this specification (the engine must agree):
+   - out-of-zone qname → REFUSED;
+   - referrals (qname at or below a delegation cut) are never
+     authoritative: AA clear, NS records of the *highest* cut in the
+     authority section, in-zone A/AAAA glue for the NS targets in the
+     additional section;
+   - NODATA and NXDOMAIN carry the zone SOA in the authority section and
+     are authoritative;
+   - CNAME records are followed within the zone, with a chain bound of
+     [max_cname_chain]; exceeding it is SERVFAIL (loop protection);
+   - MX / SRV / NS answers trigger additional-section processing for
+     in-zone, non-occluded targets;
+   - the AA flag is set unless the final state is a pure referral. *)
+
+module Name = Dns.Name
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Message = Dns.Message
+
+let max_cname_chain = 8
+
+(* The additional section is best-effort and capped, like a UDP-limited
+   responder; the engine's capacity constant must agree (asserted in the
+   test suite). *)
+let max_additional = 8
+
+let cap_additional l =
+  List.filteri (fun i _ -> i < max_additional) l
+
+(* The highest delegation cut at-or-below the apex on the path to
+   [name], excluding the apex itself: RFC resolution descends from the
+   top and stops at the first cut. *)
+let highest_cut (z : Zone.t) (name : Name.t) : Name.t option =
+  let apex_len = Name.label_count (Zone.origin z) in
+  let total = Name.label_count name in
+  let rec walk k =
+    if k > total then None
+    else
+      let candidate = Name.suffix name k in
+      if Zone.is_delegation z candidate then Some candidate else walk (k + 1)
+  in
+  walk (apex_len + 1)
+
+(* In-zone glue for a delegation target: its A/AAAA records, if present. *)
+let glue_for_target (z : Zone.t) (target : Name.t) : Rr.t list =
+  if Name.is_under ~ancestor:(Zone.origin z) target then
+    Zone.records_at_typed z target Rr.A @ Zone.records_at_typed z target Rr.AAAA
+  else []
+
+let referral (z : Zone.t) (cut : Name.t) ~(answer : Rr.t list) :
+    Message.response =
+  let ns_records = Zone.records_at_typed z cut Rr.NS in
+  let additional =
+    List.concat_map
+      (fun (r : Rr.t) ->
+        match Rr.rdata_target r.Rr.rdata with
+        | Some target -> glue_for_target z target
+        | None -> [])
+      ns_records
+  in
+  {
+    Message.rcode = Message.NoError;
+    aa = answer <> []; (* a CNAME prefix chased into the cut is authoritative *)
+    answer;
+    authority = ns_records;
+    additional = cap_additional additional;
+  }
+
+let soa_authority (z : Zone.t) : Rr.t list =
+  match Zone.soa_record z with Some r -> [ r ] | None -> []
+
+(* Additional-section processing for positive answers: A/AAAA of the
+   rdata targets of MX / SRV / NS answers, when those targets live in
+   the zone and are not hidden behind a delegation cut. *)
+let additional_for_answers (z : Zone.t) (answers : Rr.t list) : Rr.t list =
+  cap_additional
+    (List.concat_map
+       (fun (r : Rr.t) ->
+         match (r.Rr.rtype, Rr.rdata_target r.Rr.rdata) with
+         | (Rr.MX | Rr.SRV | Rr.NS), Some target ->
+             if highest_cut z target = None then glue_for_target z target
+             else []
+         | _ -> [])
+       answers)
+
+(* Records at the *source* node [node], synthesized to owner [owner]
+   (identity for exact matches; qname for wildcard synthesis). *)
+let synthesize owner (rs : Rr.t list) : Rr.t list =
+  List.map (fun (r : Rr.t) -> { r with Rr.rname = owner }) rs
+
+(* The closest encloser: the longest existing ancestor of [name]
+   (existing = exact node or empty non-terminal). Always defined when
+   the apex exists. *)
+let closest_encloser (z : Zone.t) (name : Name.t) : Name.t =
+  let total = Name.label_count name in
+  let apex_len = Name.label_count (Zone.origin z) in
+  let rec walk k best =
+    if k > total then best
+    else
+      let candidate = Name.suffix name k in
+      if Zone.node_exists z candidate then walk (k + 1) candidate else best
+  in
+  walk (apex_len + 1) (Zone.origin z)
+
+type node_outcome =
+  | Answer of Rr.t list (* records of qtype at the node *)
+  | Cname of Rr.t (* CNAME present, qtype different *)
+  | Nodata
+  | Nonexistent
+
+(* Inspect the node owning [node_name] for [qtype]. *)
+let inspect_node (z : Zone.t) (node_name : Name.t) (qtype : Rr.rtype) :
+    node_outcome =
+  let here = Zone.records_at z node_name in
+  if here = [] then
+    if Zone.node_exists z node_name then Nodata (* empty non-terminal *)
+    else Nonexistent
+  else
+    let cnames =
+      List.filter (fun (r : Rr.t) -> Rr.equal_rtype r.Rr.rtype Rr.CNAME) here
+    in
+    match cnames with
+    | c :: _ when not (Rr.equal_rtype qtype Rr.CNAME) -> Cname c
+    | _ -> (
+        match
+          List.filter (fun (r : Rr.t) -> Rr.equal_rtype r.Rr.rtype qtype) here
+        with
+        | [] -> Nodata
+        | rs -> Answer rs)
+
+let resolve (z : Zone.t) (q : Message.query) : Message.response =
+  if not (Name.is_under ~ancestor:(Zone.origin z) q.Message.qname) then
+    Message.response Message.Refused
+  else
+    let rec step qname (acc_answer : Rr.t list) budget : Message.response =
+      if budget = 0 then
+        { (Message.response Message.ServFail) with Message.answer = acc_answer }
+      else
+        match highest_cut z qname with
+        | Some cut -> referral z cut ~answer:acc_answer
+        | None -> (
+            let conclude_positive answers =
+              {
+                Message.rcode = Message.NoError;
+                aa = true;
+                answer = acc_answer @ answers;
+                authority = [];
+                additional = additional_for_answers z answers;
+              }
+            in
+            let nodata () =
+              {
+                Message.rcode = Message.NoError;
+                aa = true;
+                answer = acc_answer;
+                authority = soa_authority z;
+                additional = [];
+              }
+            in
+            let follow_cname (c : Rr.t) ~owner =
+              let c = { c with Rr.rname = owner } in
+              match Rr.rdata_target c.Rr.rdata with
+              | Some target
+                when Name.is_under ~ancestor:(Zone.origin z) target ->
+                  step target (acc_answer @ [ c ]) (budget - 1)
+              | Some _ | None ->
+                  (* Target out of zone: the recursor takes over. *)
+                  {
+                    Message.rcode = Message.NoError;
+                    aa = true;
+                    answer = acc_answer @ [ c ];
+                    authority = [];
+                    additional = [];
+                  }
+            in
+            match inspect_node z qname q.Message.qtype with
+            | Answer rs -> conclude_positive rs
+            | Cname c -> follow_cname c ~owner:qname
+            | Nodata -> nodata ()
+            | Nonexistent -> (
+                (* Wildcard synthesis at the closest encloser. *)
+                let ce = closest_encloser z qname in
+                let wc = Name.child Dns.Label.wildcard ce in
+                match inspect_node z wc q.Message.qtype with
+                | Answer rs -> conclude_positive (synthesize qname rs)
+                | Cname c -> follow_cname c ~owner:qname
+                | Nodata ->
+                    if Zone.records_at z wc <> [] || Zone.node_exists z wc then
+                      nodata ()
+                    else
+                      {
+                        Message.rcode = Message.NXDomain;
+                        aa = true;
+                        answer = acc_answer;
+                        authority = soa_authority z;
+                        additional = [];
+                      }
+                | Nonexistent ->
+                    {
+                      Message.rcode = Message.NXDomain;
+                      aa = true;
+                      answer = acc_answer;
+                      authority = soa_authority z;
+                      additional = [];
+                    }))
+    in
+    step q.Message.qname [] max_cname_chain

@@ -1,0 +1,44 @@
+(* The top-level specification of authoritative resolution (§6.1).
+
+   `resolve` is the executable ground truth every engine version is
+   verified (and differentially tested) against. It follows RFC 1034
+   §4.3.2 resolution — delegation cuts, exact matches, CNAME chasing,
+   wildcard synthesis, NODATA vs NXDOMAIN — in the GRoot/SCALE style of
+   iterative filtering over the zone's record list (Figure 9), never
+   touching the engine's domain-tree data structures.
+
+   Conventions fixed by this specification (the engine must agree):
+   - out-of-zone qname → REFUSED;
+   - referrals (qname at or below a delegation cut) are never
+     authoritative: AA clear, NS records of the *highest* cut in the
+     authority section, in-zone A/AAAA glue for the NS targets in the
+     additional section;
+   - NODATA and NXDOMAIN carry the zone SOA in the authority section and
+     are authoritative;
+   - CNAME records are followed within the zone, with a chain bound of
+     [max_cname_chain]; exceeding it is SERVFAIL (loop protection);
+   - MX / SRV / NS answers trigger additional-section processing for
+     in-zone, non-occluded targets;
+   - the AA flag is set unless the final state is a pure referral. *)
+
+module Name = Dns.Name
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Message = Dns.Message
+val max_cname_chain : int
+val max_additional : int
+val cap_additional : 'a list -> 'a list
+val highest_cut : Zone.t -> Name.t -> Name.t option
+val glue_for_target : Zone.t -> Name.t -> Rr.t list
+val referral : Zone.t -> Name.t -> answer:Rr.t list -> Message.response
+val soa_authority : Zone.t -> Rr.t list
+val additional_for_answers : Zone.t -> Rr.t list -> Rr.t list
+val synthesize : Dns.Name.t -> Rr.t list -> Rr.t list
+val closest_encloser : Zone.t -> Name.t -> Name.t
+type node_outcome =
+    Answer of Rr.t list
+  | Cname of Rr.t
+  | Nodata
+  | Nonexistent
+val inspect_node : Zone.t -> Name.t -> Rr.rtype -> node_outcome
+val resolve : Zone.t -> Message.query -> Message.response

@@ -1,0 +1,1 @@
+lib/symex/exec.ml: List Map Minir Smt String Sval

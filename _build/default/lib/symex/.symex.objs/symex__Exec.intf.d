@@ -1,0 +1,1 @@
+lib/symex/exec.mli: Map Minir Seq Smt String Sval

@@ -1,0 +1,1 @@
+lib/symex/summary.ml: Array Buffer Exec Fun Hashtbl List Minir Printf Smt String Sval Unix

@@ -1,0 +1,1 @@
+lib/symex/summary.mli: Buffer Exec Hashtbl Minir Smt Sval

@@ -1,0 +1,1 @@
+lib/symex/sval.ml: Array Format Int List Map Minir Set Smt

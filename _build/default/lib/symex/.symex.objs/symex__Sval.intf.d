@@ -1,0 +1,1 @@
+lib/symex/sval.mli: Format Int Map Minir Seq Set Smt

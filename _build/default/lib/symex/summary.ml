@@ -1,0 +1,389 @@
+(* Automated specification summarization (§4.2, §5.3, §6.4).
+
+   A summary represents a module as the set of input-effect pairs
+   collected by full-path symbolic execution: for the k-th path, its
+   path condition θ_k and effects f_k (writes to memory, allocations,
+   return value). Inputs are canonicalized — every symbolic scalar
+   reachable from the arguments is renamed to a positional symbol
+   ($a0, $c3, …) following a consistent naming convention — so one
+   summary is reusable at every call site that presents the same
+   *shape*: same pointer structure and same concrete values, with
+   arbitrary symbolic terms in the symbolic slots.
+
+   Two deliberate deviations from the paper, documented in DESIGN.md:
+   summaries are specialized on the concrete parts of the calling
+   context (the paper instead represents appends abstractly), and the
+   read-only heap region (the concrete domain tree, §6.5) is identified
+   by a [frozen_below] bound rather than by annotation. *)
+
+module Term = Smt.Term
+module Value = Minir.Value
+
+type write = { w_block : int; w_path : int list; w_cell : Sval.scell }
+
+type outcome_kind =
+  | Ret of Sval.sval option
+  | Panic of string
+
+type case = {
+  cond : Term.t list; (* over canonical symbols; initial pc was true *)
+  writes : write list;
+  allocs : (int * Sval.scell) list; (* summarization-time block id → contents *)
+  outcome : outcome_kind;
+}
+
+type t = {
+  fn : string;
+  cases : case list;
+  canon_next_block : int; (* allocation watermark at summarization time *)
+  elapsed : float; (* seconds spent summarizing (Figure 12) *)
+}
+
+let case_count (s : t) = List.length s.cases
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type canon_state = {
+  mutable bindings : (string * Term.t) list; (* canonical name → actual term *)
+  mutable counter : int;
+  buf : Buffer.t; (* the cache key being built *)
+}
+
+let canon_term (st : canon_state) (t : Term.t) (sort : Term.sort) : Term.t =
+  match t with
+  | Term.Int_const n ->
+      Buffer.add_string st.buf (Printf.sprintf "#%d" n);
+      t
+  | Term.True | Term.False ->
+      Buffer.add_string st.buf (if t = Term.True then "#t" else "#f");
+      t
+  | t ->
+      let name = Printf.sprintf "$c%d" st.counter in
+      st.counter <- st.counter + 1;
+      st.bindings <- (name, t) :: st.bindings;
+      Buffer.add_string st.buf "?";
+      Term.var name sort
+
+let rec canon_cell (st : canon_state) (c : Sval.scell) : Sval.scell =
+  match c with
+  | Sval.CInt t -> Sval.CInt (canon_term st t Term.Int)
+  | Sval.CBool t -> Sval.CBool (canon_term st t Term.Bool)
+  | Sval.CPtr p ->
+      Buffer.add_string st.buf
+        (Printf.sprintf "&%d.%s" p.Value.block
+           (String.concat "." (List.map string_of_int p.Value.path)));
+      c
+  | Sval.CNull ->
+      Buffer.add_string st.buf "0";
+      c
+  | Sval.CStruct cells ->
+      Buffer.add_char st.buf '{';
+      let out = Array.map (canon_cell st) cells in
+      Buffer.add_char st.buf '}';
+      Sval.CStruct out
+  | Sval.CArray cells ->
+      Buffer.add_char st.buf '[';
+      let out = Array.map (canon_cell st) cells in
+      Buffer.add_char st.buf ']';
+      Sval.CArray out
+
+let canon_sval (st : canon_state) (v : Sval.sval) : Sval.sval =
+  match v with
+  | Sval.SInt t -> Sval.SInt (canon_term st t Term.Int)
+  | Sval.SBool t -> Sval.SBool (canon_term st t Term.Bool)
+  | Sval.SPtr p ->
+      Buffer.add_string st.buf
+        (Printf.sprintf "&%d.%s" p.Value.block
+           (String.concat "." (List.map string_of_int p.Value.path)));
+      v
+  | Sval.SNull ->
+      Buffer.add_string st.buf "0";
+      v
+  | Sval.SUnit -> v
+
+(* Pointers reachable from the arguments, stopping at frozen (read-only
+   heap) blocks — the concrete domain tree is closed under pointers. *)
+let reachable_blocks ~(frozen_below : int) (mem : Sval.memory)
+    (args : Sval.sval list) : int list =
+  let seen = Hashtbl.create 16 in
+  let frontier = ref [] in
+  let push b = if not (Hashtbl.mem seen b) then frontier := b :: !frontier in
+  List.iter (function Sval.SPtr p -> push p.Value.block | _ -> ()) args;
+  let out = ref [] in
+  while !frontier <> [] do
+    match !frontier with
+    | [] -> ()
+    | b :: rest ->
+        frontier := rest;
+        if not (Hashtbl.mem seen b) then begin
+          Hashtbl.replace seen b ();
+          out := b :: !out;
+          if b >= frozen_below then
+            ignore
+              (Sval.fold_scalars
+                 (fun () _ cell ->
+                   match cell with
+                   | Sval.CPtr p -> push p.Value.block
+                   | _ -> ())
+                 () [] (Sval.block_value mem b))
+        end
+  done;
+  List.sort compare !out
+
+(* ------------------------------------------------------------------ *)
+(* Effect extraction: diff final memory against the canonical initial
+   memory (the §5.3 effect patterns: field updates, appends — stores at
+   now-concrete indices — and newobject allocations).                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec diff_cells (acc : (int list * Sval.scell) list) rev_prefix
+    (old_c : Sval.scell) (new_c : Sval.scell) =
+  match (old_c, new_c) with
+  | Sval.CStruct a, Sval.CStruct b | Sval.CArray a, Sval.CArray b ->
+      let acc = ref acc in
+      Array.iteri
+        (fun k old_sub -> acc := diff_cells !acc (k :: rev_prefix) old_sub b.(k))
+        a;
+      !acc
+  | old_s, new_s ->
+      if Sval.equal_scalar old_s new_s then acc
+      else (List.rev rev_prefix, new_s) :: acc
+
+let diff_memory (m0 : Sval.memory) (mf : Sval.memory) :
+    write list * (int * Sval.scell) list =
+  let writes = ref [] and allocs = ref [] in
+  Sval.Int_map.iter
+    (fun b new_cell ->
+      if Sval.is_stack_block mf b then ()
+      else
+      match Sval.Int_map.find_opt b m0.Sval.blocks with
+      | None -> allocs := (b, new_cell) :: !allocs
+      | Some old_cell ->
+          if old_cell != new_cell then
+            List.iter
+              (fun (p, cell) ->
+                writes := { w_block = b; w_path = p; w_cell = cell } :: !writes)
+              (diff_cells [] [] old_cell new_cell))
+    mf.Sval.blocks;
+  (List.rev !writes, List.rev !allocs)
+
+(* ------------------------------------------------------------------ *)
+(* Summarization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Summarize [fn] as called with [args] in [mem]: canonicalize the
+   symbolic inputs, run full-path symbolic execution from a true path
+   condition, and collect one case per path. Returns the summary plus
+   the canonical-to-actual bindings of this call site and the cache
+   key. *)
+let summarize_at (ctx : Exec.ctx) ~(frozen_below : int) ~(mem : Sval.memory)
+    ~(fn : string) ~(args : Sval.sval list) : t * (string * Term.t) list * string
+    =
+  let st = { bindings = []; counter = 0; buf = Buffer.create 256 } in
+  Buffer.add_string st.buf fn;
+  let canon_args =
+    List.mapi
+      (fun idx a ->
+        Buffer.add_string st.buf (Printf.sprintf "|a%d=" idx);
+        canon_sval st a)
+      args
+  in
+  let reach = reachable_blocks ~frozen_below mem args in
+  let canon_mem =
+    List.fold_left
+      (fun m b ->
+        if b < frozen_below then begin
+          Buffer.add_string st.buf (Printf.sprintf "|h%d" b);
+          m
+        end
+        else begin
+          Buffer.add_string st.buf (Printf.sprintf "|b%d=" b);
+          let cell = canon_cell st (Sval.block_value mem b) in
+          { m with Sval.blocks = Sval.Int_map.add b cell m.Sval.blocks }
+        end)
+      mem reach
+  in
+  let key = Buffer.contents st.buf in
+  (* The callee must execute its own body here, not its own summary. *)
+  let saved = ctx.Exec.intercepts in
+  ctx.Exec.intercepts <- List.remove_assoc fn saved;
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> ctx.Exec.intercepts <- saved)
+      (fun () ->
+        Exec.run ctx ~memory:canon_mem ~pc:[] ~fn ~args:canon_args)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let cases =
+    List.map
+      (fun ((path : Exec.path), outcome) ->
+        let writes, allocs = diff_memory canon_mem path.Exec.mem in
+        {
+          cond = List.rev path.Exec.pc;
+          writes;
+          allocs;
+          outcome =
+            (match outcome with
+            | Exec.Returned v -> Ret v
+            | Exec.Panicked m -> Panic m);
+        })
+      results
+  in
+  ( { fn; cases; canon_next_block = canon_mem.Sval.next_block; elapsed },
+    st.bindings,
+    key )
+
+(* ------------------------------------------------------------------ *)
+(* Summary application                                                *)
+(* ------------------------------------------------------------------ *)
+
+let subst_cell (bindings : (string * Term.t) list) (c : Sval.scell) : Sval.scell
+    =
+  let rec go = function
+    | Sval.CInt t -> Sval.CInt (Term.subst bindings t)
+    | Sval.CBool t -> Sval.CBool (Term.subst bindings t)
+    | (Sval.CPtr _ | Sval.CNull) as c -> c
+    | Sval.CStruct cells -> Sval.CStruct (Array.map go cells)
+    | Sval.CArray cells -> Sval.CArray (Array.map go cells)
+  in
+  go c
+
+let remap_ptr (remap : (int * int) list) (p : Value.ptr) : Value.ptr =
+  match List.assoc_opt p.Value.block remap with
+  | Some b -> { p with Value.block = b }
+  | None -> p
+
+let rec remap_cell remap (c : Sval.scell) : Sval.scell =
+  match c with
+  | Sval.CPtr p -> Sval.CPtr (remap_ptr remap p)
+  | Sval.CStruct cells -> Sval.CStruct (Array.map (remap_cell remap) cells)
+  | Sval.CArray cells -> Sval.CArray (Array.map (remap_cell remap) cells)
+  | Sval.CInt _ | Sval.CBool _ | Sval.CNull -> c
+
+(* Apply [summary] at a call site: substitute the canonical symbols by
+   the call site's terms, keep the feasible cases, replay each case's
+   effects. *)
+let apply (ctx : Exec.ctx) (summary : t) (bindings : (string * Term.t) list)
+    (path : Exec.path) : Exec.result =
+  List.concat_map
+    (fun (case : case) ->
+      let cond = List.map (Term.subst bindings) case.cond in
+      let cond = List.filter (fun t -> t <> Term.True) cond in
+      let pc' = List.rev_append cond path.Exec.pc in
+      if cond <> [] && not (Exec.feasible ctx pc') then []
+      else begin
+        (* Fresh blocks for the case's allocations. *)
+        let mem = ref path.Exec.mem in
+        let remap =
+          List.map
+            (fun (old_b, _) ->
+              let m, p = Sval.alloc !mem Sval.CNull in
+              mem := m;
+              (old_b, p.Value.block))
+            case.allocs
+        in
+        List.iter
+          (fun (old_b, cell) ->
+            let cell = remap_cell remap (subst_cell bindings cell) in
+            let b = List.assoc old_b remap in
+            mem :=
+              {
+                !mem with
+                Sval.blocks = Sval.Int_map.add b cell !mem.Sval.blocks;
+              })
+          case.allocs;
+        List.iter
+          (fun w ->
+            let cell = remap_cell remap (subst_cell bindings w.w_cell) in
+            let target =
+              remap_ptr remap { Value.block = w.w_block; path = w.w_path }
+            in
+            mem := Sval.store !mem target cell)
+          case.writes;
+        let outcome =
+          match case.outcome with
+          | Panic m -> Exec.Panicked m
+          | Ret None -> Exec.Returned None
+          | Ret (Some v) ->
+              let v =
+                match v with
+                | Sval.SInt t -> Sval.SInt (Term.subst bindings t)
+                | Sval.SBool t -> Sval.SBool (Term.subst bindings t)
+                | Sval.SPtr p -> Sval.SPtr (remap_ptr remap p)
+                | (Sval.SNull | Sval.SUnit) as v -> v
+              in
+              Exec.Returned (Some v)
+        in
+        [ ({ Exec.pc = pc'; mem = !mem }, outcome) ]
+      end)
+    summary.cases
+
+(* ------------------------------------------------------------------ *)
+(* The summarizing intercept with its cache                           *)
+(* ------------------------------------------------------------------ *)
+
+type store = {
+  cache : (string, t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable summarize_time : float;
+}
+
+let create_store () =
+  { cache = Hashtbl.create 32; hits = 0; misses = 0; summarize_time = 0.0 }
+
+let store_summaries (s : store) : t list =
+  Hashtbl.fold (fun _ v acc -> v :: acc) s.cache []
+
+(* An [Exec.intercept] that summarizes [fn] on first use per calling
+   shape and replays the cached summary afterwards. *)
+let intercept_for ~(frozen_below : int) (store : store) (fn : string) :
+    Exec.intercept =
+ fun ctx path args ->
+  (* Canonicalize against the current state to obtain the cache key and
+     this site's bindings. (Canonicalization is cheap relative to
+     symbolic execution.) *)
+  let summary, bindings, key =
+    match
+      let st = { bindings = []; counter = 0; buf = Buffer.create 256 } in
+      Buffer.add_string st.buf fn;
+      let canon_args =
+        List.mapi
+          (fun idx a ->
+            Buffer.add_string st.buf (Printf.sprintf "|a%d=" idx);
+            canon_sval st a)
+          args
+      in
+      let reach = reachable_blocks ~frozen_below path.Exec.mem args in
+      List.iter
+        (fun b ->
+          if b < frozen_below then
+            Buffer.add_string st.buf (Printf.sprintf "|h%d" b)
+          else begin
+            Buffer.add_string st.buf (Printf.sprintf "|b%d=" b);
+            ignore (canon_cell st (Sval.block_value path.Exec.mem b))
+          end)
+        reach;
+      ignore canon_args;
+      (Buffer.contents st.buf, st.bindings)
+    with
+    | key, bindings -> (
+        match Hashtbl.find_opt store.cache key with
+        | Some s ->
+            store.hits <- store.hits + 1;
+            (s, bindings, key)
+        | None ->
+            store.misses <- store.misses + 1;
+            let s, bindings', key' =
+              summarize_at ctx ~frozen_below ~mem:path.Exec.mem ~fn ~args
+            in
+            assert (key' = key);
+            store.summarize_time <- store.summarize_time +. s.elapsed;
+            Hashtbl.replace store.cache key s;
+            (s, bindings', key))
+  in
+  ignore key;
+  apply ctx summary bindings path

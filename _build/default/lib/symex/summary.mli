@@ -1,0 +1,75 @@
+(* Automated specification summarization (§4.2, §5.3, §6.4).
+
+   A summary represents a module as the set of input-effect pairs
+   collected by full-path symbolic execution: for the k-th path, its
+   path condition θ_k and effects f_k (writes to memory, allocations,
+   return value). Inputs are canonicalized — every symbolic scalar
+   reachable from the arguments is renamed to a positional symbol
+   ($a0, $c3, …) following a consistent naming convention — so one
+   summary is reusable at every call site that presents the same
+   *shape*: same pointer structure and same concrete values, with
+   arbitrary symbolic terms in the symbolic slots.
+
+   Two deliberate deviations from the paper, documented in DESIGN.md:
+   summaries are specialized on the concrete parts of the calling
+   context (the paper instead represents appends abstractly), and the
+   read-only heap region (the concrete domain tree, §6.5) is identified
+   by a [frozen_below] bound rather than by annotation. *)
+
+module Term = Smt.Term
+module Value = Minir.Value
+type write = { w_block : int; w_path : int list; w_cell : Sval.scell; }
+type outcome_kind = Ret of Sval.sval option | Panic of string
+type case = {
+  cond : Term.t list;
+  writes : write list;
+  allocs : (int * Sval.scell) list;
+  outcome : outcome_kind;
+}
+type t = {
+  fn : string;
+  cases : case list;
+  canon_next_block : int;
+  elapsed : float;
+}
+val case_count : t -> int
+type canon_state = {
+  mutable bindings : (string * Term.t) list;
+  mutable counter : int;
+  buf : Buffer.t;
+}
+val canon_term : canon_state -> Term.t -> Term.sort -> Term.t
+val canon_cell : canon_state -> Sval.scell -> Sval.scell
+val canon_sval : canon_state -> Sval.sval -> Sval.sval
+val reachable_blocks :
+  frozen_below:int -> Sval.memory -> Sval.sval list -> int list
+val diff_cells :
+  (int list * Sval.scell) list ->
+  int list ->
+  Sval.scell -> Sval.scell -> (int list * Sval.scell) list
+val diff_memory :
+  Sval.memory ->
+  Sval.memory -> write list * (int * Sval.scell) list
+val summarize_at :
+  Exec.ctx ->
+  frozen_below:int ->
+  mem:Sval.memory ->
+  fn:string ->
+  args:Sval.sval list -> t * (string * Term.t) list * string
+val subst_cell :
+  (string * Term.t) list -> Sval.scell -> Sval.scell
+val remap_ptr : (int * int) list -> Value.ptr -> Value.ptr
+val remap_cell : (int * int) list -> Sval.scell -> Sval.scell
+val apply :
+  Exec.ctx ->
+  t -> (string * Term.t) list -> Exec.path -> Exec.result
+type store = {
+  cache : (string, t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable summarize_time : float;
+}
+val create_store : unit -> store
+val store_summaries : store -> t list
+val intercept_for :
+  frozen_below:int -> store -> string -> Exec.intercept

@@ -1,0 +1,147 @@
+(* Symbolic values and the flexible memory model (paper §5.1, AbsLLVM).
+
+   Memory is the same block/path shape as the concrete interpreter's,
+   but scalar cells hold SMT *terms*, so any individual field of a
+   struct can be abstract (a symbolic term) while its siblings stay
+   concrete — the partial abstraction the paper needs for production
+   data structures. Pointers are always concrete: the domain tree heap
+   is concrete (§6.5) and allocation is deterministic per path. *)
+
+module Term = Smt.Term
+module Value = Minir.Value
+module Ty = Minir.Ty
+type sval =
+    SInt of Term.t
+  | SBool of Term.t
+  | SPtr of Value.ptr
+  | SNull
+  | SUnit
+type scell =
+    CInt of Term.t
+  | CBool of Term.t
+  | CPtr of Value.ptr
+  | CNull
+  | CStruct of scell array
+  | CArray of scell array
+exception Symbolic_error of string
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val pp_sval : Format.formatter -> sval -> unit
+val pp_scell : Format.formatter -> scell -> unit
+val scell_of_sval : sval -> scell
+val sval_of_scell : scell -> sval
+val scell_of_mval : Value.mval -> scell
+val scell_default : Ty.tenv -> Ty.t -> scell
+val cell_get : scell -> int list -> scell
+val cell_set : scell -> int list -> scell -> scell
+val fold_scalars :
+  ('a -> int list -> scell -> 'a) -> 'a -> int list -> scell -> 'a
+val equal_scalar : scell -> scell -> bool
+module Int_map :
+  sig
+    type key = Int.t
+    type 'a t = 'a Map.Make(Int).t
+    val empty : 'a t
+    val add : key -> 'a -> 'a t -> 'a t
+    val add_to_list : key -> 'a -> 'a list t -> 'a list t
+    val update : key -> ('a option -> 'a option) -> 'a t -> 'a t
+    val singleton : key -> 'a -> 'a t
+    val remove : key -> 'a t -> 'a t
+    val merge :
+      (key -> 'a option -> 'b option -> 'c option) -> 'a t -> 'b t -> 'c t
+    val union : (key -> 'a -> 'a -> 'a option) -> 'a t -> 'a t -> 'a t
+    val cardinal : 'a t -> int
+    val bindings : 'a t -> (key * 'a) list
+    val min_binding : 'a t -> key * 'a
+    val min_binding_opt : 'a t -> (key * 'a) option
+    val max_binding : 'a t -> key * 'a
+    val max_binding_opt : 'a t -> (key * 'a) option
+    val choose : 'a t -> key * 'a
+    val choose_opt : 'a t -> (key * 'a) option
+    val find : key -> 'a t -> 'a
+    val find_opt : key -> 'a t -> 'a option
+    val find_first : (key -> bool) -> 'a t -> key * 'a
+    val find_first_opt : (key -> bool) -> 'a t -> (key * 'a) option
+    val find_last : (key -> bool) -> 'a t -> key * 'a
+    val find_last_opt : (key -> bool) -> 'a t -> (key * 'a) option
+    val iter : (key -> 'a -> unit) -> 'a t -> unit
+    val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+    val map : ('a -> 'b) -> 'a t -> 'b t
+    val mapi : (key -> 'a -> 'b) -> 'a t -> 'b t
+    val filter : (key -> 'a -> bool) -> 'a t -> 'a t
+    val filter_map : (key -> 'a -> 'b option) -> 'a t -> 'b t
+    val partition : (key -> 'a -> bool) -> 'a t -> 'a t * 'a t
+    val split : key -> 'a t -> 'a t * 'a option * 'a t
+    val is_empty : 'a t -> bool
+    val mem : key -> 'a t -> bool
+    val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+    val compare : ('a -> 'a -> int) -> 'a t -> 'a t -> int
+    val for_all : (key -> 'a -> bool) -> 'a t -> bool
+    val exists : (key -> 'a -> bool) -> 'a t -> bool
+    val to_list : 'a t -> (key * 'a) list
+    val of_list : (key * 'a) list -> 'a t
+    val to_seq : 'a t -> (key * 'a) Seq.t
+    val to_rev_seq : 'a t -> (key * 'a) Seq.t
+    val to_seq_from : key -> 'a t -> (key * 'a) Seq.t
+    val add_seq : (key * 'a) Seq.t -> 'a t -> 'a t
+    val of_seq : (key * 'a) Seq.t -> 'a t
+  end
+module Int_set :
+  sig
+    type elt = Int.t
+    type t = Set.Make(Int).t
+    val empty : t
+    val add : elt -> t -> t
+    val singleton : elt -> t
+    val remove : elt -> t -> t
+    val union : t -> t -> t
+    val inter : t -> t -> t
+    val disjoint : t -> t -> bool
+    val diff : t -> t -> t
+    val cardinal : t -> int
+    val elements : t -> elt list
+    val min_elt : t -> elt
+    val min_elt_opt : t -> elt option
+    val max_elt : t -> elt
+    val max_elt_opt : t -> elt option
+    val choose : t -> elt
+    val choose_opt : t -> elt option
+    val find : elt -> t -> elt
+    val find_opt : elt -> t -> elt option
+    val find_first : (elt -> bool) -> t -> elt
+    val find_first_opt : (elt -> bool) -> t -> elt option
+    val find_last : (elt -> bool) -> t -> elt
+    val find_last_opt : (elt -> bool) -> t -> elt option
+    val iter : (elt -> unit) -> t -> unit
+    val fold : (elt -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+    val map : (elt -> elt) -> t -> t
+    val filter : (elt -> bool) -> t -> t
+    val filter_map : (elt -> elt option) -> t -> t
+    val partition : (elt -> bool) -> t -> t * t
+    val split : elt -> t -> t * bool * t
+    val is_empty : t -> bool
+    val mem : elt -> t -> bool
+    val equal : t -> t -> bool
+    val compare : t -> t -> int
+    val subset : t -> t -> bool
+    val for_all : (elt -> bool) -> t -> bool
+    val exists : (elt -> bool) -> t -> bool
+    val to_list : t -> elt list
+    val of_list : elt list -> t
+    val to_seq_from : elt -> t -> elt Seq.t
+    val to_seq : t -> elt Seq.t
+    val to_rev_seq : t -> elt Seq.t
+    val add_seq : elt Seq.t -> t -> t
+    val of_seq : elt Seq.t -> t
+  end
+type memory = {
+  blocks : scell Int_map.t;
+  next_block : int;
+  stack_blocks : Int_set.t;
+}
+val memory_of_concrete : Value.memory -> memory
+val block_value : memory -> Int_map.key -> scell
+val alloc : ?stack:bool -> memory -> scell -> memory * Value.ptr
+val is_stack_block : memory -> Int_set.elt -> bool
+val load : memory -> Value.ptr -> sval
+val load_cell : memory -> Value.ptr -> scell
+val store : memory -> Value.ptr -> scell -> memory

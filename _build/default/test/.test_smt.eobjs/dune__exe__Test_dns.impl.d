@@ -1,0 +1,1 @@
+test/test_dns.ml: Alcotest Char Dns Gen List QCheck QCheck_alcotest Random Spec

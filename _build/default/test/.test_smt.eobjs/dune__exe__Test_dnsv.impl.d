@@ -1,0 +1,1 @@
+test/test_dnsv.ml: Alcotest Astring Dns Dnsv Engine List Spec

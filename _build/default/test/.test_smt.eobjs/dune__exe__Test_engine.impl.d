@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Astring Dns Dnstree Engine List Minir Printf QCheck QCheck_alcotest Random Spec String

@@ -1,0 +1,1 @@
+test/test_golite.ml: Alcotest Astring Engine Golite Lazy List Minir Option QCheck QCheck_alcotest Stdlib

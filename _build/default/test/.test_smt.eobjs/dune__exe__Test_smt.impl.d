@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Lia Linear List Model Option Q QCheck QCheck_alcotest Simplex Smt Solver Term

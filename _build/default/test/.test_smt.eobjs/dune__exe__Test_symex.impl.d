@@ -1,0 +1,1 @@
+test/test_symex.ml: Alcotest Array Astring Dns Dnstree Engine Golite Lazy List Minir QCheck QCheck_alcotest Random Refine Smt Spec String Symex

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Dns Dnstree Engine List Minir Printf QCheck QCheck_alcotest Random Refine Smt Spec Symex

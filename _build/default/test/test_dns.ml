@@ -1,0 +1,434 @@
+(* Tests for the DNS data model and the executable top-level
+   specification (rrlookup). The crafted zone below exercises every
+   resolution scenario the paper's engine handles: exact matches,
+   NODATA, NXDOMAIN, empty non-terminals, wildcard synthesis, CNAME
+   chasing (incl. chains, loops and out-of-zone targets), delegation
+   referrals with glue, and MX additional processing. *)
+
+module Name = Dns.Name
+module Label = Dns.Label
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Message = Dns.Message
+module Zonegen = Dns.Zonegen
+module Zonefile = Dns.Zonefile
+module Rrlookup = Spec.Rrlookup
+
+let n = Name.of_string_exn
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Names                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_name_basics () =
+  check_str "roundtrip" "www.example.com" (Name.to_string (n "www.example.com"));
+  check_str "root" "." (Name.to_string Name.root);
+  check_int "label count" 3 (Name.label_count (n "www.example.com"));
+  check_bool "under" true
+    (Name.is_strictly_under ~ancestor:(n "example.com") (n "www.example.com"));
+  check_bool "not under sibling" false
+    (Name.is_under ~ancestor:(n "example.com") (n "example.org"));
+  check_bool "not under itself strictly" false
+    (Name.is_strictly_under ~ancestor:(n "example.com") (n "example.com"));
+  check_bool "under itself" true
+    (Name.is_under ~ancestor:(n "example.com") (n "example.com"));
+  (match Name.parent (n "www.example.com") with
+  | Some p -> check_str "parent" "example.com" (Name.to_string p)
+  | None -> Alcotest.fail "parent expected");
+  check_str "suffix 2" "example.com"
+    (Name.to_string (Name.suffix (n "a.b.example.com") 2));
+  check_bool "canonical order" true (Name.compare (n "a.example.com") (n "b.example.com") < 0);
+  check_bool "parent sorts first" true
+    (Name.compare (n "example.com") (n "a.example.com") < 0)
+
+let test_name_wire () =
+  let name = n "www.example.com" in
+  let wire = Name.to_wire name in
+  check_int "wire length" (1 + 3 + 1 + 7 + 1 + 3 + 1) (List.length wire);
+  (match Name.of_wire wire with
+  | Ok name' -> check_bool "wire roundtrip" true (Name.equal name name')
+  | Error m -> Alcotest.fail m);
+  (match Name.of_wire [ 3; Char.code 'w' ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated wire must fail")
+
+let test_label_coding () =
+  let coder = Label.Coder.create () in
+  let c1 = Label.Coder.code coder (Label.of_string_exn "www") in
+  let c2 = Label.Coder.code coder (Label.of_string_exn "example") in
+  let c1' = Label.Coder.code coder (Label.of_string_exn "www") in
+  check_int "stable codes" c1 c1';
+  check_bool "distinct codes" true (c1 <> c2);
+  check_int "wildcard code" Label.Coder.wildcard_code
+    (Label.Coder.code coder Label.wildcard);
+  let name = n "www.example.com" in
+  let codes = Name.codes coder name in
+  check_int "codes reversed: com first" 3 (List.length codes);
+  check_bool "roundtrip through codes" true
+    (Name.equal name (Name.of_codes coder codes))
+
+let prop_name_string_roundtrip =
+  QCheck.Test.make ~name:"name string roundtrip" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 4) (oneofl [ "www"; "a"; "b-c"; "x1" ]))
+    (fun labels ->
+      let name = Name.of_labels (List.map Label.of_string_exn labels) in
+      Name.equal name (Name.of_string_exn (Name.to_string name)))
+
+let prop_name_wire_roundtrip =
+  QCheck.Test.make ~name:"name wire roundtrip" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 5) (oneofl [ "www"; "ex"; "a" ]))
+    (fun labels ->
+      let name = Name.of_labels (List.map Label.of_string_exn labels) in
+      match Name.of_wire (Name.to_wire name) with
+      | Ok name' -> Name.equal name name'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The reference zone                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let origin = n "example.com"
+
+let zone =
+  Zone.make origin
+    [
+      Rr.soa origin ~mname:(n "ns1.example.com") ~serial:1;
+      Rr.ns origin (n "ns1.example.com");
+      Rr.a (n "ns1.example.com") 100;
+      Rr.a (n "www.example.com") 1;
+      Rr.aaaa (n "www.example.com") 2;
+      Rr.mx origin 10 (n "mail.example.com");
+      Rr.a (n "mail.example.com") 3;
+      (* Empty non-terminal: records exist under a.example.com only. *)
+      Rr.a (n "deep.a.example.com") 4;
+      (* Wildcard with address and MX data. *)
+      Rr.a (n "*.wild.example.com") 5;
+      Rr.mx (n "*.wild.example.com") 20 (n "mail.example.com");
+      (* Wildcard that holds a CNAME. *)
+      Rr.cname (n "*.alias.example.com") (n "www.example.com");
+      (* CNAME chain: c1 → c2 → www. *)
+      Rr.cname (n "c1.example.com") (n "c2.example.com");
+      Rr.cname (n "c2.example.com") (n "www.example.com");
+      (* CNAME loop. *)
+      Rr.cname (n "l1.example.com") (n "l2.example.com");
+      Rr.cname (n "l2.example.com") (n "l1.example.com");
+      (* CNAME out of zone. *)
+      Rr.cname (n "ext.example.com") (n "cdn.other.net");
+      (* Delegation with one in-zone (glued) and one external server. *)
+      Rr.ns (n "sub.example.com") (n "ns.sub.example.com");
+      Rr.ns (n "sub.example.com") (n "ns-ext.other.net");
+      Rr.a (n "ns.sub.example.com") 6;
+      (* Data below the cut: occluded. *)
+      Rr.a (n "host.sub.example.com") 7;
+      (* CNAME pointing under the cut. *)
+      Rr.cname (n "intocut.example.com") (n "host.sub.example.com");
+      (* TXT for type coverage. *)
+      Rr.txt (n "www.example.com") "hello";
+    ]
+
+let resolve qname qtype = Rrlookup.resolve zone (Message.query (n qname) qtype)
+
+let rcode = Alcotest.testable Message.pp_rcode ( = )
+
+let check_rcode what want (r : Message.response) =
+  Alcotest.check rcode what want r.Message.rcode
+
+let answer_addrs (r : Message.response) =
+  List.filter_map
+    (fun (rr : Rr.t) ->
+      match rr.Rr.rdata with Rr.Addr a -> Some a | _ -> None)
+    r.Message.answer
+
+(* ------------------------------------------------------------------ *)
+(* rrlookup semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_match () =
+  let r = resolve "www.example.com" Rr.A in
+  check_rcode "rcode" Message.NoError r;
+  check_bool "aa" true r.Message.aa;
+  check_int "one A answer" 1 (List.length r.Message.answer);
+  check_bool "addr 1" true (answer_addrs r = [ 1 ]);
+  Alcotest.(check int) "no authority" 0 (List.length r.Message.authority)
+
+let test_apex_soa_and_ns () =
+  let r = resolve "example.com" Rr.SOA in
+  check_rcode "soa rcode" Message.NoError r;
+  check_int "soa answer" 1 (List.length r.Message.answer);
+  let r = resolve "example.com" Rr.NS in
+  check_rcode "ns rcode" Message.NoError r;
+  check_bool "aa on apex ns" true r.Message.aa;
+  check_int "ns answer" 1 (List.length r.Message.answer);
+  (* NS additional processing gives ns1's address. *)
+  check_int "glue additional" 1 (List.length r.Message.additional)
+
+let test_nodata () =
+  let r = resolve "www.example.com" Rr.MX in
+  check_rcode "rcode" Message.NoError r;
+  check_bool "aa" true r.Message.aa;
+  check_int "empty answer" 0 (List.length r.Message.answer);
+  check_int "SOA in authority" 1 (List.length r.Message.authority);
+  match (List.hd r.Message.authority).Rr.rtype with
+  | Rr.SOA -> ()
+  | _ -> Alcotest.fail "authority must be the SOA"
+
+let test_nxdomain () =
+  let r = resolve "nosuch.example.com" Rr.A in
+  check_rcode "rcode" Message.NXDomain r;
+  check_bool "aa" true r.Message.aa;
+  check_int "SOA authority" 1 (List.length r.Message.authority)
+
+let test_empty_nonterminal () =
+  (* a.example.com owns nothing but deep.a.example.com exists: NODATA,
+     not NXDOMAIN. *)
+  let r = resolve "a.example.com" Rr.A in
+  check_rcode "rcode" Message.NoError r;
+  check_int "no answer" 0 (List.length r.Message.answer);
+  check_int "SOA authority" 1 (List.length r.Message.authority)
+
+let test_refused_out_of_zone () =
+  let r = resolve "www.other.net" Rr.A in
+  check_rcode "rcode" Message.Refused r
+
+let test_wildcard_synthesis () =
+  let r = resolve "x.wild.example.com" Rr.A in
+  check_rcode "rcode" Message.NoError r;
+  check_int "one answer" 1 (List.length r.Message.answer);
+  let rr = List.hd r.Message.answer in
+  check_str "owner is qname" "x.wild.example.com" (Name.to_string rr.Rr.rname);
+  check_bool "wildcard data" true (answer_addrs r = [ 5 ]);
+  (* Multi-label expansion: '*' covers several labels. *)
+  let r = resolve "a.b.wild.example.com" Rr.A in
+  check_rcode "multi-label" Message.NoError r;
+  check_int "one answer" 1 (List.length r.Message.answer);
+  check_str "owner" "a.b.wild.example.com"
+    (Name.to_string (List.hd r.Message.answer).Rr.rname)
+
+let test_wildcard_nodata () =
+  (* The wildcard exists but has no TXT: authoritative NODATA. *)
+  let r = resolve "x.wild.example.com" Rr.TXT in
+  check_rcode "rcode" Message.NoError r;
+  check_int "no answer" 0 (List.length r.Message.answer);
+  check_int "SOA authority" 1 (List.length r.Message.authority)
+
+let test_wildcard_does_not_cover_existing () =
+  (* wild.example.com itself exists (as an empty non-terminal): queries
+     for it do not synthesize. *)
+  let r = resolve "wild.example.com" Rr.A in
+  check_rcode "rcode" Message.NoError r;
+  check_int "no answer" 0 (List.length r.Message.answer)
+
+let test_wildcard_cname () =
+  let r = resolve "x.alias.example.com" Rr.A in
+  check_rcode "rcode" Message.NoError r;
+  check_int "cname + target" 2 (List.length r.Message.answer);
+  let first = List.hd r.Message.answer in
+  check_str "synthesized owner" "x.alias.example.com"
+    (Name.to_string first.Rr.rname);
+  check_bool "is cname" true (Rr.equal_rtype first.Rr.rtype Rr.CNAME);
+  check_bool "final addr" true (answer_addrs r = [ 1 ])
+
+let test_cname_chain () =
+  let r = resolve "c1.example.com" Rr.A in
+  check_rcode "rcode" Message.NoError r;
+  check_int "chain: c1,c2,www" 3 (List.length r.Message.answer);
+  check_bool "ends with addr 1" true (answer_addrs r = [ 1 ])
+
+let test_cname_direct_query () =
+  let r = resolve "c1.example.com" Rr.CNAME in
+  check_int "only the cname" 1 (List.length r.Message.answer)
+
+let test_cname_loop () =
+  let r = resolve "l1.example.com" Rr.A in
+  check_rcode "loop servfails" Message.ServFail r
+
+let test_cname_out_of_zone () =
+  let r = resolve "ext.example.com" Rr.A in
+  check_rcode "rcode" Message.NoError r;
+  check_int "cname only" 1 (List.length r.Message.answer);
+  check_bool "aa" true r.Message.aa
+
+let test_referral () =
+  let r = resolve "host.sub.example.com" Rr.A in
+  check_rcode "rcode" Message.NoError r;
+  check_bool "not authoritative" false r.Message.aa;
+  check_int "no answer (occluded)" 0 (List.length r.Message.answer);
+  check_int "two NS" 2 (List.length r.Message.authority);
+  (* Only the in-zone server has glue. *)
+  check_int "one glue" 1 (List.length r.Message.additional)
+
+let test_referral_at_cut () =
+  let r = resolve "sub.example.com" Rr.NS in
+  check_bool "referral, not answer" false r.Message.aa;
+  check_int "NS in authority" 2 (List.length r.Message.authority)
+
+let test_cname_into_cut () =
+  let r = resolve "intocut.example.com" Rr.A in
+  check_rcode "rcode" Message.NoError r;
+  (* CNAME followed, then referral for the target. *)
+  check_int "cname in answer" 1 (List.length r.Message.answer);
+  check_int "NS authority" 2 (List.length r.Message.authority);
+  check_bool "aa kept for the authoritative prefix" true r.Message.aa
+
+let test_mx_additional () =
+  let r = resolve "example.com" Rr.MX in
+  check_rcode "rcode" Message.NoError r;
+  check_int "mx answer" 1 (List.length r.Message.answer);
+  check_int "exchange address in additional" 1 (List.length r.Message.additional)
+
+(* ------------------------------------------------------------------ *)
+(* Zone validation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_zone_valid () = check_bool "reference zone valid" true (Zone.is_valid zone)
+
+let test_zone_validation_catches () =
+  let bad_no_soa = Zone.make origin [ Rr.a (n "www.example.com") 1 ] in
+  check_bool "missing soa" false (Zone.is_valid bad_no_soa);
+  let bad_out_of_zone =
+    Zone.make origin
+      [ Rr.soa origin ~mname:(n "ns1.example.com") ~serial:1; Rr.a (n "www.other.net") 1 ]
+  in
+  check_bool "out of zone" false (Zone.is_valid bad_out_of_zone);
+  let bad_cname_conflict =
+    Zone.make origin
+      [
+        Rr.soa origin ~mname:(n "ns1.example.com") ~serial:1;
+        Rr.cname (n "x.example.com") (n "www.example.com");
+        Rr.a (n "x.example.com") 1;
+      ]
+  in
+  check_bool "cname conflict" false (Zone.is_valid bad_cname_conflict);
+  let bad_wildcard =
+    Zone.make origin
+      [
+        Rr.soa origin ~mname:(n "ns1.example.com") ~serial:1;
+        Rr.a (Name.of_labels [ Label.of_string_exn "a"; Label.wildcard;
+                               Label.of_string_exn "example"; Label.of_string_exn "com" ]) 1;
+      ]
+  in
+  check_bool "wildcard not leftmost" false (Zone.is_valid bad_wildcard)
+
+let test_zone_helpers () =
+  check_bool "delegation" true (Zone.is_delegation zone (n "sub.example.com"));
+  check_bool "apex not delegation" false (Zone.is_delegation zone origin);
+  check_bool "node exists (ent)" true (Zone.node_exists zone (n "a.example.com"));
+  check_bool "node missing" false (Zone.node_exists zone (n "zz.example.com"));
+  match Rrlookup.highest_cut zone (n "x.y.sub.example.com") with
+  | Some cut -> check_str "cut" "sub.example.com" (Name.to_string cut)
+  | None -> Alcotest.fail "cut expected"
+
+(* ------------------------------------------------------------------ *)
+(* Zone file I/O                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_zonefile_roundtrip () =
+  let text = Zonefile.render zone in
+  match Zonefile.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok zone' ->
+      check_bool "origin" true (Name.equal (Zone.origin zone) (Zone.origin zone'));
+      check_int "record count" (Zone.record_count zone) (Zone.record_count zone');
+      List.iter2
+        (fun a b -> check_bool "record equal" true (Rr.equal a b))
+        (Zone.records zone) (Zone.records zone')
+
+let test_zonefile_errors () =
+  (match Zonefile.parse "www 300 A 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "must require $ORIGIN");
+  (match Zonefile.parse "$ORIGIN example.com.\nwww 300 BOGUS 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown type");
+  match Zonefile.parse "$ORIGIN example.com.\nwww 300 MX 10\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed MX"
+
+(* ------------------------------------------------------------------ *)
+(* Generator properties                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_generated_zones_valid =
+  QCheck.Test.make ~name:"generated zones validate" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let z = Zonegen.generate ~seed (n "gen.example") in
+      Zone.is_valid z)
+
+let prop_generated_zone_resolution_total =
+  QCheck.Test.make ~name:"spec never raises on generated zones/queries"
+    ~count:100
+    QCheck.(pair (int_range 0 2_000) (int_range 0 1_000))
+    (fun (seed, qseed) ->
+      let z = Zonegen.generate ~seed (n "gen.example") in
+      let rng = Random.State.make [| qseed |] in
+      let q = Zonegen.random_query ~rng z in
+      let r = Rrlookup.resolve z q in
+      (* Sanity: rcode is one of the modelled ones, AA only on non-refused. *)
+      match r.Message.rcode with
+      | Message.Refused -> r.Message.answer = []
+      | Message.NoError | Message.NXDomain | Message.ServFail -> true)
+
+let prop_zonefile_roundtrip_generated =
+  QCheck.Test.make ~name:"zonefile roundtrip on generated zones" ~count:30
+    QCheck.(int_range 0 1_000)
+    (fun seed ->
+      let z = Zonegen.generate ~seed (n "gen.example") in
+      match Zonefile.parse (Zonefile.render z) with
+      | Ok z' ->
+          List.for_all2 Rr.equal (Zone.records z) (Zone.records z')
+      | Error _ -> false)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "dns"
+    [
+      ( "names",
+        [
+          Alcotest.test_case "basics" `Quick test_name_basics;
+          Alcotest.test_case "wire form" `Quick test_name_wire;
+          Alcotest.test_case "label coding" `Quick test_label_coding;
+        ]
+        @ qcheck [ prop_name_string_roundtrip; prop_name_wire_roundtrip ] );
+      ( "rrlookup",
+        [
+          Alcotest.test_case "exact match" `Quick test_exact_match;
+          Alcotest.test_case "apex SOA/NS" `Quick test_apex_soa_and_ns;
+          Alcotest.test_case "nodata" `Quick test_nodata;
+          Alcotest.test_case "nxdomain" `Quick test_nxdomain;
+          Alcotest.test_case "empty non-terminal" `Quick test_empty_nonterminal;
+          Alcotest.test_case "refused" `Quick test_refused_out_of_zone;
+          Alcotest.test_case "wildcard synthesis" `Quick test_wildcard_synthesis;
+          Alcotest.test_case "wildcard nodata" `Quick test_wildcard_nodata;
+          Alcotest.test_case "wildcard vs existing" `Quick
+            test_wildcard_does_not_cover_existing;
+          Alcotest.test_case "wildcard cname" `Quick test_wildcard_cname;
+          Alcotest.test_case "cname chain" `Quick test_cname_chain;
+          Alcotest.test_case "cname direct query" `Quick test_cname_direct_query;
+          Alcotest.test_case "cname loop" `Quick test_cname_loop;
+          Alcotest.test_case "cname out of zone" `Quick test_cname_out_of_zone;
+          Alcotest.test_case "referral + glue" `Quick test_referral;
+          Alcotest.test_case "referral at cut" `Quick test_referral_at_cut;
+          Alcotest.test_case "cname into cut" `Quick test_cname_into_cut;
+          Alcotest.test_case "mx additional" `Quick test_mx_additional;
+        ] );
+      ( "zones",
+        [
+          Alcotest.test_case "reference zone valid" `Quick test_zone_valid;
+          Alcotest.test_case "validation catches" `Quick
+            test_zone_validation_catches;
+          Alcotest.test_case "helpers" `Quick test_zone_helpers;
+          Alcotest.test_case "zonefile roundtrip" `Quick test_zonefile_roundtrip;
+          Alcotest.test_case "zonefile errors" `Quick test_zonefile_errors;
+        ]
+        @ qcheck
+            [
+              prop_generated_zones_valid;
+              prop_generated_zone_resolution_total;
+              prop_zonefile_roundtrip_generated;
+            ] );
+    ]

@@ -1,0 +1,511 @@
+(* Tests for the Golite frontend and the Minir interpreter: compilation
+   of representative programs, runtime semantics, automatic safety
+   checks, the well-formedness checker, and the opaque-pointer pass. *)
+
+module Ty = Minir.Ty
+module Instr = Minir.Instr
+module Value = Minir.Value
+module Interp = Minir.Interp
+open Golite.Dsl
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_int ?memory prog fn args =
+  let memory = Option.value ~default:Value.empty_memory memory in
+  match Interp.run prog ~memory ~fn ~args with
+  | Interp.Returned (Some (Value.VInt n), _) -> n
+  | Interp.Returned _ -> Alcotest.fail "expected an integer result"
+  | Interp.Panicked msg -> Alcotest.fail ("panicked: " ^ msg)
+
+let expect_panic prog fn args =
+  match Interp.run prog ~memory:Value.empty_memory ~fn ~args with
+  | Interp.Panicked msg -> msg
+  | Interp.Returned _ -> Alcotest.fail "expected a panic"
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic, loops, short-circuit                                   *)
+(* ------------------------------------------------------------------ *)
+
+let arith_prog =
+  program []
+    [
+      func "factorial"
+        ~params:[ ("n", tint) ]
+        ~ret:(Some tint)
+        [
+          decl_init "acc" tint (i 1);
+          decl_init "k" tint (i 1);
+          while_
+            (v "k" <= v "n")
+            [ set "acc" (v "acc" * v "k"); set "k" (v "k" + i 1) ];
+          return (v "acc");
+        ];
+      func "abs"
+        ~params:[ ("x", tint) ]
+        ~ret:(Some tint)
+        [ if_ (v "x" < i 0) [ return (neg (v "x")) ] [ return (v "x") ] ];
+      func "safe_div"
+        ~params:[ ("a", tint); ("b", tint) ]
+        ~ret:(Some tint)
+        [ return (v "a" / v "b") ];
+      (* Short-circuit: (b != 0) && (a / b > 1). Division must be skipped
+         when b = 0. *)
+      func "guarded"
+        ~params:[ ("a", tint); ("b", tint) ]
+        ~ret:(Some tint)
+        [
+          if_
+            (v "b" != i 0 && v "a" / v "b" > i 1)
+            [ return (i 1) ]
+            [ return (i 0) ];
+        ];
+      func "loop_control"
+        ~params:[ ("n", tint) ]
+        ~ret:(Some tint)
+        [
+          (* Sum of odd numbers below n, stopping at 100. *)
+          decl_init "sum" tint (i 0);
+          decl_init "k" tint (i 0);
+          while_ (b true)
+            [
+              set "k" (v "k" + i 1);
+              when_ (v "k" >= v "n") [ break_ ];
+              when_ (v "k" % i 2 == i 0) [ continue_ ];
+              set "sum" (v "sum" + v "k");
+              when_ (v "sum" > i 100) [ break_ ];
+            ];
+          return (v "sum");
+        ];
+    ]
+
+let compiled_arith = lazy (Golite.Compile.compile arith_prog)
+
+let test_factorial () =
+  let p = Lazy.force compiled_arith in
+  check_int "5! = 120" 120 (run_int p "factorial" [ Value.VInt 5 ]);
+  check_int "0! = 1" 1 (run_int p "factorial" [ Value.VInt 0 ])
+
+let test_abs () =
+  let p = Lazy.force compiled_arith in
+  check_int "abs -7" 7 (run_int p "abs" [ Value.VInt (-7) ]);
+  check_int "abs 3" 3 (run_int p "abs" [ Value.VInt 3 ])
+
+let test_division_panic () =
+  let p = Lazy.force compiled_arith in
+  check_int "10 / 2" 5 (run_int p "safe_div" [ Value.VInt 10; Value.VInt 2 ]);
+  let msg = expect_panic p "safe_div" [ Value.VInt 1; Value.VInt 0 ] in
+  check_bool "divide-by-zero panic" true
+    (Astring.String.is_infix ~affix:"zero" msg)
+
+let test_short_circuit () =
+  let p = Lazy.force compiled_arith in
+  (* b = 0 must not divide. *)
+  check_int "guard blocks division" 0
+    (run_int p "guarded" [ Value.VInt 10; Value.VInt 0 ]);
+  check_int "guard passes" 1 (run_int p "guarded" [ Value.VInt 10; Value.VInt 2 ])
+
+let test_loop_control () =
+  let p = Lazy.force compiled_arith in
+  (* odds below 7: 1+3+5 = 9 *)
+  check_int "break/continue" 9 (run_int p "loop_control" [ Value.VInt 7 ])
+
+let prop_factorial_matches_ocaml =
+  QCheck.Test.make ~name:"golite factorial = OCaml factorial" ~count:30
+    QCheck.(int_range 0 12)
+    (fun n ->
+      let rec fact k =
+        Stdlib.(if k <= 1 then 1 else k * fact (k - 1))
+      in
+      run_int (Lazy.force compiled_arith) "factorial" [ Value.VInt n ] = fact n)
+
+(* ------------------------------------------------------------------ *)
+(* Structs, arrays, pointers, safety checks                           *)
+(* ------------------------------------------------------------------ *)
+
+let data_prog =
+  program
+    [
+      struct_ "Point" [ ("x", tint); ("y", tint) ];
+      struct_ "Stack" [ ("data", tarray tint 4); ("level", tint) ];
+      struct_ "Node" [ ("value", tint); ("next", tptr (tstruct "Node")) ];
+    ]
+    [
+      func "mk_point"
+        ~params:[ ("x", tint); ("y", tint) ]
+        ~ret:(Some (tptr (tstruct "Point")))
+        [
+          decl_init "p" (tptr (tstruct "Point")) (new_ (tstruct "Point"));
+          set_field (v "p") "x" (v "x");
+          set_field (v "p") "y" (v "y");
+          return (v "p");
+        ];
+      func "manhattan"
+        ~params:[ ("p", tptr (tstruct "Point")) ]
+        ~ret:(Some tint)
+        [ return (v "p" %. "x" + v "p" %. "y") ];
+      (* The paper's Figure-3 stack: push is encapsulated, but the level
+         field is also read directly by external code. *)
+      func "push"
+        ~params:[ ("s", tptr (tstruct "Stack")); ("x", tint) ]
+        ~ret:None
+        [
+          set_index (v "s" %. "data") (v "s" %. "level") (v "x");
+          set_field (v "s") "level" (v "s" %. "level" + i 1);
+          return_void;
+        ];
+      func "stack_sum" ~params:[] ~ret:(Some tint)
+        [
+          decl "s" (tstruct "Stack");
+          expr (call "push" [ v "s"; i 10 ]);
+          expr (call "push" [ v "s"; i 20 ]);
+          expr (call "push" [ v "s"; i 30 ]);
+          decl_init "sum" tint (i 0);
+          decl_init "k" tint (i 0);
+          while_
+            (v "k" < v "s" %. "level")
+            [
+              set "sum" (v "sum" + (v "s" %. "data" %@ v "k"));
+              set "k" (v "k" + i 1);
+            ];
+          return (v "sum");
+        ];
+      (* Pushing 5 elements overflows the 4-cell array: the compiler's
+         bounds check must panic. *)
+      func "stack_overflow" ~params:[] ~ret:(Some tint)
+        [
+          decl "s" (tstruct "Stack");
+          decl_init "k" tint (i 0);
+          while_ (v "k" < i 5)
+            [ expr (call "push" [ v "s"; v "k" ]); set "k" (v "k" + i 1) ];
+          return (v "s" %. "level");
+        ];
+      func "nil_deref" ~params:[] ~ret:(Some tint)
+        [
+          decl_init "p" (tptr (tstruct "Point")) (nil (tstruct "Point"));
+          return (v "p" %. "x");
+        ];
+      (* Linked list length, with heap nodes. *)
+      func "list_len"
+        ~params:[ ("head", tptr (tstruct "Node")) ]
+        ~ret:(Some tint)
+        [
+          decl_init "n" tint (i 0);
+          decl_init "cur" (tptr (tstruct "Node")) (v "head");
+          while_
+            (v "cur" != nil (tstruct "Node"))
+            [ set "n" (v "n" + i 1); set "cur" (v "cur" %. "next") ];
+          return (v "n");
+        ];
+      func "mk_list"
+        ~params:[ ("n", tint) ]
+        ~ret:(Some (tptr (tstruct "Node")))
+        [
+          decl_init "head" (tptr (tstruct "Node")) (nil (tstruct "Node"));
+          decl_init "k" tint (i 0);
+          while_ (v "k" < v "n")
+            [
+              decl_init "node" (tptr (tstruct "Node")) (new_ (tstruct "Node"));
+              set_field (v "node") "value" (v "k");
+              set_field (v "node") "next" (v "head");
+              set "head" (v "node");
+              set "k" (v "k" + i 1);
+            ];
+          return (v "head");
+        ];
+      func "roundtrip"
+        ~params:[ ("n", tint) ]
+        ~ret:(Some tint)
+        [ return (call "list_len" [ call "mk_list" [ v "n" ] ]) ];
+    ]
+
+let compiled_data = lazy (Golite.Compile.compile data_prog)
+
+let test_struct_fields () =
+  let p = Lazy.force compiled_data in
+  match
+    Interp.run p ~memory:Value.empty_memory ~fn:"mk_point"
+      ~args:[ Value.VInt 3; Value.VInt 4 ]
+  with
+  | Interp.Returned (Some (Value.VPtr ptr), mem) -> (
+      match Value.load_mval mem ptr with
+      | Value.MStruct [| Value.MInt 3; Value.MInt 4 |] -> ()
+      | mv -> Alcotest.failf "unexpected struct %a" Value.pp_mval mv)
+  | _ -> Alcotest.fail "expected pointer result"
+
+let test_stack () =
+  let p = Lazy.force compiled_data in
+  check_int "stack sum" 60 (run_int p "stack_sum" [])
+
+let test_stack_overflow_panics () =
+  let p = Lazy.force compiled_data in
+  let msg = expect_panic p "stack_overflow" [] in
+  check_bool "bounds panic" true
+    (Astring.String.is_infix ~affix:"out of range" msg)
+
+let test_nil_deref_panics () =
+  let p = Lazy.force compiled_data in
+  let msg = expect_panic p "nil_deref" [] in
+  check_bool "nil panic" true (Astring.String.is_infix ~affix:"nil" msg)
+
+let prop_list_roundtrip =
+  QCheck.Test.make ~name:"linked list length roundtrip" ~count:30
+    QCheck.(int_range 0 20)
+    (fun n -> run_int (Lazy.force compiled_data) "roundtrip" [ Value.VInt n ] = n)
+
+(* ------------------------------------------------------------------ *)
+(* Type and well-formedness rejection                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_type_errors () =
+  let reject prog =
+    match Golite.Compile.compile prog with
+    | _ -> Alcotest.fail "expected a Golite_error"
+    | exception Golite.Ast.Golite_error _ -> ()
+  in
+  (* int + bool *)
+  reject
+    (program []
+       [
+         func "bad" ~params:[] ~ret:(Some tint)
+           [ return (i 1 + b true) ];
+       ]);
+  (* unknown variable *)
+  reject
+    (program []
+       [ func "bad" ~params:[] ~ret:(Some tint) [ return (v "ghost") ] ]);
+  (* wrong arity *)
+  reject
+    (program []
+       [
+         func "id" ~params:[ ("x", tint) ] ~ret:(Some tint) [ return (v "x") ];
+         func "bad" ~params:[] ~ret:(Some tint) [ return (call "id" []) ];
+       ]);
+  (* return type mismatch *)
+  reject
+    (program []
+       [ func "bad" ~params:[] ~ret:(Some tint) [ return (b true) ] ])
+
+let test_wellform_rejects () =
+  (* Hand-build an ill-formed Minir function: use of undefined register. *)
+  let f =
+    {
+      Instr.fn_name = "broken";
+      params = [];
+      ret_ty = Some Ty.I64;
+      entry = "entry";
+      blocks =
+        [
+          ( "entry",
+            { Instr.insns = []; term = Instr.Ret (Some (Instr.Reg "ghost")) }
+          );
+        ];
+    }
+  in
+  let p = { Instr.tenv = []; funcs = [ f ] } in
+  match Minir.Wellform.check p with
+  | Minir.Wellform.Ok -> Alcotest.fail "expected rejection"
+  | Minir.Wellform.Errors _ -> ()
+
+let test_missing_return_panics () =
+  let prog =
+    program []
+      [
+        func "no_ret" ~params:[ ("x", tint) ] ~ret:(Some tint)
+          [ when_ (v "x" > i 0) [ return (i 1) ] ];
+      ]
+  in
+  let p = Golite.Compile.compile prog in
+  check_int "positive path returns" 1 (run_int p "no_ret" [ Value.VInt 5 ]);
+  let msg = expect_panic p "no_ret" [ Value.VInt (-5) ] in
+  check_bool "missing return" true
+    (Astring.String.is_infix ~affix:"missing return" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Opaque pointer resolution (§5.5)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_opaque_resolution () =
+  (* Hand-write IR that bitcasts a Point* to i8*, byte-offsets to field y
+     (offset 8 under the data layout), and loads/stores through it. *)
+  let tenv =
+    [
+      {
+        Ty.sname = "Point";
+        fields =
+          [ { Ty.fname = "x"; fty = Ty.I64 }; { Ty.fname = "y"; fty = Ty.I64 } ];
+      };
+    ]
+  in
+  let f =
+    {
+      Instr.fn_name = "poke_y";
+      params = [ ("p", Ty.Ptr (Ty.Struct "Point")) ];
+      ret_ty = Some Ty.I64;
+      entry = "entry";
+      blocks =
+        [
+          ( "entry",
+            {
+              Instr.insns =
+                [
+                  Instr.Assign ("raw", Instr.Bitcast (Instr.Reg "p"));
+                  Instr.Assign
+                    ("yptr", Instr.Byte_gep (Instr.Reg "raw", Instr.Const_int 8));
+                  Instr.Opaque_store (Ty.I64, Instr.Const_int 42, Instr.Reg "yptr");
+                  Instr.Assign ("out", Instr.Opaque_load (Ty.I64, Instr.Reg "yptr"));
+                ];
+              term = Instr.Ret (Some (Instr.Reg "out"));
+            } );
+        ];
+    }
+  in
+  let p = { Instr.tenv; funcs = [ f ] } in
+  let resolved = Minir.Opaque.resolve p in
+  Minir.Wellform.check_exn resolved;
+  (* No opaque operations must remain. *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (_, blk) ->
+          List.iter
+            (function
+              | Instr.Assign (_, (Instr.Bitcast _ | Instr.Byte_gep _ | Instr.Opaque_load _))
+              | Instr.Opaque_store _ ->
+                  Alcotest.fail "opaque op left after resolution"
+              | _ -> ())
+            blk.Instr.insns)
+        f.Instr.blocks)
+    resolved.Instr.funcs;
+  (* Execute: allocate a Point, run poke_y, expect 42 and memory updated. *)
+  let mem, ptr =
+    Value.alloc Value.empty_memory
+      (Value.MStruct [| Value.MInt 1; Value.MInt 2 |])
+  in
+  match
+    Interp.run resolved ~memory:mem ~fn:"poke_y" ~args:[ Value.VPtr ptr ]
+  with
+  | Interp.Returned (Some (Value.VInt 42), mem') -> (
+      match Value.load_mval mem' ptr with
+      | Value.MStruct [| Value.MInt 1; Value.MInt 42 |] -> ()
+      | mv -> Alcotest.failf "unexpected memory %a" Value.pp_mval mv)
+  | Interp.Returned _ -> Alcotest.fail "wrong result"
+  | Interp.Panicked m -> Alcotest.fail ("panic: " ^ m)
+
+let test_pretty_printer_smoke () =
+  let p = Lazy.force compiled_data in
+  let s = Minir.Pretty.program_to_string p in
+  check_bool "mentions define" true (Astring.String.is_infix ~affix:"define @push" s);
+  check_bool "mentions panic" true (Astring.String.is_infix ~affix:"panic" s)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax: print/parse round trip                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_print_parse_roundtrip_engine () =
+  (* Every engine version's source survives a print/parse round trip
+     structurally unchanged. *)
+  List.iter
+    (fun cfg ->
+      let p = Engine.Builder.golite_program cfg in
+      let text = Golite.Print.program_to_string p in
+      match Golite.Parse.program_of_string text with
+      | Ok p' ->
+          check_bool (cfg.Engine.Builder.version ^ " roundtrip") true (p = p')
+      | Error m -> Alcotest.failf "%s: %s" cfg.Engine.Builder.version m)
+    (Engine.Versions.all @ [ Engine.Versions.fixed Engine.Versions.dev ])
+
+let test_parse_precedence () =
+  (* 1 + 2 * 3 == 7 && !false *)
+  let src = "func f() bool {\n  return 1 + 2 * 3 == 7 && !false\n}\n" in
+  match Golite.Parse.program_of_string src with
+  | Error m -> Alcotest.fail m
+  | Ok p -> (
+      match (List.hd p.Golite.Ast.funcs).Golite.Ast.body with
+      | [ Golite.Ast.Return (Some e) ] ->
+          let open Golite.Ast in
+          let expected =
+            Binop
+              ( And,
+                Binop
+                  ( Eq,
+                    Binop (Add, Int 1, Binop (Mul, Int 2, Int 3)),
+                    Int 7 ),
+                Unop (Not, Bool false) )
+          in
+          check_bool "precedence" true (e = expected)
+      | _ -> Alcotest.fail "unexpected body")
+
+let test_parse_errors () =
+  let reject src =
+    match Golite.Parse.program_of_string src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("should not parse: " ^ src)
+  in
+  reject "func f( {\n}\n";
+  reject "func f() int {\n  return 1 +\n}\n";
+  reject "struct S {\n  x\n}\n";
+  reject "func f() {\n  1 = 2\n}\n";
+  reject "garbage\n"
+
+let test_parsed_program_compiles_and_runs () =
+  let src =
+    "struct P {\n  x int\n  y int\n}\n\n\
+     func sum(p *P) int {\n  return p.x + p.y\n}\n\n\
+     func main() int {\n\
+    \  var p *P = new(P)\n\
+    \  p.x = 20\n\
+    \  p.y = 22\n\
+    \  return sum(p)\n\
+     }\n"
+  in
+  let prog = Golite.Compile.compile (Golite.Parse.program_of_string_exn src) in
+  check_int "parsed program runs" 42 (run_int prog "main" [])
+
+let () =
+  Alcotest.run "golite"
+    [
+      ( "arith",
+        [
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "abs" `Quick test_abs;
+          Alcotest.test_case "division panic" `Quick test_division_panic;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit;
+          Alcotest.test_case "break/continue" `Quick test_loop_control;
+        ]
+        @ qcheck [ prop_factorial_matches_ocaml ] );
+      ( "data",
+        [
+          Alcotest.test_case "struct fields" `Quick test_struct_fields;
+          Alcotest.test_case "stack push/sum" `Quick test_stack;
+          Alcotest.test_case "stack overflow panics" `Quick
+            test_stack_overflow_panics;
+          Alcotest.test_case "nil deref panics" `Quick test_nil_deref_panics;
+        ]
+        @ qcheck [ prop_list_roundtrip ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+          Alcotest.test_case "wellform rejects" `Quick test_wellform_rejects;
+          Alcotest.test_case "missing return" `Quick test_missing_return_panics;
+        ] );
+      ( "opaque",
+        [
+          Alcotest.test_case "resolution" `Quick test_opaque_resolution;
+          Alcotest.test_case "pretty printer" `Quick test_pretty_printer_smoke;
+        ] );
+      ( "syntax",
+        [
+          Alcotest.test_case "engine sources roundtrip" `Quick
+            test_print_parse_roundtrip_engine;
+          Alcotest.test_case "operator precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "parsed program compiles and runs" `Quick
+            test_parsed_program_compiles_and_runs;
+        ] );
+    ]

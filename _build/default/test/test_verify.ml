@@ -1,0 +1,306 @@
+(* End-to-end verification tests: Specsym against the concrete spec,
+   the refinement checker on corrected and buggy engines, summarization
+   (incl. the Table-1 path structure on the Figure-11 tree), and safety
+   checking (bug 9's reachable panic). *)
+
+module Term = Smt.Term
+module Model = Smt.Model
+module Name = Dns.Name
+module Rr = Dns.Rr
+module Zone = Dns.Zone
+module Message = Dns.Message
+module Layout = Dnstree.Layout
+module Encode = Dnstree.Encode
+module Tree = Dnstree.Tree
+module Rrlookup = Spec.Rrlookup
+module Fixtures = Spec.Fixtures
+module Versions = Engine.Versions
+module Specsym = Refine.Specsym
+module Check = Refine.Check
+module Sval = Symex.Sval
+module Exec = Symex.Exec
+
+let n = Name.of_string_exn
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Specsym ≡ Rrlookup                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Build the model corresponding to a concrete query. *)
+let model_of_query coder (q : Message.query) : Model.t =
+  let codes = Name.codes coder q.Message.qname in
+  let m = Model.add_int "q.len" (List.length codes) Model.empty in
+  List.fold_left
+    (fun (m, j) c -> (Model.add_int (Printf.sprintf "q.n%d" j) c m, j + 1))
+    (m, 0) codes
+  |> fst
+
+let specsym_agrees zone (q : Message.query) : bool =
+  if Name.label_count q.Message.qname > Layout.max_labels then true
+  else begin
+    let enc = Encode.encode (Tree.build zone) in
+    let coder = enc.Encode.interner.Layout.coder in
+    let paths, _ =
+      Specsym.paths zone coder ~qtype:q.Message.qtype
+        ~max_labels:Layout.max_labels
+    in
+    let m = model_of_query coder q in
+    match
+      List.filter (fun (p : Specsym.spath) -> Specsym.cond_holds m p.Specsym.cond) paths
+    with
+    | [ p ] ->
+        let got = Specsym.concretize_response coder m p.Specsym.resp in
+        let want = Rrlookup.resolve zone q in
+        Message.equal_response got want
+    | [] -> false (* paths must cover the whole query space *)
+    | _ :: _ :: _ -> false (* and be disjoint *)
+  end
+
+let test_specsym_reference () =
+  let queries =
+    [
+      ("www.example.com", Rr.A);
+      ("example.com", Rr.NS);
+      ("example.com", Rr.MX);
+      ("nosuch.example.com", Rr.A);
+      ("x.wild.example.com", Rr.A);
+      ("a.b.wild.example.com", Rr.MX);
+      ("wild.example.com", Rr.A);
+      ("c1.example.com", Rr.A);
+      ("l1.example.com", Rr.A);
+      ("host.sub.example.com", Rr.A);
+      ("sub.example.com", Rr.NS);
+      ("intocut.example.com", Rr.A);
+      ("www.other.net", Rr.A);
+      ("x.alias.example.com", Rr.A);
+      ("a.example.com", Rr.TXT);
+    ]
+  in
+  List.iter
+    (fun (qname, qtype) ->
+      check_bool
+        (Printf.sprintf "specsym agrees on %s" qname)
+        true
+        (specsym_agrees Fixtures.reference_zone (Message.query (n qname) qtype)))
+    queries
+
+let prop_specsym_matches_rrlookup =
+  QCheck.Test.make ~name:"Specsym ≡ Rrlookup on generated zones" ~count:25
+    QCheck.(pair (int_range 0 500) (int_range 0 1_000))
+    (fun (seed, qseed) ->
+      let zone = Dns.Zonegen.generate ~seed (n "gen.example") in
+      let rng = Random.State.make [| qseed |] in
+      let q = Dns.Zonegen.random_query ~rng zone in
+      specsym_agrees zone q)
+
+(* ------------------------------------------------------------------ *)
+(* Refinement checking: corrected engines verify clean                *)
+(* ------------------------------------------------------------------ *)
+
+let small_zone =
+  Zone.make (n "example.com")
+    [
+      Rr.soa (n "example.com") ~mname:(n "ns1.example.com") ~serial:7;
+      Rr.ns (n "example.com") (n "ns1.example.com");
+      Rr.a (n "ns1.example.com") 100;
+      Rr.a (n "www.example.com") 1;
+      Rr.cname (n "alias.example.com") (n "www.example.com");
+      Rr.a (n "*.wild.example.com") 5;
+    ]
+
+let test_fixed_verifies_clean () =
+  List.iter
+    (fun qtype ->
+      let r =
+        Check.check_version (Versions.fixed Versions.v3_0) small_zone ~qtype
+      in
+      if not (Check.ok r) then
+        Alcotest.failf "expected clean verification:@.%a" Check.pp_report r;
+      check_bool "stateless" true r.Check.stateless;
+      check_bool "explored engine paths" true (r.Check.engine_paths > 3);
+      check_bool "explored spec paths" true (r.Check.spec_paths > 3))
+    [ Rr.A; Rr.CNAME ]
+
+let test_fixed_verifies_clean_inline_mode () =
+  let r =
+    Check.check_version ~mode:Check.Inline_all (Versions.fixed Versions.v1_0)
+      small_zone ~qtype:Rr.A
+  in
+  if not (Check.ok r) then
+    Alcotest.failf "expected clean verification:@.%a" Check.pp_report r
+
+(* ------------------------------------------------------------------ *)
+(* Refinement checking: seeded bugs are found, with real witnesses    *)
+(* ------------------------------------------------------------------ *)
+
+let expect_caught ?(mode = Check.With_summaries) cfg zone qtype =
+  let r = Check.check_version ~mode cfg zone ~qtype in
+  check_bool
+    (Printf.sprintf "%s/%s: verification must fail" cfg.Engine.Builder.version
+       (Rr.rtype_to_string qtype))
+    false (Check.ok r);
+  (* Every reported mismatch must replay to a genuine divergence. *)
+  List.iter
+    (fun (m : Check.mismatch) ->
+      let engine = Engine.Versions.run cfg zone m.Check.query in
+      let spec = Rrlookup.resolve zone m.Check.query in
+      match engine with
+      | Engine.Versions.Engine_panic _ -> ()
+      | Engine.Versions.Response r' ->
+          check_bool "witness diverges concretely" false
+            (Message.equal_response r' spec))
+    r.Check.mismatches;
+  r
+
+let test_bug1_caught () =
+  let w = Fixtures.witness 1 in
+  ignore (expect_caught Versions.v1_0 w.Fixtures.zone Rr.MX)
+
+let test_bug3_caught () =
+  let w = Fixtures.witness 3 in
+  ignore (expect_caught Versions.v1_0 w.Fixtures.zone Rr.MX)
+
+let test_bug6_caught () =
+  let w = Fixtures.witness 6 in
+  ignore (expect_caught Versions.v2_0 w.Fixtures.zone Rr.A)
+
+let test_bug8_caught () =
+  let w = Fixtures.witness 8 in
+  ignore (expect_caught Versions.v3_0 w.Fixtures.zone Rr.A)
+
+let test_bug9_panic_found () =
+  let w = Fixtures.witness 9 in
+  let r = Check.check_version Versions.dev w.Fixtures.zone ~qtype:Rr.A in
+  check_bool "a reachable panic is reported" true (r.Check.panics <> []);
+  (* The panic witness replays to a concrete crash. *)
+  List.iter
+    (fun (p : Check.panic_report) ->
+      match Engine.Versions.run Versions.dev w.Fixtures.zone p.Check.panic_query with
+      | Engine.Versions.Engine_panic _ -> ()
+      | Engine.Versions.Response _ ->
+          Alcotest.fail "panic witness must crash concretely")
+    r.Check.panics
+
+(* ------------------------------------------------------------------ *)
+(* Summarization: the Table-1 experiment (Figure 11 tree)             *)
+(* ------------------------------------------------------------------ *)
+
+let tree_search_paths () =
+  let enc = Encode.encode (Tree.build Fixtures.figure11_zone) in
+  let prog = Versions.compiled (Versions.fixed Versions.v3_0) in
+  let ctx = Exec.create prog in
+  let mem0 = Sval.memory_of_concrete enc.Encode.memory in
+  let mem0, stack_ptr =
+    Sval.alloc mem0 (Sval.scell_default prog.Minir.Instr.tenv (Minir.Ty.Struct "NodeStack"))
+  in
+  let mem0, res_ptr =
+    Sval.alloc mem0
+      (Sval.scell_default prog.Minir.Instr.tenv (Minir.Ty.Struct "SearchResult"))
+  in
+  let mem0, qname_ptr =
+    Sval.alloc mem0
+      (Sval.CArray
+         (Array.init Layout.max_labels (fun j -> Sval.CInt (Specsym.qsym_label j))))
+  in
+  let coder = enc.Encode.interner.Layout.coder in
+  let pc =
+    Specsym.under coder (Zone.origin Fixtures.figure11_zone)
+    :: Specsym.domain_constraints ~max_labels:Layout.max_labels
+  in
+  let args =
+    [
+      Sval.SPtr enc.Encode.root;
+      Sval.SPtr stack_ptr;
+      Sval.SPtr res_ptr;
+      Sval.SPtr qname_ptr;
+      Sval.SInt Specsym.qsym_len;
+      Sval.SBool Term.false_;
+    ]
+  in
+  (Exec.run ctx ~memory:mem0 ~pc ~fn:"treeSearch" ~args, res_ptr, enc)
+
+let test_table1_path_count () =
+  let results, _, _ = tree_search_paths () in
+  (* The paper's Table 1 lists exactly 14 execution paths (P0–P13) for
+     TreeSearch on the Figure-11 tree. *)
+  check_int "TreeSearch paths on the Figure-11 tree" 14 (List.length results);
+  List.iter
+    (fun ((_ : Exec.path), outcome) ->
+      match outcome with
+      | Exec.Returned None -> ()
+      | Exec.Returned (Some _) -> Alcotest.fail "treeSearch is void"
+      | Exec.Panicked m -> Alcotest.failf "treeSearch panicked: %s" m)
+    results
+
+let test_table1_witnesses () =
+  (* Each path condition is satisfiable and its model is a qname that,
+     replayed concretely, reaches the recorded result node. *)
+  let results, res_ptr, enc = tree_search_paths () in
+  let coder = enc.Encode.interner.Layout.coder in
+  List.iter
+    (fun ((path : Exec.path), _) ->
+      match Smt.Solver.check path.Exec.pc with
+      | Smt.Solver.Sat m ->
+          let q = Specsym.query_of_model coder m ~qtype:Rr.A in
+          check_bool "witness under origin" true
+            (Name.is_under
+               ~ancestor:(Zone.origin Fixtures.figure11_zone)
+               q.Message.qname);
+          (* The symbolic result node pointer is concrete. *)
+          let cell = Sval.load_cell path.Exec.mem res_ptr in
+          (match cell with
+          | Sval.CStruct [| node; _kind |] ->
+              check_bool "result node concrete" true
+                (match node with Sval.CPtr _ | Sval.CNull -> true | _ -> false)
+          | _ -> Alcotest.fail "malformed SearchResult")
+      | _ -> Alcotest.fail "path condition must be satisfiable")
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Summary reuse across call sites                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_cache_effective () =
+  let r =
+    Check.check_version (Versions.fixed Versions.v2_0) small_zone ~qtype:Rr.A
+  in
+  if not (Check.ok r) then
+    Alcotest.failf "expected clean verification:@.%a" Check.pp_report r;
+  (* At least some layers were summarized. *)
+  check_bool "summaries computed" true (r.Check.summary_cases <> []);
+  List.iter
+    (fun (fn, cases) ->
+      check_bool (fn ^ " has cases") true (cases > 0))
+    r.Check.summary_cases
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "specsym",
+        [ Alcotest.test_case "agrees on reference zone" `Quick test_specsym_reference ]
+        @ qcheck [ prop_specsym_matches_rrlookup ] );
+      ( "refinement",
+        [
+          Alcotest.test_case "fixed engine verifies clean" `Slow
+            test_fixed_verifies_clean;
+          Alcotest.test_case "inline mode verifies clean" `Slow
+            test_fixed_verifies_clean_inline_mode;
+          Alcotest.test_case "bug 1 caught" `Slow test_bug1_caught;
+          Alcotest.test_case "bug 3 caught" `Slow test_bug3_caught;
+          Alcotest.test_case "bug 6 caught" `Slow test_bug6_caught;
+          Alcotest.test_case "bug 8 caught" `Slow test_bug8_caught;
+          Alcotest.test_case "bug 9 panic found" `Slow test_bug9_panic_found;
+        ] );
+      ( "summarization",
+        [
+          Alcotest.test_case "Table-1 path count (14)" `Quick
+            test_table1_path_count;
+          Alcotest.test_case "Table-1 witnesses" `Quick test_table1_witnesses;
+          Alcotest.test_case "summary cache effective" `Slow
+            test_summary_cache_effective;
+        ] );
+    ]
