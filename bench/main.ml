@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- table3    # just Table 3
      dune exec bench/main.exe -- fig12     # just Figure 12
      dune exec bench/main.exe -- micro     # just the Bechamel benches
-     dune exec bench/main.exe -- ablation  # summaries vs. inlining *)
+     dune exec bench/main.exe -- ablation  # summaries vs. inlining
+     dune exec bench/main.exe -- json      # budget-consumption stats (JSON) *)
 
 open Bechamel
 open Toolkit
@@ -75,6 +76,100 @@ let ablation () =
   Printf.printf
     "\nSummaries amortize re-exploration across call sites; both modes must\n";
   Printf.printf "agree on the verification verdict.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* JSON budget-consumption report                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled JSON (no JSON library in the dependency set): one
+   whole-pipeline verification with a tracked budget, reported as
+   per-phase consumption — solver calls, paths, retries, wall time. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_obj fields =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> json_str k ^ ": " ^ v) fields)
+  ^ "}"
+
+let json_of_status = function
+  | Budget.Proved -> json_str "proved"
+  | Budget.Refuted _ -> json_str "refuted"
+  | Budget.Inconclusive r -> json_str ("inconclusive:" ^ Budget.reason_tag r)
+
+let json () =
+  let cfg = Engine.Versions.fixed Engine.Versions.v3_0 in
+  let zone = Spec.Fixtures.reference_zone in
+  let budget = Budget.create () in
+  let t0 = Unix.gettimeofday () in
+  let v = Dnsv.Pipeline.verify ~budget cfg zone in
+  let wall = Unix.gettimeofday () -. t0 in
+  let layer_phase (r : Refine.Layers.layer_report) =
+    json_obj
+      [
+        ("phase", json_str ("layer:" ^ r.Refine.Layers.layer));
+        ("paths", string_of_int r.Refine.Layers.code_paths);
+        ("pairs", string_of_int r.Refine.Layers.pairs);
+        ("unknowns", string_of_int r.Refine.Layers.unknowns);
+        ( "status",
+          match r.Refine.Layers.inconclusive with
+          | Some reason -> json_str ("inconclusive:" ^ Budget.reason_tag reason)
+          | None -> json_str (if Refine.Layers.layer_ok r then "ok" else "mismatch") );
+        ("wall_s", Printf.sprintf "%.4f" r.Refine.Layers.elapsed);
+      ]
+  in
+  let engine_phase (r : Refine.Check.report) =
+    json_obj
+      [
+        ( "phase",
+          json_str ("engine:" ^ Refine.Check.Rr.rtype_to_string r.Refine.Check.qtype) );
+        ("solver_calls", string_of_int r.Refine.Check.solver_calls);
+        ("paths", string_of_int r.Refine.Check.engine_paths);
+        ("unknowns", string_of_int r.Refine.Check.unknowns);
+        ( "summary_fallback",
+          string_of_bool r.Refine.Check.summary_fallback );
+        ("status", json_of_status (Refine.Check.status r));
+        ("wall_s", Printf.sprintf "%.4f" r.Refine.Check.elapsed);
+      ]
+  in
+  let phases =
+    List.map layer_phase v.Dnsv.Pipeline.layer_reports
+    @ List.map engine_phase v.Dnsv.Pipeline.reports
+  in
+  let c = Budget.consumption budget in
+  print_endline
+    (json_obj
+       [
+         ("engine", json_str v.Dnsv.Pipeline.version);
+         ("zone_origin", json_str v.Dnsv.Pipeline.zone_origin);
+         ("status", json_of_status (Dnsv.Pipeline.status v));
+         ("wall_s", Printf.sprintf "%.4f" wall);
+         ("retries", string_of_int v.Dnsv.Pipeline.retries);
+         ( "budget",
+           json_obj
+             [
+               ("solver_steps_used", string_of_int c.Budget.solver_steps_used);
+               ("paths_used", string_of_int c.Budget.paths_used);
+               ("fuel_used", string_of_int c.Budget.fuel_used);
+               ("retries_used", string_of_int c.Budget.retries_used);
+             ] );
+         ("phases", "[" ^ String.concat ", " phases ^ "]");
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per experiment)           *)
@@ -175,11 +270,12 @@ let () =
       | "table3" -> table3 ()
       | "fig12" -> fig12 ()
       | "ablation" -> ablation ()
+      | "json" -> json ()
       | "micro" -> run_micro ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected \
-             table1|table2|table3|fig12|ablation|micro)\n"
+             table1|table2|table3|fig12|ablation|json|micro)\n"
             other;
           exit 2)
     targets

@@ -22,12 +22,15 @@ let version_arg =
   let doc = "Engine version: 1.0, 2.0, 3.0, dev, or <v>-fixed." in
   Arg.(value & opt string "3.0-fixed" & info [ "e"; "engine" ] ~docv:"VERSION" ~doc)
 
+(* Exit codes: 0 = proved, 1 = refuted, 2 = inconclusive, 3 = internal
+   or usage error. *)
+
 let config_of_version v =
   match Engine.Versions.find v with
   | Some cfg -> cfg
   | None ->
       Printf.eprintf "unknown engine version %s\n" v;
-      exit 2
+      exit 3
 
 let zone_file_arg =
   let doc = "Zone file (master-file format with $ORIGIN). Defaults to the built-in reference zone." in
@@ -52,10 +55,10 @@ let load_zone = function
               List.iter
                 (fun e -> Format.eprintf "zone error: %a@." Zone.pp_error e)
                 errs;
-              exit 2)
+              exit 3)
       | Error m ->
           Printf.eprintf "cannot parse %s: %s\n" file m;
-          exit 2)
+          exit 3)
 
 let qtype_arg =
   let parse s =
@@ -77,18 +80,50 @@ let qtypes_arg =
 (* verify                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let deadline_arg =
+  let doc = "Wall-clock deadline in seconds for the whole verification." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+
+let solver_steps_arg =
+  let doc = "Maximum number of solver calls before giving up." in
+  Arg.(value & opt (some int) None & info [ "solver-steps" ] ~docv:"N" ~doc)
+
+let max_paths_arg =
+  let doc = "Maximum number of symbolic execution forks before giving up." in
+  Arg.(value & opt (some int) None & info [ "max-paths" ] ~docv:"N" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry inconclusive checks up to $(docv) times under escalated \
+     (geometrically growing) budgets."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
 let verify_cmd =
-  let run version zone_file qtypes inline no_layers =
+  let run version zone_file qtypes inline no_layers deadline solver_steps
+      max_paths retries =
     let cfg = config_of_version version in
     let zone = load_zone zone_file in
     let mode =
       if inline then Refine.Check.Inline_all else Refine.Check.With_summaries
     in
+    let budget =
+      Budget.create ?deadline_s:deadline ?solver_steps ?max_paths ()
+    in
     let verdict =
-      Dnsv.Pipeline.verify ~qtypes ~mode ~check_layers:(not no_layers) cfg zone
+      try
+        Dnsv.Pipeline.verify ~qtypes ~mode ~check_layers:(not no_layers)
+          ~budget ~retries cfg zone
+      with e ->
+        Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
+        exit 3
     in
     print_string (Dnsv.Pipeline.verdict_to_string verdict);
-    if Dnsv.Pipeline.clean verdict then exit 0 else exit 1
+    match Dnsv.Pipeline.status verdict with
+    | Budget.Proved -> exit 0
+    | Budget.Refuted _ -> exit 1
+    | Budget.Inconclusive (Budget.Internal_error _) -> exit 3
+    | Budget.Inconclusive _ -> exit 2
   in
   let inline =
     Arg.(value & flag & info [ "inline" ] ~doc:"Inline all layers instead of summarizing.")
@@ -98,8 +133,18 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Verify an engine version against the top-level specification")
-    Term.(const run $ version_arg $ zone_file_arg $ qtypes_arg $ inline $ no_layers)
+       ~doc:"Verify an engine version against the top-level specification"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 on a full proof, 1 when a counterexample was found, 2 when \
+              the result is inconclusive (budget exhausted, solver unknowns, \
+              summary failure), 3 on internal or usage errors.";
+         ])
+    Term.(
+      const run $ version_arg $ zone_file_arg $ qtypes_arg $ inline $ no_layers
+      $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg)
 
 (* ------------------------------------------------------------------ *)
 (* layers                                                             *)
@@ -263,10 +308,14 @@ let () =
         "DNS-V: automated verification of an in-production DNS authoritative \
          engine"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            verify_cmd; layers_cmd; summarize_cmd; bugs_cmd; zonegen_cmd;
-            replay_cmd; source_cmd; rawname_cmd;
-          ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [
+           verify_cmd; layers_cmd; summarize_cmd; bugs_cmd; zonegen_cmd;
+           replay_cmd; source_cmd; rawname_cmd;
+         ])
+  in
+  (* Fold cmdliner's cli/internal error codes (124/125) into the
+     documented contract: 3 = internal or usage error. *)
+  exit (if code = 124 || code = 125 then 3 else code)

@@ -1,0 +1,199 @@
+(* Resource budgets and three-valued verification outcomes.
+
+   The paper's portability claim (§7: re-verifying a new engine version
+   in under a person-week) presumes the verifier itself never hangs or
+   silently under-reports. This module is the discipline that makes that
+   true: every checking entry point threads one [Budget.t] — a
+   wall-clock deadline, a solver-call budget, a symbolic-execution path
+   cap, and interpreter/executor fuel — and terminates within it,
+   reporting [Inconclusive] with a machine-readable [reason] instead of
+   raising or looping. [Proved]/[Refuted]/[Inconclusive] replaces the
+   boolean clean/dirty verdict wherever solver incompleteness or budget
+   exhaustion could otherwise let an unfinished check masquerade as a
+   proof. *)
+
+(* Why a verification attempt stopped short of a verdict. Each carries
+   enough structure for machine consumption (tests, exit codes, bench
+   JSON) as well as a human rendering. *)
+type reason =
+  | Deadline_exceeded of { limit_s : float }
+  | Solver_steps_exhausted of { limit : int }
+  | Path_cap_exceeded of { limit : int }
+  | Fuel_exhausted of { limit : int }
+  | Solver_unknowns of { count : int } (* a check leaned on Unknown *)
+  | Summary_failed of string (* summarization raised or failed validation *)
+  | Injected_fault of string (* a Faultinject hook fired *)
+  | Internal_error of string (* an unexpected exception, captured *)
+
+(* Short machine-readable tag, stable across renderings. *)
+let reason_tag = function
+  | Deadline_exceeded _ -> "deadline-exceeded"
+  | Solver_steps_exhausted _ -> "solver-steps-exhausted"
+  | Path_cap_exceeded _ -> "path-cap-exceeded"
+  | Fuel_exhausted _ -> "fuel-exhausted"
+  | Solver_unknowns _ -> "solver-unknowns"
+  | Summary_failed _ -> "summary-failed"
+  | Injected_fault _ -> "injected-fault"
+  | Internal_error _ -> "internal-error"
+
+let reason_to_string = function
+  | Deadline_exceeded { limit_s } ->
+      Printf.sprintf "wall-clock deadline of %.3fs exceeded" limit_s
+  | Solver_steps_exhausted { limit } ->
+      Printf.sprintf "solver budget of %d calls exhausted" limit
+  | Path_cap_exceeded { limit } ->
+      Printf.sprintf "symbolic-execution path cap of %d exceeded" limit
+  | Fuel_exhausted { limit } ->
+      Printf.sprintf "execution fuel of %d steps exhausted" limit
+  | Solver_unknowns { count } ->
+      Printf.sprintf "%d solver Unknown(s) left the check incomplete" count
+  | Summary_failed m -> "summary failed: " ^ m
+  | Injected_fault m -> "injected fault: " ^ m
+  | Internal_error m -> "internal error: " ^ m
+
+let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)
+
+(* Budget exhaustion is retryable with a larger budget; unknowns may
+   disappear under escalation too (different search order); injected
+   faults and internal errors are not resource problems. *)
+let retryable = function
+  | Deadline_exceeded _ | Solver_steps_exhausted _ | Path_cap_exceeded _
+  | Fuel_exhausted _ | Solver_unknowns _ | Summary_failed _ ->
+      true
+  | Injected_fault _ | Internal_error _ -> false
+
+(* The three-valued verdict: a check either discharges its obligation,
+   refutes it with a counterexample, or stops with a reason. *)
+type 'a outcome = Proved | Refuted of 'a | Inconclusive of reason
+
+exception Exhausted of reason
+
+(* Limits are optional (None = unlimited); consumption counters are
+   mutable and shared by everyone holding the same [t], so one budget
+   threaded through a whole pipeline run bounds the run globally. *)
+type t = {
+  deadline : float option; (* absolute, seconds since the epoch *)
+  deadline_s : float option; (* the original relative allowance *)
+  max_solver_steps : int option;
+  max_paths : int option;
+  max_fuel : int option;
+  mutable solver_steps : int;
+  mutable paths : int;
+  mutable fuel : int;
+  mutable retries : int; (* escalations performed under this lineage *)
+}
+
+(* Injected clock skew lets tests simulate a deadline overrun without
+   sleeping. *)
+let now () = Unix.gettimeofday () +. Faultinject.clock_skew ()
+
+let create ?deadline_s ?solver_steps ?max_paths ?fuel () : t =
+  {
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
+    deadline_s;
+    max_solver_steps = solver_steps;
+    max_paths;
+    max_fuel = fuel;
+    solver_steps = 0;
+    paths = 0;
+    fuel = 0;
+    retries = 0;
+  }
+
+let unlimited () = create ()
+
+let is_unlimited (b : t) =
+  b.deadline = None && b.max_solver_steps = None && b.max_paths = None
+  && b.max_fuel = None
+
+let check_deadline (b : t) =
+  match b.deadline with
+  | Some d when now () > d ->
+      raise
+        (Exhausted
+           (Deadline_exceeded { limit_s = Option.value ~default:0.0 b.deadline_s }))
+  | _ -> ()
+
+let tick_solver (b : t) =
+  b.solver_steps <- b.solver_steps + 1;
+  (match b.max_solver_steps with
+  | Some limit when b.solver_steps > limit ->
+      raise (Exhausted (Solver_steps_exhausted { limit }))
+  | _ -> ());
+  (* Solver calls dominate verification time, so they are the natural
+     cadence for the (syscall-priced) deadline check. *)
+  check_deadline b
+
+let tick_path (b : t) =
+  b.paths <- b.paths + 1;
+  match b.max_paths with
+  | Some limit when b.paths > limit ->
+      raise (Exhausted (Path_cap_exceeded { limit }))
+  | _ -> ()
+
+(* Fuel ticks fire once per instruction; amortize the deadline syscall. *)
+let deadline_stride = 4096
+
+let tick_fuel (b : t) =
+  b.fuel <- b.fuel + 1;
+  (match b.max_fuel with
+  | Some limit when b.fuel > limit -> raise (Exhausted (Fuel_exhausted { limit }))
+  | _ -> ());
+  if b.fuel land (deadline_stride - 1) = 0 then check_deadline b
+
+(* A geometrically larger budget with fresh counters: limits scale by
+   [factor], the deadline restarts from now with a scaled allowance.
+   This is the escalation step of retry-with-escalation — CEGAR-style
+   "Unknown + escalate" instead of "crash or lie". *)
+let escalate ?(factor = 2) (b : t) : t =
+  let scale_i = Option.map (fun n -> n * factor) in
+  let deadline_s = Option.map (fun s -> s *. float_of_int factor) b.deadline_s in
+  {
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
+    deadline_s;
+    max_solver_steps = scale_i b.max_solver_steps;
+    max_paths = scale_i b.max_paths;
+    max_fuel = scale_i b.max_fuel;
+    solver_steps = 0;
+    paths = 0;
+    fuel = 0;
+    retries = b.retries + 1;
+  }
+
+(* Consumption snapshot for reporting (bench JSON, verdict stats). *)
+type consumption = {
+  solver_steps_used : int;
+  paths_used : int;
+  fuel_used : int;
+  retries_used : int;
+}
+
+let consumption (b : t) : consumption =
+  {
+    solver_steps_used = b.solver_steps;
+    paths_used = b.paths;
+    fuel_used = b.fuel;
+    retries_used = b.retries;
+  }
+
+(* Map an escaped exception to a reason. Layer-specific exceptions
+   (e.g. Minir.Interp.Out_of_fuel) are classified by their catchers,
+   which see the richer context; this is the generic fallback. *)
+let reason_of_exn = function
+  | Exhausted r -> r
+  | Faultinject.Injected m -> Injected_fault m
+  | Stack_overflow -> Internal_error "stack overflow"
+  | Out_of_memory -> Internal_error "out of memory"
+  | e -> Internal_error (Printexc.to_string e)
+
+(* Run [f] under [b], converting exhaustion and escaped exceptions into
+   an [Error reason]. Never raises for the known failure modes. *)
+let protect (b : t) (f : unit -> 'a) : ('a, reason) result =
+  match
+    check_deadline b;
+    f ()
+  with
+  | v -> Ok v
+  | exception (Exhausted _ as e) -> Error (reason_of_exn e)
+  | exception (Faultinject.Injected _ as e) -> Error (reason_of_exn e)
+  | exception Stack_overflow -> Error (Internal_error "stack overflow")

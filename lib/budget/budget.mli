@@ -1,0 +1,81 @@
+(* Resource budgets and three-valued verification outcomes.
+
+   One [Budget.t] — wall-clock deadline, solver-call budget, path cap,
+   execution fuel — is threaded through every checking entry point
+   (Smt.Solver, Symex.Exec, Refine.Check, Refine.Layers,
+   Dnsv.Pipeline), so each terminates within its budget and reports
+   [Inconclusive] with a machine-readable [reason] instead of raising
+   or looping. *)
+
+type reason =
+  | Deadline_exceeded of { limit_s : float }
+  | Solver_steps_exhausted of { limit : int }
+  | Path_cap_exceeded of { limit : int }
+  | Fuel_exhausted of { limit : int }
+  | Solver_unknowns of { count : int } (* a check leaned on Unknown *)
+  | Summary_failed of string (* summarization raised or failed validation *)
+  | Injected_fault of string (* a Faultinject hook fired *)
+  | Internal_error of string (* an unexpected exception, captured *)
+
+(* Short stable machine-readable tag, e.g. "deadline-exceeded". *)
+val reason_tag : reason -> string
+val reason_to_string : reason -> string
+val pp_reason : Format.formatter -> reason -> unit
+
+(* Whether retrying with an escalated budget could plausibly succeed. *)
+val retryable : reason -> bool
+
+(* The three-valued verdict replacing boolean clean/dirty. *)
+type 'a outcome = Proved | Refuted of 'a | Inconclusive of reason
+
+exception Exhausted of reason
+
+type t = {
+  deadline : float option; (* absolute, seconds since the epoch *)
+  deadline_s : float option; (* the original relative allowance *)
+  max_solver_steps : int option;
+  max_paths : int option;
+  max_fuel : int option;
+  mutable solver_steps : int;
+  mutable paths : int;
+  mutable fuel : int;
+  mutable retries : int;
+}
+
+(* Current time as the budget sees it (includes injected clock skew). *)
+val now : unit -> float
+
+val create :
+  ?deadline_s:float -> ?solver_steps:int -> ?max_paths:int -> ?fuel:int ->
+  unit -> t
+
+val unlimited : unit -> t
+val is_unlimited : t -> bool
+
+(* Each tick charges one unit and raises [Exhausted] past the limit.
+   [tick_solver] also checks the deadline (solver calls are the natural
+   cadence); [tick_fuel] checks it every 4096 steps. *)
+val check_deadline : t -> unit
+val tick_solver : t -> unit
+val tick_path : t -> unit
+val tick_fuel : t -> unit
+
+(* A geometrically larger budget with fresh counters ([factor] default
+   2); the deadline restarts from now with a scaled allowance. *)
+val escalate : ?factor:int -> t -> t
+
+type consumption = {
+  solver_steps_used : int;
+  paths_used : int;
+  fuel_used : int;
+  retries_used : int;
+}
+
+val consumption : t -> consumption
+
+(* Classify an escaped exception ([Exhausted], [Faultinject.Injected],
+   Stack_overflow, …) as a reason. *)
+val reason_of_exn : exn -> reason
+
+(* Run [f] under [b]; exhaustion and injected faults become [Error]. *)
+val protect : t -> (unit -> 'a) -> ('a, reason) result

@@ -2,7 +2,14 @@
    engine version — dependency layers against their manual
    specifications, then the whole engine (with automatic summaries at
    the resolution layers) against the top-level specification, for a
-   set of query types over one or many zone configurations. *)
+   set of query types over one or many zone configurations.
+
+   Every entry point is resource-governed: one [Budget.t] (wall-clock
+   deadline, solver budget, path cap, fuel) bounds the whole run, query
+   types are fault-isolated from each other, inconclusive obligations
+   are retried under geometrically escalated budgets, and the verdict is
+   three-valued — a check that leaned on a solver Unknown or stopped
+   short is reported inconclusive, never silently clean. *)
 
 module Rr = Dns.Rr
 module Zone = Dns.Zone
@@ -21,12 +28,50 @@ type verdict = {
   zone_origin : string;
   layer_reports : Layers.layer_report list;
   reports : Check.report list; (* one per query type *)
+  retries : int; (* budget escalations performed across all checks *)
   elapsed : float;
 }
 
-let clean (v : verdict) =
-  List.for_all Layers.layer_ok v.layer_reports
-  && List.for_all Check.ok v.reports
+(* Total solver Unknowns the verdict's checks leaned on. *)
+let unknowns (v : verdict) =
+  List.fold_left (fun a (r : Check.report) -> a + r.Check.unknowns) 0 v.reports
+  + List.fold_left
+      (fun a (r : Layers.layer_report) -> a + r.Layers.unknowns)
+      0 v.layer_reports
+
+(* The three-valued verdict. Refutation wins over inconclusiveness: a
+   confirmed counterexample is a real bug even if another query type
+   ran out of budget. *)
+let status (v : verdict) : verdict Budget.outcome =
+  let refuted =
+    List.exists (fun (r : Check.report) -> not (Check.ok r)) v.reports
+    || List.exists
+         (fun (r : Layers.layer_report) -> r.Layers.mismatches <> [])
+         v.layer_reports
+  in
+  if refuted then Budget.Refuted v
+  else
+    let first_reason =
+      List.find_map (fun (r : Check.report) -> r.Check.inconclusive) v.reports
+    in
+    let first_reason =
+      match first_reason with
+      | Some _ -> first_reason
+      | None ->
+          List.find_map
+            (fun (r : Layers.layer_report) -> r.Layers.inconclusive)
+            v.layer_reports
+    in
+    match first_reason with
+    | Some reason -> Budget.Inconclusive reason
+    | None ->
+        let u = unknowns v in
+        if u > 0 then Budget.Inconclusive (Budget.Solver_unknowns { count = u })
+        else Budget.Proved
+
+(* [clean] now means *proved*: a verdict that relied on a solver
+   Unknown or stopped short of its budget is not clean. *)
+let clean (v : verdict) = match status v with Budget.Proved -> true | _ -> false
 
 let issues (v : verdict) =
   List.concat_map
@@ -44,54 +89,157 @@ let issues (v : verdict) =
               (Rr.rtype_to_string r.Check.qtype)
               (Format.asprintf "%a" Dns.Message.pp_query p.Check.panic_query)
               p.Check.reason)
-          r.Check.panics)
+          r.Check.panics
+      @
+      match r.Check.inconclusive with
+      | Some reason ->
+          [
+            Printf.sprintf "[%s] inconclusive: %s"
+              (Rr.rtype_to_string r.Check.qtype)
+              (Budget.reason_to_string reason);
+          ]
+      | None -> [])
     v.reports
 
-(* Verify [cfg] on [zone] for [qtypes]. *)
+(* Verify [cfg] on [zone] for [qtypes].
+
+   Fault isolation is per query type: an exception or budget exhaustion
+   in one [check_version] downgrades that report to inconclusive and
+   the remaining query types still run. A retryable inconclusive report
+   is retried up to [retries] times, each under a budget [escalation]×
+   larger (fresh counters, restarted deadline). *)
 let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
-    ?(check_layers = true) (cfg : Builder.config) (zone : Zone.t) : verdict =
+    ?(check_layers = true) ?budget ?(retries = 0) ?(escalation = 2)
+    (cfg : Builder.config) (zone : Zone.t) : verdict =
   let t0 = Unix.gettimeofday () in
-  let prog = Versions.compiled cfg in
-  let layer_reports = if check_layers then Layers.check_all ~zone prog else [] in
-  let reports =
-    List.map (fun qtype -> Check.check_version ~mode cfg zone ~qtype) qtypes
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let retries_done = ref 0 in
+  let layer_reports =
+    if not check_layers then []
+    else
+      match Versions.compiled cfg with
+      | prog -> Layers.check_all ~zone ~budget prog
+      | exception e ->
+          (* The version failed to compile: one synthetic inconclusive
+             layer report carries the reason, engine checks still run
+             their own (memoized, possibly succeeding) compilation. *)
+          [
+            {
+              Layers.layer = "(compile)";
+              code_paths = 0;
+              spec_paths = 0;
+              pairs = 0;
+              mismatches = [];
+              unknowns = 0;
+              inconclusive = Some (Budget.reason_of_exn e);
+              elapsed = 0.0;
+            };
+          ]
   in
+  let check_one qtype : Check.report =
+    let rec go attempt b =
+      let r =
+        try Check.check_version ~budget:b ~mode cfg zone ~qtype
+        with e ->
+          (* check_version converts its own failures; this catches
+             anything escaping before it (e.g. zone encoding). *)
+          Check.inconclusive_report ~version:cfg.Builder.version ~qtype
+            ~elapsed:0.0 (Check.reason_of_check_exn e)
+      in
+      match Check.status r with
+      | Budget.Inconclusive reason
+        when attempt < retries && Budget.retryable reason ->
+          incr retries_done;
+          go (attempt + 1) (Budget.escalate ~factor:escalation b)
+      | _ -> r
+    in
+    go 0 budget
+  in
+  let reports = List.map check_one qtypes in
   {
     version = cfg.Builder.version;
     zone_origin = Name.to_string (Zone.origin zone);
     layer_reports;
     reports;
+    retries = !retries_done;
     elapsed = Unix.gettimeofday () -. t0;
   }
 
 (* Verify over a batch of generated zone configurations (§6.5: each run
    proves correctness for one concrete zone snapshot). Stops at the
-   first zone exposing an issue, or verifies them all. *)
+   first zone exposing a confirmed issue; under a shared budget a
+   deadline overrun ends the batch with partial results instead of
+   hanging, and per-zone inconclusive verdicts are counted without
+   aborting the rest. *)
 type batch_outcome =
   | All_clean of int (* zones verified *)
   | Failed of { zone_index : int; verdict : verdict }
+  | Partial of {
+      zones_done : int; (* zones proved clean before stopping *)
+      inconclusive_zones : int;
+      reason : Budget.reason; (* why the batch is incomplete *)
+    }
 
-let verify_batch ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
-    (cfg : Builder.config) (origin : Name.t) : batch_outcome =
+let verify_batch ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0) ?budget
+    ?(retries = 0) (cfg : Builder.config) (origin : Name.t) : batch_outcome =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let zones = Dns.Zonegen.generate_many ~seed ~count origin in
-  let rec go i = function
-    | [] -> All_clean count
-    | zone :: rest ->
-        let v = verify ~qtypes ~check_layers:(i = 0) cfg zone in
-        if clean v then go (i + 1) rest
-        else Failed { zone_index = i; verdict = v }
+  let rec go i proved inconcl first_reason = function
+    | [] ->
+        if inconcl = 0 then All_clean count
+        else
+          Partial
+            {
+              zones_done = proved;
+              inconclusive_zones = inconcl;
+              reason =
+                Option.value first_reason
+                  ~default:(Budget.Internal_error "inconclusive zones");
+            }
+    | zone :: rest -> (
+        let v =
+          verify ~qtypes ~check_layers:(i = 0) ~budget ~retries cfg zone
+        in
+        match status v with
+        | Budget.Proved -> go (i + 1) (proved + 1) inconcl first_reason rest
+        | Budget.Refuted _ -> Failed { zone_index = i; verdict = v }
+        | Budget.Inconclusive reason -> (
+            let first =
+              match first_reason with Some _ -> first_reason | None -> Some reason
+            in
+            match reason with
+            | Budget.Deadline_exceeded _ ->
+                (* The shared wall clock is gone: every remaining zone
+                   would stop the same way. Return what completed. *)
+                Partial
+                  {
+                    zones_done = proved;
+                    inconclusive_zones = inconcl + 1;
+                    reason;
+                  }
+            | _ -> go (i + 1) proved (inconcl + 1) first rest))
   in
-  go 0 zones
+  go 0 0 0 None zones
 
 let pp_verdict fmt (v : verdict) =
-  Format.fprintf fmt "@[<v>engine %s on zone %s: %s (%.2fs)@," v.version
+  Format.fprintf fmt "@[<v>engine %s on zone %s: %s (%.2fs%s)@," v.version
     v.zone_origin
-    (if clean v then "VERIFIED" else "ISSUES FOUND")
-    v.elapsed;
+    (match status v with
+    | Budget.Proved -> "VERIFIED"
+    | Budget.Refuted _ -> "ISSUES FOUND"
+    | Budget.Inconclusive reason ->
+        "INCONCLUSIVE (" ^ Budget.reason_to_string reason ^ ")")
+    v.elapsed
+    (if v.retries = 0 then ""
+     else Printf.sprintf ", %d budget escalation(s)" v.retries);
   List.iter
     (fun (r : Layers.layer_report) ->
       Format.fprintf fmt "  layer %-18s %s@," r.Layers.layer
-        (if Layers.layer_ok r then "ok" else String.concat "; " r.Layers.mismatches))
+        (if Layers.layer_ok r then "ok"
+         else
+           match r.Layers.inconclusive with
+           | Some reason -> "inconclusive: " ^ Budget.reason_to_string reason
+           | None -> String.concat "; " r.Layers.mismatches))
     v.layer_reports;
   List.iter (fun i -> Format.fprintf fmt "  %s@," i) (issues v);
   Format.fprintf fmt "@]"

@@ -2,7 +2,12 @@
    engine version — dependency layers against their manual
    specifications, then the whole engine (with automatic summaries at
    the resolution layers) against the top-level specification, for a
-   set of query types over one or many zone configurations. *)
+   set of query types over one or many zone configurations.
+
+   Every entry point is resource-governed (see lib/budget): checks
+   terminate within their budget, query types are fault-isolated,
+   inconclusive obligations retry under escalated budgets, and the
+   verdict is three-valued. *)
 
 module Rr = Dns.Rr
 module Zone = Dns.Zone
@@ -17,19 +22,44 @@ type verdict = {
   zone_origin : string;
   layer_reports : Layers.layer_report list;
   reports : Check.report list;
+  retries : int; (* budget escalations performed across all checks *)
   elapsed : float;
 }
+
+(* Total solver Unknowns the verdict's checks leaned on. *)
+val unknowns : verdict -> int
+
+(* Proved | Refuted (confirmed counterexamples win over missing
+   budget) | Inconclusive with the first machine-readable reason. *)
+val status : verdict -> verdict Budget.outcome
+
+(* [clean] means *proved*: a verdict that leaned on a solver Unknown or
+   stopped short of its budget is not clean. *)
 val clean : verdict -> bool
 val issues : verdict -> string list
+
+(* Per-query-type fault isolation; retryable inconclusive checks are
+   retried up to [retries] times under budgets [escalation]× larger. *)
 val verify :
   ?qtypes:Check.Rr.rtype list ->
   ?mode:Check.mode ->
-  ?check_layers:bool -> Builder.config -> Zone.t -> verdict
+  ?check_layers:bool ->
+  ?budget:Budget.t ->
+  ?retries:int ->
+  ?escalation:int -> Builder.config -> Zone.t -> verdict
 type batch_outcome =
-    All_clean of int
+  | All_clean of int
   | Failed of { zone_index : int; verdict : verdict; }
+  | Partial of {
+      zones_done : int; (* zones proved clean before stopping *)
+      inconclusive_zones : int;
+      reason : Budget.reason;
+    }
 val verify_batch :
   ?qtypes:Check.Rr.rtype list ->
-  ?count:int -> ?seed:int -> Builder.config -> Name.t -> batch_outcome
+  ?count:int ->
+  ?seed:int ->
+  ?budget:Budget.t ->
+  ?retries:int -> Builder.config -> Name.t -> batch_outcome
 val pp_verdict : Format.formatter -> verdict -> unit
 val verdict_to_string : verdict -> string

@@ -1,0 +1,103 @@
+(* Deterministic fault injection for the verification pipeline.
+
+   Robustness of the pipeline's degradation paths (budget exhaustion,
+   solver incompleteness, summary failure, wall-clock overrun) cannot be
+   tested by waiting for the failures to occur naturally: a from-scratch
+   LIA solver rarely answers Unknown on the engine's linear obligations,
+   and the reference zones verify in milliseconds. This module provides
+   seedable, deterministic hooks that the substrate consults at its
+   failure-prone sites so tests can force each degradation path on
+   demand (the same discipline as Janus-style crash-consistency fault
+   schedules: a fault plan is data, replayable from a seed).
+
+   All state is global and explicitly reset; production runs never arm a
+   site, and a disarmed site costs one match on an option. *)
+
+type site =
+  | Solver_unknown (* force Smt.Solver.check to answer Unknown *)
+  | Summarize_raise (* raise from inside Symex.Summary.summarize_at *)
+  | Summary_invalid (* fail Symex.Summary validation *)
+  | Exec_fuel (* exhaust symbolic-execution fuel in Symex.Exec.tick *)
+  | Clock_overrun (* skew Budget.now past any deadline *)
+
+let site_to_string = function
+  | Solver_unknown -> "solver-unknown"
+  | Summarize_raise -> "summarize-raise"
+  | Summary_invalid -> "summary-invalid"
+  | Exec_fuel -> "exec-fuel"
+  | Clock_overrun -> "clock-overrun"
+
+exception Injected of string
+
+type plan = {
+  fire_at : int; (* 1-based call index at which the fault fires *)
+  persistent : bool; (* keep firing on every call >= fire_at *)
+}
+
+type cell = { mutable plan : plan option; mutable calls : int }
+
+let all_sites =
+  [ Solver_unknown; Summarize_raise; Summary_invalid; Exec_fuel; Clock_overrun ]
+
+let cells : (site * cell) list =
+  List.map (fun s -> (s, { plan = None; calls = 0 })) all_sites
+
+let cell s = List.assq s cells
+
+(* Seconds added to Budget.now when Clock_overrun fires. *)
+let default_skew = 1.0e9
+let skew_amount = ref default_skew
+
+let reset () =
+  List.iter
+    (fun (_, c) ->
+      c.plan <- None;
+      c.calls <- 0)
+    cells;
+  skew_amount := default_skew
+
+let arm ?(persistent = false) ~after (s : site) =
+  if after < 1 then invalid_arg "Faultinject.arm: after must be >= 1";
+  let c = cell s in
+  c.plan <- Some { fire_at = after; persistent };
+  c.calls <- 0
+
+(* Derive the firing call index deterministically from a seed: a
+   Lehmer-style LCG over [1, window]. The same (seed, window) always
+   yields the same schedule, so a failing fault plan is replayable by
+   quoting its seed. *)
+let arm_seeded ?(persistent = false) ~seed ~window (s : site) =
+  if window < 1 then invalid_arg "Faultinject.arm_seeded: window must be >= 1";
+  let x = (seed * 48271 + 11) land 0x3FFFFFFF in
+  arm ~persistent ~after:((x mod window) + 1) s
+
+let disarm (s : site) =
+  let c = cell s in
+  c.plan <- None;
+  c.calls <- 0
+
+let armed (s : site) = (cell s).plan <> None
+
+(* Count one arrival at [s]; report whether the armed fault fires. *)
+let fire (s : site) : bool =
+  let c = cell s in
+  match c.plan with
+  | None -> false
+  | Some p ->
+      c.calls <- c.calls + 1;
+      if p.persistent then c.calls >= p.fire_at
+      else if c.calls = p.fire_at then begin
+        (* One-shot: disarm so retries and later checks run clean. *)
+        c.plan <- None;
+        true
+      end
+      else false
+
+let calls (s : site) = (cell s).calls
+
+let set_clock_skew s = skew_amount := s
+
+let clock_skew () = if fire Clock_overrun then !skew_amount else 0.0
+
+let injected s fmt =
+  Printf.ksprintf (fun m -> raise (Injected (site_to_string s ^ ": " ^ m))) fmt

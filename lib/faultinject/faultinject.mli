@@ -1,0 +1,49 @@
+(* Deterministic fault injection for the verification pipeline.
+
+   Seedable hooks the substrate consults at its failure-prone sites so
+   tests can drive every degradation path (forced solver Unknown, fuel
+   exhaustion, summary failure, wall-clock overrun) on demand. All state
+   is global and explicitly reset; a disarmed site is near-free. *)
+
+type site =
+  | Solver_unknown (* force Smt.Solver.check to answer Unknown *)
+  | Summarize_raise (* raise from inside Symex.Summary.summarize_at *)
+  | Summary_invalid (* fail Symex.Summary validation *)
+  | Exec_fuel (* exhaust symbolic-execution fuel in Symex.Exec.tick *)
+  | Clock_overrun (* skew Budget.now past any deadline *)
+
+val site_to_string : site -> string
+
+exception Injected of string
+
+(* Clear every armed fault and call counter. Call between tests. *)
+val reset : unit -> unit
+
+(* Arm [site] to fire on its [after]-th arrival (1-based). One-shot by
+   default: the site disarms itself when it fires, so retries run clean.
+   [persistent] keeps it firing on every later arrival too. *)
+val arm : ?persistent:bool -> after:int -> site -> unit
+
+(* Arm with a firing index derived deterministically from [seed] within
+   [1, window] — the same (seed, window) always yields the same plan. *)
+val arm_seeded : ?persistent:bool -> seed:int -> window:int -> site -> unit
+
+val disarm : site -> unit
+val armed : site -> bool
+
+(* Count one arrival at [site]; true iff the armed fault fires now. *)
+val fire : site -> bool
+
+(* Arrivals seen at [site] since it was last armed or reset. *)
+val calls : site -> int
+
+(* Seconds that [clock_skew] reports when Clock_overrun fires
+   (default 1e9 — far past any plausible deadline). *)
+val set_clock_skew : float -> unit
+
+(* Consulted by Budget.now: counts one Clock_overrun arrival and returns
+   the skew if the fault fires, 0 otherwise. *)
+val clock_skew : unit -> float
+
+(* Raise [Injected] with a site-tagged message. *)
+val injected : site -> ('a, unit, string, 'b) format4 -> 'a

@@ -49,15 +49,54 @@ type report = {
   spec_paths : int;
   pairs_checked : int;
   solver_calls : int;
+  unknowns : int; (* solver Unknowns this check leaned on *)
   summary_cases : (string * int) list; (* per summary instance *)
   summary_times : (string * float) list; (* per layer, total summarization s *)
   mismatches : mismatch list;
   panics : panic_report list;
   stateless : bool;
+  inconclusive : Budget.reason option; (* the check stopped short *)
+  summary_fallback : bool; (* With_summaries degraded to Inline_all *)
   elapsed : float;
 }
 
 let ok (r : report) = r.mismatches = [] && r.panics = []
+
+(* The three-valued verdict for one check. A report with no mismatches
+   is only a proof if it ran to completion *and* never leaned on a
+   solver Unknown — an Unknown-as-feasible branch or Unknown-validity
+   entailment means the obligation was not actually discharged. *)
+let status (r : report) : report Budget.outcome =
+  match r.inconclusive with
+  | Some reason -> Budget.Inconclusive reason
+  | None ->
+      if r.mismatches <> [] || r.panics <> [] || not r.stateless then
+        Budget.Refuted r
+      else if r.unknowns > 0 then
+        Budget.Inconclusive (Budget.Solver_unknowns { count = r.unknowns })
+      else Budget.Proved
+
+(* A placeholder report for a check that stopped before producing
+   results: everything zero, the reason recorded. *)
+let inconclusive_report ?(summary_fallback = false) ~(version : string)
+    ~(qtype : Rr.rtype) ~(elapsed : float) (reason : Budget.reason) : report =
+  {
+    version;
+    qtype;
+    engine_paths = 0;
+    spec_paths = 0;
+    pairs_checked = 0;
+    solver_calls = 0;
+    unknowns = 0;
+    summary_cases = [];
+    summary_times = [];
+    mismatches = [];
+    panics = [];
+    stateless = true;
+    inconclusive = Some reason;
+    summary_fallback;
+    elapsed;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Engine-side harness                                                *)
@@ -74,8 +113,8 @@ type harness = {
   store : Summary.store;
 }
 
-let prepare ?store (prog : Minir.Instr.program) (enc : Encode.t) (mode : mode)
-    : harness =
+let prepare ?store ?budget (prog : Minir.Instr.program) (enc : Encode.t)
+    (mode : mode) : harness =
   let frozen_below = enc.Encode.memory.Value.next_block in
   let store =
     match store with Some s -> s | None -> Summary.create_store ()
@@ -90,7 +129,7 @@ let prepare ?store (prog : Minir.Instr.program) (enc : Encode.t) (mode : mode)
             else Some (fn, Summary.intercept_for ~frozen_below store fn))
           Engine.Builder.summarized_layers
   in
-  let exec_ctx = Exec.create ~intercepts prog in
+  let exec_ctx = Exec.create ?budget ~intercepts prog in
   let mem0 = Sval.memory_of_concrete enc.Encode.memory in
   let mem0, resp_ptr =
     Sval.alloc mem0
@@ -358,20 +397,27 @@ let replay_engine (cfg : Engine.Builder.config) (zone : Zone.t)
   match Engine.Versions.run cfg zone q with
   | Engine.Versions.Response r -> Message.response_to_string r
   | Engine.Versions.Engine_panic m -> "panic: " ^ m
+  | exception Minir.Interp.Out_of_fuel ->
+      "replay aborted: interpreter out of fuel"
 
 let replay_spec (zone : Zone.t) (q : Message.query) : string =
   Message.response_to_string (Rrlookup.resolve zone q)
 
-(* Verify one engine version against the top-level specification for
-   one query type over one zone. *)
-let check_version ?(mode = With_summaries) ?store
-    (cfg : Engine.Builder.config) (zone : Zone.t) ~(qtype : Rr.rtype) : report =
+(* One verification attempt under [budget]: the existing full-path
+   product check, now charging every solver call, fork, and step to the
+   budget, and recording how many solver Unknowns it leaned on. Raises
+   (Budget.Exhausted, Summary.Summary_failed, …) on failure; the
+   [check_version] wrapper below converts those into verdicts. *)
+let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
+    ~(summary_fallback : bool) ?store (cfg : Engine.Builder.config)
+    (zone : Zone.t) ~(qtype : Rr.rtype) : report =
+  Solver.with_budget budget @@ fun () ->
   let t0 = Unix.gettimeofday () in
   Solver.reset_stats ();
   let prog = Engine.Versions.compiled cfg in
   let tree = Dnstree.Tree.build zone in
   let enc = Encode.encode tree in
-  let h = prepare ?store prog enc mode in
+  let h = prepare ?store ~budget prog enc mode in
   let engine_results = run_engine h enc ~qtype in
   let spec_paths, spec_solver_calls =
     Specsym.paths zone enc.Encode.interner.Layout.coder ~qtype
@@ -381,15 +427,19 @@ let check_version ?(mode = With_summaries) ?store
   let panics = ref [] in
   let pairs = ref 0 in
   let stateless = ref true in
+  let unconfirmed = ref 0 in
   let record_mismatch q detail =
-    mismatches :=
-      {
-        query = q;
-        detail;
-        engine_replay = replay_engine cfg zone q;
-        spec_replay = replay_spec zone q;
-      }
-      :: !mismatches
+    let engine_replay = replay_engine cfg zone q in
+    let spec_replay = replay_spec zone q in
+    (* Every reported bug must come with a *confirmed* counterexample:
+       a symbolic disagreement whose concretization replays identically
+       on both sides (typically one derived from a solver Unknown and
+       an empty model) is not evidence, and must not flip the verdict
+       to Refuted — it downgrades the run to inconclusive instead. *)
+    if String.equal engine_replay spec_replay then incr unconfirmed
+    else
+      mismatches :=
+        { query = q; detail; engine_replay; spec_replay } :: !mismatches
   in
   List.iter
     (fun ((path : Exec.path), outcome) ->
@@ -446,6 +496,9 @@ let check_version ?(mode = With_summaries) ?store
     spec_paths = List.length spec_paths;
     pairs_checked = !pairs;
     solver_calls = h.exec_ctx.Exec.solver_calls + spec_solver_calls;
+    (* Global since reset above: covers Unknown-as-feasible branches in
+       the executor *and* Unknown-validity entailments in check_eq. *)
+    unknowns = Solver.stats.Solver.unknowns;
     summary_cases =
       List.map
         (fun (s : Summary.t) -> (s.Summary.fn, Summary.case_count s))
@@ -461,17 +514,84 @@ let check_version ?(mode = With_summaries) ?store
     mismatches = List.rev !mismatches;
     panics = List.rev !panics;
     stateless = !stateless;
+    inconclusive =
+      (* Unconfirmed symbolic disagreements normally ride on a solver
+         Unknown, which already forces an inconclusive status; if one
+         appears without any Unknown it is checker imprecision, and the
+         run still must not count as a proof. *)
+      (if !unconfirmed > 0 && Solver.stats.Solver.unknowns = 0 then
+         Some
+           (Budget.Internal_error
+              (Printf.sprintf
+                 "%d symbolic disagreement(s) did not replay concretely"
+                 !unconfirmed))
+       else None);
+    summary_fallback;
     elapsed = Unix.gettimeofday () -. t0;
   }
+
+(* Map an exception escaping an attempt to a machine-readable reason. *)
+let reason_of_check_exn = function
+  | Minir.Interp.Out_of_fuel ->
+      Budget.Fuel_exhausted { limit = Minir.Interp.default_fuel }
+  | Summary.Summary_failed m -> Budget.Summary_failed m
+  | e -> Budget.reason_of_exn e
+
+(* Verify one engine version against the top-level specification for
+   one query type over one zone.
+
+   Every failure mode terminates in a report: budget exhaustion, fuel
+   exhaustion, injected faults and unexpected exceptions all become
+   [inconclusive = Some reason] rather than escaping. When summarization
+   itself fails or times out under [With_summaries] (and [fallback] is
+   allowed), the check degrades once to [Inline_all] under an escalated
+   budget — the summaries are an optimization, never a prerequisite for
+   a verdict. *)
+let check_version ?budget ?(mode = With_summaries) ?(fallback = true) ?store
+    (cfg : Engine.Builder.config) (zone : Zone.t) ~(qtype : Rr.rtype) : report =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let version = cfg.Engine.Builder.version in
+  let t0 = Unix.gettimeofday () in
+  let attempt ~budget ~mode ~summary_fallback =
+    match
+      check_version_attempt ~budget ~mode ~summary_fallback ?store cfg zone
+        ~qtype
+    with
+    | r -> Ok r
+    | exception e -> Error (reason_of_check_exn e)
+  in
+  match attempt ~budget ~mode ~summary_fallback:false with
+  | Ok r -> r
+  | Error (Budget.Summary_failed _) when mode = With_summaries && fallback -> (
+      match
+        attempt ~budget:(Budget.escalate budget) ~mode:Inline_all
+          ~summary_fallback:true
+      with
+      | Ok r -> r
+      | Error reason ->
+          inconclusive_report ~summary_fallback:true ~version ~qtype
+            ~elapsed:(Unix.gettimeofday () -. t0)
+            reason)
+  | Error reason ->
+      inconclusive_report ~version ~qtype
+        ~elapsed:(Unix.gettimeofday () -. t0)
+        reason
 
 let pp_report fmt (r : report) =
   Format.fprintf fmt
     "@[<v>version %s qtype %s: %d engine paths, %d spec paths, %d pairs, %d \
-     solver calls, %.3fs%s@,%a%a@]"
+     solver calls, %.3fs%s%s%s%s@,%a%a@]"
     r.version
     (Rr.rtype_to_string r.qtype)
     r.engine_paths r.spec_paths r.pairs_checked r.solver_calls r.elapsed
     (if r.stateless then "" else " [NOT STATELESS]")
+    (if r.unknowns = 0 then ""
+     else Printf.sprintf " [%d solver unknowns]" r.unknowns)
+    (if r.summary_fallback then " [summaries fell back to inlining]" else "")
+    (match r.inconclusive with
+    | None -> ""
+    | Some reason ->
+        Printf.sprintf " INCONCLUSIVE (%s)" (Budget.reason_to_string reason))
     (fun fmt ms ->
       List.iter
         (fun m ->

@@ -42,14 +42,31 @@ type report = {
   spec_paths : int;
   pairs_checked : int;
   solver_calls : int;
+  unknowns : int; (* solver Unknowns this check leaned on *)
   summary_cases : (string * int) list;
   summary_times : (string * float) list;
   mismatches : mismatch list;
   panics : panic_report list;
   stateless : bool;
+  inconclusive : Budget.reason option; (* the check stopped short *)
+  summary_fallback : bool; (* With_summaries degraded to Inline_all *)
   elapsed : float;
 }
+
+(* No mismatches and no panics — NOT the same as proved: a check that
+   leaned on solver Unknowns or stopped short is [ok] but inconclusive.
+   Use [status] for the three-valued verdict. *)
 val ok : report -> bool
+
+(* Proved | Refuted (with the report as counterexample carrier) |
+   Inconclusive with a machine-readable reason. *)
+val status : report -> report Budget.outcome
+
+(* A zeroed report recording why a check stopped before results. *)
+val inconclusive_report :
+  ?summary_fallback:bool ->
+  version:string ->
+  qtype:Rr.rtype -> elapsed:float -> Budget.reason -> report
 val qname_cells : unit -> Sval.scell
 type harness = {
   exec_ctx : Exec.ctx;
@@ -59,7 +76,8 @@ type harness = {
   store : Summary.store;
 }
 val prepare :
-  ?store:Summary.store -> Minir.Instr.program -> Encode.t -> mode -> harness
+  ?store:Summary.store ->
+  ?budget:Budget.t -> Minir.Instr.program -> Encode.t -> mode -> harness
 val run_engine : harness -> Encode.t -> qtype:Rr.rtype -> Exec.result
 type slot = {
   s_rname : Term.t array;
@@ -99,8 +117,22 @@ val pin_qlen : Term.t list -> Model.t -> int option
 val replay_engine :
   Engine.Builder.config -> Zone.t -> Message.query -> string
 val replay_spec : Zone.t -> Message.query -> string
+val check_version_attempt :
+  budget:Budget.t ->
+  mode:mode ->
+  summary_fallback:bool ->
+  ?store:Summary.store ->
+  Engine.Builder.config -> Zone.t -> qtype:Rr.rtype -> report
+val reason_of_check_exn : exn -> Budget.reason
+
+(* The robust entry point: always returns a report; budget exhaustion,
+   injected faults and unexpected exceptions become [inconclusive], and
+   a summary failure degrades once to Inline_all (unless [fallback] is
+   false) under an escalated budget. *)
 val check_version :
+  ?budget:Budget.t ->
   ?mode:mode ->
+  ?fallback:bool ->
   ?store:Summary.store ->
   Engine.Builder.config -> Zone.t -> qtype:Rr.rtype -> report
 val pp_report : Format.formatter -> report -> unit

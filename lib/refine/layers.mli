@@ -50,6 +50,8 @@ type layer_report = {
   spec_paths : int;
   pairs : int;
   mismatches : string list;
+  unknowns : int; (* solver Unknowns this layer check leaned on *)
+  inconclusive : Budget.reason option; (* the check stopped short *)
   elapsed : float;
 }
 val layer_ok : layer_report -> bool
@@ -63,6 +65,8 @@ val layer_setup :
   Dnstree.Encode.t option ->
   string -> Sval.memory * Sval.sval list * Term.t list
 val check_layer :
-  ?zone:Spec.Fixtures.Zone.t -> Minir.Instr.program -> string -> layer_report
+  ?zone:Spec.Fixtures.Zone.t ->
+  ?budget:Budget.t -> Minir.Instr.program -> string -> layer_report
 val check_all :
-  ?zone:Spec.Fixtures.Zone.t -> Minir.Instr.program -> layer_report list
+  ?zone:Spec.Fixtures.Zone.t ->
+  ?budget:Budget.t -> Minir.Instr.program -> layer_report list

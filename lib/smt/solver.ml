@@ -11,19 +11,34 @@
 
 type result = Sat of Model.t | Unsat | Unknown
 
-(* Statistics for the Figure-12 style reporting. *)
+(* Statistics for the Figure-12 style reporting. [unknowns] counts every
+   Unknown answer (including forced ones): any check that leaned on one
+   must be downgraded to inconclusive by its caller. *)
 type stats = {
   mutable checks : int;
   mutable fast_path : int;
   mutable dpllt_iterations : int;
+  mutable unknowns : int;
 }
 
-let stats = { checks = 0; fast_path = 0; dpllt_iterations = 0 }
+let stats = { checks = 0; fast_path = 0; dpllt_iterations = 0; unknowns = 0 }
 
 let reset_stats () =
   stats.checks <- 0;
   stats.fast_path <- 0;
-  stats.dpllt_iterations <- 0
+  stats.dpllt_iterations <- 0;
+  stats.unknowns <- 0
+
+(* The budget in scope for this solver, if any. Scoped rather than
+   threaded per-call: every branch decision and refinement obligation
+   lands here, and the entry points (Refine.Check, Refine.Layers,
+   Symex.Exec.run) establish the scope once. *)
+let current_budget : Budget.t option ref = ref None
+
+let with_budget (b : Budget.t) (f : unit -> 'a) : 'a =
+  let saved = !current_budget in
+  current_budget := Some b;
+  Fun.protect ~finally:(fun () -> current_budget := saved) f
 
 exception Not_conjunctive
 
@@ -91,6 +106,11 @@ let check_dpllt (t : Term.t) : result =
       let rec loop n =
         if n > max_dpllt_iterations then Unknown
         else begin
+          (* A divergent refutation loop must still honor the wall
+             clock: this is the solver's only unbounded iteration. *)
+          (match !current_budget with
+          | Some b -> Budget.check_deadline b
+          | None -> ());
           stats.dpllt_iterations <- stats.dpllt_iterations + 1;
           match Sat.solve sat with
           | Sat.Unsat -> Unsat
@@ -131,16 +151,27 @@ let check_dpllt (t : Term.t) : result =
       in
       loop 0)
 
-(* Decide satisfiability of the conjunction of [ts]. *)
+(* Decide satisfiability of the conjunction of [ts]. Charges the budget
+   in scope and records Unknown answers — including injected ones — so
+   callers can refuse to call an Unknown-dependent check a proof. *)
 let check (ts : Term.t list) : result =
   stats.checks <- stats.checks + 1;
-  match Term.and_ ts with
-  | Term.True -> Sat Model.empty
-  | Term.False -> Unsat
-  | conj -> (
-      match check_fast ts with
-      | Some r -> r
-      | None -> check_dpllt conj)
+  (match !current_budget with
+  | Some b -> Budget.tick_solver b
+  | None -> ());
+  let r =
+    if Faultinject.fire Faultinject.Solver_unknown then Unknown
+    else
+      match Term.and_ ts with
+      | Term.True -> Sat Model.empty
+      | Term.False -> Unsat
+      | conj -> (
+          match check_fast ts with
+          | Some r -> r
+          | None -> check_dpllt conj)
+  in
+  (match r with Unknown -> stats.unknowns <- stats.unknowns + 1 | _ -> ());
+  r
 
 let is_sat ts = match check ts with Sat _ -> true | Unsat | Unknown -> false
 let is_unsat ts = match check ts with Unsat -> true | Sat _ | Unknown -> false

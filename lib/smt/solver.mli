@@ -14,9 +14,15 @@ type stats = {
   mutable checks : int;
   mutable fast_path : int;
   mutable dpllt_iterations : int;
+  mutable unknowns : int; (* Unknown answers, incl. injected ones *)
 }
 val stats : stats
 val reset_stats : unit -> unit
+
+(* Scope a resource budget over every [check]/[entails] call made by
+   [f]: each call charges one solver step and honors the deadline. *)
+val current_budget : Budget.t option ref
+val with_budget : Budget.t -> (unit -> 'a) -> 'a
 exception Not_conjunctive
 val literals_of_conjunction :
   Term.t list -> Linear.atom list * (string * bool) list

@@ -23,6 +23,7 @@ type ctx = {
   mutable intercepts : (string * intercept) list;
   mutable steps : int;
   max_steps : int;
+  budget : Budget.t; (* fuel, path cap, deadline; shared with the solver *)
   mutable forks : int;
   mutable solver_calls : int;
   mutable unknowns : int; (* solver Unknowns treated as feasible *)
@@ -34,12 +35,13 @@ exception Budget_exceeded of string
 
 let default_max_steps = 5_000_000
 
-let create ?(max_steps = default_max_steps) ?(intercepts = []) prog =
+let create ?(max_steps = default_max_steps) ?budget ?(intercepts = []) prog =
   {
     prog;
     intercepts;
     steps = 0;
     max_steps;
+    budget = (match budget with Some b -> b | None -> Budget.unlimited ());
     forks = 0;
     solver_calls = 0;
     unknowns = 0;
@@ -48,7 +50,18 @@ let create ?(max_steps = default_max_steps) ?(intercepts = []) prog =
 let tick ctx =
   ctx.steps <- ctx.steps + 1;
   if ctx.steps > ctx.max_steps then
-    raise (Budget_exceeded "symbolic execution step budget exceeded")
+    raise (Budget_exceeded "symbolic execution step budget exceeded");
+  if Faultinject.fire Faultinject.Exec_fuel then
+    raise
+      (Budget.Exhausted
+         (Budget.Fuel_exhausted
+            { limit = Option.value ~default:0 ctx.budget.Budget.max_fuel }));
+  Budget.tick_fuel ctx.budget
+
+(* Charge one freshly forked path against the budget's path cap. *)
+let charge_fork ctx =
+  ctx.forks <- ctx.forks + 1;
+  Budget.tick_path ctx.budget
 
 (* Feasibility of a path condition. Unknown counts as feasible (sound
    for bug finding: we may report a spurious path, never miss one). *)
@@ -76,7 +89,7 @@ let fork_bool ctx (path : path) (t : Term.t) ~(then_ : path -> 'a list)
       | true, false -> then_ path
       | false, true -> else_ path
       | true, true ->
-          ctx.forks <- ctx.forks + 1;
+          charge_fork ctx;
           then_ { path with pc = t :: path.pc }
           @ else_ { path with pc = not_t :: path.pc }
       | false, false -> [] (* path condition itself became unsat *))
@@ -94,7 +107,7 @@ let fork_index ctx (path : path) (t : Term.t) ~(cap : int)
       for v = cap - 1 downto 0 do
         let cond = Term.eq t (Term.int v) in
         if feasible ctx (cond :: path.pc) then begin
-          ctx.forks <- ctx.forks + 1;
+          charge_fork ctx;
           results := k { path with pc = cond :: path.pc } v @ !results
         end
       done;
@@ -326,7 +339,9 @@ and eval_rvalue ctx path regs (rv : Instr.rvalue)
       Sval.error "opaque pointer op not resolved (run the Opaque pass)"
 
 (* Top-level entry: run [fn] on [args] from [memory] under the initial
-   path condition [pc]. *)
+   path condition [pc]. The ctx's budget also governs every solver call
+   made for branch feasibility while the run is in progress. *)
 let run (ctx : ctx) ~(memory : Sval.memory) ~(pc : Term.t list) ~(fn : string)
     ~(args : Sval.sval list) : result =
-  exec_call ctx { pc; mem = memory } fn args
+  Solver.with_budget ctx.budget (fun () ->
+      exec_call ctx { pc; mem = memory } fn args)

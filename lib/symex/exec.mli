@@ -21,6 +21,7 @@ type ctx = {
   mutable intercepts : (string * intercept) list;
   mutable steps : int;
   max_steps : int;
+  budget : Budget.t; (* fuel, path cap, deadline; shared with the solver *)
   mutable forks : int;
   mutable solver_calls : int;
   mutable unknowns : int;
@@ -30,8 +31,10 @@ exception Budget_exceeded of string
 val default_max_steps : int
 val create :
   ?max_steps:int ->
+  ?budget:Budget.t ->
   ?intercepts:(string * intercept) list -> Instr.program -> ctx
 val tick : ctx -> unit
+val charge_fork : ctx -> unit
 val feasible : ctx -> Term.t list -> bool
 val fork_bool :
   ctx ->

@@ -41,6 +41,28 @@ type t = {
 
 let case_count (s : t) = List.length s.cases
 
+(* Raised when a summary cannot be built or fails validation; the
+   refinement checker catches it and falls back to inlining the layer
+   (graceful degradation instead of aborting the whole check). *)
+exception Summary_failed of string
+
+(* Structural validation applied before a summary enters the cache: a
+   summary with no cases (the callee has at least one path), or with a
+   case whose writes escape below the canonical allocation watermark
+   into the frozen read-only heap, would replay nonsense silently. *)
+let validate (s : t) : (unit, string) result =
+  if Faultinject.fire Faultinject.Summary_invalid then
+    Error (s.fn ^ ": injected validation failure")
+  else if s.cases = [] then Error (s.fn ^ ": summary has no cases")
+  else
+    let bad_alloc =
+      List.exists
+        (fun c -> List.exists (fun (b, _) -> b < 0) c.allocs)
+        s.cases
+    in
+    if bad_alloc then Error (s.fn ^ ": summary allocates a negative block id")
+    else Ok ()
+
 (* ------------------------------------------------------------------ *)
 (* Canonicalization                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -181,6 +203,8 @@ let diff_memory (m0 : Sval.memory) (mf : Sval.memory) :
 let summarize_at (ctx : Exec.ctx) ~(frozen_below : int) ~(mem : Sval.memory)
     ~(fn : string) ~(args : Sval.sval list) : t * (string * Term.t) list * string
     =
+  if Faultinject.fire Faultinject.Summarize_raise then
+    raise (Summary_failed (fn ^ ": injected raise mid-summary"));
   let st = { bindings = []; counter = 0; buf = Buffer.create 256 } in
   Buffer.add_string st.buf fn;
   let canon_args =
@@ -214,7 +238,15 @@ let summarize_at (ctx : Exec.ctx) ~(frozen_below : int) ~(mem : Sval.memory)
     Fun.protect
       ~finally:(fun () -> ctx.Exec.intercepts <- saved)
       (fun () ->
-        Exec.run ctx ~memory:canon_mem ~pc:[] ~fn ~args:canon_args)
+        (* A summary that exhausts the budget mid-build is a *summary*
+           failure, not a whole-check failure: the checker can still
+           fall back to inlining this layer. *)
+        try Exec.run ctx ~memory:canon_mem ~pc:[] ~fn ~args:canon_args
+        with Budget.Exhausted reason ->
+          raise
+            (Summary_failed
+               (Printf.sprintf "%s: %s while summarizing" fn
+                  (Budget.reason_to_string reason))))
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   let cases =
@@ -381,6 +413,9 @@ let intercept_for ~(frozen_below : int) (store : store) (fn : string) :
               summarize_at ctx ~frozen_below ~mem:path.Exec.mem ~fn ~args
             in
             assert (key' = key);
+            (match validate s with
+            | Ok () -> ()
+            | Error m -> raise (Summary_failed m));
             store.summarize_time <- store.summarize_time +. s.elapsed;
             Hashtbl.replace store.cache key s;
             (s, bindings', key))

@@ -33,6 +33,13 @@ type t = {
   elapsed : float;
 }
 val case_count : t -> int
+
+(* Raised when a summary cannot be built or fails validation; the
+   refinement checker catches it and falls back to inlining. *)
+exception Summary_failed of string
+
+(* Structural validation applied before a summary enters the cache. *)
+val validate : t -> (unit, string) result
 type canon_state = {
   mutable bindings : (string * Term.t) list;
   mutable counter : int;

@@ -47,6 +47,9 @@ let test_verify_batch () =
   | Dnsv.Pipeline.Failed { zone_index; verdict } ->
       Alcotest.failf "zone %d failed:@.%s" zone_index
         (Dnsv.Pipeline.verdict_to_string verdict)
+  | Dnsv.Pipeline.Partial { reason; _ } ->
+      Alcotest.failf "batch unexpectedly partial: %s"
+        (Budget.reason_to_string reason)
 
 let test_verify_batch_catches_buggy () =
   (* v1.0's MX confusion shows up on generated zones (they contain MX
@@ -59,6 +62,9 @@ let test_verify_batch_catches_buggy () =
   | Dnsv.Pipeline.All_clean _ ->
       Alcotest.fail "buggy engine must fail batch verification"
   | Dnsv.Pipeline.Failed _ -> ()
+  | Dnsv.Pipeline.Partial { reason; _ } ->
+      Alcotest.failf "batch unexpectedly partial: %s"
+        (Budget.reason_to_string reason)
 
 (* ------------------------------------------------------------------ *)
 (* Experiment drivers                                                 *)
