@@ -1,0 +1,29 @@
+# Convenience targets over dune. `make bench-json` is the perf gate:
+# it regenerates BENCH_PR2.json and fails (exit 1) if parallel/cached
+# verdicts diverge from sequential ones or the summaries-ablation
+# speedup regresses below its seed-commit floor (the checks live in
+# bench/main.ml's json target).
+
+.PHONY: all build check test bench bench-json clean
+
+all: build
+
+build:
+	dune build
+
+check:
+	dune build @check
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-json:
+	dune exec bench/main.exe -- json > BENCH_PR2.json
+	@cat BENCH_PR2.json
+	@echo
+
+clean:
+	dune clean

@@ -9,7 +9,9 @@
      dune exec bench/main.exe -- fig12     # just Figure 12
      dune exec bench/main.exe -- micro     # just the Bechamel benches
      dune exec bench/main.exe -- ablation  # summaries vs. inlining
-     dune exec bench/main.exe -- json      # budget-consumption stats (JSON) *)
+     dune exec bench/main.exe -- reverify  # caching/parallel re-verification
+     dune exec bench/main.exe -- json      # machine-readable report (JSON);
+                                           # exits 1 on perf/verdict regression *)
 
 open Bechamel
 open Toolkit
@@ -78,6 +80,129 @@ let ablation () =
   Printf.printf "agree on the verification verdict.\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Re-verification workload (Table-2 shaped)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The perf headline of this PR: re-verify every fixed engine version
+   [reverify_passes] times over the reference zone (all query types) —
+   the workload of a developer re-running the proof after an unrelated
+   edit. Three configurations:
+
+   - seed:    result caches AND the incremental assertion stack off,
+              sequential — every branch decision re-translates and
+              re-solves its whole path condition from scratch (the
+              pre-optimization solver);
+   - cached:  caches + incremental stack on, sequential;
+   - parallel: caches on, fanned over a [reverify_jobs]-worker domain
+              pool (clamped to the machine's recommended domain count:
+              oversubscribing cores only adds GC contention).
+
+   The task list interleaves passes so the pool's static round-robin
+   pins every pass of one version to one worker: its domain-local
+   solver caches see the re-verification. All three configurations
+   must produce byte-identical verdict fingerprints. *)
+
+let reverify_passes = 2
+let reverify_jobs = 4
+let effective_jobs jobs = max 1 (min jobs (Domain.recommended_domain_count ()))
+
+let reverify_versions () =
+  List.map Engine.Versions.fixed
+    Engine.Versions.[ v1_0; v2_0; v3_0; dev ]
+
+let zero_stats () =
+  {
+    Smt.Solver.checks = 0;
+    fast_path = 0;
+    dpllt_iterations = 0;
+    unknowns = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    incremental_checks = 0;
+    scratch_checks = 0;
+  }
+
+(* Snapshot of this domain's cumulative counters. [Solver.lifetime]
+   already folds in the current window and returns a fresh record, so
+   the snapshot is safe to keep across resets. *)
+let stats_snapshot () = Smt.Solver.lifetime ()
+
+type reverify_run = {
+  rv_wall : float;
+  rv_worker_walls : float list;
+  rv_fingerprint : string;
+  rv_stats : Smt.Solver.stats;
+}
+
+let reverify_run ~caching ~jobs () =
+  let zone = Spec.Fixtures.reference_zone in
+  let tasks =
+    List.concat (List.init reverify_passes (fun _ -> reverify_versions ()))
+  in
+  let jobs = effective_jobs jobs in
+  Smt.Solver.set_caching caching;
+  Smt.Solver.set_incremental caching;
+  Smt.Solver.clear_caches ();
+  Dnsv.Pipeline.clear_summary_memo ();
+  let task cfg =
+    let s0 = stats_snapshot () in
+    let v =
+      Dnsv.Pipeline.verify ~check_layers:false ~budget:(Budget.create ()) cfg
+        zone
+    in
+    let s1 = stats_snapshot () in
+    (Dnsv.Pipeline.fingerprint v, Smt.Solver.diff_stats s1 s0)
+  in
+  let t0 = Unix.gettimeofday () in
+  let results, walls = Parallel.Domainpool.map_timed ~jobs task tasks in
+  let wall = Unix.gettimeofday () -. t0 in
+  Smt.Solver.set_caching true;
+  Smt.Solver.set_incremental true;
+  let stats = zero_stats () in
+  List.iter (fun (_, s) -> Smt.Solver.add_stats ~into:stats s) results;
+  {
+    rv_wall = wall;
+    rv_worker_walls = walls;
+    rv_fingerprint = String.concat "\n" (List.map fst results);
+    rv_stats = stats;
+  }
+
+let reverify_all () =
+  let seed = reverify_run ~caching:false ~jobs:1 () in
+  let cached = reverify_run ~caching:true ~jobs:1 () in
+  let par = reverify_run ~caching:true ~jobs:reverify_jobs () in
+  (seed, cached, par)
+
+let reverify () =
+  rule ();
+  Printf.printf
+    "Re-verification workload: %d passes x %d fixed versions x %d qtypes\n\n"
+    reverify_passes
+    (List.length (reverify_versions ()))
+    (List.length Dnsv.Pipeline.all_qtypes);
+  let seed, cached, par = reverify_all () in
+  let line name (r : reverify_run) =
+    Printf.printf
+      "%-22s %8.3f s   speedup %5.2fx   cache %d/%d hit/miss   incr/scratch \
+       %d/%d\n"
+      name r.rv_wall
+      (seed.rv_wall /. r.rv_wall)
+      r.rv_stats.Smt.Solver.cache_hits r.rv_stats.Smt.Solver.cache_misses
+      r.rv_stats.Smt.Solver.incremental_checks
+      r.rv_stats.Smt.Solver.scratch_checks
+  in
+  line "seed (no caches)" seed;
+  line "cached, sequential" cached;
+  line (Printf.sprintf "cached, --jobs %d" reverify_jobs) par;
+  let identical =
+    String.equal seed.rv_fingerprint cached.rv_fingerprint
+    && String.equal cached.rv_fingerprint par.rv_fingerprint
+  in
+  Printf.printf "\nverdict fingerprints identical across configurations: %b\n\n"
+    identical;
+  if not identical then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* JSON budget-consumption report                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -112,13 +237,71 @@ let json_of_status = function
   | Budget.Refuted _ -> json_str "refuted"
   | Budget.Inconclusive r -> json_str ("inconclusive:" ^ Budget.reason_tag r)
 
+(* Minimum acceptable summarized-vs-inlined speedup (t_inlined /
+   t_summarized), as a fraction of the ratio measured on the seed
+   commit. The summaries ablation must not silently regress under the
+   new solver plumbing. *)
+let ablation_seed_speedup = 0.83
+let ablation_regression_floor = 0.5
+
+let json_of_stats (s : Smt.Solver.stats) =
+  json_obj
+    [
+      ("checks", string_of_int s.Smt.Solver.checks);
+      ("fast_path", string_of_int s.Smt.Solver.fast_path);
+      ("dpllt_iterations", string_of_int s.Smt.Solver.dpllt_iterations);
+      ("unknowns", string_of_int s.Smt.Solver.unknowns);
+      ("cache_hits", string_of_int s.Smt.Solver.cache_hits);
+      ("cache_misses", string_of_int s.Smt.Solver.cache_misses);
+      ("incremental_checks", string_of_int s.Smt.Solver.incremental_checks);
+      ("scratch_checks", string_of_int s.Smt.Solver.scratch_checks);
+    ]
+
+let json_of_reverify (r : reverify_run) =
+  json_obj
+    [
+      ("wall_s", Printf.sprintf "%.4f" r.rv_wall);
+      ( "worker_walls_s",
+        "["
+        ^ String.concat ", "
+            (List.map (Printf.sprintf "%.4f") r.rv_worker_walls)
+        ^ "]" );
+      ("solver", json_of_stats r.rv_stats);
+    ]
+
+(* Timed Table-2 run (all witness bugs re-found) — the before/after
+   probe for the solver-cache plumbing. *)
+let timed_table2 () =
+  let t0 = Unix.gettimeofday () in
+  let r = Dnsv.Table2.run () in
+  (Unix.gettimeofday () -. t0, List.length r.Dnsv.Table2.rows)
+
+let timed_ablation () =
+  let cfg = Engine.Versions.fixed Engine.Versions.v3_0 in
+  let zone = Spec.Fixtures.reference_zone in
+  let measure mode =
+    let t0 = Unix.gettimeofday () in
+    let store = Symex.Summary.create_store () in
+    let reports =
+      List.map
+        (fun qtype -> Refine.Check.check_version ~mode ~store cfg zone ~qtype)
+        [ Dns.Rr.A; Dns.Rr.MX; Dns.Rr.NS ]
+    in
+    (Unix.gettimeofday () -. t0, List.for_all Refine.Check.ok reports)
+  in
+  let t_sum, ok_sum = measure Refine.Check.With_summaries in
+  let t_inl, ok_inl = measure Refine.Check.Inline_all in
+  (t_sum, t_inl, ok_sum && ok_inl)
+
 let json () =
   let cfg = Engine.Versions.fixed Engine.Versions.v3_0 in
   let zone = Spec.Fixtures.reference_zone in
   let budget = Budget.create () in
+  let stats0 = stats_snapshot () in
   let t0 = Unix.gettimeofday () in
   let v = Dnsv.Pipeline.verify ~budget cfg zone in
   let wall = Unix.gettimeofday () -. t0 in
+  let pipeline_stats = Smt.Solver.diff_stats (stats_snapshot ()) stats0 in
   let layer_phase (r : Refine.Layers.layer_report) =
     json_obj
       [
@@ -152,24 +335,95 @@ let json () =
     @ List.map engine_phase v.Dnsv.Pipeline.reports
   in
   let c = Budget.consumption budget in
+  let pipeline_json =
+    json_obj
+      [
+        ("engine", json_str v.Dnsv.Pipeline.version);
+        ("zone_origin", json_str v.Dnsv.Pipeline.zone_origin);
+        ("status", json_of_status (Dnsv.Pipeline.status v));
+        ("wall_s", Printf.sprintf "%.4f" wall);
+        ("retries", string_of_int v.Dnsv.Pipeline.retries);
+        ("solver", json_of_stats pipeline_stats);
+        ( "budget",
+          json_obj
+            [
+              ("solver_steps_used", string_of_int c.Budget.solver_steps_used);
+              ("paths_used", string_of_int c.Budget.paths_used);
+              ("fuel_used", string_of_int c.Budget.fuel_used);
+              ("retries_used", string_of_int c.Budget.retries_used);
+            ] );
+        ("phases", "[" ^ String.concat ", " phases ^ "]");
+      ]
+  in
+  (* Before/after probes: Table 2 with the result caches disabled
+     (seed-equivalent solver) vs. enabled, then the re-verification
+     workload, then the summaries ablation with its regression gate. *)
+  Smt.Solver.set_caching false;
+  Smt.Solver.clear_caches ();
+  let t2_before, t2_rows = timed_table2 () in
+  Smt.Solver.set_caching true;
+  Smt.Solver.clear_caches ();
+  let t2_after, _ = timed_table2 () in
+  let seed, cached, par = reverify_all () in
+  let verdicts_identical =
+    String.equal seed.rv_fingerprint cached.rv_fingerprint
+    && String.equal cached.rv_fingerprint par.rv_fingerprint
+  in
+  let speedup_cached = seed.rv_wall /. cached.rv_wall in
+  let speedup_parallel = seed.rv_wall /. par.rv_wall in
+  let abl_sum, abl_inl, abl_ok = timed_ablation () in
+  let abl_speedup = abl_inl /. abl_sum in
+  let abl_floor = ablation_regression_floor *. ablation_seed_speedup in
   print_endline
     (json_obj
        [
-         ("engine", json_str v.Dnsv.Pipeline.version);
-         ("zone_origin", json_str v.Dnsv.Pipeline.zone_origin);
-         ("status", json_of_status (Dnsv.Pipeline.status v));
-         ("wall_s", Printf.sprintf "%.4f" wall);
-         ("retries", string_of_int v.Dnsv.Pipeline.retries);
-         ( "budget",
+         ("pipeline", pipeline_json);
+         ( "table2",
            json_obj
              [
-               ("solver_steps_used", string_of_int c.Budget.solver_steps_used);
-               ("paths_used", string_of_int c.Budget.paths_used);
-               ("fuel_used", string_of_int c.Budget.fuel_used);
-               ("retries_used", string_of_int c.Budget.retries_used);
+               ("rows", string_of_int t2_rows);
+               ("before_wall_s", Printf.sprintf "%.4f" t2_before);
+               ("after_wall_s", Printf.sprintf "%.4f" t2_after);
+               ("speedup", Printf.sprintf "%.3f" (t2_before /. t2_after));
              ] );
-         ("phases", "[" ^ String.concat ", " phases ^ "]");
-       ])
+         ( "reverify",
+           json_obj
+             [
+               ("passes", string_of_int reverify_passes);
+               ( "versions",
+                 string_of_int (List.length (reverify_versions ())) );
+               ("jobs", string_of_int reverify_jobs);
+               ("seed", json_of_reverify seed);
+               ("cached_sequential", json_of_reverify cached);
+               ("cached_parallel", json_of_reverify par);
+               ("speedup_cached", Printf.sprintf "%.3f" speedup_cached);
+               ("speedup_parallel", Printf.sprintf "%.3f" speedup_parallel);
+               ("verdicts_identical", string_of_bool verdicts_identical);
+             ] );
+         ( "ablation",
+           json_obj
+             [
+               ("summarized_wall_s", Printf.sprintf "%.4f" abl_sum);
+               ("inlined_wall_s", Printf.sprintf "%.4f" abl_inl);
+               ("speedup_summarized", Printf.sprintf "%.3f" abl_speedup);
+               ( "seed_speedup",
+                 Printf.sprintf "%.3f" ablation_seed_speedup );
+               ("regression_floor", Printf.sprintf "%.3f" abl_floor);
+               ("clean", string_of_bool abl_ok);
+             ] );
+       ]);
+  if not verdicts_identical then begin
+    prerr_endline
+      "FAIL: parallel/cached verdict fingerprints differ from sequential";
+    exit 1
+  end;
+  if abl_speedup < abl_floor then begin
+    Printf.eprintf
+      "FAIL: summaries ablation regressed: speedup %.3f < floor %.3f (seed \
+       %.3f)\n"
+      abl_speedup abl_floor ablation_seed_speedup;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per experiment)           *)
@@ -270,12 +524,13 @@ let () =
       | "table3" -> table3 ()
       | "fig12" -> fig12 ()
       | "ablation" -> ablation ()
+      | "reverify" -> reverify ()
       | "json" -> json ()
       | "micro" -> run_micro ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected \
-             table1|table2|table3|fig12|ablation|json|micro)\n"
+             table1|table2|table3|fig12|ablation|reverify|json|micro)\n"
             other;
           exit 2)
     targets

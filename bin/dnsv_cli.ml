@@ -33,7 +33,7 @@ let config_of_version v =
       exit 3
 
 let zone_file_arg =
-  let doc = "Zone file (master-file format with $ORIGIN). Defaults to the built-in reference zone." in
+  let doc = "Zone file (master-file format with \\$ORIGIN). Defaults to the built-in reference zone." in
   Arg.(value & opt (some file) None & info [ "z"; "zone" ] ~docv:"FILE" ~doc)
 
 let seed_arg =
@@ -99,9 +99,17 @@ let retries_arg =
   in
   Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Verify query types in parallel on $(docv) worker domains. Each \
+     worker gets its own solver state and a clone of the budget; \
+     verdicts are identical to the sequential run."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let verify_cmd =
   let run version zone_file qtypes inline no_layers deadline solver_steps
-      max_paths retries =
+      max_paths retries jobs =
     let cfg = config_of_version version in
     let zone = load_zone zone_file in
     let mode =
@@ -113,7 +121,7 @@ let verify_cmd =
     let verdict =
       try
         Dnsv.Pipeline.verify ~qtypes ~mode ~check_layers:(not no_layers)
-          ~budget ~retries cfg zone
+          ~budget ~retries ~jobs cfg zone
       with e ->
         Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
         exit 3
@@ -144,7 +152,8 @@ let verify_cmd =
          ])
     Term.(
       const run $ version_arg $ zone_file_arg $ qtypes_arg $ inline $ no_layers
-      $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg)
+      $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* layers                                                             *)

@@ -141,6 +141,24 @@ let tick_fuel (b : t) =
   | _ -> ());
   if b.fuel land (deadline_stride - 1) = 0 then check_deadline b
 
+(* An independent copy: same limits and the same absolute deadline, but
+   counters that advance separately from the parent's. Parallel pipeline
+   workers each charge a clone, so one worker's consumption cannot
+   exhaust a sibling's allowance mid-flight (per-task isolation), while
+   the shared absolute deadline still bounds the whole fan-out. *)
+let clone (b : t) : t =
+  {
+    deadline = b.deadline;
+    deadline_s = b.deadline_s;
+    max_solver_steps = b.max_solver_steps;
+    max_paths = b.max_paths;
+    max_fuel = b.max_fuel;
+    solver_steps = b.solver_steps;
+    paths = b.paths;
+    fuel = b.fuel;
+    retries = b.retries;
+  }
+
 (* A geometrically larger budget with fresh counters: limits scale by
    [factor], the deadline restarts from now with a scaled allowance.
    This is the escalation step of retry-with-escalation — CEGAR-style

@@ -60,6 +60,11 @@ val tick_solver : t -> unit
 val tick_path : t -> unit
 val tick_fuel : t -> unit
 
+(* An independent copy: same limits and absolute deadline, counters
+   that advance separately. Used for per-task isolation in the parallel
+   pipeline. *)
+val clone : t -> t
+
 (* A geometrically larger budget with fresh counters ([factor] default
    2); the deadline restarts from now with a scaled allowance. *)
 val escalate : ?factor:int -> t -> t

@@ -39,14 +39,23 @@ val clean : verdict -> bool
 val issues : verdict -> string list
 
 (* Per-query-type fault isolation; retryable inconclusive checks are
-   retried up to [retries] times under budgets [escalation]× larger. *)
+   retried up to [retries] times under budgets [escalation]× larger.
+   [jobs > 1] fans the query types out over a deterministic domain pool:
+   each task charges a clone of the budget (per-task isolation under the
+   shared absolute deadline) and runs on domain-local solver state,
+   merged at the join barrier. Verdicts are identical to [jobs = 1]. *)
+(* Drop the domain-local summary-store memo (used by [verify] to reuse
+   module summaries across query types and repeated runs), so
+   benchmarks and tests can measure from a cold start. *)
+val clear_summary_memo : unit -> unit
+
 val verify :
   ?qtypes:Check.Rr.rtype list ->
   ?mode:Check.mode ->
   ?check_layers:bool ->
   ?budget:Budget.t ->
   ?retries:int ->
-  ?escalation:int -> Builder.config -> Zone.t -> verdict
+  ?escalation:int -> ?jobs:int -> Builder.config -> Zone.t -> verdict
 type batch_outcome =
   | All_clean of int
   | Failed of { zone_index : int; verdict : verdict; }
@@ -55,11 +64,19 @@ type batch_outcome =
       inconclusive_zones : int;
       reason : Budget.reason;
     }
+(* [jobs > 1] verifies zones in parallel waves of [jobs], merging the
+   verdicts in zone order, so the outcome equals the sequential fold. *)
 val verify_batch :
   ?qtypes:Check.Rr.rtype list ->
   ?count:int ->
   ?seed:int ->
   ?budget:Budget.t ->
-  ?retries:int -> Builder.config -> Name.t -> batch_outcome
+  ?retries:int -> ?jobs:int -> Builder.config -> Name.t -> batch_outcome
 val pp_verdict : Format.formatter -> verdict -> unit
 val verdict_to_string : verdict -> string
+
+(* Deterministic rendering of everything semantically meaningful in a
+   verdict/batch outcome, excluding wall-clock fields: two runs agree on
+   fingerprints iff they agree on every verdict-relevant bit. *)
+val fingerprint : verdict -> string
+val fingerprint_batch : batch_outcome -> string

@@ -106,10 +106,15 @@ let run_compiled (prog : Minir.Instr.program) (enc : Dnstree.Encode.t)
           Response (Dnstree.Encode.decode_response enc mem' resp_ptr)
       | Minir.Interp.Panicked msg -> Engine_panic msg)
 
-(* Convenience: compile (memoized per config), encode, run. *)
-let compiled_cache : (string, Minir.Instr.program) Hashtbl.t = Hashtbl.create 8
+(* Convenience: compile (memoized per config), encode, run. The memo is
+   domain-local so parallel pipeline workers never race on the table;
+   each worker compiles a version at most once. *)
+let compiled_cache_key : (string, Minir.Instr.program) Hashtbl.t Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let compiled (cfg : Builder.config) : Minir.Instr.program =
+  let compiled_cache = Domain.DLS.get compiled_cache_key in
   match Hashtbl.find_opt compiled_cache cfg.Builder.version with
   | Some p -> p
   | None ->

@@ -13,6 +13,7 @@ module Rr = Dns.Rr
 type run_outcome = Response of Message.response | Engine_panic of string
 val run_compiled :
   Minir.Instr.program -> Dnstree.Encode.t -> Message.query -> run_outcome
-val compiled_cache : (string, Minir.Instr.program) Hashtbl.t
+(* Compile memo, one table per domain (parallel workers never share). *)
+val compiled_cache_key : (string, Minir.Instr.program) Hashtbl.t Domain.DLS.key
 val compiled : Builder.config -> Minir.Instr.program
 val run : Builder.config -> Dns.Zone.t -> Message.query -> run_outcome

@@ -10,8 +10,8 @@
    demand (the same discipline as Janus-style crash-consistency fault
    schedules: a fault plan is data, replayable from a seed).
 
-   All state is global and explicitly reset; production runs never arm a
-   site, and a disarmed site costs one match on an option. *)
+   All state is domain-local and explicitly reset; production runs never
+   arm a site, and a disarmed site costs one match on an option. *)
 
 type site =
   | Solver_unknown (* force Smt.Solver.check to answer Unknown *)
@@ -39,22 +39,44 @@ type cell = { mutable plan : plan option; mutable calls : int }
 let all_sites =
   [ Solver_unknown; Summarize_raise; Summary_invalid; Exec_fuel; Clock_overrun ]
 
-let cells : (site * cell) list =
-  List.map (fun s -> (s, { plan = None; calls = 0 })) all_sites
-
-let cell s = List.assq s cells
-
 (* Seconds added to Budget.now when Clock_overrun fires. *)
 let default_skew = 1.0e9
-let skew_amount = ref default_skew
+
+(* Fault state is domain-local. A worker domain spawned by the parallel
+   pipeline inherits a snapshot of its parent's armed plans with the
+   call counters reset to zero: each worker replays the plan against its
+   own deterministic arrival sequence, so a fault schedule fires at the
+   same point in a worker's task regardless of how tasks are spread over
+   domains — per-domain determinism, not global-arrival determinism. *)
+type state = { cells : (site * cell) list; mutable skew : float }
+
+let fresh_state () =
+  {
+    cells = List.map (fun s -> (s, { plan = None; calls = 0 })) all_sites;
+    skew = default_skew;
+  }
+
+let split_state (parent : state) : state =
+  {
+    cells =
+      List.map (fun (s, c) -> (s, { plan = c.plan; calls = 0 })) parent.cells;
+    skew = parent.skew;
+  }
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:split_state fresh_state
+
+let state () = Domain.DLS.get state_key
+let cell s = List.assq s (state ()).cells
 
 let reset () =
+  let st = state () in
   List.iter
     (fun (_, c) ->
       c.plan <- None;
       c.calls <- 0)
-    cells;
-  skew_amount := default_skew
+    st.cells;
+  st.skew <- default_skew
 
 let arm ?(persistent = false) ~after (s : site) =
   if after < 1 then invalid_arg "Faultinject.arm: after must be >= 1";
@@ -95,9 +117,9 @@ let fire (s : site) : bool =
 
 let calls (s : site) = (cell s).calls
 
-let set_clock_skew s = skew_amount := s
+let set_clock_skew s = (state ()).skew <- s
 
-let clock_skew () = if fire Clock_overrun then !skew_amount else 0.0
+let clock_skew () = if fire Clock_overrun then (state ()).skew else 0.0
 
 let injected s fmt =
   Printf.ksprintf (fun m -> raise (Injected (site_to_string s ^ ": " ^ m))) fmt

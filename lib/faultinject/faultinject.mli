@@ -3,7 +3,10 @@
    Seedable hooks the substrate consults at its failure-prone sites so
    tests can drive every degradation path (forced solver Unknown, fuel
    exhaustion, summary failure, wall-clock overrun) on demand. All state
-   is global and explicitly reset; a disarmed site is near-free. *)
+   is domain-local and explicitly reset; a worker domain inherits its
+   parent's armed plans with call counters reset to zero, so a fault
+   schedule replays deterministically within each worker. A disarmed
+   site is near-free. *)
 
 type site =
   | Solver_unknown (* force Smt.Solver.check to answer Unknown *)

@@ -1,0 +1,69 @@
+(* A small, deterministic domain pool for the verification pipeline.
+
+   Design constraints, in order:
+
+   - **Determinism.** Task→worker assignment is static round-robin
+     (task i runs on worker i mod jobs, in index order within a worker),
+     never work-stealing: domain-local state (solver caches, fault-plan
+     counters, statistics) then sees the same deterministic sequence of
+     work for a given (tasks, jobs) pair on every run, which is what
+     keeps injected fault schedules replayable and verdicts identical
+     between runs.
+   - **Isolation.** Each worker is one [Domain.spawn]; all mutable
+     verifier state is domain-local (DLS), so workers share nothing.
+     Results land in per-index slots — no locks, no contention.
+   - **Degenerate case is free.** [jobs <= 1] (or a single task) runs
+     the plain [List.map] on the calling domain: no spawn, bit-for-bit
+     the sequential pipeline.
+
+   Exceptions raised by [f] are captured per task and re-raised on the
+   calling domain for the lowest failing task index, after every worker
+   has been joined. *)
+
+let max_jobs = 64
+
+let clamp_jobs ~ntasks jobs = max 1 (min jobs (min max_jobs ntasks))
+
+(* [map_timed ~jobs f tasks] = [List.map f tasks], fanned out over
+   [jobs] domains, plus the wall-clock seconds each worker domain spent
+   (a [jobs]-length list; [jobs <= 1] reports one entry). *)
+let map_timed ~jobs (f : 'a -> 'b) (tasks : 'a list) : 'b list * float list =
+  let ntasks = List.length tasks in
+  let jobs = clamp_jobs ~ntasks jobs in
+  if jobs <= 1 then begin
+    let t0 = Unix.gettimeofday () in
+    let results = List.map f tasks in
+    (results, [ Unix.gettimeofday () -. t0 ])
+  end
+  else begin
+    let tasks = Array.of_list tasks in
+    let results : ('b, exn * Printexc.raw_backtrace) result option array =
+      Array.make ntasks None
+    in
+    let walls = Array.make jobs 0.0 in
+    let worker w () =
+      let t0 = Unix.gettimeofday () in
+      let i = ref w in
+      while !i < ntasks do
+        (results.(!i) <-
+           (match f tasks.(!i) with
+           | v -> Some (Ok v)
+           | exception e ->
+               Some (Error (e, Printexc.get_raw_backtrace ()))));
+        i := !i + jobs
+      done;
+      walls.(w) <- Unix.gettimeofday () -. t0
+    in
+    let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
+    Array.iter Domain.join domains;
+    let results =
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+    in
+    (results, Array.to_list walls)
+  end
+
+let map ~jobs f tasks = fst (map_timed ~jobs f tasks)

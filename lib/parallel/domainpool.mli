@@ -1,0 +1,12 @@
+(* A small, deterministic domain pool: static round-robin task→worker
+   assignment (task i → worker i mod jobs), one [Domain.spawn] per
+   worker, per-index result slots. [jobs <= 1] degenerates to a plain
+   [List.map] on the calling domain. Exceptions from [f] are re-raised
+   on the caller after all workers joined. *)
+
+val max_jobs : int
+
+(* [map_timed ~jobs f tasks] also returns the wall-clock seconds each
+   worker spent (length = effective number of workers). *)
+val map_timed : jobs:int -> ('a -> 'b) -> 'a list -> 'b list * float list
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

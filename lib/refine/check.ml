@@ -304,17 +304,26 @@ let quick_refute (a : Term.t list) (b : Term.t list) : bool =
 (* The checker                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let check_eq ~(pc : Term.t list) (a : Term.t) (b : Term.t) : bool =
-  a = b
+(* Entailment, routed through an incremental assertion stack when one is
+   in scope: the hypotheses of successive obligations share their tail
+   (the engine path condition) physically, so only the goal literal is
+   analyzed fresh per call. *)
+let entails ?incr ~hyps goal =
+  match incr with
+  | Some s -> Solver.Incremental.entails s ~hyps goal
+  | None -> Solver.entails ~hyps goal
+
+let check_eq ?incr ~(pc : Term.t list) (a : Term.t) (b : Term.t) : bool =
+  Term.equal a b
   ||
   match (a, b) with
   | Term.Int_const x, Term.Int_const y -> x = y
   | _ -> (
-      match Solver.entails ~hyps:pc (Term.eq a b) with
+      match entails ?incr ~hyps:pc (Term.eq a b) with
       | Solver.Valid -> true
       | Solver.Counterexample _ | Solver.Unknown_validity -> false)
 
-let check_slot ~pc ~(where : string) (eng : slot) (exp : slot) :
+let check_slot ?incr ~pc ~(where : string) (eng : slot) (exp : slot) :
     (unit, string) result =
   let checks =
     [
@@ -329,7 +338,7 @@ let check_slot ~pc ~(where : string) (eng : slot) (exp : slot) :
           (Printf.sprintf "target[%d]" j, eng.s_target.(j), exp.s_target.(j)))
   in
   let bad =
-    List.find_opt (fun (_, a, b) -> not (check_eq ~pc a b)) checks
+    List.find_opt (fun (_, a, b) -> not (check_eq ?incr ~pc a b)) checks
   in
   match bad with
   | Some (field, a, b) ->
@@ -337,23 +346,23 @@ let check_slot ~pc ~(where : string) (eng : slot) (exp : slot) :
         (Format.asprintf "%s.%s: engine %a vs spec %a" where field Term.pp a
            Term.pp b)
   | None ->
-      if check_eq ~pc eng.s_has_target exp.s_has_target then Ok ()
+      if check_eq ?incr ~pc eng.s_has_target exp.s_has_target then Ok ()
       else Error (where ^ ".hasTarget differs")
 
 let section_names = [| "answer"; "authority"; "additional" |]
 
-let check_images ~pc (it : Layout.interner) (eng : image)
+let check_images ?incr ~pc (it : Layout.interner) (eng : image)
     (spec : Specsym.sresponse) ~(qlen_pin : int option) : (unit, string) result
     =
   let expected_sections =
     [| spec.Specsym.sanswer; spec.Specsym.sauthority; spec.Specsym.sadditional |]
   in
   let rc = Term.int (Message.rcode_code spec.Specsym.srcode) in
-  if not (check_eq ~pc eng.i_rcode rc) then
+  if not (check_eq ?incr ~pc eng.i_rcode rc) then
     Error
       (Format.asprintf "rcode: engine %a vs spec %s" Term.pp eng.i_rcode
          (Message.rcode_to_string spec.Specsym.srcode))
-  else if not (check_eq ~pc eng.i_aa (Term.of_bool spec.Specsym.saa)) then
+  else if not (check_eq ?incr ~pc eng.i_aa (Term.of_bool spec.Specsym.saa)) then
     Error
       (Format.asprintf "aa: engine %a vs spec %b" Term.pp eng.i_aa
          spec.Specsym.saa)
@@ -363,7 +372,7 @@ let check_images ~pc (it : Layout.interner) (eng : image)
       else
         let expected = expected_sections.(k) in
         let count = List.length expected in
-        if not (check_eq ~pc eng.i_counts.(k) (Term.int count)) then
+        if not (check_eq ?incr ~pc eng.i_counts.(k) (Term.int count)) then
           Error
             (Format.asprintf "%s count: engine %a vs spec %d"
                section_names.(k) Term.pp eng.i_counts.(k) count)
@@ -373,7 +382,7 @@ let check_images ~pc (it : Layout.interner) (eng : image)
             | srr :: rest -> (
                 let exp = expected_slot it qlen_pin srr in
                 match
-                  check_slot ~pc
+                  check_slot ?incr ~pc
                     ~where:(Printf.sprintf "%s[%d]" section_names.(k) i)
                     eng.i_slots.(k).(i) exp
                 with
@@ -386,9 +395,9 @@ let check_images ~pc (it : Layout.interner) (eng : image)
 
 (* Try to pin the query length under [pc]: take the model's value and
    confirm entailment. *)
-let pin_qlen (pc : Term.t list) (m : Model.t) : int option =
+let pin_qlen ?incr (pc : Term.t list) (m : Model.t) : int option =
   let k = Model.get_int "q.len" m in
-  match Solver.entails ~hyps:pc (Term.eq Specsym.qsym_len (Term.int k)) with
+  match entails ?incr ~hyps:pc (Term.eq Specsym.qsym_len (Term.int k)) with
   | Solver.Valid -> Some k
   | _ -> None
 
@@ -423,6 +432,10 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
     Specsym.paths zone enc.Encode.interner.Layout.coder ~qtype
       ~max_labels:Layout.max_labels
   in
+  (* One assertion stack for the whole product check: consecutive
+     obligations share the engine path condition as their physical tail,
+     so its analysis is reused across spec paths and slot checks. *)
+  let incr = Solver.Incremental.create () in
   let mismatches = ref [] in
   let panics = ref [] in
   let pairs = ref 0 in
@@ -436,7 +449,7 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
        on both sides (typically one derived from a solver Unknown and
        an empty model) is not evidence, and must not flip the verdict
        to Refuted — it downgrades the run to inconclusive instead. *)
-    if String.equal engine_replay spec_replay then incr unconfirmed
+    if String.equal engine_replay spec_replay then Stdlib.incr unconfirmed
     else
       mismatches :=
         { query = q; detail; engine_replay; spec_replay } :: !mismatches
@@ -445,7 +458,7 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
     (fun ((path : Exec.path), outcome) ->
       match outcome with
       | Exec.Panicked reason -> (
-          match Solver.check path.Exec.pc with
+          match Solver.Incremental.check_pc incr path.Exec.pc with
           | Solver.Sat m ->
               let q =
                 Specsym.query_of_model enc.Encode.interner.Layout.coder m ~qtype
@@ -467,11 +480,11 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
               if not (quick_refute path.Exec.pc sp.Specsym.cond) then begin
                 let combined = sp.Specsym.cond @ path.Exec.pc in
                 let handle_overlap (m : Model.t) =
-                  incr pairs;
-                  let qlen_pin = pin_qlen combined m in
+                  Stdlib.incr pairs;
+                  let qlen_pin = pin_qlen ~incr combined m in
                   match
-                    check_images ~pc:combined enc.Encode.interner eng_image
-                      sp.Specsym.resp ~qlen_pin
+                    check_images ~incr ~pc:combined enc.Encode.interner
+                      eng_image sp.Specsym.resp ~qlen_pin
                   with
                   | Ok () -> ()
                   | Error detail ->
@@ -482,7 +495,7 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
                       in
                       record_mismatch q detail
                 in
-                match Solver.check combined with
+                match Solver.Incremental.check_pc incr combined with
                 | Solver.Unsat -> ()
                 | Solver.Sat m -> handle_overlap m
                 | Solver.Unknown -> handle_overlap Model.empty
@@ -498,7 +511,7 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
     solver_calls = h.exec_ctx.Exec.solver_calls + spec_solver_calls;
     (* Global since reset above: covers Unknown-as-feasible branches in
        the executor *and* Unknown-validity entailments in check_eq. *)
-    unknowns = Solver.stats.Solver.unknowns;
+    unknowns = (Solver.stats ()).Solver.unknowns;
     summary_cases =
       List.map
         (fun (s : Summary.t) -> (s.Summary.fn, Summary.case_count s))
@@ -519,7 +532,7 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
          Unknown, which already forces an inconclusive status; if one
          appears without any Unknown it is checker imprecision, and the
          run still must not count as a proof. *)
-      (if !unconfirmed > 0 && Solver.stats.Solver.unknowns = 0 then
+      (if !unconfirmed > 0 && (Solver.stats ()).Solver.unknowns = 0 then
          Some
            (Budget.Internal_error
               (Printf.sprintf

@@ -104,16 +104,26 @@ exception Refuted
 val collect_eqs : (string, int) Hashtbl.t -> Term.t -> unit
 val partial_eval : (string, int) Hashtbl.t -> Term.t -> bool option
 val quick_refute : Term.t list -> Term.t list -> bool
-val check_eq : pc:Term.t list -> Term.t -> Term.t -> bool
+
+(* [?incr] routes entailments through an incremental assertion stack so
+   obligations sharing their hypothesis tail reuse its analysis. *)
+val entails :
+  ?incr:Solver.Incremental.t ->
+  hyps:Term.t list -> Term.t -> Solver.entailment
+val check_eq :
+  ?incr:Solver.Incremental.t -> pc:Term.t list -> Term.t -> Term.t -> bool
 val check_slot :
+  ?incr:Solver.Incremental.t ->
   pc:Term.t list -> where:string -> slot -> slot -> (unit, string) result
 val section_names : string array
 val check_images :
+  ?incr:Solver.Incremental.t ->
   pc:Term.t list ->
   Layout.interner ->
   image ->
   Specsym.sresponse -> qlen_pin:int option -> (unit, string) result
-val pin_qlen : Term.t list -> Model.t -> int option
+val pin_qlen :
+  ?incr:Solver.Incremental.t -> Term.t list -> Model.t -> int option
 val replay_engine :
   Engine.Builder.config -> Zone.t -> Message.query -> string
 val replay_spec : Zone.t -> Message.query -> string

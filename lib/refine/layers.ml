@@ -321,6 +321,10 @@ let compare_results (init_mem : Sval.memory) (code : Exec.result)
     (spec : Exec.result) : int * string list =
   let mismatches = ref [] in
   let pairs = ref 0 in
+  (* One assertion stack for the whole product: the hypotheses of every
+     entailment below extend [combined], whose tail (the code path
+     condition) is shared physically across the inner loop. *)
+  let istack = Solver.Incremental.create () in
   let add fmt = Format.kasprintf (fun s -> mismatches := s :: !mismatches) fmt in
   let term_of_sval = function
     | Sval.SInt t | Sval.SBool t -> Some t
@@ -331,7 +335,7 @@ let compare_results (init_mem : Sval.memory) (code : Exec.result)
       List.iter
         (fun ((sp : Exec.path), s_out) ->
           let combined = sp.Exec.pc @ cp.Exec.pc in
-          match Solver.check combined with
+          match Solver.Incremental.check_pc istack combined with
           | Solver.Unsat -> ()
           | Solver.Sat _ | Solver.Unknown -> (
               incr pairs;
@@ -346,7 +350,7 @@ let compare_results (init_mem : Sval.memory) (code : Exec.result)
                   | Some cv, Some sv -> (
                       match (term_of_sval cv, term_of_sval sv) with
                       | Some ct, Some st -> (
-                          match Solver.entails ~hyps:combined (Term.eq ct st) with
+                          match Solver.Incremental.entails istack ~hyps:combined (Term.eq ct st) with
                           | Solver.Valid -> ()
                           | _ ->
                               add "return values differ: %a vs %a" Term.pp ct
@@ -383,7 +387,7 @@ let compare_results (init_mem : Sval.memory) (code : Exec.result)
                             | Sval.CInt a, Sval.CInt b
                             | (Sval.CBool a, Sval.CBool b : Sval.scell * Sval.scell) -> (
                                 match
-                                  Solver.entails ~hyps:combined (Term.eq a b)
+                                  Solver.Incremental.entails istack ~hyps:combined (Term.eq a b)
                                 with
                                 | Solver.Valid -> ()
                                 | _ ->
@@ -401,7 +405,7 @@ let compare_results (init_mem : Sval.memory) (code : Exec.result)
                             | Sval.CInt a, Sval.CInt b | Sval.CBool a, Sval.CBool b
                               -> (
                                 match
-                                  Solver.entails ~hyps:combined (Term.eq a b)
+                                  Solver.Incremental.entails istack ~hyps:combined (Term.eq a b)
                                 with
                                 | Solver.Valid -> ()
                                 | _ ->
@@ -515,7 +519,7 @@ let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
     (prog : Minir.Instr.program) (layer : string) : layer_report =
   let t0 = Unix.gettimeofday () in
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
-  let unknowns0 = Solver.stats.Solver.unknowns in
+  let unknowns0 = (Solver.stats ()).Solver.unknowns in
   let attempt () =
     Solver.with_budget budget @@ fun () ->
     let spec =
@@ -540,7 +544,7 @@ let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
         spec_paths;
         pairs;
         mismatches;
-        unknowns = Solver.stats.Solver.unknowns - unknowns0;
+        unknowns = (Solver.stats ()).Solver.unknowns - unknowns0;
         inconclusive = None;
         elapsed = Unix.gettimeofday () -. t0;
       }
@@ -551,7 +555,7 @@ let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
         spec_paths = 0;
         pairs = 0;
         mismatches = [];
-        unknowns = Solver.stats.Solver.unknowns - unknowns0;
+        unknowns = (Solver.stats ()).Solver.unknowns - unknowns0;
         inconclusive = Some (Budget.reason_of_exn e);
         elapsed = Unix.gettimeofday () -. t0;
       }

@@ -119,6 +119,22 @@ let negate_atom = function
   | Eq_zero lin -> Neq_zero lin
   | Neq_zero lin -> Eq_zero lin
 
+(* Canonical, order-independent key for memoizing atoms: [Coeffs.bindings]
+   is sorted by variable name, so two structurally different maps denoting
+   the same linear form produce the same key. Polymorphic compare/hash on
+   the [Map.t] balanced trees themselves would be unreliable — never key
+   on [atom] directly. *)
+type key = int * int * (string * int) list
+
+let key_of_atom (a : atom) : key =
+  let tag, lin =
+    match a with
+    | Le_zero lin -> (0, lin)
+    | Eq_zero lin -> (1, lin)
+    | Neq_zero lin -> (2, lin)
+  in
+  (tag, lin.const, Coeffs.bindings lin.coeffs)
+
 let eval_atom env = function
   | Le_zero lin -> eval env lin <= 0
   | Eq_zero lin -> eval env lin = 0

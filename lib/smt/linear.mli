@@ -79,5 +79,11 @@ val pp : Format.formatter -> t -> unit
 type atom = Le_zero of t | Eq_zero of t | Neq_zero of t
 val atom_of_term : Term.t -> atom option
 val negate_atom : atom -> atom
+
+(* Canonical memo key for an atom (constructor tag, constant, sorted
+   coefficient bindings). Safe to hash and compare structurally, unlike
+   the underlying [Coeffs.t] balanced trees. *)
+type key = int * int * (string * int) list
+val key_of_atom : atom -> key
 val eval_atom : (Coeffs.key -> int) -> atom -> bool
 val pp_atom : Format.formatter -> atom -> unit

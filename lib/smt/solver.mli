@@ -7,34 +7,99 @@
    - conjunctions of literals (the overwhelmingly common case — path
      conditions) go straight to the LIA procedure;
    - arbitrary boolean structure goes through Tseitin CNF + DPLL, with
-     theory-refuted assignments blocked by clauses until convergence. *)
+     theory-refuted assignments blocked by clauses until convergence.
+
+   A domain-local result cache (canonical-conjunction → result memo) and
+   an incremental assertion stack sit on top; see [Incremental]. *)
 
 type result = Sat of Model.t | Unsat | Unknown
+
 type stats = {
   mutable checks : int;
   mutable fast_path : int;
   mutable dpllt_iterations : int;
   mutable unknowns : int; (* Unknown answers, incl. injected ones *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable incremental_checks : int;
+  mutable scratch_checks : int;
 }
-val stats : stats
+
+(* Counters are domain-local: each parallel worker accumulates its own.
+   [stats] is the current window (cleared by [reset_stats], which folds
+   it into the lifetime total); [lifetime] is the cumulative total for
+   this domain. [absorb_stats] folds a worker's delta into the calling
+   domain's lifetime at a join barrier. *)
+val stats : unit -> stats
 val reset_stats : unit -> unit
+val lifetime : unit -> stats
+val reset_lifetime : unit -> unit
+val absorb_stats : stats -> unit
+val add_stats : into:stats -> stats -> unit
+val diff_stats : stats -> stats -> stats
+
+(* Result-cache switch (on by default). Atomic: flipping it on the main
+   domain is observed by workers. The caches themselves are domain-local;
+   Unknown answers are never cached. *)
+val set_caching : bool -> unit
+val caching_enabled : unit -> bool
+val clear_caches : unit -> unit
+
+(* Incremental-stack switch (on by default). When off, [Incremental]
+   checks degrade to monolithic [check]s of their full term list — the
+   pre-optimization behavior, kept for before/after measurement. *)
+val set_incremental : bool -> unit
+val incremental_enabled : unit -> bool
 
 (* Scope a resource budget over every [check]/[entails] call made by
-   [f]: each call charges one solver step and honors the deadline. *)
-val current_budget : Budget.t option ref
+   [f]: each call charges one solver step and honors the deadline. The
+   scope is domain-local. *)
+val current_budget : unit -> Budget.t option ref
 val with_budget : Budget.t -> (unit -> 'a) -> 'a
+
 exception Not_conjunctive
+
 val literals_of_conjunction :
   Term.t list -> Linear.atom list * (string * bool) list
+
 val model_of_lia_model :
   Lia.model ->
   (Model.String_map.key * bool) list ->
   Term.value Model.String_map.t
+
 val check_fast : Term.t list -> result option
 val max_dpllt_iterations : int
 val check_dpllt : Term.t -> result
 val check : Term.t list -> result
 val is_sat : Term.t list -> bool
 val is_unsat : Term.t list -> bool
+
 type entailment = Valid | Counterexample of Model.t | Unknown_validity
+
 val entails : hyps:Term.t list -> Term.t -> entailment
+
+(* Incremental assertion stack: push/assert/pop frames mirroring a path
+   condition, so a branch decision extends the parent path's analyzed
+   solver state by one literal instead of re-translating the whole
+   conjunction. Refuted prefixes short-circuit every extension. Each
+   [check]/[check_pc] charges the budget and fault plan exactly like a
+   top-level [check]. *)
+module Incremental : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> unit
+  val assert_term : t -> Term.t -> unit
+  val pop : t -> unit
+  val depth : t -> int
+  val terms : t -> Term.t list
+  val check : t -> result
+
+  (* Decide path condition [pc] (newest literal first), syncing the
+     stack to it by physical identity of the cons cells — sibling
+     branches and parent paths share tails, and shared literals keep
+     their analysis. Do not mix with the explicit push/assert API on
+     the same stack. *)
+  val check_pc : t -> Term.t list -> result
+  val entails : t -> hyps:Term.t list -> Term.t -> entailment
+end

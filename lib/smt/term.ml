@@ -42,6 +42,70 @@ exception Sort_error of string
 let sort_error fmt = Format.kasprintf (fun s -> raise (Sort_error s)) fmt
 
 (* ------------------------------------------------------------------ *)
+(* Hash-consing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every term built by a smart constructor is interned in a
+   domain-local table, so structurally equal terms built through the
+   constructors are physically equal within a domain (maximal sharing).
+   [equal] then short-circuits on [==] for the overwhelmingly common
+   case, and the solver's memo tables get cheap, well-distributed keys.
+   The table is domain-local rather than global: worker domains of the
+   parallel pipeline each intern independently, so no lock is needed
+   and no domain can observe another's partially-built buckets. *)
+
+(* Bounded-depth structural hash: O(1) on arbitrarily deep terms, and
+   consistent with structural equality (the interning invariant only
+   strengthens [=] into [==], never changes it). *)
+let hash (t : t) = Hashtbl.hash_param 30 120 t
+
+let equal (a : t) (b : t) = a == b || a = b
+
+module Intern_tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let hash = hash
+  let equal = equal
+end)
+
+(* Past this many distinct live terms the table is dropped wholesale:
+   interning is an optimization, losing it only costs sharing. *)
+let intern_limit = 1 lsl 17
+
+let intern_key : t Intern_tbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Intern_tbl.create 4096)
+
+let intern (t : t) : t =
+  let tbl = Domain.DLS.get intern_key in
+  match Intern_tbl.find_opt tbl t with
+  | Some t' -> t'
+  | None ->
+      if Intern_tbl.length tbl >= intern_limit then Intern_tbl.reset tbl;
+      Intern_tbl.add tbl t t;
+      t
+
+(* Recursively intern a term built with the raw data constructors
+   (maximal sharing without re-normalizing). Terms from the smart
+   constructors are already interned. *)
+let rec hashcons (t : t) : t =
+  match t with
+  | True | False -> t
+  | Int_const _ | Var _ -> intern t
+  | Not a -> intern (Not (hashcons a))
+  | And ts -> intern (And (List.map hashcons ts))
+  | Or ts -> intern (Or (List.map hashcons ts))
+  | Implies (a, b) -> intern (Implies (hashcons a, hashcons b))
+  | Iff (a, b) -> intern (Iff (hashcons a, hashcons b))
+  | Ite (c, a, b) -> intern (Ite (hashcons c, hashcons a, hashcons b))
+  | Add ts -> intern (Add (List.map hashcons ts))
+  | Sub (a, b) -> intern (Sub (hashcons a, hashcons b))
+  | Neg a -> intern (Neg (hashcons a))
+  | Mul_const (k, a) -> intern (Mul_const (k, hashcons a))
+  | Eq (a, b) -> intern (Eq (hashcons a, hashcons b))
+  | Le (a, b) -> intern (Le (hashcons a, hashcons b))
+  | Lt (a, b) -> intern (Lt (hashcons a, hashcons b))
+
+(* ------------------------------------------------------------------ *)
 (* Sorts                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -62,8 +126,8 @@ let is_int t = sort_of t = Int
 
 let true_ = True
 let false_ = False
-let int n = Int_const n
-let var name sort = Var { name; sort }
+let int n = intern (Int_const n)
+let var name sort = intern (Var { name; sort })
 let bool_var name = var name Bool
 let int_var name = var name Int
 let of_bool b = if b then True else False
@@ -80,7 +144,7 @@ let not_ t =
   | True -> False
   | False -> True
   | Not t -> t
-  | t -> Not t
+  | t -> intern (Not t)
 
 let and_ ts =
   List.iter (check_bool "and") ts;
@@ -89,7 +153,7 @@ let and_ ts =
   in
   if List.exists (fun t -> t = False) ts then False
   else
-    match ts with [] -> True | [ t ] -> t | ts -> And ts
+    match ts with [] -> True | [ t ] -> t | ts -> intern (And ts)
 
 let or_ ts =
   List.iter (check_bool "or") ts;
@@ -98,7 +162,7 @@ let or_ ts =
   in
   if List.exists (fun t -> t = True) ts then True
   else
-    match ts with [] -> False | [ t ] -> t | ts -> Or ts
+    match ts with [] -> False | [ t ] -> t | ts -> intern (Or ts)
 
 let implies a b =
   check_bool "implies" a;
@@ -108,7 +172,7 @@ let implies a b =
   | False, _ -> True
   | _, True -> True
   | a, False -> not_ a
-  | a, b -> Implies (a, b)
+  | a, b -> intern (Implies (a, b))
 
 let iff a b =
   check_bool "iff" a;
@@ -118,13 +182,16 @@ let iff a b =
   | b, True -> b
   | False, b -> not_ b
   | b, False -> not_ b
-  | a, b -> if a = b then True else Iff (a, b)
+  | a, b -> if equal a b then True else intern (Iff (a, b))
 
 let ite c a b =
   check_bool "ite" c;
   if not (equal_sort (sort_of a) (sort_of b)) then
     sort_error "ite: branch sorts differ";
-  match c with True -> a | False -> b | c -> if a = b then a else Ite (c, a, b)
+  match c with
+  | True -> a
+  | False -> b
+  | c -> if equal a b then a else intern (Ite (c, a, b))
 
 let add ts =
   List.iter (check_int "add") ts;
@@ -138,34 +205,34 @@ let add ts =
   in
   let rest = List.rev rest in
   match (const, rest) with
-  | c, [] -> Int_const c
+  | c, [] -> intern (Int_const c)
   | 0, [ t ] -> t
-  | 0, ts -> Add ts
-  | c, ts -> Add (ts @ [ Int_const c ])
+  | 0, ts -> intern (Add ts)
+  | c, ts -> intern (Add (ts @ [ intern (Int_const c) ]))
 
 let sub a b =
   check_int "sub" a;
   check_int "sub" b;
   match (a, b) with
-  | Int_const x, Int_const y -> Int_const (x - y)
+  | Int_const x, Int_const y -> intern (Int_const (x - y))
   | a, Int_const 0 -> a
-  | a, b -> if a = b then Int_const 0 else Sub (a, b)
+  | a, b -> if equal a b then intern (Int_const 0) else intern (Sub (a, b))
 
 let neg t =
   check_int "neg" t;
   match t with
-  | Int_const n -> Int_const (-n)
+  | Int_const n -> intern (Int_const (-n))
   | Neg t -> t
-  | t -> Neg t
+  | t -> intern (Neg t)
 
 let mul_const k t =
   check_int "mul" t;
   match (k, t) with
-  | 0, _ -> Int_const 0
+  | 0, _ -> intern (Int_const 0)
   | 1, t -> t
-  | k, Int_const n -> Int_const (k * n)
-  | k, Mul_const (k', t) -> Mul_const (k * k', t)
-  | k, t -> Mul_const (k, t)
+  | k, Int_const n -> intern (Int_const (k * n))
+  | k, Mul_const (k', t) -> intern (Mul_const (k * k', t))
+  | k, t -> intern (Mul_const (k, t))
 
 let eq a b =
   if not (equal_sort (sort_of a) (sort_of b)) then
@@ -176,21 +243,21 @@ let eq a b =
   | b, True -> b
   | False, b -> not_ b
   | b, False -> not_ b
-  | a, b -> if a = b then True else Eq (a, b)
+  | a, b -> if equal a b then True else intern (Eq (a, b))
 
 let le a b =
   check_int "le" a;
   check_int "le" b;
   match (a, b) with
   | Int_const x, Int_const y -> of_bool (x <= y)
-  | a, b -> if a = b then True else Le (a, b)
+  | a, b -> if equal a b then True else intern (Le (a, b))
 
 let lt a b =
   check_int "lt" a;
   check_int "lt" b;
   match (a, b) with
   | Int_const x, Int_const y -> of_bool (x < y)
-  | a, b -> if a = b then False else Lt (a, b)
+  | a, b -> if equal a b then False else intern (Lt (a, b))
 
 let ge a b = le b a
 let gt a b = lt b a

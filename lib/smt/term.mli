@@ -32,6 +32,16 @@ type t =
 and var = { name : string; sort : sort; }
 exception Sort_error of string
 val sort_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(* Hash-consing. Smart constructors intern every node in a domain-local
+   table, so structurally equal terms built through them are physically
+   equal within a domain; [equal] and [hash] are then effectively O(1)
+   and safe to use for memo-table keys. [hashcons] interns a term built
+   with the raw data constructors. *)
+val equal : t -> t -> bool
+val hash : t -> int
+val intern : t -> t
+val hashcons : t -> t
 val sort_of : t -> sort
 val is_bool : t -> bool
 val is_int : t -> bool

@@ -27,6 +27,10 @@ type ctx = {
   mutable forks : int;
   mutable solver_calls : int;
   mutable unknowns : int; (* solver Unknowns treated as feasible *)
+  incr : Solver.Incremental.t;
+      (* assertion stack mirroring the current path condition: branch
+         feasibility extends the parent path's analyzed solver state by
+         one literal instead of re-translating the whole conjunction *)
 }
 
 and intercept = ctx -> path -> Sval.sval list -> result
@@ -45,6 +49,7 @@ let create ?(max_steps = default_max_steps) ?budget ?(intercepts = []) prog =
     forks = 0;
     solver_calls = 0;
     unknowns = 0;
+    incr = Solver.Incremental.create ();
   }
 
 let tick ctx =
@@ -67,7 +72,7 @@ let charge_fork ctx =
    for bug finding: we may report a spurious path, never miss one). *)
 let feasible ctx (pc : Term.t list) : bool =
   ctx.solver_calls <- ctx.solver_calls + 1;
-  match Solver.check pc with
+  match Solver.Incremental.check_pc ctx.incr pc with
   | Solver.Sat _ -> true
   | Solver.Unsat -> false
   | Solver.Unknown ->
@@ -82,16 +87,19 @@ let fork_bool ctx (path : path) (t : Term.t) ~(then_ : path -> 'a list)
   | Term.True -> then_ path
   | Term.False -> else_ path
   | t -> (
-      let not_t = Term.not_ t in
-      let sat_t = feasible ctx (t :: path.pc) in
-      let sat_n = feasible ctx (not_t :: path.pc) in
+      (* Allocate each extended pc once and reuse it for both the
+         feasibility query and the forked path: the assertion stack is
+         keyed on the cons cells' physical identity, so the descent into
+         the branch finds its condition already analyzed. *)
+      let pc_t = t :: path.pc and pc_n = Term.not_ t :: path.pc in
+      let sat_t = feasible ctx pc_t in
+      let sat_n = feasible ctx pc_n in
       match (sat_t, sat_n) with
       | true, false -> then_ path
       | false, true -> else_ path
       | true, true ->
           charge_fork ctx;
-          then_ { path with pc = t :: path.pc }
-          @ else_ { path with pc = not_t :: path.pc }
+          then_ { path with pc = pc_t } @ else_ { path with pc = pc_n }
       | false, false -> [] (* path condition itself became unsat *))
 
 (* Concretize an integer term against the candidates 0..n-1 (symbolic
@@ -105,17 +113,18 @@ let fork_index ctx (path : path) (t : Term.t) ~(cap : int)
   | t ->
       let results = ref [] in
       for v = cap - 1 downto 0 do
-        let cond = Term.eq t (Term.int v) in
-        if feasible ctx (cond :: path.pc) then begin
+        let pc_v = Term.eq t (Term.int v) :: path.pc in
+        if feasible ctx pc_v then begin
           charge_fork ctx;
-          results := k { path with pc = cond :: path.pc } v @ !results
+          results := k { path with pc = pc_v } v @ !results
         end
       done;
-      let oob =
+      let pc_oob =
         Term.or_ [ Term.lt t (Term.int 0); Term.ge t (Term.int cap) ]
+        :: path.pc
       in
-      if feasible ctx (oob :: path.pc) then
-        results := !results @ out_of_range { path with pc = oob :: path.pc };
+      if feasible ctx pc_oob then
+        results := !results @ out_of_range { path with pc = pc_oob };
       !results
 
 (* ------------------------------------------------------------------ *)

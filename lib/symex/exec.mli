@@ -25,6 +25,8 @@ type ctx = {
   mutable forks : int;
   mutable solver_calls : int;
   mutable unknowns : int;
+  incr : Solver.Incremental.t;
+      (* assertion stack mirroring the current path condition *)
 }
 and intercept = ctx -> path -> Sval.sval list -> result
 exception Budget_exceeded of string

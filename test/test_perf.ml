@@ -1,0 +1,361 @@
+(* Tests for the performance architecture of this PR: hash-consed
+   terms, the solver result cache + incremental assertion stack, and
+   the parallel verification pipeline.
+
+   The load-bearing properties:
+
+   - hash-consing is invisible: terms built through the raw data
+     constructors and through the interning smart constructors evaluate
+     identically on every bounded environment, and [hashcons] maps
+     structurally equal terms to physically equal ones;
+   - the incremental assertion stack answers exactly like a monolithic
+     [Solver.check] of the same conjunction, on random push/assert/pop
+     traces and on random fork/backtrack path-condition walks;
+   - the parallel pipeline is invisible: [verify ~jobs:4] produces a
+     verdict fingerprint byte-identical to [verify ~jobs:1] for every
+     fixed engine version, and two parallel runs under the same armed
+     fault plan agree with each other. *)
+
+open Smt
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let x = Term.int_var "x"
+let y = Term.int_var "y"
+let z = Term.int_var "z"
+
+(* A recipe for a random boolean term, realized twice: once through the
+   raw data constructors (no interning, no normalization) and once
+   through the smart constructors (interned, lightly normalized). *)
+let paired_gen : (Term.t * Term.t) QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> (Term.Int_const n, Term.int n)) (int_range (-4) 4);
+        oneofl [ (x, x); (y, y); (z, z) ];
+      ]
+  in
+  let arith =
+    oneof
+      [
+        leaf;
+        map2
+          (fun (ra, sa) (rb, sb) -> (Term.Add [ ra; rb ], Term.add [ sa; sb ]))
+          leaf leaf;
+        map2
+          (fun (ra, sa) (rb, sb) -> (Term.Sub (ra, rb), Term.sub sa sb))
+          leaf leaf;
+        map
+          (fun (ra, sa) -> (Term.Mul_const (3, ra), Term.mul_const 3 sa))
+          leaf;
+        map (fun (ra, sa) -> (Term.Neg ra, Term.neg sa)) leaf;
+      ]
+  in
+  let cmp =
+    oneof
+      [
+        map2
+          (fun (ra, sa) (rb, sb) -> (Term.Eq (ra, rb), Term.eq sa sb))
+          arith arith;
+        map2
+          (fun (ra, sa) (rb, sb) -> (Term.Le (ra, rb), Term.le sa sb))
+          arith arith;
+        map2
+          (fun (ra, sa) (rb, sb) -> (Term.Lt (ra, rb), Term.lt sa sb))
+          arith arith;
+      ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then cmp
+      else
+        frequency
+          [
+            (3, cmp);
+            ( 2,
+              map2
+                (fun (ra, sa) (rb, sb) ->
+                  (Term.And [ ra; rb ], Term.and_ [ sa; sb ]))
+                (self (n / 2))
+                (self (n / 2)) );
+            ( 2,
+              map2
+                (fun (ra, sa) (rb, sb) ->
+                  (Term.Or [ ra; rb ], Term.or_ [ sa; sb ]))
+                (self (n / 2))
+                (self (n / 2)) );
+            (1, map (fun (ra, sa) -> (Term.Not ra, Term.not_ sa)) (self (n - 1)));
+            ( 1,
+              map2
+                (fun (ra, sa) (rb, sb) ->
+                  (Term.Implies (ra, rb), Term.implies sa sb))
+                (self (n / 2))
+                (self (n / 2)) );
+          ])
+    3
+
+let arb_paired =
+  QCheck.make
+    ~print:(fun (r, s) -> Term.to_string r ^ " / " ^ Term.to_string s)
+    paired_gen
+
+let every_env f =
+  let dom = [ -3; -1; 0; 2 ] in
+  List.for_all
+    (fun xv ->
+      List.for_all
+        (fun yv ->
+          List.for_all
+            (fun zv ->
+              f (function
+                | "x" -> Some (Term.VInt xv)
+                | "y" -> Some (Term.VInt yv)
+                | "z" -> Some (Term.VInt zv)
+                | _ -> None))
+            dom)
+        dom)
+    dom
+
+let prop_smart_constructors_preserve_semantics =
+  QCheck.Test.make
+    ~name:"interning smart constructors preserve evaluation" ~count:300
+    arb_paired
+    (fun (raw, smart) ->
+      every_env (fun env -> Term.eval_bool env raw = Term.eval_bool env smart))
+
+let prop_hashcons_physical_equality =
+  QCheck.Test.make
+    ~name:"hashcons: structurally equal terms become physically equal"
+    ~count:300 arb_paired
+    (fun (raw, _) ->
+      (* A deep raw copy shares no nodes with [raw]'s interned image,
+         yet hash-consing both yields the same pointer. *)
+      let a = Term.hashcons raw in
+      let b = Term.hashcons raw in
+      a == b && Term.equal a raw && Term.hash a = Term.hash raw)
+
+let prop_smart_terms_already_interned =
+  QCheck.Test.make ~name:"smart-built terms are fixpoints of hashcons"
+    ~count:300 arb_paired
+    (fun (_, smart) -> Term.hashcons smart == smart)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental stack vs. monolithic check                             *)
+(* ------------------------------------------------------------------ *)
+
+let lit_gen : Term.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof [ map Term.int (int_range (-4) 4); oneofl [ x; y; z ] ]
+  in
+  let arith =
+    oneof [ leaf; map2 (fun a b -> Term.add [ a; b ]) leaf leaf ]
+  in
+  let cmp =
+    oneof
+      [
+        map2 Term.eq arith arith;
+        map2 Term.le arith arith;
+        map2 Term.lt arith arith;
+      ]
+  in
+  oneof [ cmp; map Term.not_ cmp ]
+
+type trace_op = Push | Pop | Assert of Term.t
+
+let trace_gen : trace_op list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [ (2, return Push); (1, return Pop); (4, map (fun l -> Assert l) lit_gen) ]
+  in
+  list_size (int_range 1 14) op
+
+let arb_trace =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (function
+             | Push -> "push"
+             | Pop -> "pop"
+             | Assert l -> "assert " ^ Term.to_string l)
+           ops))
+    trace_gen
+
+let same_verdict (a : Solver.result) (b : Solver.result) =
+  match (a, b) with
+  | Solver.Sat _, Solver.Sat _ -> true
+  | Solver.Unsat, Solver.Unsat -> true
+  | Solver.Unknown, Solver.Unknown -> true
+  | _ -> false
+
+let prop_incremental_matches_monolithic =
+  QCheck.Test.make
+    ~name:"incremental stack agrees with monolithic check on traces"
+    ~count:200 arb_trace
+    (fun ops ->
+      let s = Solver.Incremental.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Push -> Solver.Incremental.push s
+          | Pop -> if Solver.Incremental.depth s > 0 then Solver.Incremental.pop s
+          | Assert l -> Solver.Incremental.assert_term s l);
+          same_verdict
+            (Solver.Incremental.check s)
+            (Solver.check (Solver.Incremental.terms s)))
+        ops)
+
+(* Random fork/backtrack walk over path conditions, the shape the
+   symbolic executor produces: extend the current pc by consing, or
+   backtrack to any previously seen pc (sharing its tail physically). *)
+let prop_check_pc_matches_monolithic =
+  QCheck.Test.make
+    ~name:"check_pc agrees with monolithic check on fork/backtrack walks"
+    ~count:100
+    (QCheck.make
+       ~print:(fun ls -> String.concat "; " (List.map Term.to_string ls))
+       QCheck.Gen.(list_size (int_range 1 12) lit_gen))
+    (fun lits ->
+      let s = Solver.Incremental.create () in
+      let seen = ref [ [] ] in
+      let pc = ref [] in
+      List.for_all
+        (fun lit ->
+          (* Every other step, backtrack to a pseudo-random saved pc
+             first (deterministic in the generated literals). *)
+          (match !seen with
+          | choices when Term.hash lit mod 3 = 0 ->
+              pc := List.nth choices (Term.hash lit mod List.length choices)
+          | _ -> ());
+          pc := lit :: !pc;
+          seen := !pc :: !seen;
+          same_verdict
+            (Solver.Incremental.check_pc s !pc)
+            (Solver.check !pc))
+        lits)
+
+(* The stack must stay correct with the optimization switched off (the
+   benchmark's seed-equivalent mode falls back to monolithic checks). *)
+let test_incremental_switch () =
+  let s = Solver.Incremental.create () in
+  let pc = [ Term.le x (Term.int 3); Term.le (Term.int 1) x ] in
+  Solver.set_incremental false;
+  let off = Solver.Incremental.check_pc s pc in
+  Solver.set_incremental true;
+  let on_ = Solver.Incremental.check_pc s pc in
+  check_bool "verdicts agree across the incremental switch" true
+    (same_verdict off on_);
+  Solver.set_caching false;
+  let uncached = Solver.Incremental.check_pc s pc in
+  Solver.set_caching true;
+  check_bool "verdicts agree across the caching switch" true
+    (same_verdict uncached on_)
+
+(* ------------------------------------------------------------------ *)
+(* Result cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_cached_verdicts_stable =
+  QCheck.Test.make ~name:"re-checking a conjunction hits the cache, same model"
+    ~count:200 arb_paired
+    (fun (_, smart) ->
+      QCheck.assume (Term.is_bool smart);
+      let first = Solver.check [ smart ] in
+      let second = Solver.check [ smart ] in
+      match (first, second) with
+      | Solver.Sat m1, Solver.Sat m2 ->
+          (* Cached models are a function of the conjunction alone. *)
+          Model.satisfies m1 smart && Model.satisfies m2 smart
+      | a, b -> same_verdict a b)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel pipeline determinism                                      *)
+(* ------------------------------------------------------------------ *)
+
+let qtypes = [ Dns.Rr.A; Dns.Rr.MX ]
+
+let test_parallel_verify_matches_sequential () =
+  let zone = Spec.Fixtures.reference_zone in
+  List.iter
+    (fun cfg ->
+      let cfg = Engine.Versions.fixed cfg in
+      let run jobs =
+        Dnsv.Pipeline.verify ~qtypes ~check_layers:false
+          ~budget:(Budget.create ()) ~jobs cfg zone
+        |> Dnsv.Pipeline.fingerprint
+      in
+      check_string
+        (cfg.Engine.Builder.version ^ ": jobs=4 fingerprint equals jobs=1")
+        (run 1) (run 4))
+    Engine.Versions.all
+
+let test_parallel_batch_matches_sequential () =
+  let cfg = Engine.Versions.fixed Engine.Versions.v3_0 in
+  let origin = Dns.Name.of_string_exn "batch.example" in
+  let run jobs =
+    Dnsv.Pipeline.verify_batch ~qtypes:[ Dns.Rr.A ] ~count:3 ~seed:7
+      ~budget:(Budget.create ()) ~jobs cfg origin
+    |> Dnsv.Pipeline.fingerprint_batch
+  in
+  check_string "verify_batch jobs=2 equals jobs=1" (run 1) (run 2)
+
+(* Two parallel runs under the same armed fault plan must agree: worker
+   domains inherit the plan with fresh arrival counters, so the fault
+   schedule is a deterministic function of (tasks, jobs). *)
+let test_parallel_fault_determinism () =
+  let zone = Spec.Fixtures.reference_zone in
+  let cfg = Engine.Versions.fixed Engine.Versions.v3_0 in
+  let run () =
+    Faultinject.reset ();
+    Faultinject.arm ~persistent:true ~after:50 Faultinject.Solver_unknown;
+    let v =
+      Dnsv.Pipeline.verify ~qtypes ~check_layers:false
+        ~budget:(Budget.create ()) ~jobs:4 cfg zone
+    in
+    Faultinject.reset ();
+    Dnsv.Pipeline.fingerprint v
+  in
+  let first = run () in
+  let second = run () in
+  check_string "fault-injected parallel runs are replayable" first second;
+  check_bool "the armed fault actually degraded the verdict" true
+    (String.length first > 0)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "hashcons",
+        qcheck
+          [
+            prop_smart_constructors_preserve_semantics;
+            prop_hashcons_physical_equality;
+            prop_smart_terms_already_interned;
+          ] );
+      ( "incremental",
+        qcheck
+          [ prop_incremental_matches_monolithic; prop_check_pc_matches_monolithic ]
+        @ [
+            Alcotest.test_case "switches preserve verdicts" `Quick
+              test_incremental_switch;
+          ] );
+      ("cache", qcheck [ prop_cached_verdicts_stable ]);
+      ( "parallel",
+        [
+          Alcotest.test_case "verify: jobs=4 fingerprints equal jobs=1" `Quick
+            test_parallel_verify_matches_sequential;
+          Alcotest.test_case "verify_batch: jobs=2 fingerprints equal jobs=1"
+            `Quick test_parallel_batch_matches_sequential;
+          Alcotest.test_case "fault-injected parallel runs replayable" `Quick
+            test_parallel_fault_determinism;
+        ] );
+    ]
