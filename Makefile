@@ -1,10 +1,13 @@
 # Convenience targets over dune. `make bench-json` is the perf gate:
-# it regenerates BENCH_PR2.json and fails (exit 1) if parallel/cached
-# verdicts diverge from sequential ones or the summaries-ablation
-# speedup regresses below its seed-commit floor (the checks live in
-# bench/main.ml's json target).
+# it regenerates BENCH_PR3.json and fails (exit 1) if parallel/cached
+# verdicts diverge from sequential ones, the summaries-ablation
+# speedup regresses below its seed-commit floor, certificate checking
+# costs more than 10% over the uncertified re-verification, or the
+# 200-plan chaos soak reports a soundness violation (the checks live
+# in bench/main.ml's json target). `make chaos` is the standalone
+# soak via the CLI.
 
-.PHONY: all build check test bench bench-json clean
+.PHONY: all build check test bench bench-json chaos clean
 
 all: build
 
@@ -21,9 +24,12 @@ bench:
 	dune exec bench/main.exe
 
 bench-json:
-	dune exec bench/main.exe -- json > BENCH_PR2.json
-	@cat BENCH_PR2.json
+	dune exec bench/main.exe -- json > BENCH_PR3.json
+	@cat BENCH_PR3.json
 	@echo
+
+chaos:
+	dune exec bin/dnsv_cli.exe -- chaos --plans 200 --seed 1
 
 clean:
 	dune clean

@@ -10,8 +10,11 @@
      dune exec bench/main.exe -- micro     # just the Bechamel benches
      dune exec bench/main.exe -- ablation  # summaries vs. inlining
      dune exec bench/main.exe -- reverify  # caching/parallel re-verification
+     dune exec bench/main.exe -- certoverhead # certificate-validation tax
+     dune exec bench/main.exe -- chaos     # 200-plan seeded chaos soak
      dune exec bench/main.exe -- json      # machine-readable report (JSON);
-                                           # exits 1 on perf/verdict regression *)
+                                           # exits 1 on perf/verdict/soundness
+                                           # regression *)
 
 open Bechamel
 open Toolkit
@@ -120,6 +123,8 @@ let zero_stats () =
     cache_misses = 0;
     incremental_checks = 0;
     scratch_checks = 0;
+    cert_checks = 0;
+    cert_failures = 0;
   }
 
 (* Snapshot of this domain's cumulative counters. [Solver.lifetime]
@@ -172,6 +177,55 @@ let reverify_all () =
   let cached = reverify_run ~caching:true ~jobs:1 () in
   let par = reverify_run ~caching:true ~jobs:reverify_jobs () in
   (seed, cached, par)
+
+(* ------------------------------------------------------------------ *)
+(* Certificate-checking overhead                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The robustness tax of this PR: the cached sequential re-verification
+   workload with certificate validation off (the PR-2 solver) vs. on
+   (every answer — including cache and incremental-stack hits —
+   re-validated by the independent checker). The wall-clock ratio must
+   stay within [cert_overhead_gate]. Best-of-[cert_overhead_reps] per
+   arm to keep machine noise out of the gate. *)
+
+let cert_overhead_gate = 1.10
+let cert_overhead_reps = 2
+
+let best_of n f =
+  let rec go k best =
+    if k = 0 then best
+    else
+      let r = f () in
+      go (k - 1) (if r.rv_wall < best.rv_wall then r else best)
+  in
+  go (n - 1) (f ())
+
+let cert_overhead_runs () =
+  let arm certify () =
+    Smt.Solver.set_certify certify;
+    let r = reverify_run ~caching:true ~jobs:1 () in
+    Smt.Solver.set_certify true;
+    r
+  in
+  let off = best_of cert_overhead_reps (arm false) in
+  let on_ = best_of cert_overhead_reps (arm true) in
+  (off, on_)
+
+let cert_overhead () =
+  rule ();
+  print_endline
+    "Certificate-checking overhead (cached sequential re-verification)";
+  print_newline ();
+  let off, on_ = cert_overhead_runs () in
+  let ratio = on_.rv_wall /. off.rv_wall in
+  Printf.printf "%-24s %8.3f s   cert checks %d\n" "validation off" off.rv_wall
+    off.rv_stats.Smt.Solver.cert_checks;
+  Printf.printf "%-24s %8.3f s   cert checks %d\n" "validation on" on_.rv_wall
+    on_.rv_stats.Smt.Solver.cert_checks;
+  Printf.printf "\noverhead %.3fx (gate <= %.2fx), verdicts identical: %b\n\n"
+    ratio cert_overhead_gate
+    (String.equal off.rv_fingerprint on_.rv_fingerprint)
 
 let reverify () =
   rule ();
@@ -255,6 +309,8 @@ let json_of_stats (s : Smt.Solver.stats) =
       ("cache_misses", string_of_int s.Smt.Solver.cache_misses);
       ("incremental_checks", string_of_int s.Smt.Solver.incremental_checks);
       ("scratch_checks", string_of_int s.Smt.Solver.scratch_checks);
+      ("cert_checks", string_of_int s.Smt.Solver.cert_checks);
+      ("cert_failures", string_of_int s.Smt.Solver.cert_failures);
     ]
 
 let json_of_reverify (r : reverify_run) =
@@ -292,6 +348,47 @@ let timed_ablation () =
   let t_sum, ok_sum = measure Refine.Check.With_summaries in
   let t_inl, ok_inl = measure Refine.Check.Inline_all in
   (t_sum, t_inl, ok_sum && ok_inl)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos soak                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_seed = 1
+let chaos_plans = 200
+
+let timed_chaos () =
+  let t0 = Unix.gettimeofday () in
+  let o = Dnsv.Chaos.run ~seed:chaos_seed ~plans:chaos_plans () in
+  (Unix.gettimeofday () -. t0, o)
+
+let chaos () =
+  rule ();
+  Printf.printf "Chaos soak: %d seeded fault plans (seed %d)\n\n" chaos_plans
+    chaos_seed;
+  let wall, o = timed_chaos () in
+  Format.printf "%a@." Dnsv.Chaos.pp o;
+  Printf.printf "\nwall %.1f s\n\n" wall;
+  if not (Dnsv.Chaos.ok o) then exit 1
+
+let json_of_chaos wall (o : Dnsv.Chaos.outcome) =
+  json_obj
+    [
+      ("seed", string_of_int chaos_seed);
+      ("plans", string_of_int o.Dnsv.Chaos.plans);
+      ("verify_runs", string_of_int o.Dnsv.Chaos.verify_runs);
+      ("torn_runs", string_of_int o.Dnsv.Chaos.torn_runs);
+      ("fired", string_of_int o.Dnsv.Chaos.fired);
+      ("survived", string_of_int o.Dnsv.Chaos.survived);
+      ("degraded", string_of_int o.Dnsv.Chaos.degraded);
+      ("resumed_identical", string_of_int o.Dnsv.Chaos.resumed_identical);
+      ( "violations",
+        "["
+        ^ String.concat ", "
+            (List.map json_str o.Dnsv.Chaos.violations)
+        ^ "]" );
+      ("ok", string_of_bool (Dnsv.Chaos.ok o));
+      ("wall_s", Printf.sprintf "%.2f" wall);
+    ]
 
 let json () =
   let cfg = Engine.Versions.fixed Engine.Versions.v3_0 in
@@ -374,6 +471,10 @@ let json () =
   let abl_sum, abl_inl, abl_ok = timed_ablation () in
   let abl_speedup = abl_inl /. abl_sum in
   let abl_floor = ablation_regression_floor *. ablation_seed_speedup in
+  let co_off, co_on = cert_overhead_runs () in
+  let co_ratio = co_on.rv_wall /. co_off.rv_wall in
+  let co_identical = String.equal co_off.rv_fingerprint co_on.rv_fingerprint in
+  let chaos_wall, chaos_o = timed_chaos () in
   print_endline
     (json_obj
        [
@@ -411,6 +512,18 @@ let json () =
                ("regression_floor", Printf.sprintf "%.3f" abl_floor);
                ("clean", string_of_bool abl_ok);
              ] );
+         ( "cert_overhead",
+           json_obj
+             [
+               ("off_wall_s", Printf.sprintf "%.4f" co_off.rv_wall);
+               ("on_wall_s", Printf.sprintf "%.4f" co_on.rv_wall);
+               ("overhead_ratio", Printf.sprintf "%.3f" co_ratio);
+               ("gate", Printf.sprintf "%.2f" cert_overhead_gate);
+               ( "cert_checks",
+                 string_of_int co_on.rv_stats.Smt.Solver.cert_checks );
+               ("verdicts_identical", string_of_bool co_identical);
+             ] );
+         ("chaos", json_of_chaos chaos_wall chaos_o);
        ]);
   if not verdicts_identical then begin
     prerr_endline
@@ -422,6 +535,23 @@ let json () =
       "FAIL: summaries ablation regressed: speedup %.3f < floor %.3f (seed \
        %.3f)\n"
       abl_speedup abl_floor ablation_seed_speedup;
+    exit 1
+  end;
+  if not co_identical then begin
+    prerr_endline
+      "FAIL: certified and uncertified re-verification fingerprints differ";
+    exit 1
+  end;
+  if co_ratio > cert_overhead_gate then begin
+    Printf.eprintf
+      "FAIL: certificate checking overhead %.3fx exceeds the %.2fx gate\n"
+      co_ratio cert_overhead_gate;
+    exit 1
+  end;
+  if not (Dnsv.Chaos.ok chaos_o) then begin
+    List.iter
+      (fun v -> Printf.eprintf "FAIL: chaos violation: %s\n" v)
+      chaos_o.Dnsv.Chaos.violations;
     exit 1
   end
 
@@ -525,12 +655,14 @@ let () =
       | "fig12" -> fig12 ()
       | "ablation" -> ablation ()
       | "reverify" -> reverify ()
+      | "certoverhead" -> cert_overhead ()
+      | "chaos" -> chaos ()
       | "json" -> json ()
       | "micro" -> run_micro ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected \
-             table1|table2|table3|fig12|ablation|reverify|json|micro)\n"
+             table1|table2|table3|fig12|ablation|reverify|certoverhead|chaos|json|micro)\n"
             other;
           exit 2)
     targets

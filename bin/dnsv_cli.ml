@@ -1,6 +1,8 @@
 (* The dnsv command-line interface.
 
      dnsv verify    — verify an engine version against the top-level spec
+     dnsv batch     — verify a batch of generated zones (journaled, resumable)
+     dnsv chaos     — seeded fault-injection soak over the pipeline
      dnsv layers    — verify the dependency layers against manual specs
      dnsv summarize — summarize TreeSearch (Table-1 style output)
      dnsv bugs      — list the Table-2 bug registry
@@ -77,6 +79,59 @@ let qtypes_arg =
     & info [ "t"; "qtypes" ] ~docv:"TYPES" ~doc)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection flags (shared by verify and batch)                 *)
+(* ------------------------------------------------------------------ *)
+
+let fault_seed_arg =
+  let doc =
+    "Arm the deterministic fault plan the chaos harness samples for \
+     $(docv) — the exact replay knob for a plan `dnsv chaos' reports."
+  in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let fault_plan_arg =
+  let doc =
+    "Arm an explicit fault plan: comma-separated \
+     $(i,site):$(i,after)[:persistent] entries, e.g. \
+     solver-unknown:3,cache-corrupt:1:persistent. Sites are the \
+     Faultinject sites (solver-unknown, summarize-raise, \
+     summary-invalid, exec-fuel, clock-overrun, cache-corrupt, \
+     journal-torn)."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+
+let apply_faults fault_seed fault_plan =
+  (match fault_seed with
+  | None -> ()
+  | Some s -> Dnsv.Chaos.arm_plan (Dnsv.Chaos.plan_of_seed s));
+  match fault_plan with
+  | None -> ()
+  | Some spec ->
+      String.split_on_char ',' spec
+      |> List.iter (fun entry ->
+             let fail () =
+               Printf.eprintf
+                 "bad --fault-plan entry %S (want site:after[:persistent])\n"
+                 entry;
+               exit 3
+             in
+             match String.split_on_char ':' entry with
+             | site :: after :: rest -> (
+                 let persistent =
+                   match rest with
+                   | [] -> false
+                   | [ "persistent" ] -> true
+                   | _ -> fail ()
+                 in
+                 match
+                   (Faultinject.site_of_string site, int_of_string_opt after)
+                 with
+                 | Some s, Some n when n >= 1 ->
+                     Faultinject.arm ~persistent ~after:n s
+                 | _ -> fail ())
+             | _ -> fail ())
+
+(* ------------------------------------------------------------------ *)
 (* verify                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -109,9 +164,10 @@ let jobs_arg =
 
 let verify_cmd =
   let run version zone_file qtypes inline no_layers deadline solver_steps
-      max_paths retries jobs =
+      max_paths retries jobs fault_seed fault_plan =
     let cfg = config_of_version version in
     let zone = load_zone zone_file in
+    apply_faults fault_seed fault_plan;
     let mode =
       if inline then Refine.Check.Inline_all else Refine.Check.With_summaries
     in
@@ -153,7 +209,175 @@ let verify_cmd =
     Term.(
       const run $ version_arg $ zone_file_arg $ qtypes_arg $ inline $ no_layers
       $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg
-      $ jobs_arg)
+      $ jobs_arg $ fault_seed_arg $ fault_plan_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let batch_cmd =
+  let run version origin count seed qtypes deadline solver_steps max_paths
+      retries jobs journal resume fault_seed fault_plan =
+    let cfg = config_of_version version in
+    let origin =
+      match Name.of_string origin with
+      | Ok n -> n
+      | Error m ->
+          Printf.eprintf "bad origin %s: %s\n" origin m;
+          exit 3
+    in
+    apply_faults fault_seed fault_plan;
+    let budget =
+      Budget.create ?deadline_s:deadline ?solver_steps ?max_paths ()
+    in
+    let on_item (it : Dnsv.Pipeline.batch_item) =
+      let status =
+        match it.Dnsv.Pipeline.bi_status with
+        | Dnsv.Pipeline.Item_proved -> "proved"
+        | Dnsv.Pipeline.Item_refuted -> "refuted"
+        | Dnsv.Pipeline.Item_inconclusive r ->
+            "inconclusive " ^ Budget.reason_to_wire r
+      in
+      Printf.printf "zone %03d %s%s\n%!" it.Dnsv.Pipeline.bi_index status
+        (if it.Dnsv.Pipeline.bi_resumed then " (resumed)" else "")
+    in
+    let r =
+      try
+        Dnsv.Pipeline.verify_batch_run ~qtypes ~count ~seed ~budget ~retries
+          ~jobs ?journal ~resume ~on_item cfg origin
+      with
+      | Failure m ->
+          Printf.eprintf "%s\n" m;
+          exit 3
+      | e ->
+          Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
+          exit 3
+    in
+    (match r.Dnsv.Pipeline.br_outcome with
+    | Some (Dnsv.Pipeline.All_clean n) ->
+        Printf.printf "batch: all clean (%d zones)\n" n
+    | Some (Dnsv.Pipeline.Failed { zone_index; verdict }) ->
+        Printf.printf "batch: FAILED at zone %d\n" zone_index;
+        print_string (Dnsv.Pipeline.verdict_to_string verdict)
+    | Some (Dnsv.Pipeline.Partial { zones_done; inconclusive_zones; reason })
+      ->
+        Printf.printf "batch: partial, %d proved, %d inconclusive (%s)\n"
+          zones_done inconclusive_zones
+          (Budget.reason_to_string reason)
+    | None -> Printf.printf "batch: replayed from finalized journal\n");
+    Printf.printf "fingerprint crc32=%08lx over %d item(s)%s%s\n"
+      (Journal.crc32 r.Dnsv.Pipeline.br_fingerprint)
+      (List.length r.Dnsv.Pipeline.br_items)
+      (if r.Dnsv.Pipeline.br_resumed_items > 0 then
+         Printf.sprintf ", %d resumed" r.Dnsv.Pipeline.br_resumed_items
+       else "")
+      (if r.Dnsv.Pipeline.br_dropped_bytes > 0 then
+         Printf.sprintf ", %d torn byte(s) truncated"
+           r.Dnsv.Pipeline.br_dropped_bytes
+       else "");
+    (* Worst outcome over the items decides the exit code. *)
+    let any p = List.exists p r.Dnsv.Pipeline.br_items in
+    if
+      any (fun it ->
+          match it.Dnsv.Pipeline.bi_status with
+          | Dnsv.Pipeline.Item_refuted -> true
+          | _ -> false)
+    then exit 1
+    else if
+      any (fun it ->
+          match it.Dnsv.Pipeline.bi_status with
+          | Dnsv.Pipeline.Item_inconclusive (Budget.Internal_error _) -> true
+          | _ -> false)
+    then exit 3
+    else if
+      any (fun it ->
+          match it.Dnsv.Pipeline.bi_status with
+          | Dnsv.Pipeline.Item_inconclusive _ -> true
+          | _ -> false)
+    then exit 2
+    else exit 0
+  in
+  let origin_arg =
+    Arg.(
+      value & opt string "gen.example"
+      & info [ "o"; "origin" ] ~docv:"NAME" ~doc:"Origin for generated zones.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of generated zones.")
+  in
+  let journal_arg =
+    let doc =
+      "Write-ahead journal: each completed zone verdict is appended and \
+       flushed before the next zone starts, so a killed run can be \
+       resumed with --resume losing at most the zone in flight."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume from the journal: replay its intact records without \
+       re-verifying them, truncate any torn tail, and continue from the \
+       first unrecorded zone. Fails if the journal was written by a \
+       different workload (engine version, origin, count, seed, query \
+       types or retry policy)."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Verify a batch of generated zone configurations, optionally \
+          journaled and resumable"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 when every zone proved clean, 1 when a zone was refuted, 2 \
+              when any zone was inconclusive, 3 on internal or usage errors \
+              (including a journal that cannot be resumed).";
+         ])
+    Term.(
+      const run $ version_arg $ origin_arg $ count_arg $ seed_arg $ qtypes_arg
+      $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg
+      $ jobs_arg $ journal_arg $ resume_arg $ fault_seed_arg $ fault_plan_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let run seed plans =
+    let o =
+      try Dnsv.Chaos.run ~seed ~plans ()
+      with Failure m ->
+        Printf.eprintf "chaos: %s\n" m;
+        exit 3
+    in
+    Format.printf "%a@." Dnsv.Chaos.pp o;
+    exit (if Dnsv.Chaos.ok o then 0 else 1)
+  in
+  let plans_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "plans" ] ~docv:"N" ~doc:"Number of seeded fault plans to run.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded fault-injection soak: assert the soundness monotone and \
+          journal kill-and-resume fidelity"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 when every plan upheld the soundness monotone (faults may \
+              degrade a verdict to inconclusive, never flip it) and every \
+              killed journal resumed byte-identically; 1 when any plan \
+              violated either property; 3 on harness errors.";
+         ])
+    Term.(const run $ seed_arg $ plans_arg)
 
 (* ------------------------------------------------------------------ *)
 (* layers                                                             *)
@@ -321,8 +545,8 @@ let () =
     Cmd.eval
       (Cmd.group info
          [
-           verify_cmd; layers_cmd; summarize_cmd; bugs_cmd; zonegen_cmd;
-           replay_cmd; source_cmd; rawname_cmd;
+           verify_cmd; batch_cmd; chaos_cmd; layers_cmd; summarize_cmd;
+           bugs_cmd; zonegen_cmd; replay_cmd; source_cmd; rawname_cmd;
          ])
   in
   (* Fold cmdliner's cli/internal error codes (124/125) into the

@@ -24,6 +24,7 @@ type reason =
   | Summary_failed of string (* summarization raised or failed validation *)
   | Injected_fault of string (* a Faultinject hook fired *)
   | Internal_error of string (* an unexpected exception, captured *)
+  | Cert_invalid of string (* a verdict certificate failed re-validation *)
 
 (* Short machine-readable tag, stable across renderings. *)
 let reason_tag = function
@@ -35,6 +36,7 @@ let reason_tag = function
   | Summary_failed _ -> "summary-failed"
   | Injected_fault _ -> "injected-fault"
   | Internal_error _ -> "internal-error"
+  | Cert_invalid _ -> "cert-invalid"
 
 let reason_to_string = function
   | Deadline_exceeded { limit_s } ->
@@ -50,17 +52,59 @@ let reason_to_string = function
   | Summary_failed m -> "summary failed: " ^ m
   | Injected_fault m -> "injected fault: " ^ m
   | Internal_error m -> "internal error: " ^ m
+  | Cert_invalid m -> "certificate invalid: " ^ m
 
 let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)
 
 (* Budget exhaustion is retryable with a larger budget; unknowns may
    disappear under escalation too (different search order); injected
-   faults and internal errors are not resource problems. *)
+   faults and internal errors are not resource problems. A failed
+   certificate means a memo layer or the solver handed out an answer it
+   cannot justify — retrying against the same poisoned state would only
+   launder it, so it is terminal too. *)
 let retryable = function
   | Deadline_exceeded _ | Solver_steps_exhausted _ | Path_cap_exceeded _
   | Fuel_exhausted _ | Solver_unknowns _ | Summary_failed _ ->
       true
-  | Injected_fault _ | Internal_error _ -> false
+  | Injected_fault _ | Internal_error _ | Cert_invalid _ -> false
+
+(* Exact wire roundtrip for journaling: [reason_to_wire] is injective
+   and [reason_of_wire] inverts it byte-for-byte (floats travel as hex
+   literals), so a reason replayed from a journal renders identically
+   to the reason of an uninterrupted run. *)
+let reason_to_wire r =
+  match r with
+  | Deadline_exceeded { limit_s } -> Printf.sprintf "deadline|%h" limit_s
+  | Solver_steps_exhausted { limit } -> Printf.sprintf "solver-steps|%d" limit
+  | Path_cap_exceeded { limit } -> Printf.sprintf "path-cap|%d" limit
+  | Fuel_exhausted { limit } -> Printf.sprintf "fuel|%d" limit
+  | Solver_unknowns { count } -> Printf.sprintf "unknowns|%d" count
+  | Summary_failed m -> "summary|" ^ m
+  | Injected_fault m -> "fault|" ^ m
+  | Internal_error m -> "internal|" ^ m
+  | Cert_invalid m -> "cert|" ^ m
+
+let reason_of_wire s =
+  match String.index_opt s '|' with
+  | None -> None
+  | Some i -> (
+      let tag = String.sub s 0 i in
+      let payload = String.sub s (i + 1) (String.length s - i - 1) in
+      let int_arg f = int_of_string_opt payload |> Option.map f in
+      match tag with
+      | "deadline" ->
+          float_of_string_opt payload
+          |> Option.map (fun limit_s -> Deadline_exceeded { limit_s })
+      | "solver-steps" ->
+          int_arg (fun limit -> Solver_steps_exhausted { limit })
+      | "path-cap" -> int_arg (fun limit -> Path_cap_exceeded { limit })
+      | "fuel" -> int_arg (fun limit -> Fuel_exhausted { limit })
+      | "unknowns" -> int_arg (fun count -> Solver_unknowns { count })
+      | "summary" -> Some (Summary_failed payload)
+      | "fault" -> Some (Injected_fault payload)
+      | "internal" -> Some (Internal_error payload)
+      | "cert" -> Some (Cert_invalid payload)
+      | _ -> None)
 
 (* The three-valued verdict: a check either discharges its obligation,
    refutes it with a counterexample, or stops with a reason. *)

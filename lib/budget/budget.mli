@@ -16,6 +16,7 @@ type reason =
   | Summary_failed of string (* summarization raised or failed validation *)
   | Injected_fault of string (* a Faultinject hook fired *)
   | Internal_error of string (* an unexpected exception, captured *)
+  | Cert_invalid of string (* a verdict certificate failed re-validation *)
 
 (* Short stable machine-readable tag, e.g. "deadline-exceeded". *)
 val reason_tag : reason -> string
@@ -24,6 +25,11 @@ val pp_reason : Format.formatter -> reason -> unit
 
 (* Whether retrying with an escalated budget could plausibly succeed. *)
 val retryable : reason -> bool
+
+(* Byte-exact wire roundtrip for journaling: [reason_of_wire] inverts
+   [reason_to_wire] (floats travel as hex literals). *)
+val reason_to_wire : reason -> string
+val reason_of_wire : string -> reason option
 
 (* The three-valued verdict replacing boolean clean/dirty. *)
 type 'a outcome = Proved | Refuted of 'a | Inconclusive of reason

@@ -1,0 +1,23 @@
+(* The solver-independent certificate checker.
+
+   Validates the certificates [Smt.Solver] attaches to its verdicts
+   using nothing but term evaluation and linear-combination arithmetic:
+   no simplex, no branch-and-bound, no DPLL, no shared rational type.
+   The checker is the root of the trust architecture — a verdict is only
+   as credible as the certificate this module accepts, and a memo layer
+   (result cache, incremental stack, journal replay) can never launder a
+   wrong answer past it. *)
+
+(* Check a satisfiability witness: every asserted term must evaluate to
+   true under the model (absent variables default to 0 / false, matching
+   the solver's convention). *)
+val validate_sat : Smt.Term.t list -> Smt.Model.t -> Smt.Proof.verdict
+
+(* Check an unsatisfiability witness (a split tree, see [Smt.Proof])
+   against the asserted terms. *)
+val validate_unsat : Smt.Term.t list -> Smt.Proof.tree -> Smt.Proof.verdict
+
+(* Install this checker as the solver's validator ([Smt.Proof.
+   set_validator]). Idempotent; entry points (Refine.Check,
+   Dnsv.Pipeline, the CLI, tests) call it at module initialization. *)
+val install : unit -> unit

@@ -1,0 +1,230 @@
+(* Deterministic chaos soak: seeded fault plans over every injection
+   site, asserting the soundness monotone (faults may lose verdicts,
+   never flip them) and journal kill-and-resume fidelity. See chaos.mli
+   for the contract. *)
+
+module Rr = Dns.Rr
+module Name = Dns.Name
+module Solver = Smt.Solver
+module Versions = Engine.Versions
+module Fixtures = Spec.Fixtures
+
+type outcome = {
+  plans : int;
+  verify_runs : int;
+  torn_runs : int;
+  fired : int;
+  survived : int;
+  degraded : int;
+  resumed_identical : int;
+  violations : string list;
+}
+
+let ok (o : outcome) = o.violations = []
+
+(* ------------------------------------------------------------------ *)
+(* Seeded plans                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The same minimal-standard LCG as [Faultinject.arm_seeded], so a plan
+   is a pure function of its seed. *)
+let lcg s = ((s * 48271) + 11) land 0x3FFFFFFF
+
+type plan = {
+  sites : Faultinject.site list; (* 1-2 distinct sites *)
+  after : int; (* base firing index, small so faults actually land *)
+  persistent : bool;
+}
+
+let plan_of_seed seed : plan =
+  let all = Array.of_list Faultinject.all_sites in
+  let r1 = lcg (seed + 1) in
+  let r2 = lcg r1 in
+  let r3 = lcg r2 in
+  let r4 = lcg r3 in
+  let r5 = lcg r4 in
+  let s1 = all.(r2 mod Array.length all) in
+  let s2 = all.(r3 mod Array.length all) in
+  let sites = if r1 mod 2 = 0 || s1 = s2 then [ s1 ] else [ s1; s2 ] in
+  { sites; after = 1 + (r5 mod 8); persistent = r4 mod 4 = 0 }
+
+let site_names sites =
+  String.concat "+" (List.map Faultinject.site_to_string sites)
+
+let arm_plan (p : plan) =
+  List.iteri
+    (fun k s -> Faultinject.arm ~persistent:p.persistent ~after:(p.after + k) s)
+    p.sites
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Both monotone workloads run the same witness zone and query type:
+   engine 1.0 refutes on it (Table-2 bug 1), its -fixed twin proves.
+   Small on purpose — the soak runs hundreds of them. *)
+let witness_zone () = (Fixtures.witness 1).Fixtures.zone
+let proved_cfg = Versions.fixed Versions.v1_0
+let refuted_cfg = Versions.v1_0
+
+(* A generous deadline, reachable only through injected clock skew, so
+   the [Clock_overrun] site has a deadline to overrun. *)
+let verify_wl cfg zone =
+  let budget = Budget.create ~deadline_s:3600.0 () in
+  Pipeline.verify ~qtypes:[ Rr.MX ] ~check_layers:false ~budget cfg zone
+
+(* The batch workload for the journal kill-and-resume leg. *)
+let batch_origin = Name.of_string_exn "chaos.example"
+let batch_count = 3
+
+let batch_wl ?journal ?resume () =
+  Pipeline.verify_batch_run ~qtypes:[ Rr.A ] ~count:batch_count ~seed:7
+    ?journal ?resume proved_cfg batch_origin
+
+let status_name = function
+  | Budget.Proved -> "proved"
+  | Budget.Refuted _ -> "refuted"
+  | Budget.Inconclusive r -> "inconclusive:" ^ Budget.reason_tag r
+
+let scrub () =
+  Faultinject.reset ();
+  Solver.clear_caches ();
+  Pipeline.clear_summary_memo ()
+
+(* ------------------------------------------------------------------ *)
+(* The soak                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 1) ?(plans = 200) () : outcome =
+  scrub ();
+  let zone = witness_zone () in
+  (* Fault-free baselines: the soak is meaningless if the workloads do
+     not start where they claim to. *)
+  (match Pipeline.status (verify_wl proved_cfg zone) with
+  | Budget.Proved -> ()
+  | s -> failwith ("chaos: proved baseline is " ^ status_name s));
+  (match Pipeline.status (verify_wl refuted_cfg zone) with
+  | Budget.Refuted _ -> ()
+  | s -> failwith ("chaos: refuted baseline is " ^ status_name s));
+  let batch_ref = batch_wl () in
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun m -> violations := m :: !violations) fmt
+  in
+  let verify_runs = ref 0
+  and torn_runs = ref 0
+  and fired = ref 0
+  and survived = ref 0
+  and degraded = ref 0
+  and resumed_identical = ref 0 in
+  for i = 0 to plans - 1 do
+    let pseed = seed + i in
+    let plan = plan_of_seed pseed in
+    Faultinject.reset ();
+    if List.mem Faultinject.Journal_torn plan.sites then begin
+      (* Kill-and-resume leg. Only the tear site is armed: the resumed
+         transcript is compared byte-for-byte against the fault-free
+         reference, so any other armed fault would be a real
+         difference, not a soundness signal. Firing index 2..5 covers
+         every frame after the header (tearing the header makes the
+         journal unresumable by design, which is a different test). *)
+      incr torn_runs;
+      let path = Filename.temp_file "dnsv-chaos" ".journal" in
+      Faultinject.arm ~after:(2 + (plan.after mod 4)) Faultinject.Journal_torn;
+      let killed =
+        match batch_wl ~journal:path () with
+        | _ -> false
+        | exception Faultinject.Injected _ -> true
+      in
+      if killed then incr fired;
+      Faultinject.reset ();
+      (match batch_wl ~journal:path ~resume:true () with
+      | r ->
+          if String.equal r.Pipeline.br_fingerprint batch_ref.Pipeline.br_fingerprint
+          then incr resumed_identical
+          else
+            violation
+              "plan %d (journal-torn, killed=%b): resumed transcript differs \
+               from the uninterrupted run"
+              pseed killed
+      | exception e ->
+          violation "plan %d (journal-torn): resume raised %s" pseed
+            (Printexc.to_string e));
+      (try Sys.remove path with Sys_error _ -> ())
+    end
+    else begin
+      (* Monotone leg: alternate the proved and refuted workloads. *)
+      incr verify_runs;
+      let refuted_wl = pseed land 1 = 1 in
+      arm_plan plan;
+      let cfg = if refuted_wl then refuted_cfg else proved_cfg in
+      let result =
+        match verify_wl cfg zone with
+        | v -> Ok (Pipeline.status v)
+        | exception e -> Error e
+      in
+      let plan_fired =
+        (* A one-shot site disarms itself when it fires; a persistent
+           site fired iff its arrival counter reached its index. *)
+        List.exists
+          (fun (k, s) ->
+            if plan.persistent then Faultinject.calls s >= plan.after + k
+            else not (Faultinject.armed s))
+          (List.mapi (fun k s -> (k, s)) plan.sites)
+      in
+      if plan_fired then incr fired;
+      (match result with
+      | Error (Faultinject.Injected _) | Error (Budget.Exhausted _) ->
+          (* An injected fault escaped the isolated checks entirely:
+             no verdict was produced, which is a loss, not a flip. *)
+          incr degraded
+      | Error e ->
+          violation "plan %d (%s): escaped exception %s" pseed
+            (site_names plan.sites) (Printexc.to_string e)
+      | Ok st -> (
+          match (st, refuted_wl) with
+          | Budget.Refuted _, false ->
+              violation
+                "plan %d (%s, after=%d%s): proved workload REFUTED under \
+                 faults"
+                pseed (site_names plan.sites) plan.after
+                (if plan.persistent then ", persistent" else "")
+          | Budget.Proved, true ->
+              violation
+                "plan %d (%s, after=%d%s): refuted workload PROVED under \
+                 faults"
+                pseed (site_names plan.sites) plan.after
+                (if plan.persistent then ", persistent" else "")
+          | (Budget.Proved, false) | (Budget.Refuted _, true) -> incr survived
+          | Budget.Inconclusive _, _ -> incr degraded));
+      Faultinject.reset ();
+      (* Corrupted cache entries persist in the memo tables by design
+         (validation rejects them on every later hit); scrub so the
+         next plan starts from honest caches. *)
+      if List.mem Faultinject.Cache_corrupt plan.sites then begin
+        Solver.clear_caches ();
+        Pipeline.clear_summary_memo ()
+      end
+    end
+  done;
+  scrub ();
+  {
+    plans;
+    verify_runs = !verify_runs;
+    torn_runs = !torn_runs;
+    fired = !fired;
+    survived = !survived;
+    degraded = !degraded;
+    resumed_identical = !resumed_identical;
+    violations = List.rev !violations;
+  }
+
+let pp fmt (o : outcome) =
+  Format.fprintf fmt
+    "@[<v>chaos soak: %d plans (%d monotone, %d journal-torn), faults fired \
+     in %d@,monotone: %d survived, %d degraded to inconclusive@,journal: \
+     %d/%d resumed byte-identical@,violations: %d@]"
+    o.plans o.verify_runs o.torn_runs o.fired o.survived o.degraded
+    o.resumed_identical o.torn_runs
+    (List.length o.violations);
+  List.iter (fun v -> Format.fprintf fmt "@,  VIOLATION: %s" v) o.violations

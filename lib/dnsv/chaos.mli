@@ -1,0 +1,48 @@
+(* Deterministic chaos soak for the verification pipeline.
+
+   Samples seeded fault plans over every [Faultinject] site — including
+   kill-mid-journal-write and cache-corruption — and runs small proved
+   and refuted workloads under each plan, asserting the soundness
+   monotone: an injected fault may degrade a verdict to inconclusive,
+   but can never flip Proved to Refuted or Refuted to Proved. Plans
+   containing the journal-tear site instead exercise the kill-and-resume
+   leg: a batch run is killed mid-append, resumed from its journal, and
+   the resumed transcript must be byte-identical (by fingerprint) to an
+   uninterrupted run's. Everything is derived from [seed], so a failing
+   plan replays exactly. *)
+
+type outcome = {
+  plans : int; (* plans executed *)
+  verify_runs : int; (* monotone legs (proved/refuted workloads) *)
+  torn_runs : int; (* kill-mid-journal-write legs *)
+  fired : int; (* plans where an armed fault actually fired *)
+  survived : int; (* fault run reproduced its baseline status *)
+  degraded : int; (* fault run degraded to inconclusive *)
+  resumed_identical : int; (* torn runs whose resume matched byte-for-byte *)
+  violations : string list; (* soundness breaches — must be empty *)
+}
+
+(* No violations: every plan upheld the monotone and every torn run
+   resumed byte-identically. *)
+val ok : outcome -> bool
+
+(* A sampled fault plan: 1-2 distinct sites, a base firing index (site
+   k in the list fires on arrival after + k), one-shot or persistent. *)
+type plan = {
+  sites : Faultinject.site list;
+  after : int;
+  persistent : bool;
+}
+
+(* The pure plan sampler: the same seed always yields the same plan, so
+   a violating plan reported by [run] replays exactly (e.g. via the
+   CLI's --fault-seed). *)
+val plan_of_seed : int -> plan
+
+(* Arm every site in the plan on the current domain. *)
+val arm_plan : plan -> unit
+
+(* Run [plans] seeded plans starting at [seed] (defaults 200 and 1). *)
+val run : ?seed:int -> ?plans:int -> unit -> outcome
+
+val pp : Format.formatter -> outcome -> unit

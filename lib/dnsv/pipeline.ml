@@ -85,6 +85,15 @@ let unknowns (v : verdict) =
       (fun a (r : Layers.layer_report) -> a + r.Layers.unknowns)
       0 v.layer_reports
 
+(* Total certificate re-validation failures across the verdict. *)
+let cert_failures (v : verdict) =
+  List.fold_left
+    (fun a (r : Check.report) -> a + r.Check.cert_failures)
+    0 v.reports
+  + List.fold_left
+      (fun a (r : Layers.layer_report) -> a + r.Layers.cert_failures)
+      0 v.layer_reports
+
 (* The three-valued verdict. Refutation wins over inconclusiveness: a
    confirmed counterexample is a real bug even if another query type
    ran out of budget. *)
@@ -111,9 +120,16 @@ let status (v : verdict) : verdict Budget.outcome =
     match first_reason with
     | Some reason -> Budget.Inconclusive reason
     | None ->
-        let u = unknowns v in
-        if u > 0 then Budget.Inconclusive (Budget.Solver_unknowns { count = u })
-        else Budget.Proved
+        let cf = cert_failures v in
+        if cf > 0 then
+          Budget.Inconclusive
+            (Budget.Cert_invalid
+               (Printf.sprintf "%d certificate(s) failed re-validation" cf))
+        else
+          let u = unknowns v in
+          if u > 0 then
+            Budget.Inconclusive (Budget.Solver_unknowns { count = u })
+          else Budget.Proved
 
 (* [clean] now means *proved*: a verdict that relied on a solver
    Unknown or stopped short of its budget is not clean. *)
@@ -176,6 +192,7 @@ let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
               pairs = 0;
               mismatches = [];
               unknowns = 0;
+              cert_failures = 0;
               inconclusive = Some (Budget.reason_of_exn e);
               elapsed = 0.0;
             };
@@ -372,11 +389,11 @@ let fingerprint_report (b : Buffer.t) (r : Check.report) =
   (* [solver_calls] and [summary_cases] are deliberately excluded: they
      report how much work the caches saved, which depends on how query
      types were scheduled over workers, not on what was proved. *)
-  Printf.bprintf b "report %s/%s paths=%d/%d pairs=%d unk=%d\n"
+  Printf.bprintf b "report %s/%s paths=%d/%d pairs=%d unk=%d certfail=%d\n"
     r.Check.version
     (Rr.rtype_to_string r.Check.qtype)
     r.Check.engine_paths r.Check.spec_paths r.Check.pairs_checked
-    r.Check.unknowns;
+    r.Check.unknowns r.Check.cert_failures;
   List.iter
     (fun (m : Check.mismatch) ->
       Printf.bprintf b " mismatch %s | %s | engine=%s | spec=%s\n"
@@ -396,9 +413,10 @@ let fingerprint_report (b : Buffer.t) (r : Check.report) =
     | Some reason -> Budget.reason_to_string reason)
 
 let fingerprint_layer (b : Buffer.t) (r : Layers.layer_report) =
-  Printf.bprintf b "layer %s paths=%d/%d pairs=%d unk=%d inconclusive=%s\n"
+  Printf.bprintf b
+    "layer %s paths=%d/%d pairs=%d unk=%d certfail=%d inconclusive=%s\n"
     r.Layers.layer r.Layers.code_paths r.Layers.spec_paths r.Layers.pairs
-    r.Layers.unknowns
+    r.Layers.unknowns r.Layers.cert_failures
     (match r.Layers.inconclusive with
     | None -> "-"
     | Some reason -> Budget.reason_to_string reason);
@@ -426,3 +444,392 @@ let fingerprint_batch (o : batch_outcome) : string =
   | Partial { zones_done; inconclusive_zones; reason } ->
       Printf.sprintf "partial done=%d inconclusive=%d reason=%s" zones_done
         inconclusive_zones (Budget.reason_to_string reason)
+
+(* ------------------------------------------------------------------ *)
+(* Journaled batch runs                                               *)
+(* ------------------------------------------------------------------ *)
+
+type item_status =
+  | Item_proved
+  | Item_refuted
+  | Item_inconclusive of Budget.reason
+
+type batch_item = {
+  bi_index : int;
+  bi_status : item_status;
+  bi_fingerprint : string; (* the zone verdict's [fingerprint] text *)
+  bi_resumed : bool; (* replayed from the journal, not re-verified *)
+}
+
+type batch_run = {
+  br_outcome : batch_outcome option;
+  br_items : batch_item list;
+  br_fingerprint : string;
+  br_resumed_items : int;
+  br_dropped_bytes : int;
+}
+
+let item_status_wire = function
+  | Item_proved -> "proved"
+  | Item_refuted -> "refuted"
+  | Item_inconclusive r -> "inconclusive " ^ Budget.reason_to_wire r
+
+let item_status_of_wire s =
+  match s with
+  | "proved" -> Some Item_proved
+  | "refuted" -> Some Item_refuted
+  | _ ->
+      let pre = "inconclusive " in
+      let n = String.length pre in
+      if String.length s > n && String.sub s 0 n = pre then
+        Option.map
+          (fun r -> Item_inconclusive r)
+          (Budget.reason_of_wire (String.sub s n (String.length s - n)))
+      else None
+
+(* The workload identity recorded as the journal header: resuming is
+   only legal when every input that shapes the batch transcript —
+   engine version, origin, zone recipe, query types, retry policy —
+   agrees byte-for-byte. *)
+let batch_header (cfg : Builder.config) (origin : Name.t) ~count ~seed ~retries
+    ~qtypes =
+  Printf.sprintf
+    "dnsv-batch v1 version=%s origin=%s count=%d seed=%d qtypes=%s retries=%d"
+    cfg.Builder.version (Name.to_string origin) count seed
+    (String.concat "," (List.map Rr.rtype_to_string qtypes))
+    retries
+
+(* One journal record per completed item:
+
+     item <index>
+     status <wire>
+     budget <solver_steps> <paths> <fuel> <retries>
+     <verdict fingerprint, multi-line>
+
+   The budget line snapshots cumulative shared-budget consumption so a
+   resumed sequential run keeps counting where the killed run stopped
+   instead of granting itself a fresh allowance. *)
+let record_of_item (it : batch_item) (b : Budget.t) : string =
+  let c = Budget.consumption b in
+  Printf.sprintf "item %d\nstatus %s\nbudget %d %d %d %d\n%s" it.bi_index
+    (item_status_wire it.bi_status)
+    c.Budget.solver_steps_used c.Budget.paths_used c.Budget.fuel_used
+    c.Budget.retries_used it.bi_fingerprint
+
+let parse_item_record (s : string) :
+    (batch_item * (int * int * int * int)) option =
+  match String.split_on_char '\n' s with
+  | l1 :: l2 :: l3 :: rest -> (
+      match (String.split_on_char ' ' l1, String.split_on_char ' ' l3) with
+      | [ "item"; i ], [ "budget"; a; b; c; d ] ->
+          let ( let* ) = Option.bind in
+          let* i = int_of_string_opt i in
+          let* st =
+            if String.length l2 > 7 && String.sub l2 0 7 = "status " then
+              item_status_of_wire (String.sub l2 7 (String.length l2 - 7))
+            else None
+          in
+          let* a = int_of_string_opt a in
+          let* b = int_of_string_opt b in
+          let* c = int_of_string_opt c in
+          let* d = int_of_string_opt d in
+          Some
+            ( {
+                bi_index = i;
+                bi_status = st;
+                bi_fingerprint = String.concat "\n" rest;
+                bi_resumed = true;
+              },
+              (a, b, c, d) )
+      | _ -> None)
+  | _ -> None
+
+(* The derived final line, computed from the item transcript alone so a
+   resumed run and an uninterrupted run of the same workload produce
+   byte-identical text. *)
+let batch_final_line (items : batch_item list) (count : int) : string =
+  match
+    List.find_opt
+      (fun it -> match it.bi_status with Item_refuted -> true | _ -> false)
+      items
+  with
+  | Some it -> Printf.sprintf "failed zone=%d" it.bi_index
+  | None ->
+      let proved =
+        List.length (List.filter (fun it -> it.bi_status = Item_proved) items)
+      in
+      let inconcl = List.length items - proved in
+      if inconcl = 0 && proved >= count then Printf.sprintf "all-clean %d" count
+      else if inconcl = 0 then Printf.sprintf "interrupted done=%d" proved
+      else
+        let reason =
+          List.find_map
+            (fun it ->
+              match it.bi_status with
+              | Item_inconclusive r -> Some r
+              | _ -> None)
+            items
+        in
+        Printf.sprintf "partial done=%d inconclusive=%d reason=%s" proved
+          inconcl
+          (match reason with Some r -> Budget.reason_to_wire r | None -> "-")
+
+let run_fingerprint (items : batch_item list) (count : int) : string =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun it ->
+      Printf.bprintf b "item %d %s\n%s" it.bi_index
+        (item_status_wire it.bi_status)
+        it.bi_fingerprint)
+    items;
+  Buffer.add_string b (batch_final_line items count);
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* Best-effort outcome when the run is replayed entirely from a
+   finalized journal. A refuting verdict is journaled only as its
+   fingerprint, so [Failed] cannot be rebuilt — that replay reports
+   [None] and callers fall back on the item transcript. *)
+let outcome_of_items (items : batch_item list) (count : int) :
+    batch_outcome option =
+  if
+    List.exists
+      (fun it -> match it.bi_status with Item_refuted -> true | _ -> false)
+      items
+  then None
+  else
+    let proved =
+      List.length (List.filter (fun it -> it.bi_status = Item_proved) items)
+    in
+    let inconcl = List.length items - proved in
+    if inconcl = 0 && proved >= count then Some (All_clean count)
+    else if inconcl = 0 then None (* interrupted, never finished *)
+    else
+      let reason =
+        (* A deadline overrun stops the batch, so if it happened it is
+           the last journaled item; it names the outcome like the live
+           fold does. Otherwise the first inconclusive reason wins. *)
+        match List.rev items with
+        | { bi_status = Item_inconclusive (Budget.Deadline_exceeded _ as r); _ }
+          :: _ ->
+            Some r
+        | _ ->
+            List.find_map
+              (fun it ->
+                match it.bi_status with
+                | Item_inconclusive r -> Some r
+                | _ -> None)
+              items
+      in
+      Some
+        (Partial
+           {
+             zones_done = proved;
+             inconclusive_zones = inconcl;
+             reason =
+               Option.value reason
+                 ~default:(Budget.Internal_error "inconclusive zones");
+           })
+
+(* [verify_batch] with a write-ahead journal and resume: each completed
+   zone verdict is appended (status, budget snapshot, fingerprint) and
+   flushed before the next zone starts, so killing the process at any
+   instant loses at most the zone in flight. [resume] salvages the
+   journal's intact prefix, truncates any torn tail, replays the
+   recorded items without re-verifying them, restores the shared budget
+   counters, and continues from the first unrecorded zone. The run
+   fingerprint is derived uniformly from the item transcript, so a
+   killed-and-resumed run is byte-identical to an uninterrupted one. *)
+let verify_batch_run ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
+    ?budget ?(retries = 0) ?(jobs = 1) ?journal ?(resume = false) ?on_item
+    (cfg : Builder.config) (origin : Name.t) : batch_run =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let header = batch_header cfg origin ~count ~seed ~retries ~qtypes in
+  let zones = Dns.Zonegen.generate_many ~seed ~count origin in
+  let indexed = List.mapi (fun i z -> (i, z)) zones in
+  (* Fold one item status into (proved, inconclusive, first_reason);
+     [Error] is the early stop, shared between replay and live items. *)
+  let step_status i st (proved, inconcl, first) =
+    match st with
+    | Item_proved -> Ok (proved + 1, inconcl, first)
+    | Item_refuted -> Error (`Failed_at i)
+    | Item_inconclusive reason -> (
+        let first = match first with Some _ -> first | None -> Some reason in
+        match reason with
+        | Budget.Deadline_exceeded _ ->
+            Error (`Deadline (proved, inconcl + 1, reason))
+        | _ -> Ok (proved, inconcl + 1, first))
+  in
+  let notify it = match on_item with Some f -> f it | None -> () in
+  let run jn replayed dropped : batch_run =
+    let start = List.length replayed in
+    List.iter notify replayed;
+    let acc = ref (List.rev replayed) (* newest first *) in
+    let emit it =
+      acc := it :: !acc;
+      (match jn with
+      | Some j -> Journal.append j (record_of_item it budget)
+      | None -> ());
+      notify it
+    in
+    let item_of i v =
+      let st =
+        match status v with
+        | Budget.Proved -> Item_proved
+        | Budget.Refuted _ -> Item_refuted
+        | Budget.Inconclusive r -> Item_inconclusive r
+      in
+      {
+        bi_index = i;
+        bi_status = st;
+        bi_fingerprint = fingerprint v;
+        bi_resumed = false;
+      }
+    in
+    let verify_zone (i, zone) =
+      let b = if jobs <= 1 then budget else Budget.clone budget in
+      verify ~qtypes ~check_layers:(i = 0) ~budget:b ~retries cfg zone
+    in
+    let finish_run (outcome : batch_outcome option) =
+      let items = List.rev !acc in
+      (match jn with
+      | Some j ->
+          Journal.finalize j (batch_final_line items count);
+          Journal.close j
+      | None -> ());
+      {
+        br_outcome = outcome;
+        br_items = items;
+        br_fingerprint = run_fingerprint items count;
+        br_resumed_items = start;
+        br_dropped_bytes = dropped;
+      }
+    in
+    let replay_state =
+      List.fold_left
+        (fun acc it ->
+          match acc with
+          | Error _ -> acc
+          | Ok st -> step_status it.bi_index it.bi_status st)
+        (Ok (0, 0, None))
+        replayed
+    in
+    match replay_state with
+    (* The killed run had already stopped: nothing left to verify. *)
+    | Error (`Failed_at _) -> finish_run None
+    | Error (`Deadline (proved, inconcl, reason)) ->
+        finish_run
+          (Some
+             (Partial
+                { zones_done = proved; inconclusive_zones = inconcl; reason }))
+    | Ok st0 ->
+        let pending = List.filter (fun (i, _) -> i >= start) indexed in
+        let finish (proved, inconcl, first_reason) =
+          if inconcl = 0 then All_clean count
+          else
+            Partial
+              {
+                zones_done = proved;
+                inconclusive_zones = inconcl;
+                reason =
+                  Option.value first_reason
+                    ~default:(Budget.Internal_error "inconclusive zones");
+              }
+        in
+        let step (i, _) st v =
+          let it = item_of i v in
+          emit it;
+          match step_status i it.bi_status st with
+          | Ok st -> Ok st
+          | Error (`Failed_at _) ->
+              Error (Failed { zone_index = i; verdict = v })
+          | Error (`Deadline (proved, inconcl, reason)) ->
+              Error
+                (Partial
+                   { zones_done = proved; inconclusive_zones = inconcl; reason })
+        in
+        let outcome =
+          if jobs <= 1 then
+            let rec go st = function
+              | [] -> finish st
+              | iz :: rest -> (
+                  match step iz st (verify_zone iz) with
+                  | Ok st -> go st rest
+                  | Error o -> o)
+            in
+            go st0 pending
+          else
+            (* Waves of [jobs] zones, merged in zone order; a stop
+               mid-wave discards (and does not journal) the rest of the
+               wave, matching the sequential early stop exactly. *)
+            let rec take n = function
+              | x :: rest when n > 0 ->
+                  let wave, rest' = take (n - 1) rest in
+                  (x :: wave, rest')
+              | rest -> ([], rest)
+            in
+            let rec go st = function
+              | [] -> finish st
+              | pending -> (
+                  let wave, rest = take jobs pending in
+                  let verdicts = Parallel.Domainpool.map ~jobs verify_zone wave in
+                  let folded =
+                    List.fold_left2
+                      (fun acc iz v ->
+                        match acc with
+                        | Error _ -> acc
+                        | Ok st -> step iz st v)
+                      (Ok st) wave verdicts
+                  in
+                  match folded with Ok st -> go st rest | Error o -> o)
+            in
+            go st0 pending
+        in
+        finish_run (Some outcome)
+  in
+  let guarded jn replayed dropped =
+    (* An injected torn-write kill (or any other escape) must not leak
+       the journal's descriptor: the torn bytes are already flushed, so
+       closing adds nothing to the file. *)
+    try run jn replayed dropped
+    with e ->
+      (match jn with
+      | Some j -> ( try Journal.close j with _ -> ())
+      | None -> ());
+      raise e
+  in
+  match journal with
+  | None -> run None [] 0
+  | Some path when not resume ->
+      guarded (Some (Journal.create ~path ~header)) [] 0
+  | Some path -> (
+      match Journal.open_resume ~path ~header with
+      | Error msg -> failwith ("cannot resume journal " ^ path ^ ": " ^ msg)
+      | Ok (j, rec_) ->
+          let parsed = List.filter_map parse_item_record rec_.Journal.records in
+          let items = List.map fst parsed in
+          if rec_.Journal.final <> None then begin
+            (* A finalized journal is a complete transcript: replay it
+               without re-running anything. *)
+            Journal.close j;
+            (match on_item with Some f -> List.iter f items | None -> ());
+            {
+              br_outcome = outcome_of_items items count;
+              br_items = items;
+              br_fingerprint = run_fingerprint items count;
+              br_resumed_items = List.length items;
+              br_dropped_bytes = rec_.Journal.dropped_bytes;
+            }
+          end
+          else begin
+            (* Restore the shared budget counters recorded with the
+               last completed item. *)
+            (match List.rev parsed with
+            | (_, (s, p, f, r)) :: _ ->
+                budget.Budget.solver_steps <- s;
+                budget.Budget.paths <- p;
+                budget.Budget.fuel <- f;
+                budget.Budget.retries <- r
+            | [] -> ());
+            guarded (Some j) items rec_.Journal.dropped_bytes
+          end)

@@ -29,6 +29,9 @@ type verdict = {
 (* Total solver Unknowns the verdict's checks leaned on. *)
 val unknowns : verdict -> int
 
+(* Total certificate re-validation failures across the verdict. *)
+val cert_failures : verdict -> int
+
 (* Proved | Refuted (confirmed counterexamples win over missing
    budget) | Inconclusive with the first machine-readable reason. *)
 val status : verdict -> verdict Budget.outcome
@@ -72,6 +75,52 @@ val verify_batch :
   ?seed:int ->
   ?budget:Budget.t ->
   ?retries:int -> ?jobs:int -> Builder.config -> Name.t -> batch_outcome
+(* ---------------- Journaled batch runs ---------------- *)
+
+type item_status =
+  | Item_proved
+  | Item_refuted
+  | Item_inconclusive of Budget.reason
+
+type batch_item = {
+  bi_index : int; (* zone index in generation order *)
+  bi_status : item_status;
+  bi_fingerprint : string; (* the zone verdict's [fingerprint] text *)
+  bi_resumed : bool; (* replayed from the journal, not re-verified *)
+}
+
+type batch_run = {
+  br_outcome : batch_outcome option;
+      (* [None] only when replayed from a finalized journal whose
+         refuting verdict cannot be rebuilt from its fingerprint *)
+  br_items : batch_item list; (* in zone order *)
+  br_fingerprint : string; (* item transcript + derived final line *)
+  br_resumed_items : int;
+  br_dropped_bytes : int; (* torn journal tail truncated on resume *)
+}
+
+(* [verify_batch] with a crash-safe write-ahead journal: each completed
+   zone verdict is appended and flushed before the next zone starts, so
+   a kill at any instant loses at most the zone in flight. With
+   [~resume:true] the journal's intact prefix is replayed (not
+   re-verified), any torn tail is truncated, the shared budget counters
+   are restored, and verification continues from the first unrecorded
+   zone — the resulting [br_fingerprint] is byte-identical to an
+   uninterrupted run's. Resume fails (exception [Failure]) if the
+   journal's header does not match this workload's identity. [on_item]
+   observes each item as it completes or replays, in zone order. *)
+val verify_batch_run :
+  ?qtypes:Check.Rr.rtype list ->
+  ?count:int ->
+  ?seed:int ->
+  ?budget:Budget.t ->
+  ?retries:int ->
+  ?jobs:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?on_item:(batch_item -> unit) ->
+  Builder.config -> Name.t -> batch_run
+
 val pp_verdict : Format.formatter -> verdict -> unit
 val verdict_to_string : verdict -> string
 

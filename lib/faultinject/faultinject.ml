@@ -19,6 +19,8 @@ type site =
   | Summary_invalid (* fail Symex.Summary validation *)
   | Exec_fuel (* exhaust symbolic-execution fuel in Symex.Exec.tick *)
   | Clock_overrun (* skew Budget.now past any deadline *)
+  | Cache_corrupt (* poison a Smt.Solver result-cache entry on a hit *)
+  | Journal_torn (* tear a Journal.append mid-frame, then kill it *)
 
 let site_to_string = function
   | Solver_unknown -> "solver-unknown"
@@ -26,6 +28,18 @@ let site_to_string = function
   | Summary_invalid -> "summary-invalid"
   | Exec_fuel -> "exec-fuel"
   | Clock_overrun -> "clock-overrun"
+  | Cache_corrupt -> "cache-corrupt"
+  | Journal_torn -> "journal-torn"
+
+let site_of_string = function
+  | "solver-unknown" -> Some Solver_unknown
+  | "summarize-raise" -> Some Summarize_raise
+  | "summary-invalid" -> Some Summary_invalid
+  | "exec-fuel" -> Some Exec_fuel
+  | "clock-overrun" -> Some Clock_overrun
+  | "cache-corrupt" -> Some Cache_corrupt
+  | "journal-torn" -> Some Journal_torn
+  | _ -> None
 
 exception Injected of string
 
@@ -37,7 +51,15 @@ type plan = {
 type cell = { mutable plan : plan option; mutable calls : int }
 
 let all_sites =
-  [ Solver_unknown; Summarize_raise; Summary_invalid; Exec_fuel; Clock_overrun ]
+  [
+    Solver_unknown;
+    Summarize_raise;
+    Summary_invalid;
+    Exec_fuel;
+    Clock_overrun;
+    Cache_corrupt;
+    Journal_torn;
+  ]
 
 (* Seconds added to Budget.now when Clock_overrun fires. *)
 let default_skew = 1.0e9

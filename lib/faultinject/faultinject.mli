@@ -14,8 +14,14 @@ type site =
   | Summary_invalid (* fail Symex.Summary validation *)
   | Exec_fuel (* exhaust symbolic-execution fuel in Symex.Exec.tick *)
   | Clock_overrun (* skew Budget.now past any deadline *)
+  | Cache_corrupt (* poison a Smt.Solver result-cache entry on a hit *)
+  | Journal_torn (* tear a Journal.append mid-frame, then kill it *)
 
 val site_to_string : site -> string
+val site_of_string : string -> site option
+
+(* Every injection site, in declaration order (chaos plans sample it). *)
+val all_sites : site list
 
 exception Injected of string
 

@@ -50,6 +50,8 @@ type report = {
   pairs_checked : int;
   solver_calls : int;
   unknowns : int; (* solver Unknowns this check leaned on *)
+  cert_checks : int; (* verdict certificates validated *)
+  cert_failures : int; (* certificates rejected (answers degraded) *)
   summary_cases : (string * int) list; (* per summary instance *)
   summary_times : (string * float) list; (* per layer, total summarization s *)
   mismatches : mismatch list;
@@ -72,14 +74,23 @@ let status (r : report) : report Budget.outcome =
   | None ->
       if r.mismatches <> [] || r.panics <> [] || not r.stateless then
         Budget.Refuted r
+      else if r.cert_failures > 0 then
+        (* A rejected certificate means some answer this check consumed
+           could not be justified (it was degraded to Unknown, so
+           [unknowns] is also positive) — name the sharper cause. *)
+        Budget.Inconclusive
+          (Budget.Cert_invalid
+             (Printf.sprintf "%d certificate(s) failed re-validation"
+                r.cert_failures))
       else if r.unknowns > 0 then
         Budget.Inconclusive (Budget.Solver_unknowns { count = r.unknowns })
       else Budget.Proved
 
 (* A placeholder report for a check that stopped before producing
    results: everything zero, the reason recorded. *)
-let inconclusive_report ?(summary_fallback = false) ~(version : string)
-    ~(qtype : Rr.rtype) ~(elapsed : float) (reason : Budget.reason) : report =
+let inconclusive_report ?(summary_fallback = false) ?(cert_checks = 0)
+    ?(cert_failures = 0) ~(version : string) ~(qtype : Rr.rtype)
+    ~(elapsed : float) (reason : Budget.reason) : report =
   {
     version;
     qtype;
@@ -88,6 +99,8 @@ let inconclusive_report ?(summary_fallback = false) ~(version : string)
     pairs_checked = 0;
     solver_calls = 0;
     unknowns = 0;
+    cert_checks;
+    cert_failures;
     summary_cases = [];
     summary_times = [];
     mismatches = [];
@@ -97,6 +110,11 @@ let inconclusive_report ?(summary_fallback = false) ~(version : string)
     summary_fallback;
     elapsed;
   }
+
+(* Install the solver-independent certificate checker: from here on,
+   every solver answer this module consumes is certificate-validated
+   (including cache and incremental-stack replays). *)
+let () = Cert.install ()
 
 (* ------------------------------------------------------------------ *)
 (* Engine-side harness                                                *)
@@ -512,6 +530,8 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
     (* Global since reset above: covers Unknown-as-feasible branches in
        the executor *and* Unknown-validity entailments in check_eq. *)
     unknowns = (Solver.stats ()).Solver.unknowns;
+    cert_checks = (Solver.stats ()).Solver.cert_checks;
+    cert_failures = (Solver.stats ()).Solver.cert_failures;
     summary_cases =
       List.map
         (fun (s : Summary.t) -> (s.Summary.fn, Summary.case_count s))
@@ -571,22 +591,44 @@ let check_version ?budget ?(mode = With_summaries) ?(fallback = true) ?store
         ~qtype
     with
     | r -> Ok r
-    | exception e -> Error (reason_of_check_exn e)
+    | exception e ->
+        (* The attempt's cert counters are still live ([reset_stats]
+           runs at attempt start). A crash downstream of a certificate
+           rejection is reported as the rejection, not as the crash: the
+           corrupted answer was degraded to Unknown and the engine fell
+           over in the resulting unexpected state — the root cause is
+           the unjustifiable verdict. Sharper reasons (deadline, fuel,
+           an injected fault) keep priority. *)
+        let s = Solver.stats () in
+        let cc = s.Solver.cert_checks and cf = s.Solver.cert_failures in
+        let reason =
+          match reason_of_check_exn e with
+          | Budget.Internal_error m when cf > 0 ->
+              Budget.Cert_invalid
+                (Printf.sprintf
+                   "%d certificate(s) failed re-validation before the check \
+                    stopped (%s)"
+                   cf m)
+          | r -> r
+        in
+        Error (reason, cc, cf)
   in
   match attempt ~budget ~mode ~summary_fallback:false with
   | Ok r -> r
-  | Error (Budget.Summary_failed _) when mode = With_summaries && fallback -> (
+  | Error (Budget.Summary_failed _, _, _) when mode = With_summaries && fallback
+    -> (
       match
         attempt ~budget:(Budget.escalate budget) ~mode:Inline_all
           ~summary_fallback:true
       with
       | Ok r -> r
-      | Error reason ->
-          inconclusive_report ~summary_fallback:true ~version ~qtype
+      | Error (reason, cert_checks, cert_failures) ->
+          inconclusive_report ~summary_fallback:true ~cert_checks
+            ~cert_failures ~version ~qtype
             ~elapsed:(Unix.gettimeofday () -. t0)
             reason)
-  | Error reason ->
-      inconclusive_report ~version ~qtype
+  | Error (reason, cert_checks, cert_failures) ->
+      inconclusive_report ~cert_checks ~cert_failures ~version ~qtype
         ~elapsed:(Unix.gettimeofday () -. t0)
         reason
 
@@ -598,8 +640,11 @@ let pp_report fmt (r : report) =
     (Rr.rtype_to_string r.qtype)
     r.engine_paths r.spec_paths r.pairs_checked r.solver_calls r.elapsed
     (if r.stateless then "" else " [NOT STATELESS]")
-    (if r.unknowns = 0 then ""
-     else Printf.sprintf " [%d solver unknowns]" r.unknowns)
+    ((if r.unknowns = 0 then ""
+      else Printf.sprintf " [%d solver unknowns]" r.unknowns)
+    ^
+    if r.cert_failures = 0 then ""
+    else Printf.sprintf " [%d certificate failures]" r.cert_failures)
     (if r.summary_fallback then " [summaries fell back to inlining]" else "")
     (match r.inconclusive with
     | None -> ""

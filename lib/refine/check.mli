@@ -43,6 +43,8 @@ type report = {
   pairs_checked : int;
   solver_calls : int;
   unknowns : int; (* solver Unknowns this check leaned on *)
+  cert_checks : int; (* verdict certificates validated *)
+  cert_failures : int; (* certificates rejected (answers degraded) *)
   summary_cases : (string * int) list;
   summary_times : (string * float) list;
   mismatches : mismatch list;
@@ -62,9 +64,13 @@ val ok : report -> bool
    Inconclusive with a machine-readable reason. *)
 val status : report -> report Budget.outcome
 
-(* A zeroed report recording why a check stopped before results. *)
+(* A zeroed report recording why a check stopped before results; the
+   cert counters survive so a crash downstream of a certificate
+   rejection still shows the rejection. *)
 val inconclusive_report :
   ?summary_fallback:bool ->
+  ?cert_checks:int ->
+  ?cert_failures:int ->
   version:string ->
   qtype:Rr.rtype -> elapsed:float -> Budget.reason -> report
 val qname_cells : unit -> Sval.scell

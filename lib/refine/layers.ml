@@ -308,6 +308,7 @@ type layer_report = {
   pairs : int;
   mismatches : string list;
   unknowns : int; (* solver Unknowns this layer check leaned on *)
+  cert_failures : int; (* certificates rejected during this layer *)
   inconclusive : Budget.reason option; (* the check stopped short *)
   elapsed : float;
 }
@@ -520,6 +521,21 @@ let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
   let t0 = Unix.gettimeofday () in
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let unknowns0 = (Solver.stats ()).Solver.unknowns in
+  let certf0 = (Solver.stats ()).Solver.cert_failures in
+  let certf () = (Solver.stats ()).Solver.cert_failures - certf0 in
+  (* A rejected certificate downgrades the layer: the degraded answers
+     already read as Unknowns, but the sharper cause should be named. *)
+  let cert_reason inconclusive =
+    match inconclusive with
+    | Some _ -> inconclusive
+    | None ->
+        if certf () > 0 then
+          Some
+            (Budget.Cert_invalid
+               (Printf.sprintf "%d certificate(s) failed re-validation"
+                  (certf ())))
+        else None
+  in
   let attempt () =
     Solver.with_budget budget @@ fun () ->
     let spec =
@@ -545,7 +561,8 @@ let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
         pairs;
         mismatches;
         unknowns = (Solver.stats ()).Solver.unknowns - unknowns0;
-        inconclusive = None;
+        cert_failures = certf ();
+        inconclusive = cert_reason None;
         elapsed = Unix.gettimeofday () -. t0;
       }
   | exception e ->
@@ -556,6 +573,7 @@ let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
         pairs = 0;
         mismatches = [];
         unknowns = (Solver.stats ()).Solver.unknowns - unknowns0;
+        cert_failures = certf ();
         inconclusive = Some (Budget.reason_of_exn e);
         elapsed = Unix.gettimeofday () -. t0;
       }

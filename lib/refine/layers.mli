@@ -51,6 +51,7 @@ type layer_report = {
   pairs : int;
   mismatches : string list;
   unknowns : int; (* solver Unknowns this layer check leaned on *)
+  cert_failures : int; (* certificates rejected during this layer *)
   inconclusive : Budget.reason option; (* the check stopped short *)
   elapsed : float;
 }

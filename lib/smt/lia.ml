@@ -5,12 +5,45 @@
    enforced by branching  x ≤ ⌊v⌋ ∨ x ≥ ⌈v⌉  on a fractional variable of
    the relaxation; disequalities split as  lin ≤ −1 ∨ lin ≥ 1. A depth cap
    returns [Unknown] rather than diverging on adversarial unbounded
-   instances (never reached by DNS-V's bounded-list encodings). *)
+   instances (never reached by DNS-V's bounded-list encodings).
+
+   [check_cert] additionally returns a *proof* for every Unsat answer: a
+   branch-and-bound tree whose leaves are Farkas combinations of input
+   atoms, branching bounds, and disequality-split tightenings. Facts are
+   index-based (input atoms by position in the — already canonicalized —
+   input list) so the caller can re-anchor them to whatever term-level
+   provenance it holds; the proof is therefore reusable across cache hits
+   on the same canonical key. *)
 
 module String_map = Map.Make (String)
 
 type model = int String_map.t
 type result = Sat of model | Unsat | Unknown
+
+(* A fact usable in a Farkas step:
+   - [F_atom i]: the i-th input atom (0-based, as given to [check_cert]);
+   - [F_le (x, k)] / [F_ge (x, k)]: a branching bound on variable x;
+   - [F_neq_le i] / [F_neq_ge i]: the two tightenings  lin ≤ −1  and
+     −lin ≤ −1  of disequality input atom i (lin ≠ 0). *)
+type fact =
+  | F_atom of int
+  | F_le of string * int
+  | F_ge of string * int
+  | F_neq_le of int
+  | F_neq_ge of int
+
+(* Farkas multipliers: nonnegative on ≤-facts, free on =-facts. The sum
+   of multiplier·(≤0-form) must cancel every variable and leave a
+   strictly positive constant. *)
+type proof =
+  | P_farkas of (fact * Q.t) list
+  | P_branch of string * int * proof * proof (* x ≤ k  ∨  x ≥ k+1 *)
+  | P_split of int * proof * proof (* neq atom i: lin ≤ −1 ∨ −lin ≤ −1 *)
+
+(* A proof is [None] only if certificate construction failed while the
+   answer itself is still sound — never expected, but the caller treats
+   a missing proof as a validation failure, not as license to trust. *)
+type cert_result = Csat of model | Cunsat of proof option | Cunknown
 
 let max_depth = 10_000
 
@@ -20,28 +53,45 @@ type row = { coeffs : (int * string) list; rhs : int; is_eq : bool }
 let pp_model fmt m =
   String_map.iter (fun v n -> Format.fprintf fmt "%s=%d " v n) m
 
-exception Trivially_unsat
+exception Trivially_unsat of proof
 
-let check (atoms : Linear.atom list) : result =
+let combine2 f a b =
+  match (a, b) with Some a, Some b -> Some (f a b) | _ -> None
+
+let check_cert (atoms : Linear.atom list) : cert_result =
   (* Partition atoms; constant atoms decide immediately. *)
   let rows = ref [] and neqs = ref [] in
-  let add_row is_eq lin =
+  let add_row i is_eq lin =
     match Linear.const_value lin with
-    | Some c -> if (is_eq && c <> 0) || ((not is_eq) && c > 0) then raise Trivially_unsat
+    | Some c ->
+        if (is_eq && c <> 0) || ((not is_eq) && c > 0) then
+          (* The multiplier must leave a positive constant: an equality
+             row can be cited with either sign, so pick sign c. *)
+          let lam = if is_eq && c < 0 then Q.minus_one else Q.one in
+          raise (Trivially_unsat (P_farkas [ (F_atom i, lam) ]))
     | None ->
         let coeffs = Linear.fold_coeffs (fun acc v c -> (c, v) :: acc) [] lin in
-        rows := { coeffs; rhs = -Linear.coeff_free lin; is_eq } :: !rows
+        rows := ({ coeffs; rhs = -Linear.coeff_free lin; is_eq }, F_atom i) :: !rows
   in
   try
-    List.iter
-      (function
-        | Linear.Le_zero lin -> add_row false lin
-        | Linear.Eq_zero lin -> add_row true lin
+    List.iteri
+      (fun i atom ->
+        match atom with
+        | Linear.Le_zero lin -> add_row i false lin
+        | Linear.Eq_zero lin -> add_row i true lin
         | Linear.Neq_zero lin -> (
             match Linear.const_value lin with
-            | Some 0 -> raise Trivially_unsat
+            | Some 0 ->
+                (* lin is the constant 0, so both tightenings are the
+                   contradictions 1 ≤ 0 and 1 ≤ 0. *)
+                raise
+                  (Trivially_unsat
+                     (P_split
+                        ( i,
+                          P_farkas [ (F_neq_le i, Q.one) ],
+                          P_farkas [ (F_neq_ge i, Q.one) ] )))
             | Some _ -> ()
-            | None -> neqs := lin :: !neqs))
+            | None -> neqs := (lin, i) :: !neqs))
       atoms;
     let rows = !rows and neqs = !neqs in
     (* Variable index assignment. *)
@@ -56,37 +106,26 @@ let check (atoms : Linear.atom list) : result =
           names := v :: !names;
           i
     in
-    List.iter (fun r -> List.iter (fun (_, v) -> ignore (intern v)) r.coeffs) rows;
-    List.iter (fun lin -> List.iter (fun v -> ignore (intern v)) (Linear.vars lin)) neqs;
+    List.iter
+      (fun (r, _) -> List.iter (fun (_, v) -> ignore (intern v)) r.coeffs)
+      rows;
+    List.iter
+      (fun (lin, _) -> List.iter (fun v -> ignore (intern v)) (Linear.vars lin))
+      neqs;
     let nvars = Hashtbl.length index in
     let names = Array.of_list (List.rev !names) in
-    (* Branch state: per-variable integer bounds plus extra ≤-rows from
-       disequality splits. *)
-    let merge_bound (b : Simplex.bound) ~lo ~hi : Simplex.bound option =
-      let lower =
-        match (b.lower, lo) with
-        | None, x | x, None -> x
-        | Some a, Some b -> Some (Q.max a b)
-      and upper =
-        match (b.upper, hi) with
-        | None, x | x, None -> x
-        | Some a, Some b -> Some (Q.min a b)
-      in
-      match (lower, upper) with
-      | Some l, Some u when Q.gt l u -> None
-      | lower, upper -> Some { Simplex.lower; upper }
-    in
-    let solve_relaxation var_bounds extra_rows =
-      let all_rows = extra_rows @ rows in
+    (* Branch state: per-variable integer bounds (with the fact that
+       introduced each side) plus extra ≤-rows from disequality splits. *)
+    let solve_relaxation var_bounds all_rows =
       let simplex_rows =
         List.map
-          (fun r -> List.map (fun (c, v) -> (Q.of_int c, intern v)) r.coeffs)
+          (fun (r, _) -> List.map (fun (c, v) -> (Q.of_int c, intern v)) r.coeffs)
           all_rows
       in
       let bound_of i =
         if i < nvars then var_bounds.(i)
         else
-          let r = List.nth all_rows (i - nvars) in
+          let r, _ = List.nth all_rows (i - nvars) in
           let rhs = Q.of_int r.rhs in
           if r.is_eq then { Simplex.lower = Some rhs; upper = Some rhs }
           else { Simplex.lower = None; upper = Some rhs }
@@ -94,11 +133,85 @@ let check (atoms : Linear.atom list) : result =
       let s = Simplex.create ~nvars ~rows:simplex_rows ~bound_of in
       Simplex.check s
     in
-    let rec branch var_bounds extra_rows pending_neqs depth =
-      if depth > max_depth then Unknown
+    (* Farkas certificate from a simplex conflict. The violated basic
+       satisfies  cvar = Σ crow  identically (tableau rows are linear
+       consequences of the definitional rows), and every nonbasic in
+       crow is pinned at the bound blocking movement, so combining the
+       basic's violated bound with each nonbasic's blocking bound —
+       weights |a_j| on inequality facts, signed a_j on equality rows —
+       cancels all variables and leaves the (strictly positive) bound
+       violation. *)
+    let farkas_of_conflict bprov all_rows { Simplex.cvar; cbelow; crow } =
+      let exception Fail in
+      let steps = ref [] in
+      let add fact lam = steps := (fact, lam) :: !steps in
+      let use_bound v ~upper ~w =
+        if v < nvars then (
+          let lo_f, up_f = bprov.(v) in
+          match if upper then up_f else lo_f with
+          | Some f -> add f w
+          | None -> raise Fail)
+        else
+          let r, f = List.nth all_rows (v - nvars) in
+          if r.is_eq then
+            (* Equality fact lin = 0: the upper side contributes +w·lin,
+               the lower side −w·lin; record the signed multiplier. *)
+            add f (if upper then w else Q.neg w)
+          else if upper then add f w
+          else (* a ≤-row has no lower bound to lean on *) raise Fail
+      in
+      try
+        use_bound cvar ~upper:(not cbelow) ~w:Q.one;
+        List.iter
+          (fun (a, j) ->
+            let sign = Q.sign a in
+            if sign > 0 then use_bound j ~upper:cbelow ~w:a
+            else if sign < 0 then use_bound j ~upper:(not cbelow) ~w:(Q.neg a))
+          crow;
+        Some (P_farkas !steps)
+      with Fail -> None
+    in
+    (* Tighten one side of a bound, keeping the provenance of whichever
+       side wins. Returns [Ok (bound, prov)] or, when the tightened side
+       crosses the other, [Error cross_proof]: the two crossing facts sum
+       to a positive constant. *)
+    let tighten (b : Simplex.bound) (plo, pup) ~upper k fact =
+      let kq = Q.of_int k in
+      if upper then
+        let u', pu' =
+          match b.Simplex.upper with
+          | Some u when Q.le u kq -> (u, pup)
+          | _ -> (kq, Some fact)
+        in
+        match b.Simplex.lower with
+        | Some l when Q.gt l u' ->
+            Error
+              (combine2
+                 (fun lf uf -> P_farkas [ (lf, Q.one); (uf, Q.one) ])
+                 plo pu')
+        | _ -> Ok ({ b with Simplex.upper = Some u' }, (plo, pu'))
       else
-        match solve_relaxation var_bounds extra_rows with
-        | Simplex.Infeasible -> Unsat
+        let l', pl' =
+          match b.Simplex.lower with
+          | Some l when Q.ge l kq -> (l, plo)
+          | _ -> (kq, Some fact)
+        in
+        match b.Simplex.upper with
+        | Some u when Q.gt l' u ->
+            Error
+              (combine2
+                 (fun lf uf -> P_farkas [ (lf, Q.one); (uf, Q.one) ])
+                 pl' pup)
+        | _ -> Ok ({ b with Simplex.lower = Some l' }, (pl', pup))
+    in
+    let rec branch var_bounds bprov extra_rows pending_neqs depth : cert_result
+        =
+      if depth > max_depth then Cunknown
+      else
+        let all_rows = extra_rows @ rows in
+        match solve_relaxation var_bounds all_rows with
+        | Simplex.Infeasible c ->
+            Cunsat (farkas_of_conflict bprov all_rows c)
         | Simplex.Feasible beta -> (
             (* Find a fractional original variable. *)
             let frac = ref None in
@@ -108,30 +221,54 @@ let check (atoms : Linear.atom list) : result =
             match !frac with
             | Some i -> (
                 let v = beta.(i) in
+                let k = Q.floor v in
+                (* v is fractional, so ⌈v⌉ = k+1. *)
+                let name = names.(i) in
+                let f_le = F_le (name, k) and f_ge = F_ge (name, k + 1) in
+                let node l r = P_branch (name, k, l, r) in
                 let left = Array.copy var_bounds in
+                let lprov = Array.copy bprov in
                 let right = Array.copy var_bounds in
+                let rprov = Array.copy bprov in
                 match
-                  ( merge_bound left.(i) ~lo:None ~hi:(Some (Q.of_int (Q.floor v))),
-                    merge_bound right.(i) ~lo:(Some (Q.of_int (Q.ceil v))) ~hi:None )
+                  ( tighten left.(i) lprov.(i) ~upper:true k f_le,
+                    tighten right.(i) rprov.(i) ~upper:false (k + 1) f_ge )
                 with
-                | None, None -> Unsat
-                | Some bl, None ->
+                | Error pl, Error pr -> Cunsat (combine2 node pl pr)
+                | Ok (bl, pvl), Error pr -> (
                     left.(i) <- bl;
-                    branch left extra_rows pending_neqs (depth + 1)
-                | None, Some br ->
+                    lprov.(i) <- pvl;
+                    match branch left lprov extra_rows pending_neqs (depth + 1) with
+                    | Cunsat pl -> Cunsat (combine2 node pl pr)
+                    | (Csat _ | Cunknown) as r -> r)
+                | Error pl, Ok (br, pvr) -> (
                     right.(i) <- br;
-                    branch right extra_rows pending_neqs (depth + 1)
-                | Some bl, Some br -> (
+                    rprov.(i) <- pvr;
+                    match
+                      branch right rprov extra_rows pending_neqs (depth + 1)
+                    with
+                    | Cunsat pr -> Cunsat (combine2 node pl pr)
+                    | (Csat _ | Cunknown) as r -> r)
+                | Ok (bl, pvl), Ok (br, pvr) -> (
                     left.(i) <- bl;
+                    lprov.(i) <- pvl;
                     right.(i) <- br;
-                    match branch left extra_rows pending_neqs (depth + 1) with
-                    | Unsat -> branch right extra_rows pending_neqs (depth + 1)
-                    | (Sat _ | Unknown) as r -> r))
+                    rprov.(i) <- pvr;
+                    match branch left lprov extra_rows pending_neqs (depth + 1) with
+                    | Cunsat pl -> (
+                        match
+                          branch right rprov extra_rows pending_neqs (depth + 1)
+                        with
+                        | Cunsat pr -> Cunsat (combine2 node pl pr)
+                        | (Csat _ | Cunknown) as r -> r)
+                    | (Csat _ | Cunknown) as r -> r))
             | None -> (
                 (* Integral; validate disequalities. *)
                 let env v = Q.to_int_exn beta.(Hashtbl.find index v) in
                 match
-                  List.find_opt (fun lin -> Linear.eval env lin = 0) pending_neqs
+                  List.find_opt
+                    (fun (lin, _) -> Linear.eval env lin = 0)
+                    pending_neqs
                 with
                 | None ->
                     let m =
@@ -139,11 +276,11 @@ let check (atoms : Linear.atom list) : result =
                       |> Seq.mapi (fun i q -> (names.(i), Q.to_int_exn q))
                       |> String_map.of_seq
                     in
-                    Sat m
-                | Some lin -> (
+                    Csat m
+                | Some ((lin, idx) as picked) -> (
                     (* lin ≠ 0 over ℤ: lin ≤ −1 ∨ −lin ≤ −1 *)
                     let remaining =
-                      List.filter (fun l -> not (l == lin)) pending_neqs
+                      List.filter (fun p -> not (p == picked)) pending_neqs
                     in
                     let mk lin' =
                       let coeffs =
@@ -151,15 +288,29 @@ let check (atoms : Linear.atom list) : result =
                       in
                       { coeffs; rhs = -Linear.coeff_free lin' - 1; is_eq = false }
                     in
+                    let node l r = P_split (idx, l, r) in
                     match
-                      branch var_bounds (mk lin :: extra_rows) remaining (depth + 1)
+                      branch var_bounds bprov
+                        ((mk lin, F_neq_le idx) :: extra_rows)
+                        remaining (depth + 1)
                     with
-                    | Unsat ->
-                        branch var_bounds
-                          (mk (Linear.neg lin) :: extra_rows)
-                          remaining (depth + 1)
-                    | (Sat _ | Unknown) as r -> r)))
+                    | Cunsat pl -> (
+                        match
+                          branch var_bounds bprov
+                            ((mk (Linear.neg lin), F_neq_ge idx) :: extra_rows)
+                            remaining (depth + 1)
+                        with
+                        | Cunsat pr -> Cunsat (combine2 node pl pr)
+                        | (Csat _ | Cunknown) as r -> r)
+                    | (Csat _ | Cunknown) as r -> r)))
     in
     let init_bounds = Array.make nvars Simplex.no_bound in
-    branch init_bounds [] neqs 0
-  with Trivially_unsat -> Unsat
+    let init_prov = Array.make nvars (None, None) in
+    branch init_bounds init_prov [] neqs 0
+  with Trivially_unsat p -> Cunsat (Some p)
+
+let check (atoms : Linear.atom list) : result =
+  match check_cert atoms with
+  | Csat m -> Sat m
+  | Cunsat _ -> Unsat
+  | Cunknown -> Unknown

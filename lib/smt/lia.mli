@@ -5,61 +5,43 @@
    enforced by branching  x ≤ ⌊v⌋ ∨ x ≥ ⌈v⌉  on a fractional variable of
    the relaxation; disequalities split as  lin ≤ −1 ∨ lin ≥ 1. A depth cap
    returns [Unknown] rather than diverging on adversarial unbounded
-   instances (never reached by DNS-V's bounded-list encodings). *)
+   instances (never reached by DNS-V's bounded-list encodings).
 
-module String_map :
-  sig
-    type key = String.t
-    type 'a t = 'a Map.Make(String).t
-    val empty : 'a t
-    val add : key -> 'a -> 'a t -> 'a t
-    val add_to_list : key -> 'a -> 'a list t -> 'a list t
-    val update : key -> ('a option -> 'a option) -> 'a t -> 'a t
-    val singleton : key -> 'a -> 'a t
-    val remove : key -> 'a t -> 'a t
-    val merge :
-      (key -> 'a option -> 'b option -> 'c option) -> 'a t -> 'b t -> 'c t
-    val union : (key -> 'a -> 'a -> 'a option) -> 'a t -> 'a t -> 'a t
-    val cardinal : 'a t -> int
-    val bindings : 'a t -> (key * 'a) list
-    val min_binding : 'a t -> key * 'a
-    val min_binding_opt : 'a t -> (key * 'a) option
-    val max_binding : 'a t -> key * 'a
-    val max_binding_opt : 'a t -> (key * 'a) option
-    val choose : 'a t -> key * 'a
-    val choose_opt : 'a t -> (key * 'a) option
-    val find : key -> 'a t -> 'a
-    val find_opt : key -> 'a t -> 'a option
-    val find_first : (key -> bool) -> 'a t -> key * 'a
-    val find_first_opt : (key -> bool) -> 'a t -> (key * 'a) option
-    val find_last : (key -> bool) -> 'a t -> key * 'a
-    val find_last_opt : (key -> bool) -> 'a t -> (key * 'a) option
-    val iter : (key -> 'a -> unit) -> 'a t -> unit
-    val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
-    val map : ('a -> 'b) -> 'a t -> 'b t
-    val mapi : (key -> 'a -> 'b) -> 'a t -> 'b t
-    val filter : (key -> 'a -> bool) -> 'a t -> 'a t
-    val filter_map : (key -> 'a -> 'b option) -> 'a t -> 'b t
-    val partition : (key -> 'a -> bool) -> 'a t -> 'a t * 'a t
-    val split : key -> 'a t -> 'a t * 'a option * 'a t
-    val is_empty : 'a t -> bool
-    val mem : key -> 'a t -> bool
-    val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
-    val compare : ('a -> 'a -> int) -> 'a t -> 'a t -> int
-    val for_all : (key -> 'a -> bool) -> 'a t -> bool
-    val exists : (key -> 'a -> bool) -> 'a t -> bool
-    val to_list : 'a t -> (key * 'a) list
-    val of_list : (key * 'a) list -> 'a t
-    val to_seq : 'a t -> (key * 'a) Seq.t
-    val to_rev_seq : 'a t -> (key * 'a) Seq.t
-    val to_seq_from : key -> 'a t -> (key * 'a) Seq.t
-    val add_seq : (key * 'a) Seq.t -> 'a t -> 'a t
-    val of_seq : (key * 'a) Seq.t -> 'a t
-  end
+   [check_cert] additionally certifies Unsat answers with an index-based
+   branch-and-bound proof (facts reference input atoms by position in the
+   given list, which callers keep canonical), so the proof can be cached
+   with the result and re-anchored to term-level provenance on replay. *)
+
+module String_map : Map.S with type key = string
+
 type model = int String_map.t
 type result = Sat of model | Unsat | Unknown
+
+(* A fact usable in a Farkas step:
+   - [F_atom i]: the i-th input atom (0-based);
+   - [F_le (x, k)] / [F_ge (x, k)]: a branching bound on variable x;
+   - [F_neq_le i] / [F_neq_ge i]: the tightenings  lin ≤ −1  and
+     −lin ≤ −1  of disequality input atom i. *)
+type fact =
+  | F_atom of int
+  | F_le of string * int
+  | F_ge of string * int
+  | F_neq_le of int
+  | F_neq_ge of int
+
+type proof =
+  | P_farkas of (fact * Q.t) list
+  | P_branch of string * int * proof * proof (* x ≤ k  ∨  x ≥ k+1 *)
+  | P_split of int * proof * proof (* neq atom i: lin ≤ −1 ∨ −lin ≤ −1 *)
+
+(* [Cunsat None]: the answer is Unsat but certificate construction
+   failed; callers must treat it as a validation failure. *)
+type cert_result = Csat of model | Cunsat of proof option | Cunknown
+
 val max_depth : int
-type row = { coeffs : (int * string) list; rhs : int; is_eq : bool; }
+
+type row = { coeffs : (int * string) list; rhs : int; is_eq : bool }
+
 val pp_model : Format.formatter -> int String_map.t -> unit
-exception Trivially_unsat
+val check_cert : Linear.atom list -> cert_result
 val check : Linear.atom list -> result

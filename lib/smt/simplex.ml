@@ -22,7 +22,18 @@ type t = {
   beta : Q.t array; (* current assignment *)
 }
 
-type result = Feasible of Q.t array | Infeasible
+(* Why a conflict is a conflict: the violated basic variable, the bound
+   side it violates, and the nonzero entries of its final tableau row.
+   At the point of failure every nonbasic in the row is pinned at the
+   bound that blocks movement, so the row is exactly the data a Farkas
+   combination needs (Lia turns it into an explicit certificate). *)
+type conflict = {
+  cvar : int; (* violated basic variable *)
+  cbelow : bool; (* true: below its lower bound; false: above its upper *)
+  crow : (Q.t * int) list; (* nonzero (coeff, nonbasic var) of its row *)
+}
+
+type result = Feasible of Q.t array | Infeasible of conflict
 
 let get_bound t v = t.bounds.(v)
 
@@ -165,7 +176,13 @@ let check t =
           end
         done;
         match !candidate with
-        | None -> Infeasible
+        | None ->
+            let crow = ref [] in
+            for xj = t.nvars - 1 downto 0 do
+              if t.row_of_var.(xj) = None && not (Q.is_zero row.(xj)) then
+                crow := (row.(xj), xj) :: !crow
+            done;
+            Infeasible { cvar = xi; cbelow = need_increase; crow = !crow }
         | Some xj ->
             let target =
               if need_increase then Option.get t.bounds.(xi).lower

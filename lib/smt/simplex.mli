@@ -19,7 +19,18 @@ type t = {
   bounds : bound array;
   beta : Q.t array;
 }
-type result = Feasible of Q.t array | Infeasible
+(* Explanation of infeasibility: the violated basic variable, the bound
+   side it violates, and the nonzero (coefficient, nonbasic variable)
+   entries of its final tableau row. Every nonbasic listed is pinned at
+   the bound blocking movement, so the row supports a Farkas-style
+   certificate (constructed by [Lia]). *)
+type conflict = {
+  cvar : int;
+  cbelow : bool;
+  crow : (Q.t * int) list;
+}
+
+type result = Feasible of Q.t array | Infeasible of conflict
 val get_bound : t -> int -> bound
 val create :
   nvars:int -> rows:(Q.t * int) list list -> bound_of:(int -> bound) -> t

@@ -39,6 +39,8 @@ type stats = {
   mutable cache_misses : int;   (* conjunctions solved then memoized *)
   mutable incremental_checks : int; (* served via an assertion stack *)
   mutable scratch_checks : int; (* conjunction rebuilt from scratch *)
+  mutable cert_checks : int; (* certificates validated *)
+  mutable cert_failures : int; (* certificates that failed validation *)
 }
 
 let fresh_stats () =
@@ -51,6 +53,8 @@ let fresh_stats () =
     cache_misses = 0;
     incremental_checks = 0;
     scratch_checks = 0;
+    cert_checks = 0;
+    cert_failures = 0;
   }
 
 let stats_key : stats Domain.DLS.key = Domain.DLS.new_key fresh_stats
@@ -64,7 +68,9 @@ let add_stats ~into:(a : stats) (b : stats) =
   a.cache_hits <- a.cache_hits + b.cache_hits;
   a.cache_misses <- a.cache_misses + b.cache_misses;
   a.incremental_checks <- a.incremental_checks + b.incremental_checks;
-  a.scratch_checks <- a.scratch_checks + b.scratch_checks
+  a.scratch_checks <- a.scratch_checks + b.scratch_checks;
+  a.cert_checks <- a.cert_checks + b.cert_checks;
+  a.cert_failures <- a.cert_failures + b.cert_failures
 
 let diff_stats (a : stats) (b : stats) : stats =
   {
@@ -76,6 +82,8 @@ let diff_stats (a : stats) (b : stats) : stats =
     cache_misses = a.cache_misses - b.cache_misses;
     incremental_checks = a.incremental_checks - b.incremental_checks;
     scratch_checks = a.scratch_checks - b.scratch_checks;
+    cert_checks = a.cert_checks - b.cert_checks;
+    cert_failures = a.cert_failures - b.cert_failures;
   }
 
 (* Lifetime accumulator: [reset_stats] is called per verification
@@ -94,7 +102,9 @@ let reset_stats () =
   s.cache_hits <- 0;
   s.cache_misses <- 0;
   s.incremental_checks <- 0;
-  s.scratch_checks <- 0
+  s.scratch_checks <- 0;
+  s.cert_checks <- 0;
+  s.cert_failures <- 0
 
 (* Lifetime totals so far in this domain (folded windows + the current
    window), as a fresh record. *)
@@ -112,7 +122,9 @@ let zero_stats (s : stats) =
   s.cache_hits <- 0;
   s.cache_misses <- 0;
   s.incremental_checks <- 0;
-  s.scratch_checks <- 0
+  s.scratch_checks <- 0;
+  s.cert_checks <- 0;
+  s.cert_failures <- 0
 
 let reset_lifetime () =
   zero_stats (Domain.DLS.get lifetime_key);
@@ -156,6 +168,18 @@ let incremental = Atomic.make true
 let set_incremental b = Atomic.set incremental b
 let incremental_enabled () = Atomic.get incremental
 
+(* Certificate switch (on by default). When on and a validator is
+   installed (see [Proof.set_validator] / [Cert.install]), every Sat and
+   Unsat answer handed out — fresh, replayed from a cache, or served by
+   the incremental stack's refuted-prefix short-circuit — is validated
+   against its certificate first; a result whose certificate does not
+   check out is degraded to Unknown and counted in
+   [stats.cert_failures], so a corrupted memo entry can degrade a
+   verdict but never flip it. *)
+let certify = Atomic.make true
+let set_certify b = Atomic.set certify b
+let certify_enabled () = Atomic.get certify
+
 (* Two memo tables, both keyed on canonical forms:
 
    - [lia]: sorted+deduped [Linear.key_of_atom] lists — the literal
@@ -169,9 +193,15 @@ let incremental_enabled () = Atomic.get incremental
    canonically sorted conjunction, so a cached model is a function of
    the key alone — sequential and parallel runs return byte-identical
    verdicts regardless of cache population order. *)
+(* Entries carry the certificate produced when they were solved: LIA
+   proofs are index-based (positions in the canonical key), so a hit
+   re-anchors them to the hitting call's own literal terms; full-path
+   certificates are term-level already (the key is the term list). A
+   hit's certificate is re-validated before the cached answer is
+   trusted. *)
 type cache = {
-  lia : (Linear.key list, Lia.result) Hashtbl.t;
-  full : (Term.t list, result) Hashtbl.t;
+  lia : (Linear.key list, Lia.result * Lia.proof option) Hashtbl.t;
+  full : (Term.t list, result * Proof.t option) Hashtbl.t;
 }
 
 let cache_key : cache Domain.DLS.key =
@@ -187,9 +217,12 @@ let clear_caches () =
 
 exception Not_conjunctive
 
-(* Try to read a term as a conjunction of literals:
-   returns (theory atoms, boolean literal list). *)
-let literals_of_conjunction (ts : Term.t list) =
+(* Try to read a term as a conjunction of literals: returns (theory
+   atoms, boolean literal list). Each theory atom carries its *source
+   literal* — the asserted term (negation folded in) that produced it —
+   which is the provenance certificates are anchored to: the checker
+   recognizes exactly the asserted input literals as Farkas facts. *)
+let literals_of_conjunction_src (ts : Term.t list) =
   let atoms = ref [] and bools = ref [] in
   let rec literal positive (t : Term.t) =
     match t with
@@ -202,12 +235,18 @@ let literals_of_conjunction (ts : Term.t list) =
     | Term.Eq _ | Term.Le _ | Term.Lt _ -> (
         match Linear.atom_of_term t with
         | Some atom ->
-            atoms := (if positive then atom else Linear.negate_atom atom) :: !atoms
+            let atom = if positive then atom else Linear.negate_atom atom in
+            let src = if positive then t else Term.not_ t in
+            atoms := (atom, src) :: !atoms
         | None -> raise Not_conjunctive)
     | _ -> raise Not_conjunctive
   in
   List.iter (literal true) ts;
   (!atoms, !bools)
+
+let literals_of_conjunction (ts : Term.t list) =
+  let atoms, bools = literals_of_conjunction_src ts in
+  (List.map fst atoms, bools)
 
 let model_of_lia_model (m : Lia.model) bools =
   let base =
@@ -218,31 +257,107 @@ let model_of_lia_model (m : Lia.model) bools =
     (fun acc (name, positive) -> Model.add_bool name positive acc)
     base bools
 
+(* Re-anchor an index-based LIA proof to term-level facts. [provs.(i)]
+   is the asserted literal term behind canonical atom i; [atoms.(i)] the
+   atom itself (needed to render disequality tightenings as terms).
+   Branching bounds x ≤ k / x ≥ k become the terms  x ≤ k  and
+   ¬(x ≤ k−1), matching the split atoms the checker tracks in its
+   context. *)
+let tree_of_lia_proof (atoms : Linear.atom array) (provs : Term.t array)
+    (p : Lia.proof) : Proof.tree option =
+  let exception Fail in
+  let q_coeff (q : Q.t) = { Proof.pnum = Q.num q; pden = Q.den q } in
+  let neq_terms i =
+    match atoms.(i) with
+    | Linear.Neq_zero lin ->
+        ( Term.le (Linear.to_term lin) (Term.int (-1)),
+          Term.le (Linear.to_term (Linear.neg lin)) (Term.int (-1)) )
+    | _ -> raise Fail
+  in
+  let term_of_fact = function
+    | Lia.F_atom i -> provs.(i)
+    | Lia.F_le (x, k) -> Term.le (Term.int_var x) (Term.int k)
+    | Lia.F_ge (x, k) -> Term.not_ (Term.le (Term.int_var x) (Term.int (k - 1)))
+    | Lia.F_neq_le i -> fst (neq_terms i)
+    | Lia.F_neq_ge i -> snd (neq_terms i)
+  in
+  let rec conv = function
+    | Lia.P_farkas steps ->
+        Proof.Farkas
+          (List.map
+             (fun (f, q) -> { Proof.fact = term_of_fact f; lam = q_coeff q })
+             steps)
+    | Lia.P_branch (x, k, l, r) ->
+        Proof.Split
+          {
+            atom = Term.le (Term.int_var x) (Term.int k);
+            if_true = conv l;
+            if_false = conv r;
+          }
+    | Lia.P_split (i, l, r) ->
+        let le1, ge1 = neq_terms i in
+        Proof.Split_neq
+          { neq = provs.(i); le1; ge1; left = conv l; right = conv r }
+  in
+  try Some (conv p) with Fail -> None
+
 (* Decide a conjunction of theory atoms, consulting the memo table.
    The conjunction is always solved in canonical (sorted+deduped) order
    — caching on or off — so the model returned for a given atom set is
-   independent of assertion order and of which code path asked. *)
-let lia_check_cached (atoms : Linear.atom list) : Lia.result =
-  let keyed = List.map (fun a -> (Linear.key_of_atom a, a)) atoms in
+   independent of assertion order and of which code path asked. Returns
+   the answer plus, for Unsat, a certificate anchored at this call's
+   own source literals (cached proofs are index-based against the
+   canonical key, so re-anchoring works on any hit). A [Cache_corrupt]
+   fault poisons the table entry itself on a hit: the corrupted answer
+   keeps being replayed until certificate validation rejects it. *)
+let lia_check_cached (atoms : (Linear.atom * Term.t) list) :
+    Lia.result * Proof.tree option =
+  let keyed =
+    List.map (fun ((a, _) as p) -> (Linear.key_of_atom a, p)) atoms
+  in
   let keyed = List.sort_uniq (fun (k1, _) (k2, _) -> compare k1 k2) keyed in
-  if not (caching_enabled ()) then Lia.check (List.map snd keyed)
+  let canon_atoms = Array.of_list (List.map (fun (_, (a, _)) -> a) keyed) in
+  let provs = Array.of_list (List.map (fun (_, (_, src)) -> src) keyed) in
+  let anchor p = Option.bind p (tree_of_lia_proof canon_atoms provs) in
+  let solve () =
+    match Lia.check_cert (Array.to_list canon_atoms) with
+    | Lia.Csat m -> (Lia.Sat m, None)
+    | Lia.Cunsat p -> (Lia.Unsat, p)
+    | Lia.Cunknown -> (Lia.Unknown, None)
+  in
+  if not (caching_enabled ()) then
+    let r, p = solve () in
+    (r, anchor p)
   else begin
     let key = List.map fst keyed in
     let c = Domain.DLS.get cache_key in
     let s = stats () in
     match Hashtbl.find_opt c.lia key with
-    | Some r ->
+    | Some (r, p) ->
         s.cache_hits <- s.cache_hits + 1;
-        r
+        let r, p =
+          if Faultinject.fire Faultinject.Cache_corrupt then begin
+            let poisoned =
+              match r with
+              | Lia.Sat _ -> (Lia.Unsat, p)
+              | Lia.Unsat | Lia.Unknown ->
+                  (Lia.Sat Lia.String_map.empty, None)
+            in
+            Hashtbl.replace c.lia key poisoned;
+            poisoned
+          end
+          else (r, p)
+        in
+        (r, anchor p)
     | None ->
         s.cache_misses <- s.cache_misses + 1;
-        let r = Lia.check (List.map snd keyed) in
+        let r, p = solve () in
         (match r with
         | Lia.Unknown -> ()
         | _ ->
             if Hashtbl.length c.lia >= cache_limit then Hashtbl.reset c.lia;
-            Hashtbl.add c.lia key r);
-        r
+            Hashtbl.add c.lia key (r, p));
+        (r, anchor p)
   end
 
 (* Contradictory boolean literals? *)
@@ -251,19 +366,42 @@ let contradictory_bools bools =
     (fun (name, pos) -> List.exists (fun (n, p) -> n = name && p <> pos) bools)
     bools
 
-let check_fast (ts : Term.t list) : result option =
-  match literals_of_conjunction ts with
+(* Certificate for a contradictory boolean literal pair: splitting on
+   the variable closes both branches propositionally. *)
+let bool_contradiction_cert bools =
+  let name, _ =
+    List.find
+      (fun (name, pos) -> List.exists (fun (n, p) -> n = name && p <> pos) bools)
+      bools
+  in
+  Proof.Unsat_witness
+    (Proof.Split
+       {
+         atom = Term.bool_var name;
+         if_true = Proof.Bool_leaf;
+         if_false = Proof.Bool_leaf;
+       })
+
+let check_fast_cert (ts : Term.t list) : (result * Proof.t option) option =
+  match literals_of_conjunction_src ts with
   | exception Not_conjunctive -> None
   | exception Linear.Nonlinear _ -> None
   | atoms, bools ->
       (stats ()).fast_path <- (stats ()).fast_path + 1;
-      if contradictory_bools bools then Some Unsat
+      if contradictory_bools bools then
+        Some (Unsat, Some (bool_contradiction_cert bools))
       else
         Some
           (match lia_check_cached atoms with
-          | Lia.Sat m -> Sat (model_of_lia_model m bools)
-          | Lia.Unsat -> Unsat
-          | Lia.Unknown -> Unknown)
+          | Lia.Sat m, _ ->
+              let model = model_of_lia_model m bools in
+              (Sat model, Some (Proof.Model_witness model))
+          | Lia.Unsat, tree ->
+              (Unsat, Option.map (fun t -> Proof.Unsat_witness t) tree)
+          | Lia.Unknown, _ -> (Unknown, None))
+
+let check_fast (ts : Term.t list) : result option =
+  Option.map fst (check_fast_cert ts)
 
 let max_dpllt_iterations = 100_000
 
@@ -321,28 +459,172 @@ let check_dpllt (t : Term.t) : result =
       in
       loop 0)
 
+(* Certifying re-derivation of a general-path Unsat answer as a split
+   tree — the SAT-level "resolution skeleton". Rather than instrument
+   the DPLL core with clause-resolution bookkeeping, the (rare)
+   general-path Unsat is re-derived semantically: split on an atom
+   occurring in the residual formula, partial-evaluate under the
+   context, close branches propositionally ([Bool_leaf], the residual
+   folded to False) or by the theory (a Farkas subtree from
+   [Lia.check_cert] on the context's theory atoms). A decision tree of
+   this shape is exactly a regular tree-resolution refutation, and the
+   checker needs only term evaluation plus linear arithmetic to accept
+   it. Returns None when the re-derivation exceeds its node budget,
+   meets nonlinear structure, or — crucially — discovers the Unsat
+   answer was wrong (the residual empties with satisfiable theory
+   atoms); callers treat None as a failed certification, never as
+   license to trust. *)
+let max_cert_nodes = 20_000
+
+let certify_unsat_general (ts : Term.t list) : Proof.tree option =
+  let exception Give_up in
+  let ctx : (Term.t, bool) Hashtbl.t = Hashtbl.create 64 in
+  let lookup t = Hashtbl.find_opt ctx t in
+  let of_bool b = if b then Term.True else Term.False in
+  (* Partial evaluation under [ctx], reusing the smart constructors so
+     the folds agree with what the independent checker can reproduce. *)
+  let rec simp (t : Term.t) : Term.t =
+    match lookup t with
+    | Some b -> of_bool b
+    | None -> (
+        match t with
+        | Term.True | Term.False | Term.Int_const _ | Term.Var _ -> t
+        | Term.Not a -> Term.not_ (simp a)
+        | Term.And l -> Term.and_ (List.map simp l)
+        | Term.Or l -> Term.or_ (List.map simp l)
+        | Term.Implies (a, b) -> Term.implies (simp a) (simp b)
+        | Term.Iff (a, b) -> Term.iff (simp a) (simp b)
+        | Term.Ite (c, a, b) -> Term.ite (simp c) (simp a) (simp b)
+        | Term.Add l -> Term.add (List.map simp l)
+        | Term.Sub (a, b) -> Term.sub (simp a) (simp b)
+        | Term.Neg a -> Term.neg (simp a)
+        | Term.Mul_const (k, a) -> Term.mul_const k (simp a)
+        | Term.Eq (a, b) -> relook (Term.eq (simp a) (simp b))
+        | Term.Le (a, b) -> relook (Term.le (simp a) (simp b))
+        | Term.Lt (a, b) -> relook (Term.lt (simp a) (simp b)))
+  and relook t = match lookup t with Some b -> of_bool b | None -> t in
+  (* Pick a splittable atom from a (simplified) term: a boolean variable
+     or a linear comparison. *)
+  let rec pick (t : Term.t) : Term.t option =
+    match t with
+    | Term.True | Term.False | Term.Int_const _ -> None
+    | Term.Var v -> if v.Term.sort = Term.Bool then Some t else None
+    | Term.Not a | Term.Neg a | Term.Mul_const (_, a) -> pick a
+    | Term.And l | Term.Or l | Term.Add l -> List.find_map pick l
+    | Term.Implies (a, b) | Term.Sub (a, b) -> List.find_map pick [ a; b ]
+    | Term.Iff (a, b) -> List.find_map pick [ a; b ]
+    | Term.Ite (c, a, b) -> List.find_map pick [ c; a; b ]
+    | (Term.Eq (a, b) | Term.Le (a, b) | Term.Lt (a, b)) as cmp -> (
+        match Linear.atom_of_term cmp with
+        | Some _ -> Some cmp
+        | None -> List.find_map pick [ a; b ]
+        | exception Linear.Nonlinear _ -> List.find_map pick [ a; b ])
+  in
+  (* Every input term folded to True under the context: the leaf is
+     closed by the theory, or the original answer was wrong. *)
+  let theory_leaf () : Proof.tree =
+    let atoms =
+      Hashtbl.fold
+        (fun t b acc ->
+          match t with
+          | Term.Var { Term.sort = Term.Bool; _ } -> acc
+          | _ -> (
+              match Linear.atom_of_term t with
+              | Some a ->
+                  ( (if b then a else Linear.negate_atom a),
+                    if b then t else Term.not_ t )
+                  :: acc
+              | None -> raise Give_up
+              | exception Linear.Nonlinear _ -> raise Give_up))
+        ctx []
+    in
+    let keyed =
+      List.map (fun ((a, _) as p) -> (Linear.key_of_atom a, p)) atoms
+    in
+    let keyed = List.sort_uniq (fun (k1, _) (k2, _) -> compare k1 k2) keyed in
+    let canon_atoms = Array.of_list (List.map (fun (_, (a, _)) -> a) keyed) in
+    let provs = Array.of_list (List.map (fun (_, (_, src)) -> src) keyed) in
+    match Lia.check_cert (Array.to_list canon_atoms) with
+    | Lia.Cunsat (Some p) -> (
+        match tree_of_lia_proof canon_atoms provs p with
+        | Some t -> t
+        | None -> raise Give_up)
+    | _ -> raise Give_up
+  in
+  let nodes = ref 0 in
+  let rec solve (residual : Term.t list) : Proof.tree =
+    incr nodes;
+    if !nodes > max_cert_nodes then raise Give_up;
+    let residual = List.map simp residual in
+    if List.exists (function Term.False -> true | _ -> false) residual then
+      Proof.Bool_leaf
+    else
+      let residual =
+        List.filter (function Term.True -> false | _ -> true) residual
+      in
+      match residual with
+      | [] -> theory_leaf ()
+      | ts -> (
+          match List.find_map pick ts with
+          | None -> raise Give_up
+          | Some atom ->
+              Hashtbl.replace ctx atom true;
+              let if_true = solve ts in
+              Hashtbl.replace ctx atom false;
+              let if_false = solve ts in
+              Hashtbl.remove ctx atom;
+              Proof.Split { atom; if_true; if_false })
+  in
+  try Some (solve ts) with Give_up -> None
+
+(* Certificate production for the general path is worth its cost only
+   when someone will check the result: gate it on the switch and on an
+   installed validator. *)
+let want_cert () = certify_enabled () && Proof.validator () <> None
+
 (* The general path, memoized on the sorted+deduped term list. Solving
    happens on the canonical order so a cached model is a pure function
-   of the key. *)
-let check_dpllt_cached (ts : Term.t list) : result =
-  if not (caching_enabled ()) then check_dpllt (Term.and_ ts)
+   of the key. Certificates are cached alongside results; a
+   [Cache_corrupt] fault poisons the stored entry on a hit (the
+   corrupted pair keeps being replayed until validation rejects it). *)
+let check_dpllt_cert (ts : Term.t list) : result * Proof.t option =
+  let with_cert key r =
+    match r with
+    | Sat m -> (r, Some (Proof.Model_witness m))
+    | Unsat when want_cert () ->
+        ( r,
+          Option.map
+            (fun t -> Proof.Unsat_witness t)
+            (certify_unsat_general key) )
+    | Unsat | Unknown -> (r, None)
+  in
+  if not (caching_enabled ()) then with_cert ts (check_dpllt (Term.and_ ts))
   else begin
     let key = List.sort_uniq compare ts in
     let c = Domain.DLS.get cache_key in
     let s = stats () in
     match Hashtbl.find_opt c.full key with
-    | Some r ->
+    | Some (r, p) ->
         s.cache_hits <- s.cache_hits + 1;
-        r
+        if Faultinject.fire Faultinject.Cache_corrupt then begin
+          let poisoned =
+            match r with
+            | Sat _ -> (Unsat, p)
+            | Unsat | Unknown -> (Sat Model.empty, None)
+          in
+          Hashtbl.replace c.full key poisoned;
+          poisoned
+        end
+        else (r, p)
     | None ->
         s.cache_misses <- s.cache_misses + 1;
-        let r = check_dpllt (Term.and_ key) in
-        (match r with
+        let rp = with_cert key (check_dpllt (Term.and_ key)) in
+        (match fst rp with
         | Unknown -> ()
         | _ ->
             if Hashtbl.length c.full >= cache_limit then Hashtbl.reset c.full;
-            Hashtbl.add c.full key r);
-        r
+            Hashtbl.add c.full key rp);
+        rp
   end
 
 (* Shared per-query prologue: charge the budget in scope and give the
@@ -366,14 +648,48 @@ let record_result (r : result) : result =
   | _ -> ());
   r
 
-let check_core (ts : Term.t list) : result =
+(* Gatekeeper: a Sat/Unsat answer leaves the solver only after its
+   certificate checks out against the installed validator. An answer
+   that cannot be justified — missing certificate, wrong witness kind,
+   or a validator rejection — degrades to Unknown and is counted, so a
+   corrupted memo entry or a buggy proof emitter can lose a verdict but
+   never flip one. With certification off or no validator installed
+   this is the identity on the result. *)
+let validate (ts : Term.t list) ((r, cert) : result * Proof.t option) : result =
+  if not (certify_enabled ()) then r
+  else
+    match Proof.validator () with
+    | None -> r
+    | Some v -> (
+        match r with
+        | Unknown -> r
+        | Sat _ | Unsat -> (
+            let s = stats () in
+            s.cert_checks <- s.cert_checks + 1;
+            let verdict =
+              match (r, cert) with
+              | Sat m, _ -> v.Proof.validate_sat ts m
+              | Unsat, Some (Proof.Unsat_witness tree) ->
+                  v.Proof.validate_unsat ts tree
+              | Unsat, Some (Proof.Model_witness _) ->
+                  Proof.Invalid "unsat answer carries a model certificate"
+              | Unsat, None -> Proof.Invalid "missing certificate"
+              | Unknown, _ -> assert false
+            in
+            match verdict with
+            | Proof.Valid -> r
+            | Proof.Invalid _ ->
+                s.cert_failures <- s.cert_failures + 1;
+                Unknown))
+
+let check_core_cert (ts : Term.t list) : result * Proof.t option =
   match Term.and_ ts with
-  | Term.True -> Sat Model.empty
-  | Term.False -> Unsat
+  | Term.True -> (Sat Model.empty, Some (Proof.Model_witness Model.empty))
+  | Term.False -> (Unsat, Some (Proof.Unsat_witness Proof.Bool_leaf))
   | _ -> (
-      match check_fast ts with
-      | Some r -> r
-      | None -> check_dpllt_cached ts)
+      match check_fast_cert ts with
+      | Some rc -> rc
+      | None -> check_dpllt_cert ts)
 
 (* Decide satisfiability of the conjunction of [ts]. Charges the budget
    in scope and records Unknown answers — including injected ones — so
@@ -383,7 +699,7 @@ let check (ts : Term.t list) : result =
     if begin_check () then Unknown
     else begin
       (stats ()).scratch_checks <- (stats ()).scratch_checks + 1;
-      check_core ts
+      validate ts (check_core_cert ts)
     end
   in
   record_result r
@@ -421,10 +737,11 @@ module Incremental = struct
   type frame = {
     node : Term.t list;
     mutable terms : Term.t list;
-    mutable atoms : Linear.atom list;
+    mutable atoms : (Linear.atom * Term.t) list; (* atom + source literal *)
     mutable bools : (string * bool) list;
     mutable nonconj : bool; (* some term is not a literal conjunction *)
     mutable unsat : bool;   (* the stack up to this frame is refuted *)
+    mutable unsat_cert : Proof.t option; (* certificate for the refutation *)
   }
 
   type t = { mutable frames : frame list (* newest first *) }
@@ -432,13 +749,21 @@ module Incremental = struct
   let create () = { frames = [] }
 
   let fresh_frame node =
-    { node; terms = []; atoms = []; bools = []; nonconj = false; unsat = false }
+    {
+      node;
+      terms = [];
+      atoms = [];
+      bools = [];
+      nonconj = false;
+      unsat = false;
+      unsat_cert = None;
+    }
 
   let push (s : t) = s.frames <- fresh_frame [] :: s.frames
 
   let analyze (f : frame) (term : Term.t) =
     f.terms <- term :: f.terms;
-    match literals_of_conjunction [ term ] with
+    match literals_of_conjunction_src [ term ] with
     | atoms, bools ->
         f.atoms <- atoms @ f.atoms;
         f.bools <- bools @ f.bools
@@ -459,41 +784,56 @@ module Incremental = struct
   let depth (s : t) = List.length s.frames
   let terms (s : t) = List.concat_map (fun f -> f.terms) s.frames
 
-  let mark_unsat (s : t) =
-    match s.frames with [] -> () | f :: _ -> f.unsat <- true
+  let mark_unsat (s : t) cert =
+    match s.frames with
+    | [] -> ()
+    | f :: _ ->
+        f.unsat <- true;
+        f.unsat_cert <- cert
 
   let solve (s : t) : result =
     let st = stats () in
     let r =
       if begin_check () then Unknown
-      else if List.exists (fun f -> f.unsat) s.frames then begin
-        (* A refuted prefix stays refuted under any extension. *)
-        st.incremental_checks <- st.incremental_checks + 1;
-        Unsat
-      end
-      else if List.exists (fun f -> f.nonconj) s.frames then begin
-        (* General boolean structure somewhere on the stack: fall back
-           to the monolithic (but still memoized) pipeline. *)
-        st.scratch_checks <- st.scratch_checks + 1;
-        check_core (terms s)
-      end
-      else begin
-        st.incremental_checks <- st.incremental_checks + 1;
-        st.fast_path <- st.fast_path + 1;
-        let atoms = List.concat_map (fun f -> f.atoms) s.frames in
-        let bools = List.concat_map (fun f -> f.bools) s.frames in
-        if contradictory_bools bools then begin
-          mark_unsat s;
-          Unsat
-        end
-        else
-          match lia_check_cached atoms with
-          | Lia.Sat m -> Sat (model_of_lia_model m bools)
-          | Lia.Unsat ->
-              mark_unsat s;
-              Unsat
-          | Lia.Unknown -> Unknown
-      end
+      else
+        match List.find_opt (fun f -> f.unsat) s.frames with
+        | Some f ->
+            (* A refuted prefix stays refuted under any extension — but
+               the stored certificate is re-validated against the full
+               current stack, so a poisoned short-circuit cannot outlive
+               one validation. *)
+            st.incremental_checks <- st.incremental_checks + 1;
+            validate (terms s) (Unsat, f.unsat_cert)
+        | None ->
+            if List.exists (fun f -> f.nonconj) s.frames then begin
+              (* General boolean structure somewhere on the stack: fall
+                 back to the monolithic (but still memoized) pipeline. *)
+              st.scratch_checks <- st.scratch_checks + 1;
+              validate (terms s) (check_core_cert (terms s))
+            end
+            else begin
+              st.incremental_checks <- st.incremental_checks + 1;
+              st.fast_path <- st.fast_path + 1;
+              let atoms = List.concat_map (fun f -> f.atoms) s.frames in
+              let bools = List.concat_map (fun f -> f.bools) s.frames in
+              if contradictory_bools bools then begin
+                let cert = Some (bool_contradiction_cert bools) in
+                mark_unsat s cert;
+                validate (terms s) (Unsat, cert)
+              end
+              else
+                match lia_check_cached atoms with
+                | Lia.Sat m, _ ->
+                    let model = model_of_lia_model m bools in
+                    validate (terms s) (Sat model, Some (Proof.Model_witness model))
+                | Lia.Unsat, tree ->
+                    let cert =
+                      Option.map (fun t -> Proof.Unsat_witness t) tree
+                    in
+                    mark_unsat s cert;
+                    validate (terms s) (Unsat, cert)
+                | Lia.Unknown, _ -> Unknown
+            end
     in
     record_result r
 

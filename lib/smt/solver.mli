@@ -23,6 +23,8 @@ type stats = {
   mutable cache_misses : int;
   mutable incremental_checks : int;
   mutable scratch_checks : int;
+  mutable cert_checks : int; (* certificates validated *)
+  mutable cert_failures : int; (* certificates that failed validation *)
 }
 
 (* Counters are domain-local: each parallel worker accumulates its own.
@@ -51,6 +53,16 @@ val clear_caches : unit -> unit
 val set_incremental : bool -> unit
 val incremental_enabled : unit -> bool
 
+(* Certificate switch (on by default). When on and a validator is
+   installed ([Proof.set_validator], done by [Cert.install]), every Sat
+   and Unsat answer handed out — fresh, replayed from a cache, or served
+   by the incremental stack's refuted-prefix short-circuit — is
+   validated against its certificate first; an unjustifiable answer is
+   degraded to Unknown and counted in [stats.cert_failures]. A corrupted
+   memo entry can therefore degrade a verdict but never flip one. *)
+val set_certify : bool -> unit
+val certify_enabled : unit -> bool
+
 (* Scope a resource budget over every [check]/[entails] call made by
    [f]: each call charges one solver step and honors the deadline. The
    scope is domain-local. *)
@@ -62,6 +74,12 @@ exception Not_conjunctive
 val literals_of_conjunction :
   Term.t list -> Linear.atom list * (string * bool) list
 
+(* Like [literals_of_conjunction], but each atom keeps its source
+   literal (the asserted term, negated for negative occurrences) so
+   certificates can cite it as a fact. *)
+val literals_of_conjunction_src :
+  Term.t list -> (Linear.atom * Term.t) list * (string * bool) list
+
 val model_of_lia_model :
   Lia.model ->
   (Model.String_map.key * bool) list ->
@@ -70,6 +88,10 @@ val model_of_lia_model :
 val check_fast : Term.t list -> result option
 val max_dpllt_iterations : int
 val check_dpllt : Term.t -> result
+
+(* The certificate-producing core (no budget charge, no validation):
+   exposed for the certificate test-suite. *)
+val check_core_cert : Term.t list -> result * Proof.t option
 val check : Term.t list -> result
 val is_sat : Term.t list -> bool
 val is_unsat : Term.t list -> bool

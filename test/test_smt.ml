@@ -118,7 +118,7 @@ let test_simplex_feasible () =
       check_bool "x >= 1" true (Q.ge beta.(0) Q.one);
       check_bool "y >= 2" true (Q.ge beta.(1) (Q.of_int 2));
       check_bool "x + y <= 4" true (Q.le (Q.add beta.(0) beta.(1)) (Q.of_int 4))
-  | Simplex.Infeasible -> Alcotest.fail "should be feasible"
+  | Simplex.Infeasible _ -> Alcotest.fail "should be feasible"
 
 let test_simplex_infeasible () =
   (* x + y <= 1, x >= 1, y >= 1: infeasible *)
@@ -133,7 +133,7 @@ let test_simplex_infeasible () =
   in
   match Simplex.check s with
   | Simplex.Feasible _ -> Alcotest.fail "should be infeasible"
-  | Simplex.Infeasible -> ()
+  | Simplex.Infeasible _ -> ()
 
 let test_simplex_equalities () =
   (* x - y = 0, x + y = 6 → x = y = 3 *)
@@ -151,7 +151,7 @@ let test_simplex_equalities () =
   | Simplex.Feasible beta ->
       check_bool "x = 3" true (Q.equal beta.(0) (Q.of_int 3));
       check_bool "y = 3" true (Q.equal beta.(1) (Q.of_int 3))
-  | Simplex.Infeasible -> Alcotest.fail "should be feasible"
+  | Simplex.Infeasible _ -> Alcotest.fail "should be feasible"
 
 (* ------------------------------------------------------------------ *)
 (* LIA                                                                *)
