@@ -1,13 +1,14 @@
 # Convenience targets over dune. `make bench-json` is the perf gate:
-# it regenerates BENCH_PR3.json and fails (exit 1) if parallel/cached
+# it regenerates BENCH_PR4.json and fails (exit 1) if parallel/cached
 # verdicts diverge from sequential ones, the summaries-ablation
 # speedup regresses below its seed-commit floor, certificate checking
-# costs more than 10% over the uncertified re-verification, or the
-# 200-plan chaos soak reports a soundness violation (the checks live
-# in bench/main.ml's json target). `make chaos` is the standalone
-# soak via the CLI.
+# costs more than 10% over the uncertified re-verification, span
+# recording costs more than 5%, or the 200-plan chaos soak reports a
+# soundness violation (the checks live in bench/main.ml's json
+# target). `make chaos` is the standalone soak via the CLI; `make
+# trace` records a verification trace and renders it.
 
-.PHONY: all build check test bench bench-json chaos clean
+.PHONY: all build check test bench bench-json chaos trace clean
 
 all: build
 
@@ -24,12 +25,16 @@ bench:
 	dune exec bench/main.exe
 
 bench-json:
-	dune exec bench/main.exe -- json > BENCH_PR3.json
-	@cat BENCH_PR3.json
+	dune exec bench/main.exe -- json > BENCH_PR4.json
+	@cat BENCH_PR4.json
 	@echo
 
 chaos:
 	dune exec bin/dnsv_cli.exe -- chaos --plans 200 --seed 1
+
+trace:
+	dune exec bin/dnsv_cli.exe -- verify --trace trace.json
+	dune exec bin/dnsv_cli.exe -- report trace.json --validate-layers
 
 clean:
 	dune clean

@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- ablation  # summaries vs. inlining
      dune exec bench/main.exe -- reverify  # caching/parallel re-verification
      dune exec bench/main.exe -- certoverhead # certificate-validation tax
+     dune exec bench/main.exe -- traceoverhead # span-recording tax
      dune exec bench/main.exe -- chaos     # 200-plan seeded chaos soak
      dune exec bench/main.exe -- json      # machine-readable report (JSON);
                                            # exits 1 on perf/verdict/soundness
@@ -225,6 +226,60 @@ let cert_overhead () =
     on_.rv_stats.Smt.Solver.cert_checks;
   Printf.printf "\noverhead %.3fx (gate <= %.2fx), verdicts identical: %b\n\n"
     ratio cert_overhead_gate
+    (String.equal off.rv_fingerprint on_.rv_fingerprint)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing overhead                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability tax of this PR: the cached sequential
+   re-verification workload with the trace sink disabled (the default)
+   vs. recording the full span tree. Spans are allocation-light and the
+   disabled path is a single atomic load, so the wall-clock ratio must
+   stay within [trace_overhead_gate]. Best-of-[trace_overhead_reps] per
+   arm to keep machine noise out of the gate. *)
+
+let trace_overhead_gate = 1.05
+let trace_overhead_reps = 4
+
+let trace_overhead_runs () =
+  let arm_untraced () = reverify_run ~caching:true ~jobs:1 () in
+  let spans = ref 0 in
+  let arm_traced () =
+    let r, forest =
+      Trace.recording (fun () -> reverify_run ~caching:true ~jobs:1 ())
+    in
+    spans := Trace.span_count forest;
+    r
+  in
+  (* One discarded warm-up, then the arms *interleaved* (not
+     back-to-back blocks): clock drift and thermal state over a long
+     bench run would otherwise land entirely on whichever arm runs
+     second and masquerade as tracing overhead. *)
+  ignore (arm_untraced ());
+  let best cur r =
+    match cur with
+    | Some b when b.rv_wall <= r.rv_wall -> Some b
+    | _ -> Some r
+  in
+  let off = ref None and on_ = ref None in
+  for _ = 1 to trace_overhead_reps do
+    off := best !off (arm_untraced ());
+    on_ := best !on_ (arm_traced ())
+  done;
+  (Option.get !off, Option.get !on_, !spans)
+
+let trace_overhead () =
+  rule ();
+  print_endline "Tracing overhead (cached sequential re-verification)";
+  print_newline ();
+  let off, on_, spans = trace_overhead_runs () in
+  let ratio = on_.rv_wall /. off.rv_wall in
+  Printf.printf "%-24s %8.3f s\n" "tracing off" off.rv_wall;
+  Printf.printf "%-24s %8.3f s   %d spans recorded\n" "tracing on" on_.rv_wall
+    spans;
+  Printf.printf "\noverhead %.3fx (gate <= %.2fx), verdicts identical: %b\n\n"
+    ratio trace_overhead_gate
     (String.equal off.rv_fingerprint on_.rv_fingerprint)
 
 let reverify () =
@@ -474,6 +529,11 @@ let json () =
   let co_off, co_on = cert_overhead_runs () in
   let co_ratio = co_on.rv_wall /. co_off.rv_wall in
   let co_identical = String.equal co_off.rv_fingerprint co_on.rv_fingerprint in
+  let to_off, to_on, to_spans = trace_overhead_runs () in
+  let to_ratio = to_on.rv_wall /. to_off.rv_wall in
+  let to_identical =
+    String.equal to_off.rv_fingerprint to_on.rv_fingerprint
+  in
   let chaos_wall, chaos_o = timed_chaos () in
   print_endline
     (json_obj
@@ -523,6 +583,16 @@ let json () =
                  string_of_int co_on.rv_stats.Smt.Solver.cert_checks );
                ("verdicts_identical", string_of_bool co_identical);
              ] );
+         ( "trace_overhead",
+           json_obj
+             [
+               ("untraced_wall_s", Printf.sprintf "%.4f" to_off.rv_wall);
+               ("traced_wall_s", Printf.sprintf "%.4f" to_on.rv_wall);
+               ("overhead_ratio", Printf.sprintf "%.3f" to_ratio);
+               ("gate", Printf.sprintf "%.2f" trace_overhead_gate);
+               ("spans", string_of_int to_spans);
+               ("verdicts_identical", string_of_bool to_identical);
+             ] );
          ("chaos", json_of_chaos chaos_wall chaos_o);
        ]);
   if not verdicts_identical then begin
@@ -546,6 +616,17 @@ let json () =
     Printf.eprintf
       "FAIL: certificate checking overhead %.3fx exceeds the %.2fx gate\n"
       co_ratio cert_overhead_gate;
+    exit 1
+  end;
+  if not to_identical then begin
+    prerr_endline
+      "FAIL: traced and untraced re-verification fingerprints differ";
+    exit 1
+  end;
+  if to_ratio > trace_overhead_gate then begin
+    Printf.eprintf
+      "FAIL: tracing overhead %.3fx exceeds the %.2fx gate\n" to_ratio
+      trace_overhead_gate;
     exit 1
   end;
   if not (Dnsv.Chaos.ok chaos_o) then begin
@@ -656,13 +737,14 @@ let () =
       | "ablation" -> ablation ()
       | "reverify" -> reverify ()
       | "certoverhead" -> cert_overhead ()
+      | "traceoverhead" -> trace_overhead ()
       | "chaos" -> chaos ()
       | "json" -> json ()
       | "micro" -> run_micro ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected \
-             table1|table2|table3|fig12|ablation|reverify|certoverhead|chaos|json|micro)\n"
+             table1|table2|table3|fig12|ablation|reverify|certoverhead|traceoverhead|chaos|json|micro)\n"
             other;
           exit 2)
     targets

@@ -132,6 +132,33 @@ let apply_faults fault_seed fault_plan =
              | _ -> fail ())
 
 (* ------------------------------------------------------------------ *)
+(* Tracing (shared by verify, batch and chaos)                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_arg =
+  let doc =
+    "Record a structured trace of the run and write it to $(docv) as \
+     Chrome trace_event JSON: spans for every pipeline phase plus the \
+     run's metrics (counters and histograms). Load it in \
+     chrome://tracing / Perfetto, or render it with `dnsv report'."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] under a recording sink and write spans + this run's metrics
+   delta to [path] once it returns. Only the successful return writes a
+   file: every subcommand exits through its verdict printing after [f],
+   and a crashed run has nothing trustworthy to export. *)
+let with_trace (path : string option) (f : unit -> 'a) : 'a =
+  match path with
+  | None -> f ()
+  | Some path ->
+      let m0 = Trace.Metrics.snapshot () in
+      let v, forest = Trace.recording f in
+      let metrics = Trace.Metrics.diff (Trace.Metrics.snapshot ()) m0 in
+      Trace.write_chrome ~metrics ~path forest;
+      v
+
+(* ------------------------------------------------------------------ *)
 (* verify                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -164,7 +191,7 @@ let jobs_arg =
 
 let verify_cmd =
   let run version zone_file qtypes inline no_layers deadline solver_steps
-      max_paths retries jobs fault_seed fault_plan =
+      max_paths retries jobs fault_seed fault_plan trace =
     let cfg = config_of_version version in
     let zone = load_zone zone_file in
     apply_faults fault_seed fault_plan;
@@ -176,8 +203,9 @@ let verify_cmd =
     in
     let verdict =
       try
-        Dnsv.Pipeline.verify ~qtypes ~mode ~check_layers:(not no_layers)
-          ~budget ~retries ~jobs cfg zone
+        with_trace trace (fun () ->
+            Dnsv.Pipeline.verify ~qtypes ~mode ~check_layers:(not no_layers)
+              ~budget ~retries ~jobs cfg zone)
       with e ->
         Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
         exit 3
@@ -209,7 +237,7 @@ let verify_cmd =
     Term.(
       const run $ version_arg $ zone_file_arg $ qtypes_arg $ inline $ no_layers
       $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg
-      $ jobs_arg $ fault_seed_arg $ fault_plan_arg)
+      $ jobs_arg $ fault_seed_arg $ fault_plan_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                              *)
@@ -217,7 +245,7 @@ let verify_cmd =
 
 let batch_cmd =
   let run version origin count seed qtypes deadline solver_steps max_paths
-      retries jobs journal resume fault_seed fault_plan =
+      retries jobs journal resume fault_seed fault_plan trace progress =
     let cfg = config_of_version version in
     let origin =
       match Name.of_string origin with
@@ -230,21 +258,50 @@ let batch_cmd =
     let budget =
       Budget.create ?deadline_s:deadline ?solver_steps ?max_paths ()
     in
+    (* Progress lines go to stderr (stdout carries the machine-readable
+       outcome) and only with --progress: quiet by default. *)
+    let t0 = Unix.gettimeofday () in
+    let elapsed () = Unix.gettimeofday () -. t0 in
+    let finished = ref 0
+    and proved = ref 0
+    and refuted = ref 0
+    and inconcl = ref 0 in
+    let on_start =
+      if not progress then None
+      else
+        Some
+          (fun i ->
+            Printf.eprintf "[%7.2fs] zone %03d start         (%d/%d done)\n%!"
+              (elapsed ()) i !finished count)
+    in
     let on_item (it : Dnsv.Pipeline.batch_item) =
       let status =
         match it.Dnsv.Pipeline.bi_status with
-        | Dnsv.Pipeline.Item_proved -> "proved"
-        | Dnsv.Pipeline.Item_refuted -> "refuted"
+        | Dnsv.Pipeline.Item_proved ->
+            incr proved;
+            "proved"
+        | Dnsv.Pipeline.Item_refuted ->
+            incr refuted;
+            "refuted"
         | Dnsv.Pipeline.Item_inconclusive r ->
+            incr inconcl;
             "inconclusive " ^ Budget.reason_to_wire r
       in
-      Printf.printf "zone %03d %s%s\n%!" it.Dnsv.Pipeline.bi_index status
-        (if it.Dnsv.Pipeline.bi_resumed then " (resumed)" else "")
+      incr finished;
+      if progress then
+        Printf.eprintf
+          "[%7.2fs] zone %03d %-13s (%d/%d done: %d proved, %d refuted, %d \
+           inconclusive)%s\n\
+           %!"
+          (elapsed ()) it.Dnsv.Pipeline.bi_index status !finished count !proved
+          !refuted !inconcl
+          (if it.Dnsv.Pipeline.bi_resumed then " (resumed)" else "")
     in
     let r =
       try
-        Dnsv.Pipeline.verify_batch_run ~qtypes ~count ~seed ~budget ~retries
-          ~jobs ?journal ~resume ~on_item cfg origin
+        with_trace trace (fun () ->
+            Dnsv.Pipeline.verify_batch_run ~qtypes ~count ~seed ~budget
+              ~retries ~jobs ?journal ~resume ?on_start ~on_item cfg origin)
       with
       | Failure m ->
           Printf.eprintf "%s\n" m;
@@ -325,6 +382,13 @@ let batch_cmd =
     in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
+  let progress_arg =
+    let doc =
+      "Report per-zone start/finish lines with running counts and \
+       elapsed time on stderr. Quiet by default."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -341,16 +405,17 @@ let batch_cmd =
     Term.(
       const run $ version_arg $ origin_arg $ count_arg $ seed_arg $ qtypes_arg
       $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg
-      $ jobs_arg $ journal_arg $ resume_arg $ fault_seed_arg $ fault_plan_arg)
+      $ jobs_arg $ journal_arg $ resume_arg $ fault_seed_arg $ fault_plan_arg
+      $ trace_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let chaos_cmd =
-  let run seed plans =
+  let run seed plans trace =
     let o =
-      try Dnsv.Chaos.run ~seed ~plans ()
+      try with_trace trace (fun () -> Dnsv.Chaos.run ~seed ~plans ())
       with Failure m ->
         Printf.eprintf "chaos: %s\n" m;
         exit 3
@@ -377,7 +442,76 @@ let chaos_cmd =
               killed journal resumed byte-identically; 1 when any plan \
               violated either property; 3 on harness errors.";
          ])
-    Term.(const run $ seed_arg $ plans_arg)
+    Term.(const run $ seed_arg $ plans_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let run file top depth validate =
+    match Trace.Report.load file with
+    | Error m ->
+        Printf.eprintf "cannot read trace %s: %s\n" file m;
+        exit 3
+    | Ok r ->
+        print_string (Trace.Report.render ~top ~depth r);
+        if validate then begin
+          (* The CI well-formedness gate: the trace must contain at
+             least one span for every registered refinement layer. *)
+          let layer_spans = Trace.Report.find_spans r ~name:"layer" in
+          let covered name =
+            List.exists
+              (fun (sp : Trace.Report.rspan) ->
+                List.assoc_opt "layer" sp.Trace.Report.r_attrs = Some name)
+              layer_spans
+          in
+          let missing =
+            List.filter_map
+              (fun (name, _) -> if covered name then None else Some name)
+              Refine.Layers.specs
+          in
+          match missing with
+          | [] ->
+              Printf.printf "validate: spans present for all %d layers\n"
+                (List.length Refine.Layers.specs)
+          | names ->
+              Printf.eprintf "validate: no layer span for: %s\n"
+                (String.concat ", " names);
+              exit 1
+        end
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file written by --trace.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) slowest spans.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"Render the span tree down to depth $(docv).")
+  in
+  let validate_arg =
+    let doc =
+      "Fail (exit 1) unless the trace contains a span for every \
+       registered refinement layer — the CI well-formedness gate."
+    in
+    Arg.(value & flag & info [ "validate-layers" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a --trace file as a human-readable profile: per-phase \
+          wall/count table, span tree, slowest spans, counters and \
+          histograms")
+    Term.(const run $ file_arg $ top_arg $ depth_arg $ validate_arg)
 
 (* ------------------------------------------------------------------ *)
 (* layers                                                             *)
@@ -545,8 +679,9 @@ let () =
     Cmd.eval
       (Cmd.group info
          [
-           verify_cmd; batch_cmd; chaos_cmd; layers_cmd; summarize_cmd;
-           bugs_cmd; zonegen_cmd; replay_cmd; source_cmd; rawname_cmd;
+           verify_cmd; batch_cmd; chaos_cmd; report_cmd; layers_cmd;
+           summarize_cmd; bugs_cmd; zonegen_cmd; replay_cmd; source_cmd;
+           rawname_cmd;
          ])
   in
   (* Fold cmdliner's cli/internal error codes (124/125) into the

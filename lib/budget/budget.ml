@@ -150,19 +150,34 @@ let is_unlimited (b : t) =
   b.deadline = None && b.max_solver_steps = None && b.max_paths = None
   && b.max_fuel = None
 
+(* Observability: consumption is mirrored into the metrics registry
+   (per-domain totals across every budget ticked on that domain — the
+   per-object counters below keep enforcing the limits), and each
+   exhaustion leaves a trace event naming its reason, so an
+   Inconclusive verdict's trace contains its root cause. *)
+let c_solver_ticks = Trace.Metrics.counter "budget.solver_steps"
+let c_path_ticks = Trace.Metrics.counter "budget.paths"
+let c_fuel_ticks = Trace.Metrics.counter "budget.fuel"
+let c_exhausted = Trace.Metrics.counter "budget.exhausted"
+
+let exhaust (r : reason) : 'a =
+  Trace.Metrics.incr c_exhausted;
+  Trace.event "budget.exhausted" ~attrs:[ ("reason", reason_tag r) ];
+  raise (Exhausted r)
+
 let check_deadline (b : t) =
   match b.deadline with
   | Some d when now () > d ->
-      raise
-        (Exhausted
-           (Deadline_exceeded { limit_s = Option.value ~default:0.0 b.deadline_s }))
+      exhaust
+        (Deadline_exceeded { limit_s = Option.value ~default:0.0 b.deadline_s })
   | _ -> ()
 
 let tick_solver (b : t) =
   b.solver_steps <- b.solver_steps + 1;
+  Trace.Metrics.incr c_solver_ticks;
   (match b.max_solver_steps with
   | Some limit when b.solver_steps > limit ->
-      raise (Exhausted (Solver_steps_exhausted { limit }))
+      exhaust (Solver_steps_exhausted { limit })
   | _ -> ());
   (* Solver calls dominate verification time, so they are the natural
      cadence for the (syscall-priced) deadline check. *)
@@ -170,9 +185,10 @@ let tick_solver (b : t) =
 
 let tick_path (b : t) =
   b.paths <- b.paths + 1;
+  Trace.Metrics.incr c_path_ticks;
   match b.max_paths with
   | Some limit when b.paths > limit ->
-      raise (Exhausted (Path_cap_exceeded { limit }))
+      exhaust (Path_cap_exceeded { limit })
   | _ -> ()
 
 (* Fuel ticks fire once per instruction; amortize the deadline syscall. *)
@@ -180,8 +196,9 @@ let deadline_stride = 4096
 
 let tick_fuel (b : t) =
   b.fuel <- b.fuel + 1;
+  Trace.Metrics.incr c_fuel_ticks;
   (match b.max_fuel with
-  | Some limit when b.fuel > limit -> raise (Exhausted (Fuel_exhausted { limit }))
+  | Some limit when b.fuel > limit -> exhaust (Fuel_exhausted { limit })
   | _ -> ());
   if b.fuel land (deadline_stride - 1) = 0 then check_deadline b
 

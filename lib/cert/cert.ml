@@ -301,10 +301,17 @@ let check_tree (asserted : Term.t list) (tree : Proof.tree) : unit =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Checker-side tallies, split by witness kind (the solver's
+   [cert_checks]/[cert_failures] count at its gatekeeper; these count
+   what this independent checker actually examined). *)
+let c_sat_validations = Trace.Metrics.counter "cert.sat_validations"
+let c_unsat_validations = Trace.Metrics.counter "cert.unsat_validations"
+
 (* Total evaluation with the solver's defaulting convention (absent
    variables are 0 / false) — written here rather than borrowed, so a
    shared evaluation bug cannot vouch for itself. *)
 let validate_sat (ts : Term.t list) (m : Model.t) : Proof.verdict =
+  Trace.Metrics.incr c_sat_validations;
   let rec ev t =
     match t with
     | Term.True -> Term.VBool true
@@ -350,6 +357,7 @@ let validate_sat (ts : Term.t list) (m : Model.t) : Proof.verdict =
   with Reject m -> Proof.Invalid m
 
 let validate_unsat (ts : Term.t list) (tree : Proof.tree) : Proof.verdict =
+  Trace.Metrics.incr c_unsat_validations;
   try
     check_tree ts tree;
     Proof.Valid

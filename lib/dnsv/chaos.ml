@@ -120,6 +120,17 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
   for i = 0 to plans - 1 do
     let pseed = seed + i in
     let plan = plan_of_seed pseed in
+    (* One span per plan: a violating plan's trace names its seed and
+       the sites it armed. *)
+    Trace.with_span "plan"
+      ~attrs:
+        [
+          ("seed", string_of_int pseed);
+          ("sites", site_names plan.sites);
+          ("after", string_of_int plan.after);
+          ("persistent", string_of_bool plan.persistent);
+        ]
+    @@ fun () ->
     Faultinject.reset ();
     if List.mem Faultinject.Journal_torn plan.sites then begin
       (* Kill-and-resume leg. Only the tear site is armed: the resumed

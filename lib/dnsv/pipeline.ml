@@ -173,8 +173,30 @@ let issues (v : verdict) =
 let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
     ?(check_layers = true) ?budget ?(retries = 0) ?(escalation = 2)
     ?(jobs = 1) (cfg : Builder.config) (zone : Zone.t) : verdict =
+  Trace.with_span "verify"
+    ~attrs:
+      [
+        ("version", cfg.Builder.version);
+        ("zone", Name.to_string (Zone.origin zone));
+      ]
+  @@ fun () ->
+  (* How the work was scheduled must not show up in the deterministic
+     skeleton — identical span trees across [--jobs] values is an
+     acceptance invariant. *)
+  Trace.add_attr ~det:false "jobs" (string_of_int jobs);
   let t0 = Unix.gettimeofday () in
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  (* The budget's *limits* are part of the run's identity (determinism
+     across jobs/schedulings); its consumption is not. *)
+  (let limit name v =
+     Option.iter (fun x -> Trace.add_attr name (string_of_int x)) v
+   in
+   Option.iter
+     (fun s -> Trace.add_attr "budget.deadline_s" (Printf.sprintf "%g" s))
+     budget.Budget.deadline_s;
+   limit "budget.solver_steps" budget.Budget.max_solver_steps;
+   limit "budget.paths" budget.Budget.max_paths;
+   limit "budget.fuel" budget.Budget.max_fuel);
   let layer_reports =
     if not check_layers then []
     else
@@ -199,9 +221,14 @@ let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
           ]
   in
   let check_one b qtype : Check.report * int =
+    Trace.with_span "qtype" ~attrs:[ ("qtype", Rr.rtype_to_string qtype) ]
+    @@ fun () ->
     let store = store_for cfg mode zone in
     let rec go attempt nretries b =
       let r =
+        Trace.with_span "attempt"
+          ~attrs:[ ("attempt", string_of_int attempt) ]
+        @@ fun () ->
         try Check.check_version ~budget:b ~mode ~store cfg zone ~qtype
         with e ->
           (* check_version converts its own failures; this catches
@@ -213,29 +240,29 @@ let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
       | Budget.Inconclusive reason
         when attempt < retries && Budget.retryable reason ->
           go (attempt + 1) (nretries + 1) (Budget.escalate ~factor:escalation b)
+      | Budget.Inconclusive reason ->
+          (* The final answer for this qtype is degraded: name the root
+             cause on the qtype span, so an Inconclusive verdict's trace
+             carries its reason. *)
+          Trace.event "degraded"
+            ~attrs:[ ("reason", Budget.reason_tag reason) ];
+          (r, nretries)
       | _ -> (r, nretries)
     in
     go 0 0 b
   in
   let results =
     if jobs <= 1 then List.map (check_one budget) qtypes
-    else begin
+    else
       (* One task per query type, fanned out over a deterministic domain
          pool. Each task charges a clone of the caller's budget (per-task
          isolation under the shared absolute deadline) and runs against
-         its worker's domain-local solver state; the worker's stats delta
-         is folded back into this domain's lifetime totals at the join
-         barrier. *)
-      let task qtype =
-        let before = Solver.lifetime () in
-        let res = check_one (Budget.clone budget) qtype in
-        (res, Solver.diff_stats (Solver.lifetime ()) before)
-      in
-      Parallel.Domainpool.map ~jobs task qtypes
-      |> List.map (fun (res, delta) ->
-             Solver.absorb_stats delta;
-             res)
-    end
+         its worker's domain-local solver state. The pool itself merges
+         each worker's metrics delta and span forest into this domain at
+         the join barrier, in task order. *)
+      Parallel.Domainpool.map ~jobs
+        (fun qtype -> check_one (Budget.clone budget) qtype)
+        qtypes
   in
   {
     version = cfg.Builder.version;
@@ -641,8 +668,8 @@ let outcome_of_items (items : batch_item list) (count : int) :
    fingerprint is derived uniformly from the item transcript, so a
    killed-and-resumed run is byte-identical to an uninterrupted one. *)
 let verify_batch_run ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
-    ?budget ?(retries = 0) ?(jobs = 1) ?journal ?(resume = false) ?on_item
-    (cfg : Builder.config) (origin : Name.t) : batch_run =
+    ?budget ?(retries = 0) ?(jobs = 1) ?journal ?(resume = false) ?on_start
+    ?on_item (cfg : Builder.config) (origin : Name.t) : batch_run =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let header = batch_header cfg origin ~count ~seed ~retries ~qtypes in
   let zones = Dns.Zonegen.generate_many ~seed ~count origin in
@@ -661,6 +688,9 @@ let verify_batch_run ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
         | _ -> Ok (proved, inconcl + 1, first))
   in
   let notify it = match on_item with Some f -> f it | None -> () in
+  (* Fired on the calling domain just before a zone's verification is
+     dispatched (never for replayed items) — progress reporting. *)
+  let notify_start i = match on_start with Some f -> f i | None -> () in
   let run jn replayed dropped : batch_run =
     let start = List.length replayed in
     List.iter notify replayed;
@@ -753,6 +783,7 @@ let verify_batch_run ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
             let rec go st = function
               | [] -> finish st
               | iz :: rest -> (
+                  notify_start (fst iz);
                   match step iz st (verify_zone iz) with
                   | Ok st -> go st rest
                   | Error o -> o)
@@ -772,6 +803,7 @@ let verify_batch_run ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
               | [] -> finish st
               | pending -> (
                   let wave, rest = take jobs pending in
+                  List.iter (fun (i, _) -> notify_start i) wave;
                   let verdicts = Parallel.Domainpool.map ~jobs verify_zone wave in
                   let folded =
                     List.fold_left2

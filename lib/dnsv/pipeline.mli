@@ -107,8 +107,10 @@ type batch_run = {
    are restored, and verification continues from the first unrecorded
    zone — the resulting [br_fingerprint] is byte-identical to an
    uninterrupted run's. Resume fails (exception [Failure]) if the
-   journal's header does not match this workload's identity. [on_item]
-   observes each item as it completes or replays, in zone order. *)
+   journal's header does not match this workload's identity. [on_start]
+   fires on the calling domain just before a zone's verification is
+   dispatched (never for replayed items); [on_item] observes each item
+   as it completes or replays, in zone order. *)
 val verify_batch_run :
   ?qtypes:Check.Rr.rtype list ->
   ?count:int ->
@@ -118,6 +120,7 @@ val verify_batch_run :
   ?jobs:int ->
   ?journal:string ->
   ?resume:bool ->
+  ?on_start:(int -> unit) ->
   ?on_item:(batch_item -> unit) ->
   Builder.config -> Name.t -> batch_run
 

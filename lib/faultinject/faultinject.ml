@@ -122,6 +122,15 @@ let disarm (s : site) =
 
 let armed (s : site) = (cell s).plan <> None
 
+(* Injections are observable: each firing bumps a registry counter and,
+   when a trace is recording, leaves an instant event naming the site —
+   a degraded verdict's trace then contains its root cause. *)
+let fired_counter = Trace.Metrics.counter "fault.fired"
+
+let note_fired (s : site) =
+  Trace.Metrics.incr fired_counter;
+  Trace.event "fault.fired" ~attrs:[ ("site", site_to_string s) ]
+
 (* Count one arrival at [s]; report whether the armed fault fires. *)
 let fire (s : site) : bool =
   let c = cell s in
@@ -129,13 +138,17 @@ let fire (s : site) : bool =
   | None -> false
   | Some p ->
       c.calls <- c.calls + 1;
-      if p.persistent then c.calls >= p.fire_at
-      else if c.calls = p.fire_at then begin
-        (* One-shot: disarm so retries and later checks run clean. *)
-        c.plan <- None;
-        true
-      end
-      else false
+      let fired =
+        if p.persistent then c.calls >= p.fire_at
+        else if c.calls = p.fire_at then begin
+          (* One-shot: disarm so retries and later checks run clean. *)
+          c.plan <- None;
+          true
+        end
+        else false
+      in
+      if fired then note_fired s;
+      fired
 
 let calls (s : site) = (cell s).calls
 

@@ -89,7 +89,14 @@ let create ~path ~header : t =
   write_record j ("H" ^ header);
   j
 
-let append (j : t) (record : string) : unit = write_record j ("R" ^ record)
+let c_appends = Trace.Metrics.counter "journal.appends"
+
+let append (j : t) (record : string) : unit =
+  Trace.Metrics.incr c_appends;
+  Trace.event "journal.append"
+    ~attrs:[ ("bytes", string_of_int (String.length record)) ];
+  write_record j ("R" ^ record)
+
 let finalize (j : t) (record : string) : unit = write_record j ("F" ^ record)
 let close (j : t) : unit = close_out j.oc
 
@@ -168,6 +175,12 @@ let open_resume ~path ~header : (t * recovery, string) result =
           (* Truncate the torn tail, then reopen positioned at the end
              of the intact prefix. *)
           if rec_.dropped_bytes > 0 then Unix.truncate path good;
+          Trace.event "journal.resume"
+            ~attrs:
+              [
+                ("records", string_of_int (List.length rec_.records));
+                ("dropped_bytes", string_of_int rec_.dropped_bytes);
+              ];
           let oc =
             open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
           in

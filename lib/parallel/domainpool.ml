@@ -37,7 +37,17 @@ let map_timed ~jobs (f : 'a -> 'b) (tasks : 'a list) : 'b list * float list =
   end
   else begin
     let tasks = Array.of_list tasks in
-    let results : ('b, exn * Printexc.raw_backtrace) result option array =
+    (* Each slot carries the task's observability payload alongside its
+       result: the span forest the task rooted on its worker domain and
+       the metrics delta it produced there (worker domains start with
+       zero registry cells, so a snapshot diff is exactly the task's
+       contribution). *)
+    let results :
+        ( 'b * Trace.forest * Trace.Metrics.snapshot,
+          exn * Printexc.raw_backtrace * Trace.Metrics.snapshot )
+        result
+        option
+        array =
       Array.make ntasks None
     in
     let walls = Array.make jobs 0.0 in
@@ -46,21 +56,38 @@ let map_timed ~jobs (f : 'a -> 'b) (tasks : 'a list) : 'b list * float list =
       let i = ref w in
       while !i < ntasks do
         (results.(!i) <-
-           (match f tasks.(!i) with
-           | v -> Some (Ok v)
-           | exception e ->
-               Some (Error (e, Printexc.get_raw_backtrace ()))));
+           (let m0 = Trace.Metrics.snapshot () in
+            let delta () = Trace.Metrics.diff (Trace.Metrics.snapshot ()) m0 in
+            match Trace.capture (fun () -> f tasks.(!i)) with
+            | v, forest -> Some (Ok (v, forest, delta ()))
+            | exception e ->
+                Some (Error (e, Printexc.get_raw_backtrace (), delta ()))));
         i := !i + jobs
       done;
       walls.(w) <- Unix.gettimeofday () -. t0
     in
     let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
     Array.iter Domain.join domains;
+    (* The join barrier is the single merge point: fold every task's
+       metrics delta into the caller's cells and graft its span forest
+       under the caller's current span, in task index order — so the
+       merged totals and the span tree are independent of [jobs] and of
+       which worker ran what. Failed tasks merge their metrics too (the
+       work they did happened); only then is the lowest failing index
+       re-raised. *)
+    Array.iter
+      (function
+        | Some (Ok (_, forest, delta)) ->
+            Trace.Metrics.absorb delta;
+            Trace.graft forest
+        | Some (Error (_, _, delta)) -> Trace.Metrics.absorb delta
+        | None -> assert false)
+      results;
     let results =
       Array.to_list results
       |> List.map (function
-           | Some (Ok v) -> v
-           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | Some (Ok (v, _, _)) -> v
+           | Some (Error (e, bt, _)) -> Printexc.raise_with_backtrace e bt
            | None -> assert false)
     in
     (results, Array.to_list walls)

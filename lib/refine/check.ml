@@ -438,6 +438,17 @@ let replay_spec (zone : Zone.t) (q : Message.query) : string =
 let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
     ~(summary_fallback : bool) ?store (cfg : Engine.Builder.config)
     (zone : Zone.t) ~(qtype : Rr.rtype) : report =
+  Trace.with_span "check"
+    ~attrs:
+      [
+        ("version", cfg.Engine.Builder.version);
+        ("qtype", Rr.rtype_to_string qtype);
+        ( "mode",
+          match mode with
+          | Inline_all -> "inline-all"
+          | With_summaries -> "with-summaries" );
+      ]
+  @@ fun () ->
   Solver.with_budget budget @@ fun () ->
   let t0 = Unix.gettimeofday () in
   Solver.reset_stats ();
@@ -520,6 +531,17 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
               end)
             spec_paths)
     engine_results;
+  (* Cache behavior depends on what ran before on this domain, so these
+     tallies are informational only (det:false — excluded from the
+     deterministic span-tree fingerprint). *)
+  (let s = Solver.stats () in
+   Trace.add_attr ~det:false "cache_hits" (string_of_int s.Solver.cache_hits);
+   Trace.add_attr ~det:false "cache_misses"
+     (string_of_int s.Solver.cache_misses);
+   Trace.add_attr ~det:false "incremental_checks"
+     (string_of_int s.Solver.incremental_checks);
+   Trace.add_attr ~det:false "scratch_checks"
+     (string_of_int s.Solver.scratch_checks));
   {
     version = cfg.Engine.Builder.version;
     qtype;
@@ -613,21 +635,29 @@ let check_version ?budget ?(mode = With_summaries) ?(fallback = true) ?store
         in
         Error (reason, cc, cf)
   in
+  let degraded reason =
+    Trace.event "degraded" ~attrs:[ ("reason", Budget.reason_tag reason) ]
+  in
   match attempt ~budget ~mode ~summary_fallback:false with
   | Ok r -> r
   | Error (Budget.Summary_failed _, _, _) when mode = With_summaries && fallback
     -> (
+      Trace.event "summary.fallback"
+        ~attrs:
+          [ ("version", version); ("qtype", Rr.rtype_to_string qtype) ];
       match
         attempt ~budget:(Budget.escalate budget) ~mode:Inline_all
           ~summary_fallback:true
       with
       | Ok r -> r
       | Error (reason, cert_checks, cert_failures) ->
+          degraded reason;
           inconclusive_report ~summary_fallback:true ~cert_checks
             ~cert_failures ~version ~qtype
             ~elapsed:(Unix.gettimeofday () -. t0)
             reason)
   | Error (reason, cert_checks, cert_failures) ->
+      degraded reason;
       inconclusive_report ~cert_checks ~cert_failures ~version ~qtype
         ~elapsed:(Unix.gettimeofday () -. t0)
         reason

@@ -516,8 +516,11 @@ let layer_setup (prog : Minir.Instr.program) (enc : Dnstree.Encode.t option)
    exhaustion or an escaped exception downgrades the layer to
    inconclusive instead of aborting the caller; leaning on a solver
    Unknown is recorded so the verdict cannot silently claim a proof. *)
+let h_layer_paths = Trace.Metrics.histogram "layer.paths"
+
 let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
     (prog : Minir.Instr.program) (layer : string) : layer_report =
+  Trace.with_span "layer" ~attrs:[ ("layer", layer) ] @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let unknowns0 = (Solver.stats ()).Solver.unknowns in
@@ -554,6 +557,8 @@ let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
   in
   match attempt () with
   | code_paths, spec_paths, pairs, mismatches ->
+      Trace.Metrics.observe h_layer_paths (float_of_int code_paths);
+      Trace.add_attr "paths" (string_of_int code_paths);
       {
         layer;
         code_paths;

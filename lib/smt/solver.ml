@@ -23,13 +23,16 @@
 
 type result = Sat of Model.t | Unsat | Unknown
 
-(* Statistics for the Figure-12 style reporting. [unknowns] counts every
-   Unknown answer (including forced ones): any check that leaned on one
-   must be downgraded to inconclusive by its caller.
-
-   The record is domain-local: each worker of the parallel pipeline
-   accumulates its own counters, and the pipeline merges them at the
-   join barrier. *)
+(* Statistics for the Figure-12 style reporting, stored in the metrics
+   registry (lib/trace): each named counter owns a domain-local cell,
+   so parallel workers never contend, and the domain pool merges worker
+   deltas at the join barrier with [Trace.Metrics.absorb]. The [stats]
+   record survives as a *view* — [stats ()] reads the registry and
+   subtracts the current window mark — so callers keep the field-access
+   idiom while the storage is shared with every other subsystem's
+   metrics. [unknowns] counts every Unknown answer (including forced
+   ones): any check that leaned on one must be downgraded to
+   inconclusive by its caller. *)
 type stats = {
   mutable checks : int;
   mutable fast_path : int;
@@ -42,6 +45,35 @@ type stats = {
   mutable cert_checks : int; (* certificates validated *)
   mutable cert_failures : int; (* certificates that failed validation *)
 }
+
+module M = Trace.Metrics
+
+let c_checks = M.counter "solver.checks"
+let c_fast_path = M.counter "solver.fast_path"
+let c_dpllt_iterations = M.counter "solver.dpllt_iterations"
+let c_unknowns = M.counter "solver.unknowns"
+let c_cache_hits = M.counter "solver.cache_hits"
+let c_cache_misses = M.counter "solver.cache_misses"
+let c_incremental_checks = M.counter "solver.incremental_checks"
+let c_scratch_checks = M.counter "solver.scratch_checks"
+let c_cert_checks = M.counter "solver.cert_checks"
+let c_cert_failures = M.counter "solver.cert_failures"
+
+(* Latency histograms price two clock reads per observation, so they
+   observe only while a trace is recording; the count-shaped pc-depth
+   histogram is a plain bucket bump and stays on. *)
+let h_check_seconds = M.histogram "solver.check_seconds"
+let h_pc_depth = M.histogram "solver.pc_depth"
+let h_cert_seconds = M.histogram "cert.validate_seconds"
+
+let timed (h : M.histogram) (f : unit -> 'a) : 'a =
+  if not (Trace.enabled ()) then f ()
+  else begin
+    let t0 = Trace.now_s () in
+    let r = f () in
+    M.observe h (Trace.now_s () -. t0);
+    r
+  end
 
 let fresh_stats () =
   {
@@ -57,8 +89,20 @@ let fresh_stats () =
     cert_failures = 0;
   }
 
-let stats_key : stats Domain.DLS.key = Domain.DLS.new_key fresh_stats
-let stats () = Domain.DLS.get stats_key
+(* The registry's per-domain cumulative values, as a record. *)
+let raw () : stats =
+  {
+    checks = M.value c_checks;
+    fast_path = M.value c_fast_path;
+    dpllt_iterations = M.value c_dpllt_iterations;
+    unknowns = M.value c_unknowns;
+    cache_hits = M.value c_cache_hits;
+    cache_misses = M.value c_cache_misses;
+    incremental_checks = M.value c_incremental_checks;
+    scratch_checks = M.value c_scratch_checks;
+    cert_checks = M.value c_cert_checks;
+    cert_failures = M.value c_cert_failures;
+  }
 
 let add_stats ~into:(a : stats) (b : stats) =
   a.checks <- a.checks + b.checks;
@@ -86,54 +130,53 @@ let diff_stats (a : stats) (b : stats) : stats =
     cert_failures = a.cert_failures - b.cert_failures;
   }
 
-(* Lifetime accumulator: [reset_stats] is called per verification
-   attempt (it scopes the per-attempt [unknowns] reads), so cumulative
-   reporting — the bench's cache-effectiveness numbers — folds each
-   window into this domain-local total instead of losing it. *)
-let lifetime_key : stats Domain.DLS.key = Domain.DLS.new_key fresh_stats
+let copy_into (dst : stats) (src : stats) =
+  dst.checks <- src.checks;
+  dst.fast_path <- src.fast_path;
+  dst.dpllt_iterations <- src.dpllt_iterations;
+  dst.unknowns <- src.unknowns;
+  dst.cache_hits <- src.cache_hits;
+  dst.cache_misses <- src.cache_misses;
+  dst.incremental_checks <- src.incremental_checks;
+  dst.scratch_checks <- src.scratch_checks;
+  dst.cert_checks <- src.cert_checks;
+  dst.cert_failures <- src.cert_failures
 
-let reset_stats () =
-  let s = stats () in
-  add_stats ~into:(Domain.DLS.get lifetime_key) s;
-  s.checks <- 0;
-  s.fast_path <- 0;
-  s.dpllt_iterations <- 0;
-  s.unknowns <- 0;
-  s.cache_hits <- 0;
-  s.cache_misses <- 0;
-  s.incremental_checks <- 0;
-  s.scratch_checks <- 0;
-  s.cert_checks <- 0;
-  s.cert_failures <- 0
+(* Window and lifetime marks, domain-local. [stats ()] is everything
+   since the last [reset_stats] (called per verification attempt, to
+   scope the per-attempt [unknowns] reads); [lifetime ()] everything
+   since the last [reset_lifetime]. Fresh domains start with zero
+   registry cells and zero marks, so a worker's raw values are already
+   the delta its joiner wants. *)
+let mark_key : stats Domain.DLS.key = Domain.DLS.new_key fresh_stats
+let base_key : stats Domain.DLS.key = Domain.DLS.new_key fresh_stats
 
-(* Lifetime totals so far in this domain (folded windows + the current
-   window), as a fresh record. *)
-let lifetime () : stats =
-  let total = fresh_stats () in
-  add_stats ~into:total (Domain.DLS.get lifetime_key);
-  add_stats ~into:total (stats ());
-  total
-
-let zero_stats (s : stats) =
-  s.checks <- 0;
-  s.fast_path <- 0;
-  s.dpllt_iterations <- 0;
-  s.unknowns <- 0;
-  s.cache_hits <- 0;
-  s.cache_misses <- 0;
-  s.incremental_checks <- 0;
-  s.scratch_checks <- 0;
-  s.cert_checks <- 0;
-  s.cert_failures <- 0
+let stats () : stats = diff_stats (raw ()) (Domain.DLS.get mark_key)
+let reset_stats () = copy_into (Domain.DLS.get mark_key) (raw ())
+let lifetime () : stats = diff_stats (raw ()) (Domain.DLS.get base_key)
 
 let reset_lifetime () =
-  zero_stats (Domain.DLS.get lifetime_key);
-  zero_stats (stats ())
+  let r = raw () in
+  copy_into (Domain.DLS.get base_key) r;
+  copy_into (Domain.DLS.get mark_key) r
 
-(* Fold a worker domain's stats delta into this domain's lifetime
-   accumulator (the parallel pipeline calls this at the join barrier). *)
+(* Fold a worker domain's stats delta into this domain's lifetime (the
+   legacy join-barrier entry point; Parallel.Domainpool now absorbs
+   whole registry snapshots itself). Advancing the window mark by the
+   same delta keeps the absorption out of the current window,
+   preserving the old fold-into-lifetime-only semantics. *)
 let absorb_stats (delta : stats) =
-  add_stats ~into:(Domain.DLS.get lifetime_key) delta
+  M.add c_checks delta.checks;
+  M.add c_fast_path delta.fast_path;
+  M.add c_dpllt_iterations delta.dpllt_iterations;
+  M.add c_unknowns delta.unknowns;
+  M.add c_cache_hits delta.cache_hits;
+  M.add c_cache_misses delta.cache_misses;
+  M.add c_incremental_checks delta.incremental_checks;
+  M.add c_scratch_checks delta.scratch_checks;
+  M.add c_cert_checks delta.cert_checks;
+  M.add c_cert_failures delta.cert_failures;
+  add_stats ~into:(Domain.DLS.get mark_key) delta
 
 (* The budget in scope for this solver, if any. Scoped rather than
    threaded per-call: every branch decision and refinement obligation
@@ -331,10 +374,9 @@ let lia_check_cached (atoms : (Linear.atom * Term.t) list) :
   else begin
     let key = List.map fst keyed in
     let c = Domain.DLS.get cache_key in
-    let s = stats () in
     match Hashtbl.find_opt c.lia key with
     | Some (r, p) ->
-        s.cache_hits <- s.cache_hits + 1;
+        M.incr c_cache_hits;
         let r, p =
           if Faultinject.fire Faultinject.Cache_corrupt then begin
             let poisoned =
@@ -350,7 +392,7 @@ let lia_check_cached (atoms : (Linear.atom * Term.t) list) :
         in
         (r, anchor p)
     | None ->
-        s.cache_misses <- s.cache_misses + 1;
+        M.incr c_cache_misses;
         let r, p = solve () in
         (match r with
         | Lia.Unknown -> ()
@@ -387,7 +429,7 @@ let check_fast_cert (ts : Term.t list) : (result * Proof.t option) option =
   | exception Not_conjunctive -> None
   | exception Linear.Nonlinear _ -> None
   | atoms, bools ->
-      (stats ()).fast_path <- (stats ()).fast_path + 1;
+      M.incr c_fast_path;
       if contradictory_bools bools then
         Some (Unsat, Some (bool_contradiction_cert bools))
       else
@@ -418,8 +460,7 @@ let check_dpllt (t : Term.t) : result =
           (match !(current_budget ()) with
           | Some b -> Budget.check_deadline b
           | None -> ());
-          let s = stats () in
-          s.dpllt_iterations <- s.dpllt_iterations + 1;
+          M.incr c_dpllt_iterations;
           match Sat.solve sat with
           | Sat.Unsat -> Unsat
           | Sat.Sat assignment -> (
@@ -602,10 +643,9 @@ let check_dpllt_cert (ts : Term.t list) : result * Proof.t option =
   else begin
     let key = List.sort_uniq compare ts in
     let c = Domain.DLS.get cache_key in
-    let s = stats () in
     match Hashtbl.find_opt c.full key with
     | Some (r, p) ->
-        s.cache_hits <- s.cache_hits + 1;
+        M.incr c_cache_hits;
         if Faultinject.fire Faultinject.Cache_corrupt then begin
           let poisoned =
             match r with
@@ -617,7 +657,7 @@ let check_dpllt_cert (ts : Term.t list) : result * Proof.t option =
         end
         else (r, p)
     | None ->
-        s.cache_misses <- s.cache_misses + 1;
+        M.incr c_cache_misses;
         let rp = with_cert key (check_dpllt (Term.and_ key)) in
         (match fst rp with
         | Unknown -> ()
@@ -633,19 +673,14 @@ let check_dpllt_cert (ts : Term.t list) : result * Proof.t option =
    so a feasibility query costs exactly one budget tick and one fault
    arrival regardless of how it is answered. *)
 let begin_check () : bool =
-  let s = stats () in
-  s.checks <- s.checks + 1;
+  M.incr c_checks;
   (match !(current_budget ()) with
   | Some b -> Budget.tick_solver b
   | None -> ());
   Faultinject.fire Faultinject.Solver_unknown
 
 let record_result (r : result) : result =
-  (match r with
-  | Unknown ->
-      let s = stats () in
-      s.unknowns <- s.unknowns + 1
-  | _ -> ());
+  (match r with Unknown -> M.incr c_unknowns | _ -> ());
   r
 
 (* Gatekeeper: a Sat/Unsat answer leaves the solver only after its
@@ -664,9 +699,9 @@ let validate (ts : Term.t list) ((r, cert) : result * Proof.t option) : result =
         match r with
         | Unknown -> r
         | Sat _ | Unsat -> (
-            let s = stats () in
-            s.cert_checks <- s.cert_checks + 1;
+            M.incr c_cert_checks;
             let verdict =
+              timed h_cert_seconds @@ fun () ->
               match (r, cert) with
               | Sat m, _ -> v.Proof.validate_sat ts m
               | Unsat, Some (Proof.Unsat_witness tree) ->
@@ -678,8 +713,9 @@ let validate (ts : Term.t list) ((r, cert) : result * Proof.t option) : result =
             in
             match verdict with
             | Proof.Valid -> r
-            | Proof.Invalid _ ->
-                s.cert_failures <- s.cert_failures + 1;
+            | Proof.Invalid why ->
+                M.incr c_cert_failures;
+                Trace.event "cert.invalid" ~attrs:[ ("reason", why) ];
                 Unknown))
 
 let check_core_cert (ts : Term.t list) : result * Proof.t option =
@@ -698,8 +734,8 @@ let check (ts : Term.t list) : result =
   let r =
     if begin_check () then Unknown
     else begin
-      (stats ()).scratch_checks <- (stats ()).scratch_checks + 1;
-      validate ts (check_core_cert ts)
+      M.incr c_scratch_checks;
+      timed h_check_seconds (fun () -> validate ts (check_core_cert ts))
     end
   in
   record_result r
@@ -792,28 +828,28 @@ module Incremental = struct
         f.unsat_cert <- cert
 
   let solve (s : t) : result =
-    let st = stats () in
     let r =
       if begin_check () then Unknown
       else
+        timed h_check_seconds @@ fun () ->
         match List.find_opt (fun f -> f.unsat) s.frames with
         | Some f ->
             (* A refuted prefix stays refuted under any extension — but
                the stored certificate is re-validated against the full
                current stack, so a poisoned short-circuit cannot outlive
                one validation. *)
-            st.incremental_checks <- st.incremental_checks + 1;
+            M.incr c_incremental_checks;
             validate (terms s) (Unsat, f.unsat_cert)
         | None ->
             if List.exists (fun f -> f.nonconj) s.frames then begin
               (* General boolean structure somewhere on the stack: fall
                  back to the monolithic (but still memoized) pipeline. *)
-              st.scratch_checks <- st.scratch_checks + 1;
+              M.incr c_scratch_checks;
               validate (terms s) (check_core_cert (terms s))
             end
             else begin
-              st.incremental_checks <- st.incremental_checks + 1;
-              st.fast_path <- st.fast_path + 1;
+              M.incr c_incremental_checks;
+              M.incr c_fast_path;
               let atoms = List.concat_map (fun f -> f.atoms) s.frames in
               let bools = List.concat_map (fun f -> f.bools) s.frames in
               if contradictory_bools bools then begin
@@ -848,6 +884,7 @@ module Incremental = struct
      analysis is reused. One frame per literal, so backtracking to any
      shared prefix keeps the whole prefix warm. *)
   let check_pc (s : t) (pc : Term.t list) : result =
+    M.observe h_pc_depth (float_of_int (List.length pc));
     if not (incremental_enabled ()) then check_top pc
     else begin
     (* The set of tails of [pc], physically. *)

@@ -27,11 +27,14 @@ type stats = {
   mutable cert_failures : int; (* certificates that failed validation *)
 }
 
-(* Counters are domain-local: each parallel worker accumulates its own.
-   [stats] is the current window (cleared by [reset_stats], which folds
-   it into the lifetime total); [lifetime] is the cumulative total for
-   this domain. [absorb_stats] folds a worker's delta into the calling
-   domain's lifetime at a join barrier. *)
+(* The counters live in the metrics registry (lib/trace) under the
+   "solver.*" names, domain-local as before; the record is a snapshot
+   view over them. [stats ()] is the window since the last
+   [reset_stats]; [lifetime ()] the total since the last
+   [reset_lifetime] (both per-domain). [absorb_stats] folds a worker's
+   delta into the calling domain's registry cells without disturbing
+   its current window — the legacy join-barrier entry point
+   (Parallel.Domainpool now absorbs whole registry snapshots itself). *)
 val stats : unit -> stats
 val reset_stats : unit -> unit
 val lifetime : unit -> stats

@@ -352,5 +352,10 @@ and eval_rvalue ctx path regs (rv : Instr.rvalue)
    made for branch feasibility while the run is in progress. *)
 let run (ctx : ctx) ~(memory : Sval.memory) ~(pc : Term.t list) ~(fn : string)
     ~(args : Sval.sval list) : result =
-  Solver.with_budget ctx.budget (fun () ->
-      exec_call ctx { pc; mem = memory } fn args)
+  Trace.with_span "exec" ~attrs:[ ("fn", fn) ] @@ fun () ->
+  let r =
+    Solver.with_budget ctx.budget (fun () ->
+        exec_call ctx { pc; mem = memory } fn args)
+  in
+  Trace.add_attr "paths" (string_of_int (List.length r));
+  r

@@ -370,6 +370,13 @@ let create_store () =
 let store_summaries (s : store) : t list =
   Hashtbl.fold (fun _ v acc -> v :: acc) s.cache []
 
+(* Whether a call shape hits or misses the memo depends on what this
+   domain summarized before — cache-population state, not workload — so
+   the counters are registry totals but the per-occurrence event and
+   the summarize span are det:false (excluded from tree fingerprints). *)
+let c_hits = Trace.Metrics.counter "summary.hits"
+let c_misses = Trace.Metrics.counter "summary.misses"
+
 (* An [Exec.intercept] that summarizes [fn] on first use per calling
    shape and replays the cached summary afterwards. *)
 let intercept_for ~(frozen_below : int) (store : store) (fn : string) :
@@ -406,11 +413,16 @@ let intercept_for ~(frozen_below : int) (store : store) (fn : string) :
         match Hashtbl.find_opt store.cache key with
         | Some s ->
             store.hits <- store.hits + 1;
+            Trace.Metrics.incr c_hits;
+            Trace.event ~det:false "summary.hit" ~attrs:[ ("fn", fn) ];
             (s, bindings, key)
         | None ->
             store.misses <- store.misses + 1;
+            Trace.Metrics.incr c_misses;
             let s, bindings', key' =
-              summarize_at ctx ~frozen_below ~mem:path.Exec.mem ~fn ~args
+              Trace.with_span ~det:false "summarize" ~attrs:[ ("fn", fn) ]
+                (fun () ->
+                  summarize_at ctx ~frozen_below ~mem:path.Exec.mem ~fn ~args)
             in
             assert (key' = key);
             (match validate s with

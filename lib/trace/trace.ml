@@ -1,0 +1,1001 @@
+(* See trace.mli for the contract. Everything here is stdlib + unix:
+   the subsystem must sit below every other library in the repo
+   (faultinject, budget, smt all report into it), so it can depend on
+   nothing of theirs. *)
+
+let now_s () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  (* Handles are global (registered once, at module init of the client
+     library); cells are domain-local, one fresh zero per domain, so
+     workers never contend and worker totals are exactly their deltas.
+     The registry list itself is touched only at registration and
+     snapshot time, both rare, so one mutex suffices. *)
+
+  (* Power-of-two buckets: observation v > 0 lands in the bucket whose
+     upper bound is the smallest 2^e >= v. [offset] positions 2^-24
+     (~60ns as seconds) in bucket 0; 48 buckets reach 2^23. *)
+  let bucket_count = 48
+  let bucket_offset = 24
+  let bucket_upper i = Float.of_int 2 ** Float.of_int (i - bucket_offset)
+
+  let bucket_of v =
+    if v <= 0.0 then 0
+    else
+      let _, e = Float.frexp v in
+      (* v in (2^(e-1), 2^e] up to the half-open convention of frexp;
+         nudge exact powers of two down into their own bucket. *)
+      let e = if Float.of_int 2 ** Float.of_int (e - 1) >= v then e - 1 else e in
+      max 0 (min (bucket_count - 1) (e + bucket_offset))
+
+  type histcell = {
+    mutable hc_count : int;
+    mutable hc_sum : float;
+    hc_buckets : int array;
+  }
+
+  let fresh_histcell () =
+    { hc_count = 0; hc_sum = 0.0; hc_buckets = Array.make bucket_count 0 }
+
+  type counter = { c_name : string; c_cell : int ref Domain.DLS.key }
+  type histogram = { g_name : string; g_cell : histcell Domain.DLS.key }
+  type entry = Counter_e of counter | Hist_e of histogram
+
+  let registry : entry list ref = ref []
+  let registry_mu = Mutex.create ()
+
+  let entry_name = function
+    | Counter_e c -> c.c_name
+    | Hist_e h -> h.g_name
+
+  let counter name : counter =
+    Mutex.lock registry_mu;
+    let r =
+      match
+        List.find_opt (fun e -> String.equal (entry_name e) name) !registry
+      with
+      | Some (Counter_e c) -> c
+      | Some (Hist_e _) ->
+          Mutex.unlock registry_mu;
+          invalid_arg ("Trace.Metrics.counter: " ^ name ^ " is a histogram")
+      | None ->
+          let c = { c_name = name; c_cell = Domain.DLS.new_key (fun () -> ref 0) } in
+          registry := Counter_e c :: !registry;
+          c
+    in
+    Mutex.unlock registry_mu;
+    r
+
+  let histogram name : histogram =
+    Mutex.lock registry_mu;
+    let r =
+      match
+        List.find_opt (fun e -> String.equal (entry_name e) name) !registry
+      with
+      | Some (Hist_e h) -> h
+      | Some (Counter_e _) ->
+          Mutex.unlock registry_mu;
+          invalid_arg ("Trace.Metrics.histogram: " ^ name ^ " is a counter")
+      | None ->
+          let h = { g_name = name; g_cell = Domain.DLS.new_key fresh_histcell } in
+          registry := Hist_e h :: !registry;
+          h
+    in
+    Mutex.unlock registry_mu;
+    r
+
+  let add (c : counter) n =
+    let r = Domain.DLS.get c.c_cell in
+    r := !r + n
+
+  let incr c = add c 1
+  let value (c : counter) = !(Domain.DLS.get c.c_cell)
+
+  let observe (h : histogram) v =
+    let hc = Domain.DLS.get h.g_cell in
+    hc.hc_count <- hc.hc_count + 1;
+    hc.hc_sum <- hc.hc_sum +. v;
+    let b = hc.hc_buckets.(bucket_of v) in
+    hc.hc_buckets.(bucket_of v) <- b + 1
+
+  type hist = { h_count : int; h_sum : float; h_buckets : int array }
+
+  type snapshot = {
+    counters : (string * int) list;
+    hists : (string * hist) list;
+  }
+
+  let empty = { counters = []; hists = [] }
+
+  let by_name (a, _) (b, _) = String.compare a b
+
+  let snapshot () : snapshot =
+    let entries = Mutex.protect registry_mu (fun () -> !registry) in
+    let counters = ref [] and hists = ref [] in
+    List.iter
+      (function
+        | Counter_e c -> counters := (c.c_name, value c) :: !counters
+        | Hist_e h ->
+            let hc = Domain.DLS.get h.g_cell in
+            hists :=
+              ( h.g_name,
+                {
+                  h_count = hc.hc_count;
+                  h_sum = hc.hc_sum;
+                  h_buckets = Array.copy hc.hc_buckets;
+                } )
+              :: !hists)
+      entries;
+    {
+      counters = List.sort by_name !counters;
+      hists = List.sort by_name !hists;
+    }
+
+  (* Pointwise merge of two sorted-by-name assoc lists; names missing
+     on one side merge against [zero]. *)
+  let merge_assoc (f : 'a -> 'a -> 'a) (zero : 'a) l1 l2 =
+    let rec go l1 l2 =
+      match (l1, l2) with
+      | [], [] -> []
+      | (n1, v1) :: t1, [] -> (n1, f v1 zero) :: go t1 []
+      | [], (n2, v2) :: t2 -> (n2, f zero v2) :: go [] t2
+      | ((n1, v1) :: t1 as l1'), ((n2, v2) :: t2 as l2') ->
+          let c = String.compare n1 n2 in
+          if c = 0 then (n1, f v1 v2) :: go t1 t2
+          else if c < 0 then (n1, f v1 zero) :: go t1 l2'
+          else (n2, f zero v2) :: go l1' t2
+    in
+    go l1 l2
+
+  let hist_zero =
+    { h_count = 0; h_sum = 0.0; h_buckets = Array.make bucket_count 0 }
+
+  let hist_map2 int_op float_op a b =
+    {
+      h_count = int_op a.h_count b.h_count;
+      h_sum = float_op a.h_sum b.h_sum;
+      h_buckets =
+        Array.init bucket_count (fun i -> int_op a.h_buckets.(i) b.h_buckets.(i));
+    }
+
+  let combine int_op float_op a b =
+    {
+      counters = merge_assoc int_op 0 a.counters b.counters;
+      hists = merge_assoc (hist_map2 int_op float_op) hist_zero a.hists b.hists;
+    }
+
+  let sum a b = combine ( + ) ( +. ) a b
+  let diff a b = combine ( - ) ( -. ) a b
+
+  let absorb (s : snapshot) =
+    let entries = Mutex.protect registry_mu (fun () -> !registry) in
+    List.iter
+      (function
+        | Counter_e c -> (
+            match List.assoc_opt c.c_name s.counters with
+            | Some n when n <> 0 -> add c n
+            | _ -> ())
+        | Hist_e h -> (
+            match List.assoc_opt h.g_name s.hists with
+            | Some d when d.h_count <> 0 || d.h_sum <> 0.0 ->
+                let hc = Domain.DLS.get h.g_cell in
+                hc.hc_count <- hc.hc_count + d.h_count;
+                hc.hc_sum <- hc.hc_sum +. d.h_sum;
+                Array.iteri
+                  (fun i n -> hc.hc_buckets.(i) <- hc.hc_buckets.(i) + n)
+                  d.h_buckets
+            | _ -> ()))
+      entries
+
+  let get (s : snapshot) name =
+    Option.value ~default:0 (List.assoc_opt name s.counters)
+
+  let get_hist (s : snapshot) name = List.assoc_opt name s.hists
+
+  let reset_current_domain () =
+    let entries = Mutex.protect registry_mu (fun () -> !registry) in
+    List.iter
+      (function
+        | Counter_e c -> Domain.DLS.get c.c_cell := 0
+        | Hist_e h ->
+            let hc = Domain.DLS.get h.g_cell in
+            hc.hc_count <- 0;
+            hc.hc_sum <- 0.0;
+            Array.fill hc.hc_buckets 0 bucket_count 0)
+      entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  sp_name : string;
+  sp_det : bool;
+  sp_start : float;
+  mutable sp_dur : float;
+  mutable sp_attrs : (string * string * bool) list;
+  mutable sp_events : event list;
+  mutable sp_children : span list;
+}
+
+and event = {
+  ev_name : string;
+  ev_at : float;
+  ev_det : bool;
+  ev_attrs : (string * string) list;
+}
+
+type forest = span list
+
+(* The sink switch is global (Atomic: worker domains must observe the
+   main domain's [recording]); the span stack and finished roots are
+   domain-local, so domains never share nodes until [capture] hands a
+   finished forest across the join barrier. *)
+let sink = Atomic.make false
+let enabled () = Atomic.get sink
+
+type rec_state = { mutable stack : span list; mutable roots : span list }
+
+let state_key : rec_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { stack = []; roots = [] })
+
+let state () = Domain.DLS.get state_key
+
+let add_attr ?(det = true) k v =
+  if Atomic.get sink then
+    match (state ()).stack with
+    | sp :: _ -> sp.sp_attrs <- (k, v, det) :: sp.sp_attrs
+    | [] -> ()
+
+let event ?(det = true) ?(attrs = []) name =
+  if Atomic.get sink then
+    match (state ()).stack with
+    | sp :: _ ->
+        sp.sp_events <-
+          { ev_name = name; ev_at = now_s (); ev_det = det; ev_attrs = attrs }
+          :: sp.sp_events
+    | [] -> ()
+
+(* Close [sp]: fix child/event order, pop it (recovering from any
+   unbalanced nesting), attach to parent or roots. *)
+let close_span (st : rec_state) (sp : span) =
+  sp.sp_dur <- now_s () -. sp.sp_start;
+  sp.sp_attrs <- List.rev sp.sp_attrs;
+  sp.sp_events <- List.rev sp.sp_events;
+  sp.sp_children <- List.rev sp.sp_children;
+  let rec pop = function
+    | s :: rest when s == sp -> rest
+    | _ :: rest -> pop rest
+    | [] -> []
+  in
+  st.stack <- pop st.stack;
+  match st.stack with
+  | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+  | [] -> st.roots <- sp :: st.roots
+
+let with_span ?(det = true) ?(attrs = []) name (f : unit -> 'a) : 'a =
+  if not (Atomic.get sink) then f ()
+  else begin
+    let st = state () in
+    let sp =
+      {
+        sp_name = name;
+        sp_det = det;
+        sp_start = now_s ();
+        sp_dur = 0.0;
+        sp_attrs = List.rev_map (fun (k, v) -> (k, v, true)) attrs;
+        sp_events = [];
+        sp_children = [];
+      }
+    in
+    st.stack <- sp :: st.stack;
+    match f () with
+    | v ->
+        close_span st sp;
+        v
+    | exception e ->
+        sp.sp_attrs <- ("exn", Printexc.to_string e, true) :: sp.sp_attrs;
+        close_span st sp;
+        raise e
+  end
+
+let capture (f : unit -> 'a) : 'a * forest =
+  if not (Atomic.get sink) then (f (), [])
+  else begin
+    let st = state () in
+    let saved_stack = st.stack and saved_roots = st.roots in
+    st.stack <- [];
+    st.roots <- [];
+    let restore () =
+      let collected = List.rev st.roots in
+      st.stack <- saved_stack;
+      st.roots <- saved_roots;
+      collected
+    in
+    match f () with
+    | v -> (v, restore ())
+    | exception e ->
+        ignore (restore ());
+        raise e
+  end
+
+let graft (forest : forest) =
+  if Atomic.get sink && forest <> [] then begin
+    let st = state () in
+    match st.stack with
+    | parent :: _ ->
+        parent.sp_children <- List.rev_append forest parent.sp_children
+    | [] -> st.roots <- List.rev_append forest st.roots
+  end
+
+let recording (f : unit -> 'a) : 'a * forest =
+  let st = state () in
+  st.stack <- [];
+  st.roots <- [];
+  Atomic.set sink true;
+  Fun.protect
+    ~finally:(fun () -> Atomic.set sink false)
+    (fun () ->
+      let v = f () in
+      (v, List.rev st.roots))
+
+let rec span_count_1 (sp : span) =
+  1 + List.fold_left (fun a c -> a + span_count_1 c) 0 sp.sp_children
+
+let span_count (f : forest) = List.fold_left (fun a s -> a + span_count_1 s) 0 f
+
+(* The deterministic skeleton: names, det attrs (sorted by key), det
+   events, child order. det:false spans disappear with their subtree —
+   their very existence can depend on which domain populated a memo
+   first — and timings never appear. *)
+let tree_fingerprint (forest : forest) : string =
+  let b = Buffer.create 1024 in
+  let attr_line (k, v) = k ^ "=" ^ v in
+  let rec span ind (sp : span) =
+    if sp.sp_det then begin
+      let det_attrs =
+        List.filter_map (fun (k, v, d) -> if d then Some (k, v) else None)
+          sp.sp_attrs
+        |> List.sort compare
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s%s{%s}\n" ind sp.sp_name
+           (String.concat "," (List.map attr_line det_attrs)));
+      List.iter
+        (fun ev ->
+          if ev.ev_det then
+            Buffer.add_string b
+              (Printf.sprintf "%s!%s{%s}\n" ind ev.ev_name
+                 (String.concat ","
+                    (List.map attr_line (List.sort compare ev.ev_attrs)))))
+        sp.sp_events;
+      List.iter (span (ind ^ " ")) sp.sp_children
+    end
+  in
+  List.iter (span "") forest;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                          *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let chrome_json ?(metrics = Metrics.empty) (forest : forest) : string =
+  let t0 =
+    List.fold_left (fun a sp -> Float.min a sp.sp_start) Float.infinity forest
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let us t = (t -. t0) *. 1e6 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit_obj fields =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (json_str k);
+        Buffer.add_char b ':';
+        Buffer.add_string b v)
+      fields;
+    Buffer.add_char b '}'
+  in
+  let args attrs det =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> json_str k ^ ":" ^ json_str v) attrs
+        @ if det then [] else [ json_str "det" ^ ":" ^ json_str "false" ])
+    ^ "}"
+  in
+  (* Span attrs carry a per-attr determinism flag; the non-det keys are
+     listed under "nondet" so JSON consumers can recover the
+     deterministic skeleton that [tree_fingerprint] hashes. *)
+  let span_args (attrs : (string * string * bool) list) det =
+    let nondet =
+      List.filter_map (fun (k, _, d) -> if d then None else Some k) attrs
+    in
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v, _) -> json_str k ^ ":" ^ json_str v) attrs
+        @ (if nondet = [] then []
+           else
+             [ json_str "nondet" ^ ":" ^ json_str (String.concat "," nondet) ])
+        @ if det then [] else [ json_str "det" ^ ":" ^ json_str "false" ])
+    ^ "}"
+  in
+  let next_id = ref 0 in
+  let rec emit_span parent (sp : span) =
+    let id = !next_id in
+    Stdlib.incr next_id;
+    emit_obj
+      [
+        ("name", json_str sp.sp_name);
+        ("ph", json_str "X");
+        ("ts", Printf.sprintf "%.1f" (us sp.sp_start));
+        ("dur", Printf.sprintf "%.1f" (sp.sp_dur *. 1e6));
+        ("pid", "1");
+        ("tid", "1");
+        ("sid", string_of_int id);
+        ("parent", string_of_int parent);
+        ("args", span_args sp.sp_attrs sp.sp_det);
+      ];
+    List.iter
+      (fun ev ->
+        emit_obj
+          [
+            ("name", json_str ev.ev_name);
+            ("ph", json_str "i");
+            ("ts", Printf.sprintf "%.1f" (us ev.ev_at));
+            ("pid", "1");
+            ("tid", "1");
+            ("s", json_str "t");
+            ("parent", string_of_int id);
+            ("args", args ev.ev_attrs ev.ev_det);
+          ])
+      sp.sp_events;
+    List.iter (emit_span id) sp.sp_children
+  in
+  List.iter (emit_span (-1)) forest;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\",\"metrics\":{";
+  Buffer.add_string b "\"counters\":{";
+  Buffer.add_string b
+    (String.concat ","
+       (List.map
+          (fun (n, v) -> json_str n ^ ":" ^ string_of_int v)
+          metrics.Metrics.counters));
+  Buffer.add_string b "},\"histograms\":{";
+  Buffer.add_string b
+    (String.concat ","
+       (List.map
+          (fun (n, (h : Metrics.hist)) ->
+            Printf.sprintf "%s:{\"count\":%d,\"sum\":%.9f,\"buckets\":[%s]}"
+              (json_str n) h.Metrics.h_count h.Metrics.h_sum
+              (String.concat ","
+                 (Array.to_list (Array.map string_of_int h.Metrics.h_buckets))))
+          metrics.Metrics.hists));
+  Buffer.add_string b "}}}";
+  Buffer.contents b
+
+let write_chrome ?metrics ~path (forest : forest) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (chrome_json ?metrics forest))
+
+(* ------------------------------------------------------------------ *)
+(* JSON reader                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' | '\\' | '/' ->
+                Buffer.add_char b e;
+                go ()
+            | 'b' -> Buffer.add_char b '\b'; go ()
+            | 'f' -> Buffer.add_char b '\012'; go ()
+            | 'n' -> Buffer.add_char b '\n'; go ()
+            | 'r' -> Buffer.add_char b '\r'; go ()
+            | 't' -> Buffer.add_char b '\t'; go ()
+            | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let cp =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail "bad \\u escape"
+                in
+                (* Encode the code point as UTF-8 (surrogate pairs are
+                   not recombined; the exporter never emits them). *)
+                if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+                else if cp < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                end;
+                go ()
+            | _ -> fail "bad escape")
+        | c ->
+            Buffer.add_char b c;
+            go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected a number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elems []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing bytes after the document";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Report: read a Chrome export back and render it                    *)
+(* ------------------------------------------------------------------ *)
+
+module Report = struct
+  type rspan = {
+    r_name : string;
+    r_dur : float;
+    r_attrs : (string * string) list;
+    r_events : (string * (string * string) list) list;
+    r_children : rspan list;
+  }
+
+  type t = {
+    spans : rspan list;
+    counters : (string * int) list;
+    hists : (string * Metrics.hist) list;
+  }
+
+  (* Mutable accumulator per span id while the event list streams by. *)
+  type node = {
+    n_name : string;
+    n_dur : float;
+    n_attrs : (string * string) list;
+    n_parent : int;
+    mutable n_events : (string * (string * string) list) list;
+    mutable n_children : int list; (* ids, reversed *)
+  }
+
+  let of_string (content : string) : (t, string) result =
+    match Json.parse content with
+    | Error e -> Error ("trace file is not well-formed JSON: " ^ e)
+    | Ok doc -> (
+        match Json.member "traceEvents" doc with
+        | Some (Json.Arr events) -> (
+            let nodes : (int, node) Hashtbl.t = Hashtbl.create 256 in
+            let root_ids = ref [] in
+            let str = function Some (Json.Str s) -> Some s | _ -> None in
+            let num = function Some (Json.Num f) -> Some f | _ -> None in
+            let attrs_of = function
+              | Some (Json.Obj fields) ->
+                  List.filter_map
+                    (fun (k, v) ->
+                      match v with
+                      | Json.Str s when k <> "det" && k <> "nondet" ->
+                          Some (k, s)
+                      | _ -> None)
+                    fields
+              | _ -> []
+            in
+            let bad = ref None in
+            List.iter
+              (fun ev ->
+                match str (Json.member "ph" ev) with
+                | Some "X" -> (
+                    match
+                      ( str (Json.member "name" ev),
+                        num (Json.member "dur" ev),
+                        num (Json.member "sid" ev),
+                        num (Json.member "parent" ev) )
+                    with
+                    | Some name, Some dur, Some sid, Some parent ->
+                        let sid = int_of_float sid
+                        and parent = int_of_float parent in
+                        Hashtbl.replace nodes sid
+                          {
+                            n_name = name;
+                            n_dur = dur /. 1e6;
+                            n_attrs = attrs_of (Json.member "args" ev);
+                            n_parent = parent;
+                            n_events = [];
+                            n_children = [];
+                          };
+                        if parent < 0 then root_ids := sid :: !root_ids
+                    | _ -> bad := Some "span event missing name/dur/sid/parent")
+                | Some "i" -> (
+                    match
+                      (str (Json.member "name" ev), num (Json.member "parent" ev))
+                    with
+                    | Some name, Some parent -> (
+                        match Hashtbl.find_opt nodes (int_of_float parent) with
+                        | Some n ->
+                            n.n_events <-
+                              (name, attrs_of (Json.member "args" ev))
+                              :: n.n_events
+                        | None -> ())
+                    | _ -> ())
+                | _ -> ())
+              events;
+            (* Link children. [Hashtbl.iter] order is arbitrary, so the
+               lists are sorted afterwards: sids ascend in DFS order,
+               which restores the original sibling order. *)
+            Hashtbl.iter
+              (fun sid n ->
+                if n.n_parent >= 0 then
+                  match Hashtbl.find_opt nodes n.n_parent with
+                  | Some p -> p.n_children <- sid :: p.n_children
+                  | None -> ())
+              nodes;
+            Hashtbl.iter
+              (fun _ n -> n.n_children <- List.sort_uniq compare n.n_children)
+              nodes;
+            let rec build sid =
+              let n = Hashtbl.find nodes sid in
+              {
+                r_name = n.n_name;
+                r_dur = n.n_dur;
+                r_attrs = n.n_attrs;
+                r_events = List.rev n.n_events;
+                r_children = List.map build n.n_children;
+              }
+            in
+            let spans = List.map build (List.sort compare !root_ids) in
+            let counters, hists =
+              match Json.member "metrics" doc with
+              | Some m ->
+                  let counters =
+                    match Json.member "counters" m with
+                    | Some (Json.Obj fields) ->
+                        List.filter_map
+                          (fun (k, v) ->
+                            match v with
+                            | Json.Num f -> Some (k, int_of_float f)
+                            | _ -> None)
+                          fields
+                    | _ -> []
+                  in
+                  let hists =
+                    match Json.member "histograms" m with
+                    | Some (Json.Obj fields) ->
+                        List.filter_map
+                          (fun (k, v) ->
+                            match
+                              ( Json.member "count" v,
+                                Json.member "sum" v,
+                                Json.member "buckets" v )
+                            with
+                            | ( Some (Json.Num count),
+                                Some (Json.Num sum),
+                                Some (Json.Arr bs) ) ->
+                                let buckets =
+                                  Array.of_list
+                                    (List.map
+                                       (function
+                                         | Json.Num f -> int_of_float f
+                                         | _ -> 0)
+                                       bs)
+                                in
+                                Some
+                                  ( k,
+                                    {
+                                      Metrics.h_count = int_of_float count;
+                                      h_sum = sum;
+                                      h_buckets = buckets;
+                                    } )
+                            | _ -> None)
+                          fields
+                    | _ -> []
+                  in
+                  (counters, hists)
+              | None -> ([], [])
+            in
+            match !bad with
+            | Some msg -> Error msg
+            | None -> Ok { spans; counters; hists })
+        | _ -> Error "trace file has no traceEvents array")
+
+  let load (path : string) : (t, string) result =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | content -> of_string content
+    | exception Sys_error e -> Error e
+
+  let find_spans (t : t) ~name : rspan list =
+    let rec go acc sp =
+      let acc = if String.equal sp.r_name name then sp :: acc else acc in
+      List.fold_left go acc sp.r_children
+    in
+    List.rev (List.fold_left go [] t.spans)
+
+  (* Render helpers *)
+
+  let ms f = f *. 1e3
+
+  let hist_quantile (h : Metrics.hist) q =
+    if h.Metrics.h_count = 0 then 0.0
+    else begin
+      let target =
+        int_of_float (Float.round (q *. float_of_int h.Metrics.h_count))
+      in
+      let target = max 1 target in
+      let acc = ref 0 and ans = ref (Metrics.bucket_upper 0) in
+      (try
+         Array.iteri
+           (fun i n ->
+             acc := !acc + n;
+             if !acc >= target then begin
+               ans := Metrics.bucket_upper i;
+               raise Exit
+             end)
+           h.Metrics.h_buckets
+       with Exit -> ());
+      !ans
+    end
+
+  let render ?(top = 10) ?(depth = 4) (t : t) : string =
+    let b = Buffer.create 4096 in
+    let total = List.fold_left (fun a sp -> a +. sp.r_dur) 0.0 t.spans in
+    Printf.bprintf b "trace: %d span(s), %.1f ms total\n"
+      (let rec count sp =
+         1 + List.fold_left (fun a c -> a + count c) 0 sp.r_children
+       in
+       List.fold_left (fun a sp -> a + count sp) 0 t.spans)
+      (ms total);
+    (* Per-phase table: aggregate by span name. *)
+    let phases : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+    let rec tally sp =
+      (match Hashtbl.find_opt phases sp.r_name with
+      | Some (n, d) ->
+          Stdlib.incr n;
+          d := !d +. sp.r_dur
+      | None -> Hashtbl.add phases sp.r_name (ref 1, ref sp.r_dur));
+      List.iter tally sp.r_children
+    in
+    List.iter tally t.spans;
+    let rows =
+      Hashtbl.fold (fun name (n, d) acc -> (name, !n, !d) :: acc) phases []
+      |> List.sort (fun (_, _, d1) (_, _, d2) -> compare d2 d1)
+    in
+    Printf.bprintf b "\nper-phase (wall time includes children):\n";
+    Printf.bprintf b "  %-18s %8s %12s %12s\n" "span" "count" "total ms"
+      "mean ms";
+    List.iter
+      (fun (name, n, d) ->
+        Printf.bprintf b "  %-18s %8d %12.2f %12.3f\n" name n (ms d)
+          (ms d /. float_of_int n))
+      rows;
+    (* Span tree down to [depth]. *)
+    Printf.bprintf b "\nspan tree (to depth %d):\n" depth;
+    let label sp =
+      let interesting =
+        List.filter
+          (fun (k, _) ->
+            List.mem k
+              [ "qtype"; "layer"; "fn"; "version"; "zone"; "reason"; "attempt" ])
+          sp.r_attrs
+      in
+      sp.r_name
+      ^
+      if interesting = [] then ""
+      else
+        "{"
+        ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) interesting)
+        ^ "}"
+    in
+    let rec tree ind d sp =
+      if d <= depth then begin
+        Printf.bprintf b "  %s%-*s %9.2f ms\n" ind
+          (max 1 (40 - String.length ind))
+          (label sp) (ms sp.r_dur);
+        List.iter (tree (ind ^ "  ") (d + 1)) sp.r_children
+      end
+    in
+    List.iter (tree "" 1) t.spans;
+    (* Top-N slowest spans (by inclusive duration, roots excluded when
+       they trivially dominate). *)
+    let all = ref [] in
+    let rec flat path sp =
+      let path = path @ [ label sp ] in
+      all := (String.concat " > " path, sp.r_dur) :: !all;
+      List.iter (flat path) sp.r_children
+    in
+    List.iter (flat []) t.spans;
+    let slow =
+      List.sort (fun (_, d1) (_, d2) -> compare d2 d1) !all
+      |> List.filteri (fun i _ -> i < top)
+    in
+    Printf.bprintf b "\ntop %d slowest spans:\n" top;
+    List.iter
+      (fun (path, d) -> Printf.bprintf b "  %9.2f ms  %s\n" (ms d) path)
+      slow;
+    if t.counters <> [] then begin
+      Printf.bprintf b "\ncounters:\n";
+      List.iter
+        (fun (n, v) -> if v <> 0 then Printf.bprintf b "  %-32s %d\n" n v)
+        t.counters
+    end;
+    if t.hists <> [] then begin
+      Printf.bprintf b "\nhistograms:\n";
+      List.iter
+        (fun (n, (h : Metrics.hist)) ->
+          if h.Metrics.h_count > 0 then
+            (* Only latency histograms (named *_seconds) are
+               time-valued; the rest (path counts, pc depth) are raw
+               magnitudes. *)
+            let scale, unit =
+              if
+                String.length n >= 8
+                && String.sub n (String.length n - 8) 8 = "_seconds"
+              then ((fun v -> ms v), "ms")
+              else ((fun v -> v), "")
+            in
+            Printf.bprintf b
+              "  %-32s count=%d mean=%.3g%s p50<=%.3g%s p95<=%.3g%s\n" n
+              h.Metrics.h_count
+              (scale (h.Metrics.h_sum /. float_of_int h.Metrics.h_count))
+              unit
+              (scale (hist_quantile h 0.5))
+              unit
+              (scale (hist_quantile h 0.95))
+              unit)
+        t.hists
+    end;
+    Buffer.contents b
+end

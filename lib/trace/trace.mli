@@ -1,0 +1,193 @@
+(* Zero-dependency structured tracing + metrics for the verification
+   pipeline.
+
+   Two cooperating facilities:
+
+   - a **metrics registry** of named counters and histograms. Cells are
+     domain-local (each parallel worker counts into its own), and
+     [Metrics.snapshot]/[diff]/[absorb] give the same merge discipline
+     the solver's stats record used: workers report deltas, the caller
+     folds them in at the join barrier, deterministically in task
+     order. Counters are always on; they are plain int-ref bumps.
+
+   - **spans and events**, gated behind a recording sink
+     ([recording]). When the sink is off, [with_span] costs one atomic
+     load and [event] costs nothing observable — the disabled path is
+     near-free and allocation-free. When on, spans form a tree per
+     domain; [capture]/[graft] move a worker's finished forest under
+     the caller's current span so the parallel tree equals the
+     sequential one.
+
+   Determinism: span trees must be independent of [--jobs] scheduling
+   and stable across runs, like verdict fingerprints. Anything whose
+   *structure* depends on cache population or wall clock — summarize
+   spans (memoized per domain), per-solve detail, cache-hit tallies —
+   is marked [det:false] and excluded (with its subtree) from
+   [tree_fingerprint]; timings are always excluded. The Chrome export
+   still contains everything. *)
+
+val now_s : unit -> float
+
+module Metrics : sig
+  type counter
+  type histogram
+
+  (* Registration is idempotent per name (the existing handle is
+     returned); it is cheap but not free, so register at module
+     initialization, not per call. *)
+  val counter : string -> counter
+  val histogram : string -> histogram
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val value : counter -> int (* current domain's cell *)
+  val observe : histogram -> float -> unit
+
+  (* Histograms bucket by powers of two: bucket [i] holds observations
+     in (2^(i-offset-1), 2^(i-offset)]; [bucket_upper i] is that upper
+     bound. *)
+  val bucket_count : int
+  val bucket_upper : int -> float
+
+  type hist = { h_count : int; h_sum : float; h_buckets : int array }
+
+  type snapshot = {
+    counters : (string * int) list; (* sorted by name *)
+    hists : (string * hist) list; (* sorted by name *)
+  }
+
+  val empty : snapshot
+
+  (* The calling domain's cumulative values for every registered
+     metric, sorted by name. *)
+  val snapshot : unit -> snapshot
+
+  (* [sum]/[diff] are pointwise and inverse: [diff (sum a b) b = a].
+     Names missing on one side are treated as zero. *)
+  val sum : snapshot -> snapshot -> snapshot
+  val diff : snapshot -> snapshot -> snapshot
+
+  (* Fold a worker's delta into the calling domain's cells (the domain
+     pool calls this at the join barrier, in task order). *)
+  val absorb : snapshot -> unit
+
+  val get : snapshot -> string -> int
+  val get_hist : snapshot -> string -> hist option
+
+  (* Zero every registered cell of the calling domain (bench/test
+     isolation). *)
+  val reset_current_domain : unit -> unit
+end
+
+type span = {
+  sp_name : string;
+  sp_det : bool; (* false: structure depends on caches/scheduling *)
+  sp_start : float;
+  mutable sp_dur : float;
+  mutable sp_attrs : (string * string * bool) list; (* key, value, det *)
+  mutable sp_events : event list;
+  mutable sp_children : span list;
+}
+
+and event = {
+  ev_name : string;
+  ev_at : float;
+  ev_det : bool;
+  ev_attrs : (string * string) list;
+}
+
+type forest = span list
+
+val enabled : unit -> bool
+
+(* Run [f] under a span. Disabled sink: exactly [f ()]. The span is
+   closed (duration recorded, attached to its parent or the domain's
+   roots) even when [f] raises; the exception is recorded as an [exn]
+   attribute and re-raised. *)
+val with_span :
+  ?det:bool -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(* Attach an attribute to the innermost open span, if any. *)
+val add_attr : ?det:bool -> string -> string -> unit
+
+(* Attach an instant event to the innermost open span. Events with no
+   open span are dropped. *)
+val event : ?det:bool -> ?attrs:(string * string) list -> string -> unit
+
+(* Run [f] collecting the spans it roots (used per task on worker
+   domains); the surrounding stack is untouched. *)
+val capture : (unit -> 'a) -> 'a * forest
+
+(* Attach an already-finished forest under the current span (or as
+   roots). The domain pool grafts captured worker forests in task
+   order, which is what makes the parallel tree deterministic. *)
+val graft : forest -> unit
+
+(* Enable the sink, run [f], return its result and the forest rooted
+   on the calling domain. The sink is disabled again on exit, also on
+   exceptions. *)
+val recording : (unit -> 'a) -> 'a * forest
+
+(* Digest of the deterministic skeleton: span names, [det] attributes
+   and events, nesting and order — excluding every timing and every
+   [det:false] span (with its whole subtree) or attribute/event. Two
+   runs that agree here agree on the scheduling-independent shape. *)
+val tree_fingerprint : forest -> string
+
+val span_count : forest -> int
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Chrome trace_event JSON (object form: {"traceEvents": [...]}),
+   loadable in chrome://tracing and Perfetto. Spans are "X" complete
+   events with microsecond timestamps relative to the earliest span;
+   events are "i" instants. Each record also carries "sid"/"parent"
+   ids (assigned in DFS order) so [Report] can rebuild the exact tree;
+   Chrome ignores the extra keys. [metrics] lands under a top-level
+   "metrics" key. *)
+val chrome_json : ?metrics:Metrics.snapshot -> forest -> string
+val write_chrome : ?metrics:Metrics.snapshot -> path:string -> forest -> unit
+
+(* Minimal JSON reader (for [Report] and the CI well-formedness gate);
+   hand-rolled because the repo deliberately has no JSON dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val member : string -> t -> t option
+end
+
+module Report : sig
+  type rspan = {
+    r_name : string;
+    r_dur : float; (* seconds *)
+    r_attrs : (string * string) list;
+    r_events : (string * (string * string) list) list;
+    r_children : rspan list;
+  }
+
+  type t = {
+    spans : rspan list;
+    counters : (string * int) list;
+    hists : (string * Metrics.hist) list;
+  }
+
+  val of_string : string -> (t, string) result
+  val load : string -> (t, string) result
+
+  (* Every span named [name], anywhere in the tree. *)
+  val find_spans : t -> name:string -> rspan list
+
+  (* Human tree view: per-phase wall/count table, the span tree down
+     to [depth], the [top] slowest spans, counters and histogram
+     summaries. *)
+  val render : ?top:int -> ?depth:int -> t -> string
+end

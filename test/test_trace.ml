@@ -1,0 +1,229 @@
+(* Tests for the observability layer of this PR: the metrics registry's
+   absorb/diff algebra, the deterministic worker merge at the domain
+   pool's join barrier, and the tracing sink.
+
+   The load-bearing properties:
+
+   - [Metrics.sum]/[Metrics.diff] are pointwise inverse, and a delta
+     [absorb]ed into the calling domain reads back exactly via [diff];
+   - a workload fanned over the domain pool leaves the caller's
+     registry in the same state as running it single-domain — the
+     worker deltas merge deterministically and losslessly;
+   - tracing is invisible to verification: recording a span tree
+     changes no verdict fingerprint, and the disabled sink records
+     nothing;
+   - the deterministic span skeleton ([tree_fingerprint]) is identical
+     across [--jobs] and replayable under a fixed fault seed;
+   - the Chrome export round-trips through [Trace.Report]. *)
+
+module M = Trace.Metrics
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Registered synthetic metrics (module init, like production code)   *)
+(* ------------------------------------------------------------------ *)
+
+let c_a = M.counter "test.trace.a"
+let c_b = M.counter "test.trace.b"
+let c_c = M.counter "test.trace.c"
+let h_x = M.histogram "test.trace.x"
+
+(* A snapshot over the synthetic names only: registry state owned by
+   this test, untouched by the pipeline. *)
+let names = [ "test.trace.a"; "test.trace.b"; "test.trace.c" ]
+let hist_names = [ "test.trace.x" ]
+
+let restrict (s : M.snapshot) : M.snapshot =
+  {
+    M.counters =
+      List.filter (fun (n, _) -> List.mem n names) s.M.counters;
+    M.hists = List.filter (fun (n, _) -> List.mem n hist_names) s.M.hists;
+  }
+
+let hist_eq (a : M.hist) (b : M.hist) =
+  a.M.h_count = b.M.h_count
+  && Float.abs (a.M.h_sum -. b.M.h_sum) < 1e-9
+  && a.M.h_buckets = b.M.h_buckets
+
+let snapshot_eq (a : M.snapshot) (b : M.snapshot) =
+  let counter n s = M.get s n in
+  let hist n s =
+    match M.get_hist s n with
+    | Some h -> h
+    | None -> { M.h_count = 0; h_sum = 0.0; h_buckets = [||] }
+  in
+  List.for_all (fun n -> counter n a = counter n b) names
+  && List.for_all
+       (fun n ->
+         let ha = hist n a and hb = hist n b in
+         (ha.M.h_count = 0 && hb.M.h_count = 0) || hist_eq ha hb)
+       hist_names
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: sum/diff inverse, absorb/diff inverse                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A random delta over the synthetic metrics, realized by *performing*
+   it (bumping the registered cells) so it is a delta the registry
+   itself could produce. *)
+let workload_gen : (int * int * int * float list) QCheck.Gen.t =
+  let open QCheck.Gen in
+  let small = int_range 0 50 in
+  let obs = list_size (int_range 0 8) (float_range 0.001 100.0) in
+  map
+    (fun ((a, b), (c, xs)) -> (a, b, c, xs))
+    (pair (pair small small) (pair small obs))
+
+let perform (a, b, c, xs) =
+  M.add c_a a;
+  M.add c_b b;
+  M.add c_c c;
+  List.iter (M.observe h_x) xs
+
+let delta_of_workload w =
+  let s0 = M.snapshot () in
+  perform w;
+  restrict (M.diff (M.snapshot ()) s0)
+
+let prop_sum_diff_inverse =
+  QCheck.Test.make ~count:100 ~name:"diff (sum a b) b = a"
+    (QCheck.make (QCheck.Gen.pair workload_gen workload_gen))
+    (fun (wa, wb) ->
+      let a = delta_of_workload wa in
+      let b = delta_of_workload wb in
+      snapshot_eq (M.diff (M.sum a b) b) a
+      && snapshot_eq (M.diff (M.sum b a) a) b)
+
+let prop_absorb_diff_inverse =
+  QCheck.Test.make ~count:100 ~name:"absorb d then diff reads back d"
+    (QCheck.make workload_gen)
+    (fun w ->
+      let d = delta_of_workload w in
+      let s0 = M.snapshot () in
+      M.absorb d;
+      snapshot_eq (restrict (M.diff (M.snapshot ()) s0)) d)
+
+(* ------------------------------------------------------------------ *)
+(* Worker merge at the join barrier                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The same deterministic task list run single-domain and fanned over
+   the pool must leave the caller's registry with identical deltas:
+   the pool captures each worker's per-task delta and absorbs them in
+   task order at the join barrier. *)
+let merge_tasks_gen : (int * int * int * float list) list QCheck.Gen.t =
+  QCheck.Gen.(list_size (int_range 1 12) workload_gen)
+
+let prop_worker_merge_equals_single_domain =
+  QCheck.Test.make ~count:25
+    ~name:"pool-merged metrics equal single-domain metrics"
+    (QCheck.make merge_tasks_gen)
+    (fun tasks ->
+      let run jobs =
+        let s0 = M.snapshot () in
+        ignore (Parallel.Domainpool.map ~jobs perform tasks);
+        restrict (M.diff (M.snapshot ()) s0)
+      in
+      snapshot_eq (run 1) (run 4))
+
+(* ------------------------------------------------------------------ *)
+(* Tracing is invisible to verification                               *)
+(* ------------------------------------------------------------------ *)
+
+let qtypes = [ Dns.Rr.A; Dns.Rr.MX ]
+
+let verify_fp ?(jobs = 1) () =
+  Dnsv.Pipeline.verify ~qtypes ~check_layers:false ~budget:(Budget.create ())
+    ~jobs
+    (Engine.Versions.fixed Engine.Versions.v3_0)
+    Spec.Fixtures.reference_zone
+  |> Dnsv.Pipeline.fingerprint
+
+let test_tracing_preserves_verdicts () =
+  let plain = verify_fp () in
+  let traced, forest = Trace.recording (fun () -> verify_fp ()) in
+  check_string "recording a trace changes no verdict fingerprint" plain traced;
+  check_bool "the recording actually captured spans" true
+    (Trace.span_count forest > 0);
+  (* And with the sink back off, nothing is recorded. *)
+  let _, off_forest = Trace.capture (fun () -> verify_fp ()) in
+  check_int "disabled sink records nothing" 0 (Trace.span_count off_forest)
+
+let test_span_tree_independent_of_jobs () =
+  let tree jobs =
+    let _, forest = Trace.recording (fun () -> verify_fp ~jobs ()) in
+    Trace.tree_fingerprint forest
+  in
+  check_string "span-tree fingerprint: jobs=4 equals jobs=1" (tree 1) (tree 4)
+
+let test_span_tree_replayable_under_faults () =
+  let tree () =
+    Faultinject.reset ();
+    Dnsv.Chaos.arm_plan (Dnsv.Chaos.plan_of_seed 3);
+    let _, forest =
+      Trace.recording (fun () ->
+          try ignore (verify_fp ()) with _ -> ())
+    in
+    Faultinject.reset ();
+    Trace.tree_fingerprint forest
+  in
+  let first = tree () in
+  check_string "same fault seed, same span tree" first (tree ())
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export round-trip                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_roundtrip () =
+  let _, forest = Trace.recording (fun () -> verify_fp ()) in
+  let m0 = M.snapshot () in
+  let json = Trace.chrome_json ~metrics:m0 forest in
+  match Trace.Report.of_string json with
+  | Error e -> Alcotest.failf "report did not parse its own export: %s" e
+  | Ok r ->
+      let count_rspans spans =
+        let rec go acc (sp : Trace.Report.rspan) =
+          List.fold_left go (acc + 1) sp.Trace.Report.r_children
+        in
+        List.fold_left go 0 spans
+      in
+      check_int "every span survives the round-trip"
+        (Trace.span_count forest)
+        (count_rspans r.Trace.Report.spans);
+      check_bool "check spans present" true
+        (Trace.Report.find_spans r ~name:"check" <> []);
+      check_bool "solver.checks counter present and nonzero" true
+        (List.exists
+           (fun (n, v) -> n = "solver.checks" && v > 0)
+           r.Trace.Report.counters)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "metrics",
+        qcheck
+          [
+            prop_sum_diff_inverse;
+            prop_absorb_diff_inverse;
+            prop_worker_merge_equals_single_domain;
+          ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "recording changes no verdict" `Quick
+            test_tracing_preserves_verdicts;
+          Alcotest.test_case "span tree independent of jobs" `Quick
+            test_span_tree_independent_of_jobs;
+          Alcotest.test_case "span tree replayable under fault seed" `Quick
+            test_span_tree_replayable_under_faults;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome JSON round-trips through Report" `Quick
+            test_chrome_roundtrip;
+        ] );
+    ]
