@@ -1,14 +1,18 @@
 # Convenience targets over dune. `make bench-json` is the perf gate:
-# it regenerates BENCH_PR4.json and fails (exit 1) if parallel/cached
+# it regenerates BENCH_PR5.json and fails (exit 1) if parallel/cached
 # verdicts diverge from sequential ones, the summaries-ablation
 # speedup regresses below its seed-commit floor, certificate checking
 # costs more than 10% over the uncertified re-verification, span
-# recording costs more than 5%, or the 200-plan chaos soak reports a
-# soundness violation (the checks live in bench/main.ml's json
-# target). `make chaos` is the standalone soak via the CLI; `make
-# trace` records a verification trace and renders it.
+# recording costs more than 5%, the static analysis costs more than 5%
+# when nothing is discharged (or discharges under 20% of panic
+# checks), or the 200-plan chaos soak reports a soundness violation
+# (the checks live in bench/main.ml's json target). `make lint` runs
+# the abstract-interpretation linter over every bundled engine version
+# against the checked-in baseline. `make chaos` is the standalone soak
+# via the CLI; `make trace` records a verification trace and renders
+# it.
 
-.PHONY: all build check test bench bench-json chaos trace clean
+.PHONY: all build check test lint bench bench-json chaos trace clean
 
 all: build
 
@@ -21,12 +25,15 @@ check:
 test:
 	dune runtest
 
+lint:
+	dune exec bin/dnsv_cli.exe -- lint --baseline lint_baseline.json
+
 bench:
 	dune exec bench/main.exe
 
 bench-json:
-	dune exec bench/main.exe -- json > BENCH_PR4.json
-	@cat BENCH_PR4.json
+	dune exec bench/main.exe -- json > BENCH_PR5.json
+	@cat BENCH_PR5.json
 	@echo
 
 chaos:

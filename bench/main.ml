@@ -140,7 +140,7 @@ type reverify_run = {
   rv_stats : Smt.Solver.stats;
 }
 
-let reverify_run ~caching ~jobs () =
+let reverify_run ?(analysis = Analysis.Trust) ~caching ~jobs () =
   let zone = Spec.Fixtures.reference_zone in
   let tasks =
     List.concat (List.init reverify_passes (fun _ -> reverify_versions ()))
@@ -153,8 +153,8 @@ let reverify_run ~caching ~jobs () =
   let task cfg =
     let s0 = stats_snapshot () in
     let v =
-      Dnsv.Pipeline.verify ~check_layers:false ~budget:(Budget.create ()) cfg
-        zone
+      Dnsv.Pipeline.verify ~check_layers:false ~budget:(Budget.create ())
+        ~analysis cfg zone
     in
     let s1 = stats_snapshot () in
     (Dnsv.Pipeline.fingerprint v, Smt.Solver.diff_stats s1 s0)
@@ -281,6 +281,87 @@ let trace_overhead () =
   Printf.printf "\noverhead %.3fx (gate <= %.2fx), verdicts identical: %b\n\n"
     ratio trace_overhead_gate
     (String.equal off.rv_fingerprint on_.rv_fingerprint)
+
+(* ------------------------------------------------------------------ *)
+(* Static-analysis overhead                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The tax and the payoff of the abstract-interpretation pass, both on
+   the cached sequential re-verification workload. The tax arm runs
+   with [Analysis.Distrust]: the dataflow pass runs in full and every
+   claim is cross-checked, so the solver-call sequence is identical to
+   [Analysis.Off] and *nothing* is discharged — the wall-clock ratio
+   against the no-analysis arm is pure analysis cost and must stay
+   within [analysis_overhead_gate]. The payoff arm runs with
+   [Analysis.Trust] (the default) and records how many panic-guard
+   checks the invariants discharged, plus the resulting speedup.
+   Interleaved best-of-[analysis_overhead_reps] per arm, same as the
+   tracing probe. *)
+
+let analysis_overhead_gate = 1.05
+let analysis_overhead_reps = 4
+
+type analysis_overhead_result = {
+  ao_off : reverify_run;
+  ao_distrust : reverify_run;
+  ao_trust : reverify_run;
+  ao_panic_checks : int;
+  ao_panic_discharged : int;
+  ao_static_discharged : int;
+}
+
+let analysis_overhead_runs () =
+  let arm analysis () = reverify_run ~analysis ~caching:true ~jobs:1 () in
+  ignore (arm Analysis.Off ());
+  let best cur r =
+    match cur with
+    | Some b when b.rv_wall <= r.rv_wall -> Some b
+    | _ -> Some r
+  in
+  let off = ref None and dis = ref None and tru = ref None in
+  let checks = ref 0 and pdis = ref 0 and sdis = ref 0 in
+  for _ = 1 to analysis_overhead_reps do
+    off := best !off (arm Analysis.Off ());
+    dis := best !dis (arm Analysis.Distrust ());
+    let m0 = Trace.Metrics.snapshot () in
+    tru := best !tru (arm Analysis.Trust ());
+    let d = Trace.Metrics.diff (Trace.Metrics.snapshot ()) m0 in
+    (* The counts are identical on every rep (the workload is
+       deterministic), so keeping the last rep's delta is fine. *)
+    checks := Trace.Metrics.get d "analysis.panic_checks";
+    pdis := Trace.Metrics.get d "analysis.panic_discharged";
+    sdis := Trace.Metrics.get d "analysis.static_discharged"
+  done;
+  {
+    ao_off = Option.get !off;
+    ao_distrust = Option.get !dis;
+    ao_trust = Option.get !tru;
+    ao_panic_checks = !checks;
+    ao_panic_discharged = !pdis;
+    ao_static_discharged = !sdis;
+  }
+
+let analysis_overhead () =
+  rule ();
+  print_endline "Static-analysis overhead (cached sequential re-verification)";
+  print_newline ();
+  let ao = analysis_overhead_runs () in
+  let ratio = ao.ao_distrust.rv_wall /. ao.ao_off.rv_wall in
+  let speedup = ao.ao_off.rv_wall /. ao.ao_trust.rv_wall in
+  Printf.printf "%-26s %8.3f s\n" "analysis off" ao.ao_off.rv_wall;
+  Printf.printf "%-26s %8.3f s   (full analysis, nothing discharged)\n"
+    "distrust (cross-check)" ao.ao_distrust.rv_wall;
+  Printf.printf "%-26s %8.3f s   %d/%d panic checks discharged\n"
+    "trust (prune)" ao.ao_trust.rv_wall ao.ao_panic_discharged
+    ao.ao_panic_checks;
+  let identical =
+    String.equal ao.ao_off.rv_fingerprint ao.ao_distrust.rv_fingerprint
+    && String.equal ao.ao_distrust.rv_fingerprint ao.ao_trust.rv_fingerprint
+  in
+  Printf.printf
+    "\noverhead %.3fx (gate <= %.2fx), trust speedup %.2fx, verdicts \
+     identical: %b\n\n"
+    ratio analysis_overhead_gate speedup identical
 
 let reverify () =
   rule ();
@@ -534,6 +615,17 @@ let json () =
   let to_identical =
     String.equal to_off.rv_fingerprint to_on.rv_fingerprint
   in
+  let ao = analysis_overhead_runs () in
+  let ao_ratio = ao.ao_distrust.rv_wall /. ao.ao_off.rv_wall in
+  let ao_speedup = ao.ao_off.rv_wall /. ao.ao_trust.rv_wall in
+  let ao_identical =
+    String.equal ao.ao_off.rv_fingerprint ao.ao_distrust.rv_fingerprint
+    && String.equal ao.ao_distrust.rv_fingerprint ao.ao_trust.rv_fingerprint
+  in
+  let ao_fraction =
+    if ao.ao_panic_checks = 0 then 0.
+    else float_of_int ao.ao_panic_discharged /. float_of_int ao.ao_panic_checks
+  in
   let chaos_wall, chaos_o = timed_chaos () in
   print_endline
     (json_obj
@@ -593,6 +685,22 @@ let json () =
                ("spans", string_of_int to_spans);
                ("verdicts_identical", string_of_bool to_identical);
              ] );
+         ( "analysis_overhead",
+           json_obj
+             [
+               ("off_wall_s", Printf.sprintf "%.4f" ao.ao_off.rv_wall);
+               ( "distrust_wall_s",
+                 Printf.sprintf "%.4f" ao.ao_distrust.rv_wall );
+               ("trust_wall_s", Printf.sprintf "%.4f" ao.ao_trust.rv_wall);
+               ("overhead_ratio", Printf.sprintf "%.3f" ao_ratio);
+               ("gate", Printf.sprintf "%.2f" analysis_overhead_gate);
+               ("trust_speedup", Printf.sprintf "%.3f" ao_speedup);
+               ("panic_checks", string_of_int ao.ao_panic_checks);
+               ("panic_discharged", string_of_int ao.ao_panic_discharged);
+               ("static_discharged", string_of_int ao.ao_static_discharged);
+               ("discharged_fraction", Printf.sprintf "%.3f" ao_fraction);
+               ("verdicts_identical", string_of_bool ao_identical);
+             ] );
          ("chaos", json_of_chaos chaos_wall chaos_o);
        ]);
   if not verdicts_identical then begin
@@ -627,6 +735,25 @@ let json () =
     Printf.eprintf
       "FAIL: tracing overhead %.3fx exceeds the %.2fx gate\n" to_ratio
       trace_overhead_gate;
+    exit 1
+  end;
+  if not ao_identical then begin
+    prerr_endline
+      "FAIL: analysis-enabled re-verification fingerprints differ from \
+       no-analysis";
+    exit 1
+  end;
+  if ao_ratio > analysis_overhead_gate then begin
+    Printf.eprintf
+      "FAIL: static-analysis overhead %.3fx exceeds the %.2fx gate\n" ao_ratio
+      analysis_overhead_gate;
+    exit 1
+  end;
+  if ao.ao_panic_checks > 0 && ao.ao_panic_discharged * 5 < ao.ao_panic_checks
+  then begin
+    Printf.eprintf
+      "FAIL: only %d/%d panic checks statically discharged (< 20%%)\n"
+      ao.ao_panic_discharged ao.ao_panic_checks;
     exit 1
   end;
   if not (Dnsv.Chaos.ok chaos_o) then begin
@@ -738,13 +865,14 @@ let () =
       | "reverify" -> reverify ()
       | "certoverhead" -> cert_overhead ()
       | "traceoverhead" -> trace_overhead ()
+      | "analysisoverhead" -> analysis_overhead ()
       | "chaos" -> chaos ()
       | "json" -> json ()
       | "micro" -> run_micro ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected \
-             table1|table2|table3|fig12|ablation|reverify|certoverhead|traceoverhead|chaos|json|micro)\n"
+             table1|table2|table3|fig12|ablation|reverify|certoverhead|traceoverhead|analysisoverhead|chaos|json|micro)\n"
             other;
           exit 2)
     targets

@@ -3,6 +3,7 @@
      dnsv verify    — verify an engine version against the top-level spec
      dnsv batch     — verify a batch of generated zones (journaled, resumable)
      dnsv chaos     — seeded fault-injection soak over the pipeline
+     dnsv lint      — static-analysis findings over the bundled engines
      dnsv layers    — verify the dependency layers against manual specs
      dnsv summarize — summarize TreeSearch (Table-1 style output)
      dnsv bugs      — list the Table-2 bug registry
@@ -132,6 +133,35 @@ let apply_faults fault_seed fault_plan =
              | _ -> fail ())
 
 (* ------------------------------------------------------------------ *)
+(* Static-analysis flags (shared by verify and batch)                 *)
+(* ------------------------------------------------------------------ *)
+
+let no_analysis_arg =
+  let doc =
+    "Disable the static analysis: the symbolic executor forks and asks \
+     the solver at every branch, discharging nothing statically."
+  in
+  Arg.(value & flag & info [ "no-analysis" ] ~doc)
+
+let distrust_analysis_arg =
+  let doc =
+    "Run the analysis but distrust it: every solver call is still made \
+     and each static claim is cross-checked against the certified \
+     solver (the chaos-soak mode). Mismatches are counted under \
+     analysis.crosscheck_mismatch and the solver's answer wins."
+  in
+  Arg.(value & flag & info [ "distrust-analysis" ] ~doc)
+
+let analysis_of_flags no_analysis distrust =
+  match (no_analysis, distrust) with
+  | true, true ->
+      Printf.eprintf "--no-analysis and --distrust-analysis conflict\n";
+      exit 3
+  | true, false -> Analysis.Off
+  | false, true -> Analysis.Distrust
+  | false, false -> Analysis.Trust
+
+(* ------------------------------------------------------------------ *)
 (* Tracing (shared by verify, batch and chaos)                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -191,9 +221,10 @@ let jobs_arg =
 
 let verify_cmd =
   let run version zone_file qtypes inline no_layers deadline solver_steps
-      max_paths retries jobs fault_seed fault_plan trace =
+      max_paths retries jobs no_analysis distrust fault_seed fault_plan trace =
     let cfg = config_of_version version in
     let zone = load_zone zone_file in
+    let analysis = analysis_of_flags no_analysis distrust in
     apply_faults fault_seed fault_plan;
     let mode =
       if inline then Refine.Check.Inline_all else Refine.Check.With_summaries
@@ -205,7 +236,7 @@ let verify_cmd =
       try
         with_trace trace (fun () ->
             Dnsv.Pipeline.verify ~qtypes ~mode ~check_layers:(not no_layers)
-              ~budget ~retries ~jobs cfg zone)
+              ~budget ~retries ~jobs ~analysis cfg zone)
       with e ->
         Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
         exit 3
@@ -237,7 +268,8 @@ let verify_cmd =
     Term.(
       const run $ version_arg $ zone_file_arg $ qtypes_arg $ inline $ no_layers
       $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg
-      $ jobs_arg $ fault_seed_arg $ fault_plan_arg $ trace_arg)
+      $ jobs_arg $ no_analysis_arg $ distrust_analysis_arg $ fault_seed_arg
+      $ fault_plan_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                              *)
@@ -245,7 +277,8 @@ let verify_cmd =
 
 let batch_cmd =
   let run version origin count seed qtypes deadline solver_steps max_paths
-      retries jobs journal resume fault_seed fault_plan trace progress =
+      retries jobs no_analysis distrust journal resume fault_seed fault_plan
+      trace progress =
     let cfg = config_of_version version in
     let origin =
       match Name.of_string origin with
@@ -254,6 +287,7 @@ let batch_cmd =
           Printf.eprintf "bad origin %s: %s\n" origin m;
           exit 3
     in
+    let analysis = analysis_of_flags no_analysis distrust in
     apply_faults fault_seed fault_plan;
     let budget =
       Budget.create ?deadline_s:deadline ?solver_steps ?max_paths ()
@@ -301,7 +335,8 @@ let batch_cmd =
       try
         with_trace trace (fun () ->
             Dnsv.Pipeline.verify_batch_run ~qtypes ~count ~seed ~budget
-              ~retries ~jobs ?journal ~resume ?on_start ~on_item cfg origin)
+              ~retries ~jobs ~analysis ?journal ~resume ?on_start ~on_item cfg
+              origin)
       with
       | Failure m ->
           Printf.eprintf "%s\n" m;
@@ -405,8 +440,9 @@ let batch_cmd =
     Term.(
       const run $ version_arg $ origin_arg $ count_arg $ seed_arg $ qtypes_arg
       $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg
-      $ jobs_arg $ journal_arg $ resume_arg $ fault_seed_arg $ fault_plan_arg
-      $ trace_arg $ progress_arg)
+      $ jobs_arg $ no_analysis_arg $ distrust_analysis_arg $ journal_arg
+      $ resume_arg $ fault_seed_arg $ fault_plan_arg $ trace_arg
+      $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                              *)
@@ -667,6 +703,165 @@ let rawname_cmd =
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Read a baseline file (the --json output of a previous run) into
+   per-version (errors, warnings, infos) budgets. *)
+let lint_baseline_budgets path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match Trace.Json.parse text with
+  | Error m ->
+      Printf.eprintf "cannot parse baseline %s: %s\n" path m;
+      exit 3
+  | Ok j -> (
+      let num name o =
+        match Trace.Json.member name o with
+        | Some (Trace.Json.Num f) -> int_of_float f
+        | _ -> 0
+      in
+      match Trace.Json.member "versions" j with
+      | Some (Trace.Json.Arr vs) ->
+          List.filter_map
+            (fun v ->
+              match Trace.Json.member "version" v with
+              | Some (Trace.Json.Str name) ->
+                  let counts =
+                    match Trace.Json.member "lint" v with
+                    | Some l -> (
+                        match Trace.Json.member "counts" l with
+                        | Some c -> c
+                        | None -> Trace.Json.Null)
+                    | None -> Trace.Json.Null
+                  in
+                  Some
+                    ( name,
+                      (num "error" counts, num "warning" counts,
+                       num "info" counts) )
+              | _ -> None)
+            vs
+      | _ ->
+          Printf.eprintf "baseline %s: no \"versions\" array\n" path;
+          exit 3)
+
+let lint_cmd =
+  let run engine json baseline =
+    let cfgs =
+      match engine with
+      | None -> Engine.Versions.all
+      | Some v -> [ config_of_version v ]
+    in
+    let results =
+      List.map
+        (fun (cfg : Engine.Builder.config) ->
+          let prog = Engine.Versions.compiled cfg in
+          (cfg.Engine.Builder.version, Analysis.Lint.run prog))
+        cfgs
+    in
+    if json then begin
+      print_string "{\"versions\": [";
+      List.iteri
+        (fun i (v, fs) ->
+          Printf.printf "%s\n {\"version\": \"%s\", \"lint\": %s}"
+            (if i = 0 then "" else ",")
+            v (Analysis.Lint.to_json fs))
+        results;
+      print_string "\n]}\n"
+    end
+    else
+      List.iter
+        (fun (v, fs) ->
+          let e, w, n = Analysis.Lint.counts fs in
+          Printf.printf "engine %-9s %d error(s), %d warning(s), %d info\n" v e
+            w n;
+          List.iter
+            (fun f -> Format.printf "  %a@." Analysis.Lint.pp_finding f)
+            fs)
+        results;
+    match baseline with
+    | Some path -> (
+        let budgets = lint_baseline_budgets path in
+        let regressions =
+          List.concat_map
+            (fun (v, fs) ->
+              let e, w, n = Analysis.Lint.counts fs in
+              let be, bw, bn =
+                Option.value ~default:(0, 0, 0) (List.assoc_opt v budgets)
+              in
+              let over sev cur bud =
+                if cur > bud then
+                  [
+                    Printf.sprintf "engine %s: %d %s finding(s), baseline %d" v
+                      cur sev bud;
+                  ]
+                else []
+              in
+              over "error" e be @ over "warning" w bw @ over "info" n bn)
+            results
+        in
+        match regressions with
+        | [] ->
+            Printf.eprintf "lint: within baseline %s\n" path;
+            exit 0
+        | rs ->
+            List.iter (fun r -> Printf.eprintf "lint regression: %s\n" r) rs;
+            exit 1)
+    | None ->
+        let errors =
+          List.exists
+            (fun (_, fs) ->
+              let e, _, _ = Analysis.Lint.counts fs in
+              e > 0)
+            results
+        in
+        exit (if errors then 1 else 0)
+  in
+  let engine_opt_arg =
+    let doc =
+      "Lint only engine $(docv) instead of every bundled version."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "engine" ] ~docv:"VERSION" ~doc)
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit machine-readable JSON (per-version counts and findings) on \
+             stdout instead of text.")
+  in
+  let baseline_arg =
+    let doc =
+      "Gate against a checked-in baseline (the --json output of a previous \
+       run): exit 1 when any version's error, warning or info count exceeds \
+       the baseline's."
+    in
+    Arg.(
+      value & opt (some file) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze the bundled engine versions: dead blocks, \
+          reachable panics, use-before-init loads, dead stores, division by \
+          zero, nil dereferences"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "Without --baseline: 0 when no Error-severity findings, 1 \
+              otherwise. With --baseline: 0 when every version's counts are \
+              within the baseline, 1 on any regression. 3 on usage errors.";
+         ])
+    Term.(const run $ engine_opt_arg $ json_arg $ baseline_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -679,7 +874,7 @@ let () =
     Cmd.eval
       (Cmd.group info
          [
-           verify_cmd; batch_cmd; chaos_cmd; report_cmd; layers_cmd;
+           verify_cmd; batch_cmd; chaos_cmd; lint_cmd; report_cmd; layers_cmd;
            summarize_cmd; bugs_cmd; zonegen_cmd; replay_cmd; source_cmd;
            rawname_cmd;
          ])

@@ -1,0 +1,1412 @@
+(* Forward abstract interpretation over Minir CFGs.
+
+   A classic worklist fixpoint (join at block entry, widening after
+   repeated updates) instantiated with a product domain:
+
+   - intervals for I64 registers and stack slots,
+   - nullness for pointers,
+   - tribools for I1,
+   - definite-initialization (must-store) for stack slots.
+
+   The input is assumed well-formed ([Minir.Wellform.check]): every
+   register has exactly one static assignment, which makes the def map
+   a function and lets branch refinement walk a condition's defining
+   expression (through [Not], [And_]/[Or_] and [Icmp]) to tighten the
+   operands' abstract values on each outgoing edge.
+
+   Stack slots (registers assigned by [Alloca]) are tracked only while
+   they cannot alias: a slot whose register is used anywhere other than
+   as the pointer operand of a [Load]/[Store] escapes and is dropped
+   from the slot environment. Loads from tracked slots additionally
+   record *provenance* (register r was loaded from slot s, still
+   valid), so a branch refining r — `for cur != nil { cur.down }` —
+   also refines what the slot must hold, which is what discharges the
+   nil checks the frontend re-emits inside the loop body.
+
+   Everything here is consumed three ways: [Lint] (below) reports
+   findings per function; [branch_fact] hands the symbolic executor
+   statically-dead edges so it can skip the solver; the soundness test
+   replays concrete interpreter runs against [check_concrete]. *)
+
+module Instr = Minir.Instr
+module Ty = Minir.Ty
+module Value = Minir.Value
+
+(* How the symbolic executor treats the analysis:
+   [Off] — never consulted; [Trust] — statically-dead edges are pruned
+   without calling the solver; [Distrust] — every solver call is still
+   made and each static claim is cross-checked against the certified
+   answer (the chaos/soak configuration: degrade, never flip). *)
+type policy = Off | Trust | Distrust
+
+let policy_to_string = function
+  | Off -> "off"
+  | Trust -> "trust"
+  | Distrust -> "distrust"
+
+let policy_of_string = function
+  | "off" -> Some Off
+  | "trust" -> Some Trust
+  | "distrust" -> Some Distrust
+  | _ -> None
+
+let m_functions = Trace.Metrics.counter "analysis.functions"
+
+(* ------------------------------------------------------------------ *)
+(* Domains                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Interval = struct
+  (* [I (lo, hi)]; [None] is the infinite bound on that side. *)
+  type t = Bot | I of int option * int option
+
+  let top = I (None, None)
+  let of_int n = I (Some n, Some n)
+
+  let norm lo hi =
+    match (lo, hi) with Some l, Some h when l > h -> Bot | _ -> I (lo, hi)
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | I (l1, h1), I (l2, h2) ->
+        I
+          ( (match (l1, l2) with
+            | Some a, Some b -> Some (min a b)
+            | _ -> None),
+            match (h1, h2) with Some a, Some b -> Some (max a b) | _ -> None )
+
+  let meet a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | I (l1, h1), I (l2, h2) ->
+        norm
+          (match (l1, l2) with
+          | Some a, Some b -> Some (max a b)
+          | Some a, None | None, Some a -> Some a
+          | None, None -> None)
+          (match (h1, h2) with
+          | Some a, Some b -> Some (min a b)
+          | Some a, None | None, Some a -> Some a
+          | None, None -> None)
+
+  (* [widen old next] with [next ⊒ old]: any bound still moving goes to
+     its infinity, so chains stabilize. *)
+  let widen old next =
+    match (old, next) with
+    | Bot, x | x, Bot -> x
+    | I (l1, h1), I (l2, h2) ->
+        (* A bound still moving (including to infinity) goes to its
+           infinity; only a bound that stayed put survives. *)
+        I
+          ( (match (l1, l2) with
+            | Some a, Some b when b >= a -> Some a
+            | _ -> None),
+            match (h1, h2) with
+            | Some a, Some b when b <= a -> Some a
+            | _ -> None )
+
+  let add a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | I (l1, h1), I (l2, h2) ->
+        I
+          ( (match (l1, l2) with Some x, Some y -> Some (x + y) | _ -> None),
+            match (h1, h2) with Some x, Some y -> Some (x + y) | _ -> None )
+
+  let neg = function
+    | Bot -> Bot
+    | I (l, h) -> I (Option.map (fun x -> -x) h, Option.map (fun x -> -x) l)
+
+  let sub a b = add a (neg b)
+
+  let mul_const k = function
+    | Bot -> Bot
+    | I (l, h) ->
+        if k = 0 then of_int 0
+        else if k > 0 then
+          I (Option.map (fun x -> k * x) l, Option.map (fun x -> k * x) h)
+        else I (Option.map (fun x -> k * x) h, Option.map (fun x -> k * x) l)
+
+  let mul a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | I (Some k, Some k'), i when k = k' -> mul_const k i
+    | i, I (Some k, Some k') when k = k' -> mul_const k i
+    | _ -> top
+
+  let mem n = function
+    | Bot -> false
+    | I (l, h) ->
+        (match l with None -> true | Some x -> n >= x)
+        && (match h with None -> true | Some x -> n <= x)
+
+  let finite = function I (Some _, Some _) -> true | _ -> false
+  let is_singleton = function I (Some a, Some b) -> a = b | _ -> false
+
+  (* Refinements under an assumed strict/loose order between two
+     intervals: [(a', b')] such that any (x ∈ a, y ∈ b) with x R y has
+     x ∈ a' and y ∈ b'. *)
+  let below ~strict = function
+    | Bot -> Bot
+    | I (_, None) -> top
+    | I (_, Some h) -> I (None, Some (if strict then h - 1 else h))
+
+  let above ~strict = function
+    | Bot -> Bot
+    | I (None, _) -> top
+    | I (Some l, _) -> I (Some (if strict then l + 1 else l), None)
+
+  (* Drop a known-excluded endpoint: a ≠ b with b the singleton {k}. *)
+  let remove_point a b =
+    match (a, b) with
+    | I (Some l, h), I (Some k, Some k') when k = k' && l = k ->
+        norm (Some (l + 1)) h
+    | I (l, Some h), I (Some k, Some k') when k = k' && h = k ->
+        norm l (Some (h - 1))
+    | _ -> a
+
+  let pp fmt = function
+    | Bot -> Format.fprintf fmt "⊥"
+    | I (l, h) ->
+        Format.fprintf fmt "[%s,%s]"
+          (match l with None -> "-inf" | Some x -> string_of_int x)
+          (match h with None -> "+inf" | Some x -> string_of_int x)
+end
+
+module Tribool = struct
+  type t = TBot | TT | TF | TTop
+
+  let of_bool b = if b then TT else TF
+
+  let join a b =
+    match (a, b) with
+    | TBot, x | x, TBot -> x
+    | TT, TT -> TT
+    | TF, TF -> TF
+    | _ -> TTop
+
+  let meet a b =
+    match (a, b) with
+    | TTop, x | x, TTop -> x
+    | TT, TT -> TT
+    | TF, TF -> TF
+    | _ -> TBot
+
+  let not_ = function TBot -> TBot | TT -> TF | TF -> TT | TTop -> TTop
+
+  let and_ a b =
+    match (a, b) with
+    | TBot, _ | _, TBot -> TBot
+    | TF, _ | _, TF -> TF
+    | TT, TT -> TT
+    | _ -> TTop
+
+  let or_ a b = not_ (and_ (not_ a) (not_ b))
+
+  let pp fmt t =
+    Format.pp_print_string fmt
+      (match t with TBot -> "⊥" | TT -> "true" | TF -> "false" | TTop -> "⊤")
+end
+
+module Nullness = struct
+  type t = NBot | NNull | NNot | NTop
+
+  let join a b =
+    match (a, b) with
+    | NBot, x | x, NBot -> x
+    | NNull, NNull -> NNull
+    | NNot, NNot -> NNot
+    | _ -> NTop
+
+  let meet a b =
+    match (a, b) with
+    | NTop, x | x, NTop -> x
+    | NNull, NNull -> NNull
+    | NNot, NNot -> NNot
+    | _ -> NBot
+
+  let pp fmt t =
+    Format.pp_print_string fmt
+      (match t with
+      | NBot -> "⊥"
+      | NNull -> "nil"
+      | NNot -> "non-nil"
+      | NTop -> "⊤")
+end
+
+(* The product value: one constructor per Minir register sort. [ATop]
+   is the unknown-sort top (e.g. an unassigned register). *)
+type aval =
+  | AInt of Interval.t
+  | ABool of Tribool.t
+  | APtr of Nullness.t
+  | ATop
+
+let a_join a b =
+  match (a, b) with
+  | ATop, _ | _, ATop -> ATop
+  | AInt x, AInt y -> AInt (Interval.join x y)
+  | ABool x, ABool y -> ABool (Tribool.join x y)
+  | APtr x, APtr y -> APtr (Nullness.join x y)
+  | _ -> ATop
+
+let a_widen old next =
+  match (old, next) with
+  | AInt x, AInt y -> AInt (Interval.widen x y)
+  | _ -> a_join old next
+
+let a_is_bot = function
+  | AInt Interval.Bot | ABool Tribool.TBot | APtr Nullness.NBot -> true
+  | _ -> false
+
+let top_of_ty : Ty.t -> aval = function
+  | Ty.I64 -> AInt Interval.top
+  | Ty.I1 -> ABool Tribool.TTop
+  | Ty.Ptr _ | Ty.Opaque_ptr | Ty.Struct _ | Ty.Array _ -> APtr Nullness.NTop
+
+(* Minir zero-initializes fresh slots (Go semantics). *)
+let default_of_ty : Ty.t -> aval = function
+  | Ty.I64 -> AInt (Interval.of_int 0)
+  | Ty.I1 -> ABool Tribool.TF
+  | Ty.Ptr _ | Ty.Opaque_ptr | Ty.Struct _ | Ty.Array _ -> APtr Nullness.NNull
+
+let pp_aval fmt = function
+  | AInt i -> Interval.pp fmt i
+  | ABool t -> Tribool.pp fmt t
+  | APtr n -> Nullness.pp fmt n
+  | ATop -> Format.pp_print_string fmt "⊤"
+
+(* ------------------------------------------------------------------ *)
+(* Abstract states                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Env = Map.Make (String)
+module SSet = Set.Make (String)
+
+type st = {
+  regs : aval Env.t; (* absent = ⊤ *)
+  slots : aval Env.t; (* tracked slot contents, keyed by the alloca reg *)
+  inited : SSet.t; (* slots definitely explicitly stored (must) *)
+  prov : Instr.reg Env.t; (* reg ↦ slot it was loaded from, still valid *)
+}
+
+type state = Bot | St of st
+
+(* Keys present on one side only are kept: a register (or slot) is
+   defined by exactly one static instruction, so on any concrete path
+   where it was never (re)assigned its frame entry — if present at all —
+   flowed through the defining edge and is covered by that side's
+   value. Provenance is must-information and intersects instead. *)
+let st_join a b =
+  {
+    regs = Env.union (fun _ x y -> Some (a_join x y)) a.regs b.regs;
+    slots = Env.union (fun _ x y -> Some (a_join x y)) a.slots b.slots;
+    inited = SSet.inter a.inited b.inited;
+    prov =
+      Env.merge
+        (fun _ x y ->
+          match (x, y) with
+          | Some u, Some v when String.equal u v -> Some u
+          | _ -> None)
+        a.prov b.prov;
+  }
+
+let st_widen old next =
+  {
+    next with
+    regs =
+      Env.mapi
+        (fun r v ->
+          match Env.find_opt r old.regs with
+          | Some o -> a_widen o v
+          | None -> v)
+        next.regs;
+    slots =
+      Env.mapi
+        (fun s v ->
+          match Env.find_opt s old.slots with
+          | Some o -> a_widen o v
+          | None -> v)
+        next.slots;
+  }
+
+let st_equal a b =
+  Env.equal ( = ) a.regs b.regs
+  && Env.equal ( = ) a.slots b.slots
+  && SSet.equal a.inited b.inited
+  && Env.equal String.equal a.prov b.prov
+
+let state_join a b =
+  match (a, b) with Bot, x | x, Bot -> x | St a, St b -> St (st_join a b)
+
+let state_widen old next =
+  match (old, next) with
+  | Bot, x | x, Bot -> x
+  | St o, St n -> St (st_widen o n)
+
+let state_equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | St a, St b -> st_equal a b
+  | _ -> false
+
+let state_is_bottom = function Bot -> true | St _ -> false
+
+let pp_state fmt = function
+  | Bot -> Format.pp_print_string fmt "⊥"
+  | St s ->
+      Format.fprintf fmt "@[<hv>{";
+      Env.iter (fun r v -> Format.fprintf fmt " %%%s=%a" r pp_aval v) s.regs;
+      Env.iter (fun r v -> Format.fprintf fmt " [%%%s]=%a" r pp_aval v) s.slots;
+      Format.fprintf fmt " }@]"
+
+(* ------------------------------------------------------------------ *)
+(* The generic forward engine                                         *)
+(* ------------------------------------------------------------------ *)
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t (* old → joined (⊒ old) → widened *)
+end
+
+module Fixpoint (D : DOMAIN) = struct
+  let widen_threshold = 3
+
+  (* Widening points: targets of DFS back edges, i.e. loop heads in the
+     reducible CFGs the frontend emits. Widening only there keeps the
+     branch refinements inside loop bodies (a body entered under
+     [i <= n] keeps the finite bound) while every cycle still crosses a
+     widening point, so the ascending chain terminates. *)
+  let widen_points (blocks : (Instr.label * Instr.block) list)
+      (entry : Instr.label) : (Instr.label, unit) Hashtbl.t =
+    let succs l =
+      match (List.assoc l blocks).Instr.term with
+      | Instr.Br l' -> [ l' ]
+      | Instr.Cond_br (_, l1, l2) -> [ l1; l2 ]
+      | Instr.Ret _ | Instr.Panic _ | Instr.Unreachable -> []
+    in
+    let points = Hashtbl.create 8 in
+    let gray = Hashtbl.create 16 in
+    let done_ = Hashtbl.create 16 in
+    (* Explicit stack: each frame is a block and its unexplored succs. *)
+    let stack = ref [] in
+    let enter l =
+      Hashtbl.replace gray l ();
+      stack := (l, ref (succs l)) :: !stack
+    in
+    enter entry;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (l, rest) :: tl -> (
+          match !rest with
+          | [] ->
+              Hashtbl.remove gray l;
+              Hashtbl.replace done_ l ();
+              stack := tl
+          | s :: rs ->
+              rest := rs;
+              if Hashtbl.mem gray s then Hashtbl.replace points s ()
+              else if not (Hashtbl.mem done_ s) then enter s)
+    done;
+    points
+
+  (* Worklist fixpoint: [transfer] maps a block's entry state to the
+     states it propagates to each successor. Returns the per-block
+     entry states; blocks never reached are absent. *)
+  let solve ~(blocks : (Instr.label * Instr.block) list)
+      ~(entry : Instr.label) ~(init : D.t)
+      ~(transfer : Instr.label -> Instr.block -> D.t -> (Instr.label * D.t) list)
+      : (Instr.label, D.t) Hashtbl.t =
+    let wpoints = widen_points blocks entry in
+    let in_states = Hashtbl.create 16 in
+    let updates = Hashtbl.create 16 in
+    let wl = Queue.create () in
+    let queued = Hashtbl.create 16 in
+    let push l =
+      if not (Hashtbl.mem queued l) then begin
+        Hashtbl.replace queued l ();
+        Queue.push l wl
+      end
+    in
+    Hashtbl.replace in_states entry init;
+    push entry;
+    while not (Queue.is_empty wl) do
+      let l = Queue.pop wl in
+      Hashtbl.remove queued l;
+      match Hashtbl.find_opt in_states l with
+      | None -> ()
+      | Some s ->
+          let b = List.assoc l blocks in
+          List.iter
+            (fun (l', s') ->
+              let prev = Hashtbl.find_opt in_states l' in
+              let joined =
+                match prev with None -> s' | Some p -> D.join p s'
+              in
+              let n = Option.value (Hashtbl.find_opt updates l') ~default:0 in
+              let next =
+                match prev with
+                | Some p when n >= widen_threshold && Hashtbl.mem wpoints l'
+                  ->
+                    D.widen p joined
+                | _ -> joined
+              in
+              match prev with
+              | Some p when D.equal p next -> ()
+              | _ ->
+                  Hashtbl.replace in_states l' next;
+                  Hashtbl.replace updates l' (n + 1);
+                  push l')
+            (transfer l b s)
+    done;
+    in_states
+end
+
+module Solve = Fixpoint (struct
+  type t = state
+
+  let equal = state_equal
+  let join = state_join
+  let widen = state_widen
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Per-function semantics                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Scalar alloca registers used *only* as the pointer operand of loads
+   and stores: those slots cannot alias and their contents are tracked
+   exactly. Everything else (aggregates, address-taken slots) is left
+   to the heap, i.e. ⊤. *)
+let tracked_slots (f : Instr.func) : SSet.t =
+  let allocas = ref SSet.empty in
+  List.iter
+    (fun (_, b) ->
+      List.iter
+        (function
+          | Instr.Assign (r, Instr.Alloca (Ty.I64 | Ty.I1 | Ty.Ptr _ | Ty.Opaque_ptr))
+            -> allocas := SSet.add r !allocas
+          | _ -> ())
+        b.Instr.insns)
+    f.Instr.blocks;
+  let escape = function
+    | Instr.Reg r -> allocas := SSet.remove r !allocas
+    | _ -> ()
+  in
+  let escape_rv = function
+    | Instr.Binop (_, a, b) | Instr.Byte_gep (a, b) ->
+        escape a;
+        escape b
+    | Instr.Icmp (_, _, a, b) ->
+        escape a;
+        escape b
+    | Instr.Not a | Instr.Bitcast a | Instr.Opaque_load (_, a) -> escape a
+    | Instr.Load (_, _) -> () (* pointer position: allowed *)
+    | Instr.Gep (_, base, idx) ->
+        escape base;
+        List.iter escape idx
+    | Instr.Call (_, args) -> List.iter escape args
+    | Instr.Alloca _ | Instr.Newobject _ -> ()
+  in
+  List.iter
+    (fun (_, b) ->
+      List.iter
+        (function
+          | Instr.Assign (_, rv) -> escape_rv rv
+          | Instr.Store (_, v, _) | Instr.Opaque_store (_, v, _) ->
+              escape v (* value position escapes; pointer position allowed *)
+          | Instr.Call_void (_, args) -> List.iter escape args)
+        b.Instr.insns;
+      match b.Instr.term with
+      | Instr.Cond_br (c, _, _) -> escape c
+      | Instr.Ret (Some o) -> escape o
+      | Instr.Br _ | Instr.Ret None | Instr.Panic _ | Instr.Unreachable -> ())
+    f.Instr.blocks;
+  (* Opaque stores write through pointers we cannot see; their pointer
+     operand escapes too (only [Store]'s pointer position is exempt). *)
+  List.iter
+    (fun (_, b) ->
+      List.iter
+        (function
+          | Instr.Opaque_store (_, _, p) -> escape p
+          | _ -> ())
+        b.Instr.insns)
+    f.Instr.blocks;
+  !allocas
+
+(* One static assignment per register (well-formedness), so this is a
+   function. *)
+let def_map (f : Instr.func) : Instr.rvalue Env.t =
+  List.fold_left
+    (fun m (_, b) ->
+      List.fold_left
+        (fun m -> function
+          | Instr.Assign (r, rv) -> Env.add r rv m
+          | _ -> m)
+        m b.Instr.insns)
+    Env.empty f.Instr.blocks
+
+type fn_ctx = {
+  prog : Instr.program;
+  tracked : SSet.t;
+  defs : Instr.rvalue Env.t;
+}
+
+let eval_operand (s : st) : Instr.operand -> aval = function
+  | Instr.Const_int n -> AInt (Interval.of_int n)
+  | Instr.Const_bool b -> ABool (Tribool.of_bool b)
+  | Instr.Null _ -> APtr Nullness.NNull
+  | Instr.Reg r -> Option.value (Env.find_opt r s.regs) ~default:ATop
+
+let interval_of (s : st) (o : Instr.operand) : Interval.t =
+  match eval_operand s o with AInt i -> i | _ -> Interval.top
+
+let nullness_of (s : st) (o : Instr.operand) : Nullness.t =
+  match eval_operand s o with APtr n -> n | _ -> Nullness.NTop
+
+let tribool_of (s : st) (o : Instr.operand) : Tribool.t =
+  match eval_operand s o with ABool t -> t | _ -> Tribool.TTop
+
+let icmp_interval (op : Instr.icmp) (a : Interval.t) (b : Interval.t) :
+    Tribool.t =
+  let open Interval in
+  match (a, b) with
+  | Bot, _ | _, Bot -> Tribool.TTop
+  | I (l1, h1), I (l2, h2) -> (
+      let lt_def =
+        (* ∀x∈a ∀y∈b, x < y *)
+        match (h1, l2) with Some h, Some l -> h < l | _ -> false
+      and le_def =
+        match (h1, l2) with Some h, Some l -> h <= l | _ -> false
+      and gt_def =
+        match (l1, h2) with Some l, Some h -> l > h | _ -> false
+      and ge_def =
+        match (l1, h2) with Some l, Some h -> l >= h | _ -> false
+      in
+      match op with
+      | Instr.Slt ->
+          if lt_def then Tribool.TT else if ge_def then Tribool.TF else Tribool.TTop
+      | Instr.Sle ->
+          if le_def then Tribool.TT else if gt_def then Tribool.TF else Tribool.TTop
+      | Instr.Sgt ->
+          if gt_def then Tribool.TT else if le_def then Tribool.TF else Tribool.TTop
+      | Instr.Sge ->
+          if ge_def then Tribool.TT else if lt_def then Tribool.TF else Tribool.TTop
+      | Instr.Eq ->
+          if is_singleton a && a = b then Tribool.TT
+          else if meet a b = Bot then Tribool.TF
+          else Tribool.TTop
+      | Instr.Ne ->
+          if is_singleton a && a = b then Tribool.TF
+          else if meet a b = Bot then Tribool.TT
+          else Tribool.TTop)
+
+let icmp_nullness (op : Instr.icmp) (a : Nullness.t) (b : Nullness.t) :
+    Tribool.t =
+  let eq =
+    match (a, b) with
+    | Nullness.NNull, Nullness.NNull -> Tribool.TT
+    | Nullness.NNull, Nullness.NNot | Nullness.NNot, Nullness.NNull ->
+        Tribool.TF
+    | _ -> Tribool.TTop
+  in
+  match op with
+  | Instr.Eq -> eq
+  | Instr.Ne -> Tribool.not_ eq
+  | _ -> Tribool.TTop
+
+let is_ptr_ty = function
+  | Ty.Ptr _ | Ty.Opaque_ptr | Ty.Struct _ | Ty.Array _ -> true
+  | Ty.I1 | Ty.I64 -> false
+
+let eval_rvalue (ctx : fn_ctx) (s : st) (rv : Instr.rvalue) : aval =
+  match rv with
+  | Instr.Binop (op, a, b) -> (
+      match op with
+      | Instr.Add -> AInt (Interval.add (interval_of s a) (interval_of s b))
+      | Instr.Sub -> AInt (Interval.sub (interval_of s a) (interval_of s b))
+      | Instr.Mul -> AInt (Interval.mul (interval_of s a) (interval_of s b))
+      | Instr.Sdiv | Instr.Srem -> AInt Interval.top
+      | Instr.And_ -> ABool (Tribool.and_ (tribool_of s a) (tribool_of s b))
+      | Instr.Or_ -> ABool (Tribool.or_ (tribool_of s a) (tribool_of s b))
+      | Instr.Xor ->
+          ABool
+            (match (tribool_of s a, tribool_of s b) with
+            | Tribool.TBot, _ | _, Tribool.TBot -> Tribool.TBot
+            | Tribool.TT, x | x, Tribool.TT -> Tribool.not_ x
+            | Tribool.TF, x | x, Tribool.TF -> x
+            | Tribool.TTop, Tribool.TTop -> Tribool.TTop))
+  | Instr.Icmp (op, ty, a, b) ->
+      if is_ptr_ty ty then ABool (icmp_nullness op (nullness_of s a) (nullness_of s b))
+      else if ty = Ty.I64 then
+        ABool (icmp_interval op (interval_of s a) (interval_of s b))
+      else ABool Tribool.TTop
+  | Instr.Not a -> ABool (Tribool.not_ (tribool_of s a))
+  | Instr.Alloca _ | Instr.Newobject _ | Instr.Gep _ | Instr.Byte_gep _ ->
+      APtr Nullness.NNot
+  | Instr.Bitcast o -> eval_operand s o
+  | Instr.Load (ty, Instr.Reg p) when SSet.mem p ctx.tracked ->
+      Option.value (Env.find_opt p s.slots) ~default:(top_of_ty ty)
+  | Instr.Load (ty, _) | Instr.Opaque_load (ty, _) -> top_of_ty ty
+  | Instr.Call (name, _) -> (
+      match
+        List.find_opt (fun g -> g.Instr.fn_name = name) ctx.prog.Instr.funcs
+      with
+      | Some g -> (
+          match g.Instr.ret_ty with Some ty -> top_of_ty ty | None -> ATop)
+      | None -> ATop)
+
+(* Transfer one instruction. Total: instruction effects never prove a
+   state empty, only branch assumptions do. *)
+let transfer_insn (ctx : fn_ctx) (s : st) (insn : Instr.instr) : st =
+  match insn with
+  | Instr.Assign (r, rv) ->
+      let v = eval_rvalue ctx s rv in
+      let s = { s with regs = Env.add r v s.regs } in
+      let s =
+        match rv with
+        | Instr.Alloca ty when SSet.mem r ctx.tracked ->
+            (* A re-executed alloca (declaration inside a loop) rebinds
+               the register to a *fresh* zero slot: reset contents and
+               must-init, and drop provenance into the old slot. *)
+            {
+              s with
+              slots = Env.add r (default_of_ty ty) s.slots;
+              inited = SSet.remove r s.inited;
+              prov = Env.filter (fun _ s' -> not (String.equal s' r)) s.prov;
+            }
+        | Instr.Load (_, Instr.Reg p) when SSet.mem p ctx.tracked ->
+            { s with prov = Env.add r p s.prov }
+        | Instr.Bitcast (Instr.Reg q) -> (
+            match Env.find_opt q s.prov with
+            | Some p -> { s with prov = Env.add r p s.prov }
+            | None -> s)
+        | _ -> s
+      in
+      s
+  | Instr.Store (_, v, Instr.Reg p) when SSet.mem p ctx.tracked ->
+      {
+        s with
+        slots = Env.add p (eval_operand s v) s.slots;
+        inited = SSet.add p s.inited;
+        prov = Env.filter (fun _ s' -> not (String.equal s' p)) s.prov;
+      }
+  | Instr.Store _ | Instr.Opaque_store _ | Instr.Call_void _ ->
+      (* Tracked slots cannot alias (their address never escapes), so
+         stores through other pointers and calls cannot touch them. *)
+      s
+
+let transfer_insns ctx s insns = List.fold_left (transfer_insn ctx) s insns
+
+(* ------------------------------------------------------------------ *)
+(* Branch refinement                                                  *)
+(* ------------------------------------------------------------------ *)
+
+exception Bottom
+
+(* Meet [o]'s abstract value with [v]; empty meets kill the edge.
+   Register refinements propagate into the slot the register was
+   loaded from when that provenance is still valid. *)
+let rec refine_operand (s : st) (o : Instr.operand) (v : aval) : st =
+  match o with
+  | Instr.Const_int n ->
+      (match v with
+      | AInt i when not (Interval.mem n i) -> raise Bottom
+      | _ -> ());
+      s
+  | Instr.Const_bool b ->
+      (match v with
+      | ABool t when Tribool.meet t (Tribool.of_bool b) = Tribool.TBot ->
+          raise Bottom
+      | _ -> ());
+      s
+  | Instr.Null _ ->
+      (match v with
+      | APtr n when Nullness.meet n Nullness.NNull = Nullness.NBot ->
+          raise Bottom
+      | _ -> ());
+      s
+  | Instr.Reg r -> (
+      let cur = Option.value (Env.find_opt r s.regs) ~default:ATop in
+      let met =
+        match (cur, v) with
+        | ATop, v -> v
+        | v, ATop -> v
+        | AInt a, AInt b -> AInt (Interval.meet a b)
+        | ABool a, ABool b -> ABool (Tribool.meet a b)
+        | APtr a, APtr b -> APtr (Nullness.meet a b)
+        | a, _ -> a (* sort mismatch: keep what we had *)
+      in
+      if a_is_bot met then raise Bottom;
+      let s = { s with regs = Env.add r met s.regs } in
+      match Env.find_opt r s.prov with
+      | Some slot ->
+          let scur = Option.value (Env.find_opt slot s.slots) ~default:ATop in
+          let smet =
+            match (scur, met) with
+            | ATop, v -> v
+            | v, ATop -> v
+            | AInt a, AInt b -> AInt (Interval.meet a b)
+            | ABool a, ABool b -> ABool (Tribool.meet a b)
+            | APtr a, APtr b -> APtr (Nullness.meet a b)
+            | a, _ -> a
+          in
+          if a_is_bot smet then raise Bottom;
+          { s with slots = Env.add slot smet s.slots }
+      | None -> s)
+
+and assume_icmp (ctx : fn_ctx) (s : st) (op : Instr.icmp) (ty : Ty.t)
+    (a : Instr.operand) (b : Instr.operand) (truth : bool) : st =
+  (* Normalize the relation assumed to hold between a and b. *)
+  let rel =
+    match (op, truth) with
+    | Instr.Eq, true | Instr.Ne, false -> `Eq
+    | Instr.Eq, false | Instr.Ne, true -> `Ne
+    | Instr.Slt, true | Instr.Sge, false -> `Lt
+    | Instr.Sle, true | Instr.Sgt, false -> `Le
+    | Instr.Sgt, true | Instr.Sle, false -> `Gt
+    | Instr.Sge, true | Instr.Slt, false -> `Ge
+  in
+  if ty = Ty.I64 then begin
+    let ia = interval_of s a and ib = interval_of s b in
+    let ia', ib' =
+      match rel with
+      | `Lt -> (Interval.meet ia (Interval.below ~strict:true ib),
+                Interval.meet ib (Interval.above ~strict:true ia))
+      | `Le -> (Interval.meet ia (Interval.below ~strict:false ib),
+                Interval.meet ib (Interval.above ~strict:false ia))
+      | `Gt -> (Interval.meet ia (Interval.above ~strict:true ib),
+                Interval.meet ib (Interval.below ~strict:true ia))
+      | `Ge -> (Interval.meet ia (Interval.above ~strict:false ib),
+                Interval.meet ib (Interval.below ~strict:false ia))
+      | `Eq ->
+          let m = Interval.meet ia ib in
+          (m, m)
+      | `Ne -> (Interval.remove_point ia ib, Interval.remove_point ib ia)
+    in
+    if ia' = Interval.Bot || ib' = Interval.Bot then raise Bottom;
+    let s = refine_operand s a (AInt ia') in
+    refine_operand s b (AInt ib')
+  end
+  else if is_ptr_ty ty then begin
+    match rel with
+    | `Eq ->
+        let s =
+          match b with
+          | Instr.Null _ -> refine_operand s a (APtr Nullness.NNull)
+          | _ -> s
+        in
+        (match a with
+        | Instr.Null _ -> refine_operand s b (APtr Nullness.NNull)
+        | _ -> s)
+    | `Ne ->
+        let s =
+          match b with
+          | Instr.Null _ -> refine_operand s a (APtr Nullness.NNot)
+          | _ -> s
+        in
+        (match a with
+        | Instr.Null _ -> refine_operand s b (APtr Nullness.NNot)
+        | _ -> s)
+    | _ -> s
+  end
+  else begin
+    ignore ctx;
+    match rel with
+    | `Eq -> (
+        match (a, b) with
+        | x, Instr.Const_bool k | Instr.Const_bool k, x ->
+            refine_operand s x (ABool (Tribool.of_bool k))
+        | _ -> s)
+    | `Ne -> (
+        match (a, b) with
+        | x, Instr.Const_bool k | Instr.Const_bool k, x ->
+            refine_operand s x (ABool (Tribool.of_bool (not k)))
+        | _ -> s)
+    | _ -> s
+  end
+
+(* Assume the boolean operand [o] evaluates to [truth], walking its
+   defining expression to sharpen everything it derives from. *)
+and assume_operand (ctx : fn_ctx) (s : st) (o : Instr.operand) (truth : bool) :
+    st =
+  match o with
+  | Instr.Const_bool k -> if k = truth then s else raise Bottom
+  | Instr.Const_int _ | Instr.Null _ -> s
+  | Instr.Reg r -> (
+      let s = refine_operand s o (ABool (Tribool.of_bool truth)) in
+      match Env.find_opt r ctx.defs with
+      | Some (Instr.Icmp (op, ty, a, b)) -> assume_icmp ctx s op ty a b truth
+      | Some (Instr.Not a) -> assume_operand ctx s a (not truth)
+      | Some (Instr.Binop (Instr.And_, a, b)) when truth ->
+          assume_operand ctx (assume_operand ctx s a true) b true
+      | Some (Instr.Binop (Instr.Or_, a, b)) when not truth ->
+          (* `bad = (i < 0) | (i >= n)` assumed false refines both
+             disjuncts — the shape of every frontend bounds check. *)
+          assume_operand ctx (assume_operand ctx s a false) b false
+      | _ -> s)
+
+let assume (ctx : fn_ctx) (s : st) (o : Instr.operand) (truth : bool) : state =
+  match assume_operand ctx s o truth with
+  | s -> St s
+  | exception Bottom -> Bot
+
+(* ------------------------------------------------------------------ *)
+(* Whole-function facts                                               *)
+(* ------------------------------------------------------------------ *)
+
+type edge_fact = { then_dead : bool; else_dead : bool }
+
+(* Everything the symbolic executor wants at a [Cond_br], precomputed
+   so the per-branch-execution lookup is a single hash-table probe:
+   the edge fact plus whether either successor is a panic block (the
+   executor's [panic_checks] accounting would otherwise re-scan the
+   block list on every branch execution). *)
+type branch_info = { bi_fact : edge_fact; bi_guards_panic : bool }
+
+(* Physical-identity block table: keys are blocks of the one memoized
+   program value per version, so [( == )] is the right equality and
+   the (bounded-depth) structural hash is merely a bucket spreader. *)
+module Blocktbl = Hashtbl.Make (struct
+  type t = Instr.block
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type func_facts = {
+  ff_func : Instr.func;
+  ff_ctx : fn_ctx;
+  ff_in : (Instr.label, state) Hashtbl.t; (* absent = unreachable *)
+  ff_branch : branch_info Blocktbl.t; (* physical-identity keyed *)
+}
+
+type summary = (string, func_facts) Hashtbl.t
+
+let edge_states (ctx : fn_ctx) (s : st) (t : Instr.terminator) :
+    (Instr.label * state) list =
+  match t with
+  | Instr.Br l -> [ (l, St s) ]
+  | Instr.Cond_br (c, l1, l2) ->
+      [ (l1, assume ctx s c true); (l2, assume ctx s c false) ]
+  | Instr.Ret _ | Instr.Panic _ | Instr.Unreachable -> []
+
+let analyze_func (prog : Instr.program) (f : Instr.func) : func_facts =
+  Trace.with_span ~det:false "analyze" ~attrs:[ ("fn", f.Instr.fn_name) ]
+  @@ fun () ->
+  Trace.Metrics.incr m_functions;
+  let ctx = { prog; tracked = tracked_slots f; defs = def_map f } in
+  let init =
+    St
+      {
+        regs =
+          List.fold_left
+            (fun m (r, ty) -> Env.add r (top_of_ty ty) m)
+            Env.empty f.Instr.params;
+        slots = Env.empty;
+        inited = SSet.empty;
+        prov = Env.empty;
+      }
+  in
+  let transfer _l (b : Instr.block) (s : state) =
+    match s with
+    | Bot -> []
+    | St s -> edge_states ctx (transfer_insns ctx s b.Instr.insns) b.Instr.term
+  in
+  let in_states =
+    Solve.solve ~blocks:f.Instr.blocks ~entry:f.Instr.entry ~init ~transfer
+  in
+  (* Edge facts from the converged entry states: an edge is dead when
+     its branch assumption empties the state (or the block was never
+     reached at all). *)
+  let is_panic l =
+    match List.assoc_opt l f.Instr.blocks with
+    | Some (tb : Instr.block) -> (
+        match tb.Instr.term with Instr.Panic _ -> true | _ -> false)
+    | None -> false
+  in
+  let branch = Blocktbl.create 16 in
+  List.iter
+    (fun (l, (b : Instr.block)) ->
+      match b.Instr.term with
+      | Instr.Cond_br (c, l1, l2) ->
+          let fact =
+            match Hashtbl.find_opt in_states l with
+            | None | Some Bot -> { then_dead = true; else_dead = true }
+            | Some (St s) ->
+                let s = transfer_insns ctx s b.Instr.insns in
+                {
+                  then_dead = assume ctx s c true = Bot;
+                  else_dead = assume ctx s c false = Bot;
+                }
+          in
+          Blocktbl.replace branch b
+            { bi_fact = fact; bi_guards_panic = is_panic l1 || is_panic l2 }
+      | _ -> ())
+    f.Instr.blocks;
+  { ff_func = f; ff_ctx = ctx; ff_in = in_states; ff_branch = branch }
+
+let analyze (prog : Instr.program) : summary =
+  let t = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace t f.Instr.fn_name (analyze_func prog f))
+    prog.Instr.funcs;
+  t
+
+(* Domain-local memo keyed on the program's physical identity: the
+   compile memo in Engine.Versions already guarantees one program value
+   per version per domain, so re-verification never re-analyzes. *)
+let memo_key : (Instr.program * summary) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let memo_limit = 8
+
+let summarize (prog : Instr.program) : summary =
+  let memo = Domain.DLS.get memo_key in
+  match List.find_opt (fun (p, _) -> p == prog) !memo with
+  | Some (_, s) -> s
+  | None ->
+      let s = analyze prog in
+      if List.length !memo >= memo_limit then memo := [];
+      memo := (prog, s) :: !memo;
+      s
+
+let clear_memo () = Domain.DLS.get memo_key := []
+
+(* ------------------------------------------------------------------ *)
+(* Query API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let func_facts (s : summary) (fn : string) : func_facts option =
+  Hashtbl.find_opt s fn
+
+(* The executor's lookup: facts for the conditional branch terminating
+   [b]. The block is matched by physical identity — the executor and
+   the analysis walk the same program value. *)
+let branch_info (ff : func_facts) (b : Instr.block) : branch_info option =
+  Blocktbl.find_opt ff.ff_branch b
+
+let branch_fact (s : summary) (fn : string) (b : Instr.block) :
+    edge_fact option =
+  match Hashtbl.find_opt s fn with
+  | None -> None
+  | Some ff -> Option.map (fun bi -> bi.bi_fact) (branch_info ff b)
+
+let in_state (s : summary) ~(fn : string) ~(label : Instr.label) :
+    state option =
+  match Hashtbl.find_opt s fn with
+  | None -> None
+  | Some ff -> Some (Option.value (Hashtbl.find_opt ff.ff_in label) ~default:Bot)
+
+let reachable (s : summary) ~(fn : string) ~(label : Instr.label) : bool =
+  match in_state s ~fn ~label with
+  | Some (St _) -> true
+  | Some Bot | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Concretization check (the soundness test's γ relation)             *)
+(* ------------------------------------------------------------------ *)
+
+let value_in_aval (v : Value.t) (a : aval) : bool =
+  match (a, v) with
+  | ATop, _ -> true
+  | AInt i, Value.VInt n -> Interval.mem n i
+  | ABool t, Value.VBool b ->
+      Tribool.meet t (Tribool.of_bool b) <> Tribool.TBot
+  | APtr n, Value.VNull -> Nullness.meet n Nullness.NNull <> Nullness.NBot
+  | APtr n, Value.VPtr _ -> Nullness.meet n Nullness.NNot <> Nullness.NBot
+  | _, Value.VUnit -> true
+  | _ -> false (* sort mismatch: the abstraction is wrong *)
+
+(* Is the concrete frame/memory at some block entry inside [state]?
+   [lookup] reads a register from the live frame (absent registers are
+   vacuously fine); [load] reads a slot's cell through the pointer the
+   slot register currently holds. *)
+let check_concrete (state : state) ~(lookup : string -> Value.t option)
+    ~(load : Value.ptr -> Value.t option) : (unit, string) result =
+  match state with
+  | Bot -> Error "concrete execution reached a block the analysis proved dead"
+  | St s ->
+      let err = ref None in
+      let fail fmt = Format.kasprintf (fun m -> if !err = None then err := Some m) fmt in
+      Env.iter
+        (fun r a ->
+          match lookup r with
+          | None -> ()
+          | Some v ->
+              if not (value_in_aval v a) then
+                fail "register %%%s = %a outside %a" r Value.pp v pp_aval a)
+        s.regs;
+      Env.iter
+        (fun slot a ->
+          match lookup slot with
+          | Some (Value.VPtr p) -> (
+              match load p with
+              | Some v ->
+                  if not (value_in_aval v a) then
+                    fail "slot %%%s = %a outside %a" slot Value.pp v pp_aval a
+              | None -> ())
+          | _ -> ())
+        s.slots;
+      (match !err with Some m -> Error m | None -> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Lint                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Lint = struct
+  type severity = Error | Warning | Info
+
+  let severity_to_string = function
+    | Error -> "error"
+    | Warning -> "warning"
+    | Info -> "info"
+
+  type finding = {
+    rule : string;
+    severity : severity;
+    fn : string;
+    block : Instr.label;
+    index : int; (* instruction index in the block; -1 = terminator *)
+    message : string;
+  }
+
+  (* CFG reachability ignoring abstract states: blocks with no path
+     from entry at all are frontend artifacts (e.g. the implicit
+     "missing return" continuation) and are not worth reporting. A
+     branch on a literal constant is treated as the unconditional jump
+     it is — `for {}` compiles to `br true, body, exit`, and its exit
+     block is an artifact too, not dead user code. *)
+  let graph_reachable (f : Instr.func) : SSet.t =
+    let seen = ref SSet.empty in
+    let rec go l =
+      if not (SSet.mem l !seen) then begin
+        seen := SSet.add l !seen;
+        match (Instr.find_block f l).Instr.term with
+        | Instr.Br l' -> go l'
+        | Instr.Cond_br (Instr.Const_bool true, l1, _) -> go l1
+        | Instr.Cond_br (Instr.Const_bool false, _, l2) -> go l2
+        | Instr.Cond_br (_, l1, l2) ->
+            go l1;
+            go l2
+        | Instr.Ret _ | Instr.Panic _ | Instr.Unreachable -> ()
+      end
+    in
+    go f.Instr.entry;
+    !seen
+
+  (* Backward may-liveness of tracked slots, for dead-store findings:
+     a slot is live at a point if some path from there loads it before
+     any store kills it (re-allocation kills it too). *)
+  let slot_liveness (ff : func_facts) : (Instr.label, SSet.t) Hashtbl.t =
+    let f = ff.ff_func in
+    let tracked = ff.ff_ctx.tracked in
+    let live_in = Hashtbl.create 16 in
+    let live_out l =
+      let succs =
+        match (Instr.find_block f l).Instr.term with
+        | Instr.Br l' -> [ l' ]
+        | Instr.Cond_br (_, l1, l2) -> [ l1; l2 ]
+        | _ -> []
+      in
+      List.fold_left
+        (fun acc l' ->
+          SSet.union acc
+            (Option.value (Hashtbl.find_opt live_in l') ~default:SSet.empty))
+        SSet.empty succs
+    in
+    let transfer_back (b : Instr.block) (live : SSet.t) : SSet.t =
+      List.fold_left
+        (fun live insn ->
+          match insn with
+          | Instr.Assign (_, Instr.Load (_, Instr.Reg p))
+            when SSet.mem p tracked ->
+              SSet.add p live
+          | Instr.Assign (r, Instr.Alloca _) when SSet.mem r tracked ->
+              SSet.remove r live
+          | Instr.Store (_, _, Instr.Reg p) when SSet.mem p tracked ->
+              SSet.remove p live
+          | _ -> live)
+        live (List.rev b.Instr.insns)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (l, b) ->
+          let nu = transfer_back b (live_out l) in
+          let old =
+            Option.value (Hashtbl.find_opt live_in l) ~default:SSet.empty
+          in
+          if not (SSet.equal nu old) then begin
+            Hashtbl.replace live_in l nu;
+            changed := true
+          end)
+        (List.rev f.Instr.blocks)
+    done;
+    live_in
+
+  (* Syntactic leaves of a branch condition: the I64 comparisons it is
+     built from (through Not/And/Or). Used by the off-by-one heuristic
+     below. *)
+  let rec icmp_leaves (defs : Instr.rvalue Env.t) (o : Instr.operand) :
+      (Instr.icmp * Ty.t * Instr.operand * Instr.operand) list =
+    match o with
+    | Instr.Reg r -> (
+        match Env.find_opt r defs with
+        | Some (Instr.Icmp (op, ty, a, b)) -> [ (op, ty, a, b) ]
+        | Some (Instr.Not a) -> icmp_leaves defs a
+        | Some (Instr.Binop ((Instr.And_ | Instr.Or_), a, b)) ->
+            icmp_leaves defs a @ icmp_leaves defs b
+        | _ -> [])
+    | _ -> []
+
+  let lint_func (ff : func_facts) : finding list =
+    let f = ff.ff_func in
+    let ctx = ff.ff_ctx in
+    let fn = f.Instr.fn_name in
+    let findings = ref [] in
+    let report rule severity block index fmt =
+      Format.kasprintf
+        (fun message ->
+          findings := { rule; severity; fn; block; index; message } :: !findings)
+        fmt
+    in
+    let reach = graph_reachable f in
+    let liveness = slot_liveness ff in
+    let in_state_of l =
+      Option.value (Hashtbl.find_opt ff.ff_in l) ~default:Bot
+    in
+    let is_panic l =
+      match (Instr.find_block f l).Instr.term with
+      | Instr.Panic _ -> true
+      | _ -> false
+    in
+    (* Dead blocks: CFG-reachable yet proved unreachable. Panic blocks
+       are excluded — an unreachable panic is the *good* outcome and is
+       counted as discharged, not reported. *)
+    List.iter
+      (fun (l, (b : Instr.block)) ->
+        if
+          SSet.mem l reach
+          && in_state_of l = Bot
+          && (match b.Instr.term with Instr.Panic _ -> false | _ -> true)
+        then report "dead-block" Info l (-1) "block is statically unreachable")
+      f.Instr.blocks;
+    (* Per-block instruction walk with the running abstract state. *)
+    List.iter
+      (fun (l, (b : Instr.block)) ->
+        match in_state_of l with
+        | Bot -> ()
+        | St s0 ->
+            let live_after_store idx p =
+              (* Live just after instruction [idx]: replay the backward
+                 transfer over the remaining instructions of the block
+                 against the block's live-out. *)
+              let rest =
+                List.filteri (fun i _ -> i > idx) b.Instr.insns
+              in
+              let out =
+                match b.Instr.term with
+                | Instr.Br l' ->
+                    Option.value (Hashtbl.find_opt liveness l')
+                      ~default:SSet.empty
+                | Instr.Cond_br (_, l1, l2) ->
+                    SSet.union
+                      (Option.value (Hashtbl.find_opt liveness l1)
+                         ~default:SSet.empty)
+                      (Option.value (Hashtbl.find_opt liveness l2)
+                         ~default:SSet.empty)
+                | _ -> SSet.empty
+              in
+              let live =
+                List.fold_left
+                  (fun live insn ->
+                    match insn with
+                    | Instr.Assign (_, Instr.Load (_, Instr.Reg q))
+                      when SSet.mem q ctx.tracked ->
+                        SSet.add q live
+                    | Instr.Assign (r, Instr.Alloca _)
+                      when SSet.mem r ctx.tracked ->
+                        SSet.remove r live
+                    | Instr.Store (_, _, Instr.Reg q)
+                      when SSet.mem q ctx.tracked ->
+                        SSet.remove q live
+                    | _ -> live)
+                  out (List.rev rest)
+              in
+              SSet.mem p live
+            in
+            let alloca_index = Hashtbl.create 4 in
+            List.iteri
+              (fun i insn ->
+                match insn with
+                | Instr.Assign (r, Instr.Alloca _) ->
+                    Hashtbl.replace alloca_index r i
+                | _ -> ())
+              b.Instr.insns;
+            let _ =
+              List.fold_left
+                (fun (s, i) insn ->
+                  (match insn with
+                  | Instr.Assign (_, Instr.Binop ((Instr.Sdiv | Instr.Srem), _, d))
+                    -> (
+                      match interval_of s d with
+                      | Interval.I (Some 0, Some 0) ->
+                          report "div-by-zero" Error l i
+                            "division by a value that is always zero"
+                      | iv when Interval.mem 0 iv && Interval.finite iv ->
+                          report "div-by-maybe-zero" Warning l i
+                            "divisor %a may be zero" Interval.pp iv
+                      | _ -> ())
+                  | Instr.Assign (_, Instr.Load (_, o))
+                  | Instr.Store (_, _, o)
+                  | Instr.Assign (_, Instr.Gep (_, o, _)) -> (
+                      match nullness_of s o with
+                      | Nullness.NNull ->
+                          report "nil-deref" Error l i
+                            "pointer is always nil here"
+                      | _ -> ())
+                  | _ -> ());
+                  (match insn with
+                  | Instr.Assign (_, Instr.Load (_, Instr.Reg p))
+                    when SSet.mem p ctx.tracked
+                         && (not (SSet.mem p s.inited))
+                         && not (Hashtbl.mem alloca_index p) ->
+                      (* Loaded before any store on some path. Minir
+                         zero-initializes slots, so this is Go-legal —
+                         but loads in the declaring block come straight
+                         from `var x T; use x`, worth a note. *)
+                      report "use-before-init" Info l i
+                        "slot %%%s is read before any store on some path" p
+                  | _ -> ());
+                  (match insn with
+                  | Instr.Store (_, _, Instr.Reg p)
+                    when SSet.mem p ctx.tracked
+                         && (not (live_after_store i p))
+                         && not (Hashtbl.mem alloca_index p) ->
+                      (* Initializer stores (same block as the alloca)
+                         are the frontend's `var x = e` shape and are
+                         exempt; anything else stored and never loaded
+                         again is a dead store. *)
+                      report "dead-store" Warning l i
+                        "value stored to %%%s is never read" p
+                  | _ -> ());
+                  (transfer_insn ctx s insn, i + 1))
+                (s0, 0) b.Instr.insns
+            in
+            let s = transfer_insns ctx s0 b.Instr.insns in
+            (* Reachable panic guards: a conditional edge into a panic
+               block that survives abstract interpretation. Reported
+               only when the guard is decided by *constant* data (every
+               integer comparison it is built from has finite bounds) —
+               a symbolic-input-bounded check is the verifier's job,
+               not the linter's. Guards that are definitely taken are
+               errors outright. *)
+            (match b.Instr.term with
+            | Instr.Cond_br (c, l1, l2) ->
+                let edges =
+                  [ (true, l1); (false, l2) ]
+                  |> List.filter (fun (_, t) -> is_panic t)
+                in
+                List.iter
+                  (fun (truth, target) ->
+                    if assume ctx s c truth <> Bot then begin
+                      let tb = tribool_of s c in
+                      let definite =
+                        tb = Tribool.of_bool truth
+                      in
+                      let leaves = icmp_leaves ctx.defs c in
+                      let finite_leaves =
+                        leaves <> []
+                        && List.for_all
+                             (fun (_, ty, a, b) ->
+                               ty = Ty.I64
+                               && Interval.finite (interval_of s a)
+                               && Interval.finite (interval_of s b))
+                             leaves
+                      in
+                      if definite then
+                        report "reachable-panic" Error l (-1)
+                          "panic %S is always reached from this branch"
+                          (match (Instr.find_block f target).Instr.term with
+                          | Instr.Panic m -> m
+                          | _ -> "?")
+                      else if finite_leaves then
+                        report "reachable-panic" Error l (-1)
+                          "panic %S is reachable with constant bounds \
+                           (likely off-by-one)"
+                          (match (Instr.find_block f target).Instr.term with
+                          | Instr.Panic m -> m
+                          | _ -> "?")
+                    end)
+                  edges
+            | _ -> ()))
+      f.Instr.blocks;
+    List.rev !findings
+
+  let run (prog : Instr.program) : finding list =
+    let summary = summarize prog in
+    List.concat_map
+      (fun (f : Instr.func) ->
+        match Hashtbl.find_opt summary f.Instr.fn_name with
+        | Some ff -> lint_func ff
+        | None -> [])
+      prog.Instr.funcs
+
+  (* ---------------------------------------------------------------- *)
+  (* Rendering                                                        *)
+  (* ---------------------------------------------------------------- *)
+
+  let pp_finding fmt (x : finding) =
+    Format.fprintf fmt "%s: %s/%s%s: [%s] %s"
+      (severity_to_string x.severity)
+      x.fn x.block
+      (if x.index >= 0 then Printf.sprintf ":%d" x.index else "")
+      x.rule x.message
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let counts (fs : finding list) =
+    let n sev = List.length (List.filter (fun f -> f.severity = sev) fs) in
+    (n Error, n Warning, n Info)
+
+  (* One JSON object per lint run; deterministic (program order). *)
+  let to_json (fs : finding list) : string =
+    let b = Buffer.create 1024 in
+    let errors, warnings, infos = counts fs in
+    Printf.bprintf b
+      "{\"counts\": {\"error\": %d, \"warning\": %d, \"info\": %d}, \
+       \"findings\": ["
+      errors warnings infos;
+    List.iteri
+      (fun i (x : finding) ->
+        Printf.bprintf b
+          "%s\n  {\"rule\": \"%s\", \"severity\": \"%s\", \"fn\": \"%s\", \
+           \"block\": \"%s\", \"index\": %d, \"message\": \"%s\"}"
+          (if i = 0 then "" else ",")
+          (json_escape x.rule)
+          (severity_to_string x.severity)
+          (json_escape x.fn) (json_escape x.block) x.index
+          (json_escape x.message))
+      fs;
+    Buffer.add_string b "]}";
+    Buffer.contents b
+end

@@ -1,0 +1,164 @@
+(* Forward abstract interpretation over Minir CFGs: a worklist fixpoint
+   with widening over a product domain (intervals × nullness × tribools
+   × definite-initialization of non-escaping stack slots).
+
+   Produces per-block entry states and per-branch edge facts that
+   [Symex.Exec] uses to skip statically-proved panic checks, and a
+   [Lint] pass that reports findings per function. Input programs are
+   assumed well-formed ([Minir.Wellform.check]): in particular, the
+   single-static-assignment of registers is what makes the def-map
+   driven branch refinement sound. *)
+
+module Instr = Minir.Instr
+module Ty = Minir.Ty
+module Value = Minir.Value
+
+(* How the symbolic executor treats analysis facts. [Trust] prunes
+   statically-dead edges without consulting the solver; [Distrust]
+   still makes every solver call and cross-checks each static claim
+   against the certified answer (the chaos/soak configuration). *)
+type policy = Off | Trust | Distrust
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+module Interval : sig
+  type t = Bot | I of int option * int option (* None = infinite bound *)
+
+  val top : t
+  val of_int : int -> t
+  val join : t -> t -> t
+  val meet : t -> t -> t
+  val widen : t -> t -> t
+  val mem : int -> t -> bool
+  val finite : t -> bool
+  val is_singleton : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Tribool : sig
+  type t = TBot | TT | TF | TTop
+
+  val of_bool : bool -> t
+  val join : t -> t -> t
+  val meet : t -> t -> t
+  val not_ : t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Nullness : sig
+  type t = NBot | NNull | NNot | NTop
+
+  val join : t -> t -> t
+  val meet : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+type aval = AInt of Interval.t | ABool of Tribool.t | APtr of Nullness.t | ATop
+
+val a_join : aval -> aval -> aval
+val top_of_ty : Ty.t -> aval
+val default_of_ty : Ty.t -> aval
+val pp_aval : Format.formatter -> aval -> unit
+
+module Env : Map.S with type key = string
+module SSet : Set.S with type elt = string
+
+type st = {
+  regs : aval Env.t; (* absent = ⊤ *)
+  slots : aval Env.t; (* tracked (non-escaping scalar) slot contents *)
+  inited : SSet.t; (* slots definitely explicitly stored *)
+  prov : Instr.reg Env.t; (* reg ↦ slot it was loaded from, still valid *)
+}
+
+type state = Bot | St of st
+
+val state_join : state -> state -> state
+val state_equal : state -> state -> bool
+val state_is_bottom : state -> bool
+val pp_state : Format.formatter -> state -> unit
+
+(* The generic engine, exposed for reuse by derived passes. *)
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+end
+
+module Fixpoint (D : DOMAIN) : sig
+  val solve :
+    blocks:(Instr.label * Instr.block) list ->
+    entry:Instr.label ->
+    init:D.t ->
+    transfer:(Instr.label -> Instr.block -> D.t -> (Instr.label * D.t) list) ->
+    (Instr.label, D.t) Hashtbl.t
+end
+
+(* Facts about one [Cond_br]: which outgoing edge the abstract state
+   proves infeasible. *)
+type edge_fact = { then_dead : bool; else_dead : bool }
+
+(* Precomputed per-[Cond_br] record: the edge fact plus whether either
+   successor block panics. One hash-table probe on the executor's
+   hottest path. *)
+type branch_info = { bi_fact : edge_fact; bi_guards_panic : bool }
+
+type func_facts
+type summary
+
+(* Analyze every function; one [analyze] trace span per function. *)
+val analyze : Instr.program -> summary
+
+(* Domain-local memoized [analyze], keyed on the program's physical
+   identity (the version compile memo yields one program value per
+   domain, so re-verification never re-analyzes). *)
+val summarize : Instr.program -> summary
+val clear_memo : unit -> unit
+
+val func_facts : summary -> string -> func_facts option
+
+(* Fact for the branch terminating [block], matched by physical
+   identity — callers must pass a block of the analyzed program value. *)
+val branch_fact : summary -> string -> Instr.block -> edge_fact option
+
+(* Same lookup, one probe, for callers that cache the [func_facts]. *)
+val branch_info : func_facts -> Instr.block -> branch_info option
+
+(* Entry state of a block; [Some Bot] = proved unreachable, [None] =
+   unknown function. *)
+val in_state : summary -> fn:string -> label:Instr.label -> state option
+val reachable : summary -> fn:string -> label:Instr.label -> bool
+
+(* γ-membership for the soundness tests: is a concrete frame/memory
+   snapshot at some block entry inside [state]? [lookup] reads a live
+   frame register (absent is vacuously inside); [load] dereferences the
+   pointer a slot register holds. *)
+val check_concrete :
+  state ->
+  lookup:(string -> Value.t option) ->
+  load:(Value.ptr -> Value.t option) ->
+  (unit, string) result
+
+module Lint : sig
+  type severity = Error | Warning | Info
+
+  val severity_to_string : severity -> string
+
+  type finding = {
+    rule : string;
+    severity : severity;
+    fn : string;
+    block : Instr.label;
+    index : int; (* instruction index in the block; -1 = terminator *)
+    message : string;
+  }
+
+  (* Deterministic (program-order) findings over every function. *)
+  val run : Instr.program -> finding list
+
+  val counts : finding list -> int * int * int (* errors, warnings, infos *)
+  val pp_finding : Format.formatter -> finding -> unit
+  val to_json : finding list -> string
+end

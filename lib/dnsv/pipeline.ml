@@ -172,7 +172,8 @@ let issues (v : verdict) =
    larger (fresh counters, restarted deadline). *)
 let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
     ?(check_layers = true) ?budget ?(retries = 0) ?(escalation = 2)
-    ?(jobs = 1) (cfg : Builder.config) (zone : Zone.t) : verdict =
+    ?(jobs = 1) ?(analysis = Analysis.Trust) (cfg : Builder.config)
+    (zone : Zone.t) : verdict =
   Trace.with_span "verify"
     ~attrs:
       [
@@ -229,7 +230,7 @@ let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
         Trace.with_span "attempt"
           ~attrs:[ ("attempt", string_of_int attempt) ]
         @@ fun () ->
-        try Check.check_version ~budget:b ~mode ~store cfg zone ~qtype
+        try Check.check_version ~budget:b ~mode ~store ~analysis cfg zone ~qtype
         with e ->
           (* check_version converts its own failures; this catches
              anything escaping before it (e.g. zone encoding). *)
@@ -289,8 +290,8 @@ type batch_outcome =
     }
 
 let verify_batch ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0) ?budget
-    ?(retries = 0) ?(jobs = 1) (cfg : Builder.config) (origin : Name.t) :
-    batch_outcome =
+    ?(retries = 0) ?(jobs = 1) ?(analysis = Analysis.Trust)
+    (cfg : Builder.config) (origin : Name.t) : batch_outcome =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let zones = Dns.Zonegen.generate_many ~seed ~count origin in
   (* One zone's verdict depends only on (cfg, zone, qtypes, budget,
@@ -301,7 +302,7 @@ let verify_batch ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0) ?budget
      rest of the wave). *)
   let verify_zone (i, zone) =
     let b = if jobs <= 1 then budget else Budget.clone budget in
-    verify ~qtypes ~check_layers:(i = 0) ~budget:b ~retries cfg zone
+    verify ~qtypes ~check_layers:(i = 0) ~budget:b ~retries ~analysis cfg zone
   in
   let finish proved inconcl first_reason =
     if inconcl = 0 then All_clean count
@@ -668,8 +669,9 @@ let outcome_of_items (items : batch_item list) (count : int) :
    fingerprint is derived uniformly from the item transcript, so a
    killed-and-resumed run is byte-identical to an uninterrupted one. *)
 let verify_batch_run ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
-    ?budget ?(retries = 0) ?(jobs = 1) ?journal ?(resume = false) ?on_start
-    ?on_item (cfg : Builder.config) (origin : Name.t) : batch_run =
+    ?budget ?(retries = 0) ?(jobs = 1) ?(analysis = Analysis.Trust) ?journal
+    ?(resume = false) ?on_start ?on_item (cfg : Builder.config)
+    (origin : Name.t) : batch_run =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let header = batch_header cfg origin ~count ~seed ~retries ~qtypes in
   let zones = Dns.Zonegen.generate_many ~seed ~count origin in
@@ -718,7 +720,8 @@ let verify_batch_run ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
     in
     let verify_zone (i, zone) =
       let b = if jobs <= 1 then budget else Budget.clone budget in
-      verify ~qtypes ~check_layers:(i = 0) ~budget:b ~retries cfg zone
+      verify ~qtypes ~check_layers:(i = 0) ~budget:b ~retries ~analysis cfg
+        zone
     in
     let finish_run (outcome : batch_outcome option) =
       let items = List.rev !acc in

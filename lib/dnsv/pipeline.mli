@@ -52,13 +52,18 @@ val issues : verdict -> string list
    benchmarks and tests can measure from a cold start. *)
 val clear_summary_memo : unit -> unit
 
+(* [analysis] selects how the symbolic executor uses the static
+   analysis: [Trust] (default) prunes statically-dead branches without
+   solver calls, [Off] disables the consultation, [Distrust] makes all
+   solver calls and cross-checks each static claim (chaos/soak mode). *)
 val verify :
   ?qtypes:Check.Rr.rtype list ->
   ?mode:Check.mode ->
   ?check_layers:bool ->
   ?budget:Budget.t ->
   ?retries:int ->
-  ?escalation:int -> ?jobs:int -> Builder.config -> Zone.t -> verdict
+  ?escalation:int ->
+  ?jobs:int -> ?analysis:Analysis.policy -> Builder.config -> Zone.t -> verdict
 type batch_outcome =
   | All_clean of int
   | Failed of { zone_index : int; verdict : verdict; }
@@ -74,7 +79,9 @@ val verify_batch :
   ?count:int ->
   ?seed:int ->
   ?budget:Budget.t ->
-  ?retries:int -> ?jobs:int -> Builder.config -> Name.t -> batch_outcome
+  ?retries:int ->
+  ?jobs:int ->
+  ?analysis:Analysis.policy -> Builder.config -> Name.t -> batch_outcome
 (* ---------------- Journaled batch runs ---------------- *)
 
 type item_status =
@@ -118,6 +125,7 @@ val verify_batch_run :
   ?budget:Budget.t ->
   ?retries:int ->
   ?jobs:int ->
+  ?analysis:Analysis.policy ->
   ?journal:string ->
   ?resume:bool ->
   ?on_start:(int -> unit) ->

@@ -82,8 +82,8 @@ type run_outcome =
   | Response of Message.response
   | Engine_panic of string
 
-let run_compiled (prog : Minir.Instr.program) (enc : Dnstree.Encode.t)
-    (q : Message.query) : run_outcome =
+let run_compiled ?observer (prog : Minir.Instr.program)
+    (enc : Dnstree.Encode.t) (q : Message.query) : run_outcome =
   let mem = enc.Dnstree.Encode.memory in
   let mem, resp_ptr = Dnstree.Encode.alloc_response mem in
   match Layout.encode_name enc.Dnstree.Encode.interner q.Message.qname with
@@ -101,7 +101,7 @@ let run_compiled (prog : Minir.Instr.program) (enc : Dnstree.Encode.t)
           Value.VInt (Rr.rtype_code q.Message.qtype);
         ]
       in
-      match Minir.Interp.run prog ~memory:mem ~fn:"resolve" ~args with
+      match Minir.Interp.run ?observer prog ~memory:mem ~fn:"resolve" ~args with
       | Minir.Interp.Returned (_, mem') ->
           Response (Dnstree.Encode.decode_response enc mem' resp_ptr)
       | Minir.Interp.Panicked msg -> Engine_panic msg)
@@ -122,8 +122,8 @@ let compiled (cfg : Builder.config) : Minir.Instr.program =
       Hashtbl.replace compiled_cache cfg.Builder.version p;
       p
 
-let run (cfg : Builder.config) (zone : Dns.Zone.t) (q : Message.query) :
-    run_outcome =
+let run ?observer (cfg : Builder.config) (zone : Dns.Zone.t)
+    (q : Message.query) : run_outcome =
   let tree = Dnstree.Tree.build zone in
   let enc = Dnstree.Encode.encode tree in
-  run_compiled (compiled cfg) enc q
+  run_compiled ?observer (compiled cfg) enc q

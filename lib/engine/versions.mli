@@ -11,9 +11,24 @@ module Value = Minir.Value
 module Message = Dns.Message
 module Rr = Dns.Rr
 type run_outcome = Response of Message.response | Engine_panic of string
+(* [observer] is forwarded to the concrete interpreter (fires at every
+   block entry; used by the static-analysis soundness tests). *)
 val run_compiled :
+  ?observer:
+    (string ->
+    Minir.Instr.label ->
+    (Minir.Instr.reg, Value.t) Hashtbl.t ->
+    Value.memory ->
+    unit) ->
   Minir.Instr.program -> Dnstree.Encode.t -> Message.query -> run_outcome
 (* Compile memo, one table per domain (parallel workers never share). *)
 val compiled_cache_key : (string, Minir.Instr.program) Hashtbl.t Domain.DLS.key
 val compiled : Builder.config -> Minir.Instr.program
-val run : Builder.config -> Dns.Zone.t -> Message.query -> run_outcome
+val run :
+  ?observer:
+    (string ->
+    Minir.Instr.label ->
+    (Minir.Instr.reg, Value.t) Hashtbl.t ->
+    Value.memory ->
+    unit) ->
+  Builder.config -> Dns.Zone.t -> Message.query -> run_outcome

@@ -77,14 +77,27 @@ let rec eval_icmp op a b =
 
 (* Execute [fn] on [args] in [memory]. Fuel bounds the total instruction
    count, turning accidental non-termination into an exception rather
-   than a hang. *)
-let run ?(fuel = default_fuel) (p : Instr.program) ~(memory : Value.memory)
-    ~(fn : string) ~(args : Value.t list) : outcome =
+   than a hang. [observer], if given, is called at every block entry
+   (before its instructions) with the function name, block label, live
+   frame registers, and current memory — the hook the static-analysis
+   soundness tests use to compare concrete runs against abstract
+   states. *)
+let run ?(fuel = default_fuel)
+    ?(observer :
+       (string -> Instr.label -> (Instr.reg, Value.t) Hashtbl.t ->
+        Value.memory -> unit)
+       option) (p : Instr.program) ~(memory : Value.memory) ~(fn : string)
+    ~(args : Value.t list) : outcome =
   let mem = ref memory in
   let fuel = ref fuel in
   let tick () =
     decr fuel;
     if !fuel <= 0 then raise Out_of_fuel
+  in
+  let observe f fr l =
+    match observer with
+    | Some obs -> obs f.Instr.fn_name l fr.regs !mem
+    | None -> ()
   in
   let rec call fn_name args : Value.t option =
     let f = Instr.find_func p fn_name in
@@ -94,15 +107,16 @@ let run ?(fuel = default_fuel) (p : Instr.program) ~(memory : Value.memory)
     List.iter2
       (fun (r, _ty) v -> Hashtbl.replace fr.regs r v)
       f.Instr.params args;
-    exec_block f fr (Instr.find_block f f.Instr.entry)
-  and exec_block f fr (b : Instr.block) : Value.t option =
+    exec_block f fr f.Instr.entry (Instr.find_block f f.Instr.entry)
+  and exec_block f fr label (b : Instr.block) : Value.t option =
+    observe f fr label;
     List.iter (exec_instr fr) b.Instr.insns;
     tick ();
     match b.Instr.term with
-    | Instr.Br l -> exec_block f fr (Instr.find_block f l)
+    | Instr.Br l -> exec_block f fr l (Instr.find_block f l)
     | Instr.Cond_br (c, l1, l2) ->
         let target = if as_bool (operand_value fr c) then l1 else l2 in
-        exec_block f fr (Instr.find_block f target)
+        exec_block f fr target (Instr.find_block f target)
     | Instr.Ret None -> None
     | Instr.Ret (Some o) -> Some (operand_value fr o)
     | Instr.Panic reason -> Value.panic "%s" reason

@@ -20,8 +20,17 @@ val eval_binop :
   Instr.binop -> Value.t -> Value.t -> Value.t
 val eval_icmp :
   Instr.icmp -> Value.t -> Value.t -> Value.t
+(* [observer] fires at every block entry (before its instructions) with
+   the function name, block label, live frame registers, and current
+   memory; used by the static-analysis soundness tests. *)
 val run :
   ?fuel:int ->
+  ?observer:
+    (string ->
+    Instr.label ->
+    (Instr.reg, Value.t) Hashtbl.t ->
+    Value.memory ->
+    unit) ->
   Instr.program ->
   memory:Value.memory ->
   fn:string -> args:Value.t list -> outcome

@@ -56,10 +56,32 @@ let check_func (p : Instr.program) (f : Instr.func) : error list =
           err label "use of undefined register %%%s" r
     | Instr.Const_int _ | Instr.Const_bool _ | Instr.Null _ -> ()
   in
+  (* Straight-line order within a block: a register defined in this
+     block may not be read at or before its defining instruction (the
+     terminator always reads last). Uses of registers defined in other
+     blocks are ordered by the CFG, not by text, and are left to the
+     executors. *)
+  let def_index = Hashtbl.create 64 in
   List.iter
     (fun (label, b) ->
-      List.iter
-        (fun insn ->
+      List.iteri
+        (fun i -> function
+          | Instr.Assign (r, _) -> Hashtbl.replace def_index r (label, i)
+          | Instr.Store _ | Instr.Opaque_store _ | Instr.Call_void _ -> ())
+        b.Instr.insns)
+    f.Instr.blocks;
+  let check_order label i = function
+    | Instr.Reg r -> (
+        match Hashtbl.find_opt def_index r with
+        | Some (dl, di) when String.equal dl label && di >= i ->
+            err label "register %%%s used before its assignment (insn %d)" r di
+        | _ -> ())
+    | Instr.Const_int _ | Instr.Const_bool _ | Instr.Null _ -> ()
+  in
+  List.iter
+    (fun (label, b) ->
+      List.iteri
+        (fun idx insn ->
           let operands =
             match insn with
             | Instr.Assign (_, rv) -> (
@@ -93,7 +115,8 @@ let check_func (p : Instr.program) (f : Instr.func) : error list =
                       err label "arity mismatch calling %s" name);
                 args
           in
-          List.iter (check_operand label) operands)
+          List.iter (check_operand label) operands;
+          List.iter (check_order label idx) operands)
         b.Instr.insns;
       match b.Instr.term with
       | Instr.Br l ->

@@ -49,6 +49,7 @@ type report = {
   spec_paths : int;
   pairs_checked : int;
   solver_calls : int;
+  static_discharged : int; (* branches pruned by the static analysis *)
   unknowns : int; (* solver Unknowns this check leaned on *)
   cert_checks : int; (* verdict certificates validated *)
   cert_failures : int; (* certificates rejected (answers degraded) *)
@@ -98,6 +99,7 @@ let inconclusive_report ?(summary_fallback = false) ?(cert_checks = 0)
     spec_paths = 0;
     pairs_checked = 0;
     solver_calls = 0;
+    static_discharged = 0;
     unknowns = 0;
     cert_checks;
     cert_failures;
@@ -131,8 +133,8 @@ type harness = {
   store : Summary.store;
 }
 
-let prepare ?store ?budget (prog : Minir.Instr.program) (enc : Encode.t)
-    (mode : mode) : harness =
+let prepare ?store ?budget ?(analysis = Analysis.Trust)
+    (prog : Minir.Instr.program) (enc : Encode.t) (mode : mode) : harness =
   let frozen_below = enc.Encode.memory.Value.next_block in
   let store =
     match store with Some s -> s | None -> Summary.create_store ()
@@ -147,7 +149,7 @@ let prepare ?store ?budget (prog : Minir.Instr.program) (enc : Encode.t)
             else Some (fn, Summary.intercept_for ~frozen_below store fn))
           Engine.Builder.summarized_layers
   in
-  let exec_ctx = Exec.create ?budget ~intercepts prog in
+  let exec_ctx = Exec.create ?budget ~intercepts ~analysis prog in
   let mem0 = Sval.memory_of_concrete enc.Encode.memory in
   let mem0, resp_ptr =
     Sval.alloc mem0
@@ -436,8 +438,8 @@ let replay_spec (zone : Zone.t) (q : Message.query) : string =
    (Budget.Exhausted, Summary.Summary_failed, …) on failure; the
    [check_version] wrapper below converts those into verdicts. *)
 let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
-    ~(summary_fallback : bool) ?store (cfg : Engine.Builder.config)
-    (zone : Zone.t) ~(qtype : Rr.rtype) : report =
+    ~(summary_fallback : bool) ?store ?(analysis = Analysis.Trust)
+    (cfg : Engine.Builder.config) (zone : Zone.t) ~(qtype : Rr.rtype) : report =
   Trace.with_span "check"
     ~attrs:
       [
@@ -455,7 +457,7 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
   let prog = Engine.Versions.compiled cfg in
   let tree = Dnstree.Tree.build zone in
   let enc = Encode.encode tree in
-  let h = prepare ?store ~budget prog enc mode in
+  let h = prepare ?store ~budget ~analysis prog enc mode in
   let engine_results = run_engine h enc ~qtype in
   let spec_paths, spec_solver_calls =
     Specsym.paths zone enc.Encode.interner.Layout.coder ~qtype
@@ -549,6 +551,7 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
     spec_paths = List.length spec_paths;
     pairs_checked = !pairs;
     solver_calls = h.exec_ctx.Exec.solver_calls + spec_solver_calls;
+    static_discharged = h.exec_ctx.Exec.static_discharged;
     (* Global since reset above: covers Unknown-as-feasible branches in
        the executor *and* Unknown-validity entailments in check_eq. *)
     unknowns = (Solver.stats ()).Solver.unknowns;
@@ -603,14 +606,15 @@ let reason_of_check_exn = function
    budget — the summaries are an optimization, never a prerequisite for
    a verdict. *)
 let check_version ?budget ?(mode = With_summaries) ?(fallback = true) ?store
-    (cfg : Engine.Builder.config) (zone : Zone.t) ~(qtype : Rr.rtype) : report =
+    ?(analysis = Analysis.Trust) (cfg : Engine.Builder.config) (zone : Zone.t)
+    ~(qtype : Rr.rtype) : report =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let version = cfg.Engine.Builder.version in
   let t0 = Unix.gettimeofday () in
   let attempt ~budget ~mode ~summary_fallback =
     match
-      check_version_attempt ~budget ~mode ~summary_fallback ?store cfg zone
-        ~qtype
+      check_version_attempt ~budget ~mode ~summary_fallback ?store ~analysis
+        cfg zone ~qtype
     with
     | r -> Ok r
     | exception e ->

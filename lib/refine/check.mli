@@ -42,6 +42,7 @@ type report = {
   spec_paths : int;
   pairs_checked : int;
   solver_calls : int;
+  static_discharged : int; (* branches pruned by the static analysis *)
   unknowns : int; (* solver Unknowns this check leaned on *)
   cert_checks : int; (* verdict certificates validated *)
   cert_failures : int; (* certificates rejected (answers degraded) *)
@@ -83,7 +84,9 @@ type harness = {
 }
 val prepare :
   ?store:Summary.store ->
-  ?budget:Budget.t -> Minir.Instr.program -> Encode.t -> mode -> harness
+  ?budget:Budget.t ->
+  ?analysis:Analysis.policy ->
+  Minir.Instr.program -> Encode.t -> mode -> harness
 val run_engine : harness -> Encode.t -> qtype:Rr.rtype -> Exec.result
 type slot = {
   s_rname : Term.t array;
@@ -138,6 +141,7 @@ val check_version_attempt :
   mode:mode ->
   summary_fallback:bool ->
   ?store:Summary.store ->
+  ?analysis:Analysis.policy ->
   Engine.Builder.config -> Zone.t -> qtype:Rr.rtype -> report
 val reason_of_check_exn : exn -> Budget.reason
 
@@ -150,5 +154,6 @@ val check_version :
   ?mode:mode ->
   ?fallback:bool ->
   ?store:Summary.store ->
+  ?analysis:Analysis.policy ->
   Engine.Builder.config -> Zone.t -> qtype:Rr.rtype -> report
 val pp_report : Format.formatter -> report -> unit

@@ -27,6 +27,18 @@ type ctx = {
   mutable unknowns : int;
   incr : Solver.Incremental.t;
       (* assertion stack mirroring the current path condition *)
+  analysis : Analysis.policy;
+      (* whether branch queries consult the static analysis first *)
+  mutable facts : Analysis.summary option;
+  mutable fn_facts : (Instr.func * Analysis.func_facts option) option;
+      (* one-entry per-function lookup cache (physical identity) *)
+  br_cache : (Instr.block * Analysis.branch_info option) option array;
+  mutable br_cache_next : int;
+      (* round-robin branch-info cache (physical identity) *)
+  mutable static_discharged : int; (* branches pruned without the solver *)
+  mutable panic_checks : int; (* symbolic branches guarding a Panic block *)
+  mutable panic_discharged : int; (* ... of which statically pruned *)
+  mutable crosscheck_mismatches : int; (* Distrust: solver disagreed *)
 }
 and intercept = ctx -> path -> Sval.sval list -> result
 exception Budget_exceeded of string
@@ -34,7 +46,8 @@ val default_max_steps : int
 val create :
   ?max_steps:int ->
   ?budget:Budget.t ->
-  ?intercepts:(string * intercept) list -> Instr.program -> ctx
+  ?intercepts:(string * intercept) list ->
+  ?analysis:Analysis.policy -> Instr.program -> ctx
 val tick : ctx -> unit
 val charge_fork : ctx -> unit
 val feasible : ctx -> Term.t list -> bool
@@ -48,6 +61,15 @@ val fork_index :
   Term.t ->
   cap:int ->
   k:(path -> int -> 'a list) -> out_of_range:(path -> 'a list) -> 'a list
+
+(* [fork_bool] that first consults the static analysis' edge facts for
+   the conditional terminating the given block, per the ctx's policy. *)
+val fork_branch :
+  ctx ->
+  path ->
+  Instr.func ->
+  Instr.block ->
+  Term.t -> then_:(path -> 'a list) -> else_:(path -> 'a list) -> 'a list
 module Regs :
   sig
     type key = String.t
