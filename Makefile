@@ -1,12 +1,15 @@
 # Convenience targets over dune. `make bench-json` is the perf gate:
-# it regenerates BENCH_PR5.json and fails (exit 1) if parallel/cached
+# it regenerates BENCH_PR6.json and fails (exit 1) if parallel/cached
 # verdicts diverge from sequential ones, the summaries-ablation
 # speedup regresses below its seed-commit floor, certificate checking
 # costs more than 10% over the uncertified re-verification, span
 # recording costs more than 5%, the static analysis costs more than 5%
 # when nothing is discharged (or discharges under 20% of panic
-# checks), or the 200-plan chaos soak reports a soundness violation
-# (the checks live in bench/main.ml's json target). `make lint` runs
+# checks), the store-backed incremental cross-version re-verify is
+# less than 10x faster than cold (or its verdict fingerprint drifts),
+# store bookkeeping costs more than 10% over a storeless run, or the
+# 200-plan chaos soak reports a soundness violation (the checks live
+# in bench/main.ml's json target). `make lint` runs
 # the abstract-interpretation linter over every bundled engine version
 # against the checked-in baseline. `make chaos` is the standalone soak
 # via the CLI; `make trace` records a verification trace and renders
@@ -32,8 +35,8 @@ bench:
 	dune exec bench/main.exe
 
 bench-json:
-	dune exec bench/main.exe -- json > BENCH_PR5.json
-	@cat BENCH_PR5.json
+	dune exec bench/main.exe -- json > BENCH_PR6.json
+	@cat BENCH_PR6.json
 	@echo
 
 chaos:

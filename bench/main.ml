@@ -363,6 +363,155 @@ let analysis_overhead () =
      identical: %b\n\n"
     ratio analysis_overhead_gate speedup identical
 
+(* ------------------------------------------------------------------ *)
+(* Incremental cross-version re-verification (persistent store)       *)
+(* ------------------------------------------------------------------ *)
+
+(* The persistent-store probe: prime the store by verifying the buggy
+   v3.0 engine, then verify its patched twin against the same store.
+   The patch edits resolution-level code only, so everything outside
+   the edit's cone of influence — layer verdicts, module summaries,
+   solver results — is served from the store, and the warm run must
+   finish in under a tenth of the cold storeless time with a
+   byte-identical verdict fingerprint. The static analysis is off so
+   the probe measures store reuse, not static pruning; solver caches
+   and the store's parsed-entry memos are scrubbed before every arm,
+   so each run is cold apart from the store file itself. Warm reps
+   each run over a fresh copy of the primed store (a warm rep would
+   otherwise prime its own successor and quietly stop measuring the
+   cross-version case). *)
+
+let incremental_gate = 10.0
+let incremental_reps = 2
+let incremental_qtypes = [ Dns.Rr.A; Dns.Rr.MX ]
+
+(* Cold-with-store vs. no-store on the same engine: the bookkeeping tax
+   of recording every entry must stay within [store_overhead_gate]. *)
+let store_overhead_gate = 1.10
+let store_overhead_reps = 3
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let fresh_dir () =
+  let dir = Filename.temp_file "dnsv-bench-store" "" in
+  Sys.remove dir;
+  dir
+
+let copy_store src dst =
+  Unix.mkdir dst 0o755;
+  let file = "store.data" in
+  let ic = open_in_bin (Filename.concat src file) in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin (Filename.concat dst file) in
+  output_string oc b;
+  close_out oc
+
+type incr_run = { ir_wall : float; ir_fp : string }
+
+let incr_verify ?store cfg =
+  Smt.Solver.clear_caches ();
+  Dnsv.Pipeline.clear_summary_memo ();
+  let t0 = Unix.gettimeofday () in
+  let v =
+    Dnsv.Pipeline.verify ~qtypes:incremental_qtypes
+      ~budget:(Budget.create ()) ~analysis:Analysis.Off ?store cfg
+      Spec.Fixtures.figure11_zone
+  in
+  { ir_wall = Unix.gettimeofday () -. t0; ir_fp = Dnsv.Pipeline.fingerprint v }
+
+let incr_with_store dir f =
+  let st = Store.open_ dir in
+  Fun.protect ~finally:(fun () -> Store.close st) (fun () -> f st)
+
+let best_incr cur r =
+  match cur with Some b when b.ir_wall <= r.ir_wall -> Some b | _ -> Some r
+
+type incremental_result = {
+  inc_prime : incr_run; (* buggy engine, empty store *)
+  inc_cold : incr_run; (* patched engine, no store *)
+  inc_warm : incr_run; (* patched engine, primed store *)
+  inc_entries : int; (* live entries after priming *)
+}
+
+let incremental_runs () =
+  let primed = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf primed) @@ fun () ->
+  let buggy = Engine.Versions.v3_0 in
+  let patched = Engine.Versions.fixed Engine.Versions.v3_0 in
+  let prime = incr_with_store primed (fun st -> incr_verify ~store:st buggy) in
+  let entries = (Store.stat primed).Store.st_total in
+  let cold = ref None and warm = ref None in
+  for _ = 1 to incremental_reps do
+    cold := best_incr !cold (incr_verify patched);
+    let scratch = fresh_dir () in
+    rm_rf scratch;
+    copy_store primed scratch;
+    Fun.protect
+      ~finally:(fun () -> rm_rf scratch)
+      (fun () ->
+        warm :=
+          best_incr !warm
+            (incr_with_store scratch (fun st -> incr_verify ~store:st patched)))
+  done;
+  {
+    inc_prime = prime;
+    inc_cold = Option.get !cold;
+    inc_warm = Option.get !warm;
+    inc_entries = entries;
+  }
+
+type store_overhead_result = {
+  so_without : incr_run;
+  so_with : incr_run;
+}
+
+let store_overhead_runs () =
+  let patched = Engine.Versions.fixed Engine.Versions.v3_0 in
+  let without = ref None and with_ = ref None in
+  for _ = 1 to store_overhead_reps do
+    without := best_incr !without (incr_verify patched);
+    let dir = fresh_dir () in
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        with_ :=
+          best_incr !with_
+            (incr_with_store dir (fun st -> incr_verify ~store:st patched)))
+  done;
+  { so_without = Option.get !without; so_with = Option.get !with_ }
+
+let incremental () =
+  rule ();
+  print_endline
+    "Incremental cross-version re-verification (persistent store)";
+  print_newline ();
+  let r = incremental_runs () in
+  Printf.printf "%-34s %8.3f s   (%d entries persisted)\n"
+    "prime (v3.0 buggy, empty store)" r.inc_prime.ir_wall r.inc_entries;
+  Printf.printf "%-34s %8.3f s\n" "cold (v3.0 patched, no store)"
+    r.inc_cold.ir_wall;
+  Printf.printf "%-34s %8.3f s\n" "warm (v3.0 patched, primed store)"
+    r.inc_warm.ir_wall;
+  let speedup = r.inc_cold.ir_wall /. r.inc_warm.ir_wall in
+  let identical = String.equal r.inc_cold.ir_fp r.inc_warm.ir_fp in
+  Printf.printf
+    "\nwarm speedup %.1fx (gate >= %.0fx), verdict fingerprints identical: \
+     %b\n\n"
+    speedup incremental_gate identical;
+  let so = store_overhead_runs () in
+  let ratio = so.so_with.ir_wall /. so.so_without.ir_wall in
+  Printf.printf "store bookkeeping overhead %.3fx (gate <= %.2fx)\n\n" ratio
+    store_overhead_gate;
+  if (not identical) || speedup < incremental_gate then exit 1
+
 let reverify () =
   rule ();
   Printf.printf
@@ -513,10 +662,15 @@ let json_of_chaos wall (o : Dnsv.Chaos.outcome) =
       ("plans", string_of_int o.Dnsv.Chaos.plans);
       ("verify_runs", string_of_int o.Dnsv.Chaos.verify_runs);
       ("torn_runs", string_of_int o.Dnsv.Chaos.torn_runs);
+      ("store_runs", string_of_int o.Dnsv.Chaos.store_runs);
+      ( "truncated_store_runs",
+        string_of_int o.Dnsv.Chaos.truncated_store_runs );
       ("fired", string_of_int o.Dnsv.Chaos.fired);
       ("survived", string_of_int o.Dnsv.Chaos.survived);
       ("degraded", string_of_int o.Dnsv.Chaos.degraded);
       ("resumed_identical", string_of_int o.Dnsv.Chaos.resumed_identical);
+      ( "store_resumed_identical",
+        string_of_int o.Dnsv.Chaos.store_resumed_identical );
       ( "violations",
         "["
         ^ String.concat ", "
@@ -626,6 +780,11 @@ let json () =
     if ao.ao_panic_checks = 0 then 0.
     else float_of_int ao.ao_panic_discharged /. float_of_int ao.ao_panic_checks
   in
+  let inc = incremental_runs () in
+  let inc_speedup = inc.inc_cold.ir_wall /. inc.inc_warm.ir_wall in
+  let inc_identical = String.equal inc.inc_cold.ir_fp inc.inc_warm.ir_fp in
+  let so = store_overhead_runs () in
+  let so_ratio = so.so_with.ir_wall /. so.so_without.ir_wall in
   let chaos_wall, chaos_o = timed_chaos () in
   print_endline
     (json_obj
@@ -701,6 +860,25 @@ let json () =
                ("discharged_fraction", Printf.sprintf "%.3f" ao_fraction);
                ("verdicts_identical", string_of_bool ao_identical);
              ] );
+         ( "incremental_reverify",
+           json_obj
+             [
+               ("prime_wall_s", Printf.sprintf "%.4f" inc.inc_prime.ir_wall);
+               ("cold_wall_s", Printf.sprintf "%.4f" inc.inc_cold.ir_wall);
+               ("warm_wall_s", Printf.sprintf "%.4f" inc.inc_warm.ir_wall);
+               ("speedup", Printf.sprintf "%.3f" inc_speedup);
+               ("gate", Printf.sprintf "%.1f" incremental_gate);
+               ("store_entries", string_of_int inc.inc_entries);
+               ("fingerprints_identical", string_of_bool inc_identical);
+             ] );
+         ( "store_overhead",
+           json_obj
+             [
+               ("no_store_wall_s", Printf.sprintf "%.4f" so.so_without.ir_wall);
+               ("with_store_wall_s", Printf.sprintf "%.4f" so.so_with.ir_wall);
+               ("overhead_ratio", Printf.sprintf "%.3f" so_ratio);
+               ("gate", Printf.sprintf "%.2f" store_overhead_gate);
+             ] );
          ("chaos", json_of_chaos chaos_wall chaos_o);
        ]);
   if not verdicts_identical then begin
@@ -754,6 +932,23 @@ let json () =
     Printf.eprintf
       "FAIL: only %d/%d panic checks statically discharged (< 20%%)\n"
       ao.ao_panic_discharged ao.ao_panic_checks;
+    exit 1
+  end;
+  if not inc_identical then begin
+    prerr_endline
+      "FAIL: warm (store-served) verdict fingerprint differs from cold";
+    exit 1
+  end;
+  if inc_speedup < incremental_gate then begin
+    Printf.eprintf
+      "FAIL: incremental re-verification speedup %.2fx below the %.0fx gate\n"
+      inc_speedup incremental_gate;
+    exit 1
+  end;
+  if so_ratio > store_overhead_gate then begin
+    Printf.eprintf
+      "FAIL: store bookkeeping overhead %.3fx exceeds the %.2fx gate\n"
+      so_ratio store_overhead_gate;
     exit 1
   end;
   if not (Dnsv.Chaos.ok chaos_o) then begin
@@ -866,13 +1061,14 @@ let () =
       | "certoverhead" -> cert_overhead ()
       | "traceoverhead" -> trace_overhead ()
       | "analysisoverhead" -> analysis_overhead ()
+      | "incremental" -> incremental ()
       | "chaos" -> chaos ()
       | "json" -> json ()
       | "micro" -> run_micro ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected \
-             table1|table2|table3|fig12|ablation|reverify|certoverhead|traceoverhead|analysisoverhead|chaos|json|micro)\n"
+             table1|table2|table3|fig12|ablation|reverify|certoverhead|traceoverhead|analysisoverhead|incremental|chaos|json|micro)\n"
             other;
           exit 2)
     targets

@@ -97,7 +97,7 @@ let fault_plan_arg =
      solver-unknown:3,cache-corrupt:1:persistent. Sites are the \
      Faultinject sites (solver-unknown, summarize-raise, \
      summary-invalid, exec-fuel, clock-overrun, cache-corrupt, \
-     journal-torn)."
+     journal-torn, store-corrupt, store-stale, store-lock-held)."
   in
   Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
 
@@ -131,6 +131,37 @@ let apply_faults fault_seed fault_plan =
                      Faultinject.arm ~persistent ~after:n s
                  | _ -> fail ())
              | _ -> fail ())
+
+(* ------------------------------------------------------------------ *)
+(* Persistent-store flags (shared by verify and batch)                *)
+(* ------------------------------------------------------------------ *)
+
+let store_dir_arg =
+  let doc =
+    "Persistent verification store: solver results, module summaries, \
+     layer verdicts and whole query-type reports are kept in $(docv) \
+     under content-hash fingerprints and reused across runs, so \
+     re-verifying after an edit re-derives only the edit's cone of \
+     influence. Served entries are re-validated against their \
+     certificates; a corrupt, stale or locked store degrades to fresh \
+     work, never to a wrong verdict."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let no_store_arg =
+  let doc = "Ignore --store: run without the persistent store." in
+  Arg.(value & flag & info [ "no-store" ] ~doc)
+
+(* Open the persistent store (if requested) around [f]. A directory
+   held by a live writer opens read-only; opening never fails the run. *)
+let with_store store_dir no_store (f : Store.t option -> 'a) : 'a =
+  match store_dir with
+  | Some dir when not no_store ->
+      let st = Store.open_ dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close st)
+        (fun () -> f (Some st))
+  | _ -> f None
 
 (* ------------------------------------------------------------------ *)
 (* Static-analysis flags (shared by verify and batch)                 *)
@@ -221,7 +252,8 @@ let jobs_arg =
 
 let verify_cmd =
   let run version zone_file qtypes inline no_layers deadline solver_steps
-      max_paths retries jobs no_analysis distrust fault_seed fault_plan trace =
+      max_paths retries jobs no_analysis distrust store_dir no_store fault_seed
+      fault_plan trace =
     let cfg = config_of_version version in
     let zone = load_zone zone_file in
     let analysis = analysis_of_flags no_analysis distrust in
@@ -234,9 +266,11 @@ let verify_cmd =
     in
     let verdict =
       try
-        with_trace trace (fun () ->
-            Dnsv.Pipeline.verify ~qtypes ~mode ~check_layers:(not no_layers)
-              ~budget ~retries ~jobs ~analysis cfg zone)
+        with_store store_dir no_store (fun store ->
+            with_trace trace (fun () ->
+                Dnsv.Pipeline.verify ~qtypes ~mode
+                  ~check_layers:(not no_layers) ~budget ~retries ~jobs
+                  ~analysis ?store cfg zone))
       with e ->
         Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
         exit 3
@@ -268,8 +302,8 @@ let verify_cmd =
     Term.(
       const run $ version_arg $ zone_file_arg $ qtypes_arg $ inline $ no_layers
       $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg
-      $ jobs_arg $ no_analysis_arg $ distrust_analysis_arg $ fault_seed_arg
-      $ fault_plan_arg $ trace_arg)
+      $ jobs_arg $ no_analysis_arg $ distrust_analysis_arg $ store_dir_arg
+      $ no_store_arg $ fault_seed_arg $ fault_plan_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                              *)
@@ -277,8 +311,8 @@ let verify_cmd =
 
 let batch_cmd =
   let run version origin count seed qtypes deadline solver_steps max_paths
-      retries jobs no_analysis distrust journal resume fault_seed fault_plan
-      trace progress =
+      retries jobs no_analysis distrust store_dir no_store journal resume
+      fault_seed fault_plan trace progress =
     let cfg = config_of_version version in
     let origin =
       match Name.of_string origin with
@@ -333,10 +367,11 @@ let batch_cmd =
     in
     let r =
       try
-        with_trace trace (fun () ->
-            Dnsv.Pipeline.verify_batch_run ~qtypes ~count ~seed ~budget
-              ~retries ~jobs ~analysis ?journal ~resume ?on_start ~on_item cfg
-              origin)
+        with_store store_dir no_store (fun store ->
+            with_trace trace (fun () ->
+                Dnsv.Pipeline.verify_batch_run ~qtypes ~count ~seed ~budget
+                  ~retries ~jobs ~analysis ?store ?journal ~resume ?on_start
+                  ~on_item cfg origin))
       with
       | Failure m ->
           Printf.eprintf "%s\n" m;
@@ -440,9 +475,9 @@ let batch_cmd =
     Term.(
       const run $ version_arg $ origin_arg $ count_arg $ seed_arg $ qtypes_arg
       $ deadline_arg $ solver_steps_arg $ max_paths_arg $ retries_arg
-      $ jobs_arg $ no_analysis_arg $ distrust_analysis_arg $ journal_arg
-      $ resume_arg $ fault_seed_arg $ fault_plan_arg $ trace_arg
-      $ progress_arg)
+      $ jobs_arg $ no_analysis_arg $ distrust_analysis_arg $ store_dir_arg
+      $ no_store_arg $ journal_arg $ resume_arg $ fault_seed_arg
+      $ fault_plan_arg $ trace_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                              *)
@@ -862,6 +897,90 @@ let lint_cmd =
     Term.(const run $ engine_opt_arg $ json_arg $ baseline_arg)
 
 (* ------------------------------------------------------------------ *)
+(* store                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let store_dir_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Persistent store directory.")
+
+(* The deep checks know every entry kind the pipeline frames: solver
+   results and summaries are checked by the store itself, layer
+   verdicts and query-type reports by the modules that framed them. *)
+let store_check ~key ~payload =
+  match Dnsv.Pipeline.store_entry_check ~key ~payload with
+  | Some _ as r -> r
+  | None -> Refine.Layers.store_entry_check ~key ~payload
+
+let store_stat_cmd =
+  let run dir =
+    if not (Sys.file_exists dir) then begin
+      Printf.eprintf "no store at %s\n" dir;
+      exit 3
+    end;
+    Format.printf "%a@." Store.pp_stat (Store.stat dir)
+  in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Summarize a store: live entries by kind, bytes")
+    Term.(const run $ store_dir_pos)
+
+let store_gc_cmd =
+  let run dir =
+    let st = Store.open_ dir in
+    let r = Store.gc st in
+    Store.close st;
+    match r with
+    | Ok n ->
+        Printf.printf "store gc: compacted to %d live entr%s\n" n
+          (if n = 1 then "y" else "ies")
+    | Error m ->
+        Printf.eprintf "store gc: %s\n" m;
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Compact the store to its live entries with an atomic \
+          tmp-and-rename rewrite")
+    Term.(const run $ store_dir_pos)
+
+let store_fsck_cmd =
+  let run dir =
+    if not (Sys.file_exists dir) then begin
+      Printf.eprintf "no store at %s\n" dir;
+      exit 3
+    end;
+    let r = Store.fsck ~check:store_check dir in
+    Format.printf "%a@." Store.pp_fsck r;
+    exit (if Store.fsck_clean r then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check every frame and deep-check every live entry; truncate a \
+          torn tail"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 when the store is clean (a repaired torn tail — the \
+              expected crash signature — still counts as clean), 1 when \
+              any live entry is structurally corrupt or the header does \
+              not match, 3 on usage errors.";
+         ])
+    Term.(const run $ store_dir_pos)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Inspect, compact and check the persistent verification store \
+          written by --store")
+    [ store_stat_cmd; store_gc_cmd; store_fsck_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -876,7 +995,7 @@ let () =
          [
            verify_cmd; batch_cmd; chaos_cmd; lint_cmd; report_cmd; layers_cmd;
            summarize_cmd; bugs_cmd; zonegen_cmd; replay_cmd; source_cmd;
-           rawname_cmd;
+           rawname_cmd; store_cmd;
          ])
   in
   (* Fold cmdliner's cli/internal error codes (124/125) into the

@@ -13,10 +13,13 @@ type outcome = {
   plans : int;
   verify_runs : int;
   torn_runs : int;
+  store_runs : int;
+  truncated_store_runs : int;
   fired : int;
   survived : int;
   degraded : int;
   resumed_identical : int;
+  store_resumed_identical : int;
   violations : string list;
 }
 
@@ -73,10 +76,10 @@ let refuted_cfg = Versions.v1_0
    made (so injected-fault firing order matches the fault-free plan) and
    each static claim is cross-checked against the certified solver —
    the degrade-never-flip monotone covers the analysis too. *)
-let verify_wl cfg zone =
+let verify_wl ?store cfg zone =
   let budget = Budget.create ~deadline_s:3600.0 () in
   Pipeline.verify ~qtypes:[ Rr.MX ] ~check_layers:false ~budget
-    ~analysis:Analysis.Distrust cfg zone
+    ~analysis:Analysis.Distrust ?store cfg zone
 
 (* The batch workload for the journal kill-and-resume leg. *)
 let batch_origin = Name.of_string_exn "chaos.example"
@@ -94,7 +97,54 @@ let status_name = function
 let scrub () =
   Faultinject.reset ();
   Solver.clear_caches ();
-  Pipeline.clear_summary_memo ()
+  Pipeline.clear_summary_memo ();
+  Store.clear_domain_memos ()
+
+(* ------------------------------------------------------------------ *)
+(* Persistent-store legs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let store_sites =
+  [ Faultinject.Store_corrupt; Faultinject.Store_stale;
+    Faultinject.Store_lock_held ]
+
+let has_store_site (p : plan) =
+  List.exists (fun s -> List.mem s store_sites) p.sites
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+(* A scratch copy of the warmed store's data file, so injected
+   corruption, evictions and truncation never bleed into later plans. *)
+let copy_store src =
+  let dst = Filename.temp_file "dnsv-chaos" ".store" in
+  Sys.remove dst;
+  Sys.mkdir dst 0o755;
+  let from = Filename.concat src "store.data" in
+  if Sys.file_exists from then begin
+    let ic = open_in_bin from in
+    let n = in_channel_length ic in
+    let bytes = really_input_string ic n in
+    close_in ic;
+    let oc = open_out_bin (Filename.concat dst "store.data") in
+    output_string oc bytes;
+    close_out oc
+  end;
+  dst
+
+(* Cut the store's data file at a seeded offset, simulating a kill
+   mid-append (or any partial write) at an arbitrary byte boundary. *)
+let truncate_store dir offset =
+  let path = Filename.concat dir "store.data" in
+  if Sys.file_exists path then begin
+    let size = (Unix.stat path).Unix.st_size in
+    if size > 0 then Unix.truncate path (offset mod size)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The soak                                                           *)
@@ -104,13 +154,34 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
   scrub ();
   let zone = witness_zone () in
   (* Fault-free baselines: the soak is meaningless if the workloads do
-     not start where they claim to. *)
-  (match Pipeline.status (verify_wl proved_cfg zone) with
+     not start where they claim to. Their fingerprints are the
+     reference the store legs must keep reproducing. *)
+  let v_proved = verify_wl proved_cfg zone in
+  (match Pipeline.status v_proved with
   | Budget.Proved -> ()
   | s -> failwith ("chaos: proved baseline is " ^ status_name s));
-  (match Pipeline.status (verify_wl refuted_cfg zone) with
+  let v_refuted = verify_wl refuted_cfg zone in
+  (match Pipeline.status v_refuted with
   | Budget.Refuted _ -> ()
   | s -> failwith ("chaos: refuted baseline is " ^ status_name s));
+  let fp_proved = Pipeline.fingerprint v_proved in
+  let fp_refuted = Pipeline.fingerprint v_refuted in
+  (* The warmed store the store-fault legs copy from: populated once,
+     fault-free, by the same workloads. Forced lazily so soaks whose
+     plans never sample a store site pay nothing. *)
+  let warm_dir =
+    lazy
+      (let dir = Filename.temp_file "dnsv-chaos" ".warmstore" in
+       Sys.remove dir;
+       Sys.mkdir dir 0o755;
+       let st = Store.open_ dir in
+       Fun.protect
+         ~finally:(fun () -> Store.close st)
+         (fun () ->
+           ignore (verify_wl ~store:st proved_cfg zone);
+           ignore (verify_wl ~store:st refuted_cfg zone));
+       dir)
+  in
   let batch_ref = batch_wl () in
   let violations = ref [] in
   let violation fmt =
@@ -118,10 +189,62 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
   in
   let verify_runs = ref 0
   and torn_runs = ref 0
+  and store_runs = ref 0
+  and truncated_store_runs = ref 0
   and fired = ref 0
   and survived = ref 0
   and degraded = ref 0
-  and resumed_identical = ref 0 in
+  and resumed_identical = ref 0
+  and store_resumed_identical = ref 0 in
+  (* One monotone run under the armed plan: alternate the proved and
+     refuted workloads by seed and assert the soundness monotone on
+     whatever comes back. [run_wl] lets the store legs substitute a
+     store-backed workload; arming happens here, before the workload
+     starts, so faults at store-open time land too. Returns which
+     workload ran. *)
+  let monotone_leg ?(run_wl = fun cfg -> verify_wl cfg zone) pseed plan =
+    let refuted_wl = pseed land 1 = 1 in
+    arm_plan plan;
+    let cfg = if refuted_wl then refuted_cfg else proved_cfg in
+    let result =
+      match run_wl cfg with
+      | v -> Ok (Pipeline.status v)
+      | exception e -> Error e
+    in
+    let plan_fired =
+      (* A one-shot site disarms itself when it fires; a persistent
+         site fired iff its arrival counter reached its index. *)
+      List.exists
+        (fun (k, s) ->
+          if plan.persistent then Faultinject.calls s >= plan.after + k
+          else not (Faultinject.armed s))
+        (List.mapi (fun k s -> (k, s)) plan.sites)
+    in
+    if plan_fired then incr fired;
+    (match result with
+    | Error (Faultinject.Injected _) | Error (Budget.Exhausted _) ->
+        (* An injected fault escaped the isolated checks entirely:
+           no verdict was produced, which is a loss, not a flip. *)
+        incr degraded
+    | Error e ->
+        violation "plan %d (%s): escaped exception %s" pseed
+          (site_names plan.sites) (Printexc.to_string e)
+    | Ok st -> (
+        match (st, refuted_wl) with
+        | Budget.Refuted _, false ->
+            violation
+              "plan %d (%s, after=%d%s): proved workload REFUTED under faults"
+              pseed (site_names plan.sites) plan.after
+              (if plan.persistent then ", persistent" else "")
+        | Budget.Proved, true ->
+            violation
+              "plan %d (%s, after=%d%s): refuted workload PROVED under faults"
+              pseed (site_names plan.sites) plan.after
+              (if plan.persistent then ", persistent" else "")
+        | (Budget.Proved, false) | (Budget.Refuted _, true) -> incr survived
+        | Budget.Inconclusive _, _ -> incr degraded));
+    refuted_wl
+  in
   for i = 0 to plans - 1 do
     let pseed = seed + i in
     let plan = plan_of_seed pseed in
@@ -168,51 +291,57 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
             (Printexc.to_string e));
       (try Sys.remove path with Sys_error _ -> ())
     end
+    else if has_store_site plan then begin
+      (* Store leg: the same monotone assertion, run over a scratch
+         copy of the warmed store with store fault sites armed —
+         corruption, staleness and lock contention may cost reuse,
+         never truth. Followed by the kill-mid-store-write leg: cut the
+         scratch store at a seeded byte (simulating a kill at any
+         instant of an append) and re-verify fault-free from cold
+         caches; the verdict fingerprint must match the fault-free
+         baseline byte-for-byte. *)
+      incr store_runs;
+      let scratch = copy_store (Lazy.force warm_dir) in
+      let refuted_wl =
+        monotone_leg pseed plan ~run_wl:(fun cfg ->
+            let st = Store.open_ scratch in
+            Fun.protect
+              ~finally:(fun () -> Store.close st)
+              (fun () -> verify_wl ~store:st cfg zone))
+      in
+      Faultinject.reset ();
+      (* Cold caches: the truncated-store run must answer from the
+         (shortened) store plus fresh work, not from this process's
+         in-memory caches warmed by the faulted run. *)
+      Solver.clear_caches ();
+      Pipeline.clear_summary_memo ();
+      Store.clear_domain_memos ();
+      incr truncated_store_runs;
+      truncate_store scratch (lcg (pseed + 13));
+      let cfg = if refuted_wl then refuted_cfg else proved_cfg in
+      (match
+         let st = Store.open_ scratch in
+         Fun.protect
+           ~finally:(fun () -> Store.close st)
+           (fun () -> Pipeline.fingerprint (verify_wl ~store:st cfg zone))
+       with
+      | fp ->
+          let want = if refuted_wl then fp_refuted else fp_proved in
+          if String.equal fp want then incr store_resumed_identical
+          else
+            violation
+              "plan %d (%s): truncated-store re-verify differs from the \
+               fault-free fingerprint"
+              pseed (site_names plan.sites)
+      | exception e ->
+          violation "plan %d (%s): truncated-store re-verify raised %s" pseed
+            (site_names plan.sites) (Printexc.to_string e));
+      rm_rf scratch
+    end
     else begin
       (* Monotone leg: alternate the proved and refuted workloads. *)
       incr verify_runs;
-      let refuted_wl = pseed land 1 = 1 in
-      arm_plan plan;
-      let cfg = if refuted_wl then refuted_cfg else proved_cfg in
-      let result =
-        match verify_wl cfg zone with
-        | v -> Ok (Pipeline.status v)
-        | exception e -> Error e
-      in
-      let plan_fired =
-        (* A one-shot site disarms itself when it fires; a persistent
-           site fired iff its arrival counter reached its index. *)
-        List.exists
-          (fun (k, s) ->
-            if plan.persistent then Faultinject.calls s >= plan.after + k
-            else not (Faultinject.armed s))
-          (List.mapi (fun k s -> (k, s)) plan.sites)
-      in
-      if plan_fired then incr fired;
-      (match result with
-      | Error (Faultinject.Injected _) | Error (Budget.Exhausted _) ->
-          (* An injected fault escaped the isolated checks entirely:
-             no verdict was produced, which is a loss, not a flip. *)
-          incr degraded
-      | Error e ->
-          violation "plan %d (%s): escaped exception %s" pseed
-            (site_names plan.sites) (Printexc.to_string e)
-      | Ok st -> (
-          match (st, refuted_wl) with
-          | Budget.Refuted _, false ->
-              violation
-                "plan %d (%s, after=%d%s): proved workload REFUTED under \
-                 faults"
-                pseed (site_names plan.sites) plan.after
-                (if plan.persistent then ", persistent" else "")
-          | Budget.Proved, true ->
-              violation
-                "plan %d (%s, after=%d%s): refuted workload PROVED under \
-                 faults"
-                pseed (site_names plan.sites) plan.after
-                (if plan.persistent then ", persistent" else "")
-          | (Budget.Proved, false) | (Budget.Refuted _, true) -> incr survived
-          | Budget.Inconclusive _, _ -> incr degraded));
+      ignore (monotone_leg pseed plan : bool);
       Faultinject.reset ();
       (* Corrupted cache entries persist in the memo tables by design
          (validation rejects them on every later hit); scrub so the
@@ -223,24 +352,31 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
       end
     end
   done;
+  if Lazy.is_val warm_dir then rm_rf (Lazy.force warm_dir);
   scrub ();
   {
     plans;
     verify_runs = !verify_runs;
     torn_runs = !torn_runs;
+    store_runs = !store_runs;
+    truncated_store_runs = !truncated_store_runs;
     fired = !fired;
     survived = !survived;
     degraded = !degraded;
     resumed_identical = !resumed_identical;
+    store_resumed_identical = !store_resumed_identical;
     violations = List.rev !violations;
   }
 
 let pp fmt (o : outcome) =
   Format.fprintf fmt
-    "@[<v>chaos soak: %d plans (%d monotone, %d journal-torn), faults fired \
-     in %d@,monotone: %d survived, %d degraded to inconclusive@,journal: \
-     %d/%d resumed byte-identical@,violations: %d@]"
-    o.plans o.verify_runs o.torn_runs o.fired o.survived o.degraded
-    o.resumed_identical o.torn_runs
+    "@[<v>chaos soak: %d plans (%d monotone, %d store, %d journal-torn), \
+     faults fired in %d@,monotone: %d survived, %d degraded to \
+     inconclusive@,journal: %d/%d resumed byte-identical@,store: %d/%d \
+     truncated-store re-verifies matched the fault-free \
+     fingerprint@,violations: %d@]"
+    o.plans o.verify_runs o.store_runs o.torn_runs o.fired o.survived
+    o.degraded o.resumed_identical o.torn_runs o.store_resumed_identical
+    o.truncated_store_runs
     (List.length o.violations);
   List.iter (fun v -> Format.fprintf fmt "@,  VIOLATION: %s" v) o.violations

@@ -8,17 +8,27 @@
    containing the journal-tear site instead exercise the kill-and-resume
    leg: a batch run is killed mid-append, resumed from its journal, and
    the resumed transcript must be byte-identical (by fingerprint) to an
-   uninterrupted run's. Everything is derived from [seed], so a failing
-   plan replays exactly. *)
+   uninterrupted run's. Plans containing a store site (store-corrupt,
+   store-stale, store-lock-held) run the monotone leg over a scratch
+   copy of a warmed persistent store, then cut the store at a seeded
+   byte — the kill-mid-store-write signature — and re-verify fault-free:
+   the verdict fingerprint must match the fault-free baseline exactly.
+   Everything is derived from [seed], so a failing plan replays
+   exactly. *)
 
 type outcome = {
   plans : int; (* plans executed *)
   verify_runs : int; (* monotone legs (proved/refuted workloads) *)
   torn_runs : int; (* kill-mid-journal-write legs *)
+  store_runs : int; (* monotone legs run over a warmed persistent store *)
+  truncated_store_runs : int; (* kill-mid-store-write re-verify legs *)
   fired : int; (* plans where an armed fault actually fired *)
   survived : int; (* fault run reproduced its baseline status *)
   degraded : int; (* fault run degraded to inconclusive *)
   resumed_identical : int; (* torn runs whose resume matched byte-for-byte *)
+  store_resumed_identical : int;
+      (* truncated-store re-verifies whose verdict fingerprint matched
+         the fault-free baseline *)
   violations : string list; (* soundness breaches — must be empty *)
 }
 

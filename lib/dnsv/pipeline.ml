@@ -25,28 +25,85 @@ module Summary = Symex.Summary
    the others and are included for completeness. *)
 let all_qtypes = [ Rr.A; Rr.AAAA; Rr.NS; Rr.CNAME; Rr.SOA; Rr.MX; Rr.TXT ]
 
-(* Domain-local summary-store memo: one store per (version, mode, zone),
-   shared across query types, retries, and repeated [verify] calls —
-   re-verifying an unchanged version reuses its module summaries instead
-   of rebuilding them per check. Keying on the version string relies on
-   the same invariant as the compile memo in [Engine.Versions.compiled]:
-   a version string uniquely identifies the program. The zone is keyed
-   by physical identity, so distinct zones (e.g. per-bug witness zones)
-   can never share summaries. Gated on [Solver.caching_enabled]: with
-   result caching off (the benchmark's seed-equivalent mode) every check
+(* Fingerprint tags shared by the persistent-store keys built here.
+   These mirror the ones in [Refine.Layers]: the zone is keyed by its
+   rendered text, the budget by its semantic limits only (the wall-clock
+   deadline is an operational concern, not part of what was proved). *)
+let zone_fp (zone : Zone.t) =
+  Digest.to_hex (Digest.string (Dns.Zonefile.render zone))
+
+let limits_tag (b : Budget.t) =
+  let num = function None -> "-" | Some n -> string_of_int n in
+  Printf.sprintf "s%s,p%s,f%s"
+    (num b.Budget.max_solver_steps)
+    (num b.Budget.max_paths) (num b.Budget.max_fuel)
+
+let analysis_tag = function
+  | Analysis.Off -> "off"
+  | Analysis.Trust -> "trust"
+  | Analysis.Distrust -> "distrust"
+
+(* Domain-local summary-store memo: one store per (version, mode, zone,
+   analysis, persistent store), shared across query types, retries, and
+   repeated [verify] calls — re-verifying an unchanged version reuses
+   its module summaries instead of rebuilding them per check. Keying on
+   the version string relies on the same invariant as the compile memo
+   in [Engine.Versions.compiled]: a version string uniquely identifies
+   the program. The zone and the persistent store are keyed by physical
+   identity, so distinct zones (e.g. per-bug witness zones) can never
+   share summaries. Gated on [Solver.caching_enabled]: with result
+   caching off (the benchmark's seed-equivalent mode) every check
    builds a fresh store, as the pre-optimization pipeline did. *)
-type store_key = { sk_version : string; sk_inline : bool; sk_zone : Zone.t }
+type store_key = {
+  sk_version : string;
+  sk_inline : bool;
+  sk_zone : Zone.t;
+  sk_analysis : Analysis.policy;
+  sk_pstore : Store.t option;
+}
 
 let store_memo_key : (store_key * Summary.store) list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
 let store_memo_limit = 32
 
-(* Benchmark/test isolation: forget this domain's memoized stores. *)
-let clear_summary_memo () = Domain.DLS.get store_memo_key := []
+(* Benchmark/test isolation: forget this domain's memoized stores (and
+   the persistent store's parsed-entry memos, which cache the same
+   served artifacts one level down). *)
+let clear_summary_memo () =
+  Domain.DLS.get store_memo_key := [];
+  Store.clear_domain_memos ()
 
-let store_for (cfg : Builder.config) (mode : Check.mode) (zone : Zone.t) :
-    Summary.store =
+let same_pstore a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x == y
+  | _ -> false
+
+(* The persistence hook for module summaries: keyed under each
+   function's cone fingerprint (an edit invalidates exactly the cone of
+   influence that could change its summary) plus the zone and analysis
+   policy, which both shape what the summarizer sees. If the version
+   cannot compile there is nothing to fingerprint — the hook is simply
+   absent and summaries stay in-memory only. *)
+let summary_persist_for (pstore : Store.t option) (cfg : Builder.config)
+    (analysis : Analysis.policy) (zone : Zone.t) : Summary.persist option =
+  match pstore with
+  | None -> None
+  | Some st -> (
+      match Versions.compiled cfg with
+      | exception _ -> None
+      | prog ->
+          let tag =
+            Printf.sprintf "z%s,a%s" (zone_fp zone) (analysis_tag analysis)
+          in
+          Some
+            (Store.summary_persist st
+               ~cone_of:(fun fn -> Store.Fingerprint.cone_fp prog fn)
+               ~tag))
+
+let store_for ?pstore (cfg : Builder.config) (mode : Check.mode)
+    (analysis : Analysis.policy) (zone : Zone.t) : Summary.store =
   if not (Solver.caching_enabled ()) then Summary.create_store ()
   else begin
     let memo = Domain.DLS.get store_memo_key in
@@ -57,15 +114,26 @@ let store_for (cfg : Builder.config) (mode : Check.mode) (zone : Zone.t) :
         (fun (k, _) ->
           k.sk_zone == zone
           && k.sk_inline = inline
-          && String.equal k.sk_version version)
+          && String.equal k.sk_version version
+          && k.sk_analysis = analysis
+          && same_pstore k.sk_pstore pstore)
         !memo
     with
     | Some (_, store) -> store
     | None ->
-        let store = Summary.create_store () in
+        let persist = summary_persist_for pstore cfg analysis zone in
+        let store = Summary.create_store ?persist () in
         if List.length !memo >= store_memo_limit then memo := [];
-        memo := ({ sk_version = version; sk_inline = inline; sk_zone = zone },
-                 store) :: !memo;
+        memo :=
+          ( {
+              sk_version = version;
+              sk_inline = inline;
+              sk_zone = zone;
+              sk_analysis = analysis;
+              sk_pstore = pstore;
+            },
+            store )
+          :: !memo;
         store
   end
 
@@ -163,16 +231,139 @@ let issues (v : verdict) =
       | None -> [])
     v.reports
 
+(* ------------------------------------------------------------------ *)
+(* Persistent query-type reports (the store's "R" entries)            *)
+(* ------------------------------------------------------------------ *)
+
+(* A clean (proved) query-type report can be served from the store: its
+   key covers every input that shapes it — the cone fingerprint of the
+   engine entry point (any edit that could reach [resolve] invalidates
+   it), the zone, the query type, the checking mode, the analysis
+   policy, the budget limits and the retry policy. Degraded reports are
+   never persisted: a verdict that leaned on an Unknown or stopped
+   short must be re-derived, never replayed. Nothing is served under
+   [Analysis.Distrust] — that mode exists to re-check the static
+   analysis, and serving recorded verdicts would defeat it. *)
+let report_clean (r : Check.report) =
+  r.Check.mismatches = [] && r.Check.panics = [] && r.Check.unknowns = 0
+  && r.Check.cert_failures = 0
+  && r.Check.inconclusive = None
+
+let report_key ~prog ~zone ~budget ~qtype ~mode ~analysis ~retries ~escalation
+    =
+  Store.derived_key ~prefix:"R"
+    ~parts:
+      [
+        "report-v1";
+        Store.Fingerprint.cone_fp prog "resolve";
+        zone_fp zone;
+        Rr.rtype_to_string qtype;
+        (match mode with Check.Inline_all -> "inline" | _ -> "summ");
+        analysis_tag analysis;
+        limits_tag budget;
+        Printf.sprintf "r%d,e%d" retries escalation;
+      ]
+
+let report_payload (r : Check.report) (nretries : int) : string =
+  let b = Buffer.create 128 in
+  Store.Codec.wint b nretries;
+  Store.Codec.wint b r.Check.engine_paths;
+  Store.Codec.wint b r.Check.spec_paths;
+  Store.Codec.wint b r.Check.pairs_checked;
+  Store.Codec.wint b r.Check.solver_calls;
+  Store.Codec.wint b r.Check.static_discharged;
+  Store.Codec.wint b r.Check.cert_checks;
+  Buffer.add_char b (if r.Check.stateless then '1' else '0');
+  Buffer.add_char b (if r.Check.summary_fallback then '1' else '0');
+  Store.Codec.wint b (List.length r.Check.summary_cases);
+  List.iter
+    (fun (fn, n) ->
+      Store.Codec.wstr b fn;
+      Store.Codec.wint b n)
+    r.Check.summary_cases;
+  Buffer.contents b
+
+let report_of_payload ~version ~qtype payload : (Check.report * int) option =
+  let module C = Store.Codec in
+  match
+    let r = C.reader payload in
+    let rbool r =
+      match C.rbyte r with
+      | '1' -> true
+      | '0' -> false
+      | _ -> raise (C.Bad "bool")
+    in
+    let nretries = C.rint r in
+    let engine_paths = C.rint r in
+    let spec_paths = C.rint r in
+    let pairs_checked = C.rint r in
+    let solver_calls = C.rint r in
+    let static_discharged = C.rint r in
+    let cert_checks = C.rint r in
+    let stateless = rbool r in
+    let summary_fallback = rbool r in
+    let n = C.rint r in
+    if n < 0 || n > 1_000_000 then raise (C.Bad "summary cases");
+    let cases = ref [] in
+    for _ = 1 to n do
+      let fn = C.rstr r in
+      let k = C.rint r in
+      cases := (fn, k) :: !cases
+    done;
+    if not (C.at_end r) then raise (C.Bad "trailing bytes");
+    ( {
+        Check.version;
+        qtype;
+        engine_paths;
+        spec_paths;
+        pairs_checked;
+        solver_calls;
+        static_discharged;
+        unknowns = 0;
+        cert_checks;
+        cert_failures = 0;
+        summary_cases = List.rev !cases;
+        summary_times = [];
+        mismatches = [];
+        panics = [];
+        stateless;
+        inconclusive = None;
+        summary_fallback;
+        elapsed = 0.0;
+      },
+      nretries )
+  with
+  | exception C.Bad _ -> None
+  | v -> Some v
+
+(* Deep structural check for [Store.fsck] over entries this module
+   framed ("R|…" keys); [None] for anything else. *)
+let store_entry_check ~key ~payload =
+  if String.length key >= 2 && String.sub key 0 2 = "R|" then
+    Some
+      (match report_of_payload ~version:"" ~qtype:Rr.A payload with
+      | Some _ -> Ok ()
+      | None -> Error "undecodable report payload")
+  else None
+
 (* Verify [cfg] on [zone] for [qtypes].
 
    Fault isolation is per query type: an exception or budget exhaustion
    in one [check_version] downgrades that report to inconclusive and
    the remaining query types still run. A retryable inconclusive report
    is retried up to [retries] times, each under a budget [escalation]×
-   larger (fresh counters, restarted deadline). *)
+   larger (fresh counters, restarted deadline).
+
+   [store] threads the persistent verification store through every
+   level: solver results (via the [Smt.Solver] persistence hook
+   installed for the duration of the call), module summaries, layer
+   verdicts and whole query-type reports. The store accelerates, never
+   decides — everything served was re-validated against its
+   certificate, and anything that fails validation is evicted and
+   recomputed. *)
 let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
     ?(check_layers = true) ?budget ?(retries = 0) ?(escalation = 2)
-    ?(jobs = 1) ?(analysis = Analysis.Trust) (cfg : Builder.config)
+    ?(jobs = 1) ?(analysis = Analysis.Trust) ?store (cfg : Builder.config)
     (zone : Zone.t) : verdict =
   Trace.with_span "verify"
     ~attrs:
@@ -198,11 +389,15 @@ let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
    limit "budget.solver_steps" budget.Budget.max_solver_steps;
    limit "budget.paths" budget.Budget.max_paths;
    limit "budget.fuel" budget.Budget.max_fuel);
+  let with_store f =
+    match store with Some st -> Store.with_solver st f | None -> f ()
+  in
+  with_store @@ fun () ->
   let layer_reports =
     if not check_layers then []
     else
       match Versions.compiled cfg with
-      | prog -> Layers.check_all ~zone ~budget prog
+      | prog -> Layers.check_all ~zone ~budget ?store prog
       | exception e ->
           (* The version failed to compile: one synthetic inconclusive
              layer report carries the reason, engine checks still run
@@ -224,13 +419,15 @@ let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
   let check_one b qtype : Check.report * int =
     Trace.with_span "qtype" ~attrs:[ ("qtype", Rr.rtype_to_string qtype) ]
     @@ fun () ->
-    let store = store_for cfg mode zone in
+    let sumstore = store_for ?pstore:store cfg mode analysis zone in
     let rec go attempt nretries b =
       let r =
         Trace.with_span "attempt"
           ~attrs:[ ("attempt", string_of_int attempt) ]
         @@ fun () ->
-        try Check.check_version ~budget:b ~mode ~store ~analysis cfg zone ~qtype
+        try
+          Check.check_version ~budget:b ~mode ~store:sumstore ~analysis cfg
+            zone ~qtype
         with e ->
           (* check_version converts its own failures; this catches
              anything escaping before it (e.g. zone encoding). *)
@@ -250,7 +447,43 @@ let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
           (r, nretries)
       | _ -> (r, nretries)
     in
-    go 0 0 b
+    let rkey =
+      match store with
+      | Some st when analysis <> Analysis.Distrust -> (
+          match Versions.compiled cfg with
+          | exception _ -> None
+          | prog ->
+              Some
+                ( st,
+                  report_key ~prog ~zone ~budget:b ~qtype ~mode ~analysis
+                    ~retries ~escalation ))
+      | _ -> None
+    in
+    match rkey with
+    | None -> go 0 0 b
+    | Some (st, key) -> (
+        let served =
+          match Store.find st key with
+          | None -> None
+          | Some payload -> (
+              match
+                report_of_payload ~version:cfg.Builder.version ~qtype payload
+              with
+              | Some rv -> Some rv
+              | None ->
+                  (* Undecodable payload: treat exactly like a failed
+                     certificate — evict and recompute. *)
+                  Store.evict ~cert_failure:true st key;
+                  None)
+        in
+        match served with
+        | Some (r, n) ->
+            Trace.add_attr ~det:false "store" "hit";
+            (r, n)
+        | None ->
+            let ((r, n) as res) = go 0 0 b in
+            if report_clean r then Store.add st key (report_payload r n);
+            res)
   in
   let results =
     if jobs <= 1 then List.map (check_one budget) qtypes
@@ -290,7 +523,7 @@ type batch_outcome =
     }
 
 let verify_batch ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0) ?budget
-    ?(retries = 0) ?(jobs = 1) ?(analysis = Analysis.Trust)
+    ?(retries = 0) ?(jobs = 1) ?(analysis = Analysis.Trust) ?store
     (cfg : Builder.config) (origin : Name.t) : batch_outcome =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let zones = Dns.Zonegen.generate_many ~seed ~count origin in
@@ -302,7 +535,8 @@ let verify_batch ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0) ?budget
      rest of the wave). *)
   let verify_zone (i, zone) =
     let b = if jobs <= 1 then budget else Budget.clone budget in
-    verify ~qtypes ~check_layers:(i = 0) ~budget:b ~retries ~analysis cfg zone
+    verify ~qtypes ~check_layers:(i = 0) ~budget:b ~retries ~analysis ?store
+      cfg zone
   in
   let finish proved inconcl first_reason =
     if inconcl = 0 then All_clean count
@@ -669,8 +903,8 @@ let outcome_of_items (items : batch_item list) (count : int) :
    fingerprint is derived uniformly from the item transcript, so a
    killed-and-resumed run is byte-identical to an uninterrupted one. *)
 let verify_batch_run ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
-    ?budget ?(retries = 0) ?(jobs = 1) ?(analysis = Analysis.Trust) ?journal
-    ?(resume = false) ?on_start ?on_item (cfg : Builder.config)
+    ?budget ?(retries = 0) ?(jobs = 1) ?(analysis = Analysis.Trust) ?store
+    ?journal ?(resume = false) ?on_start ?on_item (cfg : Builder.config)
     (origin : Name.t) : batch_run =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let header = batch_header cfg origin ~count ~seed ~retries ~qtypes in
@@ -720,8 +954,8 @@ let verify_batch_run ?(qtypes = [ Rr.A; Rr.MX ]) ?(count = 10) ?(seed = 0)
     in
     let verify_zone (i, zone) =
       let b = if jobs <= 1 then budget else Budget.clone budget in
-      verify ~qtypes ~check_layers:(i = 0) ~budget:b ~retries ~analysis cfg
-        zone
+      verify ~qtypes ~check_layers:(i = 0) ~budget:b ~retries ~analysis ?store
+        cfg zone
     in
     let finish_run (outcome : batch_outcome option) =
       let items = List.rev !acc in

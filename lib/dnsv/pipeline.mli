@@ -48,14 +48,29 @@ val issues : verdict -> string list
    shared absolute deadline) and runs on domain-local solver state,
    merged at the join barrier. Verdicts are identical to [jobs = 1]. *)
 (* Drop the domain-local summary-store memo (used by [verify] to reuse
-   module summaries across query types and repeated runs), so
-   benchmarks and tests can measure from a cold start. *)
+   module summaries across query types and repeated runs) and the
+   persistent store's parsed-entry memos, so benchmarks and tests can
+   measure from a cold start. *)
 val clear_summary_memo : unit -> unit
+
+(* Deep structural check for [Store.fsck] over the query-type report
+   entries this module frames ("R|…" keys); [None] for other kinds. *)
+val store_entry_check :
+  key:string -> payload:string -> (unit, string) result option
 
 (* [analysis] selects how the symbolic executor uses the static
    analysis: [Trust] (default) prunes statically-dead branches without
    solver calls, [Off] disables the consultation, [Distrust] makes all
-   solver calls and cross-checks each static claim (chaos/soak mode). *)
+   solver calls and cross-checks each static claim (chaos/soak mode).
+
+   [store] threads the persistent verification store through every
+   level — solver results, module summaries, layer verdicts, whole
+   query-type reports — keyed under content-hash fingerprints so an
+   edit invalidates exactly its cone of influence. The store
+   accelerates, never decides: served entries are re-validated against
+   their certificates and anything failing validation is evicted and
+   recomputed, so verdict fingerprints are byte-identical with and
+   without it. *)
 val verify :
   ?qtypes:Check.Rr.rtype list ->
   ?mode:Check.mode ->
@@ -63,7 +78,9 @@ val verify :
   ?budget:Budget.t ->
   ?retries:int ->
   ?escalation:int ->
-  ?jobs:int -> ?analysis:Analysis.policy -> Builder.config -> Zone.t -> verdict
+  ?jobs:int ->
+  ?analysis:Analysis.policy ->
+  ?store:Store.t -> Builder.config -> Zone.t -> verdict
 type batch_outcome =
   | All_clean of int
   | Failed of { zone_index : int; verdict : verdict; }
@@ -81,7 +98,8 @@ val verify_batch :
   ?budget:Budget.t ->
   ?retries:int ->
   ?jobs:int ->
-  ?analysis:Analysis.policy -> Builder.config -> Name.t -> batch_outcome
+  ?analysis:Analysis.policy ->
+  ?store:Store.t -> Builder.config -> Name.t -> batch_outcome
 (* ---------------- Journaled batch runs ---------------- *)
 
 type item_status =
@@ -126,6 +144,7 @@ val verify_batch_run :
   ?retries:int ->
   ?jobs:int ->
   ?analysis:Analysis.policy ->
+  ?store:Store.t ->
   ?journal:string ->
   ?resume:bool ->
   ?on_start:(int -> unit) ->

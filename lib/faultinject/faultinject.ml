@@ -21,6 +21,9 @@ type site =
   | Clock_overrun (* skew Budget.now past any deadline *)
   | Cache_corrupt (* poison a Smt.Solver result-cache entry on a hit *)
   | Journal_torn (* tear a Journal.append mid-frame, then kill it *)
+  | Store_corrupt (* flip bytes in a Store entry payload on a hit *)
+  | Store_stale (* make a Store lookup miss as if the entry were absent *)
+  | Store_lock_held (* pretend another writer holds the Store lock *)
 
 let site_to_string = function
   | Solver_unknown -> "solver-unknown"
@@ -30,6 +33,9 @@ let site_to_string = function
   | Clock_overrun -> "clock-overrun"
   | Cache_corrupt -> "cache-corrupt"
   | Journal_torn -> "journal-torn"
+  | Store_corrupt -> "store-corrupt"
+  | Store_stale -> "store-stale"
+  | Store_lock_held -> "store-lock-held"
 
 let site_of_string = function
   | "solver-unknown" -> Some Solver_unknown
@@ -39,6 +45,9 @@ let site_of_string = function
   | "clock-overrun" -> Some Clock_overrun
   | "cache-corrupt" -> Some Cache_corrupt
   | "journal-torn" -> Some Journal_torn
+  | "store-corrupt" -> Some Store_corrupt
+  | "store-stale" -> Some Store_stale
+  | "store-lock-held" -> Some Store_lock_held
   | _ -> None
 
 exception Injected of string
@@ -59,6 +68,9 @@ let all_sites =
     Clock_overrun;
     Cache_corrupt;
     Journal_torn;
+    Store_corrupt;
+    Store_stale;
+    Store_lock_held;
   ]
 
 (* Seconds added to Budget.now when Clock_overrun fires. *)

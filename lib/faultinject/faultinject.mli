@@ -16,6 +16,9 @@ type site =
   | Clock_overrun (* skew Budget.now past any deadline *)
   | Cache_corrupt (* poison a Smt.Solver result-cache entry on a hit *)
   | Journal_torn (* tear a Journal.append mid-frame, then kill it *)
+  | Store_corrupt (* flip bytes in a Store entry payload on a hit *)
+  | Store_stale (* make a Store lookup miss as if the entry were absent *)
+  | Store_lock_held (* pretend another writer holds the Store lock *)
 
 val site_to_string : site -> string
 val site_of_string : string -> site option

@@ -512,17 +512,114 @@ let layer_setup (prog : Minir.Instr.program) (enc : Dnstree.Encode.t option)
         len_bounds rlen @ len_bounds (len_var "lrdlen") )
   | other -> invalid_arg ("no layer setup for " ^ other)
 
+(* ---------------- Persistent layer verdicts ----------------------- *)
+
+(* A *clean* layer verdict (no mismatches, no Unknowns, no rejected
+   certificates, ran to completion) is a pure function of the layer's
+   cone of influence in the program, the zone and the budget limits —
+   so it can be persisted and served across runs and across engine
+   versions that leave the cone untouched. Anything non-clean is never
+   stored: a mismatch must be re-derived (its evidence is not
+   persisted) and a degraded verdict must not outlive its cause. *)
+let zone_fp (zone : Dns.Zone.t) =
+  Digest.to_hex (Digest.string (Dns.Zonefile.render zone))
+
+let limits_tag (b : Budget.t) =
+  let num = function None -> "-" | Some n -> string_of_int n in
+  Printf.sprintf "s%s,p%s,f%s"
+    (num b.Budget.max_solver_steps)
+    (num b.Budget.max_paths) (num b.Budget.max_fuel)
+
+let layer_store_key ~prog ~zone ~budget layer =
+  Store.derived_key ~prefix:"L"
+    ~parts:
+      [
+        "layer-v1";
+        layer;
+        Store.Fingerprint.cone_fp prog layer;
+        zone_fp zone;
+        limits_tag budget;
+      ]
+
+let layer_clean_payload (r : layer_report) =
+  let b = Buffer.create 32 in
+  Store.Codec.wint b r.code_paths;
+  Store.Codec.wint b r.spec_paths;
+  Store.Codec.wint b r.pairs;
+  Buffer.contents b
+
+let layer_of_clean_payload ~layer ~elapsed payload : layer_report option =
+  match
+    let rd = Store.Codec.reader payload in
+    let code_paths = Store.Codec.rint rd in
+    let spec_paths = Store.Codec.rint rd in
+    let pairs = Store.Codec.rint rd in
+    (code_paths, spec_paths, pairs, Store.Codec.at_end rd)
+  with
+  | code_paths, spec_paths, pairs, true ->
+      Some
+        {
+          layer;
+          code_paths;
+          spec_paths;
+          pairs;
+          mismatches = [];
+          unknowns = 0;
+          cert_failures = 0;
+          inconclusive = None;
+          elapsed;
+        }
+  | _, _, _, false -> None
+  | exception Store.Codec.Bad _ -> None
+
+(* Deep structural check for [Store.fsck] over entries this module
+   framed ("L|…" keys); [None] for anything else. *)
+let store_entry_check ~key ~payload =
+  if String.length key >= 2 && String.sub key 0 2 = "L|" then
+    Some
+      (match layer_of_clean_payload ~layer:"" ~elapsed:0.0 payload with
+      | Some _ -> Ok ()
+      | None -> Error "undecodable layer payload")
+  else None
+
 (* Verify one manual layer of [prog] against its specification. Budget
    exhaustion or an escaped exception downgrades the layer to
    inconclusive instead of aborting the caller; leaning on a solver
-   Unknown is recorded so the verdict cannot silently claim a proof. *)
+   Unknown is recorded so the verdict cannot silently claim a proof.
+   With [store], a clean verdict for this (cone, zone, limits) key is
+   served from the persistent store instead of being re-derived, and a
+   fresh clean verdict is recorded for the next run. *)
 let h_layer_paths = Trace.Metrics.histogram "layer.paths"
 
-let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
+let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget ?store
     (prog : Minir.Instr.program) (layer : string) : layer_report =
   Trace.with_span "layer" ~attrs:[ ("layer", layer) ] @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let skey =
+    Option.map (fun _ -> layer_store_key ~prog ~zone ~budget layer) store
+  in
+  let served =
+    match (store, skey) with
+    | Some st, Some key -> (
+        match Store.find st key with
+        | None -> None
+        | Some payload -> (
+            let elapsed = Unix.gettimeofday () -. t0 in
+            match layer_of_clean_payload ~layer ~elapsed payload with
+            | Some r -> Some r
+            | None ->
+                Store.evict ~cert_failure:true st key;
+                None))
+    | _ -> None
+  in
+  match served with
+  | Some r ->
+      Trace.Metrics.observe h_layer_paths (float_of_int r.code_paths);
+      Trace.add_attr "paths" (string_of_int r.code_paths);
+      Trace.add_attr ~det:false "store" "hit";
+      r
+  | None ->
   let unknowns0 = (Solver.stats ()).Solver.unknowns in
   let certf0 = (Solver.stats ()).Solver.cert_failures in
   let certf () = (Solver.stats ()).Solver.cert_failures - certf0 in
@@ -559,17 +656,27 @@ let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
   | code_paths, spec_paths, pairs, mismatches ->
       Trace.Metrics.observe h_layer_paths (float_of_int code_paths);
       Trace.add_attr "paths" (string_of_int code_paths);
-      {
-        layer;
-        code_paths;
-        spec_paths;
-        pairs;
-        mismatches;
-        unknowns = (Solver.stats ()).Solver.unknowns - unknowns0;
-        cert_failures = certf ();
-        inconclusive = cert_reason None;
-        elapsed = Unix.gettimeofday () -. t0;
-      }
+      let r =
+        {
+          layer;
+          code_paths;
+          spec_paths;
+          pairs;
+          mismatches;
+          unknowns = (Solver.stats ()).Solver.unknowns - unknowns0;
+          cert_failures = certf ();
+          inconclusive = cert_reason None;
+          elapsed = Unix.gettimeofday () -. t0;
+        }
+      in
+      (* Persist clean verdicts only (see the codec note above). *)
+      (match (store, skey) with
+      | Some st, Some key
+        when r.mismatches = [] && r.unknowns = 0 && r.cert_failures = 0
+             && r.inconclusive = None ->
+          Store.add st key (layer_clean_payload r)
+      | _ -> ());
+      r
   | exception e ->
       {
         layer;
@@ -585,5 +692,6 @@ let check_layer ?(zone = Spec.Fixtures.figure11_zone) ?budget
 
 (* Verify every manual layer of an engine version. Layer faults are
    isolated per layer by [check_layer]. *)
-let check_all ?zone ?budget (prog : Minir.Instr.program) : layer_report list =
-  List.map (fun (fn, _) -> check_layer ?zone ?budget prog fn) specs
+let check_all ?zone ?budget ?store (prog : Minir.Instr.program) :
+    layer_report list =
+  List.map (fun (fn, _) -> check_layer ?zone ?budget ?store prog fn) specs

@@ -65,9 +65,19 @@ val layer_setup :
   Minir.Instr.program ->
   Dnstree.Encode.t option ->
   string -> Sval.memory * Sval.sval list * Term.t list
+(* Deep structural check for [Store.fsck] over the layer-verdict
+   entries this module frames ("L|…" keys); [None] for other kinds. *)
+val store_entry_check :
+  key:string -> payload:string -> (unit, string) result option
+
+(* [store] serves a clean layer verdict persisted under the layer's
+   cone fingerprint (plus zone and budget-limits tags) and persists
+   fresh clean verdicts; degraded verdicts are always re-derived. *)
 val check_layer :
   ?zone:Spec.Fixtures.Zone.t ->
-  ?budget:Budget.t -> Minir.Instr.program -> string -> layer_report
+  ?budget:Budget.t ->
+  ?store:Store.t -> Minir.Instr.program -> string -> layer_report
 val check_all :
   ?zone:Spec.Fixtures.Zone.t ->
-  ?budget:Budget.t -> Minir.Instr.program -> layer_report list
+  ?budget:Budget.t ->
+  ?store:Store.t -> Minir.Instr.program -> layer_report list

@@ -223,6 +223,26 @@ let certify = Atomic.make true
 let set_certify b = Atomic.set certify b
 let certify_enabled () = Atomic.get certify
 
+(* Persistent-store hook (installed by Store.with_solver from lib/store,
+   which sits above this library). Consulted ONLY on in-memory cache
+   misses — hits never pay for it — and only along the caching-enabled
+   paths, so disabling the result cache also disconnects the store.
+   [p_lookup] is handed the canonical term list of the query and is
+   expected to return nothing it cannot justify (the store re-validates
+   certificates on load and falls through to a fresh solve on any
+   failure); whatever it serves still passes this solver's own
+   [validate] gatekeeper before leaving. [p_save] receives only
+   Sat-with-model and Unsat-with-certificate answers; Unknown is never
+   persisted for the same reason it is never cached. *)
+type persist = {
+  p_lookup : Term.t list -> (result * Proof.t option) option;
+  p_save : Term.t list -> result * Proof.t option -> unit;
+}
+
+let persist_hook : persist option Atomic.t = Atomic.make None
+let set_persist p = Atomic.set persist_hook p
+let persist_installed () = Atomic.get persist_hook
+
 (* Two memo tables, both keyed on canonical forms:
 
    - [lia]: sorted+deduped [Linear.key_of_atom] lists — the literal
@@ -391,15 +411,57 @@ let lia_check_cached (atoms : (Linear.atom * Term.t) list) :
           else (r, p)
         in
         (r, anchor p)
-    | None ->
+    | None -> (
         M.incr c_cache_misses;
-        let r, p = solve () in
-        (match r with
-        | Lia.Unknown -> ()
-        | _ ->
-            if Hashtbl.length c.lia >= cache_limit then Hashtbl.reset c.lia;
-            Hashtbl.add c.lia key (r, p));
-        (r, anchor p)
+        (* In-memory miss: consult the persistent store, keyed by the
+           canonical source-literal terms (the key IS the query, so a
+           stored certificate is term-level and already anchored —
+           served hits bypass [anchor]). The in-memory table holds
+           index-based LIA proofs, so store hits are not inserted here;
+           the store's own domain-local memo makes repeats cheap. *)
+        let term_key = Array.to_list provs in
+        let stored =
+          match persist_installed () with
+          | None -> None
+          | Some ps -> (
+              match ps.p_lookup term_key with
+              | Some (Sat m, _) ->
+                  let lm =
+                    List.fold_left
+                      (fun acc (name, v) ->
+                        match (v : Term.value) with
+                        | Term.VInt n -> Lia.String_map.add name n acc
+                        | Term.VBool _ -> acc)
+                      Lia.String_map.empty (Model.bindings m)
+                  in
+                  Some (Lia.Sat lm, None)
+              | Some (Unsat, Some (Proof.Unsat_witness tree)) ->
+                  Some (Lia.Unsat, Some tree)
+              | Some _ | None -> None)
+        in
+        match stored with
+        | Some rt -> rt
+        | None ->
+            let r, p = solve () in
+            (match r with
+            | Lia.Unknown -> ()
+            | _ ->
+                if Hashtbl.length c.lia >= cache_limit then Hashtbl.reset c.lia;
+                Hashtbl.add c.lia key (r, p));
+            let anchored = anchor p in
+            (match persist_installed () with
+            | None -> ()
+            | Some ps -> (
+                match (r, anchored) with
+                | Lia.Sat m, _ ->
+                    let model = model_of_lia_model m [] in
+                    ps.p_save term_key
+                      (Sat model, Some (Proof.Model_witness model))
+                | Lia.Unsat, Some t ->
+                    ps.p_save term_key (Unsat, Some (Proof.Unsat_witness t))
+                | Lia.Unsat, None | Lia.Unknown, _ -> ()))
+            ;
+            (r, anchored))
   end
 
 (* Contradictory boolean literals? *)
@@ -658,12 +720,33 @@ let check_dpllt_cert (ts : Term.t list) : result * Proof.t option =
         else (r, p)
     | None ->
         M.incr c_cache_misses;
-        let rp = with_cert key (check_dpllt (Term.and_ key)) in
+        (* In-memory miss: consult the persistent store first. The key
+           is the canonical term list, so stored certificates are
+           term-level; a served answer is inserted into the in-memory
+           table like a fresh one (and still passes [validate] on the
+           way out). *)
+        let served, rp =
+          match persist_installed () with
+          | None -> (false, None)
+          | Some ps -> (
+              match ps.p_lookup key with
+              | Some rp -> (true, Some rp)
+              | None -> (false, None))
+        in
+        let rp =
+          match rp with
+          | Some rp -> rp
+          | None -> with_cert key (check_dpllt (Term.and_ key))
+        in
         (match fst rp with
         | Unknown -> ()
         | _ ->
             if Hashtbl.length c.full >= cache_limit then Hashtbl.reset c.full;
-            Hashtbl.add c.full key rp);
+            Hashtbl.add c.full key rp;
+            if not served then
+              match persist_installed () with
+              | None -> ()
+              | Some ps -> ps.p_save key rp);
         rp
   end
 

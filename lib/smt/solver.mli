@@ -66,6 +66,24 @@ val incremental_enabled : unit -> bool
 val set_certify : bool -> unit
 val certify_enabled : unit -> bool
 
+(* Persistent-store hook (installed by [Store.with_solver] in lib/store,
+   which sits above this library). Consulted only on in-memory cache
+   misses, and only along the caching-enabled paths. [p_lookup] gets
+   the canonical term list of a query and must return nothing it cannot
+   justify — the store re-validates certificates on load and falls
+   through to a fresh solve on any failure; whatever it serves still
+   passes the solver's own [validate] gatekeeper. [p_save] receives
+   Sat-with-model and Unsat-with-certificate answers only; Unknown is
+   never persisted. Atomic: installing on the main domain is observed
+   by parallel workers. *)
+type persist = {
+  p_lookup : Term.t list -> (result * Proof.t option) option;
+  p_save : Term.t list -> result * Proof.t option -> unit;
+}
+
+val set_persist : persist option -> unit
+val persist_installed : unit -> persist option
+
 (* Scope a resource budget over every [check]/[entails] call made by
    [f]: each call charges one solver step and honors the deadline. The
    scope is domain-local. *)

@@ -1,0 +1,28 @@
+(* Content-hash fingerprints over MinIR, the invalidation backbone of
+   the persistent verification store.
+
+   [func_fp] hashes one function's canonical text: blocks in DFS order
+   from the entry, registers and labels renumbered by first occurrence,
+   unreachable blocks excluded. Alpha-equivalent functions (renamed
+   registers/labels, reordered block lists, edits in dead blocks)
+   collide; any reachable one-instruction edit separates. Callee *names*
+   stay in the text — [func_fp] is local by design.
+
+   [cone_fp] is the Merkle closure: a function's local hash folded with
+   the cone hashes of everything it can call (sorted, fixpointed, capped
+   on call cycles). A store entry keyed by [cone_fp f] is invalidated
+   exactly when something [f] transitively depends on changes.
+
+   All queries memoize per program by physical identity, domain-locally;
+   lookups after the first are a hashtable probe. *)
+
+val func_fp : Minir.Instr.program -> string -> string
+val cone_fp : Minir.Instr.program -> string -> string
+
+(* Hash of every function's local fingerprint (sorted by name): changes
+   iff any function body changes. *)
+val program_fp : Minir.Instr.program -> string
+
+(* Exposed for the hash-stability tests. *)
+val canonical_text : Minir.Instr.func -> string
+val callees : Minir.Instr.func -> string list

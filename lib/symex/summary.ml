@@ -357,15 +357,33 @@ let apply (ctx : Exec.ctx) (summary : t) (bindings : (string * Term.t) list)
 (* The summarizing intercept with its cache                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Persistence hook (lib/store, which sits above this library): tried on
+   in-memory misses before summarizing, written after a fresh summarize.
+   The [key] is the canonical call-shape key built below — equal keys
+   mean equal canonical shapes, so a loaded summary applies under the
+   current call's own bindings. The hook validates what it serves (a
+   summary that fails [validate] is a miss, not an error). *)
+type persist = {
+  sp_load : fn:string -> key:string -> t option;
+  sp_save : fn:string -> key:string -> t -> unit;
+}
+
 type store = {
   cache : (string, t) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
   mutable summarize_time : float;
+  persist : persist option;
 }
 
-let create_store () =
-  { cache = Hashtbl.create 32; hits = 0; misses = 0; summarize_time = 0.0 }
+let create_store ?persist () =
+  {
+    cache = Hashtbl.create 32;
+    hits = 0;
+    misses = 0;
+    summarize_time = 0.0;
+    persist;
+  }
 
 let store_summaries (s : store) : t list =
   Hashtbl.fold (fun _ v acc -> v :: acc) s.cache []
@@ -416,21 +434,43 @@ let intercept_for ~(frozen_below : int) (store : store) (fn : string) :
             Trace.Metrics.incr c_hits;
             Trace.event ~det:false "summary.hit" ~attrs:[ ("fn", fn) ];
             (s, bindings, key)
-        | None ->
-            store.misses <- store.misses + 1;
-            Trace.Metrics.incr c_misses;
-            let s, bindings', key' =
-              Trace.with_span ~det:false "summarize" ~attrs:[ ("fn", fn) ]
-                (fun () ->
-                  summarize_at ctx ~frozen_below ~mem:path.Exec.mem ~fn ~args)
+        | None -> (
+            let persisted =
+              match store.persist with
+              | None -> None
+              | Some p -> p.sp_load ~fn ~key
             in
-            assert (key' = key);
-            (match validate s with
-            | Ok () -> ()
-            | Error m -> raise (Summary_failed m));
-            store.summarize_time <- store.summarize_time +. s.elapsed;
-            Hashtbl.replace store.cache key s;
-            (s, bindings', key))
+            match persisted with
+            | Some s ->
+                (* A store-served summary counts as a hit: nothing was
+                   re-executed. Key equality means the canonical shape
+                   is this call's shape, so the current bindings
+                   apply. *)
+                store.hits <- store.hits + 1;
+                Trace.Metrics.incr c_hits;
+                Trace.event ~det:false "summary.hit"
+                  ~attrs:[ ("fn", fn); ("src", "store") ];
+                Hashtbl.replace store.cache key s;
+                (s, bindings, key)
+            | None ->
+                store.misses <- store.misses + 1;
+                Trace.Metrics.incr c_misses;
+                let s, bindings', key' =
+                  Trace.with_span ~det:false "summarize" ~attrs:[ ("fn", fn) ]
+                    (fun () ->
+                      summarize_at ctx ~frozen_below ~mem:path.Exec.mem ~fn
+                        ~args)
+                in
+                assert (key' = key);
+                (match validate s with
+                | Ok () -> ()
+                | Error m -> raise (Summary_failed m));
+                store.summarize_time <- store.summarize_time +. s.elapsed;
+                Hashtbl.replace store.cache key s;
+                (match store.persist with
+                | None -> ()
+                | Some p -> p.sp_save ~fn ~key s);
+                (s, bindings', key)))
   in
   ignore key;
   apply ctx summary bindings path

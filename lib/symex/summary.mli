@@ -70,13 +70,24 @@ val remap_cell : (int * int) list -> Sval.scell -> Sval.scell
 val apply :
   Exec.ctx ->
   t -> (string * Term.t) list -> Exec.path -> Exec.result
+(* Persistence hook (installed by lib/store, which sits above this
+   library): [sp_load] is tried on in-memory misses before summarizing
+   (a served summary counts as a hit and enters the in-memory cache);
+   [sp_save] fires after a fresh summarize. Keys are the canonical
+   call-shape keys, so a loaded summary applies under the current
+   call's bindings. The hook must validate what it serves. *)
+type persist = {
+  sp_load : fn:string -> key:string -> t option;
+  sp_save : fn:string -> key:string -> t -> unit;
+}
 type store = {
   cache : (string, t) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
   mutable summarize_time : float;
+  persist : persist option;
 }
-val create_store : unit -> store
+val create_store : ?persist:persist -> unit -> store
 val store_summaries : store -> t list
 val intercept_for :
   frozen_below:int -> store -> string -> Exec.intercept

@@ -1,0 +1,470 @@
+(* The persistent verification store: wire codecs, crash-safety of the
+   CRC-framed file (torn tails, single-byte corruption, lock
+   contention), fingerprint stability (alpha-equivalence collides,
+   one-op edits separate, cone invalidation follows the call graph),
+   and the end-to-end guarantee — verdict fingerprints are
+   byte-identical with a cold store, a warm store, and no store. *)
+
+module Term = Smt.Term
+module Rr = Dns.Rr
+module Versions = Engine.Versions
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_opt_string = Alcotest.(check (option string))
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let fi f =
+  Faultinject.reset ();
+  Fun.protect ~finally:Faultinject.reset f
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_dir f =
+  let dir = Filename.temp_file "dnsv-store-test" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let with_store dir f =
+  let st = Store.open_ dir in
+  Fun.protect ~finally:(fun () -> Store.close st) (fun () -> f st)
+
+let data_path dir = Filename.concat dir "store.data"
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_term_roundtrip () =
+  let x = Term.int_var "x" and y = Term.int_var "y" in
+  let p = Term.bool_var "p" in
+  let terms =
+    [
+      Term.true_;
+      Term.false_;
+      Term.int 42;
+      Term.int (-7);
+      Term.and_ [ p; Term.lt x y ];
+      Term.or_ [ Term.not_ p; Term.neq x y ];
+      Term.ite p (Term.add [ x; Term.mul_const 3 y ]) (Term.sub x (Term.neg y));
+      Term.implies p (Term.eq x (Term.int 0));
+      Term.iff p (Term.le y x);
+    ]
+  in
+  List.iter
+    (fun t ->
+      let t' = Store.Codec.term_of_string (Store.Codec.term_to_string t) in
+      (* Hash-consing: decoding must land on the same physical node. *)
+      check_bool "round-trip is physically identical" true (t == t'))
+    terms
+
+let test_codec_rejects_garbage () =
+  let bad f s =
+    match f s with
+    | exception Store.Codec.Bad _ -> ()
+    | _ -> Alcotest.failf "garbage %S decoded" s
+  in
+  bad Store.Codec.term_of_string "";
+  bad Store.Codec.term_of_string "garbage";
+  bad Store.Codec.term_of_string "9999999:x";
+  bad Store.Codec.proof_of_string "";
+  bad Store.Codec.proof_of_string "!!";
+  bad Store.Codec.summary_of_string "";
+  bad Store.Codec.summary_of_string "zzz"
+
+(* ------------------------------------------------------------------ *)
+(* Store file: persistence, later-wins, gc, torn tails, locks          *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_roundtrip_and_reopen () =
+  fi @@ fun () ->
+  with_dir @@ fun dir ->
+  with_store dir (fun st ->
+      check_bool "fresh store is writable" true (Store.writable st);
+      Store.add st "S|a" "alpha";
+      Store.add st "M|b" "beta";
+      check_opt_string "hit" (Some "alpha") (Store.find st "S|a");
+      check_opt_string "miss" None (Store.find st "S|zzz"));
+  with_store dir (fun st ->
+      check_int "entries survive reopen" 2 (Store.entries st);
+      check_opt_string "persisted" (Some "beta") (Store.find st "M|b");
+      (* Later frames win, in memory and across reopen. *)
+      Store.add st "S|a" "alpha-2");
+  with_store dir (fun st ->
+      check_opt_string "later frame wins" (Some "alpha-2") (Store.find st "S|a");
+      check_int "index deduplicates" 2 (Store.entries st))
+
+let test_store_evict_and_gc () =
+  fi @@ fun () ->
+  with_dir @@ fun dir ->
+  with_store dir (fun st ->
+      Store.add st "S|keep" "v1";
+      Store.add st "S|drop" "v2";
+      Store.evict st "S|drop";
+      check_opt_string "evicted" None (Store.find st "S|drop");
+      (* gc compacts to the live set, making the eviction durable. *)
+      (match Store.gc st with
+      | Ok n -> check_int "gc live count" 1 n
+      | Error e -> Alcotest.failf "gc failed: %s" e);
+      check_opt_string "survivor intact after gc" (Some "v1")
+        (Store.find st "S|keep"));
+  with_store dir (fun st ->
+      check_int "compacted store" 1 (Store.entries st);
+      check_opt_string "eviction durable" None (Store.find st "S|drop"))
+
+let test_store_truncates_torn_tail () =
+  fi @@ fun () ->
+  with_dir @@ fun dir ->
+  (* Opaque kinds ('T' is nobody's prefix): fsck frame-checks them but
+     has no deep decoder to apply, which is what this test wants. *)
+  with_store dir (fun st ->
+      Store.add st "T|a" "alpha";
+      Store.add st "T|b" "beta");
+  (* A kill mid-append leaves a partial frame at the tail. *)
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644 (data_path dir)
+  in
+  output_string oc "DS01\xff\xff partial frame junk";
+  close_out oc;
+  let s = Store.stat dir in
+  check_bool "stat sees the torn tail" true (s.Store.st_torn_bytes > 0);
+  check_int "stat counts only intact entries" 2 s.Store.st_total;
+  with_store dir (fun st ->
+      check_bool "writer truncated the tail" true (Store.dropped_bytes st > 0);
+      check_int "entries intact" 2 (Store.entries st);
+      check_opt_string "payloads intact" (Some "alpha") (Store.find st "T|a"));
+  (* A torn tail is the expected crash signature: fsck repairs and
+     reports clean. *)
+  let fk = Store.fsck dir in
+  check_bool "fsck clean after truncation" true (Store.fsck_clean fk)
+
+let test_store_single_writer_lock () =
+  fi @@ fun () ->
+  with_dir @@ fun dir ->
+  let st1 = Store.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Store.close st1)
+    (fun () ->
+      Store.add st1 "S|a" "alpha";
+      (* Second opener in the same directory degrades to read-only. *)
+      let st2 = Store.open_ dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close st2)
+        (fun () ->
+          check_bool "second opener is read-only" false (Store.writable st2);
+          Store.add st2 "S|b" "beta";
+          check_opt_string "read-only add is a no-op" None
+            (Store.find st2 "S|b")));
+  (* Once the writer closes, the lock is free again. *)
+  with_store dir (fun st ->
+      check_bool "lock released on close" true (Store.writable st))
+
+let test_store_fault_sites () =
+  fi @@ fun () ->
+  with_dir @@ fun dir ->
+  with_store dir (fun st ->
+      Store.add st "S|a" "alpha";
+      Faultinject.arm ~after:1 Faultinject.Store_stale;
+      check_opt_string "Store_stale forces a miss" None (Store.find st "S|a");
+      check_opt_string "one-shot: next lookup hits" (Some "alpha")
+        (Store.find st "S|a");
+      Faultinject.arm ~after:1 Faultinject.Store_corrupt;
+      (match Store.find st "S|a" with
+      | Some v -> check_bool "Store_corrupt flips bytes" true (v <> "alpha")
+      | None -> Alcotest.fail "corrupt hit should still serve bytes");
+      check_opt_string "index itself is untouched" (Some "alpha")
+        (Store.find st "S|a"));
+  Faultinject.arm ~after:1 Faultinject.Store_lock_held;
+  let st = Store.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Store.close st)
+    (fun () ->
+      check_bool "Store_lock_held degrades open to read-only" false
+        (Store.writable st))
+
+(* ------------------------------------------------------------------ *)
+(* Property: a single flipped byte is always caught                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic fixture store: two dozen entries with varied sizes. *)
+let flip_fixture =
+  List.init 24 (fun i ->
+      ( Printf.sprintf "S|key-%02d" i,
+        String.init ((7 * i) + 3) (fun j -> Char.chr (33 + ((i + j) mod 90)))
+      ))
+
+let flip_never_lies (pos, bit) =
+  with_dir @@ fun dir ->
+  with_store dir (fun st ->
+      List.iter (fun (k, v) -> Store.add st k v) flip_fixture);
+  let path = data_path dir in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.of_string (really_input_string ic n) in
+  close_in ic;
+  let pos = pos mod n in
+  let mask = 1 lsl (bit mod 8) in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  (* However the flip lands — magic, length, CRC, key or value bytes,
+     even the header — the store may forget entries but must never
+     serve altered bytes. *)
+  let st = Store.open_ ~read_only:true dir in
+  Fun.protect
+    ~finally:(fun () -> Store.close st)
+    (fun () ->
+      List.for_all
+        (fun (k, v) ->
+          match Store.find st k with
+          | None -> true (* degraded: entry dropped, recomputed upstream *)
+          | Some v' -> String.equal v v')
+        flip_fixture)
+
+let prop_flip_never_lies =
+  QCheck.Test.make ~name:"store: any single-bit flip degrades, never lies"
+    ~count:80
+    QCheck.(pair (int_range 0 100_000) (int_range 0 7))
+    flip_never_lies
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints: stability and cone invalidation                       *)
+(* ------------------------------------------------------------------ *)
+
+let compile src = Golite.Compile.compile (Golite.Parse.program_of_string_exn src)
+
+let prog_base =
+  compile
+    {|
+func leaf(x int) int {
+  var k int = 0
+  while k < x {
+    k = k + 1
+  }
+  return k
+}
+
+func mid(n int) int {
+  return leaf(n) + 1
+}
+
+func top(n int) int {
+  return mid(n) + leaf(n)
+}
+|}
+
+(* The same three functions with every register renamed. *)
+let prog_alpha =
+  compile
+    {|
+func leaf(value int) int {
+  var count int = 0
+  while count < value {
+    count = count + 1
+  }
+  return count
+}
+
+func mid(m int) int {
+  return leaf(m) + 1
+}
+
+func top(q int) int {
+  return mid(q) + leaf(q)
+}
+|}
+
+(* One reachable instruction changed in [leaf] only. *)
+let prog_leaf_edit =
+  compile
+    {|
+func leaf(x int) int {
+  var k int = 0
+  while k < x {
+    k = k + 2
+  }
+  return k
+}
+
+func mid(n int) int {
+  return leaf(n) + 1
+}
+
+func top(n int) int {
+  return mid(n) + leaf(n)
+}
+|}
+
+(* One instruction changed in [top] only. *)
+let prog_top_edit =
+  compile
+    {|
+func leaf(x int) int {
+  var k int = 0
+  while k < x {
+    k = k + 1
+  }
+  return k
+}
+
+func mid(n int) int {
+  return leaf(n) + 1
+}
+
+func top(n int) int {
+  return mid(n) + leaf(n) + 1
+}
+|}
+
+module Fp = Store.Fingerprint
+
+let test_fingerprint_alpha_equivalence () =
+  List.iter
+    (fun fn ->
+      check_string
+        (Printf.sprintf "alpha-equivalent %s collides" fn)
+        (Fp.func_fp prog_base fn)
+        (Fp.func_fp prog_alpha fn))
+    [ "leaf"; "mid"; "top" ];
+  check_string "alpha-equivalent programs collide" (Fp.program_fp prog_base)
+    (Fp.program_fp prog_alpha)
+
+let test_fingerprint_one_op_edit () =
+  check_bool "edited function separates" true
+    (Fp.func_fp prog_base "leaf" <> Fp.func_fp prog_leaf_edit "leaf");
+  (* func_fp is local: callers are textually unchanged. *)
+  check_string "caller local hash unchanged (mid)"
+    (Fp.func_fp prog_base "mid")
+    (Fp.func_fp prog_leaf_edit "mid");
+  check_string "caller local hash unchanged (top)"
+    (Fp.func_fp prog_base "top")
+    (Fp.func_fp prog_leaf_edit "top")
+
+let test_fingerprint_cone_invalidation () =
+  (* Editing the leaf invalidates the whole chain above it... *)
+  List.iter
+    (fun fn ->
+      check_bool
+        (Printf.sprintf "leaf edit invalidates cone of %s" fn)
+        true
+        (Fp.cone_fp prog_base fn <> Fp.cone_fp prog_leaf_edit fn))
+    [ "leaf"; "mid"; "top" ];
+  (* ...while editing the top invalidates only the top. *)
+  check_string "top edit leaves leaf cone intact"
+    (Fp.cone_fp prog_base "leaf")
+    (Fp.cone_fp prog_top_edit "leaf");
+  check_string "top edit leaves mid cone intact"
+    (Fp.cone_fp prog_base "mid")
+    (Fp.cone_fp prog_top_edit "mid");
+  check_bool "top edit invalidates top cone" true
+    (Fp.cone_fp prog_base "top" <> Fp.cone_fp prog_top_edit "top");
+  check_bool "callees are reported" true
+    (List.mem "leaf"
+       (Fp.callees
+          (List.find
+             (fun f -> f.Minir.Instr.fn_name = "mid")
+             prog_base.Minir.Instr.funcs)))
+
+let test_fingerprint_cross_version () =
+  (* A real version bump: the buggy engine vs. its patched twin. Only
+     the patched functions' local hashes may move, and the resolve
+     cone must notice. *)
+  let buggy = Versions.compiled Versions.v3_0 in
+  let fixed = Versions.compiled (Versions.fixed Versions.v3_0) in
+  let names =
+    List.map (fun f -> f.Minir.Instr.fn_name) buggy.Minir.Instr.funcs
+  in
+  let changed =
+    List.filter (fun fn -> Fp.func_fp buggy fn <> Fp.func_fp fixed fn) names
+  in
+  check_bool "some function changed" true (changed <> []);
+  check_bool "not every function changed" true
+    (List.length changed < List.length names);
+  check_bool "resolve cone invalidated" true
+    (Fp.cone_fp buggy "resolve" <> Fp.cone_fp fixed "resolve");
+  check_bool "program fingerprint moved" true
+    (Fp.program_fp buggy <> Fp.program_fp fixed)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration: warm equals cold equals storeless             *)
+(* ------------------------------------------------------------------ *)
+
+let cold_caches () =
+  Smt.Solver.clear_caches ();
+  Dnsv.Pipeline.clear_summary_memo ();
+  Store.clear_domain_memos ()
+
+let test_pipeline_store_identical_verdicts () =
+  fi @@ fun () ->
+  with_dir @@ fun dir ->
+  let cfg = Versions.fixed Versions.v1_0 in
+  let zone = Spec.Fixtures.figure11_zone in
+  let verify store = Dnsv.Pipeline.verify ~qtypes:[ Rr.A ] ?store cfg zone in
+  cold_caches ();
+  let baseline = verify None in
+  cold_caches ();
+  let cold = with_store dir (fun st -> verify (Some st)) in
+  check_string "cold store verdict matches storeless"
+    (Dnsv.Pipeline.fingerprint baseline)
+    (Dnsv.Pipeline.fingerprint cold);
+  cold_caches ();
+  let warm = with_store dir (fun st -> verify (Some st)) in
+  check_string "warm store verdict matches storeless"
+    (Dnsv.Pipeline.fingerprint baseline)
+    (Dnsv.Pipeline.fingerprint warm);
+  let s = Store.stat dir in
+  check_bool "entries persisted" true (s.Store.st_total > 0);
+  let fk =
+    Store.fsck
+      ~check:(fun ~key ~payload ->
+        match Dnsv.Pipeline.store_entry_check ~key ~payload with
+        | Some _ as r -> r
+        | None -> Refine.Layers.store_entry_check ~key ~payload)
+      dir
+  in
+  check_bool "deep fsck clean" true (Store.fsck_clean fk)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "term round-trip" `Quick test_codec_term_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+        ] );
+      ( "file",
+        [
+          Alcotest.test_case "round-trip and reopen" `Quick
+            test_store_roundtrip_and_reopen;
+          Alcotest.test_case "evict and gc" `Quick test_store_evict_and_gc;
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_store_truncates_torn_tail;
+          Alcotest.test_case "single-writer lock" `Quick
+            test_store_single_writer_lock;
+          Alcotest.test_case "fault sites" `Quick test_store_fault_sites;
+        ] );
+      ("corruption", qcheck [ prop_flip_never_lies ]);
+      ( "fingerprint",
+        [
+          Alcotest.test_case "alpha equivalence" `Quick
+            test_fingerprint_alpha_equivalence;
+          Alcotest.test_case "one-op edit" `Quick test_fingerprint_one_op_edit;
+          Alcotest.test_case "cone invalidation" `Quick
+            test_fingerprint_cone_invalidation;
+          Alcotest.test_case "cross-version" `Quick
+            test_fingerprint_cross_version;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "warm equals cold equals storeless" `Quick
+            test_pipeline_store_identical_verdicts;
+        ] );
+    ]

@@ -161,6 +161,12 @@ let test_span_tree_independent_of_jobs () =
 
 let test_span_tree_replayable_under_faults () =
   let tree () =
+    (* Replayability is over identical starting state: scrub the solver
+       caches and summary memo so both runs are cold — a fault that
+       fires on the Nth arrival (e.g. the Nth budget tick) would
+       otherwise land in a different span on the warm run. *)
+    Smt.Solver.clear_caches ();
+    Dnsv.Pipeline.clear_summary_memo ();
     Faultinject.reset ();
     Dnsv.Chaos.arm_plan (Dnsv.Chaos.plan_of_seed 3);
     let _, forest =
