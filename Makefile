@@ -1,5 +1,5 @@
 # Convenience targets over dune. `make bench-json` is the perf gate:
-# it regenerates BENCH_PR6.json and fails (exit 1) if parallel/cached
+# it regenerates BENCH_PR7.json and fails (exit 1) if parallel/cached
 # verdicts diverge from sequential ones, the summaries-ablation
 # speedup regresses below its seed-commit floor, certificate checking
 # costs more than 10% over the uncertified re-verification, span
@@ -7,15 +7,19 @@
 # when nothing is discharged (or discharges under 20% of panic
 # checks), the store-backed incremental cross-version re-verify is
 # less than 10x faster than cold (or its verdict fingerprint drifts),
-# store bookkeeping costs more than 10% over a storeless run, or the
-# 200-plan chaos soak reports a soundness violation (the checks live
-# in bench/main.ml's json target). `make lint` runs
+# store bookkeeping costs more than 10% over a storeless run, the
+# CDCL solver core does fewer than 2x fewer DPLL(T) iterations than
+# the legacy no-learning discipline (or more than half the PR 6
+# baseline, or its verdict fingerprint drifts), or the 200-plan chaos
+# soak reports a soundness violation (the checks live in
+# bench/main.ml's json target). `make lint` runs
 # the abstract-interpretation linter over every bundled engine version
 # against the checked-in baseline. `make chaos` is the standalone soak
 # via the CLI; `make trace` records a verification trace and renders
-# it.
+# it. `make fuzz` is the seeded solver-fuzz smoke battery (random CNFs
+# and LIA conjunctions, CDCL vs. a reference evaluator).
 
-.PHONY: all build check test lint bench bench-json chaos trace clean
+.PHONY: all build check test lint bench bench-json fuzz chaos trace clean
 
 all: build
 
@@ -35,9 +39,12 @@ bench:
 	dune exec bench/main.exe
 
 bench-json:
-	dune exec bench/main.exe -- json > BENCH_PR6.json
-	@cat BENCH_PR6.json
+	dune exec bench/main.exe -- json > BENCH_PR7.json
+	@cat BENCH_PR7.json
 	@echo
+
+fuzz:
+	dune exec test/fuzz_solver.exe -- 2000
 
 chaos:
 	dune exec bin/dnsv_cli.exe -- chaos --plans 200 --seed 1

@@ -191,7 +191,7 @@ let reverify_all () =
    arm to keep machine noise out of the gate. *)
 
 let cert_overhead_gate = 1.10
-let cert_overhead_reps = 2
+let cert_overhead_reps = 3
 
 let best_of n f =
   let rec go k best =
@@ -240,7 +240,7 @@ let cert_overhead () =
    arm to keep machine noise out of the gate. *)
 
 let trace_overhead_gate = 1.05
-let trace_overhead_reps = 4
+let trace_overhead_reps = 6
 
 let trace_overhead_runs () =
   let arm_untraced () = reverify_run ~caching:true ~jobs:1 () in
@@ -299,7 +299,7 @@ let trace_overhead () =
    tracing probe. *)
 
 let analysis_overhead_gate = 1.05
-let analysis_overhead_reps = 4
+let analysis_overhead_reps = 6
 
 type analysis_overhead_result = {
   ao_off : reverify_run;
@@ -388,7 +388,7 @@ let incremental_qtypes = [ Dns.Rr.A; Dns.Rr.MX ]
 (* Cold-with-store vs. no-store on the same engine: the bookkeeping tax
    of recording every entry must stay within [store_overhead_gate]. *)
 let store_overhead_gate = 1.10
-let store_overhead_reps = 3
+let store_overhead_reps = 5
 
 let rec rm_rf path =
   match Unix.lstat path with
@@ -522,10 +522,11 @@ let reverify () =
   let seed, cached, par = reverify_all () in
   let line name (r : reverify_run) =
     Printf.printf
-      "%-22s %8.3f s   speedup %5.2fx   cache %d/%d hit/miss   incr/scratch \
-       %d/%d\n"
+      "%-22s %8.3f s   speedup %5.2fx   dpllt %4d   cache %d/%d hit/miss   \
+       incr/scratch %d/%d\n"
       name r.rv_wall
       (seed.rv_wall /. r.rv_wall)
+      r.rv_stats.Smt.Solver.dpllt_iterations
       r.rv_stats.Smt.Solver.cache_hits r.rv_stats.Smt.Solver.cache_misses
       r.rv_stats.Smt.Solver.incremental_checks
       r.rv_stats.Smt.Solver.scratch_checks
@@ -540,6 +541,103 @@ let reverify () =
   Printf.printf "\nverdict fingerprints identical across configurations: %b\n\n"
     identical;
   if not identical then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* CDCL solver-core gate                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The solver-core headline of this PR: the whole-pipeline verification
+   workload (resolution layers + every engine qtype under a tracked
+   budget — the probe whose PR 6 run measured
+   [cdcl_baseline_pr6_iterations] DPLL(T) iterations) under the legacy
+   solver discipline — presolve off and clause learning off, so every
+   theory refutation blocks the full assignment and the SAT search
+   restarts from scratch — vs. the CDCL defaults: theory conflict
+   cores learned as clauses in a persistent solver, presolve pruning,
+   and entailed-unit trail seeding. Certificate validation stays on in
+   both arms, so every served answer is still checked. Gates: the CDCL
+   arm must do >= [cdcl_gate]x fewer dpllt_iterations than the legacy
+   arm AND stay at or below half the PR 6 baseline, with byte-identical
+   verdict fingerprints between the arms. *)
+
+let cdcl_baseline_pr6_iterations = 1326
+let cdcl_gate = 2.0
+
+type cdcl_run = {
+  cd_wall : float;
+  cd_fp : string;
+  cd_stats : Smt.Solver.stats;
+  cd_conflicts : int;
+  cd_learned : int;
+  cd_restarts : int;
+  cd_propagations : int;
+  cd_pruned : int;
+}
+
+let cdcl_run ~legacy () =
+  let cfg = Engine.Versions.fixed Engine.Versions.v3_0 in
+  let zone = Spec.Fixtures.reference_zone in
+  Smt.Solver.set_presolve (not legacy);
+  Smt.Solver.set_learning (not legacy);
+  Smt.Solver.clear_caches ();
+  Dnsv.Pipeline.clear_summary_memo ();
+  let s0 = stats_snapshot () in
+  let m0 = Trace.Metrics.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let v = Dnsv.Pipeline.verify ~budget:(Budget.create ()) cfg zone in
+  let wall = Unix.gettimeofday () -. t0 in
+  let d = Trace.Metrics.diff (Trace.Metrics.snapshot ()) m0 in
+  let stats = Smt.Solver.diff_stats (stats_snapshot ()) s0 in
+  Smt.Solver.set_presolve true;
+  Smt.Solver.set_learning true;
+  {
+    cd_wall = wall;
+    cd_fp = Dnsv.Pipeline.fingerprint v;
+    cd_stats = stats;
+    cd_conflicts = Trace.Metrics.get d "solver.conflicts";
+    cd_learned = Trace.Metrics.get d "solver.learned_clauses";
+    cd_restarts = Trace.Metrics.get d "solver.restarts";
+    cd_propagations = Trace.Metrics.get d "solver.propagations";
+    cd_pruned = Trace.Metrics.get d "presolve.pruned";
+  }
+
+let cdcl_runs () =
+  let legacy = cdcl_run ~legacy:true () in
+  let cdcl = cdcl_run ~legacy:false () in
+  (legacy, cdcl)
+
+let cdcl_gates (legacy : cdcl_run) (cdcl : cdcl_run) =
+  let li = legacy.cd_stats.Smt.Solver.dpllt_iterations
+  and ci = cdcl.cd_stats.Smt.Solver.dpllt_iterations in
+  let ratio = if ci = 0 then infinity else float_of_int li /. float_of_int ci in
+  let identical = String.equal legacy.cd_fp cdcl.cd_fp in
+  (li, ci, ratio, identical)
+
+let cdcl_reverify () =
+  rule ();
+  print_endline
+    "CDCL solver core: legacy discipline (full-assignment blocking, scratch";
+  print_endline
+    "re-solves) vs. learned theory cores + presolve, whole-pipeline workload";
+  print_newline ();
+  let legacy, cdcl = cdcl_runs () in
+  let line name (r : cdcl_run) =
+    Printf.printf
+      "%-26s %8.3f s   dpllt %5d   conflicts %5d   learned %5d   pruned %4d\n"
+      name r.cd_wall r.cd_stats.Smt.Solver.dpllt_iterations r.cd_conflicts
+      r.cd_learned r.cd_pruned
+  in
+  line "legacy discipline" legacy;
+  line "cdcl + presolve" cdcl;
+  let li, ci, ratio, identical = cdcl_gates legacy cdcl in
+  Printf.printf
+    "\ndpllt_iterations %d -> %d: %.2fx fewer (gate >= %.0fx; PR 6 baseline \
+     %d), fingerprints identical: %b\n\n"
+    li ci ratio cdcl_gate cdcl_baseline_pr6_iterations identical;
+  if
+    (not identical) || ratio < cdcl_gate
+    || 2 * ci > cdcl_baseline_pr6_iterations
+  then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* JSON budget-consumption report                                     *)
@@ -785,6 +883,8 @@ let json () =
   let inc_identical = String.equal inc.inc_cold.ir_fp inc.inc_warm.ir_fp in
   let so = store_overhead_runs () in
   let so_ratio = so.so_with.ir_wall /. so.so_without.ir_wall in
+  let cd_legacy, cd_cdcl = cdcl_runs () in
+  let cd_li, cd_ci, cd_ratio, cd_identical = cdcl_gates cd_legacy cd_cdcl in
   let chaos_wall, chaos_o = timed_chaos () in
   print_endline
     (json_obj
@@ -879,6 +979,26 @@ let json () =
                ("overhead_ratio", Printf.sprintf "%.3f" so_ratio);
                ("gate", Printf.sprintf "%.2f" store_overhead_gate);
              ] );
+         ( "cdcl_reverify",
+           json_obj
+             [
+               ("legacy_wall_s", Printf.sprintf "%.4f" cd_legacy.cd_wall);
+               ("cdcl_wall_s", Printf.sprintf "%.4f" cd_cdcl.cd_wall);
+               ("iterations_legacy", string_of_int cd_li);
+               ("iterations_cdcl", string_of_int cd_ci);
+               ("iteration_ratio", Printf.sprintf "%.3f" cd_ratio);
+               ("gate", Printf.sprintf "%.1f" cdcl_gate);
+               ( "baseline_pr6_iterations",
+                 string_of_int cdcl_baseline_pr6_iterations );
+               ("conflicts", string_of_int cd_cdcl.cd_conflicts);
+               ("learned_clauses", string_of_int cd_cdcl.cd_learned);
+               ("restarts", string_of_int cd_cdcl.cd_restarts);
+               ("propagations", string_of_int cd_cdcl.cd_propagations);
+               ("presolve_pruned", string_of_int cd_cdcl.cd_pruned);
+               ( "cert_checks",
+                 string_of_int cd_cdcl.cd_stats.Smt.Solver.cert_checks );
+               ("fingerprints_identical", string_of_bool cd_identical);
+             ] );
          ("chaos", json_of_chaos chaos_wall chaos_o);
        ]);
   if not verdicts_identical then begin
@@ -949,6 +1069,25 @@ let json () =
     Printf.eprintf
       "FAIL: store bookkeeping overhead %.3fx exceeds the %.2fx gate\n"
       so_ratio store_overhead_gate;
+    exit 1
+  end;
+  if not cd_identical then begin
+    prerr_endline
+      "FAIL: CDCL and legacy-discipline verdict fingerprints differ";
+    exit 1
+  end;
+  if cd_ratio < cdcl_gate then begin
+    Printf.eprintf
+      "FAIL: CDCL dpllt_iterations reduction %.2fx below the %.0fx gate (%d \
+       -> %d)\n"
+      cd_ratio cdcl_gate cd_li cd_ci;
+    exit 1
+  end;
+  if 2 * cd_ci > cdcl_baseline_pr6_iterations then begin
+    Printf.eprintf
+      "FAIL: CDCL arm's %d dpllt_iterations exceeds half the PR 6 baseline \
+       (%d)\n"
+      cd_ci cdcl_baseline_pr6_iterations;
     exit 1
   end;
   if not (Dnsv.Chaos.ok chaos_o) then begin
@@ -1058,6 +1197,7 @@ let () =
       | "fig12" -> fig12 ()
       | "ablation" -> ablation ()
       | "reverify" -> reverify ()
+      | "cdclreverify" -> cdcl_reverify ()
       | "certoverhead" -> cert_overhead ()
       | "traceoverhead" -> trace_overhead ()
       | "analysisoverhead" -> analysis_overhead ()
@@ -1068,7 +1208,7 @@ let () =
       | other ->
           Printf.eprintf
             "unknown target %s (expected \
-             table1|table2|table3|fig12|ablation|reverify|certoverhead|traceoverhead|analysisoverhead|incremental|chaos|json|micro)\n"
+             table1|table2|table3|fig12|ablation|reverify|cdclreverify|certoverhead|traceoverhead|analysisoverhead|incremental|chaos|json|micro)\n"
             other;
           exit 2)
     targets

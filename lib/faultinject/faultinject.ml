@@ -24,6 +24,7 @@ type site =
   | Store_corrupt (* flip bytes in a Store entry payload on a hit *)
   | Store_stale (* make a Store lookup miss as if the entry were absent *)
   | Store_lock_held (* pretend another writer holds the Store lock *)
+  | Conflict_corrupt (* drop a literal from a learned clause in Smt.Sat *)
 
 let site_to_string = function
   | Solver_unknown -> "solver-unknown"
@@ -36,6 +37,7 @@ let site_to_string = function
   | Store_corrupt -> "store-corrupt"
   | Store_stale -> "store-stale"
   | Store_lock_held -> "store-lock-held"
+  | Conflict_corrupt -> "conflict-corrupt"
 
 let site_of_string = function
   | "solver-unknown" -> Some Solver_unknown
@@ -48,6 +50,7 @@ let site_of_string = function
   | "store-corrupt" -> Some Store_corrupt
   | "store-stale" -> Some Store_stale
   | "store-lock-held" -> Some Store_lock_held
+  | "conflict-corrupt" -> Some Conflict_corrupt
   | _ -> None
 
 exception Injected of string
@@ -71,6 +74,7 @@ let all_sites =
     Store_corrupt;
     Store_stale;
     Store_lock_held;
+    Conflict_corrupt;
   ]
 
 (* Seconds added to Budget.now when Clock_overrun fires. *)

@@ -19,6 +19,7 @@ type site =
   | Store_corrupt (* flip bytes in a Store entry payload on a hit *)
   | Store_stale (* make a Store lookup miss as if the entry were absent *)
   | Store_lock_held (* pretend another writer holds the Store lock *)
+  | Conflict_corrupt (* drop a literal from a learned clause in Smt.Sat *)
 
 val site_to_string : site -> string
 val site_of_string : string -> site option

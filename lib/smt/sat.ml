@@ -1,111 +1,540 @@
-(* A small DPLL SAT core with unit propagation and chronological
-   backtracking.
+(* A CDCL SAT core with certified clause learning.
 
-   The propositional skeletons DNS-V produces are modest — summaries keep
-   branch structure explicit but conditions simple (§4.2) — so a lean DPLL
-   with a trail beats the complexity of CDCL here. The solver supports
-   adding blocking clauses between calls, which is how the DPLL(T) loop in
-   [Solver] refutes theory-inconsistent assignments. *)
+   The propositional skeletons DNS-V produces are modest, but the
+   DPLL(T) loop in [Solver] replays thousands of near-identical panic
+   queries, and a chronological-backtracking DPLL repeats the same
+   conflict work on every one. This core keeps that work: two-watched-
+   literal propagation (no clause-list scans), a decision trail with
+   levels, 1UIP conflict analysis with non-chronological backjumping,
+   Luby restarts, and a VSIDS-style activity heuristic whose ties break
+   toward the lowest variable id so every run is reproducible. The
+   solver is persistent across [add_clause], so theory lemmas become
+   learned facts instead of causes for a scratch re-solve.
+
+   Certified learning: every learned clause stores the resolution chain
+   (antecedent clause ids + pivot variables) of its 1UIP derivation,
+   including the steps that eliminate level-0 literals' vars is not
+   needed because level-0 literals are *kept* in the learned clause —
+   the chain then re-derives the stored clause exactly, by syntactic
+   resolution alone, with no arithmetic. [validate] replays every chain
+   plus the final empty-clause derivation after an Unsat answer; the
+   caller treats a failed replay as a failed certificate and degrades
+   to Unknown. The [Faultinject.Conflict_corrupt] site fires inside
+   conflict analysis and drops a literal from the learned clause;
+   dropping a literal only strengthens a clause, so Sat answers remain
+   genuine models of the original clause set, while a wrong Unsat is
+   caught by the replay. *)
+
+module M = Trace.Metrics
+
+let c_conflicts = M.counter "solver.conflicts"
+let c_learned = M.counter "solver.learned_clauses"
+let c_restarts = M.counter "solver.restarts"
+let c_propagations = M.counter "solver.propagations"
 
 type assignment = bool array
-(* index by variable id; valid between 1 and nvars *)
 
 type result = Sat of assignment | Unsat
 
-type t = {
-  nvars : int;
-  mutable clauses : Cnf.clause list;
+(* Resolution-chain certificate: start from clause [base] and resolve,
+   in order, with each [steps] clause on its pivot variable. *)
+type chain = { base : int; steps : (int * int) list }
+
+type clause = {
+  mutable lits : int array;
+  (* positions 0 and 1 are the watched literals (length >= 2) *)
+  cert : chain option; (* Some for learned clauses *)
 }
 
-let create ~nvars clauses = { nvars; clauses }
-let add_clause t c = t.clauses <- c :: t.clauses
+type t = {
+  nvars : int;
+  mutable cls : clause array;
+  mutable n_cls : int;
+  values : int array; (* var -> 0 unassigned / 1 true / -1 false *)
+  var_level : int array;
+  reason : int array; (* var -> clause id, -1 for decisions/unassigned *)
+  trail : int array;
+  mutable trail_n : int;
+  trail_lim : int array; (* trail_lim.(l) = trail size when level l+1 began *)
+  mutable n_levels : int;
+  mutable qhead : int;
+  watches : int list array; (* watched-literal index -> clause ids *)
+  activity : float array;
+  mutable var_inc : float;
+  seen : bool array; (* conflict-analysis scratch *)
+  (* None: not refuted. Some None: refuted but the empty-clause
+     derivation could not be built — [validate] fails closed.
+     Some (Some c): refuted with derivation [c]. *)
+  mutable refutation : chain option option;
+  mutable n_conflicts : int;
+  mutable n_learned : int;
+  mutable n_restarts : int;
+  mutable n_props : int;
+  mutable restart_run : int; (* completed restarts, drives Luby *)
+  mutable conflicts_in_run : int;
+}
 
-(* value: 0 unassigned, 1 true, -1 false *)
-let lit_value values lit =
-  let v = values.(abs lit) in
-  if v = 0 then 0 else if (v > 0) = (lit > 0) then 1 else -1
+let dummy_clause = { lits = [||]; cert = None }
 
-exception Conflict
+(* Watched-literal slot for a literal. *)
+let widx l = (2 * abs l) + if l > 0 then 0 else 1
+
+let value t l =
+  let v = t.values.(abs l) in
+  if v = 0 then 0 else if (v > 0) = (l > 0) then 1 else -1
+
+let conflicts t = t.n_conflicts
+let learned t = t.n_learned
+let restarts t = t.n_restarts
+let propagations t = t.n_props
+
+(* ------------------------------------------------------------------ *)
+(* Trail                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue t l reason_id =
+  t.values.(abs l) <- (if l > 0 then 1 else -1);
+  t.var_level.(abs l) <- t.n_levels;
+  t.reason.(abs l) <- reason_id;
+  t.trail.(t.trail_n) <- l;
+  t.trail_n <- t.trail_n + 1
+
+let cancel_until t lvl =
+  if t.n_levels > lvl then begin
+    let bound = t.trail_lim.(lvl) in
+    for i = t.trail_n - 1 downto bound do
+      let v = abs t.trail.(i) in
+      t.values.(v) <- 0;
+      t.reason.(v) <- -1
+    done;
+    t.trail_n <- bound;
+    t.qhead <- bound;
+    t.n_levels <- lvl
+  end
+
+let new_decision_level t =
+  t.trail_lim.(t.n_levels) <- t.trail_n;
+  t.n_levels <- t.n_levels + 1
+
+(* ------------------------------------------------------------------ *)
+(* Clause storage                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_clause t lits cert =
+  if t.n_cls = Array.length t.cls then begin
+    let bigger = Array.make (max 16 (2 * t.n_cls)) dummy_clause in
+    Array.blit t.cls 0 bigger 0 t.n_cls;
+    t.cls <- bigger
+  end;
+  let cid = t.n_cls in
+  t.cls.(cid) <- { lits; cert };
+  t.n_cls <- cid + 1;
+  cid
+
+let watch_clause t cid =
+  let lits = t.cls.(cid).lits in
+  t.watches.(widx lits.(0)) <- cid :: t.watches.(widx lits.(0));
+  t.watches.(widx lits.(1)) <- cid :: t.watches.(widx lits.(1))
+
+(* ------------------------------------------------------------------ *)
+(* Final (empty-clause) derivation at level 0                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve the level-0-falsified clause [confl] against the reasons of
+   its literals, walking the trail top-down; every literal of every
+   resolvent is a false level-0 literal with a reason (level 0 has no
+   decisions), so the set must empty out. Returns None — and therefore
+   fails validation — if an expected reason is missing. *)
+let final_resolution t confl =
+  let set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter (fun l -> Hashtbl.replace set l ()) t.cls.(confl).lits;
+  let steps = ref [] in
+  let ok = ref true in
+  (try
+     for i = t.trail_n - 1 downto 0 do
+       let p = t.trail.(i) in
+       if Hashtbl.mem set (-p) then begin
+         let r = t.reason.(abs p) in
+         if r < 0 then begin
+           ok := false;
+           raise Exit
+         end;
+         steps := (abs p, r) :: !steps;
+         Hashtbl.remove set (-p);
+         Array.iter
+           (fun l -> if l <> p then Hashtbl.replace set l ())
+           t.cls.(r).lits
+       end
+     done
+   with Exit -> ());
+  if !ok && Hashtbl.length set = 0 then
+    Some { base = confl; steps = List.rev !steps }
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Adding clauses (input clauses and theory lemmas)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Splice a clause in at level 0. The DPLL(T) loop calls this with the
+   trail at a full assignment; backtracking to the root is what makes
+   the clause attachable anywhere, and every learned clause survives —
+   the whole point of the persistent core. *)
+let add_clause t (c : Cnf.clause) =
+  if t.refutation = None then begin
+    cancel_until t 0;
+    let lits = List.sort_uniq compare c in
+    let tautology =
+      List.exists (fun l -> List.exists (fun l' -> l' = -l) lits) lits
+    in
+    if not tautology then
+      match lits with
+      | [] ->
+          let cid = alloc_clause t [||] None in
+          t.refutation <- Some (Some { base = cid; steps = [] })
+      | [ l ] -> (
+          let cid = alloc_clause t [| l |] None in
+          match value t l with
+          | 0 -> enqueue t l cid
+          | 1 -> ()
+          | _ -> t.refutation <- Some (final_resolution t cid))
+      | _ ->
+          let arr = Array.of_list lits in
+          (* Prefer non-false literals in the watched positions. *)
+          let n = Array.length arr in
+          let swap i j =
+            let tmp = arr.(i) in
+            arr.(i) <- arr.(j);
+            arr.(j) <- tmp
+          in
+          let placed = ref 0 in
+          (try
+             for i = 0 to n - 1 do
+               if value t arr.(i) >= 0 then begin
+                 swap !placed i;
+                 incr placed;
+                 if !placed = 2 then raise Exit
+               end
+             done
+           with Exit -> ());
+          let cid = alloc_clause t arr None in
+          watch_clause t cid;
+          if !placed = 0 then t.refutation <- Some (final_resolution t cid)
+          else if !placed = 1 && value t arr.(0) = 0 then enqueue t arr.(0) cid
+  end
+
+let create ~nvars clauses =
+  let t =
+    {
+      nvars;
+      cls = Array.make (max 16 (List.length clauses)) dummy_clause;
+      n_cls = 0;
+      values = Array.make (nvars + 1) 0;
+      var_level = Array.make (nvars + 1) 0;
+      reason = Array.make (nvars + 1) (-1);
+      trail = Array.make (nvars + 1) 0;
+      trail_n = 0;
+      trail_lim = Array.make (nvars + 2) 0;
+      n_levels = 0;
+      qhead = 0;
+      watches = Array.make ((2 * (nvars + 1)) + 2) [];
+      activity = Array.make (nvars + 1) 0.;
+      var_inc = 1.;
+      seen = Array.make (nvars + 1) false;
+      refutation = None;
+      n_conflicts = 0;
+      n_learned = 0;
+      n_restarts = 0;
+      n_props = 0;
+      restart_run = 0;
+      conflicts_in_run = 0;
+    }
+  in
+  List.iter (add_clause t) clauses;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Propagation (two watched literals)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec propagate t : int option =
+  if t.qhead >= t.trail_n then None
+  else begin
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    t.n_props <- t.n_props + 1;
+    M.incr c_propagations;
+    let fl = -p in
+    let slot = widx fl in
+    let ws = t.watches.(slot) in
+    t.watches.(slot) <- [];
+    let conflict = ref (-1) in
+    let keep cid = t.watches.(slot) <- cid :: t.watches.(slot) in
+    let rec go = function
+      | [] -> ()
+      | cid :: rest when !conflict >= 0 ->
+          keep cid;
+          go rest
+      | cid :: rest ->
+          let lits = t.cls.(cid).lits in
+          if lits.(0) = fl then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- fl
+          end;
+          if value t lits.(0) = 1 then keep cid
+          else begin
+            (* Find a replacement watch among the tail. *)
+            let len = Array.length lits in
+            let k = ref 2 in
+            while !k < len && value t lits.(!k) = -1 do
+              incr k
+            done;
+            if !k < len then begin
+              lits.(1) <- lits.(!k);
+              lits.(!k) <- fl;
+              t.watches.(widx lits.(1)) <- cid :: t.watches.(widx lits.(1))
+            end
+            else begin
+              keep cid;
+              match value t lits.(0) with
+              | -1 -> conflict := cid
+              | 0 -> enqueue t lits.(0) cid
+              | _ -> ()
+            end
+          end;
+          go rest
+    in
+    go ws;
+    if !conflict >= 0 then Some !conflict else propagate t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* VSIDS                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rescale_limit = 1e100
+let activity_decay = 1. /. 0.95
+
+let bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > rescale_limit then begin
+    for i = 1 to t.nvars do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end
+
+let decay t = t.var_inc <- t.var_inc *. activity_decay
+
+(* Highest activity wins; ties break toward the lowest variable id
+   (strict > while scanning ascending), so the heuristic — and with it
+   every model the solver returns — is deterministic. *)
+let pick_branch t =
+  let best = ref 0 and best_act = ref neg_infinity in
+  for v = 1 to t.nvars do
+    if t.values.(v) = 0 && t.activity.(v) > !best_act then begin
+      best := v;
+      best_act := t.activity.(v)
+    end
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis (1UIP)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns the learned clause (asserting literal first), the backjump
+   level, and the resolution chain that re-derives it. Literals false
+   at level 0 are *kept* in the learned clause, so the chain — which
+   never resolves on their vars — replays to exactly the stored
+   literal set. *)
+let analyze t confl =
+  let learnt = ref [] in
+  let to_clear = ref [] in
+  let path = ref 0 in
+  let p = ref 0 in
+  let index = ref (t.trail_n - 1) in
+  let steps = ref [] in
+  let cur = ref confl in
+  let continue = ref true in
+  while !continue do
+    let lits = t.cls.(!cur).lits in
+    let start = if !p = 0 then 0 else 1 in
+    for j = start to Array.length lits - 1 do
+      let q = lits.(j) in
+      let v = abs q in
+      if not t.seen.(v) then begin
+        t.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        bump t v;
+        if t.var_level.(v) >= t.n_levels then incr path else learnt := q :: !learnt
+      end
+    done;
+    while not t.seen.(abs t.trail.(!index)) do
+      decr index
+    done;
+    let pl = t.trail.(!index) in
+    decr index;
+    let v = abs pl in
+    t.seen.(v) <- false;
+    p := pl;
+    decr path;
+    if !path = 0 then continue := false
+    else begin
+      let r = t.reason.(v) in
+      steps := (v, r) :: !steps;
+      cur := r
+    end
+  done;
+  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
+  let chain = { base = confl; steps = List.rev !steps } in
+  let lits = Array.of_list ((- !p) :: !learnt) in
+  (* Fault site inside conflict analysis: drop a (non-asserting)
+     literal from the learned clause. The chain no longer re-derives
+     the stored clause, so [validate] rejects it and the caller
+     degrades any Unsat leaning on it to Unknown. *)
+  let lits =
+    if Array.length lits >= 2 && Faultinject.fire Faultinject.Conflict_corrupt
+    then Array.sub lits 0 (Array.length lits - 1)
+    else lits
+  in
+  (* Backjump target: the deepest level among the non-asserting
+     literals; position 1 gets that literal (the second watch). *)
+  let bj = ref 0 in
+  for j = 1 to Array.length lits - 1 do
+    if t.var_level.(abs lits.(j)) > !bj then bj := t.var_level.(abs lits.(j))
+  done;
+  if Array.length lits >= 2 then begin
+    let best = ref 1 in
+    for j = 2 to Array.length lits - 1 do
+      if t.var_level.(abs lits.(j)) > t.var_level.(abs lits.(!best)) then
+        best := j
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!best);
+    lits.(!best) <- tmp
+  end;
+  (lits, !bj, chain)
+
+(* ------------------------------------------------------------------ *)
+(* Luby restarts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let restart_base = 32
+
+(* The i-th (0-based) element of the Luby sequence 1,1,2,1,1,2,4,... *)
+let luby i =
+  let seq = ref 0 and size = ref 1 in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref i in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                             *)
+(* ------------------------------------------------------------------ *)
 
 let solve t : result =
-  let values = Array.make (t.nvars + 1) 0 in
-  let trail = ref [] in
-  let assign lit =
-    values.(abs lit) <- (if lit > 0 then 1 else -1);
-    trail := lit :: !trail
-  in
-  let unassign lit = values.(abs lit) <- 0 in
-  (* Unit propagation to fixpoint; returns the list of literals assigned
-     by this round (for backtracking) or raises [Conflict]. *)
-  let propagate () =
-    let assigned = ref [] in
-    let changed = ref true in
-    (try
-       while !changed do
-         changed := false;
-         List.iter
-           (fun clause ->
-             let unassigned = ref [] and satisfied = ref false in
-             List.iter
-               (fun lit ->
-                 match lit_value values lit with
-                 | 1 -> satisfied := true
-                 | 0 -> unassigned := lit :: !unassigned
-                 | _ -> ())
-               clause;
-             if not !satisfied then
-               match !unassigned with
-               | [] -> raise Conflict
-               | [ lit ] ->
-                   assign lit;
-                   assigned := lit :: !assigned;
-                   changed := true
-               | _ -> ())
-           t.clauses
-       done;
-       Ok !assigned
-     with Conflict -> Error !assigned)
-  in
-  let rec decide () =
-    match propagate () with
-    | Error assigned ->
-        List.iter unassign assigned;
-        false
-    | Ok assigned -> (
-        (* Pick the first unassigned variable. *)
-        let pick = ref 0 in
-        (try
-           for v = 1 to t.nvars do
-             if values.(v) = 0 then begin
-               pick := v;
-               raise Exit
-             end
-           done
-         with Exit -> ());
-        match !pick with
-        | 0 -> true (* full assignment, all clauses satisfied *)
-        | v ->
-            let try_branch lit =
-              assign lit;
-              if decide () then true
-              else begin
-                unassign lit;
-                trail := List.tl !trail;
-                false
-              end
-            in
-            if try_branch v then true
-            else if try_branch (-v) then true
-            else begin
-              List.iter unassign assigned;
-              false
-            end)
-  in
-  if decide () then begin
-    let out = Array.make (t.nvars + 1) false in
-    for v = 1 to t.nvars do
-      out.(v) <- values.(v) > 0
-    done;
-    Sat out
+  if t.refutation <> None then Unsat
+  else begin
+    let rec loop () =
+      match propagate t with
+      | Some confl ->
+          t.n_conflicts <- t.n_conflicts + 1;
+          t.conflicts_in_run <- t.conflicts_in_run + 1;
+          M.incr c_conflicts;
+          if t.n_levels = 0 then begin
+            t.refutation <- Some (final_resolution t confl);
+            Unsat
+          end
+          else begin
+            let lits, bjlevel, chain = analyze t confl in
+            cancel_until t bjlevel;
+            decay t;
+            let cid = alloc_clause t lits (Some chain) in
+            if Array.length lits >= 2 then watch_clause t cid;
+            enqueue t lits.(0) cid;
+            t.n_learned <- t.n_learned + 1;
+            M.incr c_learned;
+            if t.conflicts_in_run >= restart_base * luby t.restart_run then begin
+              cancel_until t 0;
+              t.restart_run <- t.restart_run + 1;
+              t.conflicts_in_run <- 0;
+              t.n_restarts <- t.n_restarts + 1;
+              M.incr c_restarts
+            end;
+            loop ()
+          end
+      | None -> (
+          match pick_branch t with
+          | 0 ->
+              let out = Array.make (t.nvars + 1) false in
+              for v = 1 to t.nvars do
+                out.(v) <- t.values.(v) > 0
+              done;
+              Sat out
+          | v ->
+              (* Positive phase first, like the DPLL core this replaces:
+                 all-clean obligations keep their historical models. *)
+              new_decision_level t;
+              enqueue t v (-1);
+              loop ())
+    in
+    loop ()
   end
-  else Unsat
+
+(* ------------------------------------------------------------------ *)
+(* Certificate replay                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-derive a chain by syntactic resolution. [bound] rejects forward
+   or self references, so a chain can only lean on clauses that existed
+   when it was recorded. Returns the derived literal set. *)
+let replay t ~bound ch : (int, unit) Hashtbl.t option =
+  let exception Bad in
+  try
+    if ch.base < 0 || ch.base >= bound then raise Bad;
+    let set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    Array.iter (fun l -> Hashtbl.replace set l ()) t.cls.(ch.base).lits;
+    List.iter
+      (fun (v, cid) ->
+        if cid < 0 || cid >= bound then raise Bad;
+        let pos = Hashtbl.mem set v and neg = Hashtbl.mem set (-v) in
+        if pos = neg then raise Bad;
+        let l = if pos then v else -v in
+        let src = t.cls.(cid).lits in
+        if not (Array.exists (fun x -> x = -l) src) then raise Bad;
+        Hashtbl.remove set l;
+        Array.iter (fun x -> if x <> -l then Hashtbl.replace set x ()) src)
+      ch.steps;
+    Some set
+  with Bad -> None
+
+let set_equal (set : (int, unit) Hashtbl.t) (lits : int array) =
+  Hashtbl.length set = Array.length lits
+  && Array.for_all (fun l -> Hashtbl.mem set l) lits
+
+let validate t =
+  let ok = ref true in
+  for i = 0 to t.n_cls - 1 do
+    match t.cls.(i).cert with
+    | None -> ()
+    | Some ch -> (
+        match replay t ~bound:i ch with
+        | Some set when set_equal set t.cls.(i).lits -> ()
+        | _ -> ok := false)
+  done;
+  (match t.refutation with
+  | None -> ()
+  | Some None -> ok := false
+  | Some (Some ch) -> (
+      match replay t ~bound:t.n_cls ch with
+      | Some set when Hashtbl.length set = 0 -> ()
+      | _ -> ok := false));
+  !ok

@@ -1,17 +1,56 @@
-(* A small DPLL SAT core with unit propagation and chronological
-   backtracking.
+(* A CDCL SAT core with certified clause learning.
 
-   The propositional skeletons DNS-V produces are modest — summaries keep
-   branch structure explicit but conditions simple (§4.2) — so a lean DPLL
-   with a trail beats the complexity of CDCL here. The solver supports
-   adding blocking clauses between calls, which is how the DPLL(T) loop in
-   [Solver] refutes theory-inconsistent assignments. *)
+   Two-watched-literal propagation, a decision trail with levels, 1UIP
+   conflict analysis with non-chronological backjumping, Luby restarts,
+   and an activity-based (VSIDS-style) decision heuristic with
+   deterministic tie-breaking (highest activity wins; equal activities
+   break toward the lowest variable id, so runs are reproducible).
+
+   The solver is *persistent*: [add_clause] between [solve] calls
+   backtracks just far enough to splice the new clause in, keeping the
+   trail prefix and every learned clause — this is how the DPLL(T) loop
+   in [Solver] turns theory-refuting blocking clauses into learned
+   facts instead of scratch re-solves.
+
+   Every learned clause carries a *resolution-chain certificate*: the
+   antecedent clause ids and pivot variables of its 1UIP derivation.
+   [validate] replays every chain (and, after an Unsat answer, the
+   final derivation of the empty clause) by syntactic resolution alone;
+   a clause the chains cannot re-derive — e.g. one tampered by the
+   [Faultinject.Conflict_corrupt] site, which fires inside conflict
+   analysis — fails validation, and the caller degrades the answer to
+   Unknown rather than serving it. A corrupted learned clause can only
+   ever *strengthen* the clause set, so a Sat answer remains a genuine
+   model of the original clauses regardless. *)
 
 type assignment = bool array
+(* index by variable id; valid between 1 and nvars *)
+
 type result = Sat of assignment | Unsat
-type t = { nvars : int; mutable clauses : Cnf.clause list; }
+
+type t
+
 val create : nvars:int -> Cnf.clause list -> t
+
+(* Add a clause mid-search (a theory lemma or an extra constraint).
+   Backtracks as needed so the clause is consistent with the trail;
+   the next [solve] resumes from there. *)
 val add_clause : t -> Cnf.clause -> unit
-val lit_value : int array -> int -> int
-exception Conflict
+
+(* Resumable: after a Sat answer, [add_clause] then [solve] continues
+   the same search with all learned clauses intact. *)
 val solve : t -> result
+
+(* Replay every learned clause's resolution chain (and the final
+   empty-clause derivation after Unsat) by syntactic resolution alone.
+   False iff some stored clause is not the clause its chain derives —
+   the learned-clause certificate story's fail-closed check. *)
+val validate : t -> bool
+
+(* Search statistics for this solver instance (the registry counters
+   solver.conflicts / solver.learned_clauses / solver.restarts /
+   solver.propagations aggregate the same quantities globally). *)
+val conflicts : t -> int
+val learned : t -> int
+val restarts : t -> int
+val propagations : t -> int

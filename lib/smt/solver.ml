@@ -507,60 +507,193 @@ let check_fast_cert (ts : Term.t list) : (result * Proof.t option) option =
 let check_fast (ts : Term.t list) : result option =
   Option.map fst (check_fast_cert ts)
 
+(* Presolve switch (on by default). Interval bound propagation + gcd
+   coefficient tightening over the query's unit literal conjuncts
+   (Lia.presolve) runs before CNF conversion reaches the SAT core: a
+   refuted box answers Unsat with zero DPLL(T) iterations, a feasible
+   one seeds entailed theory atoms as unit clauses on the trail. Off =
+   the pre-optimization behavior, kept for before/after measurement. *)
+let presolve = Atomic.make true
+let set_presolve b = Atomic.set presolve b
+let presolve_enabled () = Atomic.get presolve
+
+(* Clause-learning switch (on by default). When off, the DPLL(T) loop
+   reverts to the legacy discipline: every theory refutation blocks the
+   *full* assignment and the SAT search restarts from scratch, instead
+   of learning just the theory conflict core in a persistent solver. *)
+let learning = Atomic.make true
+let set_learning b = Atomic.set learning b
+let learning_enabled () = Atomic.get learning
+
+let c_presolve_pruned = M.counter "presolve.pruned"
+
+(* Hard backstop for the refutation loop when no budget is in scope.
+   With a budget, the solver-steps limit governs the loop instead:
+   every re-iteration charges [Budget.tick_solver], so `--solver-steps`
+   caps DPLL(T) refinement and a cap hit surfaces as the
+   machine-readable [Budget.Solver_steps_exhausted] Inconclusive
+   reason rather than a bare Unknown. *)
 let max_dpllt_iterations = 100_000
+
+(* The linear atoms among the top-level *unit* conjuncts of [t] — the
+   part of a general-boolean query that holds unconditionally, which is
+   what presolve may propagate from. *)
+let unit_atoms_of (t : Term.t) : Linear.atom list =
+  let conjs = match t with Term.And ts -> ts | t -> [ t ] in
+  List.concat_map
+    (fun c ->
+      match literals_of_conjunction_src [ c ] with
+      | atoms, _ -> List.map fst atoms
+      | exception Not_conjunctive -> []
+      | exception Linear.Nonlinear _ -> [])
+    conjs
 
 let check_dpllt (t : Term.t) : result =
   match Cnf.of_term t with
   | exception Linear.Nonlinear _ -> Unknown
   | cnf -> (
-      let sat = Sat.create ~nvars:cnf.Cnf.nvars cnf.Cnf.clauses in
-      let rec loop n =
-        if n > max_dpllt_iterations then Unknown
-        else begin
-          (* A divergent refutation loop must still honor the wall
-             clock: this is the solver's only unbounded iteration. *)
-          (match !(current_budget ()) with
-          | Some b -> Budget.check_deadline b
-          | None -> ());
-          M.incr c_dpllt_iterations;
-          match Sat.solve sat with
-          | Sat.Unsat -> Unsat
-          | Sat.Sat assignment -> (
-              (* Gather theory literals implied by this assignment. *)
-              let theory_lits = ref [] and bools = ref [] in
-              List.iter
-                (fun (v, kind) ->
-                  match kind with
-                  | Cnf.Bool_atom name ->
-                      if name <> "$true" then bools := (name, assignment.(v)) :: !bools
-                  | Cnf.Theory_atom term -> (
-                      match Linear.atom_of_term term with
-                      | Some atom ->
-                          let atom =
-                            if assignment.(v) then atom else Linear.negate_atom atom
-                          in
-                          theory_lits := (v, assignment.(v), atom) :: !theory_lits
-                      | None -> Term.sort_error "solver: non-linear theory atom"))
-                cnf.Cnf.atoms;
-              let atoms = List.map (fun (_, _, a) -> a) !theory_lits in
-              match Lia.check atoms with
-              | Lia.Sat m -> Sat (model_of_lia_model m !bools)
-              | Lia.Unknown -> Unknown
-              | Lia.Unsat ->
-                  (* Block this theory-level assignment and retry. *)
-                  let blocking =
-                    List.map
-                      (fun (v, value, _) -> if value then -v else v)
-                      !theory_lits
-                  in
-                  if blocking = [] then Unsat
-                  else begin
-                    Sat.add_clause sat blocking;
-                    loop (n + 1)
-                  end)
-        end
+      let presolved =
+        if not (presolve_enabled ()) then None
+        else
+          match unit_atoms_of t with
+          | [] -> None
+          | units -> Some (Lia.presolve units)
       in
-      loop 0)
+      match presolved with
+      | Some (Lia.Punsat _) ->
+          (* The unit conjuncts alone are contradictory — certified by
+             [Lia.check_cert] on the support core inside presolve, and
+             re-derived independently by [certify_unsat_general] before
+             this answer is served. The SAT core is never built. *)
+          M.incr c_presolve_pruned;
+          Unsat
+      | None | Some (Lia.Pfeasible _) ->
+          let box =
+            match presolved with Some (Lia.Pfeasible b) -> Some b | _ -> None
+          in
+          let learning = learning_enabled () in
+          (* Theory atoms entailed one way or the other by the unit
+             conjuncts' bound box become unit clauses seeding the
+             trail: sound because the unit conjuncts are part of the
+             formula, and cheap because the box is already computed. *)
+          let seed_units sat =
+            match box with
+            | None -> ()
+            | Some box ->
+                List.iter
+                  (fun (v, kind) ->
+                    match kind with
+                    | Cnf.Bool_atom _ -> ()
+                    | Cnf.Theory_atom term -> (
+                        match Linear.atom_of_term term with
+                        | Some atom -> (
+                            match Lia.entailed box atom with
+                            | Some true -> Sat.add_clause sat [ v ]
+                            | Some false -> Sat.add_clause sat [ -v ]
+                            | None -> ())
+                        | None -> ()
+                        | exception Linear.Nonlinear _ -> ()))
+                  cnf.Cnf.atoms
+          in
+          let fresh_sat extra =
+            let sat = Sat.create ~nvars:cnf.Cnf.nvars cnf.Cnf.clauses in
+            seed_units sat;
+            List.iter (Sat.add_clause sat) extra;
+            sat
+          in
+          (* Blocking clauses accumulated for legacy scratch re-solves
+             (learning off); unused when the persistent core learns. *)
+          let blocked = ref [] in
+          let rec loop n sat =
+            if n > max_dpllt_iterations then Unknown
+            else begin
+              (* A divergent refutation loop must honor the budget:
+                 each re-iteration is a solver step (and tick_solver
+                 checks the deadline), so a runaway refinement is cut
+                 off with a machine-readable reason. *)
+              (match !(current_budget ()) with
+              | Some b -> if n = 0 then Budget.check_deadline b else Budget.tick_solver b
+              | None -> ());
+              M.incr c_dpllt_iterations;
+              match Sat.solve sat with
+              | Sat.Unsat ->
+                  (* Trust the SAT-level Unsat only once every learned
+                     clause's resolution chain — and the empty clause's
+                     final derivation — replays against the clause
+                     store. A tampered clause (Conflict_corrupt) fails
+                     here and the answer degrades, never flips. *)
+                  if (not (certify_enabled ())) || Sat.validate sat then Unsat
+                  else begin
+                    M.incr c_cert_failures;
+                    Trace.event "cert.invalid"
+                      ~attrs:
+                        [ ("reason", "learned-clause chain replay failed") ];
+                    Unknown
+                  end
+              | Sat.Sat assignment -> (
+                  (* Gather theory literals implied by this assignment. *)
+                  let theory_lits = ref [] and bools = ref [] in
+                  List.iter
+                    (fun (v, kind) ->
+                      match kind with
+                      | Cnf.Bool_atom name ->
+                          if name <> "$true" then
+                            bools := (name, assignment.(v)) :: !bools
+                      | Cnf.Theory_atom term -> (
+                          match Linear.atom_of_term term with
+                          | Some atom ->
+                              let atom =
+                                if assignment.(v) then atom
+                                else Linear.negate_atom atom
+                              in
+                              theory_lits := (v, assignment.(v), atom) :: !theory_lits
+                          | None -> Term.sort_error "solver: non-linear theory atom"))
+                    cnf.Cnf.atoms;
+                  let atoms = List.map (fun (_, _, a) -> a) !theory_lits in
+                  match Lia.check_cert atoms with
+                  | Lia.Csat m -> Sat (model_of_lia_model m !bools)
+                  | Lia.Cunknown -> Unknown
+                  | Lia.Cunsat proof ->
+                      (* Block the theory conflict *core* — the atoms
+                         the refutation proof actually cites — so one
+                         theory conflict prunes every assignment that
+                         shares it, not just this one. Falls back to
+                         the full assignment when no core is available
+                         (or learning is off). *)
+                      let full_blocking () =
+                        List.map
+                          (fun (v, value, _) -> if value then -v else v)
+                          !theory_lits
+                      in
+                      let blocking =
+                        match
+                          if learning then Option.map Lia.proof_atoms proof
+                          else None
+                        with
+                        | Some (_ :: _ as core) ->
+                            let arr = Array.of_list !theory_lits in
+                            List.map
+                              (fun i ->
+                                let v, value, _ = arr.(i) in
+                                if value then -v else v)
+                              core
+                        | Some [] | None -> full_blocking ()
+                      in
+                      if blocking = [] then Unsat
+                      else if learning then begin
+                        (* Persistent core: the theory lemma is learned
+                           in place, the search resumes with its trail
+                           and learned clauses intact. *)
+                        Sat.add_clause sat blocking;
+                        loop (n + 1) sat
+                      end
+                      else begin
+                        blocked := blocking :: !blocked;
+                        loop (n + 1) (fresh_sat (List.rev !blocked))
+                      end)
+            end
+          in
+          loop 0 (fresh_sat []))
 
 (* Certifying re-derivation of a general-path Unsat answer as a split
    tree — the SAT-level "resolution skeleton". Rather than instrument

@@ -66,6 +66,22 @@ val incremental_enabled : unit -> bool
 val set_certify : bool -> unit
 val certify_enabled : unit -> bool
 
+(* Theory-aware presolve switch (on by default). Interval bound
+   propagation + gcd coefficient tightening over a general query's unit
+   literal conjuncts: a refuted box answers Unsat before the SAT core
+   is even built (counted in the `presolve.pruned` registry counter), a
+   feasible one seeds entailed theory atoms as unit clauses on the
+   trail. Off = the pre-optimization behavior, for measurement. *)
+val set_presolve : bool -> unit
+val presolve_enabled : unit -> bool
+
+(* Clause-learning switch (on by default). When off, the DPLL(T) loop
+   reverts to the legacy discipline — each theory refutation blocks the
+   full assignment and the SAT search restarts from scratch — instead
+   of learning the theory conflict core in a persistent CDCL solver. *)
+val set_learning : bool -> unit
+val learning_enabled : unit -> bool
+
 (* Persistent-store hook (installed by [Store.with_solver] in lib/store,
    which sits above this library). Consulted only on in-memory cache
    misses, and only along the caching-enabled paths. [p_lookup] gets
@@ -107,6 +123,12 @@ val model_of_lia_model :
   Term.value Model.String_map.t
 
 val check_fast : Term.t list -> result option
+
+(* Backstop iteration cap for the DPLL(T) refutation loop when no
+   budget is in scope (a bare cap hit answers Unknown). With a budget,
+   each loop re-iteration charges one solver step, so `--solver-steps`
+   governs the loop and a cap hit surfaces as the machine-readable
+   [Budget.Solver_steps_exhausted] Inconclusive reason. *)
 val max_dpllt_iterations : int
 val check_dpllt : Term.t -> result
 
