@@ -11,15 +11,21 @@
 # CDCL solver core does fewer than 2x fewer DPLL(T) iterations than
 # the legacy no-learning discipline (or more than half the PR 6
 # baseline, or its verdict fingerprint drifts), or the 200-plan chaos
-# soak reports a soundness violation (the checks live in
-# bench/main.ml's json target). `make lint` runs
-# the abstract-interpretation linter over every bundled engine version
-# against the checked-in baseline. `make chaos` is the standalone soak
-# via the CLI; `make trace` records a verification trace and renders
-# it. `make fuzz` is the seeded solver-fuzz smoke battery (random CNFs
-# and LIA conjunctions, CDCL vs. a reference evaluator).
+# soak reports a soundness violation, or the wire probe's malformed
+# loadgen leg crashes the serve loop (any escaped exception or decoder
+# barrier firing — the checks live in bench/main.ml's json target).
+# `make lint` runs the abstract-interpretation linter over every
+# bundled engine version against the checked-in baseline. `make chaos`
+# is the standalone soak via the CLI; `make trace` records a
+# verification trace and renders it. `make fuzz` is the seeded
+# solver-fuzz smoke battery (random CNFs and LIA conjunctions, CDCL
+# vs. a reference evaluator); `make fuzz-wire` is its RFC 1035
+# decoder twin (every typed guard must fire, nothing may escape).
+# `make serve` runs a UDP authoritative loop on port 5300; `make
+# loadgen` fires the default mixed load (10% malformed) at it.
 
-.PHONY: all build check test lint bench bench-json fuzz chaos trace clean
+.PHONY: all build check test lint bench bench-json fuzz fuzz-wire \
+	serve loadgen chaos trace clean
 
 all: build
 
@@ -39,12 +45,21 @@ bench:
 	dune exec bench/main.exe
 
 bench-json:
-	dune exec bench/main.exe -- json > BENCH_PR7.json
-	@cat BENCH_PR7.json
+	dune exec bench/main.exe -- json > BENCH_PR8.json
+	@cat BENCH_PR8.json
 	@echo
 
 fuzz:
 	dune exec test/fuzz_solver.exe -- 2000
+
+fuzz-wire:
+	dune exec test/fuzz_wire.exe -- 5000
+
+serve:
+	dune exec bin/dnsv_cli.exe -- serve --port 5300
+
+loadgen:
+	dune exec bin/dnsv_cli.exe -- loadgen --port 5300
 
 chaos:
 	dune exec bin/dnsv_cli.exe -- chaos --plans 200 --seed 1

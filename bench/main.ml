@@ -753,6 +753,98 @@ let chaos () =
   Printf.printf "\nwall %.1f s\n\n" wall;
   if not (Dnsv.Chaos.ok o) then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Wire-path probe: in-process serve throughput plus the 0-crash gate *)
+(* ------------------------------------------------------------------ *)
+
+(* Two loadgen legs through Serve.handle (no sockets, so the numbers
+   measure the codec + engine, not the kernel): an all-valid leg that
+   must answer every query, and a 40%-malformed leg whose gates are
+   crash gates — zero exceptions escaping the serve loop and zero
+   decoder catch-all (barrier) firings. QPS is recorded, not gated:
+   it is an observability number, the soundness story is the zeros. *)
+
+let wire_queries = 400
+let wire_seed = 0xD15
+let wire_malformed_pct = 40
+
+type wire_probe = {
+  wp_valid : Dnsv.Loadgen.result;
+  wp_malformed : Dnsv.Loadgen.result;
+  wp_escaped : int; (* exceptions escaping Serve.handle — must be 0 *)
+  wp_barrier : int; (* Wire decoder catch-all firings — must be 0 *)
+}
+
+let wire_probe () =
+  Faultinject.reset ();
+  let s =
+    Dnsv.Serve.create
+      ~config:(Engine.Versions.fixed Engine.Versions.v3_0)
+      Spec.Fixtures.reference_zone
+  in
+  let barrier0 = Wire.barrier_hits () in
+  let escaped = ref 0 in
+  let transport d =
+    try Dnsv.Loadgen.inproc s d
+    with _ ->
+      incr escaped;
+      None
+  in
+  let leg malformed_pct =
+    Dnsv.Loadgen.run ~zone:Spec.Fixtures.reference_zone transport
+      { Dnsv.Loadgen.queries = wire_queries; malformed_pct; seed = wire_seed }
+  in
+  let valid = leg 0 in
+  let malformed = leg wire_malformed_pct in
+  {
+    wp_valid = valid;
+    wp_malformed = malformed;
+    wp_escaped = !escaped;
+    wp_barrier = Wire.barrier_hits () - barrier0;
+  }
+
+let wire_probe_ok wp =
+  Dnsv.Loadgen.all_answered wp.wp_valid
+  && wp.wp_escaped = 0 && wp.wp_barrier = 0
+  && wp.wp_malformed.Dnsv.Loadgen.lg_timeouts = 0
+
+let json_of_loadgen (r : Dnsv.Loadgen.result) =
+  json_obj
+    [
+      ("sent", string_of_int r.Dnsv.Loadgen.lg_sent);
+      ("malformed", string_of_int r.Dnsv.Loadgen.lg_malformed);
+      ("answered", string_of_int r.Dnsv.Loadgen.lg_answered);
+      ("undecodable", string_of_int r.Dnsv.Loadgen.lg_undecodable);
+      ("timeouts", string_of_int r.Dnsv.Loadgen.lg_timeouts);
+      ("qps", Printf.sprintf "%.0f" r.Dnsv.Loadgen.lg_qps);
+      ("p50_ms", Printf.sprintf "%.3f" r.Dnsv.Loadgen.lg_p50_ms);
+      ("p99_ms", Printf.sprintf "%.3f" r.Dnsv.Loadgen.lg_p99_ms);
+    ]
+
+let json_of_wire wp =
+  json_obj
+    [
+      ("queries_per_leg", string_of_int wire_queries);
+      ("malformed_pct", string_of_int wire_malformed_pct);
+      ("valid", json_of_loadgen wp.wp_valid);
+      ("malformed", json_of_loadgen wp.wp_malformed);
+      ("escaped_exceptions", string_of_int wp.wp_escaped);
+      ("barrier_hits", string_of_int wp.wp_barrier);
+      ("ok", string_of_bool (wire_probe_ok wp));
+    ]
+
+let wire_qps () =
+  rule ();
+  Printf.printf
+    "Wire path: %d in-process queries per leg (seed %#x, %d%% malformed leg)\n\n"
+    wire_queries wire_seed wire_malformed_pct;
+  let wp = wire_probe () in
+  Format.printf "valid:     %a@." Dnsv.Loadgen.pp wp.wp_valid;
+  Format.printf "malformed: %a@." Dnsv.Loadgen.pp wp.wp_malformed;
+  Printf.printf "escaped exceptions %d, decoder barrier hits %d\n\n"
+    wp.wp_escaped wp.wp_barrier;
+  if not (wire_probe_ok wp) then exit 1
+
 let json_of_chaos wall (o : Dnsv.Chaos.outcome) =
   json_obj
     [
@@ -763,6 +855,7 @@ let json_of_chaos wall (o : Dnsv.Chaos.outcome) =
       ("store_runs", string_of_int o.Dnsv.Chaos.store_runs);
       ( "truncated_store_runs",
         string_of_int o.Dnsv.Chaos.truncated_store_runs );
+      ("wire_runs", string_of_int o.Dnsv.Chaos.wire_runs);
       ("fired", string_of_int o.Dnsv.Chaos.fired);
       ("survived", string_of_int o.Dnsv.Chaos.survived);
       ("degraded", string_of_int o.Dnsv.Chaos.degraded);
@@ -885,6 +978,7 @@ let json () =
   let so_ratio = so.so_with.ir_wall /. so.so_without.ir_wall in
   let cd_legacy, cd_cdcl = cdcl_runs () in
   let cd_li, cd_ci, cd_ratio, cd_identical = cdcl_gates cd_legacy cd_cdcl in
+  let wp = wire_probe () in
   let chaos_wall, chaos_o = timed_chaos () in
   print_endline
     (json_obj
@@ -999,6 +1093,7 @@ let json () =
                  string_of_int cd_cdcl.cd_stats.Smt.Solver.cert_checks );
                ("fingerprints_identical", string_of_bool cd_identical);
              ] );
+         ("wire", json_of_wire wp);
          ("chaos", json_of_chaos chaos_wall chaos_o);
        ]);
   if not verdicts_identical then begin
@@ -1088,6 +1183,14 @@ let json () =
       "FAIL: CDCL arm's %d dpllt_iterations exceeds half the PR 6 baseline \
        (%d)\n"
       cd_ci cdcl_baseline_pr6_iterations;
+    exit 1
+  end;
+  if not (wire_probe_ok wp) then begin
+    Printf.eprintf
+      "FAIL: wire probe: valid leg %d/%d answered, %d escaped exceptions, %d \
+       barrier hits, %d malformed-leg timeouts\n"
+      wp.wp_valid.Dnsv.Loadgen.lg_answered wp.wp_valid.Dnsv.Loadgen.lg_sent
+      wp.wp_escaped wp.wp_barrier wp.wp_malformed.Dnsv.Loadgen.lg_timeouts;
     exit 1
   end;
   if not (Dnsv.Chaos.ok chaos_o) then begin
@@ -1203,12 +1306,13 @@ let () =
       | "analysisoverhead" -> analysis_overhead ()
       | "incremental" -> incremental ()
       | "chaos" -> chaos ()
+      | "wireqps" -> wire_qps ()
       | "json" -> json ()
       | "micro" -> run_micro ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected \
-             table1|table2|table3|fig12|ablation|reverify|cdclreverify|certoverhead|traceoverhead|analysisoverhead|incremental|chaos|json|micro)\n"
+             table1|table2|table3|fig12|ablation|reverify|cdclreverify|certoverhead|traceoverhead|analysisoverhead|incremental|chaos|wireqps|json|micro)\n"
             other;
           exit 2)
     targets

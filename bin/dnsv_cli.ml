@@ -8,7 +8,10 @@
      dnsv summarize — summarize TreeSearch (Table-1 style output)
      dnsv bugs      — list the Table-2 bug registry
      dnsv zonegen   — generate random zone configurations
-     dnsv replay    — run one concrete query on engine and spec *)
+     dnsv replay    — run one concrete query on engine and spec
+     dnsv serve     — answer RFC 1035 UDP queries with a verified engine
+     dnsv loadgen   — fire a seeded (partly malformed) query mix at a server
+     dnsv wire      — check the wire decoder's panic guards are discharged *)
 
 module Name = Dns.Name
 module Rr = Dns.Rr
@@ -97,7 +100,8 @@ let fault_plan_arg =
      solver-unknown:3,cache-corrupt:1:persistent. Sites are the \
      Faultinject sites (solver-unknown, summarize-raise, \
      summary-invalid, exec-fuel, clock-overrun, cache-corrupt, \
-     journal-torn, store-corrupt, store-stale, store-lock-held)."
+     journal-torn, store-corrupt, store-stale, store-lock-held, \
+     conflict-corrupt, wire-garble, wire-truncate, serve-overload)."
   in
   Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
 
@@ -981,6 +985,184 @@ let store_cmd =
     [ store_stat_cmd; store_gc_cmd; store_fsck_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let port_arg =
+  let doc = "UDP port on 127.0.0.1 (0 picks a free port)." in
+  Arg.(value & opt int 5300 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let run version zone_file port query_deadline max_queries fault_seed
+      fault_plan trace =
+    let cfg = config_of_version version in
+    let zone = load_zone zone_file in
+    apply_faults fault_seed fault_plan;
+    let server = Dnsv.Serve.create ~deadline_s:query_deadline ~config:cfg zone in
+    (try
+       with_trace trace (fun () ->
+           Dnsv.Serve.serve_udp ?max_queries
+             ~ready:(fun p ->
+               Printf.eprintf "dnsv serve: zone %s, engine %s, 127.0.0.1:%d\n%!"
+                 (Name.to_string (Zone.origin zone)) version p)
+             ~port server)
+     with e ->
+       Printf.eprintf "serve: %s\n" (Printexc.to_string e);
+       exit 3);
+    Format.eprintf "%a@." Dnsv.Serve.pp_stats (Dnsv.Serve.stats ());
+    exit 0
+  in
+  let query_deadline_arg =
+    let doc = "Per-query wall-clock budget in seconds; an overrun degrades \
+               that query to SERVFAIL." in
+    Arg.(value & opt float 0.25 & info [ "query-deadline" ] ~docv:"SECS" ~doc)
+  in
+  let max_queries_arg =
+    let doc = "Stop after receiving $(docv) datagrams (for scripted runs); \
+               serves forever by default." in
+    Arg.(value & opt (some int) None & info [ "max-queries" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Answer RFC 1035 UDP queries over a verified engine version — \
+          crash-proof by contract"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Binds 127.0.0.1 and answers standard queries with the chosen \
+              engine. Degradations, never crashes: garbage datagrams get \
+              FORMERR, unsupported opcodes NOTIMP, engine panics and \
+              per-query budget overruns SERVFAIL (with the machine-readable \
+              reason in the trace), oversized answers are truncated with TC. \
+              Responses and headerless fragments are dropped to avoid reply \
+              loops. The wire fault sites (wire-garble, wire-truncate, \
+              serve-overload) can be armed with --fault-seed/--fault-plan to \
+              rehearse the degradations.";
+         ])
+    Term.(
+      const run $ version_arg $ zone_file_arg $ port_arg $ query_deadline_arg
+      $ max_queries_arg $ fault_seed_arg $ fault_plan_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* loadgen                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let loadgen_cmd =
+  let run version zone_file host port queries malformed seed timeout inproc
+      trace =
+    let zone = load_zone zone_file in
+    let mix =
+      { Dnsv.Loadgen.queries; malformed_pct = malformed; seed }
+    in
+    let r =
+      try
+        with_trace trace (fun () ->
+            if inproc then begin
+              let cfg = config_of_version version in
+              let server = Dnsv.Serve.create ~config:cfg zone in
+              Dnsv.Loadgen.run ~zone (Dnsv.Loadgen.inproc server) mix
+            end
+            else begin
+              let inet =
+                try Unix.inet_addr_of_string host
+                with Failure _ ->
+                  Printf.eprintf "bad host %s\n" host;
+                  exit 3
+              in
+              Dnsv.Loadgen.with_udp ~timeout_s:timeout
+                (Unix.ADDR_INET (inet, port))
+                (fun transport -> Dnsv.Loadgen.run ~zone transport mix)
+            end)
+      with e ->
+        Printf.eprintf "loadgen: %s\n" (Printexc.to_string e);
+        exit 3
+    in
+    Format.printf "%a@." Dnsv.Loadgen.pp r;
+    exit (if Dnsv.Loadgen.all_answered r then 0 else 1)
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let queries_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "n"; "queries" ] ~docv:"N" ~doc:"Number of datagrams to send.")
+  in
+  let malformed_arg =
+    let doc =
+      "Percentage of datagrams that are seeded garbage (header intact, QR \
+       clear, body malformed): the server must answer them FORMERR, not \
+       drop them or die."
+    in
+    Arg.(value & opt int 10 & info [ "malformed" ] ~docv:"PCT" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Per-query receive timeout in seconds." in
+    Arg.(value & opt float 0.5 & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
+  let inproc_arg =
+    let doc =
+      "Skip the network: run the mix straight through the serve loop of an \
+       in-process server built from --engine and --zone."
+    in
+    Arg.(value & flag & info [ "inproc" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Fire a seeded query mix (exact owners, misses, out-of-zone names, \
+          malformed datagrams) at a DNS server and report answer rates, QPS \
+          and latency percentiles"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 when every datagram was answered with a decodable reply \
+              (malformed ones with FORMERR); 1 when any query timed out or a \
+              reply failed to decode; 3 on usage errors.";
+         ])
+    Term.(
+      const run $ version_arg $ zone_file_arg $ host_arg $ port_arg
+      $ queries_arg $ malformed_arg $ seed_arg $ timeout_arg $ inproc_arg
+      $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* wire                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let wire_cmd =
+  let run cases seed =
+    let report = Wire.Selfcheck.run ~seed ~cases () in
+    Format.printf "%a@." Wire.Selfcheck.pp report;
+    exit (if Wire.Selfcheck.ok report then 0 else 1)
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 5000
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of seeded decoder inputs.")
+  in
+  Cmd.v
+    (Cmd.info "wire"
+       ~doc:
+         "Check that the wire decoder's panic guards are discharged: replay \
+          the seeded malformed-input battery and require zero escaped \
+          exceptions, zero catch-all barrier hits, zero round-trip failures, \
+          and every typed guard class exercised"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 when the decoder is total on the whole battery with live \
+              typed guards (the wire analogue of `dnsv lint' discharging an \
+              engine's panic checks); 1 otherwise.";
+         ])
+    Term.(const run $ cases_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -995,7 +1177,7 @@ let () =
          [
            verify_cmd; batch_cmd; chaos_cmd; lint_cmd; report_cmd; layers_cmd;
            summarize_cmd; bugs_cmd; zonegen_cmd; replay_cmd; source_cmd;
-           rawname_cmd; store_cmd;
+           rawname_cmd; store_cmd; serve_cmd; loadgen_cmd; wire_cmd;
          ])
   in
   (* Fold cmdliner's cli/internal error codes (124/125) into the

@@ -9,26 +9,39 @@ let query qname qtype = { qname; qtype }
 let pp_query fmt q =
   Format.fprintf fmt "%a %a?" Name.pp q.qname Rr.pp_rtype q.qtype
 
-type rcode = NoError | NXDomain | Refused | ServFail
+(* All RFC 1035 §4.1.1 response codes 0-5. The resolution engine only
+   ever *computes* NoError/ServFail/NXDomain/Refused; FormErr and
+   NotImp are produced by the wire path (lib/wire, `dnsv serve`) for
+   malformed and unimplemented queries that never reach the engine. *)
+type rcode = NoError | FormErr | ServFail | NXDomain | NotImp | Refused
+
+let all_rcodes = [ NoError; FormErr; ServFail; NXDomain; NotImp; Refused ]
 
 let rcode_code = function
   | NoError -> 0
+  | FormErr -> 1
   | ServFail -> 2
   | NXDomain -> 3
+  | NotImp -> 4
   | Refused -> 5
 
+(* Exact inverse of [rcode_code]: total on 0-5, [None] elsewhere. *)
 let rcode_of_code = function
   | 0 -> Some NoError
+  | 1 -> Some FormErr
   | 2 -> Some ServFail
   | 3 -> Some NXDomain
+  | 4 -> Some NotImp
   | 5 -> Some Refused
   | _ -> None
 
 let rcode_to_string = function
   | NoError -> "NOERROR"
-  | NXDomain -> "NXDOMAIN"
-  | Refused -> "REFUSED"
+  | FormErr -> "FORMERR"
   | ServFail -> "SERVFAIL"
+  | NXDomain -> "NXDOMAIN"
+  | NotImp -> "NOTIMP"
+  | Refused -> "REFUSED"
 
 let pp_rcode fmt rc = Format.pp_print_string fmt (rcode_to_string rc)
 

@@ -5,7 +5,17 @@
 type query = { qname : Name.t; qtype : Rr.rtype; }
 val query : Name.t -> Rr.rtype -> query
 val pp_query : Format.formatter -> query -> unit
-type rcode = NoError | NXDomain | Refused | ServFail
+(* All RFC 1035 §4.1.1 response codes 0-5. FormErr and NotImp are
+   produced by the wire path (lib/wire, `dnsv serve`), never by the
+   resolution engine itself. *)
+type rcode = NoError | FormErr | ServFail | NXDomain | NotImp | Refused
+
+(* Every rcode, in code order. *)
+val all_rcodes : rcode list
+
+(* [rcode_code] and [rcode_of_code] are exact inverses:
+   [rcode_of_code (rcode_code rc) = Some rc] for every [rc], and
+   [rcode_of_code c = Some rc] implies [rcode_code rc = c]. *)
 val rcode_code : rcode -> int
 val rcode_of_code : int -> rcode option
 val rcode_to_string : rcode -> string

@@ -5,6 +5,7 @@
 
 module Rr = Dns.Rr
 module Name = Dns.Name
+module Message = Dns.Message
 module Solver = Smt.Solver
 module Versions = Engine.Versions
 module Fixtures = Spec.Fixtures
@@ -15,6 +16,7 @@ type outcome = {
   torn_runs : int;
   store_runs : int;
   truncated_store_runs : int;
+  wire_runs : int;
   fired : int;
   survived : int;
   degraded : int;
@@ -98,7 +100,8 @@ let scrub () =
   Faultinject.reset ();
   Solver.clear_caches ();
   Pipeline.clear_summary_memo ();
-  Store.clear_domain_memos ()
+  Store.clear_domain_memos ();
+  Serve.reset_stats ()
 
 (* ------------------------------------------------------------------ *)
 (* Persistent-store legs                                              *)
@@ -110,6 +113,59 @@ let store_sites =
 
 let has_store_site (p : plan) =
   List.exists (fun s -> List.mem s store_sites) p.sites
+
+(* ------------------------------------------------------------------ *)
+(* Wire legs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let wire_sites =
+  [ Faultinject.Wire_garble; Faultinject.Wire_truncate;
+    Faultinject.Serve_overload ]
+
+let has_wire_site (p : plan) =
+  List.exists (fun s -> List.mem s wire_sites) p.sites
+
+(* How many datagrams each wire leg pushes through the serve loop, and
+   what fraction of them is deliberate garbage. Small: the soak runs
+   many plans, and one fault plan only needs a handful of arrivals to
+   land inside the window. *)
+let wire_queries = 24
+let wire_malformed_pct = 25
+
+(* Truthfulness check for one serve-loop reply under faults. A garbled
+   datagram can legitimately decode to a *different* well-formed
+   question, so the ground truth is computed for the question the
+   reply echoes, not the one the leg meant to send: whatever question
+   the server claims to be answering, the answer must be the
+   specification's. Degradations (FORMERR, SERVFAIL, NOTIMP,
+   truncation, a missing echo, a drop) lose the answer — allowed; a
+   decodable full reply that disagrees with [Spec.Rrlookup.resolve] is
+   a flip — a violation. *)
+type wire_verdict = Wire_ok | Wire_degraded | Wire_flip of string
+
+let wire_reply_verdict zone (reply : string option) : wire_verdict =
+  match reply with
+  | None -> Wire_degraded
+  | Some bytes -> (
+      match Wire.decode bytes with
+      | Error e -> Wire_flip ("reply undecodable: " ^ Wire.error_to_string e)
+      | Ok msg -> (
+          match (msg.Wire.rcode, msg.Wire.question) with
+          | (Message.ServFail | Message.FormErr | Message.NotImp), _ ->
+              Wire_degraded
+          | _, [ q ] ->
+              if msg.Wire.tc then Wire_degraded
+              else begin
+                let want = Spec.Rrlookup.resolve zone q in
+                let got = Wire.to_response msg in
+                if Message.equal_response want got then Wire_ok
+                else
+                  Wire_flip
+                    (Printf.sprintf "answer for %s %s differs from the spec"
+                       (Name.to_string q.Message.qname)
+                       (Rr.rtype_to_string q.Message.qtype))
+              end
+          | _, _ -> Wire_degraded))
 
 let rm_rf dir =
   if Sys.file_exists dir then begin
@@ -183,6 +239,15 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
        dir)
   in
   let batch_ref = batch_wl () in
+  (* The serve loop the wire legs mangle datagrams at: a verified-fixed
+     engine (v3.0-fixed knows SRV) over the kitchen-sink zone. Forced
+     lazily so soaks whose plans never sample a wire site never pay
+     the encode + compile. *)
+  let wire_server =
+    lazy
+      (Serve.create ~config:(Versions.fixed Versions.v3_0)
+         Fixtures.reference_zone)
+  in
   let violations = ref [] in
   let violation fmt =
     Printf.ksprintf (fun m -> violations := m :: !violations) fmt
@@ -191,6 +256,7 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
   and torn_runs = ref 0
   and store_runs = ref 0
   and truncated_store_runs = ref 0
+  and wire_runs = ref 0
   and fired = ref 0
   and survived = ref 0
   and degraded = ref 0
@@ -291,6 +357,48 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
             (Printexc.to_string e));
       (try Sys.remove path with Sys_error _ -> ())
     end
+    else if has_wire_site plan then begin
+      (* Wire leg: a seeded query mix (a quarter deliberate garbage)
+         through the serve loop while the plan's faults mangle
+         datagrams and exhaust budgets under it. Nothing may escape
+         [Serve.handle], and every decodable full reply must match the
+         spec on its echoed question. *)
+      incr wire_runs;
+      let server = Lazy.force wire_server in
+      let zone = Serve.zone server in
+      arm_plan plan;
+      let mix =
+        { Loadgen.queries = wire_queries; malformed_pct = wire_malformed_pct;
+          seed = pseed }
+      in
+      let okq = ref 0 and deg = ref 0 in
+      for qi = 0 to wire_queries - 1 do
+        let _kind, bytes = Loadgen.datagram ~zone mix qi in
+        match Serve.handle server bytes with
+        | exception e ->
+            violation "plan %d (%s): Serve.handle raised %s" pseed
+              (site_names plan.sites) (Printexc.to_string e)
+        | o -> (
+            match wire_reply_verdict zone o.Serve.reply with
+            | Wire_ok -> incr okq
+            | Wire_degraded -> incr deg
+            | Wire_flip why ->
+                violation "plan %d (%s, after=%d%s): %s" pseed
+                  (site_names plan.sites) plan.after
+                  (if plan.persistent then ", persistent" else "")
+                  why)
+      done;
+      let plan_fired =
+        List.exists
+          (fun (k, s) ->
+            if plan.persistent then Faultinject.calls s >= plan.after + k
+            else not (Faultinject.armed s))
+          (List.mapi (fun k s -> (k, s)) plan.sites)
+      in
+      if plan_fired then incr fired;
+      if !deg > 0 then incr degraded else if !okq > 0 then incr survived;
+      Faultinject.reset ()
+    end
     else if has_store_site plan then begin
       (* Store leg: the same monotone assertion, run over a scratch
          copy of the warmed store with store fault sites armed —
@@ -360,6 +468,7 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
     torn_runs = !torn_runs;
     store_runs = !store_runs;
     truncated_store_runs = !truncated_store_runs;
+    wire_runs = !wire_runs;
     fired = !fired;
     survived = !survived;
     degraded = !degraded;
@@ -370,13 +479,13 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
 
 let pp fmt (o : outcome) =
   Format.fprintf fmt
-    "@[<v>chaos soak: %d plans (%d monotone, %d store, %d journal-torn), \
-     faults fired in %d@,monotone: %d survived, %d degraded to \
-     inconclusive@,journal: %d/%d resumed byte-identical@,store: %d/%d \
+    "@[<v>chaos soak: %d plans (%d monotone, %d store, %d wire, %d \
+     journal-torn), faults fired in %d@,monotone: %d survived, %d degraded \
+     to inconclusive@,journal: %d/%d resumed byte-identical@,store: %d/%d \
      truncated-store re-verifies matched the fault-free \
      fingerprint@,violations: %d@]"
-    o.plans o.verify_runs o.store_runs o.torn_runs o.fired o.survived
-    o.degraded o.resumed_identical o.torn_runs o.store_resumed_identical
-    o.truncated_store_runs
+    o.plans o.verify_runs o.store_runs o.wire_runs o.torn_runs o.fired
+    o.survived o.degraded o.resumed_identical o.torn_runs
+    o.store_resumed_identical o.truncated_store_runs
     (List.length o.violations);
   List.iter (fun v -> Format.fprintf fmt "@,  VIOLATION: %s" v) o.violations

@@ -13,8 +13,14 @@
    copy of a warmed persistent store, then cut the store at a seeded
    byte — the kill-mid-store-write signature — and re-verify fault-free:
    the verdict fingerprint must match the fault-free baseline exactly.
-   Everything is derived from [seed], so a failing plan replays
-   exactly. *)
+   Plans containing a wire site (wire-garble, wire-truncate,
+   serve-overload) drive a seeded query mix through a [Serve] loop over
+   a verified-fixed engine while datagrams are mangled and budgets
+   exhausted under them: a fault may cost an answer (FORMERR, SERVFAIL,
+   truncation, a drop), but every decodable authoritative reply must
+   still match [Spec.Rrlookup.resolve] on the question the reply
+   echoes — degrade-never-flip, extended to the wire. Everything is
+   derived from [seed], so a failing plan replays exactly. *)
 
 type outcome = {
   plans : int; (* plans executed *)
@@ -22,6 +28,7 @@ type outcome = {
   torn_runs : int; (* kill-mid-journal-write legs *)
   store_runs : int; (* monotone legs run over a warmed persistent store *)
   truncated_store_runs : int; (* kill-mid-store-write re-verify legs *)
+  wire_runs : int; (* serve-loop legs under wire-mangling faults *)
   fired : int; (* plans where an armed fault actually fired *)
   survived : int; (* fault run reproduced its baseline status *)
   degraded : int; (* fault run degraded to inconclusive *)

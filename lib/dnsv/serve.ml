@@ -1,0 +1,275 @@
+(* Fault-tolerant UDP answer loop over a verified engine version. *)
+
+module Message = Dns.Message
+module Zone = Dns.Zone
+
+type server = {
+  sv_config : Engine.Builder.config;
+  sv_zone : Zone.t;
+  sv_prog : Minir.Instr.program;
+  sv_enc : Dnstree.Encode.t;
+  sv_deadline_s : float;
+}
+
+let create ?(deadline_s = 0.25) ~config zone =
+  let tree = Dnstree.Tree.build zone in
+  {
+    sv_config = config;
+    sv_zone = zone;
+    sv_prog = Engine.Versions.compiled config;
+    sv_enc = Dnstree.Encode.encode tree;
+    sv_deadline_s = deadline_s;
+  }
+
+let config s = s.sv_config
+let zone s = s.sv_zone
+
+type disposition =
+  | Answered
+  | Formerr of Wire.error
+  | Notimp of int
+  | Servfail of string
+  | Dropped of string
+
+let disposition_to_string = function
+  | Answered -> "answered"
+  | Formerr e -> "formerr: " ^ Wire.error_tag e
+  | Notimp op -> Printf.sprintf "notimp: opcode %d" op
+  | Servfail reason -> "servfail: " ^ reason
+  | Dropped why -> "dropped: " ^ why
+
+type outcome = { reply : string option; disposition : disposition; truncated : bool }
+
+(* Counters live in the registry so `dnsv serve`'s trace export and the
+   bench probes see them; [stats] reads the module-local mirror, which
+   [reset_stats] can clear between tests without touching the registry. *)
+let answered_c = Trace.Metrics.counter "serve.answered"
+let formerr_c = Trace.Metrics.counter "serve.formerr"
+let notimp_c = Trace.Metrics.counter "serve.notimp"
+let servfail_c = Trace.Metrics.counter "serve.servfail"
+let dropped_c = Trace.Metrics.counter "serve.dropped"
+let truncated_c = Trace.Metrics.counter "serve.truncated"
+
+type stats = {
+  answered : int;
+  formerr : int;
+  notimp : int;
+  servfail : int;
+  dropped : int;
+  truncated : int;
+}
+
+let zero = { answered = 0; formerr = 0; notimp = 0; servfail = 0; dropped = 0; truncated = 0 }
+let st = ref zero
+let stats () = !st
+let reset_stats () = st := zero
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "answered=%d formerr=%d notimp=%d servfail=%d dropped=%d truncated=%d"
+    s.answered s.formerr s.notimp s.servfail s.dropped s.truncated
+
+let note (d : disposition) =
+  (match d with
+  | Answered ->
+      Trace.Metrics.incr answered_c;
+      st := { !st with answered = !st.answered + 1 }
+  | Formerr e ->
+      Trace.Metrics.incr formerr_c;
+      st := { !st with formerr = !st.formerr + 1 };
+      Trace.event "serve.formerr" ~attrs:[ ("guard", Wire.error_tag e) ]
+  | Notimp op ->
+      Trace.Metrics.incr notimp_c;
+      st := { !st with notimp = !st.notimp + 1 };
+      Trace.event "serve.notimp" ~attrs:[ ("opcode", string_of_int op) ]
+  | Servfail reason ->
+      Trace.Metrics.incr servfail_c;
+      st := { !st with servfail = !st.servfail + 1 };
+      Trace.event "serve.servfail" ~attrs:[ ("reason", reason) ]
+  | Dropped why ->
+      Trace.Metrics.incr dropped_c;
+      st := { !st with dropped = !st.dropped + 1 };
+      Trace.event "serve.dropped" ~attrs:[ ("why", why) ]);
+  d
+
+(* The chaos soak's wire-mangling sites: applied before the decoder so
+   the whole decode-or-degrade path is what gets exercised. Both are
+   deterministic given the datagram (the *schedule* comes from the
+   armed plan's seed). *)
+let mangle datagram =
+  let d =
+    if Faultinject.fire Faultinject.Wire_garble && String.length datagram > 0
+    then begin
+      let b = Bytes.of_string datagram in
+      let n = Bytes.length b in
+      let flip at mask =
+        Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor mask))
+      in
+      flip (n / 3) 0xFF;
+      flip (2 * n / 3) 0x55;
+      Bytes.to_string b
+    end
+    else datagram
+  in
+  if Faultinject.fire Faultinject.Wire_truncate && String.length d > 1 then
+    String.sub d 0 (String.length d / 2)
+  else d
+
+(* A minimal reply when the query didn't decode: echo what the header
+   offered (id, opcode, rd) and carry [rcode] with empty sections. *)
+let header_only ~id ~opcode ~rd rcode =
+  Wire.encode
+    {
+      Wire.id;
+      qr = true;
+      opcode;
+      aa = false;
+      tc = false;
+      rd;
+      ra = false;
+      rcode;
+      question = [];
+      answer = [];
+      authority = [];
+      additional = [];
+    }
+
+(* Salvage the id/flags of an undecodable datagram, if it has them. *)
+let salvage_header raw =
+  if String.length raw < 4 then None
+  else
+    let id = (Char.code raw.[0] lsl 8) lor Char.code raw.[1] in
+    let b2 = Char.code raw.[2] in
+    Some (id, (b2 lsr 3) land 0xF, b2 land 0x80 <> 0, b2 land 0x01 <> 0)
+
+let run_engine s (q : Message.query) : (Message.response, string) result =
+  let b = Budget.create ~deadline_s:s.sv_deadline_s () in
+  match
+    Budget.protect b (fun () ->
+        if Faultinject.fire Faultinject.Serve_overload then
+          Faultinject.injected Faultinject.Serve_overload
+            "query budget exhausted";
+        Budget.check_deadline b;
+        Engine.Versions.run_compiled s.sv_prog s.sv_enc q)
+  with
+  | Ok (Engine.Versions.Response r) -> Ok r
+  | Ok (Engine.Versions.Engine_panic msg) ->
+      Error ("engine-panic: " ^ msg)
+  | Error reason -> Error (Budget.reason_tag reason)
+
+let handle s datagram =
+  (* The span keeps this query's degradation events (note above) in the
+     trace artifact — without an open span Trace.event drops them. *)
+  Trace.with_span "serve.query" @@ fun () ->
+  let raw = mangle datagram in
+  let fail_reply e (id, opcode, qr, rd) =
+    if qr then
+      { reply = None; disposition = note (Dropped "qr set on malformed datagram"); truncated = false }
+    else
+      {
+        reply = Some (header_only ~id ~opcode ~rd Message.FormErr);
+        disposition = note (Formerr e);
+        truncated = false;
+      }
+  in
+  match Wire.decode raw with
+  | Error e -> (
+      match salvage_header raw with
+      | None ->
+          { reply = None; disposition = note (Dropped "no echoable header"); truncated = false }
+      | Some hdr -> fail_reply e hdr)
+  | Ok m ->
+      if m.Wire.qr then
+        { reply = None; disposition = note (Dropped "qr set"); truncated = false }
+      else if m.Wire.opcode <> 0 then
+        {
+          reply =
+            Some (header_only ~id:m.Wire.id ~opcode:m.Wire.opcode ~rd:m.Wire.rd Message.NotImp);
+          disposition = note (Notimp m.Wire.opcode);
+          truncated = false;
+        }
+      else begin
+        match m.Wire.question with
+        | [ q ] -> (
+            match run_engine s q with
+            | Ok r ->
+                let reply =
+                  Wire.response ~id:m.Wire.id ~rd:m.Wire.rd
+                    ~question:m.Wire.question r
+                in
+                let bytes, truncated =
+                  Wire.encode_truncated ~max_size:Wire.max_udp_payload reply
+                in
+                if truncated then begin
+                  Trace.Metrics.incr truncated_c;
+                  st := { !st with truncated = !st.truncated + 1 }
+                end;
+                { reply = Some bytes; disposition = note Answered; truncated }
+            | Error reason ->
+                let servfail =
+                  Wire.response ~id:m.Wire.id ~rd:m.Wire.rd
+                    ~question:m.Wire.question
+                    {
+                      Message.rcode = Message.ServFail;
+                      aa = false;
+                      answer = [];
+                      authority = [];
+                      additional = [];
+                    }
+                in
+                {
+                  reply = Some (Wire.encode servfail);
+                  disposition = note (Servfail reason);
+                  truncated = false;
+                })
+        | qs ->
+            (* zero or several questions: refuse to guess which one *)
+            {
+              reply =
+                Some (header_only ~id:m.Wire.id ~opcode:0 ~rd:m.Wire.rd Message.FormErr);
+              disposition =
+                note
+                  (Formerr
+                     (Wire.Count_cap
+                        { section = "question"; count = List.length qs }));
+              truncated = false;
+            }
+      end
+
+let serve_fd ?max_queries ?on_query s fd =
+  let buf = Bytes.create 4096 in
+  let continue received =
+    match max_queries with None -> true | Some n -> received < n
+  in
+  let received = ref 0 in
+  while continue !received do
+    match Unix.recvfrom fd buf 0 (Bytes.length buf) [] with
+    | exception Unix.Unix_error ((EINTR | EAGAIN | ECONNREFUSED), _, _) -> ()
+    | len, peer ->
+        incr received;
+        let o = handle s (Bytes.sub_string buf 0 len) in
+        (match on_query with Some f -> f o | None -> ());
+        (match o.reply with
+        | Some bytes -> (
+            try
+              ignore
+                (Unix.sendto fd (Bytes.of_string bytes) 0 (String.length bytes)
+                   [] peer)
+            with Unix.Unix_error _ -> ())
+        | None -> ())
+  done
+
+let serve_udp ?max_queries ?ready ~port s =
+  let fd = Unix.socket PF_INET SOCK_DGRAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt fd SO_REUSEADDR true;
+      Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, port));
+      let bound =
+        match Unix.getsockname fd with
+        | ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (match ready with Some f -> f bound | None -> ());
+      serve_fd ?max_queries s fd)

@@ -1,0 +1,84 @@
+(* A fault-tolerant UDP answer loop over a verified engine version.
+
+   The degradation contract, enforced by test_wire and the serve-smoke
+   CI job: a datagram NEVER crashes the loop. Garbage that still looks
+   like a query gets FORMERR; an unsupported opcode gets NOTIMP; an
+   engine panic or an exhausted per-query budget gets SERVFAIL with a
+   machine-readable reason (logged as a trace event, so an operator can
+   tell injected overload from a real engine defect); an oversized
+   answer is truncated to 512 bytes with TC set; and only datagrams
+   that cannot be answered at all — responses (QR set, to avoid reply
+   loops) and fragments too short to carry a header id — are dropped.
+
+   Faultinject sites consulted per query: [Wire_garble] and
+   [Wire_truncate] mangle the incoming datagram before the decoder
+   sees it (the chaos soak uses these to prove the loop degrades
+   instead of flipping answers), and [Serve_overload] exhausts the
+   query's budget inside the engine call. *)
+
+type server
+
+(* Build a server for [zone] answered by engine [config]: the zone is
+   encoded and the engine compiled once, up front. [deadline_s]
+   (default 0.25) is the per-query wall-clock budget. *)
+val create :
+  ?deadline_s:float -> config:Engine.Builder.config -> Dns.Zone.t -> server
+
+val config : server -> Engine.Builder.config
+val zone : server -> Dns.Zone.t
+
+(* How a datagram was disposed of; [reason] strings are stable
+   machine-readable tags (Budget.reason_tag / "engine-panic"). *)
+type disposition =
+  | Answered (* an engine answer (any rcode the engine produced) *)
+  | Formerr of Wire.error (* undecodable or question-less query *)
+  | Notimp of int (* a query with this unsupported opcode *)
+  | Servfail of string (* engine panic or budget exhaustion *)
+  | Dropped of string (* no reply owed: QR set, or no echoable id *)
+
+val disposition_to_string : disposition -> string
+
+type outcome = {
+  reply : string option; (* bytes to send back, if a reply is owed *)
+  disposition : disposition;
+  truncated : bool; (* reply was cut to [Wire.max_udp_payload] with TC *)
+}
+
+(* Answer one datagram. Total: never raises, whatever the bytes. *)
+val handle : server -> string -> outcome
+
+(* Cumulative counters for this domain (serve.answered, serve.formerr,
+   serve.notimp, serve.servfail, serve.dropped, serve.truncated),
+   reset by [reset_stats]. *)
+type stats = {
+  answered : int;
+  formerr : int;
+  notimp : int;
+  servfail : int;
+  dropped : int;
+  truncated : int;
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+val pp_stats : Format.formatter -> stats -> unit
+
+(* Receive/answer datagrams on an already-bound UDP socket until
+   [max_queries] have been *received* (forever if omitted). Transient
+   socket errors (EINTR, ECONNREFUSED from ICMP) are swallowed;
+   [on_query] (if given) observes each outcome. *)
+val serve_fd :
+  ?max_queries:int ->
+  ?on_query:(outcome -> unit) ->
+  server ->
+  Unix.file_descr ->
+  unit
+
+(* Bind 127.0.0.1:[port] (0 picks a free port) and serve on it.
+   [ready] receives the actually-bound port before the loop starts. *)
+val serve_udp :
+  ?max_queries:int ->
+  ?ready:(int -> unit) ->
+  port:int ->
+  server ->
+  unit

@@ -25,6 +25,9 @@ type site =
   | Store_stale (* make a Store lookup miss as if the entry were absent *)
   | Store_lock_held (* pretend another writer holds the Store lock *)
   | Conflict_corrupt (* drop a literal from a learned clause in Smt.Sat *)
+  | Wire_garble (* flip bytes of an incoming datagram in Dnsv.Serve *)
+  | Wire_truncate (* cut an incoming datagram short in Dnsv.Serve *)
+  | Serve_overload (* exhaust a query's budget in Dnsv.Serve.handle *)
 
 let site_to_string = function
   | Solver_unknown -> "solver-unknown"
@@ -38,6 +41,9 @@ let site_to_string = function
   | Store_stale -> "store-stale"
   | Store_lock_held -> "store-lock-held"
   | Conflict_corrupt -> "conflict-corrupt"
+  | Wire_garble -> "wire-garble"
+  | Wire_truncate -> "wire-truncate"
+  | Serve_overload -> "serve-overload"
 
 let site_of_string = function
   | "solver-unknown" -> Some Solver_unknown
@@ -51,6 +57,9 @@ let site_of_string = function
   | "store-stale" -> Some Store_stale
   | "store-lock-held" -> Some Store_lock_held
   | "conflict-corrupt" -> Some Conflict_corrupt
+  | "wire-garble" -> Some Wire_garble
+  | "wire-truncate" -> Some Wire_truncate
+  | "serve-overload" -> Some Serve_overload
   | _ -> None
 
 exception Injected of string
@@ -75,6 +84,9 @@ let all_sites =
     Store_stale;
     Store_lock_held;
     Conflict_corrupt;
+    Wire_garble;
+    Wire_truncate;
+    Serve_overload;
   ]
 
 (* Seconds added to Budget.now when Clock_overrun fires. *)

@@ -20,6 +20,9 @@ type site =
   | Store_stale (* make a Store lookup miss as if the entry were absent *)
   | Store_lock_held (* pretend another writer holds the Store lock *)
   | Conflict_corrupt (* drop a literal from a learned clause in Smt.Sat *)
+  | Wire_garble (* flip bytes of an incoming datagram in Dnsv.Serve *)
+  | Wire_truncate (* cut an incoming datagram short in Dnsv.Serve *)
+  | Serve_overload (* exhaust a query's budget in Dnsv.Serve.handle *)
 
 val site_to_string : site -> string
 val site_of_string : string -> site option

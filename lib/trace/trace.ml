@@ -196,6 +196,29 @@ module Metrics = struct
 
   let get_hist (s : snapshot) name = List.assoc_opt name s.hists
 
+  (* Upper-bound quantile over the power-of-two buckets: the bound of
+     the first bucket at which the cumulative count reaches q*count.
+     Conservative by at most one bucket (a factor of two), which is
+     what a latency gate wants: never under-report a percentile. *)
+  let hist_quantile (h : hist) q =
+    if h.h_count = 0 then 0.0
+    else begin
+      let target = int_of_float (Float.round (q *. float_of_int h.h_count)) in
+      let target = max 1 target in
+      let acc = ref 0 and ans = ref (bucket_upper 0) in
+      (try
+         Array.iteri
+           (fun i n ->
+             acc := !acc + n;
+             if !acc >= target then begin
+               ans := bucket_upper i;
+               raise Exit
+             end)
+           h.h_buckets
+       with Exit -> ());
+      !ans
+    end
+
   let reset_current_domain () =
     let entries = Mutex.protect registry_mu (fun () -> !registry) in
     List.iter
@@ -868,26 +891,7 @@ module Report = struct
 
   let ms f = f *. 1e3
 
-  let hist_quantile (h : Metrics.hist) q =
-    if h.Metrics.h_count = 0 then 0.0
-    else begin
-      let target =
-        int_of_float (Float.round (q *. float_of_int h.Metrics.h_count))
-      in
-      let target = max 1 target in
-      let acc = ref 0 and ans = ref (Metrics.bucket_upper 0) in
-      (try
-         Array.iteri
-           (fun i n ->
-             acc := !acc + n;
-             if !acc >= target then begin
-               ans := Metrics.bucket_upper i;
-               raise Exit
-             end)
-           h.Metrics.h_buckets
-       with Exit -> ());
-      !ans
-    end
+  let hist_quantile = Metrics.hist_quantile
 
   let render ?(top = 10) ?(depth = 4) (t : t) : string =
     let b = Buffer.create 4096 in

@@ -74,6 +74,11 @@ module Metrics : sig
   val get : snapshot -> string -> int
   val get_hist : snapshot -> string -> hist option
 
+  (* Upper-bound quantile ([q] in 0..1) over the power-of-two buckets:
+     conservative by at most one bucket, so a latency gate never
+     under-reports a percentile. 0 for an empty histogram. *)
+  val hist_quantile : hist -> float -> float
+
   (* Zero every registered cell of the calling domain (bench/test
      isolation). *)
   val reset_current_domain : unit -> unit

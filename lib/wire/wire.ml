@@ -1,0 +1,791 @@
+(* RFC 1035 wire-format message codec, total on arbitrary bytes.
+
+   Decoder discipline (the module's whole point): every read goes
+   through a bounds-checked primitive that raises the *internal* [Err]
+   exception with a typed [error]; [decode] catches [Err] at the top
+   and returns it as [Error]. Nothing else is supposed to escape — a
+   catch-all barrier converts any stray exception to [Internal] and
+   bumps [wire.barrier_caught], and the Selfcheck battery plus the
+   fuzz executable gate that counter at zero. Termination of
+   compression-pointer chasing is by a decreasing measure: a pointer
+   may only target an offset strictly below the lowest offset the
+   name walk has visited, so each jump shrinks the reachable prefix. *)
+
+module Message = Dns.Message
+module Name = Dns.Name
+module Label = Dns.Label
+module Rr = Dns.Rr
+
+type error =
+  | Truncated of { what : string; at : int }
+  | Bad_label of { at : int; reason : string }
+  | Pointer_loop of { at : int; target : int }
+  | Name_too_long of { at : int }
+  | Count_cap of { section : string; count : int }
+  | Unsupported_class of { at : int; code : int }
+  | Unsupported_rtype of { at : int; code : int }
+  | Unsupported_rcode of { code : int }
+  | Bad_rdata of { rtype : Rr.rtype; at : int; reason : string }
+  | Trailing_bytes of { at : int; len : int }
+  | Internal of string
+
+let error_tag = function
+  | Truncated _ -> "truncated"
+  | Bad_label _ -> "bad-label"
+  | Pointer_loop _ -> "pointer"
+  | Name_too_long _ -> "name-too-long"
+  | Count_cap _ -> "count-cap"
+  | Unsupported_class _ | Unsupported_rtype _ | Unsupported_rcode _ ->
+      "unsupported"
+  | Bad_rdata _ -> "bad-rdata"
+  | Trailing_bytes _ -> "trailing"
+  | Internal _ -> "internal"
+
+let pp_error ppf = function
+  | Truncated { what; at } ->
+      Fmt.pf ppf "truncated %s at offset %d" what at
+  | Bad_label { at; reason } -> Fmt.pf ppf "bad label at offset %d: %s" at reason
+  | Pointer_loop { at; target } ->
+      Fmt.pf ppf "compression pointer at offset %d targets %d (not strictly backward)"
+        at target
+  | Name_too_long { at } -> Fmt.pf ppf "name exceeds 255 octets at offset %d" at
+  | Count_cap { section; count } ->
+      Fmt.pf ppf "%s count %d exceeds cap" section count
+  | Unsupported_class { at; code } ->
+      Fmt.pf ppf "unsupported class %d at offset %d" code at
+  | Unsupported_rtype { at; code } ->
+      Fmt.pf ppf "unsupported rtype %d at offset %d" code at
+  | Unsupported_rcode { code } -> Fmt.pf ppf "unsupported rcode %d" code
+  | Bad_rdata { rtype; at; reason } ->
+      Fmt.pf ppf "bad %s rdata at offset %d: %s" (Rr.rtype_to_string rtype) at
+        reason
+  | Trailing_bytes { at; len } ->
+      Fmt.pf ppf "%d trailing byte(s) at offset %d" len at
+  | Internal m -> Fmt.pf ppf "internal: %s" m
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+type t = {
+  id : int;
+  qr : bool;
+  opcode : int;
+  aa : bool;
+  tc : bool;
+  rd : bool;
+  ra : bool;
+  rcode : Message.rcode;
+  question : Message.query list;
+  answer : Rr.t list;
+  authority : Rr.t list;
+  additional : Rr.t list;
+}
+
+let max_count = 255
+let max_name_octets = 255
+let max_udp_payload = 512
+
+let query ?(id = 0) ?(rd = false) q =
+  {
+    id;
+    qr = false;
+    opcode = 0;
+    aa = false;
+    tc = false;
+    rd;
+    ra = false;
+    rcode = Message.NoError;
+    question = [ q ];
+    answer = [];
+    authority = [];
+    additional = [];
+  }
+
+let response ~id ?(rd = false) ~question (r : Message.response) =
+  {
+    id;
+    qr = true;
+    opcode = 0;
+    aa = r.Message.aa;
+    tc = false;
+    rd;
+    ra = false;
+    rcode = r.Message.rcode;
+    question;
+    answer = r.Message.answer;
+    authority = r.Message.authority;
+    additional = r.Message.additional;
+  }
+
+let to_response (m : t) : Message.response =
+  {
+    Message.rcode = m.rcode;
+    aa = m.aa;
+    answer = m.answer;
+    authority = m.authority;
+    additional = m.additional;
+  }
+
+let equal_query (a : Message.query) (b : Message.query) =
+  Name.equal a.Message.qname b.Message.qname
+  && Rr.equal_rtype a.Message.qtype b.Message.qtype
+
+let list_eq eq a b =
+  List.length a = List.length b && List.for_all2 eq a b
+
+let equal a b =
+  a.id = b.id && a.qr = b.qr && a.opcode = b.opcode && a.aa = b.aa
+  && a.tc = b.tc && a.rd = b.rd && a.ra = b.ra && a.rcode = b.rcode
+  && list_eq equal_query a.question b.question
+  && list_eq Rr.equal a.answer b.answer
+  && list_eq Rr.equal a.authority b.authority
+  && list_eq Rr.equal a.additional b.additional
+
+let pp ppf m =
+  Fmt.pf ppf "@[<h>id=%d %s opcode=%d%s%s%s%s rcode=%s qd=%d an=%d ns=%d ar=%d@]"
+    m.id
+    (if m.qr then "response" else "query")
+    m.opcode
+    (if m.aa then " aa" else "")
+    (if m.tc then " tc" else "")
+    (if m.rd then " rd" else "")
+    (if m.ra then " ra" else "")
+    (Message.rcode_to_string m.rcode)
+    (List.length m.question) (List.length m.answer)
+    (List.length m.authority) (List.length m.additional)
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let decode_ok_c = Trace.Metrics.counter "wire.decode_ok"
+let decode_err_c = Trace.Metrics.counter "wire.decode_error"
+let barrier_c = Trace.Metrics.counter "wire.barrier_caught"
+let barrier_count = ref 0
+let barrier_hits () = !barrier_count
+
+(* ------------------------------------------------------------------ *)
+(* Encoder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A growable byte sink with 16-bit backpatching, which Buffer lacks;
+   rdlength is written as a placeholder and patched once the (possibly
+   compressed) rdata's actual size is known. *)
+module Out = struct
+  type t = { mutable b : Bytes.t; mutable len : int }
+
+  let create () = { b = Bytes.create 256; len = 0 }
+
+  let ensure o n =
+    if o.len + n > Bytes.length o.b then begin
+      let cap = ref (Bytes.length o.b) in
+      while o.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit o.b 0 nb 0 o.len;
+      o.b <- nb
+    end
+
+  let u8 o v =
+    ensure o 1;
+    Bytes.set o.b o.len (Char.chr (v land 0xFF));
+    o.len <- o.len + 1
+
+  let u16 o v =
+    u8 o (v lsr 8);
+    u8 o v
+
+  let u32 o v =
+    u8 o (v lsr 24);
+    u8 o (v lsr 16);
+    u8 o (v lsr 8);
+    u8 o v
+
+  let str o s =
+    let n = String.length s in
+    ensure o n;
+    Bytes.blit_string s 0 o.b o.len n;
+    o.len <- o.len + n
+
+  let patch16 o pos v =
+    Bytes.set o.b pos (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set o.b (pos + 1) (Char.chr (v land 0xFF))
+
+  let contents o = Bytes.sub_string o.b 0 o.len
+end
+
+(* Emit [name], compressing against [tbl] (suffix -> offset). Every
+   pointer emitted targets an earlier offset, so the decoder's
+   strictly-backward pointer rule accepts everything we produce.
+   Offsets above the 14-bit pointer range are simply not recorded. *)
+let rec enc_name o tbl compress (name : Name.t) =
+  match name with
+  | [] -> Out.u8 o 0
+  | l :: rest ->
+      let key = Name.to_string name in
+      let hit = if compress then Hashtbl.find_opt tbl key else None in
+      (match hit with
+      | Some off -> Out.u16 o (0xC000 lor off)
+      | None ->
+          if compress && o.Out.len < 0x4000 then Hashtbl.add tbl key o.Out.len;
+          let l = if String.length l > 63 then String.sub l 0 63 else l in
+          Out.u8 o (String.length l);
+          Out.str o l;
+          enc_name o tbl compress rest)
+
+let enc_u128_int o v =
+  (* 16 bytes, sign-extended: an OCaml int is 63-bit, so bytes beyond
+     bit 62 repeat the sign. Shifts >= 63 are unspecified in OCaml, so
+     the high bytes are written from the sign directly. *)
+  let sign_byte = if v < 0 then 0xFF else 0x00 in
+  for i = 15 downto 0 do
+    let sh = i * 8 in
+    if sh >= 63 then Out.u8 o sign_byte else Out.u8 o (v asr sh)
+  done
+
+let enc_txt o s =
+  let len = String.length s in
+  let rec chunks off =
+    let n = len - off in
+    if n = 0 && off > 0 then ()
+    else begin
+      let k = min n 255 in
+      Out.u8 o k;
+      Out.str o (String.sub s off k);
+      if off + k < len then chunks (off + k)
+    end
+  in
+  chunks 0
+
+let enc_rdata o tbl compress (rr : Rr.t) =
+  match (rr.Rr.rtype, rr.Rr.rdata) with
+  | Rr.A, Rr.Addr v -> Out.u32 o v
+  | Rr.AAAA, Rr.Addr v -> enc_u128_int o v
+  | _, Rr.Addr v -> Out.u32 o v
+  | _, Rr.Host n -> enc_name o tbl compress n
+  | _, Rr.Mx (pref, n) ->
+      Out.u16 o pref;
+      enc_name o tbl compress n
+  | _, Rr.Srv (prio, weight, port, n) ->
+      Out.u16 o prio;
+      Out.u16 o weight;
+      Out.u16 o port;
+      enc_name o tbl compress n
+  | _, Rr.Text s -> enc_txt o s
+  | _, Rr.Soa_data s ->
+      enc_name o tbl compress s.Rr.mname;
+      enc_name o tbl compress s.Rr.rname;
+      Out.u32 o s.Rr.serial;
+      Out.u32 o s.Rr.refresh;
+      Out.u32 o s.Rr.retry;
+      Out.u32 o s.Rr.expire;
+      Out.u32 o s.Rr.minimum
+
+let enc_question o tbl compress (q : Message.query) =
+  enc_name o tbl compress q.Message.qname;
+  Out.u16 o (Rr.rtype_code q.Message.qtype);
+  Out.u16 o 1
+
+let enc_rr o tbl compress (rr : Rr.t) =
+  enc_name o tbl compress rr.Rr.rname;
+  Out.u16 o (Rr.rtype_code rr.Rr.rtype);
+  Out.u16 o 1;
+  Out.u32 o rr.Rr.ttl;
+  let rdlength_at = o.Out.len in
+  Out.u16 o 0;
+  let before = o.Out.len in
+  enc_rdata o tbl compress rr;
+  Out.patch16 o rdlength_at (o.Out.len - before)
+
+let encode ?(compress = true) (m : t) =
+  let o = Out.create () in
+  let tbl = Hashtbl.create 16 in
+  Out.u16 o m.id;
+  let b2 =
+    ((if m.qr then 1 else 0) lsl 7)
+    lor ((m.opcode land 0xF) lsl 3)
+    lor ((if m.aa then 1 else 0) lsl 2)
+    lor ((if m.tc then 1 else 0) lsl 1)
+    lor (if m.rd then 1 else 0)
+  in
+  let b3 =
+    ((if m.ra then 1 else 0) lsl 7) lor Message.rcode_code m.rcode
+  in
+  Out.u8 o b2;
+  Out.u8 o b3;
+  Out.u16 o (List.length m.question);
+  Out.u16 o (List.length m.answer);
+  Out.u16 o (List.length m.authority);
+  Out.u16 o (List.length m.additional);
+  List.iter (enc_question o tbl compress) m.question;
+  List.iter (enc_rr o tbl compress) m.answer;
+  List.iter (enc_rr o tbl compress) m.authority;
+  List.iter (enc_rr o tbl compress) m.additional;
+  Out.contents o
+
+let encode_truncated ~max_size (m : t) =
+  let full = encode m in
+  if String.length full <= max_size then (full, false)
+  else
+    let stripped =
+      { m with tc = true; answer = []; authority = []; additional = [] }
+    in
+    (encode stripped, true)
+
+(* ------------------------------------------------------------------ *)
+(* Decoder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Err of error
+
+let err e = raise (Err e)
+
+let u8 s pos what =
+  if !pos >= String.length s then err (Truncated { what; at = !pos })
+  else begin
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  end
+
+let u16 s pos what =
+  let hi = u8 s pos what in
+  let lo = u8 s pos what in
+  (hi lsl 8) lor lo
+
+let u32 s pos what =
+  let hi = u16 s pos what in
+  let lo = u16 s pos what in
+  (hi lsl 16) lor lo
+
+let take s pos n what =
+  if !pos + n > String.length s then err (Truncated { what; at = !pos })
+  else begin
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  end
+
+(* Decode a (possibly compressed) name starting at [!pos]. [limit] is
+   the strict upper bound for pointer targets: it starts at the name's
+   own offset and becomes the target after each jump, so the sequence
+   of jump targets is strictly decreasing and the walk terminates.
+   Label octets are additionally capped at [max_name_octets], bounding
+   the work between jumps. [pos] advances past the name's bytes in the
+   *original* stream (pointer bytes included, jumped-to bytes not). *)
+let dec_name s pos =
+  let rec go acc octets p limit jumped =
+    if p >= String.length s then err (Truncated { what = "name"; at = p });
+    let len = Char.code s.[p] in
+    if len = 0 then begin
+      if not jumped then pos := p + 1;
+      List.rev acc
+    end
+    else if len land 0xC0 = 0xC0 then begin
+      if p + 1 >= String.length s then
+        err (Truncated { what = "compression pointer"; at = p });
+      let target = ((len land 0x3F) lsl 8) lor Char.code s.[p + 1] in
+      if not jumped then pos := p + 2;
+      if target >= limit then err (Pointer_loop { at = p; target });
+      go acc octets target target true
+    end
+    else if len land 0xC0 <> 0 then
+      err (Bad_label { at = p; reason = "reserved length-octet tag" })
+    else begin
+      let octets = octets + len + 1 in
+      if octets > max_name_octets then err (Name_too_long { at = p });
+      if p + 1 + len > String.length s then
+        err (Truncated { what = "label"; at = p });
+      let raw = String.sub s (p + 1) len in
+      match Label.validate raw with
+      | Ok l -> go (l :: acc) octets (p + 1 + len) limit jumped
+      | Error reason -> err (Bad_label { at = p; reason })
+    end
+  in
+  go [] 0 !pos !pos false
+
+let dec_rtype s pos =
+  let at = !pos in
+  let code = u16 s pos "rtype" in
+  match Rr.rtype_of_code code with
+  | Some t -> t
+  | None -> err (Unsupported_rtype { at; code })
+
+let dec_class s pos =
+  let at = !pos in
+  let code = u16 s pos "class" in
+  if code <> 1 then err (Unsupported_class { at; code })
+
+let dec_question s pos : Message.query =
+  let qname = dec_name s pos in
+  let qtype = dec_rtype s pos in
+  dec_class s pos;
+  { Message.qname; qtype }
+
+let dec_u128_int s pos rtype =
+  let at = !pos in
+  let raw = take s pos 16 "AAAA rdata" in
+  let prefix = String.sub raw 0 8 in
+  let all c = String.for_all (Char.equal c) prefix in
+  let lo =
+    let v = ref 0L in
+    for i = 8 to 15 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code raw.[i]))
+    done;
+    !v
+  in
+  let as_int = Int64.to_int lo in
+  let representable = Int64.equal (Int64.of_int as_int) lo in
+  if all '\x00' && representable && as_int >= 0 then as_int
+  else if all '\xFF' && representable && as_int < 0 then as_int
+  else err (Bad_rdata { rtype; at; reason = "address out of range" })
+
+let dec_txt s pos rd_end rtype =
+  let buf = Buffer.create 32 in
+  let rec chunks () =
+    if !pos = rd_end then Buffer.contents buf
+    else begin
+      let at = !pos in
+      let k = u8 s pos "TXT chunk" in
+      if !pos + k > rd_end then
+        err (Bad_rdata { rtype; at; reason = "character-string overruns rdata" });
+      Buffer.add_string buf (take s pos k "TXT chunk");
+      chunks ()
+    end
+  in
+  chunks ()
+
+let dec_rdata s pos rd_end (rtype : Rr.rtype) : Rr.rdata =
+  let at = !pos in
+  let exact_end what v =
+    if !pos <> rd_end then
+      err (Bad_rdata { rtype; at; reason = what ^ " disagrees with rdlength" })
+    else v
+  in
+  match rtype with
+  | Rr.A ->
+      if rd_end - !pos <> 4 then
+        err (Bad_rdata { rtype; at; reason = "A rdata must be 4 bytes" })
+      else Rr.Addr (u32 s pos "A rdata")
+  | Rr.AAAA ->
+      if rd_end - !pos <> 16 then
+        err (Bad_rdata { rtype; at; reason = "AAAA rdata must be 16 bytes" })
+      else Rr.Addr (dec_u128_int s pos rtype)
+  | Rr.NS | Rr.CNAME | Rr.PTR ->
+      let n = dec_name s pos in
+      exact_end "name" (Rr.Host n)
+  | Rr.MX ->
+      let pref = u16 s pos "MX preference" in
+      let n = dec_name s pos in
+      exact_end "exchange name" (Rr.Mx (pref, n))
+  | Rr.SRV ->
+      let prio = u16 s pos "SRV priority" in
+      let weight = u16 s pos "SRV weight" in
+      let port = u16 s pos "SRV port" in
+      let n = dec_name s pos in
+      exact_end "target name" (Rr.Srv (prio, weight, port, n))
+  | Rr.TXT -> Rr.Text (dec_txt s pos rd_end rtype)
+  | Rr.SOA ->
+      let mname = dec_name s pos in
+      let rname = dec_name s pos in
+      let serial = u32 s pos "SOA serial" in
+      let refresh = u32 s pos "SOA refresh" in
+      let retry = u32 s pos "SOA retry" in
+      let expire = u32 s pos "SOA expire" in
+      let minimum = u32 s pos "SOA minimum" in
+      exact_end "SOA fields"
+        (Rr.Soa_data { mname; rname; serial; refresh; retry; expire; minimum })
+
+let dec_rr s pos : Rr.t =
+  let rname = dec_name s pos in
+  let rtype = dec_rtype s pos in
+  dec_class s pos;
+  let ttl = u32 s pos "ttl" in
+  let at = !pos in
+  let rdlength = u16 s pos "rdlength" in
+  if at + 2 + rdlength > String.length s then
+    err (Truncated { what = "rdata"; at });
+  let rd_end = at + 2 + rdlength in
+  let rdata = dec_rdata s pos rd_end rtype in
+  { Rr.rname; rtype; ttl; rdata }
+
+let dec_count s pos section =
+  let count = u16 s pos (section ^ " count") in
+  if count > max_count then err (Count_cap { section; count });
+  count
+
+let rec dec_list n f acc = if n = 0 then List.rev acc else dec_list (n - 1) f (f () :: acc)
+
+let decode (s : string) : (t, error) result =
+  try
+    let pos = ref 0 in
+    let id = u16 s pos "header" in
+    let b2 = u8 s pos "header" in
+    let b3 = u8 s pos "header" in
+    let qr = b2 land 0x80 <> 0 in
+    let opcode = (b2 lsr 3) land 0xF in
+    let aa = b2 land 0x04 <> 0 in
+    let tc = b2 land 0x02 <> 0 in
+    let rd = b2 land 0x01 <> 0 in
+    let ra = b3 land 0x80 <> 0 in
+    let rcode =
+      let code = b3 land 0xF in
+      match Message.rcode_of_code code with
+      | Some r -> r
+      | None -> err (Unsupported_rcode { code })
+    in
+    let qd = dec_count s pos "question" in
+    let an = dec_count s pos "answer" in
+    let ns = dec_count s pos "authority" in
+    let ar = dec_count s pos "additional" in
+    let question = dec_list qd (fun () -> dec_question s pos) [] in
+    let answer = dec_list an (fun () -> dec_rr s pos) [] in
+    let authority = dec_list ns (fun () -> dec_rr s pos) [] in
+    let additional = dec_list ar (fun () -> dec_rr s pos) [] in
+    if !pos <> String.length s then
+      err (Trailing_bytes { at = !pos; len = String.length s - !pos });
+    Trace.Metrics.incr decode_ok_c;
+    Ok { id; qr; opcode; aa; tc; rd; ra; rcode; question; answer; authority; additional }
+  with
+  | Err e ->
+      Trace.Metrics.incr decode_err_c;
+      Error e
+  | exn ->
+      (* The barrier: reachable only through a guard this module failed
+         to write. Selfcheck and the fuzz battery gate this at zero. *)
+      incr barrier_count;
+      Trace.Metrics.incr barrier_c;
+      Trace.Metrics.incr decode_err_c;
+      Error (Internal (Printexc.to_string exn))
+
+(* ------------------------------------------------------------------ *)
+(* Selfcheck                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Selfcheck = struct
+  let required_guards =
+    [
+      "truncated";
+      "bad-label";
+      "pointer";
+      "name-too-long";
+      "count-cap";
+      "unsupported";
+      "bad-rdata";
+      "trailing";
+    ]
+
+  (* Deterministic per-case PRNG: OCaml's Random is a pure function of
+     its seed array, so case [i] of a seed is stable across runs. *)
+  let st seed i = Random.State.make [| 0x5EED; seed; i |]
+
+  let pick r arr = arr.(Random.State.int r (Array.length arr))
+
+  let label_pool =
+    [| "a"; "b"; "ns"; "www"; "mail"; "example"; "com"; "org"; "x1"; "tx-t2" |]
+
+  let rand_name r =
+    List.init (Random.State.int r 5) (fun _ -> pick r label_pool)
+
+  (* Random.State.int caps its bound at 2^30 here, so wider values are
+     composed from 16/30-bit chunks. *)
+  let rand_u16 r = Random.State.int r 0x10000
+  let rand_u32 r = (rand_u16 r lsl 16) lor rand_u16 r
+  let rand_byte r = Char.chr (Random.State.int r 256)
+
+  let rand_int63 r =
+    (* bits 48-62 included, so the sign bit is exercised too *)
+    (Random.State.int r 0x8000 lsl 48)
+    lor (rand_u16 r lsl 32)
+    lor (rand_u16 r lsl 16)
+    lor rand_u16 r
+
+  let all_rtypes = Array.of_list Rr.all_rtypes
+  let all_rcodes = Array.of_list Message.all_rcodes
+
+  let rand_rdata r (rtype : Rr.rtype) : Rr.rdata =
+    match rtype with
+    | Rr.A -> Rr.Addr (rand_u32 r)
+    | Rr.AAAA -> Rr.Addr (rand_int63 r)
+    | Rr.NS | Rr.CNAME | Rr.PTR -> Rr.Host (rand_name r)
+    | Rr.MX -> Rr.Mx (rand_u16 r, rand_name r)
+    | Rr.SRV -> Rr.Srv (rand_u16 r, rand_u16 r, rand_u16 r, rand_name r)
+    | Rr.TXT -> Rr.Text (String.init (Random.State.int r 300) (fun _ -> rand_byte r))
+    | Rr.SOA ->
+        Rr.Soa_data
+          {
+            Rr.mname = rand_name r;
+            rname = rand_name r;
+            serial = rand_u32 r;
+            refresh = rand_u32 r;
+            retry = rand_u32 r;
+            expire = rand_u32 r;
+            minimum = rand_u32 r;
+          }
+
+  let rand_rr r =
+    let rtype = pick r all_rtypes in
+    { Rr.rname = rand_name r; rtype; ttl = rand_u32 r; rdata = rand_rdata r rtype }
+
+  let rand_query r =
+    { Message.qname = rand_name r; qtype = pick r all_rtypes }
+
+  let message ~seed i =
+    let r = st seed (i lxor 0x7F3) in
+    {
+      id = rand_u16 r;
+      qr = Random.State.bool r;
+      opcode = Random.State.int r 16;
+      aa = Random.State.bool r;
+      tc = Random.State.bool r;
+      rd = Random.State.bool r;
+      ra = Random.State.bool r;
+      rcode = pick r all_rcodes;
+      question = List.init (1 + Random.State.int r 2) (fun _ -> rand_query r);
+      answer = List.init (Random.State.int r 4) (fun _ -> rand_rr r);
+      authority = List.init (Random.State.int r 3) (fun _ -> rand_rr r);
+      additional = List.init (Random.State.int r 3) (fun _ -> rand_rr r);
+    }
+
+  let be16 v =
+    String.init 2 (fun j -> Char.chr ((v lsr (8 * (1 - j))) land 0xFF))
+
+  let mk_header ?(flags = 0) ~qd ~an ~ns ~ar r =
+    be16 (rand_u16 r) ^ be16 flags ^ be16 qd ^ be16 an ^ be16 ns ^ be16 ar
+
+  let rand_bytes r n = String.init n (fun _ -> rand_byte r)
+
+  (* One crafted leg per guard class (legs 3-8), plus random bytes,
+     valid messages, bit-flips and trailing garbage: the battery
+     exercises every [required_guards] tag by construction. *)
+  let case ~seed i =
+    let r = st seed i in
+    match i mod 10 with
+    | 0 -> rand_bytes r (Random.State.int r 96)
+    | 1 -> encode (message ~seed i)
+    | 2 ->
+        let b = Bytes.of_string (encode (message ~seed i)) in
+        let n = Bytes.length b in
+        for _ = 0 to Random.State.int r 4 do
+          let at = Random.State.int r n in
+          let bit = 1 lsl Random.State.int r 8 in
+          Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor bit))
+        done;
+        Bytes.to_string b
+    | 3 ->
+        let s = encode (message ~seed i) in
+        String.sub s 0 (Random.State.int r (String.length s))
+    | 4 -> (
+        match Random.State.int r 3 with
+        | 0 ->
+            (* a pointer to its own offset: target = limit, rejected *)
+            mk_header ~qd:1 ~an:0 ~ns:0 ~ar:0 r ^ "\xC0\x0C"
+        | 1 ->
+            (* a forward jump *)
+            mk_header ~qd:1 ~an:0 ~ns:0 ~ar:0 r ^ "\xC0\xF0"
+        | _ ->
+            (* five 63-octet labels: 320 octets of name *)
+            let label = String.make 1 (Char.chr 63) ^ String.make 63 'a' in
+            mk_header ~qd:1 ~an:0 ~ns:0 ~ar:0 r
+            ^ String.concat "" (List.init 5 (fun _ -> label))
+            ^ "\x00" ^ be16 1 ^ be16 1)
+    | 5 ->
+        (* a reserved 01/10 length-octet tag *)
+        let tag = if Random.State.bool r then 0x40 else 0x80 in
+        mk_header ~qd:1 ~an:0 ~ns:0 ~ar:0 r
+        ^ String.make 1 (Char.chr (tag lor Random.State.int r 0x3F))
+    | 6 ->
+        mk_header ~qd:(256 + Random.State.int r 0xFF00) ~an:0 ~ns:0 ~ar:0 r
+    | 7 -> (
+        match Random.State.int r 3 with
+        | 0 ->
+            mk_header ~qd:1 ~an:0 ~ns:0 ~ar:0 r
+            ^ "\x01a\x00" ^ be16 (250 + Random.State.int r 5) ^ be16 1
+        | 1 ->
+            mk_header ~qd:1 ~an:0 ~ns:0 ~ar:0 r
+            ^ "\x01a\x00" ^ be16 1 ^ be16 (2 + Random.State.int r 200)
+        | _ -> mk_header ~flags:(6 + Random.State.int r 10) ~qd:0 ~an:0 ~ns:0 ~ar:0 r)
+    | 8 ->
+        if Random.State.bool r then
+          (* A rdata claiming 5 bytes *)
+          mk_header ~qd:0 ~an:1 ~ns:0 ~ar:0 r
+          ^ "\x01a\x00" ^ be16 1 ^ be16 1 ^ be16 0 ^ be16 0 ^ be16 5
+          ^ rand_bytes r 5
+        else
+          (* AAAA rdata with a mixed sign prefix *)
+          mk_header ~qd:0 ~an:1 ~ns:0 ~ar:0 r
+          ^ "\x01a\x00" ^ be16 28 ^ be16 1 ^ be16 0 ^ be16 0 ^ be16 16
+          ^ "\x00\xFF" ^ rand_bytes r 14
+    | _ -> encode (message ~seed i) ^ rand_bytes r (1 + Random.State.int r 16)
+
+  let malformed_query ~seed i =
+    let r = st seed (i lxor 0x2B5D) in
+    (* QR clear and opcode 0 so a serve loop replies (FORMERR) rather
+       than dropping; flags may set aa/tc/rd, body is garbage. *)
+    let flags = Random.State.int r 8 lsl 8 in
+    mk_header ~flags ~qd:1 ~an:0 ~ns:0 ~ar:0 r
+    ^ rand_bytes r (1 + Random.State.int r 32)
+
+  type report = {
+    sc_cases : int;
+    sc_decoded : int;
+    sc_rejected : (string * int) list;
+    sc_raised : int;
+    sc_barrier : int;
+    sc_roundtrip_failures : int;
+    sc_missing_guards : string list;
+  }
+
+  let run ?(seed = 0xD15) ~cases () =
+    let tally = Hashtbl.create 16 in
+    let raised = ref 0 and decoded = ref 0 and barrier = ref 0 and rt = ref 0 in
+    for i = 0 to cases - 1 do
+      let bytes = case ~seed i in
+      (match (try Some (decode bytes) with _ -> None) with
+      | None -> incr raised
+      | Some (Ok _) -> incr decoded
+      | Some (Error e) ->
+          (match e with Internal _ -> incr barrier | _ -> ());
+          let tag = error_tag e in
+          Hashtbl.replace tally tag
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tally tag)));
+      let m = message ~seed i in
+      let rt_ok compress =
+        match decode (encode ~compress m) with
+        | Ok m' -> equal m m'
+        | Error _ -> false
+        | exception _ -> false
+      in
+      if not (rt_ok true && rt_ok false) then incr rt
+    done;
+    let rejected =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+      |> List.sort compare
+    in
+    let missing =
+      List.filter (fun g -> not (List.mem_assoc g rejected)) required_guards
+    in
+    {
+      sc_cases = cases;
+      sc_decoded = !decoded;
+      sc_rejected = rejected;
+      sc_raised = !raised;
+      sc_barrier = !barrier;
+      sc_roundtrip_failures = !rt;
+      sc_missing_guards = missing;
+    }
+
+  let ok r =
+    r.sc_raised = 0 && r.sc_barrier = 0 && r.sc_roundtrip_failures = 0
+    && r.sc_missing_guards = []
+
+  let pp ppf r =
+    Fmt.pf ppf
+      "@[<v>wire selfcheck: %d cases, %d decoded, %d raised, %d barrier, %d \
+       round-trip failures@,rejections by guard:@,%a@,missing guards: %s@]"
+      r.sc_cases r.sc_decoded r.sc_raised r.sc_barrier r.sc_roundtrip_failures
+      (Fmt.list ~sep:Fmt.cut (fun ppf (tag, n) -> Fmt.pf ppf "  %-14s %d" tag n))
+      r.sc_rejected
+      (if r.sc_missing_guards = [] then "none"
+       else String.concat ", " r.sc_missing_guards)
+end

@@ -1,0 +1,185 @@
+(* RFC 1035 wire-format message codec, total on arbitrary bytes.
+
+   This is the trust-boundary extension the paper stops short of: the
+   verified engines answer eDSL queries, but a real authoritative
+   outage starts in the wire path — truncated frames, compression
+   pointer loops, labels that lie about their length — before a query
+   ever reaches the verified core. The decoder below therefore follows
+   the same panic-freedom discipline the pipeline enforces on the
+   engines: every read is bounds-checked, every malformed input maps
+   to a typed [error] (never an exception), compression pointers must
+   jump strictly backwards (so chasing them terminates by a decreasing
+   measure), and section counts are capped before a single record is
+   read. [decode] additionally wraps the whole parse in a catch-all
+   barrier: an exception escaping the typed guards would be counted
+   under the [wire.barrier_caught] metric and surfaced as [Internal] —
+   the Selfcheck battery and `dnsv wire` gate that counter at zero,
+   which is the codec's analogue of `dnsv lint` discharging an
+   engine's panic guards.
+
+   Scope: class IN only, the nine record types of [Dns.Rr], no EDNS.
+   Anything outside that decodes to a typed [Unsupported_*] error the
+   serve loop maps to FORMERR/NOTIMP. *)
+
+module Message = Dns.Message
+module Name = Dns.Name
+module Rr = Dns.Rr
+
+(* ------------------------------------------------------------------ *)
+(* Typed decode errors (the decoder's discharged panic guards)        *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Truncated of { what : string; at : int }
+      (* a read past the end of the datagram *)
+  | Bad_label of { at : int; reason : string }
+      (* reserved 01/10 length-octet tags, or bytes Label.validate rejects *)
+  | Pointer_loop of { at : int; target : int }
+      (* a compression pointer that does not jump strictly backwards *)
+  | Name_too_long of { at : int }
+      (* a name exceeding 255 octets (RFC 1035 §3.1) *)
+  | Count_cap of { section : string; count : int }
+      (* a section count above [max_count] *)
+  | Unsupported_class of { at : int; code : int }
+  | Unsupported_rtype of { at : int; code : int }
+  | Unsupported_rcode of { code : int }
+  | Bad_rdata of { rtype : Rr.rtype; at : int; reason : string }
+      (* rdata whose shape or length contradicts its type *)
+  | Trailing_bytes of { at : int; len : int }
+      (* bytes left over after every declared section was read *)
+  | Internal of string
+      (* the catch-all barrier; gated at zero by Selfcheck *)
+
+(* Stable machine-readable guard-class tag ("truncated", "bad-label",
+   "pointer", "name-too-long", "count-cap", "unsupported", "bad-rdata",
+   "trailing", "internal"). *)
+val error_tag : error -> string
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A whole RFC 1035 message over the existing [Dns] types. The
+   question section reuses [Message.query]; record sections reuse
+   [Rr.t]. [opcode] is kept raw (0-15): the serve loop answers only
+   opcode 0 and NOTIMPs the rest. *)
+type t = {
+  id : int; (* 0-65535 *)
+  qr : bool; (* false = query, true = response *)
+  opcode : int; (* 0-15; 0 = standard query *)
+  aa : bool;
+  tc : bool;
+  rd : bool;
+  ra : bool;
+  rcode : Message.rcode;
+  question : Message.query list;
+  answer : Rr.t list;
+  authority : Rr.t list;
+  additional : Rr.t list;
+}
+
+(* Per-section record-count cap enforced before any record is read: a
+   header claiming more is rejected with [Count_cap] instead of
+   walking a count that cannot possibly fit the datagram. *)
+val max_count : int
+
+(* Names are capped at 255 octets, labels at 63 (RFC 1035 §2.3.4/§3.1). *)
+val max_name_octets : int
+
+(* The classic UDP payload bound the serve loop truncates to. *)
+val max_udp_payload : int
+
+(* A standard query (qr=false, opcode 0) for one question. *)
+val query : ?id:int -> ?rd:bool -> Message.query -> t
+
+(* A response to [question]: echoes id/rd, sets qr, and carries the
+   engine's rcode/aa/sections. *)
+val response :
+  id:int -> ?rd:bool -> question:Message.query list -> Message.response -> t
+
+(* Project the response-relevant fields back onto [Message.response]. *)
+val to_response : t -> Message.response
+
+(* Structural equality (sections are order-sensitive: wire order is
+   preserved by the codec). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Encode a message. Total: out-of-range integers (id, ttl, addresses,
+   MX/SRV fields) are masked to their field width, so encoding never
+   raises; [decode (encode m) = m] whenever [m]'s integers are already
+   in range (the QCheck round-trip property). [compress] (default
+   true) emits RFC 1035 name-compression pointers; compression only
+   ever points strictly backwards, so the decoder's pointer discipline
+   accepts everything the encoder emits. *)
+val encode : ?compress:bool -> t -> string
+
+(* Decode arbitrary bytes. Total: every input returns [Ok] or a typed
+   [Error]; no exception escapes (enforced by the catch-all barrier +
+   the Selfcheck/fuzz batteries). *)
+val decode : string -> (t, error) result
+
+(* [encode], truncating to [max_size] bytes the RFC 1035 way: if the
+   full encoding does not fit, the record sections are dropped and TC
+   is set (the question survives, so the client can retry over TCP in
+   a fuller implementation). Returns the bytes and whether truncation
+   happened. *)
+val encode_truncated : max_size:int -> t -> string * bool
+
+(* Cumulative catch-all firings in this domain ([wire.barrier_caught]);
+   must stay zero — a nonzero value means a malformed input reached an
+   undischared guard. *)
+val barrier_hits : unit -> int
+
+(* ------------------------------------------------------------------ *)
+(* Selfcheck: the decoder-totality battery                            *)
+(* ------------------------------------------------------------------ *)
+
+module Selfcheck : sig
+  (* The pure seeded case generator behind `make fuzz-wire`, `dnsv
+     wire` and the loadgen's malformed fraction: case [i] of a given
+     [seed] is always the same bytes. The battery cycles through
+     construction legs — uniformly random bytes, bit-flipped valid
+     encodings, truncated valid encodings, compression-pointer
+     loops/forward jumps/reserved tags, oversized section counts,
+     unknown rtype/class/rcode fields, corrupted rdata lengths, and
+     trailing garbage — so every typed guard class is exercised by
+     construction, not by luck. *)
+  val case : seed:int -> int -> string
+
+  (* A malformed-but-answerable datagram for the loadgen mix: at least
+     a full header, QR clear (so a server will reply rather than drop). *)
+  val malformed_query : seed:int -> int -> string
+
+  (* A pure seeded *valid* message (the round-trip leg's input). *)
+  val message : seed:int -> int -> t
+
+  type report = {
+    sc_cases : int;
+    sc_decoded : int; (* inputs that decoded cleanly *)
+    sc_rejected : (string * int) list; (* guard tag -> rejections, sorted *)
+    sc_raised : int; (* exceptions escaping decode — must be 0 *)
+    sc_barrier : int; (* Internal catch-all firings — must be 0 *)
+    sc_roundtrip_failures : int; (* decode (encode m) <> m — must be 0 *)
+    sc_missing_guards : string list; (* required guard classes never hit *)
+  }
+
+  (* Guard classes [run] requires to fire at least once (proof the
+     decoder's totality rests on live typed guards, not the barrier). *)
+  val required_guards : string list
+
+  val run : ?seed:int -> cases:int -> unit -> report
+
+  (* Zero raises, zero barrier hits, zero round-trip failures, every
+     required guard exercised. *)
+  val ok : report -> bool
+
+  val pp : Format.formatter -> report -> unit
+end

@@ -370,7 +370,53 @@ let prop_generated_zone_resolution_total =
       (* Sanity: rcode is one of the modelled ones, AA only on non-refused. *)
       match r.Message.rcode with
       | Message.Refused -> r.Message.answer = []
-      | Message.NoError | Message.NXDomain | Message.ServFail -> true)
+      | Message.NoError | Message.NXDomain | Message.ServFail -> true
+      (* The spec never answers with the wire-path-only rcodes. *)
+      | Message.FormErr | Message.NotImp -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Rcode coding: rcode_code / rcode_of_code are exact inverses over
+   all RFC 1035 codes 0-5 (the serve loop depends on FORMERR and
+   NOTIMP surviving the round trip).                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rcode_roundtrip () =
+  check_int "all six RFC 1035 rcodes modelled" 6
+    (List.length Message.all_rcodes);
+  List.iter
+    (fun rc ->
+      let code = Message.rcode_code rc in
+      check_bool
+        (Printf.sprintf "code %d in range 0-5" code)
+        true
+        (code >= 0 && code <= 5);
+      match Message.rcode_of_code code with
+      | Some rc' ->
+          check_bool
+            (Printf.sprintf "rcode_of_code (rcode_code %s)"
+               (Message.rcode_to_string rc))
+            true (rc = rc')
+      | None ->
+          Alcotest.failf "rcode_of_code %d = None for %s" code
+            (Message.rcode_to_string rc))
+    Message.all_rcodes;
+  (* The inverse direction: every code 0-5 decodes, and re-encodes to
+     itself; everything else is rejected. *)
+  for code = 0 to 5 do
+    match Message.rcode_of_code code with
+    | Some rc -> check_int "re-encodes" code (Message.rcode_code rc)
+    | None -> Alcotest.failf "rcode_of_code %d = None" code
+  done;
+  List.iter
+    (fun code ->
+      check_bool
+        (Printf.sprintf "code %d rejected" code)
+        true
+        (Message.rcode_of_code code = None))
+    [ -1; 6; 7; 15; 16; 255 ];
+  (* FORMERR and NOTIMP land on their RFC values. *)
+  check_int "FORMERR = 1" 1 (Message.rcode_code Message.FormErr);
+  check_int "NOTIMP = 4" 4 (Message.rcode_code Message.NotImp)
 
 let prop_zonefile_roundtrip_generated =
   QCheck.Test.make ~name:"zonefile roundtrip on generated zones" ~count:30
@@ -392,6 +438,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_name_basics;
           Alcotest.test_case "wire form" `Quick test_name_wire;
           Alcotest.test_case "label coding" `Quick test_label_coding;
+          Alcotest.test_case "rcode roundtrip" `Quick test_rcode_roundtrip;
         ]
         @ qcheck [ prop_name_string_roundtrip; prop_name_wire_roundtrip ] );
       ( "rrlookup",
