@@ -1,5 +1,5 @@
 # Convenience targets over dune. `make bench-json` is the perf gate:
-# it regenerates BENCH_PR7.json and fails (exit 1) if parallel/cached
+# it regenerates BENCH_PR9.json and fails (exit 1) if parallel/cached
 # verdicts diverge from sequential ones, the summaries-ablation
 # speedup regresses below its seed-commit floor, certificate checking
 # costs more than 10% over the uncertified re-verification, span
@@ -13,7 +13,12 @@
 # baseline, or its verdict fingerprint drifts), or the 200-plan chaos
 # soak reports a soundness violation, or the wire probe's malformed
 # loadgen leg crashes the serve loop (any escaped exception or decoder
-# barrier firing — the checks live in bench/main.ml's json target).
+# barrier firing), or the observability stack (sampled query log +
+# rolling SLO windows + a scraped stats endpoint, all ON) costs more
+# than 5% wall or exact-p99 over serving with it all OFF, or any
+# observability arm's reply fingerprint differs from the OFF arm's —
+# including the Obsv_sink_fail arm, where every append is suppressed
+# (the checks live in bench/main.ml's json target).
 # `make lint` runs the abstract-interpretation linter over every
 # bundled engine version against the checked-in baseline. `make chaos`
 # is the standalone soak via the CLI; `make trace` records a
@@ -45,8 +50,8 @@ bench:
 	dune exec bench/main.exe
 
 bench-json:
-	dune exec bench/main.exe -- json > BENCH_PR8.json
-	@cat BENCH_PR8.json
+	dune exec bench/main.exe -- json > BENCH_PR9.json
+	@cat BENCH_PR9.json
 	@echo
 
 fuzz:

@@ -240,7 +240,7 @@ let cert_overhead () =
    arm to keep machine noise out of the gate. *)
 
 let trace_overhead_gate = 1.05
-let trace_overhead_reps = 6
+let trace_overhead_reps = 9
 
 let trace_overhead_runs () =
   let arm_untraced () = reverify_run ~caching:true ~jobs:1 () in
@@ -388,7 +388,13 @@ let incremental_qtypes = [ Dns.Rr.A; Dns.Rr.MX ]
 (* Cold-with-store vs. no-store on the same engine: the bookkeeping tax
    of recording every entry must stay within [store_overhead_gate]. *)
 let store_overhead_gate = 1.10
-let store_overhead_reps = 5
+
+(* Interleaved best-of-[store_overhead_reps] per arm: the arms are only
+   ~0.6 s each, so on a busy single-core box a burst of steal time in
+   one arm can swing the ratio by more than the gate's headroom; the
+   min over enough interleaved reps converges on the quiet-machine
+   wall for both arms. *)
+let store_overhead_reps = 9
 
 let rec rm_rf path =
   match Unix.lstat path with
@@ -477,14 +483,17 @@ let store_overhead_runs () =
   let patched = Engine.Versions.fixed Engine.Versions.v3_0 in
   let without = ref None and with_ = ref None in
   for _ = 1 to store_overhead_reps do
-    without := best_incr !without (incr_verify patched);
+    let w0 = incr_verify patched in
+    without := best_incr !without w0;
     let dir = fresh_dir () in
     Fun.protect
       ~finally:(fun () -> rm_rf dir)
       (fun () ->
-        with_ :=
-          best_incr !with_
-            (incr_with_store dir (fun st -> incr_verify ~store:st patched)))
+        let w1 = incr_with_store dir (fun st -> incr_verify ~store:st patched) in
+        if Sys.getenv_opt "DNSV_BENCH_DEBUG" <> None then
+          Printf.eprintf "  rep: without=%.4f with=%.4f ratio=%.3f\n%!"
+            w0.ir_wall w1.ir_wall (w1.ir_wall /. w0.ir_wall);
+        with_ := best_incr !with_ w1)
   done;
   { so_without = Option.get !without; so_with = Option.get !with_ }
 
@@ -845,6 +854,239 @@ let wire_qps () =
     wp.wp_escaped wp.wp_barrier;
   if not (wire_probe_ok wp) then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: all-ON serving must cost <= 1.05x all-OFF  *)
+(* ------------------------------------------------------------------ *)
+
+(* Three in-process serving arms over one precomputed datagram
+   sequence. OFF: no sink attached. ON: sampled query log at the
+   default 10% rate, rolling SLO windows, and a bound stats endpoint
+   taking real UDP scrape round-trips mid-leg. FAULT: 100% sampling
+   with Obsv_sink_fail armed persistently, so every append is
+   suppressed. OFF and ON interleave rep-for-rep (best-of-[obs_reps])
+   to keep machine drift out of the ratio; p99 is exact — sorted raw
+   latencies, not the power-of-two trace buckets, whose factor-of-two
+   quantization would make a 1.05x gate meaningless. All three reply
+   streams must fingerprint byte-identically: observability reads the
+   answer path, it never writes it — even when the sink is failing. *)
+
+let obs_queries = 1200
+let obs_seed = 0x0B51
+let obs_malformed_pct = 10
+let obs_overhead_gate = 1.05
+let obs_reps = 7
+
+let obs_datagrams =
+  lazy
+    (Array.init obs_queries (fun i ->
+         snd
+           (Dnsv.Loadgen.datagram ~zone:Spec.Fixtures.reference_zone
+              {
+                Dnsv.Loadgen.queries = obs_queries;
+                malformed_pct = obs_malformed_pct;
+                seed = obs_seed;
+              }
+              i)))
+
+type obs_arm = {
+  mutable oa_wall : float; (* best-of wall seconds *)
+  mutable oa_p99_ms : float; (* best-of exact p99 *)
+  mutable oa_fp : string; (* reply-stream digest, stable across reps *)
+}
+
+type obs_ctx = {
+  oc_s : Dnsv.Serve.server;
+  oc_ep : Obsv.Endpoint.t option;
+  oc_qlog : Obsv.Qlog.t option;
+  oc_qpath : string option;
+  oc_arm : obs_arm;
+}
+
+let obs_ctx ~obs ~rate_pct () =
+  let s =
+    Dnsv.Serve.create
+      ~config:(Engine.Versions.fixed Engine.Versions.v3_0)
+      Spec.Fixtures.reference_zone
+  in
+  let ep, qlog, qpath =
+    if obs then begin
+      let qpath = Filename.temp_file "dnsv-bench" ".qlog" in
+      let qlog = Obsv.Qlog.create ~path:qpath ~seed:obs_seed ~rate_pct () in
+      let windows = Obsv.Windows.create ~window_s:0.05 ~windows:60 () in
+      Dnsv.Serve.attach_obsv s (Obsv.sink ~qlog ~windows ());
+      (Some (Obsv.Endpoint.create ()), Some qlog, Some qpath)
+    end
+    else (None, None, None)
+  in
+  {
+    oc_s = s;
+    oc_ep = ep;
+    oc_qlog = qlog;
+    oc_qpath = qpath;
+    oc_arm = { oa_wall = infinity; oa_p99_ms = infinity; oa_fp = "" };
+  }
+
+(* One real scrape round-trip through the endpoint's UDP socket. *)
+let obs_scrape ep s =
+  let c = Unix.socket PF_INET SOCK_DGRAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close c with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect c
+        (ADDR_INET (Unix.inet_addr_loopback, Obsv.Endpoint.port ep));
+      ignore (Unix.send c (Bytes.of_string "stats") 0 5 []);
+      ignore
+        (Obsv.Endpoint.serve_request ep ~respond:(Dnsv.Serve.exposition s));
+      match Unix.select [ c ] [] [] 1.0 with
+      | [], _, _ -> ()
+      | _ ->
+          let b = Bytes.create 65536 in
+          ignore (Unix.recv c b 0 (Bytes.length b) []))
+
+let obs_rep (c : obs_ctx) =
+  let dgs = Lazy.force obs_datagrams in
+  let lat = Array.make obs_queries 0.0 in
+  let buf = Buffer.create (obs_queries * 64) in
+  let t0 = Unix.gettimeofday () in
+  Array.iteri
+    (fun i d ->
+      (match c.oc_ep with
+      | Some ep when i > 0 && i mod 400 = 0 -> obs_scrape ep c.oc_s
+      | _ -> ());
+      let q0 = Unix.gettimeofday () in
+      let out = Dnsv.Serve.handle c.oc_s d in
+      lat.(i) <- (Unix.gettimeofday () -. q0) *. 1000.0;
+      match out.Dnsv.Serve.reply with
+      | Some r -> Buffer.add_string buf r
+      | None -> Buffer.add_char buf '\000')
+    dgs;
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.sort compare lat;
+  let p99 = lat.(obs_queries - 1 - (obs_queries / 100)) in
+  let a = c.oc_arm in
+  if wall < a.oa_wall then a.oa_wall <- wall;
+  if p99 < a.oa_p99_ms then a.oa_p99_ms <- p99;
+  let d = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+  if a.oa_fp = "" then a.oa_fp <- d
+  else if not (String.equal a.oa_fp d) then a.oa_fp <- "UNSTABLE:" ^ d
+
+let obs_ctx_close (c : obs_ctx) =
+  (match c.oc_qlog with Some q -> Obsv.Qlog.close q | None -> ());
+  (match c.oc_qpath with
+  | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+  | None -> ());
+  match c.oc_ep with Some ep -> Obsv.Endpoint.close ep | None -> ()
+
+type obs_probe = {
+  op_off : obs_arm;
+  op_on : obs_arm;
+  op_fault : obs_arm;
+  op_on_sampled : int;
+  op_on_scrapes : int;
+  op_fault_sink_failures : int;
+}
+
+let obs_runs () =
+  Faultinject.reset ();
+  let off = obs_ctx ~obs:false ~rate_pct:10 () in
+  let on = obs_ctx ~obs:true ~rate_pct:10 () in
+  let snap0 = Trace.Metrics.snapshot () in
+  for _ = 1 to obs_reps do
+    obs_rep off;
+    obs_rep on
+  done;
+  let snap1 = Trace.Metrics.snapshot () in
+  let flt = obs_ctx ~obs:true ~rate_pct:100 () in
+  Faultinject.arm ~persistent:true ~after:1 Faultinject.Obsv_sink_fail;
+  obs_rep flt;
+  obs_rep flt;
+  Faultinject.reset ();
+  let snap2 = Trace.Metrics.snapshot () in
+  let on_d = Trace.Metrics.diff snap1 snap0 in
+  let flt_d = Trace.Metrics.diff snap2 snap1 in
+  obs_ctx_close off;
+  obs_ctx_close on;
+  obs_ctx_close flt;
+  {
+    op_off = off.oc_arm;
+    op_on = on.oc_arm;
+    op_fault = flt.oc_arm;
+    op_on_sampled = Trace.Metrics.get on_d "obsv.sampled";
+    op_on_scrapes = Trace.Metrics.get on_d "obsv.scrapes";
+    op_fault_sink_failures = Trace.Metrics.get flt_d "obsv.sink_failures";
+  }
+
+let obs_gates (p : obs_probe) =
+  let wall_ratio = p.op_on.oa_wall /. p.op_off.oa_wall in
+  let p99_ratio =
+    if p.op_off.oa_p99_ms > 0.0 then p.op_on.oa_p99_ms /. p.op_off.oa_p99_ms
+    else 1.0
+  in
+  let identical =
+    String.equal p.op_off.oa_fp p.op_on.oa_fp
+    && String.equal p.op_on.oa_fp p.op_fault.oa_fp
+  in
+  (wall_ratio, p99_ratio, identical)
+
+let obs_probe_ok p =
+  let wall_ratio, p99_ratio, identical = obs_gates p in
+  identical
+  && wall_ratio <= obs_overhead_gate
+  && p99_ratio <= obs_overhead_gate
+  && p.op_on_sampled > 0 && p.op_on_scrapes > 0
+  && p.op_fault_sink_failures > 0
+
+let json_of_obs_arm (a : obs_arm) =
+  json_obj
+    [
+      ("wall_s", Printf.sprintf "%.4f" a.oa_wall);
+      ("qps", Printf.sprintf "%.0f" (float_of_int obs_queries /. a.oa_wall));
+      ("p99_ms", Printf.sprintf "%.4f" a.oa_p99_ms);
+      ("fingerprint", json_str a.oa_fp);
+    ]
+
+let json_of_obs (p : obs_probe) =
+  let wall_ratio, p99_ratio, identical = obs_gates p in
+  json_obj
+    [
+      ("queries_per_rep", string_of_int obs_queries);
+      ("reps", string_of_int obs_reps);
+      ("malformed_pct", string_of_int obs_malformed_pct);
+      ("off", json_of_obs_arm p.op_off);
+      ("on", json_of_obs_arm p.op_on);
+      ("sink_fail", json_of_obs_arm p.op_fault);
+      ("overhead_ratio", Printf.sprintf "%.3f" wall_ratio);
+      ("p99_ratio", Printf.sprintf "%.3f" p99_ratio);
+      ("gate", Printf.sprintf "%.2f" obs_overhead_gate);
+      ("on_sampled", string_of_int p.op_on_sampled);
+      ("on_scrapes", string_of_int p.op_on_scrapes);
+      ("fault_sink_failures", string_of_int p.op_fault_sink_failures);
+      ("fingerprints_identical", string_of_bool identical);
+      ("ok", string_of_bool (obs_probe_ok p));
+    ]
+
+let obs_overhead () =
+  rule ();
+  Printf.printf
+    "Observability overhead: %d in-process queries per rep (seed %#x, %d%% \
+     malformed), best of %d interleaved reps\n\n"
+    obs_queries obs_seed obs_malformed_pct obs_reps;
+  let p = obs_runs () in
+  let wall_ratio, p99_ratio, identical = obs_gates p in
+  Printf.printf "all-OFF:   %.4fs wall, exact p99 %.4fms, fp %s\n"
+    p.op_off.oa_wall p.op_off.oa_p99_ms p.op_off.oa_fp;
+  Printf.printf "all-ON:    %.4fs wall, exact p99 %.4fms, fp %s\n"
+    p.op_on.oa_wall p.op_on.oa_p99_ms p.op_on.oa_fp;
+  Printf.printf "sink-fail: %.4fs wall, exact p99 %.4fms, fp %s\n"
+    p.op_fault.oa_wall p.op_fault.oa_p99_ms p.op_fault.oa_fp;
+  Printf.printf
+    "\noverhead %.3fx wall, %.3fx p99 (gate <= %.2fx); %d sampled, %d \
+     scrapes; %d suppressed appends under Obsv_sink_fail; fingerprints \
+     identical: %b\n\n"
+    wall_ratio p99_ratio obs_overhead_gate p.op_on_sampled p.op_on_scrapes
+    p.op_fault_sink_failures identical;
+  if not (obs_probe_ok p) then exit 1
+
 let json_of_chaos wall (o : Dnsv.Chaos.outcome) =
   json_obj
     [
@@ -979,6 +1221,8 @@ let json () =
   let cd_legacy, cd_cdcl = cdcl_runs () in
   let cd_li, cd_ci, cd_ratio, cd_identical = cdcl_gates cd_legacy cd_cdcl in
   let wp = wire_probe () in
+  let op = obs_runs () in
+  let op_wall_ratio, op_p99_ratio, op_identical = obs_gates op in
   let chaos_wall, chaos_o = timed_chaos () in
   print_endline
     (json_obj
@@ -1094,6 +1338,7 @@ let json () =
                ("fingerprints_identical", string_of_bool cd_identical);
              ] );
          ("wire", json_of_wire wp);
+         ("obs_overhead", json_of_obs op);
          ("chaos", json_of_chaos chaos_wall chaos_o);
        ]);
   if not verdicts_identical then begin
@@ -1191,6 +1436,26 @@ let json () =
        barrier hits, %d malformed-leg timeouts\n"
       wp.wp_valid.Dnsv.Loadgen.lg_answered wp.wp_valid.Dnsv.Loadgen.lg_sent
       wp.wp_escaped wp.wp_barrier wp.wp_malformed.Dnsv.Loadgen.lg_timeouts;
+    exit 1
+  end;
+  if not op_identical then begin
+    prerr_endline
+      "FAIL: observability-ON (or sink-fail) reply fingerprints differ from \
+       observability-OFF";
+    exit 1
+  end;
+  if op_wall_ratio > obs_overhead_gate || op_p99_ratio > obs_overhead_gate
+  then begin
+    Printf.eprintf
+      "FAIL: observability overhead %.3fx wall / %.3fx p99 exceeds the %.2fx \
+       gate\n"
+      op_wall_ratio op_p99_ratio obs_overhead_gate;
+    exit 1
+  end;
+  if op.op_fault_sink_failures = 0 then begin
+    prerr_endline
+      "FAIL: Obsv_sink_fail arm suppressed no appends — the fault site is \
+       dead";
     exit 1
   end;
   if not (Dnsv.Chaos.ok chaos_o) then begin
@@ -1307,12 +1572,13 @@ let () =
       | "incremental" -> incremental ()
       | "chaos" -> chaos ()
       | "wireqps" -> wire_qps ()
+      | "obsoverhead" -> obs_overhead ()
       | "json" -> json ()
       | "micro" -> run_micro ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected \
-             table1|table2|table3|fig12|ablation|reverify|cdclreverify|certoverhead|traceoverhead|analysisoverhead|incremental|chaos|wireqps|json|micro)\n"
+             table1|table2|table3|fig12|ablation|reverify|cdclreverify|certoverhead|traceoverhead|analysisoverhead|incremental|chaos|wireqps|obsoverhead|json|micro)\n"
             other;
           exit 2)
     targets

@@ -11,7 +11,8 @@
      dnsv replay    — run one concrete query on engine and spec
      dnsv serve     — answer RFC 1035 UDP queries with a verified engine
      dnsv loadgen   — fire a seeded (partly malformed) query mix at a server
-     dnsv wire      — check the wire decoder's panic guards are discharged *)
+     dnsv wire      — check the wire decoder's panic guards are discharged
+     dnsv top       — live per-window dashboard over a serve stats endpoint *)
 
 module Name = Dns.Name
 module Rr = Dns.Rr
@@ -101,7 +102,8 @@ let fault_plan_arg =
      Faultinject sites (solver-unknown, summarize-raise, \
      summary-invalid, exec-fuel, clock-overrun, cache-corrupt, \
      journal-torn, store-corrupt, store-stale, store-lock-held, \
-     conflict-corrupt, wire-garble, wire-truncate, serve-overload)."
+     conflict-corrupt, wire-garble, wire-truncate, serve-overload, \
+     obsv-sink-fail)."
   in
   Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
 
@@ -524,13 +526,14 @@ let chaos_cmd =
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run file top depth validate =
+  let run file top depth validate json =
     match Trace.Report.load file with
     | Error m ->
         Printf.eprintf "cannot read trace %s: %s\n" file m;
         exit 3
     | Ok r ->
-        print_string (Trace.Report.render ~top ~depth r);
+        if json then print_endline (Trace.Report.to_json r)
+        else print_string (Trace.Report.render ~top ~depth r);
         if validate then begin
           (* The CI well-formedness gate: the trace must contain at
              least one span for every registered refinement layer. *)
@@ -580,13 +583,22 @@ let report_cmd =
     in
     Arg.(value & flag & info [ "validate-layers" ] ~doc)
   in
+  let json_arg =
+    let doc =
+      "Emit the machine-readable report instead: per-phase wall/count \
+       plus counters and histograms (quantiles carry their \
+       power-of-two-bucket error bound), one JSON object — the same \
+       consumer shape `dnsv top --once --json' scrapes."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Render a --trace file as a human-readable profile: per-phase \
           wall/count table, span tree, slowest spans, counters and \
-          histograms")
-    Term.(const run $ file_arg $ top_arg $ depth_arg $ validate_arg)
+          histograms (or --json for the machine-readable twin)")
+    Term.(const run $ file_arg $ top_arg $ depth_arg $ validate_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* layers                                                             *)
@@ -993,22 +1005,68 @@ let port_arg =
   Arg.(value & opt int 5300 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
 
 let serve_cmd =
-  let run version zone_file port query_deadline max_queries fault_seed
+  let run version zone_file port query_deadline max_queries stats_port qlog
+      qlog_sample seed window_s windows p99_limit servfail_limit fault_seed
       fault_plan trace =
     let cfg = config_of_version version in
     let zone = load_zone zone_file in
     apply_faults fault_seed fault_plan;
-    let server = Dnsv.Serve.create ~deadline_s:query_deadline ~config:cfg zone in
+    let identity =
+      {
+        Obsv.Expo.id_version = "dnsv 1.0.0";
+        id_engine = version;
+        id_zone = Name.to_string (Zone.origin zone);
+      }
+    in
+    let server =
+      Dnsv.Serve.create ~deadline_s:query_deadline ~identity ~config:cfg zone
+    in
+    let qlog_t =
+      Option.map
+        (fun path -> Obsv.Qlog.create ~path ~seed ~rate_pct:qlog_sample ())
+        qlog
+    in
+    let windows_t =
+      Obsv.Windows.create ~window_s ~windows ?p99_limit_ms:p99_limit
+        ?servfail_limit ()
+    in
+    Dnsv.Serve.attach_obsv server
+      (Obsv.sink ?qlog:qlog_t ~windows:windows_t ());
+    let stats =
+      Option.map (fun p -> Obsv.Endpoint.create ~port:p ()) stats_port
+    in
+    (* SIGTERM/SIGINT become a cooperative stop: the loop returns, the
+       final snapshot and query-log tail are flushed, and we exit 0. *)
+    Dnsv.Serve.clear_stop ();
+    Dnsv.Serve.install_stop_signals ();
     (try
        with_trace trace (fun () ->
-           Dnsv.Serve.serve_udp ?max_queries
+           Dnsv.Serve.serve_udp ?max_queries ?stats
              ~ready:(fun p ->
                Printf.eprintf "dnsv serve: zone %s, engine %s, 127.0.0.1:%d\n%!"
-                 (Name.to_string (Zone.origin zone)) version p)
+                 (Name.to_string (Zone.origin zone)) version p;
+               match stats with
+               | Some ep ->
+                   Printf.eprintf "dnsv serve: stats on 127.0.0.1:%d\n%!"
+                     (Obsv.Endpoint.port ep)
+               | None -> ())
              ~port server)
      with e ->
        Printf.eprintf "serve: %s\n" (Printexc.to_string e);
        exit 3);
+    (* Final flush: close the current SLO window, emit the whole
+       registry as a last scrape-equivalent snapshot, finalize the
+       query log (its CRC frame discipline makes the tail recoverable
+       even without this; finalizing marks the log complete). *)
+    Obsv.Windows.roll windows_t;
+    prerr_string (Dnsv.Serve.exposition server `Text);
+    (match qlog_t with
+    | Some q ->
+        Printf.eprintf "qlog: %d record(s) in %s\n" (Obsv.Qlog.logged q)
+          (Obsv.Qlog.path q);
+        Obsv.Qlog.close q
+    | None -> ());
+    (match stats with Some ep -> Obsv.Endpoint.close ep | None -> ());
     Format.eprintf "%a@." Dnsv.Serve.pp_stats (Dnsv.Serve.stats ());
     exit 0
   in
@@ -1022,11 +1080,63 @@ let serve_cmd =
                serves forever by default." in
     Arg.(value & opt (some int) None & info [ "max-queries" ] ~docv:"N" ~doc)
   in
+  let stats_port_arg =
+    let doc =
+      "Serve a live stats endpoint on 127.0.0.1:$(docv) (0 picks a free \
+       port): a UDP control socket answering any datagram with Prometheus \
+       text exposition (or JSON when the request starts with `json') of \
+       the full metrics registry, server identity and the rolling SLO \
+       windows — scrapeable under load, `dnsv top' renders it."
+    in
+    Arg.(value & opt (some int) None & info [ "stats-port" ] ~docv:"PORT" ~doc)
+  in
+  let qlog_arg =
+    let doc =
+      "Write a sampled query log to $(docv): one CRC-framed record per \
+       sampled query (index, id, qname/qtype, disposition, rcode, \
+       degradation reason, wall latency, budget). A torn tail loses at \
+       most one record, and a log failure can never affect an answer."
+    in
+    Arg.(value & opt (some string) None & info [ "qlog" ] ~docv:"FILE" ~doc)
+  in
+  let qlog_sample_arg =
+    let doc =
+      "Query-log sample rate in percent. Sampling is a pure function of \
+       (--seed, query index), so the same seed replays the same sampled \
+       index set."
+    in
+    Arg.(value & opt int 10 & info [ "qlog-sample" ] ~docv:"PCT" ~doc)
+  in
+  let window_s_arg =
+    let doc = "Nominal rolling-SLO window length in seconds." in
+    Arg.(value & opt float 10.0 & info [ "window-s" ] ~docv:"SECS" ~doc)
+  in
+  let windows_arg =
+    let doc = "Rolling-SLO ring capacity (windows kept)." in
+    Arg.(value & opt int 60 & info [ "windows" ] ~docv:"N" ~doc)
+  in
+  let p99_limit_arg =
+    let doc =
+      "SLO threshold: emit an slo.alert trace instant when a closed \
+       window's p99 latency exceeds $(docv) milliseconds."
+    in
+    Arg.(value & opt (some float) None & info [ "p99-limit" ] ~docv:"MS" ~doc)
+  in
+  let servfail_limit_arg =
+    let doc =
+      "SLO threshold: emit an slo.alert trace instant when a closed \
+       window's SERVFAIL rate exceeds $(docv) (a 0..1 fraction)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "servfail-limit" ] ~docv:"FRACTION" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Answer RFC 1035 UDP queries over a verified engine version — \
-          crash-proof by contract"
+          crash-proof by contract, observable by default"
        ~man:
          [
            `S Manpage.s_description;
@@ -1038,12 +1148,23 @@ let serve_cmd =
               reason in the trace), oversized answers are truncated with TC. \
               Responses and headerless fragments are dropped to avoid reply \
               loops. The wire fault sites (wire-garble, wire-truncate, \
-              serve-overload) can be armed with --fault-seed/--fault-plan to \
-              rehearse the degradations.";
+              serve-overload, obsv-sink-fail) can be armed with \
+              --fault-seed/--fault-plan to rehearse the degradations.";
+           `P
+             "Operations observability rides strictly off the answer path: \
+              --stats-port serves a live Prometheus/JSON exposition, --qlog \
+              writes a seeded sampled query log through the CRC journal \
+              framing, and rolling SLO windows derive per-window QPS, \
+              latency percentiles and SERVFAIL rate (with threshold alerts \
+              as typed trace instants). On SIGTERM/SIGINT the loop stops \
+              cooperatively, flushes a final metrics snapshot and the \
+              query-log tail, and exits 0.";
          ])
     Term.(
       const run $ version_arg $ zone_file_arg $ port_arg $ query_deadline_arg
-      $ max_queries_arg $ fault_seed_arg $ fault_plan_arg $ trace_arg)
+      $ max_queries_arg $ stats_port_arg $ qlog_arg $ qlog_sample_arg
+      $ seed_arg $ window_s_arg $ windows_arg $ p99_limit_arg
+      $ servfail_limit_arg $ fault_seed_arg $ fault_plan_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* loadgen                                                            *)
@@ -1162,6 +1283,159 @@ let wire_cmd =
          ])
     Term.(const run $ cases_arg $ seed_arg)
 
+let top_cmd =
+  let module J = Trace.Json in
+  (* Tolerant readers over the endpoint's JSON exposition: a missing
+     field renders as its zero, never a crash — `top' must keep
+     painting even if it scrapes an older server. *)
+  let jget path j =
+    List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some j) path
+  in
+  let jstr ?(default = "?") path j =
+    match jget path j with Some (J.Str s) -> s | _ -> default
+  in
+  let jnum path j = match jget path j with Some (J.Num n) -> n | _ -> 0.0 in
+  let jint path j = int_of_float (jnum path j) in
+  let counter j name = jint [ "counters"; name ] j in
+  let render j =
+    let b = Buffer.create 2048 in
+    Printf.bprintf b "dnsv top — %s  engine=%s  zone=%s\n"
+      (jstr [ "identity"; "version" ] j)
+      (jstr [ "identity"; "engine" ] j)
+      (jstr [ "identity"; "zone" ] j);
+    let served =
+      List.fold_left
+        (fun a n -> a + counter j ("serve." ^ n))
+        0
+        [ "answered"; "formerr"; "notimp"; "servfail"; "dropped" ]
+    in
+    Printf.bprintf b
+      "totals: served=%d answered=%d servfail=%d dropped=%d | qlog \
+       sampled=%d sink_failures=%d | alerts=%d scrapes=%d\n"
+      served
+      (counter j "serve.answered")
+      (counter j "serve.servfail")
+      (counter j "serve.dropped")
+      (counter j "obsv.sampled")
+      (counter j "obsv.sink_failures")
+      (jint [ "alerts_total" ] j)
+      (counter j "obsv.scrapes");
+    Printf.bprintf b "%6s %8s %9s %9s %9s %9s %6s %6s  %s\n" "win" "served"
+      "qps" "p50ms" "p90ms" "p99ms" "sf%" "alert" "rcodes";
+    let windows =
+      match jget [ "windows" ] j with Some (J.Arr ws) -> ws | _ -> []
+    in
+    if windows = [] then
+      Buffer.add_string b "  (no closed windows yet — scrape again)\n";
+    List.iter
+      (fun w ->
+        let pairs path =
+          match jget path w with
+          | Some (J.Obj kvs) ->
+              List.map
+                (fun (k, v) ->
+                  Printf.sprintf "%s=%d" k
+                    (match v with J.Num n -> int_of_float n | _ -> 0))
+                kvs
+          | _ -> []
+        in
+        let alerts =
+          match jget [ "alerts" ] w with Some (J.Arr l) -> List.length l | _ -> 0
+        in
+        Printf.bprintf b "%6d %8d %9.0f %9.3g %9.3g %9.3g %6.2f %6d  %s\n"
+          (jint [ "index" ] w) (jint [ "served" ] w) (jnum [ "qps" ] w)
+          (jnum [ "p50_ms" ] w) (jnum [ "p90_ms" ] w) (jnum [ "p99_ms" ] w)
+          (100.0 *. jnum [ "servfail_rate" ] w)
+          alerts
+          (String.concat " " (pairs [ "rcodes" ]));
+        let reasons = pairs [ "reasons" ] in
+        if reasons <> [] then
+          Printf.bprintf b "%6s degradation reasons: %s\n" ""
+            (String.concat " " reasons))
+      windows;
+    Buffer.contents b
+  in
+  let run host port once json interval timeout =
+    let scrape () = Obsv.Endpoint.scrape ~timeout_s:timeout ~host ~port `Json in
+    let paint first =
+      match scrape () with
+      | Error e ->
+          Printf.eprintf "top: scrape of %s:%d failed: %s\n" host port e;
+          exit 1
+      | Ok body ->
+          if json then print_endline body
+          else (
+            (match J.parse body with
+            | Error e ->
+                Printf.eprintf "top: endpoint returned unparseable JSON: %s\n"
+                  e;
+                exit 1
+            | Ok j ->
+                if (not once) && not first then print_string "\027[2J\027[H";
+                print_string (render j));
+            flush stdout)
+    in
+    if once then paint true
+    else begin
+      let first = ref true in
+      while true do
+        paint !first;
+        first := false;
+        Unix.sleepf interval
+      done
+    end;
+    exit 0
+  in
+  let host_arg =
+    let doc = "Stats endpoint host." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let port_arg =
+    let doc = "Stats endpoint port (the serve --stats-port value)." in
+    Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let once_arg =
+    let doc = "Render a single snapshot and exit (for scripts and CI)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Print the endpoint's raw JSON exposition instead of the table — \
+       the same shape `dnsv report --json' consumers parse."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Refresh interval in seconds (ignored with --once)." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECS" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Per-scrape receive timeout in seconds." in
+    Arg.(value & opt float 1.0 & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live per-window serving dashboard: scrape a `dnsv serve \
+          --stats-port' endpoint and render the rolling SLO windows"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Scrapes the server's stats endpoint and renders identity, \
+              lifetime totals and a newest-first table of closed SLO \
+              windows (served, QPS, latency percentiles, SERVFAIL rate, \
+              alert count, rcode mix, degradation reasons), refreshing \
+              every --interval seconds. --once renders a single snapshot; \
+              --json emits the raw JSON exposition for machine consumers.";
+           `S Manpage.s_exit_status;
+           `P "0 on success; 1 when the scrape times out or the reply does \
+               not parse.";
+         ])
+    Term.(
+      const run $ host_arg $ port_arg $ once_arg $ json_arg $ interval_arg
+      $ timeout_arg)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1177,7 +1451,7 @@ let () =
          [
            verify_cmd; batch_cmd; chaos_cmd; lint_cmd; report_cmd; layers_cmd;
            summarize_cmd; bugs_cmd; zonegen_cmd; replay_cmd; source_cmd;
-           rawname_cmd; store_cmd; serve_cmd; loadgen_cmd; wire_cmd;
+           rawname_cmd; store_cmd; serve_cmd; loadgen_cmd; wire_cmd; top_cmd;
          ])
   in
   (* Fold cmdliner's cli/internal error codes (124/125) into the

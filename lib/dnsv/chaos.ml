@@ -118,9 +118,13 @@ let has_store_site (p : plan) =
 (* Wire legs                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Obsv_sink_fail rides the wire leg: the leg's server carries a live
+   100%-sampled query log, so every query is an arrival at the sink
+   site, and the verdict check proves a failing log never changes an
+   answer (degrade-never-affect). *)
 let wire_sites =
   [ Faultinject.Wire_garble; Faultinject.Wire_truncate;
-    Faultinject.Serve_overload ]
+    Faultinject.Serve_overload; Faultinject.Obsv_sink_fail ]
 
 let has_wire_site (p : plan) =
   List.exists (fun s -> List.mem s wire_sites) p.sites
@@ -245,8 +249,18 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
      the encode + compile. *)
   let wire_server =
     lazy
-      (Serve.create ~config:(Versions.fixed Versions.v3_0)
-         Fixtures.reference_zone)
+      (let s =
+         Serve.create ~config:(Versions.fixed Versions.v3_0)
+           Fixtures.reference_zone
+       in
+       (* A live 100%-sampled query log so Obsv_sink_fail has one
+          arrival per query; windows ride along. The sink is strictly
+          off the answer path — that is exactly what the leg checks. *)
+       let qpath = Filename.temp_file "dnsv-chaos" ".qlog" in
+       let qlog = Obsv.Qlog.create ~path:qpath ~seed:1 ~rate_pct:100 () in
+       Serve.attach_obsv s
+         (Obsv.sink ~qlog ~windows:(Obsv.Windows.create ()) ());
+       (s, qlog, qpath))
   in
   let violations = ref [] in
   let violation fmt =
@@ -364,7 +378,7 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
          [Serve.handle], and every decodable full reply must match the
          spec on its echoed question. *)
       incr wire_runs;
-      let server = Lazy.force wire_server in
+      let server, _, _ = Lazy.force wire_server in
       let zone = Serve.zone server in
       arm_plan plan;
       let mix =
@@ -461,6 +475,11 @@ let run ?(seed = 1) ?(plans = 200) () : outcome =
     end
   done;
   if Lazy.is_val warm_dir then rm_rf (Lazy.force warm_dir);
+  if Lazy.is_val wire_server then begin
+    let _, qlog, qpath = Lazy.force wire_server in
+    Obsv.Qlog.close qlog;
+    try Sys.remove qpath with Sys_error _ -> ()
+  end;
   scrub ();
   {
     plans;

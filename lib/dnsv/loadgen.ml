@@ -72,6 +72,9 @@ type result = {
   lg_p50_ms : float;
   lg_p90_ms : float;
   lg_p99_ms : float;
+  lg_p50_lo_ms : float;
+  lg_p90_lo_ms : float;
+  lg_p99_lo_ms : float;
   lg_max_ms : float;
 }
 
@@ -107,13 +110,19 @@ let run ?(zone = Spec.Fixtures.reference_zone) (transport : transport) (m : mix)
   done;
   let elapsed = Trace.now_s () -. t0 in
   let after = Trace.Metrics.snapshot () in
+  (* The reported percentile is [hist_quantile]'s bucket upper edge;
+     the paired lower edge makes the power-of-two bucketing's error
+     bound explicit — the true quantile lies in (lo, hi]. *)
   let quantile q =
     match
       Trace.Metrics.get_hist (Trace.Metrics.diff after before) "loadgen.latency_ms"
     with
-    | Some h -> Trace.Metrics.hist_quantile h q
-    | None -> 0.0
+    | Some h -> Trace.Metrics.hist_quantile_bounds h q
+    | None -> (0.0, 0.0)
   in
+  let p50_lo, p50 = quantile 0.5 in
+  let p90_lo, p90 = quantile 0.9 in
+  let p99_lo, p99 = quantile 0.99 in
   {
     lg_sent = m.queries;
     lg_malformed = !malformed;
@@ -124,9 +133,12 @@ let run ?(zone = Spec.Fixtures.reference_zone) (transport : transport) (m : mix)
     lg_timeouts = !timeouts;
     lg_elapsed_s = elapsed;
     lg_qps = (if elapsed > 0.0 then float_of_int m.queries /. elapsed else 0.0);
-    lg_p50_ms = quantile 0.5;
-    lg_p90_ms = quantile 0.9;
-    lg_p99_ms = quantile 0.99;
+    lg_p50_ms = p50;
+    lg_p90_ms = p90;
+    lg_p99_ms = p99;
+    lg_p50_lo_ms = p50_lo;
+    lg_p90_lo_ms = p90_lo;
+    lg_p99_lo_ms = p99_lo;
     lg_max_ms = !max_ms;
   }
 
@@ -137,8 +149,11 @@ let pp ppf r =
   Fmt.pf ppf
     "@[<v>loadgen: %d sent (%d malformed), %d answered, %d undecodable, %d \
      timeouts@,%.0f qps over %.2fs; latency p50=%.3gms p90=%.3gms p99=%.3gms \
-     max=%.3gms@,rcodes: %a@]"
+     max=%.3gms@,quantile bounds (pow2 buckets): p50 in (%.3g,%.3g] p90 in \
+     (%.3g,%.3g] p99 in (%.3g,%.3g] ms@,rcodes: %a@]"
     r.lg_sent r.lg_malformed r.lg_answered r.lg_undecodable r.lg_timeouts
     r.lg_qps r.lg_elapsed_s r.lg_p50_ms r.lg_p90_ms r.lg_p99_ms r.lg_max_ms
+    r.lg_p50_lo_ms r.lg_p50_ms r.lg_p90_lo_ms r.lg_p90_ms r.lg_p99_lo_ms
+    r.lg_p99_ms
     (Fmt.list ~sep:Fmt.sp (fun ppf (k, v) -> Fmt.pf ppf "%s=%d" k v))
     r.lg_rcodes

@@ -45,6 +45,13 @@ type result = {
   lg_p50_ms : float;
   lg_p90_ms : float;
   lg_p99_ms : float;
+  (* Power-of-two-bucket quantile error bounds: each percentile above
+     is its bucket's upper edge, and the true quantile lies in
+     (lo, hi] — at most a factor of two wide. Reported so bucket-edge
+     percentiles never read as exact. *)
+  lg_p50_lo_ms : float;
+  lg_p90_lo_ms : float;
+  lg_p99_lo_ms : float;
   lg_max_ms : float;
 }
 

@@ -20,12 +20,26 @@ type server
 
 (* Build a server for [zone] answered by engine [config]: the zone is
    encoded and the engine compiled once, up front. [deadline_s]
-   (default 0.25) is the per-query wall-clock budget. *)
+   (default 0.25) is the per-query wall-clock budget. [identity] is
+   what the stats endpoint reports as build/engine/zone identity
+   (defaults name the zone origin). *)
 val create :
-  ?deadline_s:float -> config:Engine.Builder.config -> Dns.Zone.t -> server
+  ?deadline_s:float ->
+  ?identity:Obsv.Expo.identity ->
+  config:Engine.Builder.config ->
+  Dns.Zone.t ->
+  server
 
 val config : server -> Engine.Builder.config
 val zone : server -> Dns.Zone.t
+val identity : server -> Obsv.Expo.identity
+
+(* Attach an observability sink (sampled query log and/or rolling SLO
+   windows). Strictly off the answer path: [handle] feeds it after
+   each outcome is decided, and a sink failure can never change an
+   answer (the Obsv_sink_fail contract). *)
+val attach_obsv : server -> Obsv.sink -> unit
+val obsv : server -> Obsv.sink option
 
 (* How a datagram was disposed of; [reason] strings are stable
    machine-readable tags (Budget.reason_tag / "engine-panic"). *)
@@ -63,13 +77,31 @@ val stats : unit -> stats
 val reset_stats : unit -> unit
 val pp_stats : Format.formatter -> stats -> unit
 
+(* The full-registry exposition for this server (identity + counters +
+   histograms + the attached window ring): what the stats endpoint
+   answers a scrape with, and what `dnsv serve` flushes on shutdown. *)
+val exposition : server -> [ `Text | `Json ] -> string
+
+(* Cooperative graceful stop: the serve loop polls [stop_requested]
+   between datagrams (its select wakes at least every 50ms), so a
+   [request_stop] — or a SIGTERM/SIGINT once [install_stop_signals]
+   has routed them here — lets the loop return normally instead of
+   dying mid-query. [clear_stop] rearms (tests, restarts). *)
+val request_stop : unit -> unit
+val stop_requested : unit -> bool
+val clear_stop : unit -> unit
+val install_stop_signals : unit -> unit
+
 (* Receive/answer datagrams on an already-bound UDP socket until
-   [max_queries] have been *received* (forever if omitted). Transient
-   socket errors (EINTR, ECONNREFUSED from ICMP) are swallowed;
-   [on_query] (if given) observes each outcome. *)
+   [max_queries] have been *received* (forever if omitted) or a stop
+   is requested. Transient socket errors (EINTR, ECONNREFUSED from
+   ICMP) are swallowed; [on_query] (if given) observes each outcome.
+   [stats] multiplexes an Obsv control socket into the same loop, so
+   the endpoint is scrapeable while the server is under load. *)
 val serve_fd :
   ?max_queries:int ->
   ?on_query:(outcome -> unit) ->
+  ?stats:Obsv.Endpoint.t ->
   server ->
   Unix.file_descr ->
   unit
@@ -79,6 +111,7 @@ val serve_fd :
 val serve_udp :
   ?max_queries:int ->
   ?ready:(int -> unit) ->
+  ?stats:Obsv.Endpoint.t ->
   port:int ->
   server ->
   unit

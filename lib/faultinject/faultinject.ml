@@ -28,6 +28,7 @@ type site =
   | Wire_garble (* flip bytes of an incoming datagram in Dnsv.Serve *)
   | Wire_truncate (* cut an incoming datagram short in Dnsv.Serve *)
   | Serve_overload (* exhaust a query's budget in Dnsv.Serve.handle *)
+  | Obsv_sink_fail (* suppress an Obsv.Qlog append before any byte lands *)
 
 let site_to_string = function
   | Solver_unknown -> "solver-unknown"
@@ -44,6 +45,7 @@ let site_to_string = function
   | Wire_garble -> "wire-garble"
   | Wire_truncate -> "wire-truncate"
   | Serve_overload -> "serve-overload"
+  | Obsv_sink_fail -> "obsv-sink-fail"
 
 let site_of_string = function
   | "solver-unknown" -> Some Solver_unknown
@@ -60,6 +62,7 @@ let site_of_string = function
   | "wire-garble" -> Some Wire_garble
   | "wire-truncate" -> Some Wire_truncate
   | "serve-overload" -> Some Serve_overload
+  | "obsv-sink-fail" -> Some Obsv_sink_fail
   | _ -> None
 
 exception Injected of string
@@ -87,6 +90,7 @@ let all_sites =
     Wire_garble;
     Wire_truncate;
     Serve_overload;
+    Obsv_sink_fail;
   ]
 
 (* Seconds added to Budget.now when Clock_overrun fires. *)

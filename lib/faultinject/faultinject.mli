@@ -23,6 +23,7 @@ type site =
   | Wire_garble (* flip bytes of an incoming datagram in Dnsv.Serve *)
   | Wire_truncate (* cut an incoming datagram short in Dnsv.Serve *)
   | Serve_overload (* exhaust a query's budget in Dnsv.Serve.handle *)
+  | Obsv_sink_fail (* suppress an Obsv.Qlog append before any byte lands *)
 
 val site_to_string : site -> string
 val site_of_string : string -> site option

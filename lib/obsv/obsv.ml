@@ -1,0 +1,663 @@
+(* Serving-plane operations observability: sampled query log, rolling
+   SLO windows, and a scrapeable stats endpoint — all over the Trace
+   registry, all under the serve path's degrade-never-lie discipline:
+   no observability failure may ever change an answer. *)
+
+(* Registry counters: observability observes itself, so a scrape can
+   tell how much was sampled, suppressed, rolled and alerted. *)
+let sampled_c = Trace.Metrics.counter "obsv.sampled"
+let sink_fail_c = Trace.Metrics.counter "obsv.sink_failures"
+let alerts_c = Trace.Metrics.counter "obsv.alerts"
+let scrapes_c = Trace.Metrics.counter "obsv.scrapes"
+let windows_c = Trace.Metrics.counter "obsv.windows_closed"
+
+module Qlog = struct
+  type record = {
+    q_index : int;
+    q_id : int;
+    q_qname : string;
+    q_qtype : string;
+    q_disposition : string;
+    q_rcode : string;
+    q_reason : string;
+    q_latency_ms : float;
+    q_deadline_ms : float;
+  }
+
+  (* Field escaping: qnames come off the wire, so labels can contain
+     any byte. Tabs, newlines, backslashes and nonprintables are
+     escaped so a record is one clean field-per-tab line inside its
+     journal frame. *)
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+            Buffer.add_string b (Printf.sprintf "\\x%02x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let unescape s =
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let ok = ref true in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] <> '\\' then Buffer.add_char b s.[!i]
+       else if !i + 1 >= n then ok := false
+       else begin
+         (match s.[!i + 1] with
+         | '\\' -> Buffer.add_char b '\\'
+         | 't' -> Buffer.add_char b '\t'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 'x' when !i + 3 < n -> (
+             match int_of_string_opt ("0x" ^ String.sub s (!i + 2) 2) with
+             | Some c ->
+                 Buffer.add_char b (Char.chr c);
+                 i := !i + 2
+             | None -> ok := false)
+         | _ -> ok := false);
+         incr i
+       end);
+      incr i
+    done;
+    if !ok then Some (Buffer.contents b) else None
+
+  (* Hex-float fields roundtrip byte-exactly (same discipline as
+     Budget.reason_to_wire). *)
+  let encode_record (r : record) =
+    String.concat "\t"
+      [
+        "q1";
+        string_of_int r.q_index;
+        string_of_int r.q_id;
+        escape r.q_qname;
+        escape r.q_qtype;
+        escape r.q_disposition;
+        escape r.q_rcode;
+        escape r.q_reason;
+        Printf.sprintf "%h" r.q_latency_ms;
+        Printf.sprintf "%h" r.q_deadline_ms;
+      ]
+
+  let decode_record (s : string) : record option =
+    match String.split_on_char '\t' s with
+    | [ "q1"; idx; id; qname; qtype; disp; rcode; reason; lat; dl ] -> (
+        match
+          ( int_of_string_opt idx,
+            int_of_string_opt id,
+            unescape qname,
+            unescape qtype,
+            unescape disp,
+            unescape rcode,
+            unescape reason,
+            float_of_string_opt lat,
+            float_of_string_opt dl )
+        with
+        | ( Some q_index,
+            Some q_id,
+            Some q_qname,
+            Some q_qtype,
+            Some q_disposition,
+            Some q_rcode,
+            Some q_reason,
+            Some q_latency_ms,
+            Some q_deadline_ms ) ->
+            Some
+              {
+                q_index;
+                q_id;
+                q_qname;
+                q_qtype;
+                q_disposition;
+                q_rcode;
+                q_reason;
+                q_latency_ms;
+                q_deadline_ms;
+              }
+        | _ -> None)
+    | _ -> None
+
+  (* The sampling decision is a pure function of (seed, rate, index):
+     an LCG hash of the index keyed by the seed, compared against the
+     rate. Replaying the same seed over the same traffic yields the
+     same sampled index set — which is what makes a sampled log a
+     deterministic artifact instead of a dice roll. *)
+  let sampled ~seed ~rate_pct index =
+    if rate_pct >= 100 then true
+    else if rate_pct <= 0 then false
+    else
+      let x = (((index + 1) * 48271) + (seed * 29) + 11) land 0x3FFFFFFF in
+      x mod 100 < rate_pct
+
+  type t = {
+    qt_journal : Journal.t;
+    qt_path : string;
+    qt_seed : int;
+    qt_rate_pct : int;
+    mutable qt_logged : int;
+    mutable qt_suppressed : int;
+    mutable qt_dead : bool; (* fail-stop: a real append failure ends the log *)
+    mutable qt_closed : bool;
+  }
+
+  let header ~seed ~rate_pct =
+    Printf.sprintf "dnsv-qlog v1 seed=%d rate=%d" seed rate_pct
+
+  let create ~path ~seed ~rate_pct () =
+    {
+      qt_journal = Journal.create ~path ~header:(header ~seed ~rate_pct);
+      qt_path = path;
+      qt_seed = seed;
+      qt_rate_pct = rate_pct;
+      qt_logged = 0;
+      qt_suppressed = 0;
+      qt_dead = false;
+      qt_closed = false;
+    }
+
+  let path t = t.qt_path
+  let seed t = t.qt_seed
+  let rate_pct t = t.qt_rate_pct
+  let logged t = t.qt_logged
+
+  let note_suppressed t why =
+    t.qt_suppressed <- t.qt_suppressed + 1;
+    Trace.Metrics.incr sink_fail_c;
+    Trace.event "obsv.sink_fail" ~det:false ~attrs:[ ("why", why) ]
+
+  let log t (r : record) =
+    if
+      (not t.qt_closed)
+      && sampled ~seed:t.qt_seed ~rate_pct:t.qt_rate_pct r.q_index
+    then begin
+      Trace.Metrics.incr sampled_c;
+      if t.qt_dead then note_suppressed t "sink dead"
+      else if Faultinject.fire Faultinject.Obsv_sink_fail then
+        (* The injected failure suppresses the record before any byte
+           is written: the journal stays intact and later records
+           still land. The answer path never hears about it. *)
+        note_suppressed t "injected"
+      else
+        try
+          Journal.append t.qt_journal (encode_record r);
+          t.qt_logged <- t.qt_logged + 1
+        with e ->
+          (* A real append failure may have torn a frame; appending
+             past it would bury every later record behind the bad
+             frame, so the sink fail-stops. Still never the answer
+             path's problem. *)
+          t.qt_dead <- true;
+          note_suppressed t (Printexc.to_string e)
+    end
+
+  let close t =
+    if not t.qt_closed then begin
+      t.qt_closed <- true;
+      (try
+         if not t.qt_dead then
+           Journal.finalize t.qt_journal
+             (Printf.sprintf "logged=%d suppressed=%d" t.qt_logged
+                t.qt_suppressed)
+       with _ -> ());
+      try Journal.close t.qt_journal with _ -> ()
+    end
+
+  let read ~path =
+    let r = Journal.recover ~path in
+    List.filter_map decode_record r.Journal.records
+end
+
+module Windows = struct
+  type derived = {
+    d_served : int;
+    d_qps : float;
+    d_p50_ms : float;
+    d_p90_ms : float;
+    d_p99_ms : float;
+    d_servfail : int;
+    d_servfail_rate : float;
+    d_rcodes : (string * int) list;
+    d_reasons : (string * int) list;
+  }
+
+  type alert = {
+    a_window : int;
+    a_kind : string;
+    a_value : float;
+    a_limit : float;
+  }
+
+  type closed = {
+    w_index : int;
+    w_start : float;
+    w_elapsed_s : float;
+    w_delta : Trace.Metrics.snapshot;
+    w_derived : derived;
+    w_alerts : alert list;
+  }
+
+  type t = {
+    t_len : float;
+    t_cap : int;
+    t_p99_limit : float option;
+    t_servfail_limit : float option;
+    t_t0_snap : Trace.Metrics.snapshot;
+    mutable t_open_at : float;
+    mutable t_open_snap : Trace.Metrics.snapshot;
+    mutable t_ring : closed list; (* newest first, <= t_cap long *)
+    mutable t_seq : int;
+    mutable t_alerts_total : int;
+  }
+
+  let create ?(window_s = 10.0) ?(windows = 60) ?p99_limit_ms ?servfail_limit
+      () =
+    let snap = Trace.Metrics.snapshot () in
+    {
+      t_len = window_s;
+      t_cap = max 1 windows;
+      t_p99_limit = p99_limit_ms;
+      t_servfail_limit = servfail_limit;
+      t_t0_snap = snap;
+      t_open_at = Trace.now_s ();
+      t_open_snap = snap;
+      t_ring = [];
+      t_seq = 0;
+      t_alerts_total = 0;
+    }
+
+  let window_s t = t.t_len
+
+  let disposition_counters =
+    [
+      "serve.answered"; "serve.formerr"; "serve.notimp"; "serve.servfail";
+      "serve.dropped";
+    ]
+
+  let derive ~elapsed_s (d : Trace.Metrics.snapshot) : derived =
+    let g name = Trace.Metrics.get d name in
+    let served = List.fold_left (fun a n -> a + g n) 0 disposition_counters in
+    let servfail = g "serve.servfail" in
+    let with_prefix p =
+      let pl = String.length p in
+      List.filter_map
+        (fun (k, v) ->
+          if v > 0 && String.length k > pl && String.sub k 0 pl = p then
+            Some (String.sub k pl (String.length k - pl), v)
+          else None)
+        d.Trace.Metrics.counters
+    in
+    let q p =
+      match Trace.Metrics.get_hist d "serve.latency_ms" with
+      | Some h -> Trace.Metrics.hist_quantile h p
+      | None -> 0.0
+    in
+    {
+      d_served = served;
+      d_qps =
+        (if elapsed_s > 0.0 then float_of_int served /. elapsed_s else 0.0);
+      d_p50_ms = q 0.5;
+      d_p90_ms = q 0.9;
+      d_p99_ms = q 0.99;
+      d_servfail = servfail;
+      d_servfail_rate =
+        (if served > 0 then float_of_int servfail /. float_of_int served
+         else 0.0);
+      d_rcodes = with_prefix "serve.rcode.";
+      d_reasons =
+        with_prefix "serve.reason."
+        |> List.sort (fun (k1, v1) (k2, v2) ->
+               match compare v2 v1 with 0 -> compare k1 k2 | c -> c);
+    }
+
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+
+  let roll ?now t =
+    let now = match now with Some n -> n | None -> Trace.now_s () in
+    let snap = Trace.Metrics.snapshot () in
+    let delta = Trace.Metrics.diff snap t.t_open_snap in
+    let elapsed = max 1e-9 (now -. t.t_open_at) in
+    let dv = derive ~elapsed_s:elapsed delta in
+    let alerts = ref [] in
+    let check kind value limit =
+      match limit with
+      | Some l when dv.d_served > 0 && value > l ->
+          alerts :=
+            { a_window = t.t_seq; a_kind = kind; a_value = value; a_limit = l }
+            :: !alerts
+      | _ -> ()
+    in
+    check "servfail_rate" dv.d_servfail_rate t.t_servfail_limit;
+    check "p99_ms" dv.d_p99_ms t.t_p99_limit;
+    let alerts = !alerts in
+    if alerts <> [] then
+      (* A typed instant per crossing: the trace stream carries the
+         alert even if no scraper is watching. The span is det:false —
+         alert structure depends on the wall clock. *)
+      Trace.with_span "obsv.window" ~det:false (fun () ->
+          List.iter
+            (fun a ->
+              Trace.Metrics.incr alerts_c;
+              Trace.event "slo.alert" ~det:false
+                ~attrs:
+                  [
+                    ("window", string_of_int a.a_window);
+                    ("kind", a.a_kind);
+                    ("value", Printf.sprintf "%.6g" a.a_value);
+                    ("limit", Printf.sprintf "%.6g" a.a_limit);
+                  ])
+            alerts);
+    t.t_alerts_total <- t.t_alerts_total + List.length alerts;
+    Trace.Metrics.incr windows_c;
+    let cl =
+      {
+        w_index = t.t_seq;
+        w_start = t.t_open_at;
+        w_elapsed_s = elapsed;
+        w_delta = delta;
+        w_derived = dv;
+        w_alerts = alerts;
+      }
+    in
+    t.t_ring <- take t.t_cap (cl :: t.t_ring);
+    t.t_seq <- t.t_seq + 1;
+    t.t_open_at <- now;
+    t.t_open_snap <- snap
+
+  let maybe_roll ?now t =
+    let now = match now with Some n -> n | None -> Trace.now_s () in
+    if now -. t.t_open_at >= t.t_len then roll ~now t
+
+  let closed t = t.t_ring
+  let current_delta t = Trace.Metrics.diff (Trace.Metrics.snapshot ()) t.t_open_snap
+  let since_create t = Trace.Metrics.diff (Trace.Metrics.snapshot ()) t.t_t0_snap
+  let alerts_total t = t.t_alerts_total
+end
+
+type sink = { sk_qlog : Qlog.t option; sk_windows : Windows.t option }
+
+let sink ?qlog ?windows () = { sk_qlog = qlog; sk_windows = windows }
+
+module Expo = struct
+  type identity = {
+    id_version : string;
+    id_engine : string;
+    id_zone : string;
+  }
+
+  (* --- Prometheus text --- *)
+
+  let mangle name =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
+      name
+
+  let plabel s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let prometheus ~identity ?windows (snap : Trace.Metrics.snapshot) =
+    let b = Buffer.create 8192 in
+    Printf.bprintf b "# dnsv metrics exposition\n";
+    Printf.bprintf b
+      "dnsv_build_info{version=\"%s\",engine=\"%s\",zone=\"%s\"} 1\n"
+      (plabel identity.id_version)
+      (plabel identity.id_engine)
+      (plabel identity.id_zone);
+    List.iter
+      (fun (n, v) -> Printf.bprintf b "dnsv_%s_total %d\n" (mangle n) v)
+      snap.Trace.Metrics.counters;
+    List.iter
+      (fun (n, (h : Trace.Metrics.hist)) ->
+        if h.Trace.Metrics.h_count > 0 then begin
+          let n = mangle n in
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              if c > 0 then
+                Printf.bprintf b "dnsv_%s_bucket{le=\"%.9g\"} %d\n" n
+                  (Trace.Metrics.bucket_upper i)
+                  !cum)
+            h.Trace.Metrics.h_buckets;
+          Printf.bprintf b "dnsv_%s_bucket{le=\"+Inf\"} %d\n" n
+            h.Trace.Metrics.h_count;
+          Printf.bprintf b "dnsv_%s_sum %.9g\n" n h.Trace.Metrics.h_sum;
+          Printf.bprintf b "dnsv_%s_count %d\n" n h.Trace.Metrics.h_count
+        end)
+      snap.Trace.Metrics.hists;
+    (match windows with
+    | None -> ()
+    | Some w ->
+        Printf.bprintf b "dnsv_windows_closed_total %d\n"
+          (match Windows.closed w with [] -> 0 | c :: _ -> c.Windows.w_index + 1);
+        Printf.bprintf b "dnsv_slo_alerts_total %d\n" (Windows.alerts_total w);
+        (match Windows.closed w with
+        | [] -> ()
+        | last :: _ ->
+            let d = last.Windows.w_derived in
+            Printf.bprintf b "dnsv_window_served %d\n" d.Windows.d_served;
+            Printf.bprintf b "dnsv_window_qps %.9g\n" d.Windows.d_qps;
+            Printf.bprintf b "dnsv_window_p50_ms %.9g\n" d.Windows.d_p50_ms;
+            Printf.bprintf b "dnsv_window_p90_ms %.9g\n" d.Windows.d_p90_ms;
+            Printf.bprintf b "dnsv_window_p99_ms %.9g\n" d.Windows.d_p99_ms;
+            Printf.bprintf b "dnsv_window_servfail_rate %.9g\n"
+              d.Windows.d_servfail_rate));
+    Buffer.contents b
+
+  (* --- JSON --- *)
+
+  let jstr s =
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+
+  let num f = Printf.sprintf "%.12g" f
+
+  let obj fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+    ^ "}"
+
+  let arr items = "[" ^ String.concat "," items ^ "]"
+
+  let json_derived (d : Windows.derived) =
+    [
+      ("served", string_of_int d.Windows.d_served);
+      ("qps", num d.Windows.d_qps);
+      ("p50_ms", num d.Windows.d_p50_ms);
+      ("p90_ms", num d.Windows.d_p90_ms);
+      ("p99_ms", num d.Windows.d_p99_ms);
+      ("servfail", string_of_int d.Windows.d_servfail);
+      ("servfail_rate", num d.Windows.d_servfail_rate);
+      ( "rcodes",
+        obj (List.map (fun (k, v) -> (k, string_of_int v)) d.Windows.d_rcodes)
+      );
+      ( "reasons",
+        obj (List.map (fun (k, v) -> (k, string_of_int v)) d.Windows.d_reasons)
+      );
+    ]
+
+  let json ~identity ?windows (snap : Trace.Metrics.snapshot) =
+    let counters =
+      obj
+        (List.map
+           (fun (n, v) -> (n, string_of_int v))
+           snap.Trace.Metrics.counters)
+    in
+    let hists =
+      obj
+        (List.filter_map
+           (fun (n, (h : Trace.Metrics.hist)) ->
+             if h.Trace.Metrics.h_count = 0 then None
+             else
+               let q p =
+                 let lo, hi = Trace.Metrics.hist_quantile_bounds h p in
+                 arr [ num lo; num hi ]
+               in
+               Some
+                 ( n,
+                   obj
+                     [
+                       ("count", string_of_int h.Trace.Metrics.h_count);
+                       ("sum", num h.Trace.Metrics.h_sum);
+                       ("p50", q 0.5);
+                       ("p90", q 0.9);
+                       ("p99", q 0.99);
+                     ] ))
+           snap.Trace.Metrics.hists)
+    in
+    let windows_json, alerts_total =
+      match windows with
+      | None -> (arr [], 0)
+      | Some w ->
+          ( arr
+              (List.map
+                 (fun (c : Windows.closed) ->
+                   obj
+                     ([
+                        ("index", string_of_int c.Windows.w_index);
+                        ("start", num c.Windows.w_start);
+                        ("elapsed_s", num c.Windows.w_elapsed_s);
+                      ]
+                     @ json_derived c.Windows.w_derived
+                     @ [
+                         ( "alerts",
+                           arr
+                             (List.map
+                                (fun (a : Windows.alert) ->
+                                  obj
+                                    [
+                                      ("kind", jstr a.Windows.a_kind);
+                                      ("value", num a.Windows.a_value);
+                                      ("limit", num a.Windows.a_limit);
+                                    ])
+                                c.Windows.w_alerts) );
+                       ]))
+                 (Windows.closed w)),
+            Windows.alerts_total w )
+    in
+    obj
+      [
+        ( "identity",
+          obj
+            [
+              ("version", jstr identity.id_version);
+              ("engine", jstr identity.id_engine);
+              ("zone", jstr identity.id_zone);
+            ] );
+        ("counters", counters);
+        ("histograms", hists);
+        ("windows", windows_json);
+        ("alerts_total", string_of_int alerts_total);
+      ]
+end
+
+module Endpoint = struct
+  (* The exposition must fit one UDP datagram; 60000 leaves headroom
+     under the 65507-byte loopback limit. The registry is nowhere near
+     this today; a truncated scrape is still well-formed Prometheus
+     text up to the cut. *)
+  let max_datagram = 60000
+
+  type t = { e_fd : Unix.file_descr; e_port : int; e_buf : Bytes.t }
+
+  let create ?(port = 0) () =
+    let fd = Unix.socket PF_INET SOCK_DGRAM 0 in
+    (try
+       Unix.setsockopt fd SO_REUSEADDR true;
+       Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    let bound =
+      match Unix.getsockname fd with ADDR_INET (_, p) -> p | _ -> port
+    in
+    { e_fd = fd; e_port = bound; e_buf = Bytes.create 512 }
+
+  let port t = t.e_port
+  let fd t = t.e_fd
+
+  let serve_request t ~respond =
+    match Unix.recvfrom t.e_fd t.e_buf 0 (Bytes.length t.e_buf) [] with
+    | exception Unix.Unix_error _ -> false
+    | len, peer ->
+        Trace.Metrics.incr scrapes_c;
+        let req = Bytes.sub_string t.e_buf 0 len in
+        let kind =
+          if String.length req >= 4 && String.sub req 0 4 = "json" then `Json
+          else `Text
+        in
+        let body =
+          match respond kind with
+          | s ->
+              if String.length s > max_datagram then String.sub s 0 max_datagram
+              else s
+          | exception _ -> "# exposition failed\n"
+        in
+        (try
+           ignore
+             (Unix.sendto t.e_fd (Bytes.of_string body) 0 (String.length body)
+                [] peer)
+         with Unix.Unix_error _ -> ());
+        true
+
+  let close t = try Unix.close t.e_fd with Unix.Unix_error _ -> ()
+
+  let scrape ?(timeout_s = 1.0) ~host ~port kind =
+    match
+      try Some (Unix.inet_addr_of_string host)
+      with Failure _ -> (
+        try Some (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ -> None)
+    with
+    | None -> Error (Printf.sprintf "cannot resolve %s" host)
+    | Some addr -> (
+        let fd = Unix.socket PF_INET SOCK_DGRAM 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            try
+              Unix.connect fd (ADDR_INET (addr, port));
+              let req = match kind with `Json -> "json" | `Text -> "metrics" in
+              ignore (Unix.send fd (Bytes.of_string req) 0 (String.length req) []);
+              match Unix.select [ fd ] [] [] timeout_s with
+              | [], _, _ -> Error "stats endpoint did not answer (timeout)"
+              | _ ->
+                  let buf = Bytes.create 65536 in
+                  let len = Unix.recv fd buf 0 (Bytes.length buf) [] in
+                  Ok (Bytes.sub_string buf 0 len)
+            with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)))
+end

@@ -1,0 +1,213 @@
+(* Serving-plane operations observability over the Trace registry.
+
+   Three cooperating facilities, all in the serve path's
+   degrade-never-lie discipline — no observability failure may ever
+   change an answer:
+
+   - [Qlog]: a dnstap-style sampled query log. One CRC-framed record
+     per sampled query (index, id, qname/qtype, disposition, rcode,
+     degradation reason, wall latency, budget), written through the
+     Journal framing, so a torn tail loses at most one record.
+     Sampling is a pure function of (seed, query index) — the same
+     seed replays the same sampled index set — and [log] never
+     raises: an injected [Faultinject.Obsv_sink_fail] suppresses one
+     record before any byte lands, a real append failure fail-stops
+     the sink; both only bump [obsv.sink_failures].
+
+   - [Windows]: rolling SLO windows. A ring of per-window
+     [Trace.Metrics.snapshot] deltas (default 10s x 60) whose algebra
+     telescopes: the sum of the closed-window deltas plus the open
+     window's partial delta equals the registry delta since [create].
+     Each closed window carries derived QPS, p50/p90/p99 latency,
+     SERVFAIL rate, rcode mix and top degradation reasons; threshold
+     crossings become typed [slo.alert] trace instants and
+     [obsv.alerts] counter bumps.
+
+   - [Expo]/[Endpoint]: Prometheus-style text and JSON exposition of
+     the full registry plus build/zone/engine identity and the window
+     ring, served from a reserved loopback UDP control socket the
+     serve loop multiplexes with query traffic — scrapeable while
+     `serve` is under load ([scrape] is the client side `dnsv top`
+     and the CI ops-smoke job use).
+
+   Registry cells are domain-local, so a sink observes the domain
+   that serves the queries; the window algebra itself is pure on
+   snapshots, which is what makes merged multi-domain views
+   deterministic in task order (Metrics.sum is order-insensitive). *)
+
+module Qlog : sig
+  type record = {
+    q_index : int; (* 0-based arrival index at the server *)
+    q_id : int; (* DNS message id (0 when none was salvageable) *)
+    q_qname : string; (* presentation form; "" when undecoded *)
+    q_qtype : string; (* rtype mnemonic; "" when undecoded *)
+    q_disposition : string; (* answered/formerr/notimp/servfail/dropped *)
+    q_rcode : string; (* reply rcode; "" when no reply was owed *)
+    q_reason : string; (* degradation reason tag; "" when none *)
+    q_latency_ms : float; (* wall latency of Serve.handle *)
+    q_deadline_ms : float; (* the query's budget: spent = latency/deadline *)
+  }
+
+  (* Byte-exact record codec (tab-separated, escaped, hex floats):
+     [decode_record (encode_record r) = Some r] for every [r]. *)
+  val encode_record : record -> string
+  val decode_record : string -> record option
+
+  (* Pure sampling decision: whether query [index] is logged under
+     (seed, rate_pct). The same arguments always answer the same. *)
+  val sampled : seed:int -> rate_pct:int -> int -> bool
+
+  type t
+
+  (* Create the log at [path] (a fresh CRC-framed journal whose header
+     names the seed and rate). *)
+  val create : path:string -> seed:int -> rate_pct:int -> unit -> t
+
+  val path : t -> string
+  val seed : t -> int
+  val rate_pct : t -> int
+
+  (* Records appended so far (sampled, not suppressed). *)
+  val logged : t -> int
+
+  (* Log one record if its index is sampled. NEVER raises — the
+     never-affects-answers invariant. An armed Obsv_sink_fail
+     suppresses the record before any byte is written (the journal
+     stays intact; later records still land); a real append failure
+     (e.g. a torn frame) fail-stops the sink so later records are not
+     buried behind a bad frame. Both bump [obsv.sink_failures]. *)
+  val log : t -> record -> unit
+
+  (* Finalize ("logged=N suppressed=M") and close. Never raises. *)
+  val close : t -> unit
+
+  (* Salvage every intact record of a query log (read-only; tolerates
+     a torn tail, which loses at most the record being written). *)
+  val read : path:string -> record list
+end
+
+module Windows : sig
+  (* Stats derived from one window's registry delta. *)
+  type derived = {
+    d_served : int; (* queries disposed of in the window *)
+    d_qps : float;
+    d_p50_ms : float; (* upper-bound bucket quantiles of serve.latency_ms *)
+    d_p90_ms : float;
+    d_p99_ms : float;
+    d_servfail : int;
+    d_servfail_rate : float; (* servfail / served *)
+    d_rcodes : (string * int) list; (* nonzero serve.rcode.* deltas, sorted *)
+    d_reasons : (string * int) list; (* nonzero serve.reason.* deltas, by count *)
+  }
+
+  type alert = {
+    a_window : int; (* the window's sequence number *)
+    a_kind : string; (* "p99_ms" | "servfail_rate" *)
+    a_value : float;
+    a_limit : float;
+  }
+
+  type closed = {
+    w_index : int; (* monotone window sequence number, from 0 *)
+    w_start : float; (* wall-clock open instant *)
+    w_elapsed_s : float; (* actual covered span (>= the nominal length) *)
+    w_delta : Trace.Metrics.snapshot; (* registry delta over the window *)
+    w_derived : derived;
+    w_alerts : alert list;
+  }
+
+  type t
+
+  (* [window_s] nominal window length (default 10s), [windows] ring
+     capacity (default 60). Optional SLO limits arm threshold alerts
+     on window close. *)
+  val create :
+    ?window_s:float ->
+    ?windows:int ->
+    ?p99_limit_ms:float ->
+    ?servfail_limit:float ->
+    unit ->
+    t
+
+  val window_s : t -> float
+
+  (* Close the open window if its nominal length has elapsed (the
+     serve loop calls this on every iteration; one compare when the
+     window is still open). *)
+  val maybe_roll : ?now:float -> t -> unit
+
+  (* Close the open window unconditionally (tests, final flush). *)
+  val roll : ?now:float -> t -> unit
+
+  (* Closed windows, newest first, at most the ring capacity. *)
+  val closed : t -> closed list
+
+  (* The open window's partial delta. *)
+  val current_delta : t -> Trace.Metrics.snapshot
+
+  (* Registry delta since [create]: the whole-run total the ring
+     telescopes to (sum of closed deltas + current partial). *)
+  val since_create : t -> Trace.Metrics.snapshot
+
+  (* Alerts emitted over the sink's lifetime (ring eviction does not
+     forget them). *)
+  val alerts_total : t -> int
+
+  (* Pure derivation (exposed for tests and merged multi-domain
+     views): same delta + elapsed, same answer. *)
+  val derive : elapsed_s:float -> Trace.Metrics.snapshot -> derived
+end
+
+(* What a serve loop carries: both parts optional and independent. *)
+type sink = { sk_qlog : Qlog.t option; sk_windows : Windows.t option }
+
+val sink : ?qlog:Qlog.t -> ?windows:Windows.t -> unit -> sink
+
+module Expo : sig
+  (* Who is answering: surfaced on every scrape so an operator can tell
+     which build/engine/zone the numbers describe. *)
+  type identity = {
+    id_version : string; (* server build version *)
+    id_engine : string; (* engine version under service *)
+    id_zone : string; (* zone origin *)
+  }
+
+  (* Prometheus text exposition: dnsv_build_info{...} 1, every counter
+     as dnsv_<name>_total, every histogram as cumulative _bucket{le=}/
+     _sum/_count series, plus last-closed-window gauges. *)
+  val prometheus :
+    identity:identity -> ?windows:Windows.t -> Trace.Metrics.snapshot -> string
+
+  (* JSON exposition: identity, counters, histogram summaries (with
+     quantile bounds), the window ring newest-first, alerts. Parses
+     with Trace.Json; `dnsv top` renders it. *)
+  val json :
+    identity:identity -> ?windows:Windows.t -> Trace.Metrics.snapshot -> string
+end
+
+module Endpoint : sig
+  type t
+
+  (* Bind the control socket on 127.0.0.1:[port] (0 picks a free
+     port). *)
+  val create : ?port:int -> unit -> t
+
+  val port : t -> int
+  val fd : t -> Unix.file_descr
+
+  (* Answer one queued request datagram: a request starting with
+     "json" gets [`Json], anything else [`Text]. Returns false on a
+     transient socket error. Never raises. *)
+  val serve_request : t -> respond:([ `Text | `Json ] -> string) -> bool
+
+  val close : t -> unit
+
+  (* Client side: one request/reply exchange against a live endpoint
+     (used by `dnsv top` and the CI ops-smoke job). *)
+  val scrape :
+    ?timeout_s:float ->
+    host:string ->
+    port:int ->
+    [ `Text | `Json ] ->
+    (string, string) result
+end

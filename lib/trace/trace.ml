@@ -219,6 +219,32 @@ module Metrics = struct
       !ans
     end
 
+  (* The power-of-two bucket bracketing [hist_quantile]'s answer: the
+     true quantile lies in (lo, hi], where [hi] is exactly what
+     [hist_quantile] reports and [lo] is the next bucket edge down (0
+     for the lowest bucket). This is the bucketing's intrinsic error
+     bound — at most a factor of two — so percentile output can say
+     how exact it is instead of reading as exact. (0, 0) when the
+     histogram is empty. *)
+  let hist_quantile_bounds (h : hist) q =
+    if h.h_count = 0 then (0.0, 0.0)
+    else begin
+      let target = int_of_float (Float.round (q *. float_of_int h.h_count)) in
+      let target = max 1 target in
+      let acc = ref 0 and idx = ref 0 in
+      (try
+         Array.iteri
+           (fun i n ->
+             acc := !acc + n;
+             if !acc >= target then begin
+               idx := i;
+               raise Exit
+             end)
+           h.h_buckets
+       with Exit -> ());
+      ((if !idx = 0 then 0.0 else bucket_upper (!idx - 1)), bucket_upper !idx)
+    end
+
   let reset_current_domain () =
     let entries = Mutex.protect registry_mu (fun () -> !registry) in
     List.iter
@@ -1002,4 +1028,52 @@ module Report = struct
         t.hists
     end;
     Buffer.contents b
+
+  (* Machine-readable twin of [render]: the per-phase wall/count table
+     plus every counter and histogram (histogram quantiles carry their
+     power-of-two-bucket error bound as a [lo, hi] pair). `dnsv report
+     --json` and `dnsv top --once --json` share this consumer shape,
+     so CI parses one format. *)
+  let num f = Printf.sprintf "%.12g" f
+
+  let to_json (t : t) : string =
+    let phases : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+    let rec tally sp =
+      (match Hashtbl.find_opt phases sp.r_name with
+      | Some (n, d) ->
+          Stdlib.incr n;
+          d := !d +. sp.r_dur
+      | None -> Hashtbl.add phases sp.r_name (ref 1, ref sp.r_dur));
+      List.iter tally sp.r_children
+    in
+    List.iter tally t.spans;
+    let rows =
+      Hashtbl.fold (fun name (n, d) acc -> (name, !n, !d) :: acc) phases []
+      |> List.sort (fun (n1, _, d1) (n2, _, d2) ->
+             match compare d2 d1 with 0 -> compare n1 n2 | c -> c)
+    in
+    let phase_obj (name, n, d) =
+      Printf.sprintf
+        "{\"span\":%s,\"count\":%d,\"total_ms\":%s,\"mean_ms\":%s}"
+        (json_str name) n (num (ms d))
+        (num (ms d /. float_of_int n))
+    in
+    let counter_field (n, v) = Printf.sprintf "%s:%d" (json_str n) v in
+    let hist_field (n, (h : Metrics.hist)) =
+      let q p =
+        let lo, hi = Metrics.hist_quantile_bounds h p in
+        Printf.sprintf "[%s,%s]" (num lo) (num hi)
+      in
+      Printf.sprintf
+        "%s:{\"count\":%d,\"sum\":%s,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+        (json_str n) h.Metrics.h_count (num h.Metrics.h_sum)
+        (num
+           (if h.Metrics.h_count = 0 then 0.0
+            else h.Metrics.h_sum /. float_of_int h.Metrics.h_count))
+        (q 0.5) (q 0.9) (q 0.99)
+    in
+    Printf.sprintf "{\"phases\":[%s],\"counters\":{%s},\"histograms\":{%s}}"
+      (String.concat "," (List.map phase_obj rows))
+      (String.concat "," (List.map counter_field t.counters))
+      (String.concat "," (List.map hist_field t.hists))
 end

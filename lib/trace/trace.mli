@@ -79,6 +79,13 @@ module Metrics : sig
      under-reports a percentile. 0 for an empty histogram. *)
   val hist_quantile : hist -> float -> float
 
+  (* The bucket bracketing [hist_quantile]'s answer: the quantile lies
+     in (lo, hi] where [hi] is exactly [hist_quantile]'s report and
+     [lo] the next bucket edge down (0 for the lowest bucket) — the
+     power-of-two bucketing's intrinsic error bound, at most a factor
+     of two. (0, 0) for an empty histogram. *)
+  val hist_quantile_bounds : hist -> float -> float * float
+
   (* Zero every registered cell of the calling domain (bench/test
      isolation). *)
   val reset_current_domain : unit -> unit
@@ -195,4 +202,11 @@ module Report : sig
      to [depth], the [top] slowest spans, counters and histogram
      summaries. *)
   val render : ?top:int -> ?depth:int -> t -> string
+
+  (* Machine-readable twin of [render]: {"phases":[{span,count,
+     total_ms,mean_ms}],"counters":{..},"histograms":{..}} with
+     histogram quantiles as [lo, hi] power-of-two-bucket bounds.
+     `dnsv report --json` and `dnsv top --once --json` share this
+     consumer shape. *)
+  val to_json : t -> string
 end
