@@ -1,11 +1,12 @@
 # Convenience targets over dune. `make bench-json` is the perf gate:
-# it regenerates BENCH_PR9.json and fails (exit 1) if parallel/cached
+# it regenerates BENCH_PR10.json and fails (exit 1) if parallel/cached
 # verdicts diverge from sequential ones, the summaries-ablation
 # speedup regresses below its seed-commit floor, certificate checking
 # costs more than 10% over the uncertified re-verification, span
 # recording costs more than 5%, the static analysis costs more than 5%
-# when nothing is discharged (or discharges under 20% of panic
-# checks), the store-backed incremental cross-version re-verify is
+# when nothing is discharged (or the interprocedural layer discharges
+# under 70% of panic checks, or Distrust refutes any interprocedural
+# claim), the store-backed incremental cross-version re-verify is
 # less than 10x faster than cold (or its verdict fingerprint drifts),
 # store bookkeeping costs more than 10% over a storeless run, the
 # CDCL solver core does fewer than 2x fewer DPLL(T) iterations than
@@ -50,8 +51,8 @@ bench:
 	dune exec bench/main.exe
 
 bench-json:
-	dune exec bench/main.exe -- json > BENCH_PR9.json
-	@cat BENCH_PR9.json
+	dune exec bench/main.exe -- json > BENCH_PR10.json
+	@cat BENCH_PR10.json
 	@echo
 
 fuzz:

@@ -301,6 +301,11 @@ let trace_overhead () =
 let analysis_overhead_gate = 1.05
 let analysis_overhead_reps = 6
 
+(* PR 10 gate: the interprocedural summary layer must discharge at
+   least this fraction of the panic-guard checks on the reverify
+   workload (the PR 9 intraprocedural layer managed ~53%). *)
+let interproc_discharge_gate = 0.70
+
 type analysis_overhead_result = {
   ao_off : reverify_run;
   ao_distrust : reverify_run;
@@ -308,6 +313,9 @@ type analysis_overhead_result = {
   ao_panic_checks : int;
   ao_panic_discharged : int;
   ao_static_discharged : int;
+  ao_ip_discharged : int; (* prunes only the interprocedural layer justifies *)
+  ao_ip_crosschecked : int; (* Distrust: interprocedural claims checked *)
+  ao_ip_mismatches : int; (* ... of which the solver refuted *)
 }
 
 let analysis_overhead_runs () =
@@ -320,9 +328,12 @@ let analysis_overhead_runs () =
   in
   let off = ref None and dis = ref None and tru = ref None in
   let checks = ref 0 and pdis = ref 0 and sdis = ref 0 in
+  let ipdis = ref 0 and ipchk = ref 0 and ipmis = ref 0 in
   for _ = 1 to analysis_overhead_reps do
     off := best !off (arm Analysis.Off ());
+    let d0 = Trace.Metrics.snapshot () in
     dis := best !dis (arm Analysis.Distrust ());
+    let dd = Trace.Metrics.diff (Trace.Metrics.snapshot ()) d0 in
     let m0 = Trace.Metrics.snapshot () in
     tru := best !tru (arm Analysis.Trust ());
     let d = Trace.Metrics.diff (Trace.Metrics.snapshot ()) m0 in
@@ -330,7 +341,10 @@ let analysis_overhead_runs () =
        deterministic), so keeping the last rep's delta is fine. *)
     checks := Trace.Metrics.get d "analysis.panic_checks";
     pdis := Trace.Metrics.get d "analysis.panic_discharged";
-    sdis := Trace.Metrics.get d "analysis.static_discharged"
+    sdis := Trace.Metrics.get d "analysis.static_discharged";
+    ipdis := Trace.Metrics.get d "analysis.ip_discharged";
+    ipchk := Trace.Metrics.get dd "analysis.ip_crosscheck";
+    ipmis := Trace.Metrics.get dd "analysis.ip_crosscheck_mismatch"
   done;
   {
     ao_off = Option.get !off;
@@ -339,6 +353,9 @@ let analysis_overhead_runs () =
     ao_panic_checks = !checks;
     ao_panic_discharged = !pdis;
     ao_static_discharged = !sdis;
+    ao_ip_discharged = !ipdis;
+    ao_ip_crosschecked = !ipchk;
+    ao_ip_mismatches = !ipmis;
   }
 
 let analysis_overhead () =
@@ -354,6 +371,16 @@ let analysis_overhead () =
   Printf.printf "%-26s %8.3f s   %d/%d panic checks discharged\n"
     "trust (prune)" ao.ao_trust.rv_wall ao.ao_panic_discharged
     ao.ao_panic_checks;
+  let frac =
+    if ao.ao_panic_checks = 0 then 0.
+    else float_of_int ao.ao_panic_discharged /. float_of_int ao.ao_panic_checks
+  in
+  Printf.printf
+    "%-26s %8.1f %%   (gate >= %.0f%%; %d interproc-only, %d/%d crosschecks \
+     refuted)\n"
+    "discharge fraction" (100. *. frac)
+    (100. *. interproc_discharge_gate)
+    ao.ao_ip_discharged ao.ao_ip_mismatches ao.ao_ip_crosschecked;
   let identical =
     String.equal ao.ao_off.rv_fingerprint ao.ao_distrust.rv_fingerprint
     && String.equal ao.ao_distrust.rv_fingerprint ao.ao_trust.rv_fingerprint
@@ -1298,6 +1325,24 @@ let json () =
                ("discharged_fraction", Printf.sprintf "%.3f" ao_fraction);
                ("verdicts_identical", string_of_bool ao_identical);
              ] );
+         ( "interproc_discharge",
+           json_obj
+             [
+               ("panic_checks", string_of_int ao.ao_panic_checks);
+               ("panic_discharged", string_of_int ao.ao_panic_discharged);
+               ("discharged_fraction", Printf.sprintf "%.3f" ao_fraction);
+               ("gate", Printf.sprintf "%.2f" interproc_discharge_gate);
+               ("ip_discharged", string_of_int ao.ao_ip_discharged);
+               ( "ip_crosschecked",
+                 string_of_int ao.ao_ip_crosschecked );
+               ( "ip_crosscheck_mismatches",
+                 string_of_int ao.ao_ip_mismatches );
+               ( "distrust_overhead_ratio",
+                 Printf.sprintf "%.3f" ao_ratio );
+               ( "distrust_overhead_gate",
+                 Printf.sprintf "%.2f" analysis_overhead_gate );
+               ("verdicts_identical", string_of_bool ao_identical);
+             ] );
          ( "incremental_reverify",
            json_obj
              [
@@ -1387,11 +1432,21 @@ let json () =
       analysis_overhead_gate;
     exit 1
   end;
-  if ao.ao_panic_checks > 0 && ao.ao_panic_discharged * 5 < ao.ao_panic_checks
+  if
+    ao.ao_panic_checks = 0
+    || float_of_int ao.ao_panic_discharged
+       < interproc_discharge_gate *. float_of_int ao.ao_panic_checks
   then begin
     Printf.eprintf
-      "FAIL: only %d/%d panic checks statically discharged (< 20%%)\n"
-      ao.ao_panic_discharged ao.ao_panic_checks;
+      "FAIL: only %d/%d panic checks statically discharged (< %.0f%%)\n"
+      ao.ao_panic_discharged ao.ao_panic_checks
+      (100. *. interproc_discharge_gate);
+    exit 1
+  end;
+  if ao.ao_ip_mismatches > 0 then begin
+    Printf.eprintf
+      "FAIL: Distrust refuted %d/%d interprocedural claims\n"
+      ao.ao_ip_mismatches ao.ao_ip_crosschecked;
     exit 1
   end;
   if not inc_identical then begin

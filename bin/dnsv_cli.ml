@@ -798,33 +798,116 @@ let lint_baseline_budgets path =
           Printf.eprintf "baseline %s: no \"versions\" array\n" path;
           exit 3)
 
+(* Atomic baseline rewrite: the new content lands under a temp name in
+   the same directory, then renames over the old file, so a reader (or
+   a crash) sees either the old baseline or the new one, never a torn
+   mix. *)
+let write_file_atomic path text =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".lint_baseline" ".tmp" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out_bin tmp in
+      output_string oc text;
+      close_out oc;
+      Sys.rename tmp path)
+
 let lint_cmd =
-  let run engine json baseline =
-    let cfgs =
-      match engine with
-      | None -> Engine.Versions.all
-      | Some v -> [ config_of_version v ]
+  let run engine golite json baseline update store_dir no_store =
+    (* Each target: display name, program, analysis env, dead-callee
+       entry points. Engines get the full interprocedural environment
+       (resolve entry facts, Layout field invariants) and `resolve` as
+       the sole entry; a standalone Golite file gets the env-free
+       analysis and no dead-callee class (its entry set is unknown). *)
+    let targets =
+      match golite with
+      | Some path -> (
+          let ic = open_in_bin path in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Golite.Parse.program_of_string text with
+          | Error m ->
+              Printf.eprintf "cannot parse %s: %s\n" path m;
+              exit 3
+          | Ok ast -> (
+              match Golite.Compile.compile ast with
+              | prog -> [ (Filename.basename path, prog, None, None) ]
+              | exception e ->
+                  Printf.eprintf "cannot compile %s: %s\n" path
+                    (Printexc.to_string e);
+                  exit 3))
+      | None ->
+          let cfgs =
+            match engine with
+            | None -> Engine.Versions.all
+            | Some v -> [ config_of_version v ]
+          in
+          List.map
+            (fun (cfg : Engine.Builder.config) ->
+              ( cfg.Engine.Builder.version,
+                Engine.Versions.compiled cfg,
+                Some (Refine.Check.engine_env ()),
+                Some [ "resolve" ] ))
+            cfgs
     in
+    with_store store_dir no_store @@ fun store ->
     let results =
       List.map
-        (fun (cfg : Engine.Builder.config) ->
-          let prog = Engine.Versions.compiled cfg in
-          (cfg.Engine.Builder.version, Analysis.Lint.run prog))
-        cfgs
+        (fun (name, prog, env, entries) ->
+          let with_hooks f =
+            match store with
+            | None -> f ()
+            | Some st ->
+                Store.with_analysis st
+                  ~cone_of:(fun fn -> Store.Fingerprint.cone_fp prog fn)
+                  f
+          in
+          with_hooks @@ fun () ->
+          let fs = Analysis.Lint.run ?env ?entries prog in
+          let s = Analysis.summarize ?env prog in
+          let hits, misses = Analysis.store_traffic s in
+          let stats = Analysis.interproc_stats s in
+          if store <> None then
+            Printf.eprintf "lint %s: summary store hits %d, misses %d\n%!"
+              name hits misses;
+          (name, fs, stats))
+        targets
     in
-    if json then begin
-      print_string "{\"versions\": [";
+    let json_doc () =
+      let b = Buffer.create 1024 in
+      Buffer.add_string b "{\"versions\": [";
       List.iteri
-        (fun i (v, fs) ->
-          Printf.printf "%s\n {\"version\": \"%s\", \"lint\": %s}"
-            (if i = 0 then "" else ",")
-            v (Analysis.Lint.to_json fs))
+        (fun i (v, fs, stats) ->
+          let interproc =
+            String.concat ", "
+              (List.map
+                 (fun (k, n) -> Printf.sprintf "\"%s\": %d" k n)
+                 stats)
+          in
+          Buffer.add_string b
+            (Printf.sprintf
+               "%s\n {\"version\": \"%s\", \"lint\": %s, \"interproc\": {%s}}"
+               (if i = 0 then "" else ",")
+               v (Analysis.Lint.to_json fs) interproc))
         results;
-      print_string "\n]}\n"
-    end
+      Buffer.add_string b "\n]}\n";
+      Buffer.contents b
+    in
+    if update then begin
+      match baseline with
+      | None ->
+          Printf.eprintf "--update-baseline requires --baseline FILE\n";
+          exit 3
+      | Some path ->
+          write_file_atomic path (json_doc ());
+          Printf.eprintf "lint: baseline %s updated\n" path;
+          exit 0
+    end;
+    if json then print_string (json_doc ())
     else
       List.iter
-        (fun (v, fs) ->
+        (fun (v, fs, _) ->
           let e, w, n = Analysis.Lint.counts fs in
           Printf.printf "engine %-9s %d error(s), %d warning(s), %d info\n" v e
             w n;
@@ -832,6 +915,7 @@ let lint_cmd =
             (fun f -> Format.printf "  %a@." Analysis.Lint.pp_finding f)
             fs)
         results;
+    let results = List.map (fun (v, fs, _) -> (v, fs)) results in
     match baseline with
     | Some path -> (
         let budgets = lint_baseline_budgets path in
@@ -891,17 +975,34 @@ let lint_cmd =
     let doc =
       "Gate against a checked-in baseline (the --json output of a previous \
        run): exit 1 when any version's error, warning or info count exceeds \
-       the baseline's."
+       the baseline's. With --update-baseline, the file to (re)write."
     in
     Arg.(
-      value & opt (some file) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+      value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let golite_arg =
+    let doc =
+      "Lint a standalone Golite source file instead of the bundled engines. \
+       The interprocedural summaries still apply; the dead-callee class is \
+       off (a lone file declares no entry points)."
+    in
+    Arg.(value & opt (some file) None & info [ "golite" ] ~docv:"FILE" ~doc)
+  in
+  let update_arg =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:
+            "Rewrite the --baseline file with this run's findings \
+             (atomically: temp file + rename) and exit 0.")
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically analyze the bundled engine versions: dead blocks, \
           reachable panics, use-before-init loads, dead stores, division by \
-          zero, nil dereferences"
+          zero, nil dereferences, guaranteed-panic call chains, dead \
+          callees, ill-typed calls"
        ~man:
          [
            `S Manpage.s_exit_status;
@@ -909,8 +1010,16 @@ let lint_cmd =
              "Without --baseline: 0 when no Error-severity findings, 1 \
               otherwise. With --baseline: 0 when every version's counts are \
               within the baseline, 1 on any regression. 3 on usage errors.";
+           `S "STORE";
+           `P
+             "With --store DIR, interprocedural function summaries are \
+              persisted under cone fingerprints: re-linting after an edit \
+              recomputes only the edited function's cone of influence \
+              (hit/miss counts go to stderr).";
          ])
-    Term.(const run $ engine_opt_arg $ json_arg $ baseline_arg)
+    Term.(
+      const run $ engine_opt_arg $ golite_arg $ json_arg $ baseline_arg
+      $ update_arg $ store_dir_arg $ no_store_arg)
 
 (* ------------------------------------------------------------------ *)
 (* store                                                              *)

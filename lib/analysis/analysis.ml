@@ -31,6 +31,7 @@
 module Instr = Minir.Instr
 module Ty = Minir.Ty
 module Value = Minir.Value
+module Callgraph = Minir.Callgraph
 
 (* How the symbolic executor treats the analysis:
    [Off] — never consulted; [Trust] — statically-dead edges are pruned
@@ -260,6 +261,31 @@ let a_is_bot = function
   | AInt Interval.Bot | ABool Tribool.TBot | APtr Nullness.NBot -> true
   | _ -> false
 
+(* Sound meet for values known to describe the same concrete outcome:
+   an empty intersection can only mean the outcome is unreachable, so
+   keeping either side stays a cover — we keep [a] rather than
+   introduce ⊥ into states (instruction transfer must stay total). *)
+let a_meet a b =
+  match (a, b) with
+  | ATop, v | v, ATop -> v
+  | AInt x, AInt y -> (
+      match Interval.meet x y with Interval.Bot -> AInt x | m -> AInt m)
+  | ABool x, ABool y -> (
+      match Tribool.meet x y with Tribool.TBot -> ABool x | m -> ABool m)
+  | APtr x, APtr y -> (
+      match Nullness.meet x y with Nullness.NBot -> APtr x | m -> APtr m)
+  | a, _ -> a (* sort mismatch: ill-typed input, keep what we had *)
+
+(* Meet that *can* report emptiness, for lint-side compatibility
+   checks (a call argument vs. a callee precondition). *)
+let a_compatible a b =
+  match (a, b) with
+  | ATop, _ | _, ATop -> true
+  | AInt x, AInt y -> Interval.meet x y <> Interval.Bot
+  | ABool x, ABool y -> Tribool.meet x y <> Tribool.TBot
+  | APtr x, APtr y -> Nullness.meet x y <> Nullness.NBot
+  | _ -> true
+
 let top_of_ty : Ty.t -> aval = function
   | Ty.I64 -> AInt Interval.top
   | Ty.I1 -> ABool Tribool.TTop
@@ -276,6 +302,115 @@ let pp_aval fmt = function
   | ABool t -> Tribool.pp fmt t
   | APtr n -> Nullness.pp fmt n
   | ATop -> Format.pp_print_string fmt "⊤"
+
+(* ------------------------------------------------------------------ *)
+(* Relational function summaries                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-function summary computed bottom-up over the call graph and
+   applied at call sites in place of havoc. All components are
+   universally sound for *any* call (parameters start at ⊤ when the
+   summary is computed):
+
+   - [rs_ret] covers every normally-returned value;
+   - [rs_rel] is the zones fragment: [ret - arg_i ∈ itv] for each
+     listed I64 parameter, valid at every normal return;
+   - [rs_pre] is a *necessary* condition for normal return — on every
+     concrete run that returns, parameter i's value at entry lies in
+     the listed aval (used by the guaranteed-panic lint, never to
+     refine caller state);
+   - [rs_pure] — no store the caller could observe (no writes through
+     non-local pointers, no opaque stores, transitively);
+   - [rs_may_panic] / [rs_returns] — reachability of panic / return
+     exits under the summary's own abstraction. *)
+type rsummary = {
+  rs_fn : string;
+  rs_params : (string * Ty.t) list;
+  rs_ret_ty : Ty.t option;
+  rs_ret : aval;
+  rs_rel : (int * Interval.t) list;
+  rs_pre : (int * aval) list;
+  rs_pure : bool;
+  rs_may_panic : bool;
+  rs_returns : bool;
+}
+
+(* The sound don't-know summary: what an SCC member starts from (the
+   downward iteration only tightens it) and what callers of undefined
+   functions fall back to. *)
+let havoc_rsummary (f : Instr.func) : rsummary =
+  {
+    rs_fn = f.Instr.fn_name;
+    rs_params = f.Instr.params;
+    rs_ret_ty = f.Instr.ret_ty;
+    rs_ret =
+      (match f.Instr.ret_ty with Some ty -> top_of_ty ty | None -> ATop);
+    rs_rel = [];
+    rs_pre = [];
+    rs_pure = false;
+    rs_may_panic = true;
+    rs_returns = true;
+  }
+
+(* Shape check for summaries loaded from a persistent store: the entry
+   key (a cone fingerprint) already ties the bytes to this function's
+   semantics, this guards against decoding skew — a summary whose
+   signature disagrees with the live function is never trusted. *)
+let rsummary_matches (f : Instr.func) (rs : rsummary) : bool =
+  String.equal rs.rs_fn f.Instr.fn_name
+  && rs.rs_ret_ty = f.Instr.ret_ty
+  && List.length rs.rs_params = List.length f.Instr.params
+  && List.for_all2 (fun (_, t) (_, t') -> t = t') rs.rs_params f.Instr.params
+  && List.for_all
+       (fun (i, _) -> i >= 0 && i < List.length f.Instr.params)
+       rs.rs_rel
+  && List.for_all
+       (fun (i, _) -> i >= 0 && i < List.length f.Instr.params)
+       rs.rs_pre
+
+(* Persistence hooks, installed by the store layer (which owns the
+   cone-fingerprint keying); [None] means recompute everything.
+   [envfp] digests the *filtered* field invariants the summaries were
+   computed under: a store added anywhere in the program can drop an
+   invariant — and so change another function's summary — without
+   touching that function's call cone, so the cone fingerprint alone
+   must not key the entry. *)
+type ip_persist = {
+  ipp_load : envfp:string -> string -> rsummary option;
+  ipp_save : envfp:string -> string -> rsummary -> unit;
+}
+
+let ip_persist_key : ip_persist option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_ip_persist p = Domain.DLS.get ip_persist_key := p
+let ip_persist_installed () = !(Domain.DLS.get ip_persist_key)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis environments (harness-supplied facts)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Facts the *caller of the analysis* is entitled to assume, all
+   optional — [summarize] without an env is sound for any entry into
+   any function. An env declares:
+
+   - [env_roots]: functions the harness may enter directly with
+     arbitrary (or [env_entry]-constrained) arguments. Every non-root
+     is assumed reachable only through calls appearing in the program,
+     which lets the analysis narrow its parameters to the join of all
+     syntactic call-site arguments.
+   - [env_entry]: per-root argument facts the harness enforces (e.g.
+     the DNS driver only calls resolve with qlen ∈ [0, max_labels]).
+   - [env_fields]: struct-field invariants of the harness-built heap
+     ((struct name, field index, value) — e.g. every TreeNode's
+     labelsLen ∈ [0, 6] in an encoded zone). These are re-verified
+     against the program by [field_invariants_filter] before use:
+     any program that could write such a field drops the invariant. *)
+type env = {
+  env_roots : string list;
+  env_entry : (string * (int * aval) list) list;
+  env_fields : (string * int * aval) list;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Abstract states                                                    *)
@@ -482,8 +617,15 @@ end)
 (* Scalar alloca registers used *only* as the pointer operand of loads
    and stores: those slots cannot alias and their contents are tracked
    exactly. Everything else (aggregates, address-taken slots) is left
-   to the heap, i.e. ⊤. *)
-let tracked_slots (f : Instr.func) : SSet.t =
+   to the heap, i.e. ⊤.
+
+   [pure] refines the one over-approximation calls used to force: an
+   argument to [Call_void] of a callee proven write-free stays tracked
+   — the callee can read the cell but never store through it, so the
+   slot's contents survive the call. Value-returning calls still untrack
+   their arguments: the callee may hand the pointer back and the caller
+   could write through the alias later. *)
+let tracked_slots ?(pure = fun _ -> false) (f : Instr.func) : SSet.t =
   let allocas = ref SSet.empty in
   List.iter
     (fun (_, b) ->
@@ -520,7 +662,8 @@ let tracked_slots (f : Instr.func) : SSet.t =
           | Instr.Assign (_, rv) -> escape_rv rv
           | Instr.Store (_, v, _) | Instr.Opaque_store (_, v, _) ->
               escape v (* value position escapes; pointer position allowed *)
-          | Instr.Call_void (_, args) -> List.iter escape args)
+          | Instr.Call_void (name, args) ->
+              if not (pure name) then List.iter escape args)
         b.Instr.insns;
       match b.Instr.term with
       | Instr.Cond_br (c, _, _) -> escape c
@@ -551,10 +694,84 @@ let def_map (f : Instr.func) : Instr.rvalue Env.t =
         m b.Instr.insns)
     Env.empty f.Instr.blocks
 
+(* ------------------------------------------------------------------ *)
+(* Purity (write-freedom)                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Does [f] itself contain a store the caller could observe? Stores
+   whose pointer is rooted (through Gep/Byte_gep/Bitcast) in the
+   function's own [Alloca]/[Newobject] are invisible outside; anything
+   else — parameter-, load- or call-derived pointers, and every opaque
+   store — counts as a caller-visible write. *)
+let writes_nonlocal (f : Instr.func) : bool =
+  let defs = def_map f in
+  let rec local_root depth (o : Instr.operand) =
+    depth < 64
+    &&
+    match o with
+    | Instr.Const_int _ | Instr.Const_bool _ | Instr.Null _ -> false
+    | Instr.Reg r -> (
+        match Env.find_opt r defs with
+        | Some (Instr.Alloca _ | Instr.Newobject _) -> true
+        | Some (Instr.Gep (_, base, _))
+        | Some (Instr.Byte_gep (base, _))
+        | Some (Instr.Bitcast base) ->
+            local_root (depth + 1) base
+        | _ -> false)
+  in
+  List.exists
+    (fun (_, (b : Instr.block)) ->
+      List.exists
+        (function
+          | Instr.Store (_, _, p) -> not (local_root 0 p)
+          | Instr.Opaque_store _ -> true
+          | Instr.Assign _ | Instr.Call_void _ -> false)
+        b.Instr.insns)
+    f.Instr.blocks
+
+(* Transitively write-free functions: a syntactic least fixpoint over
+   the call graph — impure if the body writes non-locally, calls an
+   undefined function, or calls an impure one. Independent of the
+   abstract interpretation, so the escape refinement in
+   [tracked_slots] cannot feed back into itself. *)
+let pure_set (prog : Instr.program) (cg : Callgraph.t) : SSet.t =
+  let impure = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Instr.func) ->
+      if
+        writes_nonlocal f
+        || List.exists
+             (fun c -> not (Callgraph.is_defined cg c))
+             (Callgraph.callees cg f.Instr.fn_name)
+      then Hashtbl.replace impure f.Instr.fn_name ())
+    prog.Instr.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Instr.func) ->
+        if
+          (not (Hashtbl.mem impure f.Instr.fn_name))
+          && List.exists (Hashtbl.mem impure)
+               (Callgraph.callees cg f.Instr.fn_name)
+        then begin
+          Hashtbl.replace impure f.Instr.fn_name ();
+          changed := true
+        end)
+      prog.Instr.funcs
+  done;
+  List.fold_left
+    (fun acc (f : Instr.func) ->
+      if Hashtbl.mem impure f.Instr.fn_name then acc
+      else SSet.add f.Instr.fn_name acc)
+    SSet.empty prog.Instr.funcs
+
 type fn_ctx = {
   prog : Instr.program;
   tracked : SSet.t;
   defs : Instr.rvalue Env.t;
+  lookup : string -> rsummary option; (* callee summaries, if computed *)
+  fieldinv : string -> int -> aval option; (* verified field invariants *)
 }
 
 let eval_operand (s : st) : Instr.operand -> aval = function
@@ -624,6 +841,93 @@ let is_ptr_ty = function
   | Ty.Ptr _ | Ty.Opaque_ptr | Ty.Struct _ | Ty.Array _ -> true
   | Ty.I1 | Ty.I64 -> false
 
+(* If register [r] is a Gep whose final navigation step selects a
+   struct field, the (struct name, field index) identifying the cell it
+   points at. A pointer cell is a scalar struct field exactly when the
+   last step of its access path is a constant struct-field index — array
+   interiors and whole-aggregate pointers return [None]. *)
+let gep_field (tenv : Ty.tenv) (defs : Instr.rvalue Env.t) (r : Instr.reg) :
+    (string * int) option =
+  match Env.find_opt r defs with
+  | Some (Instr.Gep (pointee, _base, idxs)) -> (
+      let rec walk ty idxs =
+        match (ty, idxs) with
+        | Ty.Struct name, [ Instr.Const_int i ] ->
+            (match Ty.field_at (Ty.find_struct tenv name) i with
+            | _ -> Some (name, i)
+            | exception Invalid_argument _ -> None)
+        | Ty.Struct name, Instr.Const_int i :: rest -> (
+            match Ty.field_at (Ty.find_struct tenv name) i with
+            | f -> walk f.Ty.fty rest
+            | exception Invalid_argument _ -> None)
+        | Ty.Array (elt, _), _ :: rest -> walk elt rest
+        | _, _ -> None
+      in
+      match walk pointee idxs with
+      | some -> some
+      | exception Invalid_argument _ -> None)
+  | _ -> None
+
+(* Re-verify harness-declared field invariants against the program:
+   an invariant for (S, i) survives only when (a) it admits the
+   zero value — every object the program itself creates ([Newobject],
+   struct [Alloca]) starts zeroed, so fresh objects satisfy it — and
+   (b) no store in any function can write that cell: every store's
+   pointer must resolve to a scalar alloca or to a Gep whose cell is a
+   *different* struct field or an array interior, and no opaque store
+   exists anywhere. Any unresolvable store drops all invariants. *)
+let field_invariants_filter (prog : Instr.program)
+    (invs : (string * int * aval) list) : (string * int * aval) list =
+  let invs =
+    List.filter
+      (fun (_, _, a) ->
+        match a with
+        | AInt iv -> Interval.mem 0 iv
+        | ABool t -> Tribool.meet t Tribool.TF <> Tribool.TBot
+        | APtr n -> Nullness.meet n Nullness.NNull <> Nullness.NBot
+        | ATop -> true)
+      invs
+  in
+  let written = Hashtbl.create 8 in
+  let opaque_or_unresolved = ref false in
+  List.iter
+    (fun (f : Instr.func) ->
+      let defs = def_map f in
+      let resolved_safe (p : Instr.operand) =
+        match p with
+        | Instr.Null _ -> true (* traps, writes nothing *)
+        | Instr.Const_int _ | Instr.Const_bool _ -> false
+        | Instr.Reg r -> (
+            match gep_field prog.Instr.tenv defs r with
+            | Some (s, i) ->
+                Hashtbl.replace written (s, i) ();
+                true
+            | None -> (
+                match Env.find_opt r defs with
+                | Some (Instr.Gep _) ->
+                    (* resolved to an array interior or aggregate cell:
+                       never a scalar struct field *)
+                    true
+                | Some (Instr.Alloca (Ty.I64 | Ty.I1 | Ty.Ptr _ | Ty.Opaque_ptr))
+                  ->
+                    true (* a scalar stack slot is no object's field *)
+                | _ -> false))
+      in
+      List.iter
+        (fun (_, (b : Instr.block)) ->
+          List.iter
+            (function
+              | Instr.Store (_, _, p) ->
+                  if not (resolved_safe p) then opaque_or_unresolved := true
+              | Instr.Opaque_store _ -> opaque_or_unresolved := true
+              | Instr.Assign _ | Instr.Call_void _ -> ())
+            b.Instr.insns)
+        f.Instr.blocks)
+    prog.Instr.funcs;
+  if !opaque_or_unresolved then []
+  else
+    List.filter (fun (s, i, _) -> not (Hashtbl.mem written (s, i))) invs
+
 let eval_rvalue (ctx : fn_ctx) (s : st) (rv : Instr.rvalue) : aval =
   match rv with
   | Instr.Binop (op, a, b) -> (
@@ -652,14 +956,43 @@ let eval_rvalue (ctx : fn_ctx) (s : st) (rv : Instr.rvalue) : aval =
   | Instr.Bitcast o -> eval_operand s o
   | Instr.Load (ty, Instr.Reg p) when SSet.mem p ctx.tracked ->
       Option.value (Env.find_opt p s.slots) ~default:(top_of_ty ty)
-  | Instr.Load (ty, _) | Instr.Opaque_load (ty, _) -> top_of_ty ty
-  | Instr.Call (name, _) -> (
-      match
-        List.find_opt (fun g -> g.Instr.fn_name = name) ctx.prog.Instr.funcs
-      with
-      | Some g -> (
-          match g.Instr.ret_ty with Some ty -> top_of_ty ty | None -> ATop)
-      | None -> ATop)
+  | Instr.Load (ty, o) ->
+      (* A load through a pointer whose cell is a verified-invariant
+         struct field is bounded by that invariant regardless of which
+         object the pointer selects. *)
+      let base = top_of_ty ty in
+      (match o with
+      | Instr.Reg r -> (
+          match gep_field ctx.prog.Instr.tenv ctx.defs r with
+          | Some (sname, idx) -> (
+              match ctx.fieldinv sname idx with
+              | Some inv -> a_meet base inv
+              | None -> base)
+          | None -> base)
+      | _ -> base)
+  | Instr.Opaque_load (ty, _) -> top_of_ty ty
+  | Instr.Call (name, args) -> (
+      (* Summary application replaces havoc: the return value is
+         covered by the callee's [rs_ret], tightened by every
+         difference bound [ret - arg_i ∈ d] instantiated with the
+         argument's interval at this site. *)
+      match ctx.lookup name with
+      | Some rs ->
+          List.fold_left
+            (fun acc (i, d) ->
+              match List.nth_opt args i with
+              | Some a -> a_meet acc (AInt (Interval.add (interval_of s a) d))
+              | None -> acc)
+            rs.rs_ret rs.rs_rel
+      | None -> (
+          match
+            List.find_opt
+              (fun g -> g.Instr.fn_name = name)
+              ctx.prog.Instr.funcs
+          with
+          | Some g -> (
+              match g.Instr.ret_ty with Some ty -> top_of_ty ty | None -> ATop)
+          | None -> ATop))
 
 (* Transfer one instruction. Total: instruction effects never prove a
    state empty, only branch assumptions do. *)
@@ -866,8 +1199,15 @@ type edge_fact = { then_dead : bool; else_dead : bool }
    so the per-branch-execution lookup is a single hash-table probe:
    the edge fact plus whether either successor is a panic block (the
    executor's [panic_checks] accounting would otherwise re-scan the
-   block list on every branch execution). *)
-type branch_info = { bi_fact : edge_fact; bi_guards_panic : bool }
+   block list on every branch execution). [bi_interproc] marks facts
+   the interprocedural layer added on top of what the PR 5
+   intraprocedural pass (calls havocked, no environment) could already
+   prove — the distrust cross-check and the bench gate count these. *)
+type branch_info = {
+  bi_fact : edge_fact;
+  bi_guards_panic : bool;
+  bi_interproc : bool;
+}
 
 (* Physical-identity block table: keys are blocks of the one memoized
    program value per version, so [( == )] is the right equality and
@@ -886,7 +1226,21 @@ type func_facts = {
   ff_branch : branch_info Blocktbl.t; (* physical-identity keyed *)
 }
 
-type summary = (string, func_facts) Hashtbl.t
+type summary = {
+  sm_facts : (string, func_facts Lazy.t) Hashtbl.t;
+      (* per-function final facts, forced on first query: a
+         summarization-window env only ever executes its own small call
+         cone, so analyzing the rest of the program eagerly for every
+         distinct window would be pure waste *)
+  sm_plain : (string, func_facts) Hashtbl.t;
+      (* PR 5 abstraction: havoc at calls, no env — the attribution
+         baseline for [bi_interproc] and heuristics calibrated to
+         intraprocedural precision *)
+  sm_rsums : (string, rsummary) Hashtbl.t;
+  sm_cg : Callgraph.t;
+  sm_store_hits : int; (* rsummaries served by the persistence hook *)
+  sm_store_misses : int; (* rsummaries recomputed (and saved) *)
+}
 
 let edge_states (ctx : fn_ctx) (s : st) (t : Instr.terminator) :
     (Instr.label * state) list =
@@ -896,17 +1250,34 @@ let edge_states (ctx : fn_ctx) (s : st) (t : Instr.terminator) :
       [ (l1, assume ctx s c true); (l2, assume ctx s c false) ]
   | Instr.Ret _ | Instr.Panic _ | Instr.Unreachable -> []
 
-let analyze_func (prog : Instr.program) (f : Instr.func) : func_facts =
+(* One intraprocedural fixpoint. [lookup]/[fieldinv] feed summaries
+   and verified heap invariants into the transfer functions; [entry]
+   meets per-parameter facts into the initial state (the caller — the
+   context fixpoint or an env root's declared facts — is responsible
+   for their soundness); [plain] is the same function's facts under
+   the PR 5 abstraction (havoc at calls, no environment) and only
+   drives the [bi_interproc] attribution bit. *)
+let analyze_func ?(lookup = fun _ -> None) ?(fieldinv = fun _ _ -> None)
+    ?(pure = fun _ -> false) ?(entry = []) ?plain (prog : Instr.program)
+    (f : Instr.func) : func_facts =
   Trace.with_span ~det:false "analyze" ~attrs:[ ("fn", f.Instr.fn_name) ]
   @@ fun () ->
   Trace.Metrics.incr m_functions;
-  let ctx = { prog; tracked = tracked_slots f; defs = def_map f } in
+  let ctx =
+    { prog; tracked = tracked_slots ~pure f; defs = def_map f; lookup; fieldinv }
+  in
   let init =
     St
       {
         regs =
           List.fold_left
-            (fun m (r, ty) -> Env.add r (top_of_ty ty) m)
+            (fun m (r, ty) ->
+              let v =
+                match List.assoc_opt r entry with
+                | Some e -> a_meet (top_of_ty ty) e
+                | None -> top_of_ty ty
+              in
+              Env.add r v m)
             Env.empty f.Instr.params;
         slots = Env.empty;
         inited = SSet.empty;
@@ -945,45 +1316,634 @@ let analyze_func (prog : Instr.program) (f : Instr.func) : func_facts =
                   else_dead = assume ctx s c false = Bot;
                 }
           in
+          let interproc =
+            match plain with
+            | None -> false
+            | Some (pf : func_facts) -> (
+                match Blocktbl.find_opt pf.ff_branch b with
+                | Some pbi ->
+                    (fact.then_dead && not pbi.bi_fact.then_dead)
+                    || (fact.else_dead && not pbi.bi_fact.else_dead)
+                | None -> fact.then_dead || fact.else_dead)
+          in
           Blocktbl.replace branch b
-            { bi_fact = fact; bi_guards_panic = is_panic l1 || is_panic l2 }
+            {
+              bi_fact = fact;
+              bi_guards_panic = is_panic l1 || is_panic l2;
+              bi_interproc = interproc;
+            }
       | _ -> ())
     f.Instr.blocks;
   { ff_func = f; ff_ctx = ctx; ff_in = in_states; ff_branch = branch }
 
-let analyze (prog : Instr.program) : summary =
-  let t = Hashtbl.create 16 in
-  List.iter
-    (fun f -> Hashtbl.replace t f.Instr.fn_name (analyze_func prog f))
-    prog.Instr.funcs;
-  t
+(* ------------------------------------------------------------------ *)
+(* Summary extraction                                                 *)
+(* ------------------------------------------------------------------ *)
 
-(* Domain-local memo keyed on the program's physical identity: the
-   compile memo in Engine.Versions already guarantees one program value
-   per version per domain, so re-verification never re-analyzes. *)
-let memo_key : (Instr.program * summary) list ref Domain.DLS.key =
+(* Parameters copied once into a non-aliasing slot in the (loop-free)
+   entry block keep their entry value observable at every return: the
+   branch refinements that accumulate on the slot are exactly the
+   conditions the function imposed on the argument. Returns
+   [slot register ↦ parameter index]. *)
+let param_slot_map (ctx : fn_ctx) (f : Instr.func) : (Instr.reg * int) list =
+  let entry_is_target =
+    List.exists
+      (fun (_, (b : Instr.block)) ->
+        match b.Instr.term with
+        | Instr.Br l -> String.equal l f.Instr.entry
+        | Instr.Cond_br (_, l1, l2) ->
+            String.equal l1 f.Instr.entry || String.equal l2 f.Instr.entry
+        | _ -> false)
+      f.Instr.blocks
+  in
+  if entry_is_target then []
+  else
+    let store_count slot =
+      List.fold_left
+        (fun n (_, (b : Instr.block)) ->
+          List.fold_left
+            (fun n -> function
+              | Instr.Store (_, _, Instr.Reg p) when String.equal p slot ->
+                  n + 1
+              | _ -> n)
+            n b.Instr.insns)
+        0 f.Instr.blocks
+    in
+    let entry_insns = (Instr.find_block f f.Instr.entry).Instr.insns in
+    let alloca_in_entry slot =
+      List.exists
+        (function
+          | Instr.Assign (r, Instr.Alloca _) -> String.equal r slot
+          | _ -> false)
+        entry_insns
+    in
+    let pidx =
+      List.mapi (fun i (r, _) -> (r, i)) f.Instr.params
+    in
+    List.filter_map
+      (function
+        | Instr.Store (_, Instr.Reg p, Instr.Reg slot)
+          when SSet.mem slot ctx.tracked
+               && List.mem_assoc p pidx
+               && alloca_in_entry slot
+               && store_count slot = 1 ->
+            Some (slot, List.assoc p pidx)
+        | _ -> None)
+      entry_insns
+
+(* Difference bounds [value(o) - param_i ∈ itv] read off the defining
+   expressions, instantiated with the converged interval of the
+   non-parameter side at the point [s] describes. Registers are SSA
+   and single-store parameter slots replay the entry value, so every
+   interval consulted covers the operand at any later program point on
+   the same run. *)
+let delta_of (ctx : fn_ctx) (pidx : (Instr.reg * int) list)
+    (pslots : (Instr.reg * int) list) (s : st) (o : Instr.operand) :
+    (int * Interval.t) list =
+  let shift itv = List.map (fun (i, d) -> (i, Interval.add d itv)) in
+  let merge a b =
+    (* both sides are sound bounds for the same value: meet them *)
+    List.fold_left
+      (fun acc (i, d) ->
+        match List.assoc_opt i acc with
+        | None -> (i, d) :: acc
+        | Some d' ->
+            let m =
+              match Interval.meet d d' with Interval.Bot -> d' | m -> m
+            in
+            (i, m) :: List.remove_assoc i acc)
+      a b
+  in
+  let rec go depth (o : Instr.operand) =
+    if depth > 12 then []
+    else
+      match o with
+      | Instr.Reg r when List.mem_assoc r pidx ->
+          [ (List.assoc r pidx, Interval.of_int 0) ]
+      | Instr.Reg r -> (
+          match Env.find_opt r ctx.defs with
+          | Some (Instr.Load (_, Instr.Reg slot))
+            when List.mem_assoc slot pslots ->
+              [ (List.assoc slot pslots, Interval.of_int 0) ]
+          | Some (Instr.Binop (Instr.Add, a, b)) ->
+              merge
+                (shift (interval_of s b) (go (depth + 1) a))
+                (shift (interval_of s a) (go (depth + 1) b))
+          | Some (Instr.Binop (Instr.Sub, a, b)) ->
+              shift (Interval.neg (interval_of s b)) (go (depth + 1) a)
+          | Some (Instr.Bitcast a) -> go (depth + 1) a
+          | _ -> [])
+      | Instr.Const_int _ | Instr.Const_bool _ | Instr.Null _ -> []
+  in
+  go 0 o
+
+let extract_rsummary (ff : func_facts) ~(pure : bool) : rsummary =
+  let f = ff.ff_func in
+  let ctx = ff.ff_ctx in
+  let in_state_of l =
+    Option.value (Hashtbl.find_opt ff.ff_in l) ~default:Bot
+  in
+  let pslots = param_slot_map ctx f in
+  let i64_pidx =
+    List.mapi (fun i (r, ty) -> (r, ty, i)) f.Instr.params
+    |> List.filter_map (fun (r, ty, i) ->
+           if ty = Ty.I64 then Some (r, i) else None)
+  in
+  let i64_pslots =
+    List.filter
+      (fun (_, i) ->
+        match List.nth_opt f.Instr.params i with
+        | Some (_, Ty.I64) -> true
+        | _ -> false)
+      pslots
+  in
+  let nparams = List.length f.Instr.params in
+  (* Fold over reachable returns. *)
+  let rets = ref [] in
+  List.iter
+    (fun (l, (b : Instr.block)) ->
+      match (b.Instr.term, in_state_of l) with
+      | Instr.Ret o, St s ->
+          rets := (o, transfer_insns ctx s b.Instr.insns) :: !rets
+      | _ -> ())
+    f.Instr.blocks;
+  let rs_returns = !rets <> [] in
+  let rs_ret =
+    List.fold_left
+      (fun acc (o, s) ->
+        let v = match o with Some o -> eval_operand s o | None -> ATop in
+        match acc with None -> Some v | Some a -> Some (a_join a v))
+      None !rets
+    |> Option.value
+         ~default:
+           (match f.Instr.ret_ty with
+           | Some ty -> top_of_ty ty
+           | None -> ATop)
+  in
+  let rs_rel =
+    if f.Instr.ret_ty <> Some Ty.I64 then []
+    else
+      let per_ret =
+        List.map
+          (fun (o, s) ->
+            match o with
+            | Some o -> delta_of ctx i64_pidx i64_pslots s o
+            | None -> [])
+          !rets
+      in
+      match per_ret with
+      | [] -> []
+      | first :: rest ->
+          (* a bound must hold at *every* return to be a postcondition *)
+          List.fold_left
+            (fun acc ds ->
+              List.filter_map
+                (fun (i, d) ->
+                  match List.assoc_opt i ds with
+                  | Some d' -> Some (i, Interval.join d d')
+                  | None -> None)
+                acc)
+            first rest
+          |> List.filter (fun (_, d) -> d <> Interval.top)
+  in
+  let rs_pre =
+    (* Necessary condition for normal return: the parameter's entry
+       value — read back from its single-store slot (refined by every
+       guard crossed) or its SSA register — joined across returns. *)
+    let slot_of i =
+      List.find_opt (fun (_, j) -> j = i) pslots |> Option.map fst
+    in
+    List.init nparams (fun i ->
+        let (pr, _) = List.nth f.Instr.params i in
+        let v =
+          List.fold_left
+            (fun acc (_, s) ->
+              let v =
+                match slot_of i with
+                | Some slot ->
+                    Option.value (Env.find_opt slot s.slots) ~default:ATop
+                | None -> Option.value (Env.find_opt pr s.regs) ~default:ATop
+              in
+              match acc with None -> Some v | Some a -> Some (a_join a v))
+            None !rets
+        in
+        (i, v))
+    |> List.filter_map (fun (i, v) ->
+           match v with
+           | Some (AInt iv) when iv <> Interval.top -> Some (i, AInt iv)
+           | Some (ABool t) when t <> Tribool.TTop && t <> Tribool.TBot ->
+               Some (i, ABool t)
+           | Some (APtr n) when n <> Nullness.NTop && n <> Nullness.NBot ->
+               Some (i, APtr n)
+           | _ -> None)
+  in
+  let rs_may_panic =
+    (* a reachable panic terminator, or a reachable call into a
+       callee that may itself panic (unknown callees may) *)
+    List.exists
+      (fun (l, (b : Instr.block)) ->
+        match in_state_of l with
+        | Bot -> false
+        | St _ -> (
+            (match b.Instr.term with Instr.Panic _ -> true | _ -> false)
+            || List.exists
+                 (function
+                   | Instr.Assign (_, Instr.Call (name, _))
+                   | Instr.Call_void (name, _) -> (
+                       match ctx.lookup name with
+                       | Some rs -> rs.rs_may_panic
+                       | None -> true)
+                   | _ -> false)
+                 b.Instr.insns))
+      f.Instr.blocks
+  in
+  {
+    rs_fn = f.Instr.fn_name;
+    rs_params = f.Instr.params;
+    rs_ret_ty = f.Instr.ret_ty;
+    rs_ret;
+    rs_rel;
+    rs_pre;
+    rs_pure = pure;
+    rs_may_panic;
+    rs_returns;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program analysis                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* How many downward refinement rounds an SCC gets: summaries start at
+   the havoc top (sound for any fixpoint), and each recomputation with
+   a sound table is itself sound, so truncation anywhere is safe —
+   more rounds only tighten. *)
+let scc_rounds = 3
+
+(* Bound on the ascending context fixpoint before giving up (all
+   non-roots revert soundly to ⊤-parameter contexts). *)
+let context_rounds prog = (2 * List.length prog.Instr.funcs) + 4
+
+(* Per-program (physical identity) memo for the env-independent parts
+   of an analysis: callgraph, purity, and the plain PR 5 facts. Every
+   env over the same program shares them. *)
+type analyze_base = {
+  ab_cg : Callgraph.t;
+  ab_pure : SSet.t;
+  ab_plain : (string, func_facts) Hashtbl.t;
+}
+
+let base_memo_key : (Instr.program * analyze_base) list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
-let memo_limit = 8
-
-let summarize (prog : Instr.program) : summary =
-  let memo = Domain.DLS.get memo_key in
+let analyze_base (prog : Instr.program) : analyze_base =
+  let memo = Domain.DLS.get base_memo_key in
   match List.find_opt (fun (p, _) -> p == prog) !memo with
+  | Some (_, b) -> b
+  | None ->
+      let cg = Callgraph.build prog in
+      let plain = Hashtbl.create 16 in
+      List.iter
+        (fun (f : Instr.func) ->
+          Hashtbl.replace plain f.Instr.fn_name (analyze_func prog f))
+        prog.Instr.funcs;
+      let b = { ab_cg = cg; ab_pure = pure_set prog cg; ab_plain = plain } in
+      if List.length !memo >= 8 then memo := [];
+      memo := (prog, b) :: !memo;
+      b
+
+(* Relational summaries per (program, filtered-field-invariant digest):
+   every summarization-window env has no field invariants, so they all
+   share one table per program. The persistence hook is part of the key
+   (by identity) so a freshly installed store still sees its loads and
+   saves. *)
+let rsums_memo_key :
+    ((Instr.program * string * ip_persist option)
+    * ((string, rsummary) Hashtbl.t * int * int))
+    list
+    ref
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let analyze ?env (prog : Instr.program) : summary =
+  let { ab_cg = cg; ab_pure = pure; ab_plain = plain } = analyze_base prog in
+  let is_pure fn = SSet.mem fn pure in
+  let fields =
+    match env with
+    | None -> []
+    | Some e -> field_invariants_filter prog e.env_fields
+  in
+  let fieldinv sname idx =
+    List.find_map
+      (fun (s, i, a) -> if s = sname && i = idx then Some a else None)
+      fields
+  in
+  let find_fn fn = List.find (fun g -> g.Instr.fn_name = fn) prog.Instr.funcs in
+  (* Bottom-up relational summaries over the SCC condensation, served
+     from the persistence hook when installed. Cycles start at havoc
+     and are refined a bounded number of rounds. *)
+  let persist = ip_persist_installed () in
+  let rsums : (string, rsummary) Hashtbl.t = Hashtbl.create 16 in
+  let lookup fn = Hashtbl.find_opt rsums fn in
+  let hits = ref 0 and misses = ref 0 in
+  (* Everything the summaries depend on besides the function's own call
+     cone: the surviving field invariants (already program-filtered). *)
+  let envfp =
+    Digest.to_hex
+      (Digest.string
+         (String.concat ";"
+            (List.map
+               (fun (s, i, a) ->
+                 Format.asprintf "%s.%d=%a" s i pp_aval a)
+               fields)))
+  in
+  let load_persisted fn =
+    match persist with
+    | None -> None
+    | Some p -> (
+        match p.ipp_load ~envfp fn with
+        | Some rs when rsummary_matches (find_fn fn) rs -> Some rs
+        | _ -> None)
+  in
+  let save_persisted fn rs =
+    match persist with None -> () | Some p -> p.ipp_save ~envfp fn rs
+  in
+  let compute fn =
+    let f = find_fn fn in
+    let ff = analyze_func ~lookup ~fieldinv ~pure:is_pure prog f in
+    extract_rsummary ff ~pure:(is_pure fn)
+  in
+  (let memo = Domain.DLS.get rsums_memo_key in
+   match
+     List.find_opt
+       (fun ((p, fp, pr), _) -> p == prog && fp = envfp && pr == persist)
+       !memo
+   with
+   | Some (_, (tbl, h, m)) ->
+       Hashtbl.iter (fun fn rs -> Hashtbl.replace rsums fn rs) tbl;
+       hits := h;
+       misses := m
+   | None ->
+       List.iter
+         (fun scc ->
+           let cyclic =
+             match scc with [ one ] -> Callgraph.in_cycle cg one | _ -> true
+           in
+           let loaded = List.filter_map (fun fn ->
+               Option.map (fun rs -> (fn, rs)) (load_persisted fn)) scc
+           in
+           if List.length loaded = List.length scc then begin
+             hits := !hits + List.length scc;
+             List.iter (fun (fn, rs) -> Hashtbl.replace rsums fn rs) loaded
+           end
+           else begin
+             misses := !misses + List.length scc;
+             if not cyclic then
+               List.iter
+                 (fun fn ->
+                   let rs = compute fn in
+                   Hashtbl.replace rsums fn rs;
+                   save_persisted fn rs)
+                 scc
+             else begin
+               List.iter
+                 (fun fn ->
+                   Hashtbl.replace rsums fn (havoc_rsummary (find_fn fn)))
+                 scc;
+               for _round = 1 to scc_rounds do
+                 List.iter (fun fn -> Hashtbl.replace rsums fn (compute fn)) scc
+               done;
+               List.iter
+                 (fun fn -> save_persisted fn (Hashtbl.find rsums fn))
+                 scc
+             end
+           end)
+         (Callgraph.sccs cg);
+       if List.length !memo >= 16 then memo := [];
+       memo := ((prog, envfp, persist), (Hashtbl.copy rsums, !hits, !misses)) :: !memo);
+  (* Context fixpoint: with an env, every non-root function's
+     parameters are narrowed to the join of all syntactic call-site
+     arguments, iterated (ascending, widened) to a least fixpoint.
+     Roots — and anything the roots cannot reach, which is never
+     called and never harvested — keep ⊤ parameters (met with declared
+     entry facts for roots). *)
+  let contexts : (string, (string * aval) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (match env with
+  | None -> ()
+  | Some e ->
+      (* Only the declared roots: a function the roots cannot reach
+         never runs under the env's contract, so its call sites must
+         not join into anyone's context (it keeps ⊤ parameters itself
+         simply by never receiving one). *)
+      let roots = SSet.of_list e.env_roots in
+      let reach = Callgraph.reachable_from cg (SSet.elements roots) in
+      let entry_facts fn =
+        match List.assoc_opt fn e.env_entry with
+        | None -> []
+        | Some l ->
+            let f = find_fn fn in
+            List.filter_map
+              (fun (i, a) ->
+                Option.map (fun (r, _) -> (r, a)) (List.nth_opt f.Instr.params i))
+              l
+      in
+      let is_root fn = SSet.mem fn roots in
+      (* per-function param context: None = not yet called (⊥),
+         Some assoc = join so far (absent param = ⊥ too… params are
+         always all present once called) *)
+      let cur : (string, (string * aval) list) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let a_eq (a : (string * aval) list) b =
+        List.length a = List.length b
+        && List.for_all2 (fun (r, v) (r', v') -> r = r' && v = v') a b
+      in
+      let rounds = context_rounds prog in
+      let converged = ref false in
+      let round = ref 0 in
+      while (not !converged) && !round < rounds do
+        incr round;
+        let next : (string, (string * aval) list) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        let add_call callee (args : aval list) =
+          if
+            Callgraph.is_defined cg callee
+            && (not (is_root callee))
+            && Callgraph.SSet.mem callee reach
+          then
+            let g = find_fn callee in
+            if List.length g.Instr.params = List.length args then begin
+              let fresh =
+                List.map2 (fun (r, _) a -> (r, a)) g.Instr.params args
+              in
+              match Hashtbl.find_opt next callee with
+              | None -> Hashtbl.replace next callee fresh
+              | Some old ->
+                  Hashtbl.replace next callee
+                    (List.map2
+                       (fun (r, v) (_, v') -> (r, a_join v v'))
+                       old fresh)
+            end
+        in
+        let harvest fn (entry : (string * aval) list) =
+          let f = find_fn fn in
+          let ff =
+            analyze_func ~lookup ~fieldinv ~pure:is_pure ~entry prog f
+          in
+          List.iter
+            (fun (l, (b : Instr.block)) ->
+              match Hashtbl.find_opt ff.ff_in l with
+              | None | Some Bot -> ()
+              | Some (St s0) ->
+                  ignore
+                    (List.fold_left
+                       (fun s insn ->
+                         (match insn with
+                         | Instr.Assign (_, Instr.Call (callee, args))
+                         | Instr.Call_void (callee, args) ->
+                             add_call callee
+                               (List.map (eval_operand s) args)
+                         | _ -> ());
+                         transfer_insn ff.ff_ctx s insn)
+                       s0 b.Instr.insns))
+            f.Instr.blocks
+        in
+        (* roots always run; non-roots run once they have a context *)
+        List.iter
+          (fun (f : Instr.func) ->
+            let fn = f.Instr.fn_name in
+            if Callgraph.SSet.mem fn reach then
+              if is_root fn then harvest fn (entry_facts fn)
+              else
+                match Hashtbl.find_opt cur fn with
+                | Some c -> harvest fn c
+                | None -> ())
+          prog.Instr.funcs;
+        (* join-with-previous plus widening keeps the chain ascending
+           and finite *)
+        let stable = ref true in
+        Hashtbl.iter
+          (fun fn fresh ->
+            let nu =
+              match Hashtbl.find_opt cur fn with
+              | None -> fresh
+              | Some old ->
+                  List.map2
+                    (fun (r, ov) (_, nv) ->
+                      let j = a_join ov nv in
+                      (r, if !round > 3 then a_widen ov j else j))
+                    old fresh
+            in
+            (match Hashtbl.find_opt cur fn with
+            | Some old when a_eq old nu -> ()
+            | _ -> stable := false);
+            Hashtbl.replace cur fn nu)
+          next;
+        (* a function called last round but not this one keeps its
+           old context (monotone accumulation) *)
+        converged := !stable
+      done;
+      if not !converged then Hashtbl.reset cur;
+      List.iter
+        (fun (f : Instr.func) ->
+          let fn = f.Instr.fn_name in
+          if is_root fn then Hashtbl.replace contexts fn (entry_facts fn)
+          else
+            match Hashtbl.find_opt cur fn with
+            | Some c when !converged -> Hashtbl.replace contexts fn c
+            | _ -> ())
+        prog.Instr.funcs);
+  (* Final facts with converged contexts, attributed against plain —
+     computed lazily so an env that only ever executes a small call
+     cone (a summarization window) never pays for the rest. *)
+  let facts = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Instr.func) ->
+      let fn = f.Instr.fn_name in
+      let entry =
+        Option.value (Hashtbl.find_opt contexts fn) ~default:[]
+      in
+      Hashtbl.replace facts fn
+        (lazy
+          (analyze_func ~lookup ~fieldinv ~pure:is_pure ~entry
+             ?plain:(Hashtbl.find_opt plain fn) prog f)))
+    prog.Instr.funcs;
+  {
+    sm_facts = facts;
+    sm_plain = plain;
+    sm_rsums = rsums;
+    sm_cg = cg;
+    sm_store_hits = !hits;
+    sm_store_misses = !misses;
+  }
+
+(* Domain-local memo keyed on the program's physical identity plus the
+   (structural) environment: the compile memo in Engine.Versions
+   already guarantees one program value per version per domain, so
+   re-verification never re-analyzes. *)
+let memo_key : ((Instr.program * env option) * summary) list ref Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let memo_limit = 256
+
+let summarize ?env (prog : Instr.program) : summary =
+  let memo = Domain.DLS.get memo_key in
+  match
+    List.find_opt (fun ((p, e), _) -> p == prog && e = env) !memo
+  with
   | Some (_, s) -> s
   | None ->
-      let s = analyze prog in
-      if List.length !memo >= memo_limit then memo := [];
-      memo := (prog, s) :: !memo;
+      let s = analyze ?env prog in
+      (* keep the newest half — each engine version accumulates one
+         harness env plus a handful of summarization-window envs *)
+      if List.length !memo >= memo_limit then
+        memo := List.filteri (fun i _ -> i < memo_limit / 2) !memo;
+      memo := ((prog, env), s) :: !memo;
       s
 
-let clear_memo () = Domain.DLS.get memo_key := []
+let clear_memo () =
+  Domain.DLS.get memo_key := [];
+  Domain.DLS.get base_memo_key := [];
+  Domain.DLS.get rsums_memo_key := []
 
 (* ------------------------------------------------------------------ *)
 (* Query API                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let func_facts (s : summary) (fn : string) : func_facts option =
-  Hashtbl.find_opt s fn
+  Option.map Lazy.force (Hashtbl.find_opt s.sm_facts fn)
+
+let rsummary_of (s : summary) (fn : string) : rsummary option =
+  Hashtbl.find_opt s.sm_rsums fn
+
+let callgraph (s : summary) : Callgraph.t = s.sm_cg
+let store_traffic (s : summary) = (s.sm_store_hits, s.sm_store_misses)
+
+(* Aggregate numbers for `dnsv lint --json` and the CI stats upload. *)
+let interproc_stats (s : summary) : (string * int) list =
+  let n pred = Hashtbl.fold (fun _ rs acc -> if pred rs then acc + 1 else acc) s.sm_rsums 0 in
+  let nbranch pred =
+    Hashtbl.fold
+      (fun _ ff acc ->
+        Blocktbl.fold (fun _ bi acc -> if pred bi then acc + 1 else acc) (Lazy.force ff).ff_branch acc)
+      s.sm_facts 0
+  in
+  [
+    ("functions", Hashtbl.length s.sm_rsums);
+    ("pure", n (fun rs -> rs.rs_pure));
+    ("may_panic", n (fun rs -> rs.rs_may_panic));
+    ("with_ret_bounds", n (fun rs -> rs.rs_ret <> ATop
+      && (match rs.rs_ret_ty with Some Ty.I64 -> rs.rs_ret <> AInt Interval.top | Some Ty.I1 -> rs.rs_ret <> ABool Tribool.TTop | Some _ -> rs.rs_ret <> APtr Nullness.NTop | None -> false)));
+    ("with_rel_bounds", n (fun rs -> rs.rs_rel <> []));
+    ("with_preconditions", n (fun rs -> rs.rs_pre <> []));
+    ("store_hits", s.sm_store_hits);
+    ("store_misses", s.sm_store_misses);
+    ("branches", nbranch (fun _ -> true));
+    ("interproc_branch_facts", nbranch (fun bi -> bi.bi_interproc));
+  ]
 
 (* The executor's lookup: facts for the conditional branch terminating
    [b]. The block is matched by physical identity — the executor and
@@ -993,15 +1953,17 @@ let branch_info (ff : func_facts) (b : Instr.block) : branch_info option =
 
 let branch_fact (s : summary) (fn : string) (b : Instr.block) :
     edge_fact option =
-  match Hashtbl.find_opt s fn with
+  match Hashtbl.find_opt s.sm_facts fn with
   | None -> None
-  | Some ff -> Option.map (fun bi -> bi.bi_fact) (branch_info ff b)
+  | Some ff -> Option.map (fun bi -> bi.bi_fact) (branch_info (Lazy.force ff) b)
 
 let in_state (s : summary) ~(fn : string) ~(label : Instr.label) :
     state option =
-  match Hashtbl.find_opt s fn with
+  match Hashtbl.find_opt s.sm_facts fn with
   | None -> None
-  | Some ff -> Some (Option.value (Hashtbl.find_opt ff.ff_in label) ~default:Bot)
+  | Some ff ->
+      let ff = Lazy.force ff in
+      Some (Option.value (Hashtbl.find_opt ff.ff_in label) ~default:Bot)
 
 let reachable (s : summary) ~(fn : string) ~(label : Instr.label) : bool =
   match in_state s ~fn ~label with
@@ -1131,6 +2093,14 @@ module Lint = struct
               SSet.remove r live
           | Instr.Store (_, _, Instr.Reg p) when SSet.mem p tracked ->
               SSet.remove p live
+          | Instr.Call_void (_, args) ->
+              (* a tracked slot can only appear here when the callee is
+                 pure (anything else untracks it) — a read, not a kill *)
+              List.fold_left
+                (fun live -> function
+                  | Instr.Reg q when SSet.mem q tracked -> SSet.add q live
+                  | _ -> live)
+                live args
           | _ -> live)
         live (List.rev b.Instr.insns)
     in
@@ -1166,7 +2136,7 @@ module Lint = struct
         | _ -> [])
     | _ -> []
 
-  let lint_func (ff : func_facts) : finding list =
+  let lint_func ?plain (ff : func_facts) : finding list =
     let f = ff.ff_func in
     let ctx = ff.ff_ctx in
     let fn = f.Instr.fn_name in
@@ -1237,6 +2207,13 @@ module Lint = struct
                     | Instr.Store (_, _, Instr.Reg q)
                       when SSet.mem q ctx.tracked ->
                         SSet.remove q live
+                    | Instr.Call_void (_, args) ->
+                        List.fold_left
+                          (fun live -> function
+                            | Instr.Reg q when SSet.mem q ctx.tracked ->
+                                SSet.add q live
+                            | _ -> live)
+                          live args
                     | _ -> live)
                   out (List.rev rest)
               in
@@ -1250,9 +2227,67 @@ module Lint = struct
                     Hashtbl.replace alloca_index r i
                 | _ -> ())
               b.Instr.insns;
+            let check_call s i callee (args : Instr.operand list) =
+              match ctx.lookup callee with
+              | None -> ()
+              | Some rs ->
+                  let n = List.length rs.rs_params in
+                  if List.length args <> n then
+                    report "call-arity" Error l i
+                      "call to %s passes %d argument(s), %s expects %d" callee
+                      (List.length args) callee n
+                  else begin
+                    List.iteri
+                      (fun j arg ->
+                        let _, pty = List.nth rs.rs_params j in
+                        let bad =
+                          match (arg, pty) with
+                          | Instr.Const_int _, Ty.I64 -> false
+                          | Instr.Const_int _, _ -> true
+                          | Instr.Const_bool _, Ty.I1 -> false
+                          | Instr.Const_bool _, _ -> true
+                          | Instr.Null _, t -> not (is_ptr_ty t)
+                          | Instr.Reg _, _ -> false
+                        in
+                        if bad then
+                          report "ill-typed-call" Error l i
+                            "argument %d of call to %s does not fit \
+                             parameter type %s"
+                            j callee (Ty.to_string pty))
+                      args;
+                    (* Guaranteed panic: the callee provably never
+                       returns normally (and can panic), or this site
+                       passes an argument wholly outside a necessary
+                       condition for normal return. *)
+                    if rs.rs_may_panic then
+                      if not rs.rs_returns then
+                        report "guaranteed-panic" Error l i
+                          "call to %s can never return normally" callee
+                      else
+                        List.iter
+                          (fun (j, pre) ->
+                            match List.nth_opt args j with
+                            | Some a
+                              when not (a_compatible (eval_operand s a) pre)
+                              ->
+                                report "guaranteed-panic" Error l i
+                                  "argument %d of call to %s is %a, outside \
+                                   the values (%a) %s ever returns normally \
+                                   with"
+                                  j callee pp_aval (eval_operand s a) pp_aval
+                                  pre callee
+                            | _ -> ())
+                          rs.rs_pre
+                  end
+            in
             let _ =
               List.fold_left
                 (fun (s, i) insn ->
+                  (match insn with
+                  | Instr.Assign (_, Instr.Call (callee, args))
+                  | Instr.Call_void (callee, args) ->
+                      check_call s i callee args
+                  | _ -> ());
                   (match insn with
                   | Instr.Assign (_, Instr.Binop ((Instr.Sdiv | Instr.Srem), _, d))
                     -> (
@@ -1304,15 +2339,26 @@ module Lint = struct
             (* Reachable panic guards: a conditional edge into a panic
                block that survives abstract interpretation. Reported
                only when the guard is decided by *constant* data (every
-               integer comparison it is built from has finite bounds) —
-               a symbolic-input-bounded check is the verifier's job,
-               not the linter's. Guards that are definitely taken are
-               errors outright. *)
+               integer comparison it is built from has finite bounds
+               under the *plain* intraprocedural state — interprocedural
+               summaries bound call results too, which would misread a
+               symbolic-input-bounded check as constant data; those are
+               the verifier's job, not the linter's). Guards that are
+               definitely taken are errors outright. *)
             (match b.Instr.term with
             | Instr.Cond_br (c, l1, l2) ->
                 let edges =
                   [ (true, l1); (false, l2) ]
                   |> List.filter (fun (_, t) -> is_panic t)
+                in
+                let plain_state =
+                  match plain with
+                  | None -> Some s
+                  | Some (pf : func_facts) -> (
+                      match Hashtbl.find_opt pf.ff_in l with
+                      | Some (St ps) ->
+                          Some (transfer_insns pf.ff_ctx ps b.Instr.insns)
+                      | Some Bot | None -> None)
                 in
                 List.iter
                   (fun (truth, target) ->
@@ -1323,13 +2369,16 @@ module Lint = struct
                       in
                       let leaves = icmp_leaves ctx.defs c in
                       let finite_leaves =
-                        leaves <> []
-                        && List.for_all
-                             (fun (_, ty, a, b) ->
-                               ty = Ty.I64
-                               && Interval.finite (interval_of s a)
-                               && Interval.finite (interval_of s b))
-                             leaves
+                        match plain_state with
+                        | None -> false
+                        | Some ps ->
+                            leaves <> []
+                            && List.for_all
+                                 (fun (_, ty, a, b) ->
+                                   ty = Ty.I64
+                                   && Interval.finite (interval_of ps a)
+                                   && Interval.finite (interval_of ps b))
+                                 leaves
                       in
                       if definite then
                         report "reachable-panic" Error l (-1)
@@ -1350,14 +2399,46 @@ module Lint = struct
       f.Instr.blocks;
     List.rev !findings
 
-  let run (prog : Instr.program) : finding list =
-    let summary = summarize prog in
-    List.concat_map
-      (fun (f : Instr.func) ->
-        match Hashtbl.find_opt summary f.Instr.fn_name with
-        | Some ff -> lint_func ff
-        | None -> [])
-      prog.Instr.funcs
+  (* [entries] — when given, functions unreachable through call edges
+     from any entry are reported (the dead-callee class). Left off for
+     library-style programs where every function is a potential entry. *)
+  let run ?env ?entries (prog : Instr.program) : finding list =
+    let summary = summarize ?env prog in
+    let per_fn =
+      List.concat_map
+        (fun (f : Instr.func) ->
+          match Hashtbl.find_opt summary.sm_facts f.Instr.fn_name with
+          | Some ff ->
+              lint_func
+                ?plain:(Hashtbl.find_opt summary.sm_plain f.Instr.fn_name)
+                (Lazy.force ff)
+          | None -> [])
+        prog.Instr.funcs
+    in
+    let dead_callees =
+      match entries with
+      | None -> []
+      | Some es ->
+          let reach = Callgraph.reachable_from summary.sm_cg es in
+          List.filter_map
+            (fun (f : Instr.func) ->
+              if Callgraph.SSet.mem f.Instr.fn_name reach then None
+              else
+                Some
+                  {
+                    rule = "dead-callee";
+                    severity = Warning;
+                    fn = f.Instr.fn_name;
+                    block = f.Instr.entry;
+                    index = -1;
+                    message =
+                      Printf.sprintf
+                        "function %s is unreachable from every engine entry"
+                        f.Instr.fn_name;
+                  })
+            prog.Instr.funcs
+    in
+    per_fn @ dead_callees
 
   (* ---------------------------------------------------------------- *)
   (* Rendering                                                        *)

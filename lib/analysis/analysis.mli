@@ -12,6 +12,7 @@
 module Instr = Minir.Instr
 module Ty = Minir.Ty
 module Value = Minir.Value
+module Callgraph = Minir.Callgraph
 
 (* How the symbolic executor treats analysis facts. [Trust] prunes
    statically-dead edges without consulting the solver; [Distrust]
@@ -57,9 +58,84 @@ end
 type aval = AInt of Interval.t | ABool of Tribool.t | APtr of Nullness.t | ATop
 
 val a_join : aval -> aval -> aval
+
+(* Sound meet for two covers of the same outcome: an empty
+   intersection keeps the left side rather than introduce ⊥. *)
+val a_meet : aval -> aval -> aval
+
+(* Do the two avals intersect at all? (The lint-side emptiness test.) *)
+val a_compatible : aval -> aval -> bool
 val top_of_ty : Ty.t -> aval
 val default_of_ty : Ty.t -> aval
 val pp_aval : Format.formatter -> aval -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Relational function summaries                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Computed bottom-up over the call-graph SCC condensation with all
+   parameters at ⊤, so every component is sound for arbitrary calls:
+   [rs_ret] covers any normally-returned value, [rs_rel] lists
+   difference bounds [ret - arg_i ∈ itv] valid at every normal return,
+   [rs_pre] is a *necessary* per-argument condition for normal return
+   (lint-only — never used to refine caller state), [rs_pure] means no
+   caller-visible store (transitively), and [rs_may_panic] /
+   [rs_returns] expose exit reachability. *)
+type rsummary = {
+  rs_fn : string;
+  rs_params : (string * Ty.t) list;
+  rs_ret_ty : Ty.t option;
+  rs_ret : aval;
+  rs_rel : (int * Interval.t) list;
+  rs_pre : (int * aval) list;
+  rs_pure : bool;
+  rs_may_panic : bool;
+  rs_returns : bool;
+}
+
+val havoc_rsummary : Instr.func -> rsummary
+
+(* Signature/shape agreement between a (possibly store-loaded) summary
+   and the live function; summaries failing this are never trusted. *)
+val rsummary_matches : Instr.func -> rsummary -> bool
+
+(* Persistence hooks installed by the store layer (which owns the
+   cone-fingerprint keying): [ipp_load fn] may serve a cached summary,
+   [ipp_save fn rs] records a freshly computed one. [envfp] digests the
+   filtered field invariants in effect — part of the key, because a
+   store edit anywhere in the program can change a summary without
+   touching that function's call cone. *)
+type ip_persist = {
+  ipp_load : envfp:string -> string -> rsummary option;
+  ipp_save : envfp:string -> string -> rsummary -> unit;
+}
+
+val set_ip_persist : ip_persist option -> unit
+val ip_persist_installed : unit -> ip_persist option
+
+(* ------------------------------------------------------------------ *)
+(* Analysis environments                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Harness-supplied facts, all optional — [summarize] without an env is
+   sound for any entry into any function. [env_roots] are the functions
+   the harness may call directly (every non-root's parameters narrow to
+   the join of syntactic call-site arguments); [env_entry] gives
+   per-root argument facts (parameter index ↦ aval) the harness
+   enforces; [env_fields] declares struct-field invariants of the
+   harness-built heap, re-verified against the program by
+   [field_invariants_filter] before use. *)
+type env = {
+  env_roots : string list;
+  env_entry : (string * (int * aval) list) list;
+  env_fields : (string * int * aval) list;
+}
+
+(* Drop declared field invariants the program could invalidate: kept
+   invariants admit the zero value (covers freshly-allocated objects)
+   and provably have no store targeting their cell anywhere. *)
+val field_invariants_filter :
+  Instr.program -> (string * int * aval) list -> (string * int * aval) list
 
 module Env : Map.S with type key = string
 module SSet : Set.S with type elt = string
@@ -73,6 +149,9 @@ type st = {
 
 type state = Bot | St of st
 
+(* Transitively write-free functions (no store through a non-local
+   pointer, no opaque store, no call to an unknown or impure callee). *)
+val pure_set : Instr.program -> Callgraph.t -> SSet.t
 val state_join : state -> state -> state
 val state_equal : state -> state -> bool
 val state_is_bottom : state -> bool
@@ -101,23 +180,44 @@ end
 type edge_fact = { then_dead : bool; else_dead : bool }
 
 (* Precomputed per-[Cond_br] record: the edge fact plus whether either
-   successor block panics. One hash-table probe on the executor's
+   successor block panics, plus whether the interprocedural layer
+   (summaries / environment) added dead-edge knowledge the plain
+   intraprocedural pass lacked. One hash-table probe on the executor's
    hottest path. *)
-type branch_info = { bi_fact : edge_fact; bi_guards_panic : bool }
+type branch_info = {
+  bi_fact : edge_fact;
+  bi_guards_panic : bool;
+  bi_interproc : bool;
+}
 
 type func_facts
 type summary
 
-(* Analyze every function; one [analyze] trace span per function. *)
-val analyze : Instr.program -> summary
+(* Analyze every function: bottom-up relational summaries (persisted
+   through [ip_persist] when installed), then per-function fixpoints
+   with summaries applied at call sites; with an [env], a context
+   fixpoint additionally narrows non-root parameters. One [analyze]
+   trace span per function fixpoint. *)
+val analyze : ?env:env -> Instr.program -> summary
 
 (* Domain-local memoized [analyze], keyed on the program's physical
-   identity (the version compile memo yields one program value per
-   domain, so re-verification never re-analyzes). *)
-val summarize : Instr.program -> summary
+   identity plus the structural env (the version compile memo yields
+   one program value per domain, so re-verification never
+   re-analyzes). *)
+val summarize : ?env:env -> Instr.program -> summary
 val clear_memo : unit -> unit
 
 val func_facts : summary -> string -> func_facts option
+
+(* The converged summary of one function, if defined. *)
+val rsummary_of : summary -> string -> rsummary option
+val callgraph : summary -> Callgraph.t
+
+(* (hits, misses) of the persistence hook during this analysis. *)
+val store_traffic : summary -> int * int
+
+(* Aggregate counters for `dnsv lint --json` / CI stats upload. *)
+val interproc_stats : summary -> (string * int) list
 
 (* Fact for the branch terminating [block], matched by physical
    identity — callers must pass a block of the analyzed program value. *)
@@ -155,8 +255,11 @@ module Lint : sig
     message : string;
   }
 
-  (* Deterministic (program-order) findings over every function. *)
-  val run : Instr.program -> finding list
+  (* Deterministic (program-order) findings over every function.
+     [entries] switches on the dead-callee class (functions
+     unreachable from every listed entry); [env] sharpens the facts
+     the value-flow rules see. *)
+  val run : ?env:env -> ?entries:string list -> Instr.program -> finding list
 
   val counts : finding list -> int * int * int (* errors, warnings, infos *)
   val pp_finding : Format.formatter -> finding -> unit

@@ -254,7 +254,7 @@ let report_key ~prog ~zone ~budget ~qtype ~mode ~analysis ~retries ~escalation
   Store.derived_key ~prefix:"R"
     ~parts:
       [
-        "report-v1";
+        "report-v2";
         Store.Fingerprint.cone_fp prog "resolve";
         zone_fp zone;
         Rr.rtype_to_string qtype;
@@ -272,6 +272,7 @@ let report_payload (r : Check.report) (nretries : int) : string =
   Store.Codec.wint b r.Check.pairs_checked;
   Store.Codec.wint b r.Check.solver_calls;
   Store.Codec.wint b r.Check.static_discharged;
+  Store.Codec.wint b r.Check.ip_discharged;
   Store.Codec.wint b r.Check.cert_checks;
   Buffer.add_char b (if r.Check.stateless then '1' else '0');
   Buffer.add_char b (if r.Check.summary_fallback then '1' else '0');
@@ -299,6 +300,7 @@ let report_of_payload ~version ~qtype payload : (Check.report * int) option =
     let pairs_checked = C.rint r in
     let solver_calls = C.rint r in
     let static_discharged = C.rint r in
+    let ip_discharged = C.rint r in
     let cert_checks = C.rint r in
     let stateless = rbool r in
     let summary_fallback = rbool r in
@@ -319,6 +321,7 @@ let report_of_payload ~version ~qtype payload : (Check.report * int) option =
         pairs_checked;
         solver_calls;
         static_discharged;
+        ip_discharged;
         unknowns = 0;
         cert_checks;
         cert_failures = 0;
@@ -390,14 +393,26 @@ let verify ?(qtypes = all_qtypes) ?(mode = Check.With_summaries)
    limit "budget.paths" budget.Budget.max_paths;
    limit "budget.fuel" budget.Budget.max_fuel);
   let with_store f =
-    match store with Some st -> Store.with_solver st f | None -> f ()
+    match store with
+    | None -> f ()
+    | Some st -> (
+        Store.with_solver st @@ fun () ->
+        (* Persist interprocedural summaries too — but only when the
+           version compiles, so there is a program to fingerprint
+           cones against. *)
+        match Versions.compiled cfg with
+        | exception _ -> f ()
+        | prog ->
+            Store.with_analysis st
+              ~cone_of:(fun fn -> Store.Fingerprint.cone_fp prog fn)
+              f)
   in
   with_store @@ fun () ->
   let layer_reports =
     if not check_layers then []
     else
       match Versions.compiled cfg with
-      | prog -> Layers.check_all ~zone ~budget ?store prog
+      | prog -> Layers.check_all ~zone ~budget ?store ~analysis prog
       | exception e ->
           (* The version failed to compile: one synthetic inconclusive
              layer report carries the reason, engine checks still run

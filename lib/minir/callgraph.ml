@@ -1,0 +1,146 @@
+(* Call graph over a Minir program: per-function callee sets
+   ([Instr.Call] and [Instr.Call_void] sites, including ones in blocks
+   the CFG cannot reach — purity and escape reasoning must cover any
+   instruction the executor could in principle touch), Tarjan SCC
+   condensation, and a bottom-up traversal order.
+
+   Callees that have no definition in the program (externs, typos in
+   hand-built IR) are kept in the callee lists — consumers decide how
+   to havoc them — but never appear in the SCC decomposition, which
+   covers defined functions only. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+let callees_of_func (f : Instr.func) : string list =
+  let acc = ref SSet.empty in
+  List.iter
+    (fun (_, (b : Instr.block)) ->
+      List.iter
+        (fun (i : Instr.instr) ->
+          match i with
+          | Instr.Assign (_, Instr.Call (name, _)) | Instr.Call_void (name, _)
+            ->
+              acc := SSet.add name !acc
+          | Instr.Assign (_, _) | Instr.Store _ | Instr.Opaque_store _ -> ())
+        b.Instr.insns)
+    f.Instr.blocks;
+  SSet.elements !acc
+
+type t = {
+  defined : SSet.t;
+  callees : string list SMap.t; (* every call target, defined or not *)
+  callers : string list SMap.t; (* defined callers of each defined callee *)
+  sccs : string list list; (* bottom-up: callees before callers *)
+}
+
+let callees (g : t) fn =
+  match SMap.find_opt fn g.callees with Some cs -> cs | None -> []
+
+let callers (g : t) fn =
+  match SMap.find_opt fn g.callers with Some cs -> cs | None -> []
+
+let is_defined (g : t) fn = SSet.mem fn g.defined
+let sccs (g : t) = g.sccs
+
+(* Does [fn] (transitively) call itself? True for every member of a
+   multi-function SCC and for direct self-recursion. *)
+let in_cycle (g : t) fn =
+  List.exists
+    (function
+      | [ one ] ->
+          String.equal one fn
+          && List.exists (String.equal fn) (callees g fn)
+      | many -> List.exists (String.equal fn) many)
+    g.sccs
+
+let build (p : Instr.program) : t =
+  let defined =
+    List.fold_left
+      (fun s (f : Instr.func) -> SSet.add f.Instr.fn_name s)
+      SSet.empty p.Instr.funcs
+  in
+  let callees =
+    List.fold_left
+      (fun m (f : Instr.func) ->
+        SMap.add f.Instr.fn_name (callees_of_func f) m)
+      SMap.empty p.Instr.funcs
+  in
+  let callers =
+    SMap.fold
+      (fun caller cs m ->
+        List.fold_left
+          (fun m callee ->
+            if SSet.mem callee defined then
+              SMap.update callee
+                (function
+                  | Some l -> Some (caller :: l) | None -> Some [ caller ])
+                m
+            else m)
+          m cs)
+      callees SMap.empty
+  in
+  (* Tarjan. Recursion depth is bounded by the number of defined
+     functions, fine for the program sizes Minir carries. SCCs pop in
+     reverse-topological order of the condensation — every SCC
+     completes after all SCCs it reaches — so the emission order is
+     already bottom-up (callees first). *)
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let out = ref [] in
+  let defined_callees fn =
+    List.filter (fun c -> SSet.mem c defined)
+      (match SMap.find_opt fn callees with Some cs -> cs | None -> [])
+  in
+  let rec strongconnect v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace lowlink v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (defined_callees v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter
+    (fun (f : Instr.func) ->
+      if not (Hashtbl.mem index f.Instr.fn_name) then
+        strongconnect f.Instr.fn_name)
+    p.Instr.funcs;
+  { defined; callees; callers; sccs = List.rev !out }
+
+(* Functions reachable (transitively, through call edges) from any of
+   [entries]; entries missing from the program are ignored. Used by the
+   dead-callee lint. *)
+let reachable_from (g : t) (entries : string list) : SSet.t =
+  let seen = ref SSet.empty in
+  let rec go fn =
+    if SSet.mem fn g.defined && not (SSet.mem fn !seen) then begin
+      seen := SSet.add fn !seen;
+      List.iter go (callees g fn)
+    end
+  in
+  List.iter go entries;
+  !seen

@@ -1,0 +1,35 @@
+(** Call graph over a Minir program: callee/caller maps, Tarjan SCC
+    condensation in bottom-up (callee-first) order, and entry-point
+    reachability. Undefined call targets (externs) appear in callee
+    lists but never in the SCC decomposition. *)
+
+module SMap : Map.S with type key = string
+module SSet : Set.S with type elt = string
+
+type t
+
+(** All call targets of one function, deduplicated and sorted, drawn
+    from every block (reachable or not). *)
+val callees_of_func : Instr.func -> string list
+
+val build : Instr.program -> t
+
+(** Call targets of [fn] (defined or not); [] for an unknown [fn]. *)
+val callees : t -> string -> string list
+
+(** Defined callers of a defined function. *)
+val callers : t -> string -> string list
+
+val is_defined : t -> string -> bool
+
+(** Bottom-up SCC list: every SCC appears after the SCCs it calls into.
+    Singleton SCCs may or may not be self-recursive — see [in_cycle]. *)
+val sccs : t -> string list list
+
+(** [fn] participates in a call cycle (member of a multi-function SCC,
+    or calls itself directly). *)
+val in_cycle : t -> string -> bool
+
+(** Functions transitively reachable through call edges from any entry
+    in the list (entries themselves included when defined). *)
+val reachable_from : t -> string list -> SSet.t

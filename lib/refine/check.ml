@@ -50,6 +50,8 @@ type report = {
   pairs_checked : int;
   solver_calls : int;
   static_discharged : int; (* branches pruned by the static analysis *)
+  ip_discharged : int;
+      (* ... of which only the interprocedural layer could justify *)
   unknowns : int; (* solver Unknowns this check leaned on *)
   cert_checks : int; (* verdict certificates validated *)
   cert_failures : int; (* certificates rejected (answers degraded) *)
@@ -100,6 +102,7 @@ let inconclusive_report ?(summary_fallback = false) ?(cert_checks = 0)
     pairs_checked = 0;
     solver_calls = 0;
     static_discharged = 0;
+    ip_discharged = 0;
     unknowns = 0;
     cert_checks;
     cert_failures;
@@ -125,6 +128,57 @@ let () = Cert.install ()
 let qname_cells () =
   Sval.CArray (Array.init Layout.max_labels (fun j -> Sval.CInt (Specsym.qsym_label j)))
 
+(* ------------------------------------------------------------------ *)
+(* The engine's analysis environment                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* What this harness (and every other caller of the compiled engine —
+   the pipeline, the lint CLI, the chaos soak) guarantees about its
+   top-level calls into the program, handed to [Analysis.summarize]:
+
+   - root: `resolve` — the only function the harness enters directly,
+     so every other function's parameters may soundly be narrowed to
+     the join of its in-program call sites.
+   - entry facts for `resolve`: [run_engine] always passes non-nil
+     root/resp/qname pointers, a query length within the name-array
+     capacity ([Specsym.domain_constraints]), and a one-byte rtype code.
+   - field invariants of the encoded domain tree: [Encode.encode]
+     rejects inputs exceeding the Layout capacities, and the engine
+     never stores into tree structs (statelessness is itself checked
+     per run). [Analysis.field_invariants_filter] re-verifies the
+     no-store half against each program before any use.
+
+   This env is sound ONLY for runs entering `resolve` on the real
+   encoded heap; [Summary.summarize_at]'s canonicalized re-runs of
+   intercepted layers pass [Exec.run] their own per-window env built
+   from the canonical arguments — [Exec.run] selects per entry. *)
+let engine_env () : Analysis.env =
+  let itv lo hi =
+    Analysis.AInt (Analysis.Interval.I (Some lo, Some hi))
+  in
+  let fidx = Layout.field_index in
+  {
+    Analysis.env_roots = [ "resolve" ];
+    env_entry =
+      [
+        ( "resolve",
+          [
+            (0, Analysis.APtr Analysis.Nullness.NNot);
+            (1, Analysis.APtr Analysis.Nullness.NNot);
+            (2, Analysis.APtr Analysis.Nullness.NNot);
+            (3, itv 0 Layout.max_labels);
+            (4, itv 0 255);
+          ] );
+      ];
+    env_fields =
+      [
+        ("TreeNode", fidx "TreeNode" "labelsLen", itv 0 Layout.max_labels);
+        ("TreeNode", fidx "TreeNode" "nsets", itv 0 Layout.max_rrsets);
+        ("RRSet", fidx "RRSet" "count", itv 0 Layout.max_rdatas);
+        ("Rdata", fidx "Rdata" "targetLen", itv 0 Layout.max_labels);
+      ];
+  }
+
 type harness = {
   exec_ctx : Exec.ctx;
   resp_ptr : Value.ptr;
@@ -134,7 +188,8 @@ type harness = {
 }
 
 let prepare ?store ?budget ?(analysis = Analysis.Trust)
-    (prog : Minir.Instr.program) (enc : Encode.t) (mode : mode) : harness =
+    ?(env = engine_env ()) (prog : Minir.Instr.program) (enc : Encode.t)
+    (mode : mode) : harness =
   let frozen_below = enc.Encode.memory.Value.next_block in
   let store =
     match store with Some s -> s | None -> Summary.create_store ()
@@ -149,7 +204,7 @@ let prepare ?store ?budget ?(analysis = Analysis.Trust)
             else Some (fn, Summary.intercept_for ~frozen_below store fn))
           Engine.Builder.summarized_layers
   in
-  let exec_ctx = Exec.create ?budget ~intercepts ~analysis prog in
+  let exec_ctx = Exec.create ?budget ~intercepts ~analysis ~env prog in
   let mem0 = Sval.memory_of_concrete enc.Encode.memory in
   let mem0, resp_ptr =
     Sval.alloc mem0
@@ -552,6 +607,7 @@ let check_version_attempt ~(budget : Budget.t) ~(mode : mode)
     pairs_checked = !pairs;
     solver_calls = h.exec_ctx.Exec.solver_calls + spec_solver_calls;
     static_discharged = h.exec_ctx.Exec.static_discharged;
+    ip_discharged = h.exec_ctx.Exec.ip_discharged;
     (* Global since reset above: covers Unknown-as-feasible branches in
        the executor *and* Unknown-validity entailments in check_eq. *)
     unknowns = (Solver.stats ()).Solver.unknowns;

@@ -43,6 +43,7 @@ type report = {
   pairs_checked : int;
   solver_calls : int;
   static_discharged : int; (* branches pruned by the static analysis *)
+  ip_discharged : int; (* ... justified only by the interprocedural layer *)
   unknowns : int; (* solver Unknowns this check leaned on *)
   cert_checks : int; (* verdict certificates validated *)
   cert_failures : int; (* certificates rejected (answers degraded) *)
@@ -75,6 +76,14 @@ val inconclusive_report :
   version:string ->
   qtype:Rr.rtype -> elapsed:float -> Budget.reason -> report
 val qname_cells : unit -> Sval.scell
+
+(* The analysis environment every harness calling the compiled engine
+   provides for runs entering `resolve`: entry-argument facts and
+   Layout-capacity field invariants of the encoded tree (re-verified
+   against each program by the analysis before use). Runs entering
+   anything else fall back to the env-free analysis or, for the
+   summarizer's canonicalized windows, a per-window env. *)
+val engine_env : unit -> Analysis.env
 type harness = {
   exec_ctx : Exec.ctx;
   resp_ptr : Value.ptr;
@@ -86,6 +95,7 @@ val prepare :
   ?store:Summary.store ->
   ?budget:Budget.t ->
   ?analysis:Analysis.policy ->
+  ?env:Analysis.env ->
   Minir.Instr.program -> Encode.t -> mode -> harness
 val run_engine : harness -> Encode.t -> qtype:Rr.rtype -> Exec.result
 type slot = {

@@ -18,6 +18,7 @@ module Proof = Smt.Proof
 module Sval = Symex.Sval
 module Summary = Symex.Summary
 module Value = Minir.Value
+module Ty = Minir.Ty
 
 exception Bad of string
 
@@ -461,6 +462,199 @@ let summary_to_string (s : Summary.t) : string =
           wstr b msg)
     s.Summary.cases;
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Relational function summaries (the analysis layer's "A|" entries)  *)
+(* ------------------------------------------------------------------ *)
+
+let rec wty b (t : Ty.t) =
+  match t with
+  | Ty.I1 -> Buffer.add_char b '1'
+  | Ty.I64 -> Buffer.add_char b '8'
+  | Ty.Opaque_ptr -> Buffer.add_char b 'O'
+  | Ty.Ptr t ->
+      Buffer.add_char b 'P';
+      wty b t
+  | Ty.Struct name ->
+      Buffer.add_char b 'S';
+      wstr b name
+  | Ty.Array (t, n) ->
+      Buffer.add_char b 'A';
+      wint b n;
+      wty b t
+
+let rec rty r : Ty.t =
+  match rbyte r with
+  | '1' -> Ty.I1
+  | '8' -> Ty.I64
+  | 'O' -> Ty.Opaque_ptr
+  | 'P' -> Ty.Ptr (rty r)
+  | 'S' -> Ty.Struct (rstr r)
+  | 'A' ->
+      let n = rint r in
+      if n < 0 || n > 1_000_000 then bad "bad array size %d" n;
+      Ty.Array (rty r, n)
+  | c -> bad "bad type tag %C" c
+
+let wbound b = function
+  | None -> Buffer.add_char b 'n'
+  | Some v ->
+      Buffer.add_char b 's';
+      wint b v
+
+let rbound r =
+  match rbyte r with
+  | 'n' -> None
+  | 's' -> Some (rint r)
+  | c -> bad "bad bound tag %C" c
+
+let winterval b (itv : Analysis.Interval.t) =
+  match itv with
+  | Analysis.Interval.Bot -> Buffer.add_char b 'B'
+  | Analysis.Interval.I (lo, hi) ->
+      Buffer.add_char b 'I';
+      wbound b lo;
+      wbound b hi
+
+let rinterval r : Analysis.Interval.t =
+  match rbyte r with
+  | 'B' -> Analysis.Interval.Bot
+  | 'I' ->
+      let lo = rbound r in
+      Analysis.Interval.I (lo, rbound r)
+  | c -> bad "bad interval tag %C" c
+
+let waval b (a : Analysis.aval) =
+  match a with
+  | Analysis.ATop -> Buffer.add_char b 'T'
+  | Analysis.AInt itv ->
+      Buffer.add_char b 'i';
+      winterval b itv
+  | Analysis.ABool t ->
+      Buffer.add_char b 'b';
+      Buffer.add_char b
+        (match t with
+        | Analysis.Tribool.TBot -> '0'
+        | Analysis.Tribool.TT -> 't'
+        | Analysis.Tribool.TF -> 'f'
+        | Analysis.Tribool.TTop -> '*')
+  | Analysis.APtr n ->
+      Buffer.add_char b 'p';
+      Buffer.add_char b
+        (match n with
+        | Analysis.Nullness.NBot -> '0'
+        | Analysis.Nullness.NNull -> 'n'
+        | Analysis.Nullness.NNot -> '!'
+        | Analysis.Nullness.NTop -> '*')
+
+let raval r : Analysis.aval =
+  match rbyte r with
+  | 'T' -> Analysis.ATop
+  | 'i' -> Analysis.AInt (rinterval r)
+  | 'b' ->
+      Analysis.ABool
+        (match rbyte r with
+        | '0' -> Analysis.Tribool.TBot
+        | 't' -> Analysis.Tribool.TT
+        | 'f' -> Analysis.Tribool.TF
+        | '*' -> Analysis.Tribool.TTop
+        | c -> bad "bad tribool tag %C" c)
+  | 'p' ->
+      Analysis.APtr
+        (match rbyte r with
+        | '0' -> Analysis.Nullness.NBot
+        | 'n' -> Analysis.Nullness.NNull
+        | '!' -> Analysis.Nullness.NNot
+        | '*' -> Analysis.Nullness.NTop
+        | c -> bad "bad nullness tag %C" c)
+  | c -> bad "bad aval tag %C" c
+
+let wbool b v = Buffer.add_char b (if v then '1' else '0')
+
+let rbool r =
+  match rbyte r with
+  | '1' -> true
+  | '0' -> false
+  | c -> bad "bad bool tag %C" c
+
+let rsummary_to_string (rs : Analysis.rsummary) : string =
+  let b = Buffer.create 256 in
+  wstr b rs.Analysis.rs_fn;
+  wint b (List.length rs.Analysis.rs_params);
+  List.iter
+    (fun (name, ty) ->
+      wstr b name;
+      wty b ty)
+    rs.Analysis.rs_params;
+  (match rs.Analysis.rs_ret_ty with
+  | None -> Buffer.add_char b 'n'
+  | Some t ->
+      Buffer.add_char b 's';
+      wty b t);
+  waval b rs.Analysis.rs_ret;
+  wint b (List.length rs.Analysis.rs_rel);
+  List.iter
+    (fun (i, itv) ->
+      wint b i;
+      winterval b itv)
+    rs.Analysis.rs_rel;
+  wint b (List.length rs.Analysis.rs_pre);
+  List.iter
+    (fun (i, a) ->
+      wint b i;
+      waval b a)
+    rs.Analysis.rs_pre;
+  wbool b rs.Analysis.rs_pure;
+  wbool b rs.Analysis.rs_may_panic;
+  wbool b rs.Analysis.rs_returns;
+  Buffer.contents b
+
+let rsummary_of_string str : Analysis.rsummary =
+  let r = reader str in
+  let rs_fn = rstr r in
+  let nparams = rint r in
+  if nparams < 0 || nparams > 10_000 then bad "bad param count %d" nparams;
+  let rs_params =
+    List.init nparams (fun _ ->
+        let name = rstr r in
+        (name, rty r))
+  in
+  let rs_ret_ty =
+    match rbyte r with
+    | 'n' -> None
+    | 's' -> Some (rty r)
+    | c -> bad "bad ret-ty tag %C" c
+  in
+  let rs_ret = raval r in
+  let nrel = rint r in
+  if nrel < 0 || nrel > 10_000 then bad "bad rel count %d" nrel;
+  let rs_rel =
+    List.init nrel (fun _ ->
+        let i = rint r in
+        (i, rinterval r))
+  in
+  let npre = rint r in
+  if npre < 0 || npre > 10_000 then bad "bad pre count %d" npre;
+  let rs_pre =
+    List.init npre (fun _ ->
+        let i = rint r in
+        (i, raval r))
+  in
+  let rs_pure = rbool r in
+  let rs_may_panic = rbool r in
+  let rs_returns = rbool r in
+  if not (at_end r) then bad "trailing bytes after rsummary";
+  {
+    Analysis.rs_fn;
+    rs_params;
+    rs_ret_ty;
+    rs_ret;
+    rs_rel;
+    rs_pre;
+    rs_pure;
+    rs_may_panic;
+    rs_returns;
+  }
 
 let summary_of_string str : Summary.t =
   let r = reader str in

@@ -36,3 +36,7 @@ val proof_of_string : string -> Smt.Proof.t
 
 val summary_to_string : Symex.Summary.t -> string
 val summary_of_string : string -> Symex.Summary.t
+
+(* Relational function summaries (the "A|" analysis entries). *)
+val rsummary_to_string : Analysis.rsummary -> string
+val rsummary_of_string : string -> Analysis.rsummary

@@ -511,6 +511,55 @@ let summary_persist st ~cone_of ~tag : Summary.persist =
   { Summary.sp_load; sp_save }
 
 (* ------------------------------------------------------------------ *)
+(* The interprocedural-analysis hook                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Relational function summaries ("A|" entries). Keyed by the cone
+   fingerprint of the summarized function — alpha-equivalent functions
+   share, any call-cone edit invalidates exactly its dependents — plus
+   a digest of the environment fingerprint (the filtered field
+   invariants the analysis ran under: a store added *anywhere* can drop
+   an invariant and change a summary without touching this cone). *)
+let analysis_key ~cone ~envfp : string =
+  "A|" ^ cone ^ "|" ^ md5 ("ipsum-v1\x00" ^ envfp)
+
+(* Same serve-nothing-unverifiable discipline as the other hooks: a
+   loaded summary must decode, name the requested function, and match
+   its live signature (checked by the analysis via
+   [Analysis.rsummary_matches] after load) — anything else is evicted
+   as a certificate failure and recomputed, never trusted. *)
+let analysis_persist st ~cone_of : Analysis.ip_persist =
+  let ipp_load ~envfp fn =
+    let akey = analysis_key ~cone:(cone_of fn) ~envfp in
+    match find st akey with
+    | None -> None
+    | Some payload -> (
+        let fail why =
+          evict ~cert_failure:true st akey;
+          Trace.event "store.invalid" ~attrs:[ ("key", akey); ("why", why) ];
+          None
+        in
+        match Codec.rsummary_of_string payload with
+        | exception Codec.Bad why -> fail why
+        | rs ->
+            if rs.Analysis.rs_fn <> fn then
+              fail "rsummary names another function"
+            else Some rs)
+  in
+  let ipp_save ~envfp fn rs =
+    add st (analysis_key ~cone:(cone_of fn) ~envfp)
+      (Codec.rsummary_to_string rs)
+  in
+  { Analysis.ipp_load; ipp_save }
+
+(* Install the analysis hook around [f], restoring the previous hook
+   (nesting-safe, same shape as [with_solver]). *)
+let with_analysis st ~cone_of f =
+  let prev = Analysis.ip_persist_installed () in
+  Analysis.set_ip_persist (Some (analysis_persist st ~cone_of));
+  Fun.protect ~finally:(fun () -> Analysis.set_ip_persist prev) f
+
+(* ------------------------------------------------------------------ *)
 (* Offline tools: stat and fsck                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -585,6 +634,10 @@ let default_check ~key ~payload : (unit, string) result =
         match Codec.summary_of_string payload with
         | s -> Summary.validate s
         | exception Codec.Bad why -> Error why)
+    | 'A' -> (
+        match Codec.rsummary_of_string payload with
+        | _ -> Ok ()
+        | exception Codec.Bad why -> Error why)
     | _ -> Ok ()
   else Error "malformed key"
 
@@ -647,6 +700,7 @@ let pp_stat ppf (s : stat_report) =
                 match p with
                 | "S" -> "solver"
                 | "M" -> "summary"
+                | "A" -> "analysis"
                 | "L" -> "layer"
                 | "R" -> "report"
                 | _ -> p

@@ -56,6 +56,11 @@ val solver_key : Smt.Term.t list -> string
 val summary_key : cone:string -> tag:string -> shape:string -> string
 val derived_key : prefix:string -> parts:string list -> string
 
+(* Interprocedural-analysis entries ("A|"): the summarized function's
+   cone fingerprint plus a digest of the environment fingerprint (the
+   filtered field invariants the analysis ran under). *)
+val analysis_key : cone:string -> envfp:string -> string
+
 (* The Smt.Solver persistence hook over this store. Serves nothing
    unless certification is on and a validator is installed; everything
    served was validated here (and is validated again by the solver's
@@ -70,6 +75,15 @@ val with_solver : t -> (unit -> 'a) -> 'a
    analysis policy). *)
 val summary_persist :
   t -> cone_of:(string -> string) -> tag:string -> Symex.Summary.persist
+
+(* The Analysis relational-summary persistence hook over "A|" entries:
+   decoded entries that fail to parse or name another function are
+   evicted as certificate failures and recomputed, never trusted (the
+   analysis additionally rejects signature mismatches after load).
+   [with_analysis] installs it around [f], restoring the previous
+   hook. *)
+val analysis_persist : t -> cone_of:(string -> string) -> Analysis.ip_persist
+val with_analysis : t -> cone_of:(string -> string) -> (unit -> 'a) -> 'a
 
 (* Drop this domain's parsed-entry memos (bench/test isolation; also
    done by [open_] and [close]). *)

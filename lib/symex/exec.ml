@@ -33,6 +33,18 @@ type ctx = {
          one literal instead of re-translating the whole conjunction *)
   analysis : Analysis.policy;
       (* whether branch queries consult the static analysis first *)
+  env : Analysis.env option;
+      (* harness facts (roots/entry args/field invariants) forwarded to
+         [Analysis.summarize] — None analyzes for arbitrary entries.
+         Sound ONLY for runs entering one of its [env_roots]: the
+         harness vouches for the entry facts and the heap invariants
+         of those entries alone. A run entering any other function
+         falls back to the env-free analysis, unless the caller of
+         [run] supplies its own vouched-for env (the summarizer's
+         canonicalized window re-runs do). *)
+  mutable active_env : Analysis.env option;
+      (* the env of the innermost live [run]; selects the fact tables
+         the branch oracle consults *)
   mutable facts : Analysis.summary option; (* computed on first branch *)
   mutable fn_facts : (Instr.func * Analysis.func_facts option) option;
       (* one-entry cache keyed by physical function identity: branch
@@ -49,6 +61,11 @@ type ctx = {
   mutable panic_checks : int; (* symbolic branches guarding a Panic block *)
   mutable panic_discharged : int; (* ... of which statically pruned *)
   mutable crosscheck_mismatches : int; (* Distrust: solver disagreed *)
+  mutable ip_discharged : int;
+      (* ... of [static_discharged], prunes only the interprocedural
+         layer (summaries / env) could justify *)
+  mutable ip_crosschecked : int; (* Distrust: interprocedural claims checked *)
+  mutable ip_crosscheck_mismatches : int; (* ... of which refuted *)
 }
 
 and intercept = ctx -> path -> Sval.sval list -> result
@@ -62,9 +79,14 @@ let m_panic_checks = Trace.Metrics.counter "analysis.panic_checks"
 let m_panic_discharged = Trace.Metrics.counter "analysis.panic_discharged"
 let m_crosscheck_pass = Trace.Metrics.counter "analysis.crosscheck_pass"
 let m_crosscheck_mismatch = Trace.Metrics.counter "analysis.crosscheck_mismatch"
+let m_ip_discharged = Trace.Metrics.counter "analysis.ip_discharged"
+let m_ip_crosscheck = Trace.Metrics.counter "analysis.ip_crosscheck"
+
+let m_ip_crosscheck_mismatch =
+  Trace.Metrics.counter "analysis.ip_crosscheck_mismatch"
 
 let create ?(max_steps = default_max_steps) ?budget ?(intercepts = [])
-    ?(analysis = Analysis.Off) prog =
+    ?(analysis = Analysis.Off) ?env prog =
   {
     prog;
     intercepts;
@@ -76,6 +98,8 @@ let create ?(max_steps = default_max_steps) ?budget ?(intercepts = [])
     unknowns = 0;
     incr = Solver.Incremental.create ();
     analysis;
+    env;
+    active_env = env;
     facts = None;
     fn_facts = None;
     br_cache = Array.make 8 None;
@@ -84,6 +108,9 @@ let create ?(max_steps = default_max_steps) ?budget ?(intercepts = [])
     panic_checks = 0;
     panic_discharged = 0;
     crosscheck_mismatches = 0;
+    ip_discharged = 0;
+    ip_crosschecked = 0;
+    ip_crosscheck_mismatches = 0;
   }
 
 let tick ctx =
@@ -169,9 +196,30 @@ let facts_for ctx =
   match ctx.facts with
   | Some s -> s
   | None ->
-      let s = Analysis.summarize ctx.prog in
+      let s = Analysis.summarize ?env:ctx.active_env ctx.prog in
       ctx.facts <- Some s;
       s
+
+(* Switch the branch oracle to the fact tables of [e], flushing the
+   physical-identity caches (both analyses walk the same program value,
+   so a stale entry would silently serve the other env's facts). *)
+let set_active_env ctx (e : Analysis.env option) =
+  if not (ctx.active_env == e) then begin
+    ctx.active_env <- e;
+    ctx.facts <- None;
+    ctx.fn_facts <- None;
+    Array.fill ctx.br_cache 0 (Array.length ctx.br_cache) None;
+    ctx.br_cache_next <- 0
+  end
+
+(* The env whose soundness contract covers a run entering [fn]: the
+   harness env if [fn] is one of its declared roots, the env-free
+   analysis otherwise — the harness vouches for nothing about entries
+   it never declared. *)
+let env_for_entry ctx (fn : string) : Analysis.env option =
+  match ctx.env with
+  | Some e when List.mem fn e.Analysis.env_roots -> ctx.env
+  | _ -> None
 
 (* Per-function facts behind a one-entry physical-identity cache: the
    executor stays inside one function for long runs of branches, and
@@ -244,9 +292,16 @@ let fork_branch ctx (path : path) (f : Instr.func) (b : Instr.block)
           (then_dead, else_dead)
       | None -> (false, false)
     in
+    let interproc =
+      match info with Some i -> i.Analysis.bi_interproc | None -> false
+    in
     let crosscheck ~sat_t ~sat_n =
       (* a dead claim is refuted by that side being (found) feasible *)
       if claim_then_dead || claim_else_dead then begin
+        if interproc then begin
+          ctx.ip_crosschecked <- ctx.ip_crosschecked + 1;
+          Trace.Metrics.incr m_ip_crosscheck
+        end;
         let ok =
           ((not claim_then_dead) || not sat_t)
           && ((not claim_else_dead) || not sat_n)
@@ -256,7 +311,11 @@ let fork_branch ctx (path : path) (f : Instr.func) (b : Instr.block)
           ctx.crosscheck_mismatches <- ctx.crosscheck_mismatches + 1;
           Trace.Metrics.incr m_crosscheck_mismatch;
           Trace.event ~det:false "analysis.crosscheck_mismatch"
-            ~attrs:[ ("fn", f.Instr.fn_name) ]
+            ~attrs:[ ("fn", f.Instr.fn_name) ];
+          if interproc then begin
+            ctx.ip_crosscheck_mismatches <- ctx.ip_crosscheck_mismatches + 1;
+            Trace.Metrics.incr m_ip_crosscheck_mismatch
+          end
         end
       end
     in
@@ -264,6 +323,10 @@ let fork_branch ctx (path : path) (f : Instr.func) (b : Instr.block)
     | Analysis.Trust when claim_then_dead <> claim_else_dead ->
         ctx.static_discharged <- ctx.static_discharged + 1;
         Trace.Metrics.incr m_static_discharged;
+        if interproc then begin
+          ctx.ip_discharged <- ctx.ip_discharged + 1;
+          Trace.Metrics.incr m_ip_discharged
+        end;
         if guards_panic then begin
           ctx.panic_discharged <- ctx.panic_discharged + 1;
           Trace.Metrics.incr m_panic_discharged;
@@ -519,12 +582,26 @@ and eval_rvalue ctx path regs (rv : Instr.rvalue)
 (* Top-level entry: run [fn] on [args] from [memory] under the initial
    path condition [pc]. The ctx's budget also governs every solver call
    made for branch feasibility while the run is in progress. *)
-let run (ctx : ctx) ~(memory : Sval.memory) ~(pc : Term.t list) ~(fn : string)
-    ~(args : Sval.sval list) : result =
+let run ?env_override (ctx : ctx) ~(memory : Sval.memory)
+    ~(pc : Term.t list) ~(fn : string) ~(args : Sval.sval list) : result =
   Trace.with_span "exec" ~attrs:[ ("fn", fn) ] @@ fun () ->
-  let r =
-    Solver.with_budget ctx.budget (fun () ->
-        exec_call ctx { pc; mem = memory } fn args)
-  in
-  Trace.add_attr "paths" (string_of_int (List.length r));
-  r
+  (* Select the env whose soundness contract covers this entry — the
+     caller's own vouched-for env if given (a summarization window),
+     the harness env for its declared roots, the env-free analysis
+     otherwise — and restore the caller's choice on the way out: the
+     summarizer nests [run]s (canonicalized window re-runs) inside a
+     harness run. *)
+  let outer = ctx.active_env in
+  set_active_env ctx
+    (match env_override with
+    | Some e -> Some e
+    | None -> env_for_entry ctx fn);
+  Fun.protect
+    ~finally:(fun () -> set_active_env ctx outer)
+    (fun () ->
+      let r =
+        Solver.with_budget ctx.budget (fun () ->
+            exec_call ctx { pc; mem = memory } fn args)
+      in
+      Trace.add_attr "paths" (string_of_int (List.length r));
+      r)

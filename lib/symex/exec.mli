@@ -29,6 +29,12 @@ type ctx = {
       (* assertion stack mirroring the current path condition *)
   analysis : Analysis.policy;
       (* whether branch queries consult the static analysis first *)
+  env : Analysis.env option;
+      (* harness facts forwarded to [Analysis.summarize]; sound only
+         for runs entering one of its [env_roots] — other entries fall
+         back to the env-free analysis or the [run] caller's override *)
+  mutable active_env : Analysis.env option;
+      (* env of the innermost live [run] *)
   mutable facts : Analysis.summary option;
   mutable fn_facts : (Instr.func * Analysis.func_facts option) option;
       (* one-entry per-function lookup cache (physical identity) *)
@@ -39,6 +45,9 @@ type ctx = {
   mutable panic_checks : int; (* symbolic branches guarding a Panic block *)
   mutable panic_discharged : int; (* ... of which statically pruned *)
   mutable crosscheck_mismatches : int; (* Distrust: solver disagreed *)
+  mutable ip_discharged : int; (* prunes only the interproc layer justifies *)
+  mutable ip_crosschecked : int; (* Distrust: interprocedural claims checked *)
+  mutable ip_crosscheck_mismatches : int; (* ... of which refuted *)
 }
 and intercept = ctx -> path -> Sval.sval list -> result
 exception Budget_exceeded of string
@@ -47,7 +56,7 @@ val create :
   ?max_steps:int ->
   ?budget:Budget.t ->
   ?intercepts:(string * intercept) list ->
-  ?analysis:Analysis.policy -> Instr.program -> ctx
+  ?analysis:Analysis.policy -> ?env:Analysis.env -> Instr.program -> ctx
 val tick : ctx -> unit
 val charge_fork : ctx -> unit
 val feasible : ctx -> Term.t list -> bool
@@ -147,7 +156,13 @@ val eval_rvalue :
   path ->
   Sval.sval Regs.t ->
   Instr.rvalue -> (path -> Sval.sval -> result) -> result
+(* [env_override] substitutes the caller's own vouched-for env for the
+   duration of this run (the summarizer passes a per-window env built
+   from its canonicalized arguments); without it, [ctx.env] applies to
+   runs entering one of its roots and the env-free analysis to any
+   other entry. *)
 val run :
+  ?env_override:Analysis.env ->
   ctx ->
   memory:Sval.memory ->
   pc:Term.t list -> fn:string -> args:Sval.sval list -> result

@@ -199,6 +199,160 @@ let prop_concrete_inside_abstract =
           | msgs -> QCheck.Test.fail_report (String.concat "\n" msgs))
         (Lazy.force soundness_progs))
 
+(* Interprocedural soundness: multi-function programs where the facts
+   at block entries depend on call summaries being applied at call
+   sites (including a mutually-recursive SCC, where the summaries are
+   a widened fixpoint). The observer fires in every function, so a
+   summary that over-narrows any callee or caller fails the γ-check. *)
+let call_soundness_sources =
+  [
+    ( "chain",
+      "func leaf(x int) int {\n\
+      \  if x < 0 {\n\
+      \    return 0 - x\n\
+      \  }\n\
+      \  return x\n\
+       }\n\n\
+       func mid(a int, b int) int {\n\
+      \  var s int = leaf(a) + leaf(b)\n\
+      \  if s < 0 {\n\
+      \    panic(\"negative sum of absolutes\")\n\
+      \  }\n\
+      \  return s\n\
+       }\n\n\
+       func main(n int, m int) int {\n\
+      \  return mid(n, m) + leaf(n - m)\n\
+       }\n" );
+    ( "cycle",
+      "func isEven(n int) bool {\n\
+      \  if n == 0 {\n\
+      \    return true\n\
+      \  }\n\
+      \  return isOdd(n - 1)\n\
+       }\n\n\
+       func isOdd(n int) bool {\n\
+      \  if n == 0 {\n\
+      \    return false\n\
+      \  }\n\
+      \  return isEven(n - 1)\n\
+       }\n\n\
+       func main(n int, m int) int {\n\
+      \  var k int = n\n\
+      \  if k < 0 {\n\
+      \    k = 0 - k\n\
+      \  }\n\
+      \  if isEven(k) {\n\
+      \    return m\n\
+      \  }\n\
+      \  return m + 1\n\
+       }\n" );
+  ]
+
+let call_soundness_progs =
+  lazy
+    (List.map
+       (fun (name, src) ->
+         ( name,
+           Golite.Compile.compile (Golite.Parse.program_of_string_exn src) ))
+       call_soundness_sources)
+
+let prop_concrete_inside_abstract_calls =
+  QCheck.Test.make
+    ~name:"soundness: concrete runs inside abstract states across calls"
+    ~count:60
+    (QCheck.pair (QCheck.int_range (-8) 8) (QCheck.int_range (-8) 8))
+    (fun (n, m) ->
+      List.for_all
+        (fun (name, prog) ->
+          let summary = Analysis.analyze prog in
+          let failures = ref [] in
+          let observer fn label frame mem =
+            (if not (Analysis.reachable summary ~fn ~label) then
+               failures :=
+                 Printf.sprintf "%s: reached %s/%s proved unreachable" name fn
+                   label
+                 :: !failures);
+            match Analysis.in_state summary ~fn ~label with
+            | None ->
+                failures :=
+                  Printf.sprintf "%s: no state for %s/%s" name fn label
+                  :: !failures
+            | Some st -> (
+                let lookup r = Hashtbl.find_opt frame r in
+                let load p =
+                  match Value.load mem p with
+                  | v -> Some v
+                  | exception _ -> None
+                in
+                match Analysis.check_concrete st ~lookup ~load with
+                | Ok () -> ()
+                | Error msg ->
+                    failures :=
+                      Printf.sprintf "%s: %s/%s: %s" name fn label msg
+                      :: !failures)
+          in
+          (match
+             Interp.run ~observer prog ~memory:Value.empty_memory ~fn:"main"
+               ~args:[ Value.VInt n; Value.VInt m ]
+           with
+          | Interp.Returned _ | Interp.Panicked _ -> ()
+          | exception Interp.Out_of_fuel -> ());
+          match !failures with
+          | [] -> true
+          | msgs -> QCheck.Test.fail_report (String.concat "\n" msgs))
+        (Lazy.force call_soundness_progs))
+
+(* The widened fixpoint of a recursive SCC must cover every concrete
+   return: [count] returns exactly its (clamped) argument, so any
+   sound summary admits 0..10, claims purity, and cannot prove a panic
+   away (there is none to prove). *)
+let test_scc_fixpoint_sound () =
+  let src =
+    "func count(n int) int {\n\
+    \  if n <= 0 {\n\
+    \    return 0\n\
+    \  }\n\
+    \  return count(n - 1) + 1\n\
+     }\n\n\
+     func main(n int) int {\n\
+    \  return count(n)\n\
+     }\n"
+  in
+  let prog = Golite.Compile.compile (Golite.Parse.program_of_string_exn src) in
+  let summary = Analysis.analyze prog in
+  match Analysis.rsummary_of summary "count" with
+  | None -> Alcotest.fail "no summary for count"
+  | Some rs ->
+      check_bool "count returns" true rs.Analysis.rs_returns;
+      check_bool "count is pure" true rs.Analysis.rs_pure;
+      (match rs.Analysis.rs_ret with
+      | Analysis.AInt itv ->
+          for k = 0 to 10 do
+            check_bool
+              (Printf.sprintf "concrete count(%d) = %d inside rs_ret" k k)
+              true
+              (Analysis.Interval.mem k itv)
+          done
+      | _ -> Alcotest.fail "count summary has no integer return");
+      (* And the cycle twin: the mutual recursion from the QCheck
+         sources converges to a summary that still admits both
+         booleans (a sound fixpoint cannot pin a parity). *)
+      let cycle = List.assoc "cycle" (Lazy.force call_soundness_progs) in
+      let s2 = Analysis.analyze cycle in
+      List.iter
+        (fun fn ->
+          match Analysis.rsummary_of s2 fn with
+          | Some rs ->
+              check_bool (fn ^ " returns") true rs.Analysis.rs_returns;
+              check_bool
+                (fn ^ " cannot pin parity")
+                true
+                (match rs.Analysis.rs_ret with
+                | Analysis.ABool Analysis.Tribool.TTop | Analysis.ATop -> true
+                | _ -> false)
+          | None -> Alcotest.fail ("no summary for " ^ fn))
+        [ "isEven"; "isOdd" ]
+
 (* The engine versions themselves: the abstract states must admit the
    concrete frames the real resolver produces on a reference query. *)
 let test_soundness_engine () =
@@ -311,7 +465,11 @@ let test_discharge_rate () =
   check_bool
     (Printf.sprintf "discharge rate %d/%d >= 20%%" discharged checks)
     true
-    (discharged * 5 >= checks)
+    (discharged * 5 >= checks);
+  (* The interprocedural layer must carry some of those discharges:
+     claims the plain intraprocedural facts could not make. *)
+  check_bool "interprocedural discharges seen" true
+    (Trace.Metrics.get d "analysis.ip_discharged" > 0)
 
 let test_distrust_crosscheck_clean () =
   scrub ();
@@ -325,7 +483,11 @@ let test_distrust_crosscheck_clean () =
   check_bool "cross-checks performed" true
     (Trace.Metrics.get d "analysis.crosscheck_pass" > 0);
   check_int "cross-check mismatches" 0
-    (Trace.Metrics.get d "analysis.crosscheck_mismatch")
+    (Trace.Metrics.get d "analysis.crosscheck_mismatch");
+  check_bool "interprocedural claims cross-checked" true
+    (Trace.Metrics.get d "analysis.ip_crosscheck" > 0);
+  check_int "interprocedural cross-check mismatches" 0
+    (Trace.Metrics.get d "analysis.ip_crosscheck_mismatch")
 
 (* ------------------------------------------------------------------ *)
 (* Lint                                                               *)
@@ -465,8 +627,11 @@ let () =
             prop_interval_widen_sound;
           ] );
       ( "soundness",
-        qcheck [ prop_concrete_inside_abstract ]
+        qcheck
+          [ prop_concrete_inside_abstract; prop_concrete_inside_abstract_calls ]
         @ [
+            Alcotest.test_case "SCC fixpoint is sound" `Quick
+              test_scc_fixpoint_sound;
             Alcotest.test_case "engine run inside abstract states" `Quick
               test_soundness_engine;
           ] );

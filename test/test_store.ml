@@ -326,6 +326,111 @@ func top(n int) int {
 
 module Fp = Store.Fingerprint
 
+(* ------------------------------------------------------------------ *)
+(* Analysis ("A|") entries: round-trip, cone sharing/invalidation,    *)
+(* eviction of undecodable entries                                    *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_with st prog =
+  Analysis.clear_memo ();
+  Store.with_analysis st
+    ~cone_of:(fun fn -> Fp.cone_fp prog fn)
+    (fun () -> Analysis.summarize prog)
+
+let rsummaries_fingerprint s prog =
+  String.concat "|"
+    (List.map
+       (fun (f : Minir.Instr.func) ->
+         match Analysis.rsummary_of s f.Minir.Instr.fn_name with
+         | Some rs -> Digest.to_hex (Digest.string (Store.Codec.rsummary_to_string rs))
+         | None -> "-")
+       prog.Minir.Instr.funcs)
+
+let test_analysis_roundtrip_and_cones () =
+  with_dir @@ fun dir ->
+  let nfuncs = List.length prog_base.Minir.Instr.funcs in
+  let s_cold = with_store dir (fun st -> analyze_with st prog_base) in
+  check_int "cold: all misses" nfuncs (snd (Analysis.store_traffic s_cold));
+  let s_warm = with_store dir (fun st -> analyze_with st prog_base) in
+  check_int "warm: all hits" nfuncs (fst (Analysis.store_traffic s_warm));
+  (* Served summaries are byte-identical to the computed ones. *)
+  check_string "summaries round-trip"
+    (rsummaries_fingerprint s_cold prog_base)
+    (rsummaries_fingerprint s_warm prog_base);
+  (* Alpha-equivalent functions share their entries. *)
+  let s_alpha = with_store dir (fun st -> analyze_with st prog_alpha) in
+  check_int "alpha twin: all hits" nfuncs (fst (Analysis.store_traffic s_alpha));
+  (* An edit in [top] invalidates exactly its own cone... *)
+  let s_top = with_store dir (fun st -> analyze_with st prog_top_edit) in
+  check_int "top edit: one miss" 1 (snd (Analysis.store_traffic s_top));
+  check_int "top edit: leaf and mid served" 2 (fst (Analysis.store_traffic s_top));
+  (* ...while an edit in [leaf] invalidates every dependent cone. *)
+  let s_leaf = with_store dir (fun st -> analyze_with st prog_leaf_edit) in
+  check_int "leaf edit: all miss" nfuncs (snd (Analysis.store_traffic s_leaf));
+  (* The A| entries survive a deep fsck. *)
+  let stat = Store.stat dir in
+  check_bool "analysis entries on disk" true
+    (List.mem_assoc "A" stat.Store.st_by_prefix);
+  check_bool "fsck clean over A| entries" true
+    (Store.fsck_clean (Store.fsck dir))
+
+(* With no analysis environment the filtered field-invariant list is
+   empty, so the environment fingerprint is the digest of "". *)
+let empty_envfp = Digest.to_hex (Digest.string "")
+
+let test_analysis_corrupt_entry_evicted () =
+  with_dir @@ fun dir ->
+  ignore (with_store dir (fun st -> analyze_with st prog_base));
+  let key =
+    Store.analysis_key ~cone:(Fp.cone_fp prog_base "leaf") ~envfp:empty_envfp
+  in
+  with_store dir @@ fun st ->
+  (match Store.find st key with
+  | None -> Alcotest.fail "expected an A| entry for leaf"
+  | Some payload ->
+      (* Drop the final byte: the strict wire format cannot decode a
+         truncated summary, so the entry must be evicted as a
+         certificate failure and recomputed — never trusted. *)
+      Store.add st key (String.sub payload 0 (String.length payload - 1)));
+  let m0 = Trace.Metrics.snapshot () in
+  let s = analyze_with st prog_base in
+  let d = Trace.Metrics.diff (Trace.Metrics.snapshot ()) m0 in
+  check_int "corrupt entry recomputed" 1 (snd (Analysis.store_traffic s));
+  check_int "intact entries served" 2 (fst (Analysis.store_traffic s));
+  check_bool "corrupt entry evicted as a certificate failure" true
+    (Trace.Metrics.get d "store.cert_failures" > 0);
+  match Analysis.rsummary_of s "leaf" with
+  | Some rs -> check_string "recomputed summary is leaf's" "leaf" rs.Analysis.rs_fn
+  | None -> Alcotest.fail "leaf has no summary after recompute"
+
+(* Any single flipped bit in the store file may cost recomputation but
+   must never change the analysis facts served back. *)
+let analysis_flip_never_lies (pos, bit) =
+  with_dir @@ fun dir ->
+  ignore (with_store dir (fun st -> analyze_with st prog_base));
+  Analysis.clear_memo ();
+  let reference = rsummaries_fingerprint (Analysis.summarize prog_base) prog_base in
+  let path = data_path dir in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.of_string (really_input_string ic n) in
+  close_in ic;
+  let pos = pos mod n in
+  let mask = 1 lsl (bit mod 8) in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  let s = with_store dir (fun st -> analyze_with st prog_base) in
+  String.equal reference (rsummaries_fingerprint s prog_base)
+
+let prop_analysis_flip_never_lies =
+  QCheck.Test.make
+    ~name:"analysis entries: any single-bit flip degrades, never lies"
+    ~count:40
+    QCheck.(pair (int_range 0 100_000) (int_range 0 7))
+    analysis_flip_never_lies
+
 let test_fingerprint_alpha_equivalence () =
   List.iter
     (fun fn ->
@@ -452,6 +557,14 @@ let () =
           Alcotest.test_case "fault sites" `Quick test_store_fault_sites;
         ] );
       ("corruption", qcheck [ prop_flip_never_lies ]);
+      ( "analysis",
+        [
+          Alcotest.test_case "round-trip, cone sharing and invalidation"
+            `Quick test_analysis_roundtrip_and_cones;
+          Alcotest.test_case "undecodable entry evicted and recomputed"
+            `Quick test_analysis_corrupt_entry_evicted;
+        ]
+        @ qcheck [ prop_analysis_flip_never_lies ] );
       ( "fingerprint",
         [
           Alcotest.test_case "alpha equivalence" `Quick
